@@ -1,0 +1,1 @@
+examples/eager_aggregation.ml: Cbqt Exec Fmt List Planner Printf Sqlir Sqlparse Storage Transform Workload

@@ -1,0 +1,1 @@
+examples/jppd_analytics.ml: Cbqt Exec Fmt List Planner Sqlir Sqlparse Storage Transform Workload

@@ -1,0 +1,1 @@
+examples/jppd_analytics.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Cbqt Exec Fmt List Planner Sqlir Sqlparse Storage String Workload

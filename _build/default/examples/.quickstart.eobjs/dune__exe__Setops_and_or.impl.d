@@ -1,0 +1,1 @@
+examples/setops_and_or.ml: Cbqt Exec Fmt List Planner Sqlparse Storage Transform Workload

@@ -1,0 +1,1 @@
+examples/setops_and_or.mli:

@@ -1,0 +1,1 @@
+examples/subquery_unnesting.ml: Cbqt Exec Fmt List Planner Sqlir Sqlparse Storage Transform Workload

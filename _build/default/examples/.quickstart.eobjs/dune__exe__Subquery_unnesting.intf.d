@@ -1,0 +1,1 @@
+examples/subquery_unnesting.mli:

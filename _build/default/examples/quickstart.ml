@@ -1,0 +1,46 @@
+(** Quickstart: parse a SQL query, run it through cost-based query
+    transformation, and execute the chosen plan.
+
+    {v dune exec examples/quickstart.exe v} *)
+
+let () =
+  (* 1. a database: the paper's HR-style schema with demo data *)
+  let db = Workload.Demo.hr_db ~size:4 () in
+  let cat = db.Storage.Db.cat in
+
+  (* 2. a query: the paper's Q1 — employees earning above their
+     department average, with job history after a date, in US
+     departments *)
+  let sql =
+    "SELECT e1.name, j.job_id FROM employees e1, job_history j WHERE \
+     e1.emp_id = j.emp_id AND j.start_date > DATE 10400 AND e1.salary > \
+     (SELECT AVG(e2.salary) FROM employees e2 WHERE e2.dept_id = e1.dept_id) \
+     AND e1.dept_id IN (SELECT d.dept_id FROM departments d, locations l \
+     WHERE d.loc_id = l.loc_id AND l.country_id = 'US')"
+  in
+  let query = Sqlparse.Parser.parse_exn cat sql in
+  Fmt.pr "=== original query ===@.%s@.@." (Sqlir.Pp.query_to_string query);
+
+  (* 3. cost-based transformation + physical optimization *)
+  let res = Cbqt.Driver.optimize cat query in
+  Fmt.pr "=== transformed query ===@.%s@.@."
+    (Sqlir.Pp.query_to_string res.Cbqt.Driver.res_query);
+  Fmt.pr "=== transformation report ===@.%a@." Cbqt.Driver.pp_report
+    res.res_report;
+  Fmt.pr "=== physical plan ===@.%s@."
+    (Exec.Plan.to_string res.res_annotation.Planner.Annotation.an_plan);
+
+  (* 4. execute *)
+  let meter = Exec.Meter.create () in
+  let _, rows, _ =
+    Exec.Executor.execute ~meter db res.res_annotation.an_plan
+  in
+  Fmt.pr "=== results (%d rows) ===@." (List.length rows);
+  List.iteri
+    (fun i row ->
+      if i < 10 then
+        Fmt.pr "  %s@."
+          (String.concat " | "
+             (List.map Sqlir.Value.to_string (Array.to_list row))))
+    rows;
+  Fmt.pr "work: %a@." Exec.Meter.pp meter

@@ -1,0 +1,158 @@
+(** The catalog: table definitions, integrity constraints, indexes and
+    optimizer statistics.
+
+    Constraints drive transformation legality: join elimination (Section
+    2.1.2) needs foreign-key and uniqueness metadata; null-awareness of
+    NOT IN unnesting needs nullability; group-by removal under join
+    predicate pushdown (Section 2.2.3) needs key information. Statistics
+    feed the cardinality estimator of the physical optimizer. *)
+
+type col_def = {
+  c_name : string;
+  c_ty : Sqlir.Value.ty;
+  c_nullable : bool;
+}
+
+type fk = {
+  fk_cols : string list;  (** referencing columns, in order *)
+  fk_ref_table : string;
+  fk_ref_cols : string list;  (** referenced columns, in order *)
+}
+
+type index = {
+  ix_name : string;
+  ix_table : string;
+  ix_cols : string list;  (** key columns, significant order *)
+  ix_unique : bool;
+}
+
+type table_def = {
+  t_name : string;
+  t_cols : col_def list;
+  t_pkey : string list;  (** empty if no primary key *)
+  t_fkeys : fk list;
+  t_uniques : string list list;  (** unique constraints other than the PK *)
+}
+
+(** Per-column statistics, as gathered by [Stats_gather] (exact or
+    sampled — sampling introduces the estimation error that produces the
+    plan regressions discussed in Section 4.2). *)
+type col_stats = {
+  s_ndv : int;  (** number of distinct non-null values *)
+  s_nulls : int;  (** number of NULLs *)
+  s_min : Sqlir.Value.t;
+  s_max : Sqlir.Value.t;
+}
+
+type table_stats = {
+  s_rows : int;
+  s_pages : int;
+  s_cols : (string * col_stats) list;
+}
+
+type t = {
+  tables : (string, table_def) Hashtbl.t;
+  indexes : (string, index list) Hashtbl.t;  (** keyed by table name *)
+  stats : (string, table_stats) Hashtbl.t;
+}
+
+let create () =
+  {
+    tables = Hashtbl.create 64;
+    indexes = Hashtbl.create 64;
+    stats = Hashtbl.create 64;
+  }
+
+exception Unknown_table of string
+exception Unknown_column of string * string
+
+let add_table t (def : table_def) =
+  Hashtbl.replace t.tables def.t_name def;
+  if not (Hashtbl.mem t.indexes def.t_name) then
+    Hashtbl.replace t.indexes def.t_name []
+
+let add_index t (ix : index) =
+  if not (Hashtbl.mem t.tables ix.ix_table) then raise (Unknown_table ix.ix_table);
+  let existing = try Hashtbl.find t.indexes ix.ix_table with Not_found -> [] in
+  Hashtbl.replace t.indexes ix.ix_table (existing @ [ ix ])
+
+let find_table t name =
+  match Hashtbl.find_opt t.tables name with
+  | Some def -> def
+  | None -> raise (Unknown_table name)
+
+let mem_table t name = Hashtbl.mem t.tables name
+let table_names t = Hashtbl.fold (fun k _ acc -> k :: acc) t.tables []
+
+let col_def t ~table ~col =
+  let def = find_table t table in
+  match List.find_opt (fun c -> String.equal c.c_name col) def.t_cols with
+  | Some c -> c
+  | None -> raise (Unknown_column (table, col))
+
+let has_column t ~table ~col =
+  match Hashtbl.find_opt t.tables table with
+  | None -> false
+  | Some def -> List.exists (fun c -> String.equal c.c_name col) def.t_cols
+
+let indexes_on t name =
+  try Hashtbl.find t.indexes name with Not_found -> []
+
+(** The index, if any, whose leading column(s) match [cols] as a prefix
+    (order-insensitive within the prefix, as a composite equality lookup
+    can bind prefix columns in any order). *)
+let index_with_prefix t ~table ~cols =
+  let matches ix =
+    let n = List.length cols in
+    List.length ix.ix_cols >= n
+    && List.for_all
+         (fun c -> List.mem c cols)
+         (List.filteri (fun i _ -> i < n) ix.ix_cols)
+  in
+  List.find_opt matches (indexes_on t table)
+
+(** Is [cols] a superset of some key (primary or unique constraint) of
+    [table]? Duplicate-freeness arguments (Sections 2.1.2 and 2.2.3)
+    rely on this. *)
+let covers_key t ~table ~cols =
+  let def = find_table t table in
+  let keys =
+    (if def.t_pkey = [] then [] else [ def.t_pkey ])
+    @ def.t_uniques
+    @ List.filter_map
+        (fun ix -> if ix.ix_unique then Some ix.ix_cols else None)
+        (indexes_on t table)
+  in
+  List.exists (fun key -> List.for_all (fun k -> List.mem k cols) key) keys
+
+(** Foreign key of [table] referencing [ref_table] on exactly the given
+    column pairing, if declared. *)
+let fk_between t ~table ~cols ~ref_table ~ref_cols =
+  let def = find_table t table in
+  List.find_opt
+    (fun fk ->
+      String.equal fk.fk_ref_table ref_table
+      && fk.fk_cols = cols && fk.fk_ref_cols = ref_cols)
+    def.t_fkeys
+
+let col_nullable t ~table ~col = (col_def t ~table ~col).c_nullable
+
+let set_stats t name (s : table_stats) = Hashtbl.replace t.stats name s
+
+let stats t name = Hashtbl.find_opt t.stats name
+
+let col_stats t ~table ~col =
+  match stats t table with
+  | None -> None
+  | Some s -> List.assoc_opt col s.s_cols
+
+(** Rows per page used to derive page counts from row counts; a crude
+    stand-in for Oracle block accounting. *)
+let rows_per_page = 64
+
+let default_stats ~rows cols =
+  {
+    s_rows = rows;
+    s_pages = max 1 ((rows + rows_per_page - 1) / rows_per_page);
+    s_cols = cols;
+  }

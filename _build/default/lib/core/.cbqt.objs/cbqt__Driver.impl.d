@@ -1,0 +1,1 @@
+lib/core/driver.ml: Ast Catalog Exec Float Fmt Fun Hashtbl List Planner Policy Pp Search Sqlir Transform Unix

@@ -1,0 +1,1 @@
+lib/core/search.ml: Float Hashtbl List String

@@ -1,0 +1,397 @@
+(** The cost-based query transformation driver (Sections 3.1–3.4).
+
+    Transformations are applied sequentially, in the paper's order:
+    SPJ view merging, join elimination, subquery unnesting, group-by
+    (distinct) view merging, group pruning, predicate move-around, set
+    operator into join conversion, group-by placement, predicate pullup,
+    join factorization, disjunction into union-all expansion, and join
+    predicate pushdown. Heuristic transformations are imperative;
+    cost-based ones run a state-space search ({!Search}) whose states
+    are costed by deep-copying the query tree, applying the state's
+    mask, and invoking the physical optimizer.
+
+    The engineering devices of Section 3.4 are all wired in:
+
+    - {b cost cut-off}: once a state has been fully costed, subsequent
+      states run with the optimizer's [cost_cap] set, so hopeless states
+      abort early;
+    - {b cost-annotation reuse}: one annotation cache (keyed by
+      query-block fingerprint) is shared across all states of all
+      transformations of one driver run, so an untransformed subquery is
+      optimized once no matter how many states contain it;
+    - {b interleaving} (Section 3.3.1): when costing an unnesting state,
+      the generated group-by view is also costed in merged form, so
+      unnesting is not rejected merely because the unmerged view is
+      expensive;
+    - {b juxtaposition} (Section 3.3.2): a view eligible for both
+      group-by view merging and join predicate pushdown is costed under
+      no-change, merge, and pushdown, and merging is applied only if it
+      beats both.
+
+    The CBQT-off baseline ([`Heuristic]) replaces each search by the
+    corresponding heuristic rule (the pre-10g unnesting rule, merge-
+    always, index-driven JPPD, and no group-by placement), reproducing
+    the paper's comparison baseline. *)
+
+open Sqlir
+module A = Ast
+module Opt = Planner.Optimizer
+module T = Transform
+
+type decision = D_off | D_heuristic | D_cost
+
+type config = {
+  unnest : decision;
+  gb_merge : decision;
+  jppd : decision;
+  gbp : decision;
+  setop_to_join : decision;
+  or_expansion : decision;
+  join_factor : decision;
+  pred_pullup : decision;
+  heuristic_phase : bool;
+      (** run the imperative transformations (SPJ merge, join
+          elimination, predicate move-around, group pruning) *)
+  interleave : bool;
+  juxtapose : bool;
+  policy : Policy.t;
+}
+
+let default_config =
+  {
+    unnest = D_cost;
+    gb_merge = D_cost;
+    jppd = D_cost;
+    gbp = D_cost;
+    setop_to_join = D_cost;
+    or_expansion = D_cost;
+    join_factor = D_cost;
+    pred_pullup = D_cost;
+    heuristic_phase = true;
+    interleave = true;
+    juxtapose = true;
+    policy = Policy.default;
+  }
+
+(** The paper's CBQT-off baseline: heuristic decisions everywhere,
+    searches disabled. *)
+let heuristic_config =
+  {
+    default_config with
+    unnest = D_heuristic;
+    gb_merge = D_heuristic;
+    jppd = D_heuristic;
+    gbp = D_off;
+    setop_to_join = D_off;
+    or_expansion = D_off;
+    join_factor = D_off;
+    pred_pullup = D_off;
+    interleave = false;
+    juxtapose = false;
+  }
+
+type step_report = {
+  sr_name : string;
+  sr_objects : int;
+  sr_strategy : string;
+  sr_states : int;
+  sr_chosen : bool list;
+  sr_base_cost : float;  (** cost of the untransformed state *)
+  sr_best_cost : float;
+}
+
+type report = {
+  rp_steps : step_report list;
+  rp_states_total : int;
+  rp_blocks_optimized : int;
+  rp_cache_hits : int;
+  rp_final_cost : float;
+  rp_opt_seconds : float;
+}
+
+type result = {
+  res_query : A.query;  (** the transformed query tree *)
+  res_annotation : Planner.Annotation.t;  (** final physical plan *)
+  res_report : report;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Costing                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type ctx = {
+  cat : Catalog.t;
+  opt : Opt.t;
+  cfg : config;
+  mutable steps : step_report list;
+  mutable total_objects : int;  (** for the two-pass policy rule *)
+}
+
+(** Cost a candidate query under the cost cut-off. Returns [infinity]
+    when the optimizer aborts or the tree is not optimizable. *)
+let cost_of (ctx : ctx) ~(cap : float option) (q : A.query) : float =
+  ctx.opt.Opt.cost_cap <- cap;
+  let r =
+    match Opt.optimize ctx.opt q with
+    | ann -> ann.Planner.Annotation.an_cost
+    | exception Opt.Cost_cap_exceeded -> infinity
+    | exception Opt.Unsupported _ -> infinity
+    | exception Exec.Eval.Unbound_column _ -> infinity
+  in
+  ctx.opt.Opt.cost_cap <- None;
+  r
+
+(* ------------------------------------------------------------------ *)
+(* Generic cost-based step                                              *)
+(* ------------------------------------------------------------------ *)
+
+let record ctx name ~objects ~strategy ~states ~chosen ~base ~best =
+  ctx.steps <-
+    {
+      sr_name = name;
+      sr_objects = objects;
+      sr_strategy = strategy;
+      sr_states = states;
+      sr_chosen = chosen;
+      sr_base_cost = base;
+      sr_best_cost = best;
+    }
+    :: ctx.steps
+
+(** One cost-based transformation step: search the state space of
+    [objects]/[apply_mask] and apply the winning mask. [interleave_with]
+    optionally posts-processes each candidate with a follow-on
+    transformation for costing purposes only (Section 3.3.1). *)
+let cost_step (ctx : ctx) (name : string)
+    ~(objects : Catalog.t -> A.query -> string list)
+    ~(apply_mask : Catalog.t -> A.query -> bool list -> A.query)
+    ?(interleave_with : (Catalog.t -> A.query -> A.query) option)
+    ?(heuristic_mask : (Catalog.t -> A.query -> bool list) option)
+    (decision : decision) (q : A.query) : A.query =
+  match decision with
+  | D_off -> q
+  | D_heuristic -> (
+      match heuristic_mask with
+      | None -> q
+      | Some h ->
+          let mask = h ctx.cat q in
+          if List.exists Fun.id mask then apply_mask ctx.cat q mask else q)
+  | D_cost ->
+      let objs = objects ctx.cat q in
+      let n = List.length objs in
+      if n = 0 then q
+      else (
+        ctx.total_objects <- ctx.total_objects + n;
+        let strategy =
+          Policy.choose ctx.cfg.policy ~n_objects:n
+            ~total_objects:ctx.total_objects
+        in
+        let best_seen = ref infinity in
+        let eval mask =
+          let q' = apply_mask ctx.cat (T.Tx.deep_copy q) mask in
+          let cap = if !best_seen < infinity then Some !best_seen else None in
+          let c = cost_of ctx ~cap q' in
+          let c =
+            match interleave_with with
+            | Some follow when ctx.cfg.interleave && List.exists Fun.id mask ->
+                let q'' = follow ctx.cat q' in
+                if Pp.fingerprint q'' = Pp.fingerprint q' then c
+                else Float.min c (cost_of ctx ~cap q'')
+            | _ -> c
+          in
+          if c < !best_seen then best_seen := c;
+          c
+        in
+        let res =
+          Search.run
+            ~iterative_max_states:ctx.cfg.policy.Policy.iterative_state_budget
+            strategy n eval
+        in
+        let base =
+          match res.Search.r_trace with (_, c) :: _ -> c | [] -> nan
+        in
+        record ctx name ~objects:n
+          ~strategy:(Search.strategy_name strategy)
+          ~states:res.Search.r_states ~chosen:res.Search.r_best ~base
+          ~best:res.Search.r_best_cost;
+        if List.exists Fun.id res.Search.r_best then
+          apply_mask ctx.cat q res.Search.r_best
+        else q)
+
+(* ------------------------------------------------------------------ *)
+(* Group-by view merging with juxtaposition against JPPD                *)
+(* ------------------------------------------------------------------ *)
+
+(** Per-object three-way comparison (Section 3.3.2): no change vs. view
+    merging vs. join predicate pushdown, walked linearly over the merge
+    objects. Merging is applied only when it beats both rivals; a
+    pushdown winner is left untransformed here and picked up by the
+    sequential JPPD step later (the paper's mitigation in 3.3.3). *)
+let gb_merge_juxtaposed (ctx : ctx) (q : A.query) : A.query =
+  let merge_objs = T.Gb_view_merge.discover ctx.cat q in
+  let n = List.length merge_objs in
+  if n = 0 then q
+  else (
+    ctx.total_objects <- ctx.total_objects + n;
+    let states = ref 0 in
+    let best_seen = ref infinity in
+    let eval q' =
+      incr states;
+      let cap = if !best_seen < infinity then Some !best_seen else None in
+      let c = cost_of ctx ~cap q' in
+      if c < !best_seen then best_seen := c;
+      c
+    in
+    let chosen = ref [] in
+    let current = ref q in
+    let base = eval q in
+    List.iteri
+      (fun _i (qb, alias) ->
+        let cost_none = eval !current in
+        (* merging exactly this object on the current tree *)
+        let cur_objs = T.Gb_view_merge.discover ctx.cat !current in
+        let mask =
+          List.map (fun (qb', a') -> qb' = qb && a' = alias) cur_objs
+        in
+        let merged =
+          if List.exists Fun.id mask then
+            T.Gb_view_merge.apply_mask ctx.cat !current mask
+          else !current
+        in
+        let cost_merge =
+          if merged == !current then infinity else eval merged
+        in
+        (* the JPPD rival on the same view, if applicable *)
+        let jppd_objs = T.Jppd.discover ctx.cat !current in
+        let jppd_mask =
+          List.map (fun (qb', a') -> qb' = qb && a' = alias) jppd_objs
+        in
+        let cost_jppd =
+          if ctx.cfg.juxtapose && List.exists Fun.id jppd_mask then
+            eval (T.Jppd.apply_mask ctx.cat !current jppd_mask)
+          else infinity
+        in
+        if cost_merge < cost_none && cost_merge <= cost_jppd then (
+          current := merged;
+          chosen := true :: !chosen)
+        else chosen := false :: !chosen)
+      merge_objs;
+    record ctx "gb-view-merge" ~objects:n ~strategy:"juxtaposed-linear"
+      ~states:!states ~chosen:(List.rev !chosen) ~base ~best:!best_seen;
+    !current)
+
+(* ------------------------------------------------------------------ *)
+(* The pipeline                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let heuristics (ctx : ctx) (q : A.query) : A.query =
+  if not ctx.cfg.heuristic_phase then q
+  else
+    q
+    |> T.View_merge_spj.apply ctx.cat
+    |> T.Join_elim.apply ctx.cat
+    |> T.Predicate_move.apply ctx.cat
+    |> T.Group_prune.apply ctx.cat
+
+let transform (ctx : ctx) (q : A.query) : A.query =
+  (* 1. imperative phase: SPJ view merging, join elimination,
+     predicate move-around, group pruning *)
+  let q = heuristics ctx q in
+  (* 2. subquery unnesting: imperative single-table merges, then the
+     cost-based view-generating unnesting, interleaved with group-by
+     view merging *)
+  let q =
+    match ctx.cfg.unnest with
+    | D_off -> q
+    | D_heuristic | D_cost ->
+        let q = T.Unnest_merge.apply ctx.cat q in
+        cost_step ctx "unnest" ~objects:T.Unnest_view.objects
+          ~apply_mask:T.Unnest_view.apply_mask
+          ~interleave_with:T.Gb_view_merge.apply_all
+          ~heuristic_mask:T.Unnest_view.heuristic_mask ctx.cfg.unnest q
+  in
+  (* 3. group-by / distinct view merging, juxtaposed with JPPD *)
+  let q =
+    match ctx.cfg.gb_merge with
+    | D_off -> q
+    | D_heuristic ->
+        (* pre-10g behaviour: always merge when legal *)
+        T.Gb_view_merge.apply_all ctx.cat q
+    | D_cost -> gb_merge_juxtaposed ctx q
+  in
+  (* 4. re-run pruning / predicate motion over the rewritten tree *)
+  let q = heuristics ctx q in
+  (* 5. set operators into joins; the conversion manufactures SPJ
+     views, so the imperative phase runs again afterwards *)
+  let q =
+    cost_step ctx "setop-to-join" ~objects:T.Setop_to_join.objects
+      ~apply_mask:T.Setop_to_join.apply_mask ctx.cfg.setop_to_join q
+  in
+  let q = heuristics ctx q in
+  (* 6. group-by placement (never heuristic, as in Oracle) *)
+  let q =
+    cost_step ctx "gb-placement" ~objects:T.Gb_placement.objects
+      ~apply_mask:T.Gb_placement.apply_mask ctx.cfg.gbp q
+  in
+  (* 7. predicate pullup *)
+  let q =
+    cost_step ctx "predicate-pullup" ~objects:T.Predicate_pullup.objects
+      ~apply_mask:T.Predicate_pullup.apply_mask ctx.cfg.pred_pullup q
+  in
+  (* 8. join factorization *)
+  let q =
+    cost_step ctx "join-factorization" ~objects:T.Join_factor.objects
+      ~apply_mask:T.Join_factor.apply_mask ctx.cfg.join_factor q
+  in
+  (* 9. disjunction into UNION ALL *)
+  let q =
+    cost_step ctx "or-expansion" ~objects:T.Or_expansion.objects
+      ~apply_mask:T.Or_expansion.apply_mask ctx.cfg.or_expansion q
+  in
+  let q = heuristics ctx q in
+  (* 10. join predicate pushdown *)
+  let q =
+    cost_step ctx "jppd" ~objects:T.Jppd.objects
+      ~apply_mask:T.Jppd.apply_mask ~heuristic_mask:T.Jppd.heuristic_mask
+      ctx.cfg.jppd q
+  in
+  q
+
+(** Transform and physically optimize [q]. *)
+let optimize ?(config = default_config) (cat : Catalog.t) (q : A.query) :
+    result =
+  let t0 = Unix.gettimeofday () in
+  let annot_cache = Hashtbl.create 64 in
+  let opt = Opt.create ~annot_cache cat in
+  let ctx = { cat; opt; cfg = config; steps = []; total_objects = 0 } in
+  let q' = transform ctx q in
+  let ann = Opt.optimize opt q' in
+  let t1 = Unix.gettimeofday () in
+  let states_total =
+    List.fold_left (fun acc s -> acc + s.sr_states) 0 ctx.steps
+  in
+  {
+    res_query = q';
+    res_annotation = ann;
+    res_report =
+      {
+        rp_steps = List.rev ctx.steps;
+        rp_states_total = states_total;
+        rp_blocks_optimized = opt.Opt.blocks_optimized;
+        rp_cache_hits = opt.Opt.cache_hits;
+        rp_final_cost = ann.Planner.Annotation.an_cost;
+        rp_opt_seconds = t1 -. t0;
+      };
+  }
+
+let pp_report ppf (r : report) =
+  Fmt.pf ppf "optimization: %.3fms, %d states, %d blocks optimized, %d cache hits, final cost %.1f@."
+    (r.rp_opt_seconds *. 1000.) r.rp_states_total r.rp_blocks_optimized
+    r.rp_cache_hits r.rp_final_cost;
+  List.iter
+    (fun s ->
+      Fmt.pf ppf "  %-20s objects=%d strategy=%-12s states=%-3d chosen=%s (%.1f -> %.1f)@."
+        s.sr_name s.sr_objects s.sr_strategy s.sr_states
+        (Search.mask_to_string s.sr_chosen)
+        s.sr_base_cost s.sr_best_cost)
+    r.rp_steps

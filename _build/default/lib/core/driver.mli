@@ -1,0 +1,68 @@
+(** The cost-based query transformation driver — the paper's framework
+    (Sections 3.1–3.4) assembled: an imperative heuristic phase, then
+    the cost-based transformations in the paper's sequential order, each
+    searching its state space with costs from the physical optimizer,
+    with interleaving, juxtaposition, cost cut-off and cost-annotation
+    reuse wired in. *)
+
+(** How one transformation's decision is made. *)
+type decision =
+  | D_off  (** transformation disabled entirely *)
+  | D_heuristic  (** rule-based decision (the CBQT-off baseline) *)
+  | D_cost  (** state-space search costed by the physical optimizer *)
+
+type config = {
+  unnest : decision;
+  gb_merge : decision;
+  jppd : decision;
+  gbp : decision;
+  setop_to_join : decision;
+  or_expansion : decision;
+  join_factor : decision;
+  pred_pullup : decision;
+  heuristic_phase : bool;
+      (** run the imperative transformations (SPJ view merging, join
+          elimination, predicate move-around, group pruning) *)
+  interleave : bool;  (** Section 3.3.1: unnesting ⋈ view merging *)
+  juxtapose : bool;  (** Section 3.3.2: view merging vs JPPD *)
+  policy : Policy.t;
+}
+
+val default_config : config
+(** Everything cost-based — the CBQT-on configuration. *)
+
+val heuristic_config : config
+(** The paper's CBQT-off baseline: the pre-10g unnesting rule,
+    merge-always group-by view merging, index-driven JPPD, no group-by
+    placement, no searches. *)
+
+type step_report = {
+  sr_name : string;
+  sr_objects : int;
+  sr_strategy : string;
+  sr_states : int;
+  sr_chosen : bool list;
+  sr_base_cost : float;  (** cost of the untransformed state *)
+  sr_best_cost : float;
+}
+
+type report = {
+  rp_steps : step_report list;
+  rp_states_total : int;
+  rp_blocks_optimized : int;  (** Table 1 / Table 2 accounting unit *)
+  rp_cache_hits : int;  (** annotation-reuse hits (Section 3.4.2) *)
+  rp_final_cost : float;
+  rp_opt_seconds : float;
+}
+
+type result = {
+  res_query : Sqlir.Ast.query;  (** the transformed query tree *)
+  res_annotation : Planner.Annotation.t;  (** final physical plan *)
+  res_report : report;
+}
+
+val optimize : ?config:config -> Catalog.t -> Sqlir.Ast.query -> result
+(** Transform and physically optimize a query. The returned plan is
+    executable with {!Exec.Executor.execute}. *)
+
+val pp_report : Format.formatter -> report -> unit

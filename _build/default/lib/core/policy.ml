@@ -1,0 +1,43 @@
+(** Automatic choice of the state-space search strategy (Section 3.2).
+
+    "The cost-based transformation framework automatically decides which
+    search technique to use, based on the number of objects to be
+    transformed in the query block, characteristics of the
+    transformation, and the overall complexity of the query. For
+    instance, if a query block contains a small number of subqueries, we
+    use exhaustive search for subquery unnesting, but if the number
+    exceeds a fixed threshold, we use linear search. If the total number
+    of elements subject to transformation in a query exceeds a
+    threshold, then we use two-pass search for all transformations." *)
+
+type t = {
+  exhaustive_max : int;
+      (** use exhaustive search for at most this many objects *)
+  iterative_max : int;
+      (** above [exhaustive_max] and up to here, use iterative
+          improvement *)
+  two_pass_total : int;
+      (** if the total number of transformation objects in the query
+          exceeds this, use two-pass everywhere *)
+  iterative_state_budget : int;
+  force : Search.strategy option;  (** override, for experiments *)
+}
+
+let default =
+  {
+    exhaustive_max = 4;
+    iterative_max = 8;
+    two_pass_total = 12;
+    iterative_state_budget = 32;
+    force = None;
+  }
+
+let choose (t : t) ~(n_objects : int) ~(total_objects : int) : Search.strategy
+    =
+  match t.force with
+  | Some s -> s
+  | None ->
+      if total_objects > t.two_pass_total then Search.Two_pass
+      else if n_objects <= t.exhaustive_max then Search.Exhaustive
+      else if n_objects <= t.iterative_max then Search.Iterative
+      else Search.Linear

@@ -1,0 +1,17 @@
+(** Automatic search-strategy selection (paper Section 3.2): exhaustive
+    search for small object counts, iterative improvement then linear
+    beyond per-transformation thresholds, and two-pass for every
+    transformation once the query's total object count passes a global
+    threshold. *)
+
+type t = {
+  exhaustive_max : int;
+  iterative_max : int;
+  two_pass_total : int;
+  iterative_state_budget : int;
+  force : Search.strategy option;  (** override, for experiments *)
+}
+
+val default : t
+
+val choose : t -> n_objects:int -> total_objects:int -> Search.strategy

@@ -1,0 +1,133 @@
+(** State-space search strategies for cost-based transformation
+    (Section 3.2).
+
+    A {e state} is a bit vector over the N transformation objects: bit i
+    set means object i is transformed. The four strategies of the paper
+    are implemented over an abstract costing callback, which the driver
+    wires to deep-copy + transform + physical optimization:
+
+    - {b Exhaustive}: all 2{^N} states; guaranteed optimal.
+    - {b Iterative}: iterative improvement — hill-climbing from several
+      starting states, always taking the best downward one-bit move,
+      stopping at a local minimum or a state budget; explores between
+      N+1 and 2{^N} states.
+    - {b Linear}: dynamic-programming flavour — decide each object in
+      sequence, keeping a bit only if it lowers the cost; exactly N+1
+      states. Optimal when objects are independent.
+    - {b Two-pass}: just the all-zeros and all-ones states.
+
+    Costs may be infinite ([infinity]) when the optimizer aborts a state
+    through the cost cut-off (Section 3.4.1); such states lose every
+    comparison. The evaluation callback is memoized, so re-visited
+    states (possible under iterative improvement) are not re-costed —
+    and not re-counted. *)
+
+type strategy = Exhaustive | Iterative | Linear | Two_pass
+
+let strategy_name = function
+  | Exhaustive -> "exhaustive"
+  | Iterative -> "iterative"
+  | Linear -> "linear"
+  | Two_pass -> "two-pass"
+
+type result = {
+  r_best : bool list;
+  r_best_cost : float;
+  r_states : int;  (** distinct states costed *)
+  r_trace : (bool list * float) list;  (** evaluation order *)
+}
+
+let mask_to_string mask =
+  "(" ^ String.concat "," (List.map (fun b -> if b then "1" else "0") mask) ^ ")"
+
+(* memoizing wrapper around the costing callback *)
+let memoized eval =
+  let seen : (bool list, float) Hashtbl.t = Hashtbl.create 16 in
+  let states = ref 0 in
+  let trace = ref [] in
+  let f mask =
+    match Hashtbl.find_opt seen mask with
+    | Some c -> c
+    | None ->
+        let c = eval mask in
+        Hashtbl.replace seen mask c;
+        incr states;
+        trace := (mask, c) :: !trace;
+        c
+  in
+  (f, states, trace)
+
+let all_masks n =
+  List.init (1 lsl n) (fun code ->
+      List.init n (fun i -> code land (1 lsl i) <> 0))
+
+let zeros n = List.init n (fun _ -> false)
+let ones n = List.init n (fun _ -> true)
+
+let flip mask i = List.mapi (fun j b -> if j = i then not b else b) mask
+
+let run ?(iterative_max_states = 32) (strategy : strategy) (n : int)
+    (eval : bool list -> float) : result =
+  if n = 0 then
+    { r_best = []; r_best_cost = eval []; r_states = 1; r_trace = [ ([], nan) ] }
+  else
+    let eval, states, trace = memoized eval in
+    let best = ref (zeros n) in
+    let best_cost = ref (eval (zeros n)) in
+    let consider mask =
+      let c = eval mask in
+      if c < !best_cost then (
+        best := mask;
+        best_cost := c)
+    in
+    (match strategy with
+    | Exhaustive -> List.iter consider (all_masks n)
+    | Two_pass -> consider (ones n)
+    | Linear ->
+        (* extend the current decision one object at a time *)
+        let current = ref (zeros n) in
+        for i = 0 to n - 1 do
+          let cand = flip !current i in
+          if eval cand < eval !current then (
+            current := cand;
+            consider cand)
+        done
+    | Iterative ->
+        (* hill-climb from all-zeros and all-ones; best downward
+           neighbour until local minimum or state budget *)
+        let climb start =
+          let cur = ref start in
+          let cur_cost = ref (eval start) in
+          if !cur_cost < !best_cost then (
+            best := !cur;
+            best_cost := !cur_cost);
+          let improved = ref true in
+          while !improved && !states < iterative_max_states do
+            improved := false;
+            let neighbours = List.init n (fun i -> flip !cur i) in
+            let candidates =
+              List.filter_map
+                (fun m ->
+                  if !states >= iterative_max_states then None
+                  else
+                    let c = eval m in
+                    if c < !cur_cost then Some (m, c) else None)
+                neighbours
+            in
+            match
+              List.sort (fun (_, a) (_, b) -> Float.compare a b) candidates
+            with
+            | (m, c) :: _ ->
+                cur := m;
+                cur_cost := c;
+                improved := true;
+                if c < !best_cost then (
+                  best := m;
+                  best_cost := c)
+            | [] -> ()
+          done
+        in
+        climb (zeros n);
+        if !states < iterative_max_states then climb (ones n));
+    { r_best = !best; r_best_cost = !best_cost; r_states = !states;
+      r_trace = List.rev !trace }

@@ -1,0 +1,46 @@
+(** State-space search strategies for cost-based transformation
+    (paper Section 3.2).
+
+    A {e state} is a bit vector over the N transformation objects of one
+    transformation: bit [i] set means object [i] is transformed. Costing
+    is abstracted behind a callback (the driver wires it to deep-copy →
+    transform → physical optimization); evaluations are memoized, so a
+    state revisited by a strategy is neither re-costed nor re-counted. *)
+
+type strategy =
+  | Exhaustive  (** all 2{^N} states; guaranteed optimal *)
+  | Iterative
+      (** iterative improvement: best-downhill hill climbing from the
+          all-zeros and all-ones states, bounded by a state budget *)
+  | Linear  (** decide objects one at a time; exactly N+1 states *)
+  | Two_pass  (** only the all-zeros and all-ones states *)
+
+val strategy_name : strategy -> string
+
+type result = {
+  r_best : bool list;  (** the winning state *)
+  r_best_cost : float;
+  r_states : int;  (** distinct states costed *)
+  r_trace : (bool list * float) list;  (** evaluation order *)
+}
+
+val mask_to_string : bool list -> string
+(** [(0,1,…)] rendering, as in the paper's state notation. *)
+
+val all_masks : int -> bool list list
+(** Every state over [n] objects, in binary-counter order. *)
+
+val zeros : int -> bool list
+val ones : int -> bool list
+
+val run :
+  ?iterative_max_states:int ->
+  strategy ->
+  int ->
+  (bool list -> float) ->
+  result
+(** [run strategy n eval] searches the 2{^n} state space. [eval] may
+    return [infinity] for states aborted by the cost cut-off (Section
+    3.4.1); such states lose every comparison. The all-zeros state is
+    always evaluated first, so the returned best is never worse than
+    the untransformed query. *)

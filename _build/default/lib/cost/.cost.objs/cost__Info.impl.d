@@ -1,0 +1,1 @@
+lib/cost/info.ml: Ast Catalog Float List Sqlir Value

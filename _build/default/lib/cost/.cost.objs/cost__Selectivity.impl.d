@@ -1,0 +1,1 @@
+lib/cost/selectivity.ml: Ast Exec Float Info List Option Sqlir Value

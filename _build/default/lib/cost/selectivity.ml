@@ -1,0 +1,134 @@
+(** Selectivity estimation.
+
+    Classic System-R style rules over {!Info.rel_info}: equality against
+    a constant is 1/NDV, ranges interpolate against column min/max,
+    conjunctions multiply (independence assumption), disjunctions use
+    inclusion–exclusion. The environment passed in covers all visible
+    columns, including outer-scope columns for correlated predicates, so
+    the same rules estimate correlation predicates inside subqueries. *)
+
+open Sqlir
+module A = Ast
+
+let default_eq = 0.01
+let default_range = 0.05
+let default_other = 0.34
+
+let clamp s = Float.max 1e-6 (Float.min 1.0 s)
+
+let frac_of_range (ci : Info.colinfo) ~(lo : Value.t option)
+    ~(hi : Value.t option) =
+  match (Value.to_float ci.ci_min, Value.to_float ci.ci_max) with
+  | Some mn, Some mx when mx > mn ->
+      let width = mx -. mn in
+      let lo_f = match lo with Some v -> Value.to_float v | None -> Some mn in
+      let hi_f = match hi with Some v -> Value.to_float v | None -> Some mx in
+      (match (lo_f, hi_f) with
+      | Some l, Some h ->
+          let l = Float.max mn l and h = Float.min mx h in
+          if h < l then 1e-6 else clamp ((h -. l) /. width)
+      | _ -> default_range)
+  | _ -> default_range
+
+(** Selectivity of comparing column-with-info against a constant. *)
+let cmp_const_sel (ci : Info.colinfo) (op : A.cmp) (v : Value.t) =
+  let not_null = 1. -. ci.ci_null_frac in
+  match op with
+  | A.Eq -> clamp (not_null /. Float.max 1. ci.ci_ndv)
+  | A.Ne -> clamp (not_null *. (1. -. (1. /. Float.max 1. ci.ci_ndv)))
+  | A.Lt | A.Le ->
+      clamp (not_null *. frac_of_range ci ~lo:None ~hi:(Some v))
+  | A.Gt | A.Ge ->
+      clamp (not_null *. frac_of_range ci ~lo:(Some v) ~hi:None)
+
+(** Equi-join selectivity between two columns. *)
+let eq_join_sel (c1 : Info.colinfo) (c2 : Info.colinfo) =
+  clamp
+    ((1. -. c1.ci_null_frac) *. (1. -. c2.ci_null_frac)
+    /. Float.max 1. (Float.max c1.ci_ndv c2.ci_ndv))
+
+(** Estimate the selectivity of [p] against environment [env]. Subquery
+    predicates get a fixed default (they are costed separately by the
+    TIS machinery, but their filtering effect on the stream still needs
+    a guess). *)
+let rec pred_sel (env : Info.rel_info) (p : A.pred) : float =
+  match p with
+  | A.True -> 1.0
+  | A.False -> 1e-6
+  | A.Cmp (op, A.Col c, A.Const v) when Info.find_col env c <> None ->
+      cmp_const_sel (Option.get (Info.find_col env c)) op v
+  | A.Cmp (op, A.Const v, A.Col c) when Info.find_col env c <> None ->
+      cmp_const_sel (Option.get (Info.find_col env c)) (flip op) v
+  | A.Cmp (op, a, b) -> (
+      match (Info.expr_colinfo env a, Info.expr_colinfo env b) with
+      | Some c1, Some c2 when op = A.Eq -> eq_join_sel c1 c2
+      | Some c1, Some c2 when op = A.Ne -> clamp (1. -. eq_join_sel c1 c2)
+      | Some _, Some _ -> default_other
+      | Some ci, None | None, Some ci -> (
+          match op with
+          | A.Eq -> clamp (1. /. Float.max 1. ci.ci_ndv)
+          | A.Ne -> clamp (1. -. (1. /. Float.max 1. ci.ci_ndv))
+          | _ -> default_range *. 4.)
+      | None, None -> (
+          match op with A.Eq -> default_eq | _ -> default_other))
+  | A.Between (a, lo, hi) -> (
+      match Info.expr_colinfo env a with
+      | Some ci -> (
+          match (lo, hi) with
+          | A.Const l, A.Const h ->
+              clamp
+                ((1. -. ci.ci_null_frac)
+                *. frac_of_range ci ~lo:(Some l) ~hi:(Some h))
+          | _ -> default_range)
+      | None -> default_range)
+  | A.Is_null a -> (
+      match Info.expr_colinfo env a with
+      | Some ci -> clamp ci.ci_null_frac
+      | None -> 0.02)
+  | A.Not a -> clamp (1. -. pred_sel env a)
+  | A.Lnnvl a -> clamp (1. -. pred_sel env a)
+  | A.And (a, b) -> clamp (pred_sel env a *. pred_sel env b)
+  | A.Or (a, b) ->
+      let sa = pred_sel env a and sb = pred_sel env b in
+      clamp (sa +. sb -. (sa *. sb))
+  | A.In_list (a, vs) -> (
+      match Info.expr_colinfo env a with
+      | Some ci ->
+          clamp
+            ((1. -. ci.ci_null_frac)
+            *. Float.min 1.
+                 (float_of_int (List.length vs) /. Float.max 1. ci.ci_ndv))
+      | None -> clamp (default_eq *. float_of_int (List.length vs)))
+  | A.In_subq _ | A.Exists _ -> 0.5
+  | A.Not_in_subq _ | A.Not_exists _ -> 0.5
+  | A.Cmp_subq (_, _, None, _) -> default_other
+  | A.Cmp_subq (_, _, Some _, _) -> 0.5
+  | A.Pred_fn (name, _) -> Exec.Funcs.selectivity name
+
+and flip : A.cmp -> A.cmp = function
+  | A.Lt -> A.Gt
+  | A.Le -> A.Ge
+  | A.Gt -> A.Lt
+  | A.Ge -> A.Le
+  | (A.Eq | A.Ne) as op -> op
+
+let conj_sel env ps =
+  List.fold_left (fun acc p -> acc *. pred_sel env p) 1.0 ps
+
+(** Estimated number of distinct value combinations of [exprs] in a
+    stream described by [env] with [rows] rows — the group count
+    estimator, also used for TIS cache-miss estimation. *)
+let distinct_count (env : Info.rel_info) ~rows (exprs : A.expr list) =
+  if exprs = [] then 1.
+  else
+    let ndvs =
+      List.map
+        (fun e ->
+          match Info.expr_colinfo env e with
+          | Some ci -> Float.max 1. ci.ci_ndv
+          | None -> Float.max 1. (rows /. 10.))
+        exprs
+    in
+    let product = List.fold_left ( *. ) 1. ndvs in
+    (* cap by row count: can't have more groups than rows *)
+    Float.max 1. (Float.min product rows)

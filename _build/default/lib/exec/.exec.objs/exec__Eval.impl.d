@@ -1,0 +1,1 @@
+lib/exec/eval.ml: Array Ast Funcs List Meter Option Sqlir String Value

@@ -1,0 +1,1 @@
+lib/exec/executor.ml: Array Ast Eval List Map Meter Option Plan Sqlir Storage Value Walk

@@ -1,0 +1,1 @@
+lib/exec/funcs.ml: Float Hashtbl Sqlir String Value

@@ -1,0 +1,1 @@
+lib/exec/plan.ml: Array Ast Catalog Digest Fmt Funcs List Pp Sqlir String Walk

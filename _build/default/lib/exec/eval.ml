@@ -1,0 +1,169 @@
+(** Compilation of IR expressions and predicates into row-level
+    closures.
+
+    Column references are resolved to (scope depth, position) pairs at
+    compile time against a stack of layouts: the head layout is the
+    operator's own input; the tail holds correlation scopes (outer rows
+    of index nested-loop probes and TIS subquery filters). At run time
+    the closure receives the matching stack of rows.
+
+    Predicate evaluation follows SQL three-valued logic; [None] is the
+    UNKNOWN truth value. Aggregates, window functions and subqueries
+    must have been lowered away by the physical optimizer before
+    compilation; encountering one raises. *)
+
+open Sqlir
+
+type layout = (string * string) array
+type row = Value.t array
+
+exception Unbound_column of string * string
+exception Unlowered of string
+
+(** Resolve a column against a layout stack. *)
+let resolve (scopes : layout list) (c : Ast.col) : int * int =
+  let rec go depth = function
+    | [] -> raise (Unbound_column (c.Ast.c_alias, c.Ast.c_col))
+    | layout :: rest ->
+        let n = Array.length layout in
+        let rec find i =
+          if i >= n then go (depth + 1) rest
+          else
+            let a, col = layout.(i) in
+            if String.equal a c.Ast.c_alias && String.equal col c.Ast.c_col
+            then (depth, i)
+            else find (i + 1)
+        in
+        find 0
+  in
+  go 0 scopes
+
+let fetch (rows : row list) depth i = (List.nth rows depth).(i)
+
+let arith_op : Ast.arith -> _ = function
+  | Ast.Add -> `Add
+  | Ast.Sub -> `Sub
+  | Ast.Mul -> `Mul
+  | Ast.Div -> `Div
+
+let rec compile_expr ~(meter : Meter.t) (scopes : layout list) (e : Ast.expr) :
+    row list -> Value.t =
+  match e with
+  | Ast.Const v -> fun _ -> v
+  | Ast.Col c ->
+      let depth, i = resolve scopes c in
+      fun rows -> fetch rows depth i
+  | Ast.Binop (op, a, b) ->
+      let fa = compile_expr ~meter scopes a
+      and fb = compile_expr ~meter scopes b
+      and op = arith_op op in
+      fun rows -> Value.arith op (fa rows) (fb rows)
+  | Ast.Neg a ->
+      let fa = compile_expr ~meter scopes a in
+      fun rows -> Value.neg (fa rows)
+  | Ast.Agg _ -> raise (Unlowered "aggregate in scalar position")
+  | Ast.Win _ -> raise (Unlowered "window function in scalar position")
+  | Ast.Fn (name, args) ->
+      let def = Funcs.find_exn name in
+      let fargs = List.map (compile_expr ~meter scopes) args in
+      fun rows ->
+        if def.f_expensive then meter.expensive_calls <- meter.expensive_calls + 1;
+        def.f_eval (List.map (fun f -> f rows) fargs)
+  | Ast.Case (arms, els) ->
+      let farms =
+        List.map
+          (fun (p, e) ->
+            (compile_pred ~meter scopes p, compile_expr ~meter scopes e))
+          arms
+      in
+      let fels = Option.map (compile_expr ~meter scopes) els in
+      fun rows ->
+        let rec go = function
+          | [] -> ( match fels with None -> Value.Null | Some f -> f rows)
+          | (fp, fe) :: rest -> (
+              match fp rows with Some true -> fe rows | _ -> go rest)
+        in
+        go farms
+
+and compile_pred ~(meter : Meter.t) (scopes : layout list) (p : Ast.pred) :
+    row list -> bool option =
+  let not3 = function None -> None | Some b -> Some (not b) in
+  let and3 a b =
+    match (a, b) with
+    | Some false, _ | _, Some false -> Some false
+    | Some true, x | x, Some true -> x
+    | None, None -> None
+  in
+  let or3 a b =
+    match (a, b) with
+    | Some true, _ | _, Some true -> Some true
+    | Some false, x | x, Some false -> x
+    | None, None -> None
+  in
+  match p with
+  | Ast.True -> fun _ -> Some true
+  | Ast.False -> fun _ -> Some false
+  | Ast.Cmp (op, a, b) ->
+      let fa = compile_expr ~meter scopes a
+      and fb = compile_expr ~meter scopes b in
+      let test = cmp_test op in
+      fun rows -> Option.map test (Value.compare_sql (fa rows) (fb rows))
+  | Ast.Between (a, lo, hi) ->
+      let fa = compile_expr ~meter scopes a
+      and flo = compile_expr ~meter scopes lo
+      and fhi = compile_expr ~meter scopes hi in
+      fun rows ->
+        let v = fa rows in
+        and3
+          (Option.map (fun c -> c >= 0) (Value.compare_sql v (flo rows)))
+          (Option.map (fun c -> c <= 0) (Value.compare_sql v (fhi rows)))
+  | Ast.Is_null a ->
+      let fa = compile_expr ~meter scopes a in
+      fun rows -> Some (Value.is_null (fa rows))
+  | Ast.Not a ->
+      let fa = compile_pred ~meter scopes a in
+      fun rows -> not3 (fa rows)
+  | Ast.Lnnvl a ->
+      let fa = compile_pred ~meter scopes a in
+      fun rows -> Some (fa rows <> Some true)
+  | Ast.And (a, b) ->
+      let fa = compile_pred ~meter scopes a
+      and fb = compile_pred ~meter scopes b in
+      fun rows -> and3 (fa rows) (fb rows)
+  | Ast.Or (a, b) ->
+      let fa = compile_pred ~meter scopes a
+      and fb = compile_pred ~meter scopes b in
+      fun rows -> or3 (fa rows) (fb rows)
+  | Ast.In_list (e, vs) ->
+      let fe = compile_expr ~meter scopes e in
+      fun rows ->
+        let v = fe rows in
+        if Value.is_null v then None
+        else if List.exists (fun w -> Value.compare_sql v w = Some 0) vs then
+          Some true
+        else if List.exists Value.is_null vs then None
+        else Some false
+  | Ast.Pred_fn (name, args) ->
+      let def = Funcs.find_exn name in
+      let fargs = List.map (compile_expr ~meter scopes) args in
+      fun rows ->
+        if def.f_expensive then meter.expensive_calls <- meter.expensive_calls + 1;
+        (match def.f_eval (List.map (fun f -> f rows) fargs) with
+        | Value.Bool b -> Some b
+        | Value.Null -> None
+        | _ -> Some false)
+  | Ast.In_subq _ | Ast.Not_in_subq _ | Ast.Exists _ | Ast.Not_exists _
+  | Ast.Cmp_subq _ ->
+      raise (Unlowered "subquery predicate reached scalar compilation")
+
+and cmp_test : Ast.cmp -> int -> bool = function
+  | Ast.Eq -> fun c -> c = 0
+  | Ast.Ne -> fun c -> c <> 0
+  | Ast.Lt -> fun c -> c < 0
+  | Ast.Le -> fun c -> c <= 0
+  | Ast.Gt -> fun c -> c > 0
+  | Ast.Ge -> fun c -> c >= 0
+
+(** Evaluate compiled filter conjuncts: a row passes if every conjunct
+    is [Some true]. *)
+let passes fs rows = List.for_all (fun f -> f rows = Some true) fs

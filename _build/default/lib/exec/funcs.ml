@@ -1,0 +1,92 @@
+(** Scalar-function registry.
+
+    Functions are classified as cheap or expensive; the expensive ones
+    model the "procedural language functions [and] user-defined
+    operators" that predicate pullup (Section 2.2.6) reasons about. The
+    executor charges [Meter.w_expensive] work units per expensive call,
+    and the cost model charges the same constant per estimated call, so
+    pullup decisions are genuinely cost-based. *)
+
+open Sqlir
+
+type def = {
+  f_eval : Value.t list -> Value.t;
+  f_expensive : bool;
+  f_selectivity : float;  (** default selectivity when used as predicate *)
+}
+
+let registry : (string, def) Hashtbl.t = Hashtbl.create 16
+
+let register name def = Hashtbl.replace registry (String.lowercase_ascii name) def
+
+let find name = Hashtbl.find_opt registry (String.lowercase_ascii name)
+
+exception Unknown_function of string
+
+let find_exn name =
+  match find name with Some d -> d | None -> raise (Unknown_function name)
+
+let is_expensive name =
+  match find name with Some d -> d.f_expensive | None -> false
+
+let selectivity name =
+  match find name with Some d -> d.f_selectivity | None -> 0.5
+
+let cheap f = { f_eval = f; f_expensive = false; f_selectivity = 0.5 }
+
+let () =
+  register "abs"
+    (cheap (function
+      | [ Value.Int i ] -> Value.Int (abs i)
+      | [ Value.Float f ] -> Value.Float (Float.abs f)
+      | _ -> Value.Null));
+  register "mod"
+    (cheap (function
+      | [ Value.Int a; Value.Int b ] when b <> 0 -> Value.Int (a mod b)
+      | _ -> Value.Null));
+  register "upper"
+    (cheap (function
+      | [ Value.Str s ] -> Value.Str (String.uppercase_ascii s)
+      | _ -> Value.Null));
+  register "lower"
+    (cheap (function
+      | [ Value.Str s ] -> Value.Str (String.lowercase_ascii s)
+      | _ -> Value.Null));
+  register "length"
+    (cheap (function
+      | [ Value.Str s ] -> Value.Int (String.length s)
+      | _ -> Value.Null));
+  register "substr"
+    (cheap (function
+      | [ Value.Str s; Value.Int pos; Value.Int len ] ->
+          let pos = max 1 pos - 1 in
+          if pos >= String.length s then Value.Str ""
+          else Value.Str (String.sub s pos (min len (String.length s - pos)))
+      | _ -> Value.Null));
+  (* Expensive predicates used by the predicate-pullup experiments: a
+     deterministic but non-trivial check standing in for a PL/SQL
+     function. *)
+  register "expensive_check"
+    {
+      f_eval =
+        (function
+        | [ v; Value.Int m ] -> (
+            match v with
+            | Value.Null -> Value.Null
+            | Value.Int i -> Value.Bool (Hashtbl.hash (i, m) mod 97 < 97 * 3 / 10)
+            | Value.Str s -> Value.Bool (Hashtbl.hash (s, m) mod 97 < 97 * 3 / 10)
+            | _ -> Value.Bool false)
+        | _ -> Value.Null);
+      f_expensive = true;
+      f_selectivity = 0.3;
+    };
+  register "expensive_score"
+    {
+      f_eval =
+        (function
+        | [ Value.Null ] -> Value.Null
+        | [ v ] -> Value.Int (Hashtbl.hash v mod 1000)
+        | _ -> Value.Null);
+      f_expensive = true;
+      f_selectivity = 0.5;
+    }

@@ -1,0 +1,1 @@
+lib/planner/annotation.ml: Cost Exec Fmt

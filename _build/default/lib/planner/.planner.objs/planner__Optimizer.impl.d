@@ -1,0 +1,1 @@
+lib/planner/optimizer.ml: Annotation Array Ast Catalog Cost Exec Float Hashtbl List Option Pp Printf Sqlir String Walk

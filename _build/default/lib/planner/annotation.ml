@@ -1,0 +1,19 @@
+(** Cost annotations: the result of physically optimizing a query
+    (sub-)tree.
+
+    These are the objects the CBQT framework reuses across
+    transformation states (Section 3.4.2): when two states share an
+    untransformed subquery, its annotation — plan, cost, cardinality,
+    output properties — is computed once and reused, which is what keeps
+    exhaustive search affordable (Table 2). *)
+
+type t = {
+  an_plan : Exec.Plan.t;
+  an_cost : float;  (** estimated total work units *)
+  an_rows : float;  (** estimated output cardinality *)
+  an_info : Cost.Info.rel_info;  (** output column properties *)
+}
+
+let pp ppf a =
+  Fmt.pf ppf "cost=%.1f rows=%.1f@.%a" a.an_cost a.an_rows
+    (Exec.Plan.pp ~indent:1) a.an_plan

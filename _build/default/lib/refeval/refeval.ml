@@ -1,0 +1,552 @@
+(** Reference evaluator: a naive, direct interpreter of query trees.
+
+    This module defines the semantics of the IR. It performs no
+    optimization whatsoever — subqueries always run with tuple iteration
+    semantics, joins are nested loops over cross products, and nothing
+    is indexed or cached. It exists so that the physical optimizer, the
+    executor and every transformation can be validated against an
+    independent, obviously-correct implementation: for any query [q] and
+    any transformation [T], [eval q = eval (T q)] and
+    [eval q = execute (optimize q)] must hold as multisets.
+
+    Do not use it for anything but testing: it is exponential in the
+    number of FROM entries. *)
+
+open Sqlir
+module A = Ast
+module V = Value
+
+exception Eval_error of string
+
+(** A binding environment: alias -> (column -> value). *)
+type env = (string * (string * V.t) list) list
+
+type result = { cols : string list; rows : V.t list list }
+
+let lookup (env : env) (c : A.col) : V.t =
+  match List.assoc_opt c.A.c_alias env with
+  | None -> raise (Eval_error (Printf.sprintf "unbound alias %s" c.A.c_alias))
+  | Some cols -> (
+      match List.assoc_opt c.A.c_col cols with
+      | None ->
+          raise
+            (Eval_error
+               (Printf.sprintf "unbound column %s.%s" c.A.c_alias c.A.c_col))
+      | Some v -> v)
+
+let not3 = function None -> None | Some b -> Some (not b)
+
+let and3 a b =
+  match (a, b) with
+  | Some false, _ | _, Some false -> Some false
+  | Some true, x | x, Some true -> x
+  | None, None -> None
+
+let or3 a b =
+  match (a, b) with
+  | Some true, _ | _, Some true -> Some true
+  | Some false, x | x, Some false -> x
+  | None, None -> None
+
+let cmp_test : A.cmp -> int -> bool = function
+  | A.Eq -> fun c -> c = 0
+  | A.Ne -> fun c -> c <> 0
+  | A.Lt -> fun c -> c < 0
+  | A.Le -> fun c -> c <= 0
+  | A.Gt -> fun c -> c > 0
+  | A.Ge -> fun c -> c >= 0
+
+let arith_op : A.arith -> _ = function
+  | A.Add -> `Add
+  | A.Sub -> `Sub
+  | A.Mul -> `Mul
+  | A.Div -> `Div
+
+(* Rows of a group, for aggregate evaluation: list of envs. *)
+let rec eval_expr (db : Storage.Db.t) (env : env) ?(group : env list option)
+    (e : A.expr) : V.t =
+  match e with
+  | A.Const v -> v
+  | A.Col c -> lookup env c
+  | A.Binop (op, a, b) ->
+      V.arith (arith_op op) (eval_expr db env ?group a) (eval_expr db env ?group b)
+  | A.Neg a -> V.neg (eval_expr db env ?group a)
+  | A.Fn (n, args) ->
+      let def = Exec.Funcs.find_exn n in
+      def.f_eval (List.map (eval_expr db env ?group) args)
+  | A.Case (arms, els) -> (
+      let rec go = function
+        | [] -> (
+            match els with None -> V.Null | Some e -> eval_expr db env ?group e)
+        | (p, e) :: rest -> (
+            match eval_pred db env ?group p with
+            | Some true -> eval_expr db env ?group e
+            | _ -> go rest)
+      in
+      go arms)
+  | A.Agg (a, arg, dist) -> (
+      match group with
+      | None -> raise (Eval_error "aggregate outside grouping context")
+      | Some members -> eval_agg db a arg dist members)
+  | A.Win _ -> raise (Eval_error "window function in scalar context")
+
+and eval_agg db (a : A.agg) (arg : A.expr option) (dist : bool)
+    (members : env list) : V.t =
+  match a with
+  | A.Count_star -> V.Int (List.length members)
+  | _ ->
+      let arg =
+        match arg with
+        | Some e -> e
+        | None -> raise (Eval_error "aggregate without argument")
+      in
+      let vals =
+        List.filter
+          (fun v -> not (V.is_null v))
+          (List.map (fun env -> eval_expr db env arg) members)
+      in
+      let vals =
+        if not dist then vals
+        else
+          List.sort_uniq V.compare_total vals
+      in
+      let fold op init =
+        match vals with
+        | [] -> V.Null
+        | v :: rest -> List.fold_left op (init v) rest
+      in
+      (match a with
+      | A.Count -> V.Int (List.length vals)
+      | A.Sum -> fold (fun acc v -> V.arith `Add acc v) Fun.id
+      | A.Min ->
+          fold (fun acc v -> if V.compare_total v acc < 0 then v else acc) Fun.id
+      | A.Max ->
+          fold (fun acc v -> if V.compare_total v acc > 0 then v else acc) Fun.id
+      | A.Avg -> (
+          match vals with
+          | [] -> V.Null
+          | _ ->
+              let sum =
+                List.fold_left (fun acc v -> V.arith `Add acc v) (List.hd vals)
+                  (List.tl vals)
+              in
+              V.arith `Div sum (V.Int (List.length vals)))
+      | A.Count_star -> assert false)
+
+and eval_pred db (env : env) ?(group : env list option) (p : A.pred) :
+    bool option =
+  match p with
+  | A.True -> Some true
+  | A.False -> Some false
+  | A.Cmp (op, a, b) ->
+      Option.map (cmp_test op)
+        (V.compare_sql (eval_expr db env ?group a) (eval_expr db env ?group b))
+  | A.Between (a, lo, hi) ->
+      let v = eval_expr db env ?group a in
+      and3
+        (Option.map (fun c -> c >= 0) (V.compare_sql v (eval_expr db env ?group lo)))
+        (Option.map (fun c -> c <= 0) (V.compare_sql v (eval_expr db env ?group hi)))
+  | A.Is_null a -> Some (V.is_null (eval_expr db env ?group a))
+  | A.Not a -> not3 (eval_pred db env ?group a)
+  | A.Lnnvl a -> Some (eval_pred db env ?group a <> Some true)
+  | A.And (a, b) -> and3 (eval_pred db env ?group a) (eval_pred db env ?group b)
+  | A.Or (a, b) -> or3 (eval_pred db env ?group a) (eval_pred db env ?group b)
+  | A.In_list (a, vs) ->
+      let v = eval_expr db env ?group a in
+      if V.is_null v then None
+      else if List.exists (fun w -> V.compare_sql v w = Some 0) vs then Some true
+      else if List.exists V.is_null vs then None
+      else Some false
+  | A.Pred_fn (n, args) -> (
+      let def = Exec.Funcs.find_exn n in
+      match def.f_eval (List.map (eval_expr db env ?group) args) with
+      | V.Bool b -> Some b
+      | V.Null -> None
+      | _ -> Some false)
+  | A.Exists q -> Some ((eval_query db env q).rows <> [])
+  | A.Not_exists q -> Some ((eval_query db env q).rows = [])
+  | A.In_subq (es, q) ->
+      let lvals = List.map (eval_expr db env ?group) es in
+      in_semantics lvals (eval_query db env q).rows
+  | A.Not_in_subq (es, q) ->
+      let lvals = List.map (eval_expr db env ?group) es in
+      not3 (in_semantics lvals (eval_query db env q).rows)
+  | A.Cmp_subq (op, lhs, quant, q) -> (
+      let lval = eval_expr db env ?group lhs in
+      let inner = (eval_query db env q).rows in
+      let cmp1 row =
+        match row with
+        | v :: _ -> Option.map (cmp_test op) (V.compare_sql lval v)
+        | [] -> raise (Eval_error "empty subquery row")
+      in
+      match quant with
+      | None -> (
+          match inner with
+          | [] -> None
+          | [ r ] -> cmp1 r
+          | _ -> raise (Eval_error "scalar subquery returned more than one row"))
+      | Some A.Q_any ->
+          List.fold_left (fun acc r -> or3 acc (cmp1 r)) (Some false) inner
+      | Some A.Q_all ->
+          List.fold_left (fun acc r -> and3 acc (cmp1 r)) (Some true) inner)
+
+and in_semantics (lvals : V.t list) (rows : V.t list list) : bool option =
+  let match3 (row : V.t list) : bool option =
+    let rec go ls rs =
+      match (ls, rs) with
+      | [], _ -> Some true
+      | l :: ls', r :: rs' -> (
+          match V.compare_sql l r with
+          | Some 0 -> go ls' rs'
+          | Some _ -> Some false
+          | None -> ( match go ls' rs' with Some false -> Some false | _ -> None))
+      | _, [] -> Some false
+    in
+    go lvals row
+  in
+  List.fold_left (fun acc r -> or3 acc (match3 r)) (Some false) rows
+
+(* ------------------------------------------------------------------ *)
+(* FROM evaluation                                                      *)
+(* ------------------------------------------------------------------ *)
+
+and source_rows db (env : env) (s : A.source) : (string * V.t) list list =
+  match s with
+  | A.S_table tname ->
+      let rel = Storage.Db.relation db tname in
+      let schema = Array.to_list rel.Storage.Relation.r_schema in
+      List.map
+        (fun tup -> List.combine schema (Array.to_list tup))
+        (Array.to_list rel.Storage.Relation.r_rows)
+  | A.S_view q ->
+      let r = eval_query db env q in
+      List.map (fun row -> List.combine r.cols row) r.rows
+
+and eval_from db (env : env) (entries : A.from_entry list) : env list =
+  List.fold_left
+    (fun (bindings : env list) (fe : A.from_entry) ->
+      let kind = fe.A.fe_kind in
+      List.concat_map
+        (fun (b : env) ->
+          let rows = source_rows db (b @ env) fe.A.fe_source in
+          let with_row row = (fe.A.fe_alias, row) :: b in
+          let cond_holds row =
+            List.for_all
+              (fun p -> eval_pred db (with_row row @ env) p = Some true)
+              fe.A.fe_cond
+          in
+          match kind with
+          | A.J_inner -> List.map with_row rows
+          | A.J_left ->
+              let matches = List.filter cond_holds rows in
+              if matches = [] then
+                let null_row =
+                  match rows with
+                  | r :: _ -> List.map (fun (c, _) -> (c, V.Null)) r
+                  | [] ->
+                      (* need the view schema even when empty *)
+                      (match fe.A.fe_source with
+                      | A.S_table tname ->
+                          let rel = Storage.Db.relation db tname in
+                          List.map
+                            (fun c -> (c, V.Null))
+                            (Array.to_list rel.Storage.Relation.r_schema)
+                      | A.S_view q ->
+                          List.map
+                            (fun c -> (c, V.Null))
+                            (eval_query db (b @ env) q).cols)
+                in
+                [ with_row null_row ]
+              else List.map with_row matches
+          | A.J_semi -> if List.exists cond_holds rows then [ b ] else []
+          | A.J_anti -> if List.exists cond_holds rows then [] else [ b ]
+          | A.J_anti_na ->
+              (* NOT IN semantics: survive only if every row definitely
+                 fails the condition *)
+              let possible row =
+                List.for_all
+                  (fun p ->
+                    match eval_pred db (with_row row @ env) p with
+                    | Some false -> false
+                    | _ -> true)
+                  fe.A.fe_cond
+              in
+              if List.exists possible rows then [] else [ b ])
+        bindings)
+    [ [] ] entries
+
+(* ------------------------------------------------------------------ *)
+(* Query evaluation                                                     *)
+(* ------------------------------------------------------------------ *)
+
+and eval_block db (env : env) (b : A.block) : result =
+  let bindings = eval_from db env b.A.from in
+  let bindings =
+    List.filter
+      (fun bd ->
+        List.for_all (fun p -> eval_pred db (bd @ env) p = Some true) b.A.where)
+      bindings
+  in
+  let cols = List.map (fun si -> si.A.si_name) b.A.select in
+  let has_agg = Walk.block_has_agg b in
+  let rows_with_sortkeys =
+    if has_agg then (
+      (* group *)
+      let keyed =
+        List.map
+          (fun bd ->
+            (List.map (fun e -> eval_expr db (bd @ env) e) b.A.group_by, bd))
+          bindings
+      in
+      let groups : (V.t list * env list) list =
+        List.fold_left
+          (fun acc (k, bd) ->
+            let rec add = function
+              | [] -> [ (k, [ bd ]) ]
+              | (k', bds) :: rest ->
+                  if List.compare V.compare_total k k' = 0 then
+                    (k', bds @ [ bd ]) :: rest
+                  else (k', bds) :: add rest
+            in
+            add acc)
+          [] keyed
+      in
+      let groups =
+        if b.A.group_by = [] && groups = [] then [ ([], []) ] else groups
+      in
+      List.filter_map
+        (fun (_, members) ->
+          let repr_env =
+            match members with bd :: _ -> bd @ env | [] -> env
+          in
+          let genv = List.map (fun bd -> bd @ env) members in
+          let having_ok =
+            List.for_all
+              (fun p -> eval_pred db repr_env ~group:genv p = Some true)
+              b.A.having
+          in
+          if not having_ok then None
+          else
+            let row =
+              List.map
+                (fun si -> eval_expr db repr_env ~group:genv si.A.si_expr)
+                b.A.select
+            in
+            let keys =
+              List.map
+                (fun (e, _) -> eval_expr db repr_env ~group:genv e)
+                b.A.order_by
+            in
+            Some (row, keys))
+        groups)
+    else if Walk.block_has_win b then eval_with_windows db env b bindings
+    else
+      List.map
+        (fun bd ->
+          ( List.map (fun si -> eval_expr db (bd @ env) si.A.si_expr) b.A.select,
+            List.map (fun (e, _) -> eval_expr db (bd @ env) e) b.A.order_by ))
+        bindings
+  in
+  (* order by *)
+  let sorted =
+    if b.A.order_by = [] then List.map fst rows_with_sortkeys
+    else
+      let dirs = List.map snd b.A.order_by in
+      List.map fst
+        (List.stable_sort
+           (fun (_, k1) (_, k2) ->
+             let rec go ks1 ks2 ds =
+               match (ks1, ks2, ds) with
+               | [], [], _ -> 0
+               | v1 :: t1, v2 :: t2, d :: ds' ->
+                   let c = V.compare_total v1 v2 in
+                   let c = match d with A.Asc -> c | A.Desc -> -c in
+                   if c <> 0 then c else go t1 t2 ds'
+               | v1 :: t1, v2 :: t2, [] ->
+                   let c = V.compare_total v1 v2 in
+                   if c <> 0 then c else go t1 t2 []
+               | _ -> 0
+             in
+             go k1 k2 dirs)
+           rows_with_sortkeys)
+  in
+  let distincted =
+    if not b.A.distinct then sorted
+    else
+      let seen = Hashtbl.create 16 in
+      List.filter
+        (fun row ->
+          let key =
+            String.concat "|" (List.map V.to_string row)
+          in
+          if Hashtbl.mem seen key then false
+          else (
+            Hashtbl.add seen key ();
+            true))
+        sorted
+  in
+  let limited =
+    match b.A.limit with
+    | None -> distincted
+    | Some n -> List.filteri (fun i _ -> i < n) distincted
+  in
+  { cols; rows = limited }
+
+and eval_with_windows db env (b : A.block) (bindings : env list) :
+    (V.t list * V.t list) list =
+  (* Evaluate window terms per binding, then select items with window
+     occurrences replaced. *)
+  let win_terms =
+    List.fold_left
+      (fun acc si ->
+        let rec collect acc e =
+          match e with
+          | A.Win _ -> if List.mem e acc then acc else acc @ [ e ]
+          | A.Binop (_, a, b) -> collect (collect acc a) b
+          | A.Neg a -> collect acc a
+          | A.Fn (_, args) -> List.fold_left collect acc args
+          | A.Case (arms, els) ->
+              let acc =
+                List.fold_left (fun acc (_, e) -> collect acc e) acc arms
+              in
+              (match els with None -> acc | Some e -> collect acc e)
+          | _ -> acc
+        in
+        collect acc si.A.si_expr)
+      [] b.A.select
+  in
+  let indexed = List.mapi (fun i bd -> (i, bd)) bindings in
+  let values : (A.expr * V.t array) list =
+    List.map
+      (fun term ->
+        match term with
+        | A.Win (a, arg, w) ->
+            let store = Array.make (List.length bindings) V.Null in
+            (* partition *)
+            let parts : (V.t list * (int * env) list) list =
+              List.fold_left
+                (fun acc (i, bd) ->
+                  let pk =
+                    List.map (fun e -> eval_expr db (bd @ env) e) w.A.w_pby
+                  in
+                  let rec add = function
+                    | [] -> [ (pk, [ (i, bd) ]) ]
+                    | (pk', ms) :: rest ->
+                        if List.compare V.compare_total pk pk' = 0 then
+                          (pk', ms @ [ (i, bd) ]) :: rest
+                        else (pk', ms) :: add rest
+                  in
+                  add acc)
+                [] indexed
+            in
+            List.iter
+              (fun (_, members) ->
+                let okeys (_, bd) =
+                  List.map (fun (e, _) -> eval_expr db (bd @ env) e) w.A.w_oby
+                in
+                let dirs = List.map snd w.A.w_oby in
+                let sorted =
+                  List.stable_sort
+                    (fun m1 m2 ->
+                      let rec go ks1 ks2 ds =
+                        match (ks1, ks2, ds) with
+                        | [], [], _ -> 0
+                        | v1 :: t1, v2 :: t2, d :: ds' ->
+                            let c = V.compare_total v1 v2 in
+                            let c = match d with A.Asc -> c | A.Desc -> -c in
+                            if c <> 0 then c else go t1 t2 ds'
+                        | v1 :: t1, v2 :: t2, [] ->
+                            let c = V.compare_total v1 v2 in
+                            if c <> 0 then c else go t1 t2 []
+                        | _ -> 0
+                      in
+                      go (okeys m1) (okeys m2) dirs)
+                    members
+                in
+                (* cumulative with peers *)
+                let rec walk seen rest =
+                  match rest with
+                  | [] -> ()
+                  | ((_, _) :: _ as all) -> (
+                      let k1 = okeys (List.hd all) in
+                      let peers, others =
+                        List.partition
+                          (fun m ->
+                            List.compare V.compare_total (okeys m) k1 = 0)
+                          all
+                      in
+                      let upto = seen @ peers in
+                      let genv = List.map (fun (_, bd) -> bd @ env) upto in
+                      let v = eval_agg db a arg false genv in
+                      let v =
+                        match (a, arg) with
+                        | A.Count_star, _ -> V.Int (List.length upto)
+                        | _ -> v
+                      in
+                      List.iter (fun (i, _) -> store.(i) <- v) peers;
+                      walk upto others)
+                in
+                walk [] sorted)
+              parts;
+            (term, store)
+        | _ -> assert false)
+      win_terms
+  in
+  List.map
+    (fun (i, bd) ->
+      let rec subst e =
+        match List.assoc_opt e values with
+        | Some store -> A.Const store.(i)
+        | None -> (
+            match e with
+            | A.Binop (op, a, b) -> A.Binop (op, subst a, subst b)
+            | A.Neg a -> A.Neg (subst a)
+            | A.Fn (n, args) -> A.Fn (n, List.map subst args)
+            | A.Case (arms, els) ->
+                A.Case
+                  ( List.map (fun (p, e) -> (p, subst e)) arms,
+                    Option.map subst els )
+            | e -> e)
+      in
+      ( List.map (fun si -> eval_expr db (bd @ env) (subst si.A.si_expr)) b.A.select,
+        List.map (fun (e, _) -> eval_expr db (bd @ env) (subst e)) b.A.order_by ))
+    indexed
+
+and eval_query db (env : env) (q : A.query) : result =
+  match q with
+  | A.Block b -> eval_block db env b
+  | A.Setop (op, l, r) -> (
+      let rl = eval_query db env l in
+      let rr = eval_query db env r in
+      let dedup rows =
+        List.rev
+          (List.fold_left
+             (fun acc row ->
+               if List.exists (fun r -> List.compare V.compare_total r row = 0) acc
+               then acc
+               else row :: acc)
+             [] rows)
+      in
+      let mem rows row =
+        List.exists (fun r -> List.compare V.compare_total r row = 0) rows
+      in
+      match op with
+      | A.Union_all -> { rl with rows = rl.rows @ rr.rows }
+      | A.Union -> { rl with rows = dedup (rl.rows @ rr.rows) }
+      | A.Intersect ->
+          { rl with rows = dedup (List.filter (mem rr.rows) rl.rows) }
+      | A.Minus ->
+          {
+            rl with
+            rows = dedup (List.filter (fun r -> not (mem rr.rows r)) rl.rows);
+          })
+
+(** Evaluate a top-level query. *)
+let eval (db : Storage.Db.t) (q : A.query) : result = eval_query db [] q
+
+(** Multiset equality of two results (ignoring column names and any
+    final ordering). *)
+let rows_equal (r1 : result) (r2 : result) : bool =
+  let norm r = List.sort (List.compare V.compare_total) r.rows in
+  List.length r1.rows = List.length r2.rows
+  && List.compare (List.compare V.compare_total) (norm r1) (norm r2) = 0

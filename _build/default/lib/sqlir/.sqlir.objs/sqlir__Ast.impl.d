@@ -1,0 +1,1 @@
+lib/sqlir/ast.ml: List Value

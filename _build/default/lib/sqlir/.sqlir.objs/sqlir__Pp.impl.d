@@ -1,0 +1,1 @@
+lib/sqlir/pp.ml: Ast Fmt Value

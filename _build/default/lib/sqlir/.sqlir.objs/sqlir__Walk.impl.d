@@ -1,0 +1,1 @@
+lib/sqlir/walk.ml: Ast List Option Printf Set Stdlib String

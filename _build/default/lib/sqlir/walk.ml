@@ -1,0 +1,446 @@
+(** Generic traversals over the query-tree IR: column collection, alias
+    substitution and renaming, correlation analysis.
+
+    These are the workhorses behind the transformations of Section 2 —
+    view merging substitutes view-output columns by their defining
+    expressions, unnesting renames aliases to keep them unique within a
+    statement, and legality checks need to know which outer aliases a
+    subquery is correlated to. *)
+
+open Ast
+
+module Sset = Set.Make (String)
+
+(* ------------------------------------------------------------------ *)
+(* Folds over columns.                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(** Fold [f] over every column reference in [e], including those inside
+    window specifications and CASE arms. Does not descend into
+    subqueries (expressions cannot contain subqueries; predicates can). *)
+let rec fold_expr_cols f acc e =
+  match e with
+  | Const _ -> acc
+  | Col c -> f acc c
+  | Binop (_, a, b) -> fold_expr_cols f (fold_expr_cols f acc a) b
+  | Neg a -> fold_expr_cols f acc a
+  | Agg (_, eo, _) -> (
+      match eo with None -> acc | Some a -> fold_expr_cols f acc a)
+  | Win (_, eo, w) ->
+      let acc =
+        match eo with None -> acc | Some a -> fold_expr_cols f acc a
+      in
+      let acc = List.fold_left (fold_expr_cols f) acc w.w_pby in
+      List.fold_left (fun acc (e, _) -> fold_expr_cols f acc e) acc w.w_oby
+  | Fn (_, args) -> List.fold_left (fold_expr_cols f) acc args
+  | Case (arms, els) ->
+      let acc =
+        List.fold_left
+          (fun acc (p, e) -> fold_expr_cols f (fold_pred_cols ~deep:false f acc p) e)
+          acc arms
+      in
+      (match els with None -> acc | Some e -> fold_expr_cols f acc e)
+
+(** Fold [f] over column references in [p]. When [deep] is true, also
+    descends into subqueries (their blocks' own expressions and
+    predicates), which is what correlation analysis needs. *)
+and fold_pred_cols ~deep f acc p =
+  let fe = fold_expr_cols f in
+  let fq acc q = if deep then fold_query_cols f acc q else acc in
+  match p with
+  | True | False -> acc
+  | Cmp (_, a, b) -> fe (fe acc a) b
+  | Between (a, b, c) -> fe (fe (fe acc a) b) c
+  | Is_null a -> fe acc a
+  | Not a | Lnnvl a -> fold_pred_cols ~deep f acc a
+  | And (a, b) | Or (a, b) ->
+      fold_pred_cols ~deep f (fold_pred_cols ~deep f acc a) b
+  | In_list (a, _) -> fe acc a
+  | In_subq (es, q) | Not_in_subq (es, q) -> fq (List.fold_left fe acc es) q
+  | Exists q | Not_exists q -> fq acc q
+  | Cmp_subq (_, a, _, q) -> fq (fe acc a) q
+  | Pred_fn (_, args) -> List.fold_left fe acc args
+
+and fold_block_cols f acc (b : block) =
+  let acc = List.fold_left (fun acc si -> fold_expr_cols f acc si.si_expr) acc b.select in
+  let acc =
+    List.fold_left
+      (fun acc fe ->
+        let acc =
+          match fe.fe_source with
+          | S_table _ -> acc
+          | S_view q -> fold_query_cols f acc q
+        in
+        List.fold_left (fold_pred_cols ~deep:true f) acc fe.fe_cond)
+      acc b.from
+  in
+  let acc = List.fold_left (fold_pred_cols ~deep:true f) acc b.where in
+  let acc = List.fold_left (fold_expr_cols f) acc b.group_by in
+  let acc = List.fold_left (fold_pred_cols ~deep:true f) acc b.having in
+  List.fold_left (fun acc (e, _) -> fold_expr_cols f acc e) acc b.order_by
+
+and fold_query_cols f acc = function
+  | Block b -> fold_block_cols f acc b
+  | Setop (_, l, r) -> fold_query_cols f (fold_query_cols f acc l) r
+
+let expr_cols e = List.rev (fold_expr_cols (fun acc c -> c :: acc) [] e)
+let pred_cols ?(deep = false) p =
+  List.rev (fold_pred_cols ~deep (fun acc c -> c :: acc) [] p)
+
+let expr_aliases e =
+  fold_expr_cols (fun s c -> Sset.add c.c_alias s) Sset.empty e
+
+let pred_aliases ?(deep = false) p =
+  fold_pred_cols ~deep (fun s c -> Sset.add c.c_alias s) Sset.empty p
+
+(* ------------------------------------------------------------------ *)
+(* Mapping over expressions / predicates / queries.                    *)
+(* ------------------------------------------------------------------ *)
+
+(** Rewrite every column reference with [f]; descends into subqueries so
+    correlated references are rewritten too (needed when a containing
+    view is merged and its aliases change). *)
+let rec map_expr_cols f e =
+  let me = map_expr_cols f in
+  match e with
+  | Const _ -> e
+  | Col c -> f c
+  | Binop (op, a, b) -> Binop (op, me a, me b)
+  | Neg a -> Neg (me a)
+  | Agg (a, eo, d) -> Agg (a, Option.map me eo, d)
+  | Win (a, eo, w) ->
+      Win
+        ( a,
+          Option.map me eo,
+          {
+            w_pby = List.map me w.w_pby;
+            w_oby = List.map (fun (e, d) -> (me e, d)) w.w_oby;
+          } )
+  | Fn (n, args) -> Fn (n, List.map me args)
+  | Case (arms, els) ->
+      Case
+        ( List.map (fun (p, e) -> (map_pred_cols f p, me e)) arms,
+          Option.map me els )
+
+and map_pred_cols f p =
+  let me = map_expr_cols f and mp = map_pred_cols f in
+  let mq = map_query_cols f in
+  match p with
+  | True | False -> p
+  | Cmp (op, a, b) -> Cmp (op, me a, me b)
+  | Between (a, b, c) -> Between (me a, me b, me c)
+  | Is_null a -> Is_null (me a)
+  | Not a -> Not (mp a)
+  | Lnnvl a -> Lnnvl (mp a)
+  | And (a, b) -> And (mp a, mp b)
+  | Or (a, b) -> Or (mp a, mp b)
+  | In_list (a, vs) -> In_list (me a, vs)
+  | In_subq (es, q) -> In_subq (List.map me es, mq q)
+  | Not_in_subq (es, q) -> Not_in_subq (List.map me es, mq q)
+  | Exists q -> Exists (mq q)
+  | Not_exists q -> Not_exists (mq q)
+  | Cmp_subq (op, a, qt, q) -> Cmp_subq (op, me a, qt, mq q)
+  | Pred_fn (n, args) -> Pred_fn (n, List.map me args)
+
+and map_block_cols f (b : block) =
+  {
+    b with
+    select = List.map (fun si -> { si with si_expr = map_expr_cols f si.si_expr }) b.select;
+    from =
+      List.map
+        (fun fe ->
+          {
+            fe with
+            fe_source =
+              (match fe.fe_source with
+              | S_table t -> S_table t
+              | S_view q -> S_view (map_query_cols f q));
+            fe_cond = List.map (map_pred_cols f) fe.fe_cond;
+          })
+        b.from;
+    where = List.map (map_pred_cols f) b.where;
+    group_by = List.map (map_expr_cols f) b.group_by;
+    having = List.map (map_pred_cols f) b.having;
+    order_by = List.map (fun (e, d) -> (map_expr_cols f e, d)) b.order_by;
+  }
+
+and map_query_cols f = function
+  | Block b -> Block (map_block_cols f b)
+  | Setop (op, l, r) -> Setop (op, map_query_cols f l, map_query_cols f r)
+
+(** Substitute columns of a given alias by expressions ([subst] maps a
+    column name to its replacement); other columns are untouched. Used by
+    view merging and predicate pushdown. Raises [Not_found] if a column
+    of [alias] has no entry in [subst]. *)
+let substitute_alias ~alias ~(subst : (string * expr) list) =
+  map_pred_cols (fun c ->
+      if String.equal c.c_alias alias then List.assoc c.c_col subst else Col c)
+
+let substitute_alias_expr ~alias ~subst =
+  map_expr_cols (fun c ->
+      if String.equal c.c_alias alias then List.assoc c.c_col subst else Col c)
+
+(** Rename table aliases throughout a query according to [f]. *)
+let rename_aliases f q =
+  let rec ren_q q =
+    match q with
+    | Block b -> Block (ren_b b)
+    | Setop (op, l, r) -> Setop (op, ren_q l, ren_q r)
+  and ren_b b =
+    let b =
+      map_block_cols (fun c -> Col { c with c_alias = f c.c_alias }) b
+    in
+    {
+      b with
+      from =
+        List.map
+          (fun fe ->
+            {
+              fe with
+              fe_alias = f fe.fe_alias;
+              fe_source =
+                (match fe.fe_source with
+                | S_table t -> S_table t
+                | S_view v -> S_view (ren_q v));
+            })
+          b.from;
+    }
+  in
+  ren_q q
+
+(* ------------------------------------------------------------------ *)
+(* Alias scoping and correlation.                                      *)
+(* ------------------------------------------------------------------ *)
+
+(** Aliases defined by the FROM clause of [b]. *)
+let defined_aliases (b : block) =
+  List.fold_left (fun s fe -> Sset.add fe.fe_alias s) Sset.empty b.from
+
+(** All aliases defined anywhere inside [q], including nested views and
+    subqueries. Used to generate fresh alias names. *)
+let rec all_aliases_query acc = function
+  | Setop (_, l, r) -> all_aliases_query (all_aliases_query acc l) r
+  | Block b ->
+      let acc =
+        List.fold_left
+          (fun acc fe ->
+            let acc = Sset.add fe.fe_alias acc in
+            let acc =
+              match fe.fe_source with
+              | S_table _ -> acc
+              | S_view v -> all_aliases_query acc v
+            in
+            List.fold_left
+              (fun acc p -> subq_aliases acc p)
+              acc fe.fe_cond)
+          acc b.from
+      in
+      let acc = List.fold_left subq_aliases acc b.where in
+      List.fold_left subq_aliases acc b.having
+
+and subq_aliases acc p =
+  match p with
+  | In_subq (_, q) | Not_in_subq (_, q) | Exists q | Not_exists q
+  | Cmp_subq (_, _, _, q) ->
+      all_aliases_query acc q
+  | Not a | Lnnvl a -> subq_aliases acc a
+  | And (a, b) | Or (a, b) -> subq_aliases (subq_aliases acc a) b
+  | _ -> acc
+
+(** Free aliases of a query: aliases referenced but not defined by any
+    enclosing FROM within [q]. A non-empty result means the query is
+    correlated to its outer query block(s). *)
+let free_aliases (q : query) : Sset.t =
+  let rec free_q bound q =
+    match q with
+    | Setop (_, l, r) -> Sset.union (free_q bound l) (free_q bound r)
+    | Block b ->
+        let bound' = Sset.union bound (defined_aliases b) in
+        let add_cols acc e =
+          fold_expr_cols
+            (fun s c -> if Sset.mem c.c_alias bound' then s else Sset.add c.c_alias s)
+            acc e
+        in
+        let add_pred acc p =
+          let shallow =
+            fold_pred_cols ~deep:false
+              (fun s c ->
+                if Sset.mem c.c_alias bound' then s else Sset.add c.c_alias s)
+              acc p
+          in
+          List.fold_left
+            (fun s q -> Sset.union s (free_q bound' q))
+            shallow (pred_subqueries p)
+        in
+        let acc = List.fold_left (fun acc si -> add_cols acc si.si_expr) Sset.empty b.select in
+        let acc =
+          List.fold_left
+            (fun acc fe ->
+              let acc =
+                match fe.fe_source with
+                | S_table _ -> acc
+                | S_view v -> Sset.union acc (free_q bound' v)
+              in
+              List.fold_left add_pred acc fe.fe_cond)
+            acc b.from
+        in
+        let acc = List.fold_left add_pred acc b.where in
+        let acc = List.fold_left add_cols acc b.group_by in
+        let acc = List.fold_left add_pred acc b.having in
+        List.fold_left (fun acc (e, _) -> add_cols acc e) acc b.order_by
+
+  and pred_subqueries p =
+    match p with
+    | In_subq (_, q) | Not_in_subq (_, q) | Exists q | Not_exists q
+    | Cmp_subq (_, _, _, q) ->
+        [ q ]
+    | Not a | Lnnvl a -> pred_subqueries a
+    | And (a, b) | Or (a, b) -> pred_subqueries a @ pred_subqueries b
+    | _ -> []
+  in
+  free_q Sset.empty q
+
+let is_correlated q = not (Sset.is_empty (free_aliases q))
+
+(** Direct subqueries of a predicate (no recursion into them). *)
+let rec pred_subqueries p =
+  match p with
+  | In_subq (_, q) | Not_in_subq (_, q) | Exists q | Not_exists q
+  | Cmp_subq (_, _, _, q) ->
+      [ q ]
+  | Not a | Lnnvl a -> pred_subqueries a
+  | And (a, b) | Or (a, b) -> pred_subqueries a @ pred_subqueries b
+  | _ -> []
+
+let pred_has_subquery p = pred_subqueries p <> []
+
+(* ------------------------------------------------------------------ *)
+(* Shape predicates.                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let rec expr_has_agg = function
+  | Agg _ -> true
+  | Const _ | Col _ -> false
+  | Binop (_, a, b) -> expr_has_agg a || expr_has_agg b
+  | Neg a -> expr_has_agg a
+  | Win _ -> false
+  | Fn (_, args) -> List.exists expr_has_agg args
+  | Case (arms, els) ->
+      List.exists (fun (_, e) -> expr_has_agg e) arms
+      || (match els with None -> false | Some e -> expr_has_agg e)
+
+let rec expr_has_win = function
+  | Win _ -> true
+  | Const _ | Col _ | Agg _ -> false
+  | Binop (_, a, b) -> expr_has_win a || expr_has_win b
+  | Neg a -> expr_has_win a
+  | Fn (_, args) -> List.exists expr_has_win args
+  | Case (arms, els) ->
+      List.exists (fun (_, e) -> expr_has_win e) arms
+      || (match els with None -> false | Some e -> expr_has_win e)
+
+let block_has_agg (b : block) =
+  b.group_by <> []
+  || List.exists (fun si -> expr_has_agg si.si_expr) b.select
+  || b.having <> []
+
+let block_has_win (b : block) =
+  List.exists (fun si -> expr_has_win si.si_expr) b.select
+
+(** A "blocking operator" in the sense of predicate pullup (Section
+    2.2.6): an operator that must consume its whole input before
+    producing output. *)
+let block_is_blocking (b : block) =
+  b.order_by <> [] || b.group_by <> [] || b.distinct
+  || block_has_agg b || block_has_win b
+
+(** Fresh-alias generator: returns a function producing names that do
+    not clash with any alias appearing in [qs]. *)
+let fresh_alias_gen (qs : query list) =
+  let used = ref (List.fold_left all_aliases_query Sset.empty qs) in
+  fun base ->
+    let rec go i =
+      let cand = Printf.sprintf "%s_%d" base i in
+      if Sset.mem cand !used then go (i + 1)
+      else (
+        used := Sset.add cand !used;
+        cand)
+    in
+    if Sset.mem base !used then go 1
+    else (
+      used := Sset.add base !used;
+      base)
+
+(* ------------------------------------------------------------------ *)
+(* Generic expression rewriting inside predicates.                     *)
+(* ------------------------------------------------------------------ *)
+
+(** Rewrite every expression embedded in [p] with [f] (top-down, [f]
+    receives whole expressions, not just columns). Does not descend into
+    subqueries. *)
+let rec map_pred_exprs f p =
+  let mp = map_pred_exprs f in
+  match p with
+  | True | False -> p
+  | Cmp (op, a, b) -> Cmp (op, f a, f b)
+  | Between (a, b, c) -> Between (f a, f b, f c)
+  | Is_null a -> Is_null (f a)
+  | Not a -> Not (mp a)
+  | Lnnvl a -> Lnnvl (mp a)
+  | And (a, b) -> And (mp a, mp b)
+  | Or (a, b) -> Or (mp a, mp b)
+  | In_list (a, vs) -> In_list (f a, vs)
+  | In_subq (es, q) -> In_subq (List.map f es, q)
+  | Not_in_subq (es, q) -> Not_in_subq (List.map f es, q)
+  | Exists q -> Exists q
+  | Not_exists q -> Not_exists q
+  | Cmp_subq (op, a, qt, q) -> Cmp_subq (op, f a, qt, q)
+  | Pred_fn (n, args) -> Pred_fn (n, List.map f args)
+
+(** Free column references of [q]: columns whose alias is not defined by
+    any FROM clause within [q]. These are the correlation columns; the
+    TIS cost model estimates cache misses from their distinct counts. *)
+let free_cols (q : query) : col list =
+  let module Cset = Set.Make (struct
+    type t = col
+
+    let compare (a : col) b = Stdlib.compare (a.c_alias, a.c_col) (b.c_alias, b.c_col)
+  end) in
+  let rec free_q bound q =
+    match q with
+    | Setop (_, l, r) -> Cset.union (free_q bound l) (free_q bound r)
+    | Block b ->
+        let bound' = Sset.union bound (defined_aliases b) in
+        let add acc e =
+          fold_expr_cols
+            (fun s c -> if Sset.mem c.c_alias bound' then s else Cset.add c s)
+            acc e
+        in
+        let add_pred acc p =
+          let shallow =
+            fold_pred_cols ~deep:false
+              (fun s c -> if Sset.mem c.c_alias bound' then s else Cset.add c s)
+              acc p
+          in
+          List.fold_left
+            (fun s q -> Cset.union s (free_q bound' q))
+            shallow (pred_subqueries p)
+        in
+        let acc = List.fold_left (fun acc si -> add acc si.si_expr) Cset.empty b.select in
+        let acc =
+          List.fold_left
+            (fun acc fe ->
+              let acc =
+                match fe.fe_source with
+                | S_table _ -> acc
+                | S_view v -> Cset.union acc (free_q bound' v)
+              in
+              List.fold_left add_pred acc fe.fe_cond)
+            acc b.from
+        in
+        let acc = List.fold_left add_pred acc b.where in
+        let acc = List.fold_left add acc b.group_by in
+        let acc = List.fold_left add_pred acc b.having in
+        List.fold_left (fun acc (e, _) -> add acc e) acc b.order_by
+  in
+  Cset.elements (free_q Sset.empty q)

@@ -1,0 +1,1 @@
+lib/sqlparse/lexer.ml: Buffer List Printf String

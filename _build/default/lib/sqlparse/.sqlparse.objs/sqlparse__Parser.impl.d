@@ -1,0 +1,1 @@
+lib/sqlparse/parser.ml: Array Ast Catalog Hashtbl Lexer List Option Printf Sqlir String Value Walk

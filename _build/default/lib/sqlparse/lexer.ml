@@ -1,0 +1,153 @@
+(** Hand-written SQL lexer.
+
+    Produces a token list for the recursive-descent {!Parser}. Keywords
+    are case-insensitive; identifiers are lower-cased (the IR uses
+    lower-case names throughout). String literals use single quotes with
+    [''] escaping, Oracle style. *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | KW of string  (** upper-cased keyword *)
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | DOT
+  | STAR
+  | PLUS
+  | MINUS
+  | SLASH
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | EOF
+
+exception Lex_error of string * int  (** message, position *)
+
+let keywords =
+  [
+    "SELECT"; "DISTINCT"; "FROM"; "WHERE"; "GROUP"; "BY"; "HAVING"; "ORDER";
+    "ASC"; "DESC"; "AND"; "OR"; "NOT"; "IN"; "EXISTS"; "BETWEEN"; "IS";
+    "NULL"; "LIKE"; "AS"; "ON"; "JOIN"; "LEFT"; "RIGHT"; "INNER"; "OUTER";
+    "UNION"; "ALL"; "INTERSECT"; "MINUS"; "ANY"; "SOME"; "CASE"; "WHEN";
+    "THEN"; "ELSE"; "END"; "COUNT"; "SUM"; "AVG"; "MIN"; "MAX"; "OVER";
+    "PARTITION"; "ROWNUM"; "TRUE"; "FALSE"; "DATE"; "CROSS"; "SEMI"; "ANTI";
+  ]
+
+let is_keyword s = List.mem (String.uppercase_ascii s) keywords
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9') || c = '$'
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize (src : string) : (token * int) list =
+  let n = String.length src in
+  let toks = ref [] in
+  let emit t pos = toks := (t, pos) :: !toks in
+  let i = ref 0 in
+  while !i < n do
+    let c = src.[!i] in
+    let pos = !i in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '-' && !i + 1 < n && src.[!i + 1] = '-' then (
+      (* line comment *)
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done)
+    else if is_digit c then (
+      let j = ref !i in
+      while !j < n && is_digit src.[!j] do
+        incr j
+      done;
+      if !j < n && src.[!j] = '.' && !j + 1 < n && is_digit src.[!j + 1] then (
+        incr j;
+        while !j < n && is_digit src.[!j] do
+          incr j
+        done;
+        emit (FLOAT (float_of_string (String.sub src !i (!j - !i)))) pos)
+      else emit (INT (int_of_string (String.sub src !i (!j - !i)))) pos;
+      i := !j)
+    else if is_ident_start c then (
+      let j = ref !i in
+      while !j < n && is_ident_char src.[!j] do
+        incr j
+      done;
+      let word = String.sub src !i (!j - !i) in
+      if is_keyword word then emit (KW (String.uppercase_ascii word)) pos
+      else emit (IDENT (String.lowercase_ascii word)) pos;
+      i := !j)
+    else if c = '\'' then (
+      let buf = Buffer.create 16 in
+      let j = ref (!i + 1) in
+      let closed = ref false in
+      while (not !closed) && !j < n do
+        if src.[!j] = '\'' then
+          if !j + 1 < n && src.[!j + 1] = '\'' then (
+            Buffer.add_char buf '\'';
+            j := !j + 2)
+          else (
+            closed := true;
+            incr j)
+        else (
+          Buffer.add_char buf src.[!j];
+          incr j)
+      done;
+      if not !closed then raise (Lex_error ("unterminated string literal", pos));
+      emit (STRING (Buffer.contents buf)) pos;
+      i := !j)
+    else (
+      let two = if !i + 1 < n then String.sub src !i 2 else "" in
+      match two with
+      | "<>" | "!=" ->
+          emit NE pos;
+          i := !i + 2
+      | "<=" ->
+          emit LE pos;
+          i := !i + 2
+      | ">=" ->
+          emit GE pos;
+          i := !i + 2
+      | _ -> (
+          incr i;
+          match c with
+          | '(' -> emit LPAREN pos
+          | ')' -> emit RPAREN pos
+          | ',' -> emit COMMA pos
+          | '.' -> emit DOT pos
+          | '*' -> emit STAR pos
+          | '+' -> emit PLUS pos
+          | '-' -> emit MINUS pos
+          | '/' -> emit SLASH pos
+          | '=' -> emit EQ pos
+          | '<' -> emit LT pos
+          | '>' -> emit GT pos
+          | c -> raise (Lex_error (Printf.sprintf "unexpected character %c" c, pos))))
+  done;
+  List.rev ((EOF, n) :: !toks)
+
+let token_str = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | INT n -> string_of_int n
+  | FLOAT f -> string_of_float f
+  | STRING s -> Printf.sprintf "'%s'" s
+  | KW k -> k
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | COMMA -> ","
+  | DOT -> "."
+  | STAR -> "*"
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | SLASH -> "/"
+  | EQ -> "="
+  | NE -> "<>"
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | EOF -> "<eof>"

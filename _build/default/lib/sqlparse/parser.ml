@@ -1,0 +1,814 @@
+(** Recursive-descent SQL parser.
+
+    Parses the SQL subset the transformations operate on: query blocks
+    with subqueries (IN / NOT IN / EXISTS / NOT EXISTS / ANY / ALL /
+    scalar), inline views, ANSI joins (inner, left outer), set operators
+    (UNION [ALL] / INTERSECT / MINUS), aggregates with DISTINCT, window
+    functions (OVER (PARTITION BY … ORDER BY …)), CASE, and Oracle's
+    ROWNUM limit.
+
+    The parser needs the catalog to expand [*] / [alias.*] and to
+    resolve unqualified column names against the tables in scope. Table
+    aliases are made globally unique across the whole statement (the IR
+    and the transformations rely on that invariant): a repeated alias in
+    an inner block is silently renamed, with references resolved through
+    the lexical scope chain. *)
+
+open Sqlir
+module A = Ast
+module L = Lexer
+
+exception Parse_error of string
+
+type scope_entry = {
+  sc_orig : string;  (** alias as written in the query *)
+  sc_actual : string;  (** globally unique alias used in the IR *)
+  sc_cols : string list;  (** visible columns *)
+}
+
+type state = {
+  cat : Catalog.t;
+  toks : (L.token * int) array;
+  mutable pos : int;
+  mutable scopes : scope_entry list list;  (** innermost first *)
+  used : (string, unit) Hashtbl.t;  (** aliases used so far, statement-wide *)
+  mutable qb_counter : int;
+}
+
+let fail st msg =
+  let _, p = st.toks.(st.pos) in
+  raise (Parse_error (Printf.sprintf "%s (at offset %d)" msg p))
+
+let peek st = fst st.toks.(st.pos)
+
+let peek2 st =
+  if st.pos + 1 < Array.length st.toks then fst st.toks.(st.pos + 1) else L.EOF
+
+let advance st = st.pos <- st.pos + 1
+
+let expect st tok =
+  if peek st = tok then advance st
+  else fail st (Printf.sprintf "expected %s, found %s" (L.token_str tok) (L.token_str (peek st)))
+
+let accept st tok =
+  if peek st = tok then (
+    advance st;
+    true)
+  else false
+
+let expect_kw st kw = expect st (L.KW kw)
+let accept_kw st kw = accept st (L.KW kw)
+
+let ident st =
+  match peek st with
+  | L.IDENT s ->
+      advance st;
+      s
+  | t -> fail st (Printf.sprintf "expected identifier, found %s" (L.token_str t))
+
+let fresh_alias st base =
+  if not (Hashtbl.mem st.used base) then (
+    Hashtbl.add st.used base ();
+    base)
+  else
+    let rec go i =
+      let cand = Printf.sprintf "%s_%d" base i in
+      if Hashtbl.mem st.used cand then go (i + 1)
+      else (
+        Hashtbl.add st.used cand ();
+        cand)
+    in
+    go 1
+
+let fresh_qb st =
+  st.qb_counter <- st.qb_counter + 1;
+  Printf.sprintf "qb%d" st.qb_counter
+
+(* ------------------------------------------------------------------ *)
+(* Name resolution                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let resolve_qualified st alias col =
+  let rec go = function
+    | [] -> fail st (Printf.sprintf "unknown table alias %s" alias)
+    | frame :: rest -> (
+        match
+          List.find_opt
+            (fun e -> String.equal e.sc_orig alias || String.equal e.sc_actual alias)
+            frame
+        with
+        | Some e ->
+            if List.mem col e.sc_cols then A.col e.sc_actual col
+            else
+              fail st
+                (Printf.sprintf "table %s has no column %s" alias col)
+        | None -> go rest)
+  in
+  go st.scopes
+
+let resolve_unqualified st col =
+  let rec go = function
+    | [] -> fail st (Printf.sprintf "unknown column %s" col)
+    | frame :: rest -> (
+        match List.filter (fun e -> List.mem col e.sc_cols) frame with
+        | [ e ] -> A.col e.sc_actual col
+        | [] -> go rest
+        | _ -> fail st (Printf.sprintf "ambiguous column %s" col))
+  in
+  go st.scopes
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* inner-join ON conjuncts are hoisted into the enclosing block's WHERE
+   clause; parse_from accumulates them here for parse_block to collect *)
+let pending_on : A.pred list ref = ref []
+
+let agg_of_kw = function
+  | "COUNT" -> Some A.Count
+  | "SUM" -> Some A.Sum
+  | "AVG" -> Some A.Avg
+  | "MIN" -> Some A.Min
+  | "MAX" -> Some A.Max
+  | _ -> None
+
+let rec parse_expr st : A.expr = parse_sum st
+
+and parse_sum st =
+  let lhs = ref (parse_term st) in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | L.PLUS ->
+        advance st;
+        lhs := A.Binop (A.Add, !lhs, parse_term st)
+    | L.MINUS ->
+        advance st;
+        lhs := A.Binop (A.Sub, !lhs, parse_term st)
+    | _ -> continue := false
+  done;
+  !lhs
+
+and parse_term st =
+  let lhs = ref (parse_factor st) in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | L.STAR ->
+        advance st;
+        lhs := A.Binop (A.Mul, !lhs, parse_factor st)
+    | L.SLASH ->
+        advance st;
+        lhs := A.Binop (A.Div, !lhs, parse_factor st)
+    | _ -> continue := false
+  done;
+  !lhs
+
+and parse_factor st : A.expr =
+  match peek st with
+  | L.INT n ->
+      advance st;
+      A.Const (Value.Int n)
+  | L.FLOAT f ->
+      advance st;
+      A.Const (Value.Float f)
+  | L.STRING s ->
+      advance st;
+      A.Const (Value.Str s)
+  | L.MINUS ->
+      advance st;
+      A.Neg (parse_factor st)
+  | L.KW "NULL" ->
+      advance st;
+      A.Const Value.Null
+  | L.KW "TRUE" ->
+      advance st;
+      A.Const (Value.Bool true)
+  | L.KW "FALSE" ->
+      advance st;
+      A.Const (Value.Bool false)
+  | L.KW "ROWNUM" ->
+      advance st;
+      (* marker column; extracted into the block's limit by parse_block *)
+      A.col "$rownum" "rownum"
+  | L.KW "DATE" -> (
+      advance st;
+      match peek st with
+      | L.INT n ->
+          advance st;
+          A.Const (Value.Date n)
+      | L.STRING s -> (
+          advance st;
+          match int_of_string_opt s with
+          | Some n -> A.Const (Value.Date n)
+          | None -> fail st "DATE literal must be an integer day number")
+      | _ -> fail st "expected DATE literal")
+  | L.LPAREN ->
+      advance st;
+      let e = parse_expr st in
+      expect st L.RPAREN;
+      e
+  | L.KW "CASE" -> parse_case st
+  | L.KW kw when agg_of_kw kw <> None -> parse_aggregate st kw
+  | L.IDENT name -> (
+      advance st;
+      match peek st with
+      | L.DOT ->
+          advance st;
+          let col = ident st in
+          resolve_qualified st name col
+      | L.LPAREN ->
+          (* scalar function call *)
+          advance st;
+          let args = parse_args st in
+          expect st L.RPAREN;
+          A.Fn (name, args)
+      | _ -> resolve_unqualified st name)
+  | t -> fail st (Printf.sprintf "unexpected token %s in expression" (L.token_str t))
+
+and parse_args st =
+  if peek st = L.RPAREN then []
+  else
+    let rec go acc =
+      let e = parse_expr st in
+      if accept st L.COMMA then go (e :: acc) else List.rev (e :: acc)
+    in
+    go []
+
+and parse_case st =
+  expect_kw st "CASE";
+  let arms = ref [] in
+  while peek st = L.KW "WHEN" do
+    advance st;
+    let p = parse_pred st in
+    expect_kw st "THEN";
+    let e = parse_expr st in
+    arms := (p, e) :: !arms
+  done;
+  let els = if accept_kw st "ELSE" then Some (parse_expr st) else None in
+  expect_kw st "END";
+  A.Case (List.rev !arms, els)
+
+and parse_aggregate st kw =
+  advance st;
+  expect st L.LPAREN;
+  let agg =
+    if kw = "COUNT" && peek st = L.STAR then (
+      advance st;
+      expect st L.RPAREN;
+      A.Agg (A.Count_star, None, false))
+    else
+      let dist = accept_kw st "DISTINCT" in
+      let arg = parse_expr st in
+      expect st L.RPAREN;
+      A.Agg (Option.get (agg_of_kw kw), Some arg, dist)
+  in
+  if accept_kw st "OVER" then (
+    expect st L.LPAREN;
+    let pby =
+      if accept_kw st "PARTITION" then (
+        expect_kw st "BY";
+        parse_expr_list st)
+      else []
+    in
+    let oby =
+      if accept_kw st "ORDER" then (
+        expect_kw st "BY";
+        parse_order_list st)
+      else []
+    in
+    expect st L.RPAREN;
+    match agg with
+    | A.Agg (a, arg, _) -> A.Win (a, arg, { A.w_pby = pby; w_oby = oby })
+    | _ -> assert false)
+  else agg
+
+and parse_expr_list st =
+  let rec go acc =
+    let e = parse_expr st in
+    if accept st L.COMMA then go (e :: acc) else List.rev (e :: acc)
+  in
+  go []
+
+and parse_order_list st =
+  let rec go acc =
+    let e = parse_expr st in
+    let dir =
+      if accept_kw st "DESC" then A.Desc
+      else (
+        ignore (accept_kw st "ASC");
+        A.Asc)
+    in
+    if accept st L.COMMA then go ((e, dir) :: acc) else List.rev ((e, dir) :: acc)
+  in
+  go []
+
+(* ------------------------------------------------------------------ *)
+(* Predicates                                                           *)
+(* ------------------------------------------------------------------ *)
+
+and parse_pred st : A.pred = parse_or st
+
+and parse_or st =
+  let lhs = ref (parse_and st) in
+  while accept_kw st "OR" do
+    lhs := A.Or (!lhs, parse_and st)
+  done;
+  !lhs
+
+and parse_and st =
+  let lhs = ref (parse_not st) in
+  while accept_kw st "AND" do
+    lhs := A.And (!lhs, parse_not st)
+  done;
+  !lhs
+
+and parse_not st =
+  if accept_kw st "NOT" then A.Not (parse_not st) else parse_pred_primary st
+
+and is_subquery_ahead st =
+  (* LPAREN (LPAREN)* SELECT *)
+  peek st = L.LPAREN
+  &&
+  let rec scan i =
+    if i >= Array.length st.toks then false
+    else
+      match fst st.toks.(i) with
+      | L.LPAREN -> scan (i + 1)
+      | L.KW "SELECT" -> true
+      | _ -> false
+  in
+  scan (st.pos + 1)
+
+and parse_pred_primary st : A.pred =
+  match peek st with
+  | L.KW "EXISTS" ->
+      advance st;
+      expect st L.LPAREN;
+      let q = parse_query st in
+      expect st L.RPAREN;
+      A.Exists q
+  | L.KW "TRUE" ->
+      advance st;
+      A.True
+  | L.KW "FALSE" ->
+      advance st;
+      A.False
+  | L.LPAREN when not (is_subquery_ahead st) -> (
+      (* Either a parenthesized predicate or a row constructor for
+         multi-item IN: (a, b) [NOT] IN (SELECT ...). Try the
+         row-constructor reading first; backtrack on failure. *)
+      let save = st.pos in
+      let as_row_constructor () =
+        advance st;
+        let first = parse_expr st in
+        match peek st with
+        | L.COMMA ->
+            let rec more acc =
+              if accept st L.COMMA then more (parse_expr st :: acc)
+              else List.rev acc
+            in
+            let es = more [ first ] in
+            expect st L.RPAREN;
+            let negated = accept_kw st "NOT" in
+            expect_kw st "IN";
+            expect st L.LPAREN;
+            let q = parse_query st in
+            expect st L.RPAREN;
+            Some (if negated then A.Not_in_subq (es, q) else A.In_subq (es, q))
+        | L.RPAREN when peek2 st = L.KW "IN" || peek2 st = L.KW "NOT" ->
+            advance st;
+            let negated = accept_kw st "NOT" in
+            expect_kw st "IN";
+            expect st L.LPAREN;
+            let q = parse_query st in
+            expect st L.RPAREN;
+            Some
+              (if negated then A.Not_in_subq ([ first ], q)
+               else A.In_subq ([ first ], q))
+        | _ -> None
+      in
+      match (try as_row_constructor () with Parse_error _ -> None) with
+      | Some p -> p
+      | None ->
+          st.pos <- save;
+          advance st;
+          let p = parse_pred st in
+          expect st L.RPAREN;
+          p)
+  | _ -> (
+      let lhs = parse_expr st in
+      match peek st with
+      | L.EQ | L.NE | L.LT | L.LE | L.GT | L.GE -> parse_comparison st lhs
+      | L.KW "IS" ->
+          advance st;
+          let negated = accept_kw st "NOT" in
+          expect_kw st "NULL";
+          if negated then A.Not (A.Is_null lhs) else A.Is_null lhs
+      | L.KW "BETWEEN" ->
+          advance st;
+          let lo = parse_sum st in
+          expect_kw st "AND";
+          let hi = parse_sum st in
+          A.Between (lhs, lo, hi)
+      | L.KW "IN" ->
+          advance st;
+          parse_in_body st lhs ~negated:false
+      | L.KW "NOT" ->
+          advance st;
+          expect_kw st "IN";
+          parse_in_body st lhs ~negated:true
+      | _ -> (
+          (* a bare function call used as a predicate *)
+          match lhs with
+          | A.Fn (n, args) -> A.Pred_fn (n, args)
+          | _ -> fail st "expected a comparison operator"))
+
+and parse_comparison st lhs =
+  let op =
+    match peek st with
+    | L.EQ -> A.Eq
+    | L.NE -> A.Ne
+    | L.LT -> A.Lt
+    | L.LE -> A.Le
+    | L.GT -> A.Gt
+    | L.GE -> A.Ge
+    | _ -> assert false
+  in
+  advance st;
+  match peek st with
+  | L.KW ("ANY" | "SOME") ->
+      advance st;
+      expect st L.LPAREN;
+      let q = parse_query st in
+      expect st L.RPAREN;
+      A.Cmp_subq (op, lhs, Some A.Q_any, q)
+  | L.KW "ALL" ->
+      advance st;
+      expect st L.LPAREN;
+      let q = parse_query st in
+      expect st L.RPAREN;
+      A.Cmp_subq (op, lhs, Some A.Q_all, q)
+  | L.LPAREN when is_subquery_ahead st ->
+      advance st;
+      let q = parse_query st in
+      expect st L.RPAREN;
+      A.Cmp_subq (op, lhs, None, q)
+  | _ -> A.Cmp (op, lhs, parse_sum st)
+
+and parse_in_body st lhs ~negated =
+  expect st L.LPAREN;
+  if peek st = L.KW "SELECT" || is_subquery_at st st.pos then (
+    let q = parse_query st in
+    expect st L.RPAREN;
+    if negated then A.Not_in_subq ([ lhs ], q) else A.In_subq ([ lhs ], q))
+  else
+    let rec go acc =
+      let v =
+        match peek st with
+        | L.INT n ->
+            advance st;
+            Value.Int n
+        | L.FLOAT f ->
+            advance st;
+            Value.Float f
+        | L.STRING s ->
+            advance st;
+            Value.Str s
+        | L.KW "NULL" ->
+            advance st;
+            Value.Null
+        | L.KW "DATE" -> (
+            advance st;
+            match peek st with
+            | L.INT n ->
+                advance st;
+                Value.Date n
+            | _ -> fail st "expected DATE literal")
+        | t -> fail st (Printf.sprintf "expected literal in IN list, found %s" (L.token_str t))
+      in
+      if accept st L.COMMA then go (v :: acc) else List.rev (v :: acc)
+    in
+    let vs = go [] in
+    expect st L.RPAREN;
+    let p = A.In_list (lhs, vs) in
+    if negated then A.Not p else p
+
+and is_subquery_at st pos =
+  pos < Array.length st.toks && fst st.toks.(pos) = L.KW "SELECT"
+
+(* ------------------------------------------------------------------ *)
+(* FROM clause                                                          *)
+(* ------------------------------------------------------------------ *)
+
+and parse_from_item st : A.from_entry * scope_entry =
+  match peek st with
+  | L.LPAREN ->
+      advance st;
+      let q = parse_query st in
+      expect st L.RPAREN;
+      ignore (accept_kw st "AS");
+      let orig = ident st in
+      let actual = fresh_alias st orig in
+      let cols = A.query_select_names q in
+      ( { A.fe_alias = actual; fe_source = A.S_view q; fe_kind = A.J_inner; fe_cond = [] },
+        { sc_orig = orig; sc_actual = actual; sc_cols = cols } )
+  | L.IDENT tname ->
+      advance st;
+      if not (Catalog.mem_table st.cat tname) then
+        fail st (Printf.sprintf "unknown table %s" tname);
+      let orig =
+        ignore (accept_kw st "AS");
+        match peek st with L.IDENT _ -> ident st | _ -> tname
+      in
+      let actual = fresh_alias st orig in
+      let cols =
+        List.map
+          (fun c -> c.Catalog.c_name)
+          (Catalog.find_table st.cat tname).t_cols
+      in
+      ( { A.fe_alias = actual; fe_source = A.S_table tname; fe_kind = A.J_inner; fe_cond = [] },
+        { sc_orig = orig; sc_actual = actual; sc_cols = cols } )
+  | t -> fail st (Printf.sprintf "expected table or subquery in FROM, found %s" (L.token_str t))
+
+and parse_from st : A.from_entry list =
+  (* current frame is the head of st.scopes; entries are appended so
+     later items (and ON / WHERE clauses) can see earlier ones *)
+  let push_scope sc =
+    match st.scopes with
+    | frame :: rest -> st.scopes <- (frame @ [ sc ]) :: rest
+    | [] -> assert false
+  in
+  let first, sc1 = parse_from_item st in
+  push_scope sc1;
+  let items = ref [ first ] in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | L.COMMA ->
+        advance st;
+        let fe, sc = parse_from_item st in
+        push_scope sc;
+        items := fe :: !items
+    | L.KW "CROSS" ->
+        advance st;
+        expect_kw st "JOIN";
+        let fe, sc = parse_from_item st in
+        push_scope sc;
+        items := fe :: !items
+    | L.KW ("JOIN" | "INNER" | "LEFT" | "SEMI" | "ANTI") -> (
+        let kind =
+          if accept_kw st "LEFT" then (
+            ignore (accept_kw st "OUTER");
+            A.J_left)
+          else if accept_kw st "SEMI" then A.J_semi
+          else if accept_kw st "ANTI" then A.J_anti
+          else (
+            ignore (accept_kw st "INNER");
+            A.J_inner)
+        in
+        expect_kw st "JOIN";
+        let fe, sc = parse_from_item st in
+        push_scope sc;
+        expect_kw st "ON";
+        let cond = parse_pred st in
+        match kind with
+        | A.J_inner ->
+            (* inner-join ON conditions go to WHERE; record for caller *)
+            items := { fe with A.fe_kind = A.J_inner } :: !items;
+            pending_on := A.conjuncts cond @ !pending_on
+        | k -> items := { fe with A.fe_kind = k; fe_cond = A.conjuncts cond } :: !items)
+    | _ -> continue := false
+  done;
+  List.rev !items
+
+(* ------------------------------------------------------------------ *)
+(* Query blocks                                                         *)
+(* ------------------------------------------------------------------ *)
+
+and parse_block st : A.block =
+  expect_kw st "SELECT";
+  let distinct = accept_kw st "DISTINCT" in
+  (* select items are parsed AFTER the FROM clause so names resolve;
+     remember their token span and re-parse *)
+  let sel_start = st.pos in
+  (* skip to FROM at depth 0 *)
+  let depth = ref 0 in
+  let continue = ref true in
+  while !continue do
+    (match peek st with
+    | L.LPAREN -> incr depth
+    | L.RPAREN -> decr depth
+    | L.KW "FROM" when !depth = 0 -> continue := false
+    | L.EOF -> fail st "expected FROM"
+    | _ -> ());
+    if !continue then advance st
+  done;
+  let sel_end = st.pos in
+  expect_kw st "FROM";
+  st.scopes <- [] :: st.scopes;
+  let saved_pending = !pending_on in
+  pending_on := [];
+  let from = parse_from st in
+  let on_conds = !pending_on in
+  pending_on := saved_pending;
+  (* now parse the deferred select list *)
+  let after_from = st.pos in
+  st.pos <- sel_start;
+  let select = parse_select_items st ~stop:sel_end in
+  st.pos <- after_from;
+  let where_conjs =
+    if accept_kw st "WHERE" then A.conjuncts (parse_pred st) else []
+  in
+  let is_rownum = function
+    | A.Col { A.c_alias = "$rownum"; _ } -> true
+    | _ -> false
+  in
+  let limit = ref None in
+  let where = ref [] in
+  List.iter
+    (fun p ->
+      match p with
+      | A.Cmp (A.Le, e, A.Const (Value.Int n)) when is_rownum e ->
+          limit := Some n
+      | A.Cmp (A.Lt, e, A.Const (Value.Int n)) when is_rownum e ->
+          limit := Some (n - 1)
+      | _ ->
+          if
+            List.exists
+              (fun c -> String.equal c.A.c_alias "$rownum")
+              (Walk.pred_cols ~deep:false p)
+          then fail st "ROWNUM is only supported as ROWNUM < n / ROWNUM <= n"
+          else where := p :: !where)
+    where_conjs;
+  let where = ref (List.rev !where) in
+  let group_by =
+    if accept_kw st "GROUP" then (
+      expect_kw st "BY";
+      parse_expr_list st)
+    else []
+  in
+  let having = if accept_kw st "HAVING" then A.conjuncts (parse_pred st) else [] in
+  let order_by =
+    if accept_kw st "ORDER" then (
+      expect_kw st "BY";
+      parse_order_list st)
+    else []
+  in
+  st.scopes <- List.tl st.scopes;
+  {
+    A.qb_name = fresh_qb st;
+    select;
+    distinct;
+    from;
+    where = on_conds @ !where;
+    group_by;
+    having;
+    order_by;
+    limit = !limit;
+  }
+
+and parse_select_items st ~stop : A.sel_item list =
+  let items = ref [] in
+  let counter = ref 0 in
+  let auto_name e =
+    incr counter;
+    match e with
+    | A.Col c -> c.A.c_col
+    | A.Agg _ | A.Win _ -> Printf.sprintf "c%d" !counter
+    | _ -> Printf.sprintf "c%d" !counter
+  in
+  let rec go () =
+    if st.pos >= stop then ()
+    else (
+      (match peek st with
+      | L.STAR ->
+          advance st;
+          (* expand all columns of the current frame *)
+          let frame = List.hd st.scopes in
+          List.iter
+            (fun sc ->
+              List.iter
+                (fun col ->
+                  items := { A.si_expr = A.col sc.sc_actual col; si_name = col } :: !items)
+                sc.sc_cols)
+            frame
+      | L.IDENT a when peek2 st = L.DOT && st.pos + 2 < stop
+                       && fst st.toks.(st.pos + 2) = L.STAR ->
+          advance st;
+          advance st;
+          advance st;
+          let frame = List.hd st.scopes in
+          let sc =
+            match
+              List.find_opt
+                (fun e -> String.equal e.sc_orig a || String.equal e.sc_actual a)
+                frame
+            with
+            | Some sc -> sc
+            | None -> fail st (Printf.sprintf "unknown alias %s" a)
+          in
+          List.iter
+            (fun col ->
+              items := { A.si_expr = A.col sc.sc_actual col; si_name = col } :: !items)
+            sc.sc_cols
+      | _ ->
+          let e = parse_expr st in
+          let name =
+            if accept_kw st "AS" then ident st
+            else
+              match peek st with
+              | L.IDENT n when st.pos < stop ->
+                  advance st;
+                  n
+              | _ -> auto_name e
+          in
+          items := { A.si_expr = e; si_name = name } :: !items);
+      if st.pos < stop && accept st L.COMMA then go ())
+  in
+  go ();
+  if !items = [] then fail st "empty select list";
+  (* de-duplicate output names *)
+  let seen = Hashtbl.create 8 in
+  let items =
+    List.rev_map
+      (fun it ->
+        let name =
+          if Hashtbl.mem seen it.A.si_name then (
+            let rec uniq i =
+              let cand = Printf.sprintf "%s_%d" it.A.si_name i in
+              if Hashtbl.mem seen cand then uniq (i + 1) else cand
+            in
+            uniq 1)
+          else it.A.si_name
+        in
+        Hashtbl.add seen name ();
+        { it with A.si_name = name })
+      !items
+  in
+  items
+
+(* ------------------------------------------------------------------ *)
+(* Set operations                                                       *)
+(* ------------------------------------------------------------------ *)
+
+and parse_query st : A.query =
+  let lhs = ref (parse_query_primary st) in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | L.KW "UNION" ->
+        advance st;
+        let op = if accept_kw st "ALL" then A.Union_all else A.Union in
+        lhs := A.Setop (op, !lhs, parse_query_primary st)
+    | L.KW "INTERSECT" ->
+        advance st;
+        lhs := A.Setop (A.Intersect, !lhs, parse_query_primary st)
+    | L.KW "MINUS" ->
+        advance st;
+        lhs := A.Setop (A.Minus, !lhs, parse_query_primary st)
+    | _ -> continue := false
+  done;
+  !lhs
+
+and parse_query_primary st : A.query =
+  match peek st with
+  | L.KW "SELECT" -> A.Block (parse_block st)
+  | L.LPAREN ->
+      advance st;
+      let q = parse_query st in
+      expect st L.RPAREN;
+      q
+  | t -> fail st (Printf.sprintf "expected SELECT, found %s" (L.token_str t))
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let parse_exn (cat : Catalog.t) (sql : string) : A.query =
+  let toks =
+    try Lexer.tokenize sql
+    with L.Lex_error (msg, pos) ->
+      raise (Parse_error (Printf.sprintf "%s (at offset %d)" msg pos))
+  in
+  let st =
+    {
+      cat;
+      toks = Array.of_list toks;
+      pos = 0;
+      scopes = [];
+      used = Hashtbl.create 16;
+      qb_counter = 0;
+    }
+  in
+  let q = parse_query st in
+  (match peek st with
+  | L.EOF -> ()
+  | t -> fail st (Printf.sprintf "trailing input: %s" (L.token_str t)));
+  q
+
+let parse (cat : Catalog.t) (sql : string) : (A.query, string) result =
+  match parse_exn cat sql with
+  | q -> Ok q
+  | exception Parse_error msg -> Error msg

@@ -1,0 +1,1 @@
+lib/storage/btree.ml: List Map Seq Sqlir Value

@@ -1,0 +1,1 @@
+lib/storage/db.ml: Array Btree Catalog Hashtbl List Printf Relation String

@@ -1,0 +1,1 @@
+lib/storage/relation.ml: Array Catalog Printf Sqlir String

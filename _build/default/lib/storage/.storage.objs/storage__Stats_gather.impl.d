@@ -1,0 +1,1 @@
+lib/storage/stats_gather.ml: Array Catalog Db Float Hashtbl List Relation Set Sqlir Value

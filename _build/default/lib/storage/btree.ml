@@ -1,0 +1,113 @@
+(** Ordered secondary indexes.
+
+    A B-tree index maps a composite key (list of values, one per index
+    column) to the row ids carrying that key. It supports exact lookup,
+    prefix-equality scan, and range scans over the column following an
+    equality-bound prefix — the access paths the physical optimizer
+    costs for index scans and index nested-loop joins. Rows whose key
+    contains NULL in the leading column are not indexed, matching the
+    usual single-column B-tree behaviour. *)
+
+open Sqlir
+
+type key = Value.t list
+
+module Kmap = Map.Make (struct
+  type t = key
+
+  let compare = List.compare Value.compare_total
+end)
+
+type t = {
+  bt_cols : string list;
+  bt_unique : bool;
+  mutable bt_map : int list Kmap.t;
+  mutable bt_entries : int;
+}
+
+let create ~cols ~unique =
+  { bt_cols = cols; bt_unique = unique; bt_map = Kmap.empty; bt_entries = 0 }
+
+let insert t key row =
+  match key with
+  | Value.Null :: _ -> ()  (* leading-NULL keys are not indexed *)
+  | _ ->
+      let prev = try Kmap.find key t.bt_map with Not_found -> [] in
+      t.bt_map <- Kmap.add key (row :: prev) t.bt_map;
+      t.bt_entries <- t.bt_entries + 1
+
+let entries t = t.bt_entries
+
+(** Height of an equivalent disk B-tree, used by the cost model to
+    charge per-probe work. *)
+let height t =
+  let n = max 2 (Kmap.cardinal t.bt_map) in
+  max 1 (int_of_float (ceil (log (float_of_int n) /. log 64.)))
+
+let find_eq t key = try Kmap.find key t.bt_map with Not_found -> []
+
+(** Rows whose key starts with [prefix] (equality on a prefix of the
+    index columns). *)
+let find_prefix t prefix =
+  let n = List.length prefix in
+  if n = List.length t.bt_cols then find_eq t prefix
+  else
+    let ge_prefix k =
+      let rec cmp p k =
+        match (p, k) with
+        | [], _ -> 0
+        | _, [] -> 1
+        | pv :: p', kv :: k' ->
+            let c = Value.compare_total pv kv in
+            if c <> 0 then c else cmp p' k'
+      in
+      cmp prefix k
+    in
+    let seq = Kmap.to_seq t.bt_map in
+    Seq.fold_left
+      (fun acc (k, rows) -> if ge_prefix k = 0 then List.rev_append rows acc else acc)
+      [] seq
+
+type bound = Unbounded | Incl of Value.t | Excl of Value.t
+
+(** Range scan: keys whose column [List.length prefix] falls within
+    [(lo, hi)], with all earlier columns equal to [prefix]. Returns row
+    ids and the number of index entries touched. *)
+let range t ~prefix ~lo ~hi =
+  let npfx = List.length prefix in
+  let touched = ref 0 in
+  let in_prefix k =
+    let rec go i p k =
+      match (p, k) with
+      | [], _ -> true
+      | _, [] -> false
+      | pv :: p', kv :: k' ->
+          Value.compare_total pv kv = 0 && go (i + 1) p' k'
+    in
+    go 0 prefix k
+  in
+  let key_col k = List.nth_opt k npfx in
+  let lo_ok v =
+    match lo with
+    | Unbounded -> true
+    | Incl b -> Value.compare_total v b >= 0 && not (Value.is_null v)
+    | Excl b -> Value.compare_total v b > 0 && not (Value.is_null v)
+  in
+  let hi_ok v =
+    match hi with
+    | Unbounded -> not (Value.is_null v)
+    | Incl b -> Value.compare_total v b <= 0
+    | Excl b -> Value.compare_total v b < 0
+  in
+  let acc = ref [] in
+  Kmap.iter
+    (fun k rows ->
+      if in_prefix k then (
+        incr touched;
+        match key_col k with
+        | None -> acc := List.rev_append rows !acc
+        | Some v -> if lo_ok v && hi_ok v then acc := List.rev_append rows !acc))
+    t.bt_map;
+  (!acc, !touched)
+
+let distinct_keys t = Kmap.cardinal t.bt_map

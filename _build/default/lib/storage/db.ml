@@ -1,0 +1,52 @@
+(** A database instance: a catalog plus loaded relations and their
+    indexes. *)
+
+type t = {
+  cat : Catalog.t;
+  rels : (string, Relation.t) Hashtbl.t;
+  idxs : (string * string, Btree.t) Hashtbl.t;
+      (** keyed by (table, index name) *)
+}
+
+let create cat = { cat; rels = Hashtbl.create 64; idxs = Hashtbl.create 64 }
+
+exception No_data of string
+
+let relation t name =
+  match Hashtbl.find_opt t.rels name with
+  | Some r -> r
+  | None -> raise (No_data name)
+
+let mem t name = Hashtbl.mem t.rels name
+
+(** Load [rel] as the contents of catalog table [rel.r_name], and build
+    every index the catalog declares on it. *)
+let load t (rel : Relation.t) =
+  let def = Catalog.find_table t.cat rel.r_name in
+  let declared = List.map (fun c -> c.Catalog.c_name) def.t_cols in
+  let actual = Array.to_list rel.r_schema in
+  if declared <> actual then
+    invalid_arg
+      (Printf.sprintf "Db.load: schema mismatch for %s (catalog: %s, data: %s)"
+         rel.r_name
+         (String.concat "," declared)
+         (String.concat "," actual));
+  Hashtbl.replace t.rels rel.r_name rel;
+  List.iter
+    (fun (ix : Catalog.index) ->
+      let bt = Btree.create ~cols:ix.ix_cols ~unique:ix.ix_unique in
+      let col_idxs = List.map (Relation.col_index rel) ix.ix_cols in
+      Relation.iteri
+        (fun row tup ->
+          let key = List.map (fun i -> tup.(i)) col_idxs in
+          Btree.insert bt key row)
+        rel;
+      Hashtbl.replace t.idxs (rel.r_name, ix.ix_name) bt)
+    (Catalog.indexes_on t.cat rel.r_name)
+
+let index t ~table ~name =
+  match Hashtbl.find_opt t.idxs (table, name) with
+  | Some bt -> bt
+  | None -> raise (No_data (table ^ "." ^ name))
+
+let index_opt t ~table ~name = Hashtbl.find_opt t.idxs (table, name)

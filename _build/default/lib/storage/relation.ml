@@ -1,0 +1,42 @@
+(** In-memory heap relations.
+
+    A relation is a named array of tuples with a flat column schema.
+    Page counts are derived from row counts with the catalog's
+    rows-per-page constant so that the cost model can charge I/O-like
+    units for full scans. *)
+
+type tuple = Sqlir.Value.t array
+
+type t = {
+  r_name : string;
+  r_schema : string array;
+  mutable r_rows : tuple array;
+}
+
+let create ~name ~schema rows =
+  { r_name = name; r_schema = Array.of_list schema; r_rows = Array.of_list rows }
+
+let of_arrays ~name ~schema rows = { r_name = name; r_schema = schema; r_rows = rows }
+
+let cardinality r = Array.length r.r_rows
+
+let pages r =
+  max 1
+    ((cardinality r + Catalog.rows_per_page - 1) / Catalog.rows_per_page)
+
+let col_index r col =
+  let rec go i =
+    if i >= Array.length r.r_schema then
+      invalid_arg
+        (Printf.sprintf "Relation.col_index: %s has no column %s" r.r_name col)
+    else if String.equal r.r_schema.(i) col then i
+    else go (i + 1)
+  in
+  go 0
+
+let get r ~row ~col = r.r_rows.(row).(col_index r col)
+
+let append r tup = r.r_rows <- Array.append r.r_rows [| tup |]
+
+let iter f r = Array.iter f r.r_rows
+let iteri f r = Array.iteri f r.r_rows

@@ -1,0 +1,1 @@
+lib/transform/gb_placement.ml: Ast Catalog Hashtbl List Option Pp Printf Sqlir String Tx Walk

@@ -1,0 +1,1 @@
+lib/transform/gb_view_merge.ml: Ast Catalog List Printf Sqlir String Tx Walk

@@ -1,0 +1,1 @@
+lib/transform/group_prune.ml: Ast Catalog Jppd List Sqlir Tx

@@ -1,0 +1,1 @@
+lib/transform/join_elim.ml: Ast Catalog List Sqlir String Tx Walk

@@ -1,0 +1,1 @@
+lib/transform/join_factor.ml: Ast Catalog Jppd List Option Pp Printf Sqlir String Tx Walk

@@ -1,0 +1,1 @@
+lib/transform/jppd.ml: Ast Catalog List Printf Sqlir String Tx Value Walk

@@ -1,0 +1,1 @@
+lib/transform/or_expansion.ml: Ast Catalog List Option Pp Printf Sqlir String Tx Walk

@@ -1,0 +1,1 @@
+lib/transform/predicate_move.ml: Ast Catalog Jppd List Pp Predicate_pullup Sqlir String Tx Walk

@@ -1,0 +1,1 @@
+lib/transform/predicate_pullup.ml: Ast Catalog Exec List Pp Printf Sqlir String Tx Walk

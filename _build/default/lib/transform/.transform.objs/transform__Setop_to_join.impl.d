@@ -1,0 +1,1 @@
+lib/transform/setop_to_join.ml: Ast Catalog List Printf Sqlir Tx Walk

@@ -1,0 +1,1 @@
+lib/transform/tx.ml: Ast Catalog List Sqlir String Walk

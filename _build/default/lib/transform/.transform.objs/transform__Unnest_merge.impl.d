@@ -1,0 +1,1 @@
+lib/transform/unnest_merge.ml: Ast Catalog List Sqlir String Tx Value Walk

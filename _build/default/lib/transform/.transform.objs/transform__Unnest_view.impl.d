@@ -1,0 +1,1 @@
+lib/transform/unnest_view.ml: Ast Catalog List Option Pp Printf Sqlir String Tx Walk

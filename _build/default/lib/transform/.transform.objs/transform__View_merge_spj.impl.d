@@ -1,0 +1,1 @@
+lib/transform/view_merge_spj.ml: Ast Catalog List Sqlir String Tx Walk

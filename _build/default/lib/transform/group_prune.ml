@@ -1,0 +1,88 @@
+(** Heuristic group pruning and view projection pruning (Section 2.1.4).
+
+    Performed after predicate move-around, so that pruning predicates
+    have already reached the group-by view. Two imperative rewrites:
+
+    - {b Constant-bound grouping keys}: a grouping expression equated to
+      a constant by the view's own WHERE clause is single-valued and is
+      removed from the GROUP BY list (it no longer partitions anything).
+      This is the degenerate — but legal in our grouping-sets-free IR —
+      form of the paper's "removes from views groups not needed in the
+      outer query blocks"; the full Q9 example needs ROLLUP grouping
+      sets, which this IR does not model (see DESIGN.md).
+
+    - {b Projection pruning}: select items of a view that the containing
+      block never references are dropped (along with their aggregate
+      computation). A grouping expression itself is never dropped, so
+      group cardinalities are unchanged. *)
+
+open Sqlir
+module A = Ast
+
+(** Grouping exprs bound to constants by the block's own WHERE. *)
+let prune_constant_groups (b : A.block) : A.block =
+  if List.length b.A.group_by <= 1 then b
+  else
+    let bound e =
+      List.exists
+        (fun p ->
+          match p with
+          | A.Cmp (A.Eq, x, A.Const _) when x = e -> true
+          | A.Cmp (A.Eq, A.Const _, x) when x = e -> true
+          | _ -> false)
+        b.A.where
+    in
+    let keep, dropped = List.partition (fun e -> not (bound e)) b.A.group_by in
+    if dropped = [] || keep = [] then b else { b with A.group_by = keep }
+
+(** Remove select items of inner views that the parent never
+    references. *)
+let prune_view_projections (parent : A.block) : A.block =
+  {
+    parent with
+    A.from =
+      List.map
+        (fun fe ->
+          match fe.A.fe_source with
+          | A.S_table _ -> fe
+          | A.S_view vq ->
+              let used = Tx.alias_refs_in_block parent fe.A.fe_alias in
+              let prune_block (lb : A.block) =
+                let keep =
+                  List.filter
+                    (fun si -> List.mem si.A.si_name used)
+                    lb.A.select
+                in
+                if keep = [] || List.length keep = List.length lb.A.select
+                then lb
+                else { lb with A.select = keep }
+              in
+              let rec prune_q q =
+                match q with
+                | A.Block lb -> A.Block (prune_block lb)
+                | A.Setop (op, l, r) -> A.Setop (op, prune_q l, prune_q r)
+              in
+              (* never prune DISTINCT views (the select list is the
+                 duplicate-elimination key); for set-op views the
+                 branches must keep identical arity: prune only when
+                 every leaf selects by the same names *)
+              let prunable =
+                match Jppd.leaf_blocks vq with
+                | Some leaves ->
+                    let names lb = List.map (fun si -> si.A.si_name) lb.A.select in
+                    List.for_all
+                      (fun lb ->
+                        (not lb.A.distinct)
+                        && names lb = names (List.hd leaves))
+                      leaves
+                | None -> false
+              in
+              if prunable then { fe with A.fe_source = A.S_view (prune_q vq) }
+              else fe)
+        parent.A.from;
+  }
+
+let apply (_cat : Catalog.t) (q : A.query) : A.query =
+  Tx.map_blocks_bottom_up
+    (fun b -> prune_view_projections (prune_constant_groups b))
+    q

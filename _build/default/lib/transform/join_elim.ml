@@ -1,0 +1,183 @@
+(** Heuristic join elimination (Section 2.1.2).
+
+    Two patterns, both always applied when legal ("it is obvious that
+    pruning a redundant join will improve the performance"):
+
+    - {b Foreign-key inner join} (Q4 → Q6): an inner equi-join along a
+      declared foreign key to the referenced table's primary key, where
+      the referenced table contributes nothing else to the query. The
+      join is removed; if any referencing column is nullable, an
+      [IS NOT NULL] predicate replaces it (a NULL foreign key does not
+      join).
+
+    - {b Unique-key left outer join} (Q5 → Q6): a left-outer entry whose
+      ON condition equates a unique/primary key of the entry, with no
+      other references to the entry. Outer join preserves every left row
+      and a unique key prevents duplication, so the entry is dropped
+      outright. *)
+
+open Sqlir
+module A = Ast
+
+(** Try to eliminate one entry from the block; returns the new block or
+    None. *)
+let eliminate_one (cat : Catalog.t) (b : A.block) : A.block option =
+  let local = Walk.defined_aliases b in
+  let try_entry (fe : A.from_entry) : A.block option =
+    match fe.A.fe_source with
+    | A.S_view _ -> None
+    | A.S_table tname -> (
+        let alias = fe.A.fe_alias in
+        let def = Catalog.find_table cat tname in
+        match fe.A.fe_kind with
+        | A.J_inner -> (
+            if def.t_pkey = [] then None
+            else
+              (* collect the equi-join conjuncts pairing this table's PK
+                 with columns of exactly one other entry *)
+              let pk = def.t_pkey in
+              let pairings = ref [] in
+              List.iter
+                (fun p ->
+                  match p with
+                  | A.Cmp (A.Eq, A.Col c1, A.Col c2) ->
+                      if String.equal c1.A.c_alias alias && List.mem c1.A.c_col pk
+                      then pairings := (c1.A.c_col, c2, p) :: !pairings
+                      else if
+                        String.equal c2.A.c_alias alias && List.mem c2.A.c_col pk
+                      then pairings := (c2.A.c_col, c1, p) :: !pairings
+                  | _ -> ())
+                b.A.where;
+              (* all PK columns covered, from a single referencing alias *)
+              let covered = List.map (fun (k, _, _) -> k) !pairings in
+              if not (List.for_all (fun k -> List.mem k covered) pk) then None
+              else
+                match !pairings with
+                | [] -> None
+                | (_, c0, _) :: _ -> (
+                    let ref_alias = c0.A.c_alias in
+                    if
+                      not
+                        (List.for_all
+                           (fun (_, c, _) -> String.equal c.A.c_alias ref_alias)
+                           !pairings)
+                    then None
+                    else
+                      (* the referencing side must be a base table with a
+                         declared FK matching exactly this pairing *)
+                      let ref_entry =
+                        List.find_opt
+                          (fun o -> String.equal o.A.fe_alias ref_alias)
+                          b.A.from
+                      in
+                      match ref_entry with
+                      | Some { A.fe_source = A.S_table ref_table; fe_kind = A.J_inner; _ }
+                        when Walk.Sset.mem ref_alias local -> (
+                          let fk_cols_for k =
+                            List.find_opt (fun (k', _, _) -> String.equal k' k) !pairings
+                          in
+                          let fk_pairs =
+                            List.filter_map
+                              (fun k ->
+                                match fk_cols_for k with
+                                | Some (_, c, _) -> Some (c.A.c_col, k)
+                                | None -> None)
+                              pk
+                          in
+                          match
+                            Catalog.fk_between cat ~table:ref_table
+                              ~cols:(List.map fst fk_pairs)
+                              ~ref_table:tname
+                              ~ref_cols:(List.map snd fk_pairs)
+                          with
+                          | None -> None
+                          | Some _ ->
+                              (* eliminated table must not be referenced
+                                 anywhere beyond the join predicates *)
+                              let join_preds = List.map (fun (_, _, p) -> p) !pairings in
+                              let stripped =
+                                {
+                                  b with
+                                  A.where =
+                                    List.filter
+                                      (fun p -> not (List.memq p join_preds))
+                                      b.A.where;
+                                  from =
+                                    List.filter
+                                      (fun o ->
+                                        not (String.equal o.A.fe_alias alias))
+                                      b.A.from;
+                                }
+                              in
+                              if Tx.alias_refs_in_block stripped alias <> [] then
+                                None
+                              else
+                                (* nullable FK columns need IS NOT NULL *)
+                                let extra =
+                                  List.filter_map
+                                    (fun (fk_col, _) ->
+                                      if
+                                        Catalog.col_nullable cat ~table:ref_table
+                                          ~col:fk_col
+                                      then
+                                        Some
+                                          (A.Not
+                                             (A.Is_null (A.col ref_alias fk_col)))
+                                      else None)
+                                    fk_pairs
+                                in
+                                Some { stripped with A.where = stripped.A.where @ extra })
+                      | _ -> None))
+        | A.J_left ->
+            (* unique-key outer join elimination *)
+            let eq_cols =
+              List.filter_map
+                (fun p ->
+                  match p with
+                  | A.Cmp (A.Eq, A.Col c1, A.Col c2)
+                    when String.equal c1.A.c_alias alias
+                         && not (String.equal c2.A.c_alias alias) ->
+                      Some c1.A.c_col
+                  | A.Cmp (A.Eq, A.Col c2, A.Col c1)
+                    when String.equal c1.A.c_alias alias
+                         && not (String.equal c2.A.c_alias alias) ->
+                      Some c1.A.c_col
+                  | _ -> None)
+                fe.A.fe_cond
+            in
+            if
+              List.length eq_cols = List.length fe.A.fe_cond
+              && Catalog.covers_key cat ~table:tname ~cols:eq_cols
+            then
+              let stripped =
+                {
+                  b with
+                  A.from =
+                    List.filter
+                      (fun o -> not (String.equal o.A.fe_alias alias))
+                      b.A.from;
+                }
+              in
+              if Tx.alias_refs_in_block stripped alias = [] then Some stripped
+              else None
+            else None
+        | _ -> None)
+  in
+  let rec try_all = function
+    | [] -> None
+    | fe :: rest -> ( match try_entry fe with Some b -> Some b | None -> try_all rest)
+  in
+  try_all b.A.from
+
+(** Eliminate joins to a fixpoint in every block (imperative rule). *)
+let apply (cat : Catalog.t) (q : A.query) : A.query =
+  Tx.map_blocks_bottom_up
+    (fun b ->
+      let rec fix b =
+        match eliminate_one cat b with Some b' -> fix b' | None -> b
+      in
+      fix b)
+    q
+
+let count (cat : Catalog.t) (q : A.query) : int =
+  Tx.count_blocks (fun b -> eliminate_one cat b <> None) q

@@ -1,0 +1,153 @@
+(** Shared infrastructure for transformations.
+
+    Every transformation is either {e heuristic} (imperative, in the
+    paper's terms: applied wherever legal) or {e cost-based} (exposing a
+    list of transformation objects for the CBQT framework to search
+    over). The common traversals live here. *)
+
+open Sqlir
+module A = Ast
+
+(** Apply [f] to every block of [q], bottom-up: nested views and
+    subqueries are rewritten before the enclosing block. *)
+let rec map_blocks_bottom_up (f : A.block -> A.block) (q : A.query) : A.query =
+  match q with
+  | A.Setop (op, l, r) ->
+      A.Setop (op, map_blocks_bottom_up f l, map_blocks_bottom_up f r)
+  | A.Block b ->
+      let rewrite_pred p = map_pred_queries (map_blocks_bottom_up f) p in
+      let b =
+        {
+          b with
+          A.from =
+            List.map
+              (fun fe ->
+                {
+                  fe with
+                  A.fe_source =
+                    (match fe.A.fe_source with
+                    | A.S_table t -> A.S_table t
+                    | A.S_view v -> A.S_view (map_blocks_bottom_up f v));
+                  fe_cond = List.map rewrite_pred fe.A.fe_cond;
+                })
+              b.A.from;
+          where = List.map rewrite_pred b.A.where;
+          having = List.map rewrite_pred b.A.having;
+        }
+      in
+      A.Block (f b)
+
+(** Rewrite the subqueries embedded in a predicate. *)
+and map_pred_queries (f : A.query -> A.query) (p : A.pred) : A.pred =
+  match p with
+  | A.In_subq (es, q) -> A.In_subq (es, f q)
+  | A.Not_in_subq (es, q) -> A.Not_in_subq (es, f q)
+  | A.Exists q -> A.Exists (f q)
+  | A.Not_exists q -> A.Not_exists (f q)
+  | A.Cmp_subq (op, e, qt, q) -> A.Cmp_subq (op, e, qt, f q)
+  | A.Not a -> A.Not (map_pred_queries f a)
+  | A.Lnnvl a -> A.Lnnvl (map_pred_queries f a)
+  | A.And (a, b) -> A.And (map_pred_queries f a, map_pred_queries f b)
+  | A.Or (a, b) -> A.Or (map_pred_queries f a, map_pred_queries f b)
+  | p -> p
+
+(** Count the blocks that satisfy [pred]. *)
+let count_blocks (f : A.block -> bool) (q : A.query) : int =
+  let n = ref 0 in
+  ignore
+    (map_blocks_bottom_up
+       (fun b ->
+         if f b then incr n;
+         b)
+       q);
+  !n
+
+(** Is the query a single plain block (no set operators)? *)
+let single_block = function A.Block b -> Some b | A.Setop _ -> None
+
+(** Is [e] a simple SPJ block: no aggregation, no distinct, no window,
+    no order/limit, all FROM entries inner? *)
+let is_spj (b : A.block) =
+  (not (Walk.block_has_agg b))
+  && (not (Walk.block_has_win b))
+  && (not b.A.distinct)
+  && b.A.group_by = [] && b.A.having = [] && b.A.order_by = []
+  && b.A.limit = None
+  && List.for_all A.is_inner b.A.from
+
+(** Predicates of [b] that reference any alias outside [b]'s own FROM:
+    the correlation conjuncts. Returns (correlated, local). *)
+let split_correlation (b : A.block) : A.pred list * A.pred list =
+  let local = Walk.defined_aliases b in
+  List.partition
+    (fun p ->
+      not (Walk.Sset.subset (Walk.pred_aliases ~deep:true p) local))
+    b.A.where
+
+(** The column names of an entry's source, given a catalog (for tables)
+    or the view's select names. *)
+let source_columns (cat : Catalog.t) (fe : A.from_entry) : string list =
+  match fe.A.fe_source with
+  | A.S_table t ->
+      List.map (fun c -> c.Catalog.c_name) (Catalog.find_table cat t).t_cols
+  | A.S_view v -> A.query_select_names v
+
+(** Columns of alias [a] referenced anywhere in the block outside its
+    own FROM entry definition (select, where, group by, having, order
+    by, other entries' conditions and views). *)
+let alias_refs_in_block (b : A.block) (a : string) : string list =
+  let cols = ref [] in
+  let record c =
+    if String.equal c.A.c_alias a && not (List.mem c.A.c_col !cols) then
+      cols := c.A.c_col :: !cols
+  in
+  let fold_pred p =
+    ignore (Walk.fold_pred_cols ~deep:true (fun () c -> record c) () p)
+  in
+  let fold_expr e = ignore (Walk.fold_expr_cols (fun () c -> record c) () e) in
+  List.iter (fun si -> fold_expr si.A.si_expr) b.A.select;
+  List.iter fold_pred b.A.where;
+  List.iter fold_expr b.A.group_by;
+  List.iter fold_pred b.A.having;
+  List.iter (fun (e, _) -> fold_expr e) b.A.order_by;
+  List.iter
+    (fun fe ->
+      List.iter fold_pred fe.A.fe_cond;
+      match fe.A.fe_source with
+      | A.S_view v ->
+          ignore
+            (Walk.fold_query_cols (fun () c -> record c) () v)
+      | A.S_table _ -> ())
+    b.A.from;
+  List.rev !cols
+
+(** Substitute view-output columns by their defining expressions,
+    everywhere in a block (deeply, including correlated references
+    inside subqueries). *)
+let substitute_view_cols ~(alias : string) ~(subst : (string * A.expr) list)
+    (b : A.block) : A.block =
+  let f c =
+    if String.equal c.A.c_alias alias then
+      match List.assoc_opt c.A.c_col subst with
+      | Some e -> e
+      | None -> A.Col c
+    else A.Col c
+  in
+  Walk.map_block_cols f b
+
+(** A deep copy of a query tree. The IR is immutable, so this is the
+    identity — the paper's "capability for deep copying query blocks"
+    (Section 3.1) comes for free; what matters is that transformed
+    copies share no mutable state with the original, which immutability
+    guarantees. *)
+let deep_copy (q : A.query) : A.query = q
+
+(** Primary-or-unique key of a base-table entry, if declared. *)
+let entry_key (cat : Catalog.t) (fe : A.from_entry) : string list option =
+  match fe.A.fe_source with
+  | A.S_view _ -> None
+  | A.S_table t ->
+      let def = Catalog.find_table cat t in
+      if def.t_pkey <> [] then Some def.t_pkey
+      else (
+        match def.t_uniques with key :: _ -> Some key | [] -> None)

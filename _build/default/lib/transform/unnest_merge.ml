@@ -1,0 +1,162 @@
+(** Heuristic subquery unnesting by merging (Section 2.1.1).
+
+    Single-table, non-aggregated subqueries are merged into the
+    containing query block as semijoined / antijoined FROM entries:
+
+    - [EXISTS (SELECT … FROM t WHERE …)]            → [t] joined [J_semi]
+    - [x IN (SELECT e FROM t WHERE …)] / [= ANY]     → [J_semi] with [x = e]
+    - [NOT EXISTS …]                                 → [J_anti]
+    - [x NOT IN …] / [<> ALL]                        → [J_anti_na] (null-aware),
+      downgraded to plain [J_anti] when both sides are provably non-null
+    - [x op ANY (SELECT e …)]                        → [J_semi] with [x op e]
+    - [x op ALL (SELECT e …)]                        → [J_anti_na] with the
+      negated comparison (null-aware ALL semantics)
+
+    This transformation is {e imperative} in Oracle's terms: it is always
+    applied when legal, because a merged semijoin/antijoin strictly
+    enlarges the physical optimizer's choices (join methods and orders,
+    subject to the non-commutative partial order) relative to tuple
+    iteration semantics. Multi-table and aggregated subqueries are
+    handled by the cost-based {!Unnest_view} instead. *)
+
+open Sqlir
+module A = Ast
+
+let negate_cmp : A.cmp -> A.cmp = function
+  | A.Eq -> A.Ne
+  | A.Ne -> A.Eq
+  | A.Lt -> A.Ge
+  | A.Le -> A.Gt
+  | A.Gt -> A.Le
+  | A.Ge -> A.Lt
+
+(** Can the subquery merge? Single block, single inner table, no
+    aggregation / distinct / window / setop / order / limit, and no
+    nested subqueries of its own, and not correlated to non-parent
+    blocks (we check: free aliases of the subquery must all be defined
+    in the immediate parent). *)
+let mergeable_block (parent : A.block) (q : A.query) : A.block option =
+  match Tx.single_block q with
+  | None -> None
+  | Some sb ->
+      let parent_aliases = Walk.defined_aliases parent in
+      let free = Walk.free_aliases q in
+      if
+        Tx.is_spj sb
+        && List.length sb.A.from = 1
+        && (not sb.A.distinct)
+        && List.for_all (fun p -> not (Walk.pred_has_subquery p)) sb.A.where
+        && Walk.Sset.subset free parent_aliases
+      then Some sb
+      else None
+
+(** Is [e] provably non-null in [cat]? Only bare non-nullable columns
+    and constants qualify. *)
+let rec non_null_expr (cat : Catalog.t) (b : A.block) (e : A.expr) : bool =
+  match e with
+  | A.Const v -> not (Value.is_null v)
+  | A.Col c -> (
+      (* find the entry defining this alias; views unknown -> false *)
+      match
+        List.find_opt (fun fe -> String.equal fe.A.fe_alias c.A.c_alias) b.A.from
+      with
+      | Some { A.fe_source = A.S_table t; _ } ->
+          Catalog.has_column cat ~table:t ~col:c.A.c_col
+          && not (Catalog.col_nullable cat ~table:t ~col:c.A.c_col)
+      | _ -> false)
+  | A.Binop (_, a, b') -> non_null_expr cat b a && non_null_expr cat b b'
+  | _ -> false
+
+(** The select expression of the subquery's single item, with the
+    subquery reduced to its FROM entry + conditions. *)
+let merge_one (cat : Catalog.t) (parent : A.block) (p : A.pred) :
+    (A.from_entry * A.pred) option =
+  let entry_of (sb : A.block) kind extra_conds =
+    let fe = List.hd sb.A.from in
+    Some
+      ( { fe with A.fe_kind = kind; fe_cond = extra_conds @ sb.A.where },
+        A.True )
+  in
+  match p with
+  | A.Exists q -> (
+      match mergeable_block parent q with
+      | Some sb -> entry_of sb A.J_semi []
+      | None -> None)
+  | A.Not_exists q -> (
+      match mergeable_block parent q with
+      | Some sb -> entry_of sb A.J_anti []
+      | None -> None)
+  | A.In_subq (es, q) -> (
+      match mergeable_block parent q with
+      | Some sb when List.length es = List.length sb.A.select ->
+          let conds =
+            List.map2 (fun e si -> A.Cmp (A.Eq, e, si.A.si_expr)) es sb.A.select
+          in
+          entry_of sb A.J_semi conds
+      | _ -> None)
+  | A.Not_in_subq (es, q) -> (
+      match mergeable_block parent q with
+      | Some sb when List.length es = List.length sb.A.select ->
+          let conds =
+            List.map2 (fun e si -> A.Cmp (A.Eq, e, si.A.si_expr)) es sb.A.select
+          in
+          (* null-aware unless both sides provably non-null *)
+          let kind =
+            if
+              List.for_all (non_null_expr cat parent) es
+              && List.for_all
+                   (fun si -> non_null_expr cat sb si.A.si_expr)
+                   sb.A.select
+            then A.J_anti
+            else A.J_anti_na
+          in
+          entry_of sb kind conds
+      | _ -> None)
+  | A.Cmp_subq (op, lhs, Some A.Q_any, q) -> (
+      match mergeable_block parent q with
+      | Some sb when List.length sb.A.select = 1 ->
+          let item = (List.hd sb.A.select).A.si_expr in
+          entry_of sb A.J_semi [ A.Cmp (op, lhs, item) ]
+      | _ -> None)
+  | A.Cmp_subq (op, lhs, Some A.Q_all, q) -> (
+      match mergeable_block parent q with
+      | Some sb when List.length sb.A.select = 1 ->
+          let item = (List.hd sb.A.select).A.si_expr in
+          (* x op ALL S  ≡  null-aware anti-join on the negated op *)
+          entry_of sb A.J_anti_na [ A.Cmp (negate_cmp op, lhs, item) ]
+      | _ -> None)
+  | _ -> None
+
+(** Merge every eligible subquery of every block. Imperative: applied
+    wherever legal. Subqueries under OR / NOT are never touched (their
+    unnesting is invalid, as the paper notes). *)
+let apply (cat : Catalog.t) (q : A.query) : A.query =
+  Tx.map_blocks_bottom_up
+    (fun b ->
+      let new_entries = ref [] in
+      let where =
+        List.filter_map
+          (fun p ->
+            match merge_one cat b p with
+            | Some (fe, _) ->
+                new_entries := fe :: !new_entries;
+                None
+            | None -> Some p)
+          b.A.where
+      in
+      { b with A.where; from = b.A.from @ List.rev !new_entries })
+    q
+
+(** Number of subqueries this transformation would merge; used by tests
+    and the workload classifier. *)
+let count (cat : Catalog.t) (q : A.query) : int =
+  let n = ref 0 in
+  ignore
+    (Tx.map_blocks_bottom_up
+       (fun b ->
+         List.iter
+           (fun p -> if merge_one cat b p <> None then incr n)
+           b.A.where;
+         b)
+       q);
+  !n

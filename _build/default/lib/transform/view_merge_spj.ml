@@ -1,0 +1,112 @@
+(** Heuristic SPJ view merging (Section 2.1).
+
+    Simple select-project-join views are merged into the containing
+    block unconditionally: "minimizing the number of query blocks …
+    removes restrictions from the set of join permutations … as long as
+    it does not require introducing, replicating or re-positioning of
+    distinct or group-by operator". Group-by and distinct views are the
+    business of the cost-based {!Gb_view_merge}.
+
+    Inner-joined SPJ views are spliced wholesale. Semi-, anti- and
+    outer-joined views are merged only when they contain a single table
+    (the paper's footnote 3): the entry's source is replaced by the
+    table, and the view's WHERE conjuncts join the entry's ON
+    condition. *)
+
+open Sqlir
+module A = Ast
+
+let mergeable_inner (fe : A.from_entry) : A.block option =
+  match (fe.A.fe_kind, fe.A.fe_source) with
+  | A.J_inner, A.S_view vq -> (
+      match Tx.single_block vq with
+      | Some vb when Tx.is_spj vb && fe.A.fe_cond = [] -> Some vb
+      | _ -> None)
+  | _ -> None
+
+let mergeable_single_table (fe : A.from_entry) : A.block option =
+  match fe.A.fe_source with
+  | A.S_view vq -> (
+      match Tx.single_block vq with
+      | Some vb
+        when Tx.is_spj vb
+             && List.length vb.A.from = 1
+             && (match (List.hd vb.A.from).A.fe_source with
+                | A.S_table _ -> true
+                | _ -> false)
+             (* the view items must be plain columns so that ON-condition
+                substitution cannot change null semantics *)
+             && List.for_all
+                  (fun si -> match si.A.si_expr with A.Col _ -> true | _ -> false)
+                  vb.A.select ->
+          Some vb
+      | _ -> None)
+  | A.S_table _ -> None
+
+let merge_inner (b : A.block) (fe : A.from_entry) (vb : A.block) : A.block =
+  let subst = List.map (fun si -> (si.A.si_name, si.A.si_expr)) vb.A.select in
+  let b = Tx.substitute_view_cols ~alias:fe.A.fe_alias ~subst b in
+  {
+    b with
+    A.from =
+      List.concat_map
+        (fun o ->
+          if String.equal o.A.fe_alias fe.A.fe_alias then vb.A.from else [ o ])
+        b.A.from;
+    where = b.A.where @ vb.A.where;
+  }
+
+let merge_single_table (b : A.block) (fe : A.from_entry) (vb : A.block) :
+    A.block =
+  let inner = List.hd vb.A.from in
+  let subst = List.map (fun si -> (si.A.si_name, si.A.si_expr)) vb.A.select in
+  let fe' =
+    {
+      fe with
+      A.fe_source = inner.A.fe_source;
+      fe_alias = inner.A.fe_alias;
+      fe_cond =
+        List.map
+          (Walk.substitute_alias ~alias:fe.A.fe_alias ~subst)
+          fe.A.fe_cond
+        @ vb.A.where;
+    }
+  in
+  let b =
+    Tx.substitute_view_cols ~alias:fe.A.fe_alias ~subst
+      {
+        b with
+        A.from =
+          List.map
+            (fun o -> if String.equal o.A.fe_alias fe.A.fe_alias then fe' else o)
+            b.A.from;
+      }
+  in
+  b
+
+let merge_block (b : A.block) : A.block =
+  let rec fix b =
+    let candidate =
+      List.find_map
+        (fun fe ->
+          match mergeable_inner fe with
+          | Some vb -> Some (`Inner (fe, vb))
+          | None -> (
+              match fe.A.fe_kind with
+              | A.J_semi | A.J_anti | A.J_anti_na | A.J_left -> (
+                  match mergeable_single_table fe with
+                  | Some vb -> Some (`Single (fe, vb))
+                  | None -> None)
+              | A.J_inner -> None))
+        b.A.from
+    in
+    match candidate with
+    | Some (`Inner (fe, vb)) -> fix (merge_inner b fe vb)
+    | Some (`Single (fe, vb)) -> fix (merge_single_table b fe vb)
+    | None -> b
+  in
+  fix b
+
+(** Merge every SPJ view, everywhere, to a fixpoint (imperative). *)
+let apply (_cat : Catalog.t) (q : A.query) : A.query =
+  Tx.map_blocks_bottom_up merge_block q

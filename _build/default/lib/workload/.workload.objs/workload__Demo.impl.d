@@ -1,0 +1,1 @@
+lib/workload/demo.ml: Array Catalog List Printf Sqlir Storage Value

@@ -1,0 +1,1 @@
+lib/workload/query_gen.ml: Ast List Printf Rng Schema_gen Sqlir String Value

@@ -1,0 +1,1 @@
+lib/workload/runner.ml: Ast Cbqt Exec Float Fmt List Planner Printexc Printf Query_gen Sqlir Storage String

@@ -1,0 +1,1 @@
+lib/workload/schema_gen.ml: Array Catalog List Printf Rng Sqlir Storage String Value

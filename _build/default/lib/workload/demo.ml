@@ -1,0 +1,161 @@
+(** The demo HR schema — the one the paper's running examples (Q1–Q18)
+    are phrased against — with small deterministic data. Used by the
+    examples, the CLI and the test suite. *)
+
+open Sqlir
+module V = Value
+
+let hr_catalog () : Catalog.t =
+  let cat = Catalog.create () in
+  Catalog.add_table cat
+    {
+      t_name = "locations";
+      t_cols =
+        [
+          { c_name = "loc_id"; c_ty = V.T_int; c_nullable = false };
+          { c_name = "city"; c_ty = V.T_str; c_nullable = false };
+          { c_name = "country_id"; c_ty = V.T_str; c_nullable = false };
+        ];
+      t_pkey = [ "loc_id" ];
+      t_fkeys = [];
+      t_uniques = [];
+    };
+  Catalog.add_table cat
+    {
+      t_name = "departments";
+      t_cols =
+        [
+          { c_name = "dept_id"; c_ty = V.T_int; c_nullable = false };
+          { c_name = "dept_name"; c_ty = V.T_str; c_nullable = false };
+          { c_name = "loc_id"; c_ty = V.T_int; c_nullable = false };
+        ];
+      t_pkey = [ "dept_id" ];
+      t_fkeys =
+        [
+          {
+            fk_cols = [ "loc_id" ];
+            fk_ref_table = "locations";
+            fk_ref_cols = [ "loc_id" ];
+          };
+        ];
+      t_uniques = [];
+    };
+  Catalog.add_table cat
+    {
+      t_name = "employees";
+      t_cols =
+        [
+          { c_name = "emp_id"; c_ty = V.T_int; c_nullable = false };
+          { c_name = "name"; c_ty = V.T_str; c_nullable = false };
+          { c_name = "dept_id"; c_ty = V.T_int; c_nullable = true };
+          { c_name = "mgr_id"; c_ty = V.T_int; c_nullable = true };
+          { c_name = "salary"; c_ty = V.T_int; c_nullable = false };
+          { c_name = "job_id"; c_ty = V.T_int; c_nullable = false };
+        ];
+      t_pkey = [ "emp_id" ];
+      t_fkeys =
+        [
+          {
+            fk_cols = [ "dept_id" ];
+            fk_ref_table = "departments";
+            fk_ref_cols = [ "dept_id" ];
+          };
+        ];
+      t_uniques = [];
+    };
+  Catalog.add_table cat
+    {
+      t_name = "job_history";
+      t_cols =
+        [
+          { c_name = "emp_id"; c_ty = V.T_int; c_nullable = false };
+          { c_name = "job_id"; c_ty = V.T_int; c_nullable = false };
+          { c_name = "start_date"; c_ty = V.T_date; c_nullable = false };
+          { c_name = "dept_id"; c_ty = V.T_int; c_nullable = false };
+        ];
+      t_pkey = [ "emp_id"; "start_date" ];
+      t_fkeys =
+        [
+          {
+            fk_cols = [ "emp_id" ];
+            fk_ref_table = "employees";
+            fk_ref_cols = [ "emp_id" ];
+          };
+        ];
+      t_uniques = [];
+    };
+  List.iter (Catalog.add_index cat)
+    [
+      { ix_name = "loc_pk"; ix_table = "locations"; ix_cols = [ "loc_id" ]; ix_unique = true };
+      { ix_name = "dept_pk"; ix_table = "departments"; ix_cols = [ "dept_id" ]; ix_unique = true };
+      { ix_name = "emp_pk"; ix_table = "employees"; ix_cols = [ "emp_id" ]; ix_unique = true };
+      {
+        ix_name = "emp_dept_idx";
+        ix_table = "employees";
+        ix_cols = [ "dept_id" ];
+        ix_unique = false;
+      };
+      {
+        ix_name = "jh_pk";
+        ix_table = "job_history";
+        ix_cols = [ "emp_id"; "start_date" ];
+        ix_unique = true;
+      };
+      {
+        ix_name = "jh_emp_idx";
+        ix_table = "job_history";
+        ix_cols = [ "emp_id" ];
+        ix_unique = false;
+      };
+    ];
+  cat
+
+(** Deterministic data, scaled by [size] (default 1): [40*size]
+    employees over 6 departments in 4 locations, [30*size] job-history
+    rows; a couple of NULL [dept_id]s and periodic NULL [mgr_id]s. *)
+let hr_db ?(size = 1) () : Storage.Db.t =
+  let cat = hr_catalog () in
+  let db = Storage.Db.create cat in
+  let countries = [| "US"; "US"; "UK"; "DE" |] in
+  let cities = [| "Seattle"; "Austin"; "London"; "Berlin" |] in
+  Storage.Db.load db
+    (Storage.Relation.create ~name:"locations"
+       ~schema:[ "loc_id"; "city"; "country_id" ]
+       (List.init 4 (fun i ->
+            [| V.Int (100 + i); V.Str cities.(i); V.Str countries.(i) |])));
+  let dept_names = [| "ENG"; "SALES"; "HR"; "OPS"; "FIN"; "LEGAL" |] in
+  Storage.Db.load db
+    (Storage.Relation.create ~name:"departments"
+       ~schema:[ "dept_id"; "dept_name"; "loc_id" ]
+       (List.init 6 (fun i ->
+            [| V.Int (10 + i); V.Str dept_names.(i); V.Int (100 + (i mod 4)) |])));
+  let n_emp = 40 * size in
+  Storage.Db.load db
+    (Storage.Relation.create ~name:"employees"
+       ~schema:[ "emp_id"; "name"; "dept_id"; "mgr_id"; "salary"; "job_id" ]
+       (List.init n_emp (fun i ->
+            let dept =
+              if i mod 20 = 7 then V.Null else V.Int (10 + (i mod 6))
+            in
+            let mgr = if i mod 5 = 0 then V.Null else V.Int (1000 + (i / 5)) in
+            [|
+              V.Int (1000 + i);
+              V.Str (Printf.sprintf "emp%02d" i);
+              dept;
+              mgr;
+              V.Int (3000 + (i * 137 mod 5000));
+              V.Int (1 + (i mod 7));
+            |])));
+  let n_jh = 30 * size in
+  Storage.Db.load db
+    (Storage.Relation.create ~name:"job_history"
+       ~schema:[ "emp_id"; "job_id"; "start_date"; "dept_id" ]
+       (List.init n_jh (fun i ->
+            [|
+              V.Int (1000 + (i * 3 mod n_emp));
+              V.Int (1 + (i mod 7));
+              V.Date (10000 + (i * 97 mod 3000) + (i / 31));
+              V.Int (10 + (i mod 6));
+            |])));
+  Storage.Stats_gather.analyze db;
+  db

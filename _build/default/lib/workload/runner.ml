@@ -1,0 +1,195 @@
+(** A/B workload runner and top-N% reporting.
+
+    Mirrors the paper's methodology (Section 4): every query is
+    optimized under two configurations (e.g. CBQT off vs. on), the two
+    plans are diffed by fingerprint, and both plans are executed with a
+    work meter. "Execution time" is metered work units; "optimization
+    time" is wall-clock plus the framework's state counters. Reports
+    follow Figures 2–4: aggregate percentage improvement as a function
+    of the top N% longest-running queries {e under configuration A}
+    (the paper's "without cost-based transformation"), the fraction of
+    affected queries that degraded, and the optimization-time increase. *)
+
+open Sqlir
+module A = Ast
+
+type side = {
+  s_cost : float;  (** optimizer's estimate *)
+  s_work : float;  (** metered execution work *)
+  s_opt_seconds : float;
+  s_states : int;
+  s_blocks : int;
+  s_plan_fp : string;
+}
+
+type run = {
+  rn_id : int;
+  rn_class : Query_gen.qclass;
+  rn_a : side;
+  rn_b : side;
+  rn_plan_changed : bool;
+  rn_rows : int;
+}
+
+type failure = { f_id : int; f_class : Query_gen.qclass; f_error : string }
+
+type outcome = { runs : run list; failures : failure list }
+
+let run_side (db : Storage.Db.t) (config : Cbqt.Driver.config) (q : A.query) :
+    side * Exec.Executor.row list =
+  let res = Cbqt.Driver.optimize ~config db.Storage.Db.cat q in
+  let plan = res.Cbqt.Driver.res_annotation.Planner.Annotation.an_plan in
+  let meter = Exec.Meter.create () in
+  let _, rows, _ = Exec.Executor.execute ~meter db plan in
+  ( {
+      s_cost = res.res_annotation.an_cost;
+      s_work = Exec.Meter.work meter;
+      s_opt_seconds = res.res_report.Cbqt.Driver.rp_opt_seconds;
+      s_states = res.res_report.rp_states_total;
+      s_blocks = res.res_report.rp_blocks_optimized;
+      s_plan_fp = Exec.Plan.fingerprint plan;
+    },
+    rows )
+
+(** Run the workload under configurations [a] and [b]. When [verify] is
+    set, the two result sets are compared (multiset) and mismatches
+    raise — used by the test suite; the benchmark harness trusts the
+    transformation tests and skips verification for speed. *)
+let run_pair ?(verify = false) (db : Storage.Db.t)
+    ~(a : Cbqt.Driver.config) ~(b : Cbqt.Driver.config)
+    (items : Query_gen.item list) : outcome =
+  let runs = ref [] in
+  let failures = ref [] in
+  List.iter
+    (fun (it : Query_gen.item) ->
+      match
+        let sa, rows_a = run_side db a it.Query_gen.it_query in
+        let sb, rows_b = run_side db b it.it_query in
+        if verify && not (Exec.Executor.rows_equal_multiset rows_a rows_b) then
+          failwith
+            (Printf.sprintf "result mismatch on query %d (%s)" it.it_id
+               (Query_gen.class_name it.it_class));
+        {
+          rn_id = it.it_id;
+          rn_class = it.it_class;
+          rn_a = sa;
+          rn_b = sb;
+          rn_plan_changed = not (String.equal sa.s_plan_fp sb.s_plan_fp);
+          rn_rows = List.length rows_a;
+        }
+      with
+      | run -> runs := run :: !runs
+      | exception e ->
+          failures :=
+            {
+              f_id = it.it_id;
+              f_class = it.it_class;
+              f_error = Printexc.to_string e;
+            }
+            :: !failures)
+    items;
+  { runs = List.rev !runs; failures = List.rev !failures }
+
+(* ------------------------------------------------------------------ *)
+(* Top-N% reporting (Figures 2–4)                                       *)
+(* ------------------------------------------------------------------ *)
+
+type bucket = {
+  bk_top_pct : int;
+  bk_queries : int;
+  bk_improvement_pct : float;
+      (** (work_A − work_B) / work_B × 100 over the bucket *)
+}
+
+type summary = {
+  sm_total : int;
+  sm_affected : int;  (** plan changed *)
+  sm_avg_improvement_pct : float;  (** aggregate over affected queries *)
+  sm_degraded_frac : float;  (** of affected queries *)
+  sm_degraded_avg_pct : float;  (** average slowdown of the degraded *)
+  sm_buckets : bucket list;
+  sm_opt_time_increase_pct : float;
+  sm_states_a : int;
+  sm_states_b : int;
+}
+
+let improvement ~work_a ~work_b =
+  if work_b <= 0. then 0. else (work_a -. work_b) /. work_b *. 100.
+
+(** Summarize the affected (plan-changed) queries, bucketed by the top
+    N% most expensive under configuration A. *)
+let summarize ?(tops = [ 5; 10; 25; 50; 80; 100 ]) (o : outcome) : summary =
+  let affected = List.filter (fun r -> r.rn_plan_changed) o.runs in
+  let sorted =
+    List.sort
+      (fun r1 r2 -> Float.compare r2.rn_a.s_work r1.rn_a.s_work)
+      affected
+  in
+  let n = List.length sorted in
+  let bucket pct =
+    let k = max 1 (n * pct / 100) in
+    let top = List.filteri (fun i _ -> i < k) sorted in
+    let wa = List.fold_left (fun acc r -> acc +. r.rn_a.s_work) 0. top in
+    let wb = List.fold_left (fun acc r -> acc +. r.rn_b.s_work) 0. top in
+    {
+      bk_top_pct = pct;
+      bk_queries = k;
+      bk_improvement_pct = improvement ~work_a:wa ~work_b:wb;
+    }
+  in
+  let wa_all = List.fold_left (fun acc r -> acc +. r.rn_a.s_work) 0. affected in
+  let wb_all = List.fold_left (fun acc r -> acc +. r.rn_b.s_work) 0. affected in
+  let degraded =
+    List.filter (fun r -> r.rn_b.s_work > r.rn_a.s_work *. 1.02) affected
+  in
+  let degraded_avg =
+    match degraded with
+    | [] -> 0.
+    | _ ->
+        List.fold_left
+          (fun acc r ->
+            acc +. ((r.rn_b.s_work -. r.rn_a.s_work) /. r.rn_a.s_work *. 100.))
+          0. degraded
+        /. float_of_int (List.length degraded)
+  in
+  (* optimization-time increase over the queries the searches actually
+     touched (elsewhere both configurations do identical work and noise
+     dominates) *)
+  let touched =
+    match List.filter (fun r -> r.rn_b.s_states > 0) o.runs with
+    | [] -> o.runs
+    | ts -> ts
+  in
+  let opt_a =
+    List.fold_left (fun acc r -> acc +. r.rn_a.s_opt_seconds) 0. touched
+  in
+  let opt_b =
+    List.fold_left (fun acc r -> acc +. r.rn_b.s_opt_seconds) 0. touched
+  in
+  {
+    sm_total = List.length o.runs;
+    sm_affected = n;
+    sm_avg_improvement_pct = improvement ~work_a:wa_all ~work_b:wb_all;
+    sm_degraded_frac =
+      (if n = 0 then 0. else float_of_int (List.length degraded) /. float_of_int n);
+    sm_degraded_avg_pct = degraded_avg;
+    sm_buckets = (if n = 0 then [] else List.map bucket tops);
+    sm_opt_time_increase_pct =
+      (if opt_a <= 0. then 0. else (opt_b -. opt_a) /. opt_a *. 100.);
+    sm_states_a = List.fold_left (fun acc r -> acc + r.rn_a.s_states) 0 o.runs;
+    sm_states_b = List.fold_left (fun acc r -> acc + r.rn_b.s_states) 0 o.runs;
+  }
+
+let pp_summary ppf (s : summary) =
+  Fmt.pf ppf
+    "queries=%d affected=%d avg improvement=%.0f%% degraded=%.0f%% of \
+     affected (avg %.0f%% slower) opt-time %+.0f%% states %d -> %d@."
+    s.sm_total s.sm_affected s.sm_avg_improvement_pct
+    (s.sm_degraded_frac *. 100.)
+    s.sm_degraded_avg_pct s.sm_opt_time_increase_pct s.sm_states_a
+    s.sm_states_b;
+  List.iter
+    (fun b ->
+      Fmt.pf ppf "  top %3d%% (%4d queries): %+7.0f%%@." b.bk_top_pct
+        b.bk_queries b.bk_improvement_pct)
+    s.sm_buckets

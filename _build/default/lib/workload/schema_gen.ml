@@ -1,0 +1,242 @@
+(** Synthetic schema and data generation.
+
+    Stands in for the Oracle Applications schema of the paper's
+    evaluation (Section 4): ~14,000 highly normalized tables across HR /
+    Financials / Order Entry / CRM / Supply Chain. We generate a scaled-
+    down version with the same {e shape}: several application families,
+    each a normalized star of dimension → mid-level → fact tables linked
+    by declared foreign keys, with B-tree indexes on keys and most
+    foreign keys, skewed data distributions, nullable foreign keys, and
+    sampled (hence imperfect) optimizer statistics. *)
+
+open Sqlir
+module V = Value
+
+type tinfo = {
+  ti_name : string;
+  ti_rows : int;
+  ti_pk : string;  (** single-column primary key *)
+  ti_fks : (string * string * bool) list;
+      (** (column, referenced table, nullable) — referenced column is
+          always the referenced table's PK *)
+  ti_measures : string list;  (** numeric columns, domain [0, 10000) *)
+  ti_cats : (string * int) list;  (** low-NDV int columns: (name, ndv) *)
+  ti_strs : (string * string list) list;  (** string columns with domain *)
+  ti_dates : string list;  (** date columns, domain [10000, 12000) *)
+}
+
+type family = {
+  fam_name : string;
+  fam_dims : tinfo list;
+  fam_mid : tinfo;
+  fam_facts : tinfo list;
+}
+
+type t = { families : family list; all_tables : tinfo list }
+
+let regions = [ "US"; "UK"; "DE"; "JP"; "BR"; "IN" ]
+let statuses = [ "open"; "closed"; "pending"; "void" ]
+
+(* ------------------------------------------------------------------ *)
+(* Schema construction                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let make_family rng idx : family =
+  let fam = Printf.sprintf "f%d" idx in
+  let n_dims = Rng.range rng 2 3 in
+  let dims =
+    List.init n_dims (fun i ->
+        {
+          ti_name = Printf.sprintf "%s_dim%d" fam i;
+          ti_rows = Rng.range rng 40 300;
+          ti_pk = "id";
+          ti_fks = [];
+          ti_measures = [ "rank_no" ];
+          ti_cats = [ ("grp", Rng.range rng 3 8) ];
+          ti_strs = [ ("region", regions) ];
+          ti_dates = [];
+        })
+  in
+  let mid =
+    {
+      ti_name = fam ^ "_mid";
+      ti_rows = Rng.range rng 400 1500;
+      ti_pk = "id";
+      ti_fks = [ ("dim0_id", (List.hd dims).ti_name, false) ];
+      ti_measures = [ "budget" ];
+      ti_cats = [ ("kind", Rng.range rng 4 10) ];
+      ti_strs = [ ("status", statuses) ];
+      ti_dates = [];
+    }
+  in
+  let n_facts = Rng.range rng 1 2 in
+  let facts =
+    List.init n_facts (fun i ->
+        let dim_fks =
+          List.mapi
+            (fun j d -> (Printf.sprintf "dim%d_id" j, d.ti_name, Rng.bool rng ~p:0.3))
+            dims
+        in
+        {
+          ti_name = Printf.sprintf "%s_fact%d" fam i;
+          ti_rows = Rng.range rng 1500 6000;
+          ti_pk = "id";
+          ti_fks = (("mid_id", mid.ti_name, Rng.bool rng ~p:0.25)) :: dim_fks;
+          ti_measures = [ "m1"; "m2" ];
+          ti_cats = [ ("status_c", Rng.range rng 3 6); ("code", Rng.range rng 20 200) ];
+          ti_strs = [ ("region", regions) ];
+          ti_dates = [ "created" ];
+        })
+  in
+  { fam_name = fam; fam_dims = dims; fam_mid = mid; fam_facts = facts }
+
+let columns_of (ti : tinfo) : Catalog.col_def list =
+  [ { Catalog.c_name = ti.ti_pk; c_ty = V.T_int; c_nullable = false } ]
+  @ List.map
+      (fun (c, _, nullable) ->
+        { Catalog.c_name = c; c_ty = V.T_int; c_nullable = nullable })
+      ti.ti_fks
+  @ List.map
+      (fun c -> { Catalog.c_name = c; c_ty = V.T_int; c_nullable = false })
+      ti.ti_measures
+  @ List.map
+      (fun (c, _) -> { Catalog.c_name = c; c_ty = V.T_int; c_nullable = false })
+      ti.ti_cats
+  @ List.map
+      (fun (c, _) -> { Catalog.c_name = c; c_ty = V.T_str; c_nullable = false })
+      ti.ti_strs
+  @ List.map
+      (fun c -> { Catalog.c_name = c; c_ty = V.T_date; c_nullable = false })
+      ti.ti_dates
+
+let register rng (cat : Catalog.t) (ti : tinfo) =
+  Catalog.add_table cat
+    {
+      t_name = ti.ti_name;
+      t_cols = columns_of ti;
+      t_pkey = [ ti.ti_pk ];
+      t_fkeys =
+        List.map
+          (fun (c, ref_t, _) ->
+            {
+              Catalog.fk_cols = [ c ];
+              fk_ref_table = ref_t;
+              fk_ref_cols = [ "id" ];
+            })
+          ti.ti_fks;
+      t_uniques = [];
+    };
+  Catalog.add_index cat
+    {
+      ix_name = ti.ti_name ^ "_pk";
+      ix_table = ti.ti_name;
+      ix_cols = [ ti.ti_pk ];
+      ix_unique = true;
+    };
+  List.iteri
+    (fun i (c, _, _) ->
+      if Rng.bool rng ~p:0.75 then
+        Catalog.add_index cat
+          {
+            ix_name = Printf.sprintf "%s_fk%d" ti.ti_name i;
+            ix_table = ti.ti_name;
+            ix_cols = [ c ];
+            ix_unique = false;
+          })
+    ti.ti_fks;
+  List.iter
+    (fun c ->
+      if Rng.bool rng ~p:0.4 then
+        Catalog.add_index cat
+          {
+            ix_name = Printf.sprintf "%s_%s_ix" ti.ti_name c;
+            ix_table = ti.ti_name;
+            ix_cols = [ c ];
+            ix_unique = false;
+          })
+    ti.ti_dates
+
+(* ------------------------------------------------------------------ *)
+(* Data generation                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let generate_rows rng (ti : tinfo) (ref_rows : string -> int) :
+    Storage.Relation.t =
+  let schema = List.map (fun c -> c.Catalog.c_name) (columns_of ti) in
+  let rows =
+    List.init ti.ti_rows (fun r ->
+        let pk = V.Int (r + 1) in
+        let fks =
+          List.map
+            (fun (_, ref_t, nullable) ->
+              if nullable && Rng.bool rng ~p:0.08 then V.Null
+              else V.Int (1 + Rng.skewed rng (ref_rows ref_t)))
+            ti.ti_fks
+        in
+        let measures =
+          List.map (fun _ -> V.Int (Rng.int rng 10000)) ti.ti_measures
+        in
+        let cats =
+          List.map (fun (_, ndv) -> V.Int (Rng.skewed rng ndv)) ti.ti_cats
+        in
+        let strs =
+          List.map (fun (_, dom) -> V.Str (Rng.pick rng dom)) ti.ti_strs
+        in
+        let dates =
+          List.map (fun _ -> V.Date (10000 + Rng.int rng 2000)) ti.ti_dates
+        in
+        Array.of_list ((pk :: fks) @ measures @ cats @ strs @ dates))
+  in
+  Storage.Relation.create ~name:ti.ti_name ~schema rows
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(** Build a database of [families] application families. Statistics are
+    gathered on a [sample_frac] row sample (set 1.0 for exact stats);
+    sampling error is the paper's source of plan regressions.
+    [row_scale] shrinks every table (used by the property tests, whose
+    reference evaluator is exponential in join width). *)
+let build ?(families = 4) ?(sample_frac = 0.15) ?(row_scale = 1.0)
+    ~(seed : int) () : Storage.Db.t * t =
+  let rng = Rng.create seed in
+  let fams = List.init families (make_family rng) in
+  let fams =
+    if row_scale >= 1.0 then fams
+    else
+      let shrink ti =
+        {
+          ti with
+          ti_rows =
+            max 8 (int_of_float (float_of_int ti.ti_rows *. row_scale));
+        }
+      in
+      List.map
+        (fun f ->
+          {
+            f with
+            fam_dims = List.map shrink f.fam_dims;
+            fam_mid = shrink f.fam_mid;
+            fam_facts = List.map shrink f.fam_facts;
+          })
+        fams
+  in
+  let all =
+    List.concat_map
+      (fun f -> f.fam_dims @ [ f.fam_mid ] @ f.fam_facts)
+      fams
+  in
+  let cat = Catalog.create () in
+  List.iter (register rng cat) all;
+  let db = Storage.Db.create cat in
+  let ref_rows name =
+    (List.find (fun ti -> String.equal ti.ti_name name) all).ti_rows
+  in
+  List.iter (fun ti -> Storage.Db.load db (generate_rows rng ti ref_rows)) all;
+  if sample_frac >= 1.0 then Storage.Stats_gather.analyze db
+  else
+    Storage.Stats_gather.analyze
+      ~sample:(Some (seed lxor 0x5DEECE, sample_frac))
+      db;
+  (db, { families = fams; all_tables = all })

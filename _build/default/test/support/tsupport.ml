@@ -1,0 +1,262 @@
+(** Shared test support: a miniature HR schema (the one the paper's
+    running examples Q1–Q18 are written against), deterministic data,
+    AST construction helpers, and result cross-checking between the
+    physical optimizer + executor and the reference evaluator. *)
+
+open Sqlir
+module A = Ast
+module V = Value
+
+(* ------------------------------------------------------------------ *)
+(* Mini HR schema                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let hr_catalog () : Catalog.t =
+  let cat = Catalog.create () in
+  Catalog.add_table cat
+    {
+      t_name = "locations";
+      t_cols =
+        [
+          { c_name = "loc_id"; c_ty = V.T_int; c_nullable = false };
+          { c_name = "city"; c_ty = V.T_str; c_nullable = false };
+          { c_name = "country_id"; c_ty = V.T_str; c_nullable = false };
+        ];
+      t_pkey = [ "loc_id" ];
+      t_fkeys = [];
+      t_uniques = [];
+    };
+  Catalog.add_table cat
+    {
+      t_name = "departments";
+      t_cols =
+        [
+          { c_name = "dept_id"; c_ty = V.T_int; c_nullable = false };
+          { c_name = "dept_name"; c_ty = V.T_str; c_nullable = false };
+          { c_name = "loc_id"; c_ty = V.T_int; c_nullable = false };
+        ];
+      t_pkey = [ "dept_id" ];
+      t_fkeys =
+        [ { fk_cols = [ "loc_id" ]; fk_ref_table = "locations"; fk_ref_cols = [ "loc_id" ] } ];
+      t_uniques = [];
+    };
+  Catalog.add_table cat
+    {
+      t_name = "employees";
+      t_cols =
+        [
+          { c_name = "emp_id"; c_ty = V.T_int; c_nullable = false };
+          { c_name = "name"; c_ty = V.T_str; c_nullable = false };
+          { c_name = "dept_id"; c_ty = V.T_int; c_nullable = true };
+          { c_name = "mgr_id"; c_ty = V.T_int; c_nullable = true };
+          { c_name = "salary"; c_ty = V.T_int; c_nullable = false };
+          { c_name = "job_id"; c_ty = V.T_int; c_nullable = false };
+        ];
+      t_pkey = [ "emp_id" ];
+      t_fkeys =
+        [
+          {
+            fk_cols = [ "dept_id" ];
+            fk_ref_table = "departments";
+            fk_ref_cols = [ "dept_id" ];
+          };
+        ];
+      t_uniques = [];
+    };
+  Catalog.add_table cat
+    {
+      t_name = "job_history";
+      t_cols =
+        [
+          { c_name = "emp_id"; c_ty = V.T_int; c_nullable = false };
+          { c_name = "job_id"; c_ty = V.T_int; c_nullable = false };
+          { c_name = "start_date"; c_ty = V.T_date; c_nullable = false };
+          { c_name = "dept_id"; c_ty = V.T_int; c_nullable = false };
+        ];
+      t_pkey = [ "emp_id"; "start_date" ];
+      t_fkeys =
+        [
+          {
+            fk_cols = [ "emp_id" ];
+            fk_ref_table = "employees";
+            fk_ref_cols = [ "emp_id" ];
+          };
+        ];
+      t_uniques = [];
+    };
+  Catalog.add_index cat
+    { ix_name = "loc_pk"; ix_table = "locations"; ix_cols = [ "loc_id" ]; ix_unique = true };
+  Catalog.add_index cat
+    { ix_name = "dept_pk"; ix_table = "departments"; ix_cols = [ "dept_id" ]; ix_unique = true };
+  Catalog.add_index cat
+    { ix_name = "emp_pk"; ix_table = "employees"; ix_cols = [ "emp_id" ]; ix_unique = true };
+  Catalog.add_index cat
+    {
+      ix_name = "emp_dept_idx";
+      ix_table = "employees";
+      ix_cols = [ "dept_id" ];
+      ix_unique = false;
+    };
+  Catalog.add_index cat
+    {
+      ix_name = "jh_pk";
+      ix_table = "job_history";
+      ix_cols = [ "emp_id"; "start_date" ];
+      ix_unique = true;
+    };
+  Catalog.add_index cat
+    {
+      ix_name = "jh_emp_idx";
+      ix_table = "job_history";
+      ix_cols = [ "emp_id" ];
+      ix_unique = false;
+    };
+  cat
+
+(** Deterministic data. 40 employees over 6 departments in 4 locations;
+    two employees have NULL dept_id, several have NULL mgr_id; 30
+    job-history rows. *)
+let hr_db () : Storage.Db.t =
+  let cat = hr_catalog () in
+  let db = Storage.Db.create cat in
+  let countries = [| "US"; "US"; "UK"; "DE" |] in
+  let cities = [| "Seattle"; "Austin"; "London"; "Berlin" |] in
+  let locations =
+    List.init 4 (fun i ->
+        [| V.Int (100 + i); V.Str cities.(i); V.Str countries.(i) |])
+  in
+  Storage.Db.load db
+    (Storage.Relation.create ~name:"locations"
+       ~schema:[ "loc_id"; "city"; "country_id" ]
+       locations);
+  let dept_names = [| "ENG"; "SALES"; "HR"; "OPS"; "FIN"; "LEGAL" |] in
+  let departments =
+    List.init 6 (fun i ->
+        [| V.Int (10 + i); V.Str dept_names.(i); V.Int (100 + (i mod 4)) |])
+  in
+  Storage.Db.load db
+    (Storage.Relation.create ~name:"departments"
+       ~schema:[ "dept_id"; "dept_name"; "loc_id" ]
+       departments);
+  let employees =
+    List.init 40 (fun i ->
+        let dept =
+          if i = 7 || i = 23 then V.Null else V.Int (10 + (i mod 6))
+        in
+        let mgr = if i mod 5 = 0 then V.Null else V.Int (1000 + (i / 5)) in
+        [|
+          V.Int (1000 + i);
+          V.Str (Printf.sprintf "emp%02d" i);
+          dept;
+          mgr;
+          V.Int (3000 + (i * 137 mod 5000));
+          V.Int (1 + (i mod 7));
+        |])
+  in
+  Storage.Db.load db
+    (Storage.Relation.create ~name:"employees"
+       ~schema:[ "emp_id"; "name"; "dept_id"; "mgr_id"; "salary"; "job_id" ]
+       employees);
+  let job_history =
+    List.init 30 (fun i ->
+        [|
+          V.Int (1000 + (i * 3 mod 40));
+          V.Int (1 + (i mod 7));
+          V.Date (10000 + (i * 97));
+          V.Int (10 + (i mod 6));
+        |])
+  in
+  Storage.Db.load db
+    (Storage.Relation.create ~name:"job_history"
+       ~schema:[ "emp_id"; "job_id"; "start_date"; "dept_id" ]
+       job_history);
+  Storage.Stats_gather.analyze db;
+  db
+
+(* ------------------------------------------------------------------ *)
+(* AST builders                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let tbl ?(kind = A.J_inner) ?(cond = []) name alias =
+  { A.fe_alias = alias; fe_source = A.S_table name; fe_kind = kind; fe_cond = cond }
+
+let view ?(kind = A.J_inner) ?(cond = []) q alias =
+  { A.fe_alias = alias; fe_source = A.S_view q; fe_kind = kind; fe_cond = cond }
+
+let c a col = A.col a col
+let i n = A.Const (V.Int n)
+let s str = A.Const (V.Str str)
+let d n = A.Const (V.Date n)
+let ( =% ) a b = A.Cmp (A.Eq, a, b)
+let ( <% ) a b = A.Cmp (A.Lt, a, b)
+let ( >% ) a b = A.Cmp (A.Gt, a, b)
+let ( <=% ) a b = A.Cmp (A.Le, a, b)
+let ( >=% ) a b = A.Cmp (A.Ge, a, b)
+let ( <>% ) a b = A.Cmp (A.Ne, a, b)
+let si e name = { A.si_expr = e; si_name = name }
+
+let block ?(name = "qb") ?(distinct = false) ?(where = []) ?(group_by = [])
+    ?(having = []) ?(order_by = []) ?limit ~select ~from () =
+  {
+    A.qb_name = name;
+    select;
+    distinct;
+    from;
+    where;
+    group_by;
+    having;
+    order_by;
+    limit;
+  }
+
+let q ?name ?distinct ?where ?group_by ?having ?order_by ?limit ~select ~from
+    () =
+  A.Block
+    (block ?name ?distinct ?where ?group_by ?having ?order_by ?limit ~select
+       ~from ())
+
+(* ------------------------------------------------------------------ *)
+(* Cross-checking                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let norm_rows (rows : V.t list list) =
+  List.sort (List.compare V.compare_total) rows
+
+let rows_of_exec (rows : Exec.Executor.row list) =
+  List.map Array.to_list rows
+
+let pp_rows rows =
+  String.concat "\n"
+    (List.map
+       (fun row -> String.concat ", " (List.map V.to_string row))
+       rows)
+
+(** Optimize [query], execute the chosen plan, and compare the result
+    with the reference evaluator; fails the alcotest assertion with a
+    diff on mismatch. Returns (rows, annotation, meter) for further
+    inspection. *)
+let check_against_ref ?(msg = "optimizer+executor vs reference") db query =
+  let opt = Planner.Optimizer.create db.Storage.Db.cat in
+  let ann = Planner.Optimizer.optimize opt query in
+  let _, rows, meter =
+    Exec.Executor.execute db ann.Planner.Annotation.an_plan
+  in
+  let reference = Refeval.eval db query in
+  let got = norm_rows (rows_of_exec rows) in
+  let want = norm_rows reference.Refeval.rows in
+  if List.compare (List.compare V.compare_total) got want <> 0 then
+    Alcotest.failf "%s:@.plan:@.%s@.got:@.%s@.@.want:@.%s" msg
+      (Exec.Plan.to_string ann.Planner.Annotation.an_plan)
+      (pp_rows got) (pp_rows want);
+  (rows, ann, meter)
+
+(** Execute a raw plan and return rows as value lists. *)
+let run_plan db plan =
+  let _, rows, _ = Exec.Executor.execute db plan in
+  rows_of_exec rows
+
+let check_rows ?(msg = "rows") expected actual =
+  let e = norm_rows expected and a = norm_rows actual in
+  if List.compare (List.compare V.compare_total) e a <> 0 then
+    Alcotest.failf "%s:@.expected:@.%s@.@.actual:@.%s" msg (pp_rows e)
+      (pp_rows a)

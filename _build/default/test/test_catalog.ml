@@ -1,0 +1,130 @@
+(** Unit tests for the catalog: definitions, constraints, index lookup
+    and the key/foreign-key queries transformation legality relies on. *)
+
+open Sqlir
+module V = Value
+
+let mk () =
+  let cat = Catalog.create () in
+  Catalog.add_table cat
+    {
+      t_name = "parent";
+      t_cols =
+        [
+          { Catalog.c_name = "id"; c_ty = V.T_int; c_nullable = false };
+          { Catalog.c_name = "name"; c_ty = V.T_str; c_nullable = false };
+        ];
+      t_pkey = [ "id" ];
+      t_fkeys = [];
+      t_uniques = [ [ "name" ] ];
+    };
+  Catalog.add_table cat
+    {
+      t_name = "child";
+      t_cols =
+        [
+          { Catalog.c_name = "id"; c_ty = V.T_int; c_nullable = false };
+          { Catalog.c_name = "parent_id"; c_ty = V.T_int; c_nullable = true };
+          { Catalog.c_name = "x"; c_ty = V.T_int; c_nullable = false };
+        ];
+      t_pkey = [ "id" ];
+      t_fkeys =
+        [
+          {
+            Catalog.fk_cols = [ "parent_id" ];
+            fk_ref_table = "parent";
+            fk_ref_cols = [ "id" ];
+          };
+        ];
+      t_uniques = [];
+    };
+  Catalog.add_index cat
+    {
+      ix_name = "child_cmp";
+      ix_table = "child";
+      ix_cols = [ "parent_id"; "x" ];
+      ix_unique = false;
+    };
+  cat
+
+let test_lookup () =
+  let cat = mk () in
+  Alcotest.(check bool) "mem" true (Catalog.mem_table cat "parent");
+  Alcotest.(check bool) "not mem" false (Catalog.mem_table cat "nope");
+  Alcotest.(check int) "tables" 2 (List.length (Catalog.table_names cat));
+  Alcotest.(check bool) "has column" true
+    (Catalog.has_column cat ~table:"child" ~col:"x");
+  Alcotest.(check bool) "no column" false
+    (Catalog.has_column cat ~table:"child" ~col:"nope");
+  Alcotest.check_raises "unknown table" (Catalog.Unknown_table "zzz")
+    (fun () -> ignore (Catalog.find_table cat "zzz"));
+  Alcotest.check_raises "unknown column"
+    (Catalog.Unknown_column ("child", "zzz")) (fun () ->
+      ignore (Catalog.col_def cat ~table:"child" ~col:"zzz"))
+
+let test_nullability () =
+  let cat = mk () in
+  Alcotest.(check bool) "pk not nullable" false
+    (Catalog.col_nullable cat ~table:"child" ~col:"id");
+  Alcotest.(check bool) "fk nullable" true
+    (Catalog.col_nullable cat ~table:"child" ~col:"parent_id")
+
+let test_index_prefix () =
+  let cat = mk () in
+  Alcotest.(check bool) "leading column matches" true
+    (Catalog.index_with_prefix cat ~table:"child" ~cols:[ "parent_id" ] <> None);
+  Alcotest.(check bool) "both columns, any order" true
+    (Catalog.index_with_prefix cat ~table:"child" ~cols:[ "x"; "parent_id" ]
+    <> None);
+  Alcotest.(check bool) "non-leading column alone" true
+    (Catalog.index_with_prefix cat ~table:"child" ~cols:[ "x" ] = None)
+
+let test_covers_key () =
+  let cat = mk () in
+  Alcotest.(check bool) "pk covers" true
+    (Catalog.covers_key cat ~table:"parent" ~cols:[ "id" ]);
+  Alcotest.(check bool) "unique constraint covers" true
+    (Catalog.covers_key cat ~table:"parent" ~cols:[ "name"; "id" ]);
+  Alcotest.(check bool) "non-key does not" false
+    (Catalog.covers_key cat ~table:"child" ~cols:[ "x" ])
+
+let test_fk_between () =
+  let cat = mk () in
+  Alcotest.(check bool) "declared fk found" true
+    (Catalog.fk_between cat ~table:"child" ~cols:[ "parent_id" ]
+       ~ref_table:"parent" ~ref_cols:[ "id" ]
+    <> None);
+  Alcotest.(check bool) "wrong pairing" true
+    (Catalog.fk_between cat ~table:"child" ~cols:[ "x" ] ~ref_table:"parent"
+       ~ref_cols:[ "id" ]
+    = None)
+
+let test_index_on_unknown_table () =
+  let cat = mk () in
+  Alcotest.check_raises "unknown table" (Catalog.Unknown_table "ghost")
+    (fun () ->
+      Catalog.add_index cat
+        { ix_name = "g"; ix_table = "ghost"; ix_cols = [ "a" ]; ix_unique = false })
+
+let test_default_stats_pages () =
+  let s = Catalog.default_stats ~rows:129 [] in
+  Alcotest.(check int) "rows" 129 s.Catalog.s_rows;
+  Alcotest.(check int) "ceil pages" 3 s.s_pages;
+  let s0 = Catalog.default_stats ~rows:0 [] in
+  Alcotest.(check int) "at least one page" 1 s0.s_pages
+
+let () =
+  Alcotest.run "catalog"
+    [
+      ( "catalog",
+        [
+          Alcotest.test_case "lookup" `Quick test_lookup;
+          Alcotest.test_case "nullability" `Quick test_nullability;
+          Alcotest.test_case "index prefix" `Quick test_index_prefix;
+          Alcotest.test_case "covers key" `Quick test_covers_key;
+          Alcotest.test_case "fk between" `Quick test_fk_between;
+          Alcotest.test_case "index unknown table" `Quick
+            test_index_on_unknown_table;
+          Alcotest.test_case "default stats" `Quick test_default_stats_pages;
+        ] );
+    ]

@@ -1,0 +1,143 @@
+(** Unit tests for the cost library: column info propagation,
+    selectivity rules, and the cost model's relationship to the
+    executor's meter weights. *)
+
+open Sqlir
+module A = Ast
+module V = Value
+module Info = Cost.Info
+module Sel = Cost.Selectivity
+open Tsupport
+
+let db = lazy (hr_db ())
+let env () =
+  Info.of_table (Lazy.force db).Storage.Db.cat ~table:"employees" ~alias:"e"
+
+let test_info_from_stats () =
+  let info = env () in
+  Alcotest.(check (float 0.01)) "rows" 40. info.Info.ri_rows;
+  let ci = Option.get (Info.find_col info { A.c_alias = "e"; c_col = "dept_id" }) in
+  Alcotest.(check (float 0.01)) "dept ndv" 6. ci.Info.ci_ndv;
+  Alcotest.(check bool) "null fraction recorded" true (ci.ci_null_frac > 0.01);
+  let pk = Option.get (Info.find_col info { A.c_alias = "e"; c_col = "emp_id" }) in
+  Alcotest.(check (float 0.01)) "pk ndv = rows" 40. pk.Info.ci_ndv
+
+let test_eq_selectivity () =
+  let s = Sel.pred_sel (env ()) (c "e" "dept_id" =% i 12) in
+  (* 6 distinct values, ~5% nulls: about 1/6 * 0.95 *)
+  Alcotest.(check bool)
+    (Printf.sprintf "eq sel ~ 1/6 (got %.3f)" s)
+    true
+    (s > 0.10 && s < 0.20)
+
+let test_range_selectivity () =
+  let info = env () in
+  let lo = Sel.pred_sel info (c "e" "salary" >% i 7900) in
+  let hi = Sel.pred_sel info (c "e" "salary" >% i 3100) in
+  Alcotest.(check bool) "narrow < wide" true (lo < hi);
+  Alcotest.(check bool) "bounded" true (lo > 0. && hi <= 1.)
+
+let test_not_selectivity () =
+  let info = env () in
+  let p = c "e" "dept_id" =% i 12 in
+  let s = Sel.pred_sel info p in
+  let ns = Sel.pred_sel info (A.Not p) in
+  Alcotest.(check (float 0.02)) "complement" (1. -. s) ns
+
+let test_or_and_selectivity () =
+  let info = env () in
+  let a = c "e" "dept_id" =% i 12 in
+  let b = c "e" "salary" >% i 5000 in
+  let sa = Sel.pred_sel info a and sb = Sel.pred_sel info b in
+  Alcotest.(check (float 1e-6)) "and = product" (sa *. sb)
+    (Sel.pred_sel info (A.And (a, b)));
+  Alcotest.(check (float 1e-6)) "or = inclusion-exclusion"
+    (sa +. sb -. (sa *. sb))
+    (Sel.pred_sel info (A.Or (a, b)))
+
+let test_in_list_selectivity () =
+  let info = env () in
+  let one = Sel.pred_sel info (A.In_list (c "e" "dept_id", [ V.Int 12 ])) in
+  let three =
+    Sel.pred_sel info
+      (A.In_list (c "e" "dept_id", [ V.Int 10; V.Int 11; V.Int 12 ]))
+  in
+  Alcotest.(check bool) "more values, higher sel" true (three > one)
+
+let test_is_null_selectivity () =
+  let info = env () in
+  let s = Sel.pred_sel info (A.Is_null (c "e" "dept_id")) in
+  (* 2 of 40 rows are NULL *)
+  Alcotest.(check bool)
+    (Printf.sprintf "null frac ~ 0.05 (got %.3f)" s)
+    true
+    (s > 0.03 && s < 0.08)
+
+let test_distinct_count () =
+  let info = env () in
+  let g = Sel.distinct_count info ~rows:40. [ c "e" "dept_id" ] in
+  Alcotest.(check (float 0.5)) "6 groups" 6. g;
+  let capped = Sel.distinct_count info ~rows:3. [ c "e" "emp_id" ] in
+  Alcotest.(check bool) "capped by rows" true (capped <= 3.);
+  Alcotest.(check (float 0.01)) "no keys -> one group" 1.
+    (Sel.distinct_count info ~rows:40. [])
+
+let test_cost_weights_match_meter () =
+  (* the cost model must price exactly what the meter charges *)
+  Alcotest.(check (float 1e-9)) "page weight" Exec.Meter.w_page Cost.Model.w_page;
+  Alcotest.(check (float 1e-9)) "expensive weight" Exec.Meter.w_expensive
+    Cost.Model.w_expensive;
+  let scan = Cost.Model.table_scan ~pages:10. ~rows:640. ~out:100. in
+  Alcotest.(check bool) "scan cost positive, page-dominated" true
+    (scan > 10. *. Cost.Model.w_page)
+
+let test_pred_eval_cost_expensive () =
+  let cheap = Cost.Model.pred_eval_cost ~rows:1000. ~cheap_sel:0.1 ~n_expensive:0 in
+  let exp1 = Cost.Model.pred_eval_cost ~rows:1000. ~cheap_sel:0.1 ~n_expensive:1 in
+  Alcotest.(check bool) "expensive predicates dominate" true
+    (exp1 > 10. *. cheap);
+  let exp_late = Cost.Model.pred_eval_cost ~rows:1000. ~cheap_sel:0.01 ~n_expensive:1 in
+  Alcotest.(check bool) "selective cheap conjuncts shield expensive ones" true
+    (exp_late < exp1)
+
+let test_model_estimates_track_meter () =
+  (* estimated scan cost equals the metered work of that exact scan *)
+  let db = Lazy.force db in
+  let plan = Exec.Plan.Table_scan { table = "employees"; alias = "e"; filter = [] } in
+  let meter = Exec.Meter.create () in
+  let _, _, _ = Exec.Executor.execute ~meter db plan in
+  let est =
+    Cost.Model.table_scan ~pages:1. ~rows:40. ~out:40.
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "estimate %.1f within 25%% of metered %.1f" est
+       (Exec.Meter.work meter))
+    true
+    (Float.abs (est -. Exec.Meter.work meter) /. Exec.Meter.work meter < 0.25)
+
+let () =
+  Alcotest.run "cost"
+    [
+      ( "info",
+        [
+          Alcotest.test_case "from stats" `Quick test_info_from_stats;
+          Alcotest.test_case "distinct count" `Quick test_distinct_count;
+        ] );
+      ( "selectivity",
+        [
+          Alcotest.test_case "equality" `Quick test_eq_selectivity;
+          Alcotest.test_case "range" `Quick test_range_selectivity;
+          Alcotest.test_case "negation" `Quick test_not_selectivity;
+          Alcotest.test_case "and/or" `Quick test_or_and_selectivity;
+          Alcotest.test_case "in-list" `Quick test_in_list_selectivity;
+          Alcotest.test_case "is null" `Quick test_is_null_selectivity;
+        ] );
+      ( "model",
+        [
+          Alcotest.test_case "weights = meter" `Quick test_cost_weights_match_meter;
+          Alcotest.test_case "expensive predicates" `Quick
+            test_pred_eval_cost_expensive;
+          Alcotest.test_case "estimate tracks meter" `Quick
+            test_model_estimates_track_meter;
+        ] );
+    ]

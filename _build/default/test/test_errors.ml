@@ -1,0 +1,134 @@
+(** Error-path tests: unsupported constructs fail loudly and precisely,
+    and the framework degrades gracefully (a state that cannot be
+    optimized loses the search instead of crashing the driver). *)
+
+open Sqlir
+module A = Ast
+module V = Value
+module Opt = Planner.Optimizer
+open Tsupport
+
+let db = lazy (hr_db ())
+let cat () = (Lazy.force db).Storage.Db.cat
+let parse sql = Sqlparse.Parser.parse_exn (cat ()) sql
+
+let test_empty_from_unsupported () =
+  let opt = Opt.create (cat ()) in
+  let q =
+    A.Block
+      {
+        (A.empty_block "x") with
+        A.select = [ { A.si_expr = A.Const (V.Int 1); si_name = "one" } ];
+      }
+  in
+  Alcotest.check_raises "empty FROM" (Opt.Unsupported "empty FROM clause")
+    (fun () -> ignore (Opt.optimize opt q))
+
+let test_subquery_under_or_unsupported () =
+  (* not unnestable (the paper: correlations in disjunction cannot be
+     unnested) and not executable as a TIS conjunct either *)
+  let q =
+    parse
+      "SELECT d.dept_name FROM departments d WHERE d.dept_id = 10 OR EXISTS \
+       (SELECT 1 one FROM employees e WHERE e.dept_id = d.dept_id)"
+  in
+  let opt = Opt.create (cat ()) in
+  Alcotest.check_raises "OR-subquery"
+    (Opt.Unsupported "subquery predicate under OR / NOT cannot be executed")
+    (fun () -> ignore (Opt.optimize opt q))
+
+let test_scalar_subquery_multirow () =
+  (* scalar subquery returning several rows must raise at runtime *)
+  let db = Lazy.force db in
+  let q =
+    parse
+      "SELECT d.dept_name FROM departments d WHERE d.dept_id = (SELECT \
+       e.dept_id FROM employees e WHERE e.dept_id IS NOT NULL)"
+  in
+  let opt = Opt.create db.Storage.Db.cat in
+  let ann = Opt.optimize opt q in
+  Alcotest.check_raises "multirow scalar"
+    (Exec.Executor.Runtime_error "scalar subquery returned more than one row")
+    (fun () ->
+      ignore (Exec.Executor.execute db ann.Planner.Annotation.an_plan))
+
+let test_unknown_function () =
+  let db = Lazy.force db in
+  let q = parse "SELECT no_such_fn(e.salary) x FROM employees e" in
+  let opt = Opt.create db.Storage.Db.cat in
+  let ann = Opt.optimize opt q in
+  Alcotest.check_raises "unknown function"
+    (Exec.Funcs.Unknown_function "no_such_fn") (fun () ->
+      ignore (Exec.Executor.execute db ann.Planner.Annotation.an_plan))
+
+let test_driver_survives_unsupported_state () =
+  (* the driver must not crash when a query contains an OR-subquery: the
+     construct defeats every state including the baseline, so optimize
+     raises — but only the clean Unsupported, never an assert *)
+  let q =
+    parse
+      "SELECT d.dept_name FROM departments d WHERE d.dept_id = 10 OR EXISTS \
+       (SELECT 1 one FROM employees e WHERE e.dept_id = d.dept_id)"
+  in
+  (match Cbqt.Driver.optimize (cat ()) q with
+  | _ -> Alcotest.fail "expected Unsupported"
+  | exception Opt.Unsupported _ -> ())
+
+let test_missing_data () =
+  (* catalog knows the table but no relation is loaded *)
+  let cat = cat () in
+  Catalog.add_table cat
+    {
+      t_name = "ghost";
+      t_cols = [ { Catalog.c_name = "a"; c_ty = V.T_int; c_nullable = false } ];
+      t_pkey = [ "a" ];
+      t_fkeys = [];
+      t_uniques = [];
+    };
+  let db = Lazy.force db in
+  let opt = Opt.create cat in
+  let ann =
+    Opt.optimize opt
+      (q
+         ~select:[ si (c "g" "a") "a" ]
+         ~from:[ tbl "ghost" "g" ]
+         ())
+  in
+  Alcotest.check_raises "no data" (Storage.Db.No_data "ghost") (fun () ->
+      ignore (Exec.Executor.execute db ann.Planner.Annotation.an_plan))
+
+let test_runner_records_failures () =
+  (* the workload runner skips failing queries and records them *)
+  let db = Lazy.force db in
+  let bad =
+    parse
+      "SELECT d.dept_name FROM departments d WHERE d.dept_id = 10 OR EXISTS \
+       (SELECT 1 one FROM employees e WHERE e.dept_id = d.dept_id)"
+  in
+  let items =
+    [ { Workload.Query_gen.it_id = 0; it_class = Workload.Query_gen.C_spj; it_query = bad } ]
+  in
+  let o =
+    Workload.Runner.run_pair db ~a:Cbqt.Driver.heuristic_config
+      ~b:Cbqt.Driver.default_config items
+  in
+  Alcotest.(check int) "no runs" 0 (List.length o.Workload.Runner.runs);
+  Alcotest.(check int) "one failure" 1 (List.length o.failures)
+
+let () =
+  Alcotest.run "errors"
+    [
+      ( "errors",
+        [
+          Alcotest.test_case "empty FROM" `Quick test_empty_from_unsupported;
+          Alcotest.test_case "subquery under OR" `Quick
+            test_subquery_under_or_unsupported;
+          Alcotest.test_case "multirow scalar" `Quick test_scalar_subquery_multirow;
+          Alcotest.test_case "unknown function" `Quick test_unknown_function;
+          Alcotest.test_case "driver clean failure" `Quick
+            test_driver_survives_unsupported_state;
+          Alcotest.test_case "missing data" `Quick test_missing_data;
+          Alcotest.test_case "runner records failures" `Quick
+            test_runner_records_failures;
+        ] );
+    ]

@@ -1,0 +1,496 @@
+(** Executor unit tests: operator semantics on hand-built physical
+    plans, checked against hand-computed or reference-evaluated
+    expectations. *)
+
+open Sqlir
+module A = Ast
+module V = Value
+module Plan = Exec.Plan
+open Tsupport
+
+let db = lazy (hr_db ())
+
+let scan ?(filter = []) table alias = Plan.Table_scan { table; alias; filter }
+
+let test_table_scan () =
+  let db = Lazy.force db in
+  let rows = run_plan db (scan "departments" "d") in
+  Alcotest.(check int) "all departments" 6 (List.length rows)
+
+let test_scan_filter () =
+  let db = Lazy.force db in
+  let rows =
+    run_plan db (scan ~filter:[ c "d" "dept_id" >% i 12 ] "departments" "d")
+  in
+  Alcotest.(check int) "dept_id > 12" 3 (List.length rows)
+
+let test_filter_null_semantics () =
+  let db = Lazy.force db in
+  (* dept_id = NULL never matches, even for the NULL rows *)
+  let rows =
+    run_plan db
+      (scan ~filter:[ c "e" "dept_id" =% A.Const V.Null ] "employees" "e")
+  in
+  Alcotest.(check int) "eq null matches nothing" 0 (List.length rows);
+  let rows =
+    run_plan db (scan ~filter:[ A.Is_null (c "e" "dept_id") ] "employees" "e")
+  in
+  Alcotest.(check int) "is null finds the two null rows" 2 (List.length rows)
+
+let test_index_scan_eq () =
+  let db = Lazy.force db in
+  let p =
+    Plan.Index_scan
+      {
+        table = "employees";
+        alias = "e";
+        index = "emp_dept_idx";
+        prefix = [ i 12 ];
+        lo = Plan.R_unbounded;
+        hi = Plan.R_unbounded;
+        filter = [];
+      }
+  in
+  let via_index = run_plan db p in
+  let via_scan =
+    run_plan db (scan ~filter:[ c "e" "dept_id" =% i 12 ] "employees" "e")
+  in
+  check_rows ~msg:"index scan = full scan + filter" via_scan via_index
+
+let test_index_range () =
+  let db = Lazy.force db in
+  let p =
+    Plan.Index_scan
+      {
+        table = "employees";
+        alias = "e";
+        index = "emp_pk";
+        prefix = [];
+        lo = Plan.R_incl (i 1010);
+        hi = Plan.R_excl (i 1015);
+        filter = [];
+      }
+  in
+  Alcotest.(check int) "range [1010,1015)" 5 (List.length (run_plan db p))
+
+let join meth role left right cond = Plan.Join { meth; role; left; right; cond }
+
+let emp_dept_cond = [ c "e" "dept_id" =% c "d" "dept_id" ]
+
+let test_join_methods_agree () =
+  let db = Lazy.force db in
+  let mk meth =
+    run_plan db
+      (join meth Plan.Inner (scan "employees" "e") (scan "departments" "d")
+         emp_dept_cond)
+  in
+  let nl = mk Plan.Nested_loop in
+  Alcotest.(check int) "38 employees have departments" 38 (List.length nl);
+  check_rows ~msg:"hash = nl" nl (mk Plan.Hash);
+  check_rows ~msg:"merge = nl" nl (mk Plan.Merge)
+
+let test_left_outer () =
+  let db = Lazy.force db in
+  let mk meth =
+    run_plan db
+      (join meth Plan.Left_outer (scan "employees" "e") (scan "departments" "d")
+         emp_dept_cond)
+  in
+  let nl = mk Plan.Nested_loop in
+  (* every employee appears; the two null-dept employees padded *)
+  Alcotest.(check int) "40 rows" 40 (List.length nl);
+  let padded =
+    List.filter (fun r -> V.is_null (List.nth r 6)) nl
+  in
+  Alcotest.(check int) "2 padded" 2 (List.length padded);
+  check_rows ~msg:"hash = nl (outer)" nl (mk Plan.Hash)
+
+let test_semi_anti () =
+  let db = Lazy.force db in
+  let cond = [ c "d" "dept_id" =% c "e" "dept_id" ] in
+  let mk meth role =
+    run_plan db
+      (join meth role (scan "departments" "d") (scan "employees" "e") cond)
+  in
+  let semi_nl = mk Plan.Nested_loop Plan.Semi in
+  Alcotest.(check int) "all 6 departments have employees" 6 (List.length semi_nl);
+  check_rows ~msg:"hash semi = nl semi" semi_nl (mk Plan.Hash Plan.Semi);
+  check_rows ~msg:"merge semi = nl semi" semi_nl (mk Plan.Merge Plan.Semi);
+  let anti_nl = mk Plan.Nested_loop Plan.Anti in
+  Alcotest.(check int) "no department without employees" 0 (List.length anti_nl);
+  check_rows ~msg:"hash anti" anti_nl (mk Plan.Hash Plan.Anti);
+  check_rows ~msg:"merge anti" anti_nl (mk Plan.Merge Plan.Anti)
+
+let test_anti_vs_anti_na_nulls () =
+  let db = Lazy.force db in
+  (* employees NOT {IN / EXISTS} departments on dept_id: employees with
+     NULL dept_id qualify under NOT EXISTS (plain anti) but not under
+     NOT IN (null-aware anti), because NULL NOT IN (...) is UNKNOWN. *)
+  let cond = [ c "e" "dept_id" =% c "d" "dept_id" ] in
+  let mk meth role =
+    run_plan db
+      (join meth role (scan "employees" "e")
+         (scan ~filter:[ c "d" "dept_id" >% i 99 ] "departments" "d")
+         cond)
+  in
+  (* right side empty: NOT IN over empty set keeps everything *)
+  Alcotest.(check int) "anti, empty right" 40
+    (List.length (mk Plan.Nested_loop Plan.Anti));
+  Alcotest.(check int) "anti-na, empty right" 40
+    (List.length (mk Plan.Nested_loop Plan.Anti_na));
+  let mk2 meth role =
+    run_plan db
+      (join meth role (scan "employees" "e") (scan "departments" "d") cond)
+  in
+  Alcotest.(check int) "anti: null-dept employees qualify" 2
+    (List.length (mk2 Plan.Nested_loop Plan.Anti));
+  Alcotest.(check int) "anti-na: null-dept employees do not" 0
+    (List.length (mk2 Plan.Nested_loop Plan.Anti_na));
+  check_rows ~msg:"hash anti nulls"
+    (mk2 Plan.Nested_loop Plan.Anti)
+    (mk2 Plan.Hash Plan.Anti);
+  check_rows ~msg:"hash anti-na nulls"
+    (mk2 Plan.Nested_loop Plan.Anti_na)
+    (mk2 Plan.Hash Plan.Anti_na)
+
+let test_anti_na_null_on_right () =
+  let db = Lazy.force db in
+  (* departments NOT IN employees.dept_id: employees has NULL dept_id
+     rows, so NOT IN can never be satisfied. *)
+  let cond = [ c "d" "dept_id" =% c "e" "dept_id" ] in
+  let mk meth =
+    run_plan db
+      (join meth Plan.Anti_na
+         (scan ~filter:[ c "d" "dept_id" >% i 13 ] "departments" "d")
+         (scan "employees" "e") cond)
+  in
+  Alcotest.(check int) "nl: right nulls kill NOT IN" 0
+    (List.length (mk Plan.Nested_loop));
+  Alcotest.(check int) "hash: right nulls kill NOT IN" 0
+    (List.length (mk Plan.Hash))
+
+let test_index_nl_join () =
+  let db = Lazy.force db in
+  (* correlated index probe: inner side uses outer column as prefix *)
+  let inner =
+    Plan.Index_scan
+      {
+        table = "employees";
+        alias = "e";
+        index = "emp_dept_idx";
+        prefix = [ c "d" "dept_id" ];
+        lo = Plan.R_unbounded;
+        hi = Plan.R_unbounded;
+        filter = [];
+      }
+  in
+  let p =
+    join Plan.Nested_loop Plan.Inner (scan "departments" "d") inner []
+  in
+  let expect =
+    run_plan db
+      (join Plan.Hash Plan.Inner (scan "departments" "d") (scan "employees" "e")
+         [ c "d" "dept_id" =% c "e" "dept_id" ])
+  in
+  check_rows ~msg:"index NL = hash join" expect (run_plan db p)
+
+let test_aggregate () =
+  let db = Lazy.force db in
+  let p =
+    Plan.Aggregate
+      {
+        child = scan "employees" "e";
+        strategy = `Hash;
+        alias = "g";
+        keys = [ (c "e" "dept_id", "dept_id") ];
+        aggs =
+          [
+            ("cnt", A.Count_star, None, false);
+            ("avg_sal", A.Avg, Some (c "e" "salary"), false);
+            ("max_sal", A.Max, Some (c "e" "salary"), false);
+          ];
+      }
+  in
+  let rows = run_plan db p in
+  (* 6 departments + the NULL group *)
+  Alcotest.(check int) "7 groups (NULL groups together)" 7 (List.length rows);
+  let null_group =
+    List.find (fun r -> V.is_null (List.nth r 0)) rows
+  in
+  Alcotest.(check bool) "null group has count 2" true
+    (List.nth null_group 1 = V.Int 2)
+
+let test_scalar_aggregate_empty () =
+  let db = Lazy.force db in
+  let p =
+    Plan.Aggregate
+      {
+        child = scan ~filter:[ c "e" "salary" <% i 0 ] "employees" "e";
+        strategy = `Hash;
+        alias = "g";
+        keys = [];
+        aggs =
+          [ ("cnt", A.Count_star, None, false); ("mx", A.Max, Some (c "e" "salary"), false) ];
+      }
+  in
+  match run_plan db p with
+  | [ [ cnt; mx ] ] ->
+      Alcotest.(check bool) "count 0" true (cnt = V.Int 0);
+      Alcotest.(check bool) "max NULL" true (V.is_null mx)
+  | rows -> Alcotest.failf "expected one row, got %d" (List.length rows)
+
+let test_distinct_agg () =
+  let db = Lazy.force db in
+  let p =
+    Plan.Aggregate
+      {
+        child = scan "employees" "e";
+        strategy = `Hash;
+        alias = "g";
+        keys = [];
+        aggs = [ ("nd", A.Count, Some (c "e" "dept_id"), true) ];
+      }
+  in
+  match run_plan db p with
+  | [ [ nd ] ] -> Alcotest.(check bool) "6 distinct dept ids" true (nd = V.Int 6)
+  | _ -> Alcotest.fail "expected single row"
+
+let test_sort_limit () =
+  let db = Lazy.force db in
+  let p =
+    Plan.Limit
+      {
+        child =
+          Plan.Sort
+            {
+              child = scan "employees" "e";
+              keys = [ (c "e" "salary", A.Desc) ];
+            };
+        n = 3;
+      }
+  in
+  let rows = run_plan db p in
+  Alcotest.(check int) "top 3" 3 (List.length rows);
+  let sals = List.map (fun r -> List.nth r 4) rows in
+  let sorted = List.sort (fun a b -> V.compare_total b a) sals in
+  Alcotest.(check bool) "descending" true (sals = sorted)
+
+let test_distinct_op () =
+  let db = Lazy.force db in
+  let p =
+    Plan.Distinct
+      (Plan.Project
+         {
+           child = scan "employees" "e";
+           alias = "p";
+           items = [ (c "e" "dept_id", "dept_id") ];
+         })
+  in
+  (* 6 depts + NULL: DISTINCT groups NULLs together *)
+  Alcotest.(check int) "distinct dept_id" 7 (List.length (run_plan db p))
+
+let test_union_all_and_setops () =
+  let db = Lazy.force db in
+  let proj filt =
+    Plan.Project
+      {
+        child = scan ~filter:filt "departments" "d";
+        alias = "p";
+        items = [ (c "d" "dept_id", "id") ];
+      }
+  in
+  let ua =
+    Plan.Union_all [ proj [ c "d" "dept_id" <% i 13 ]; proj [ c "d" "dept_id" >=% i 12 ] ]
+  in
+  Alcotest.(check int) "union all keeps duplicates" 7
+    (List.length (run_plan db ua));
+  let inter =
+    Plan.Setop_exec
+      {
+        op = `Intersect;
+        left = proj [ c "d" "dept_id" <% i 13 ];
+        right = proj [ c "d" "dept_id" >=% i 12 ];
+      }
+  in
+  Alcotest.(check int) "intersect" 1 (List.length (run_plan db inter));
+  let minus =
+    Plan.Setop_exec
+      {
+        op = `Minus;
+        left = proj [];
+        right = proj [ c "d" "dept_id" >=% i 12 ];
+      }
+  in
+  Alcotest.(check int) "minus" 2 (List.length (run_plan db minus))
+
+let test_subq_filter_exists () =
+  let db = Lazy.force db in
+  (* departments WHERE EXISTS (employees with same dept and salary > 7000) *)
+  let subplan =
+    scan
+      ~filter:[ c "e" "dept_id" =% c "d" "dept_id"; c "e" "salary" >% i 7000 ]
+      "employees" "e"
+  in
+  let p =
+    Plan.Subq_filter
+      {
+        child = scan "departments" "d";
+        preds = [ Plan.SP_exists { negated = false; plan = subplan } ];
+      }
+  in
+  let got = run_plan db p in
+  (* reference: distinct dept_ids of high earners *)
+  let want =
+    run_plan db
+      (join Plan.Hash Plan.Semi (scan "departments" "d")
+         (scan ~filter:[ c "e" "salary" >% i 7000 ] "employees" "e")
+         [ c "d" "dept_id" =% c "e" "dept_id" ])
+  in
+  check_rows ~msg:"EXISTS via TIS = semijoin" want got
+
+let test_subq_filter_caching () =
+  let db = Lazy.force db in
+  (* employees WHERE EXISTS (departments d WHERE d.dept_id = e.dept_id):
+     only 7 distinct dept values -> at most 7 subquery executions *)
+  let subplan =
+    scan ~filter:[ c "d" "dept_id" =% c "e" "dept_id" ] "departments" "d"
+  in
+  let p =
+    Plan.Subq_filter
+      {
+        child =
+          Plan.Project
+            {
+              child = scan "employees" "e";
+              alias = "e";
+              items = [ (c "e" "dept_id", "dept_id") ];
+            };
+        preds = [ Plan.SP_exists { negated = false; plan = subplan } ];
+      }
+  in
+  let _, rows, meter = Exec.Executor.execute db p in
+  Alcotest.(check int) "38 employees pass" 38 (List.length rows);
+  Alcotest.(check bool)
+    (Printf.sprintf "subquery executed %d times (<= 7)" meter.subq_execs)
+    true
+    (meter.subq_execs <= 7);
+  Alcotest.(check bool) "cache hits happened" true (meter.subq_cache_hits > 20)
+
+let test_window_running_avg () =
+  let db = Lazy.force db in
+  let p =
+    Plan.Window
+      {
+        child = scan "job_history" "j";
+        alias = "w";
+        wins =
+          [
+            ( "rcnt",
+              A.Count_star,
+              None,
+              {
+                A.w_pby = [ c "j" "dept_id" ];
+                w_oby = [ (c "j" "start_date", A.Asc) ];
+              } );
+          ];
+      }
+  in
+  let rows = run_plan db p in
+  Alcotest.(check int) "one output row per input" 30 (List.length rows);
+  (* final count within a partition equals the partition size *)
+  let by_dept = Hashtbl.create 8 in
+  List.iter
+    (fun r ->
+      let dept = List.nth r 3 in
+      let cnt = match List.nth r 4 with V.Int n -> n | _ -> 0 in
+      let cur = try Hashtbl.find by_dept dept with Not_found -> 0 in
+      Hashtbl.replace by_dept dept (max cur cnt))
+    rows;
+  Hashtbl.iter
+    (fun dept mx ->
+      let size =
+        List.length
+          (List.filter
+             (fun r -> V.compare_total (List.nth r 3) dept = 0)
+             rows)
+      in
+      Alcotest.(check int)
+        (Printf.sprintf "partition %s max count" (V.to_string dept))
+        size mx)
+    by_dept
+
+let test_meter_charges () =
+  let db = Lazy.force db in
+  let _, _, meter = Exec.Executor.execute db (scan "employees" "e") in
+  Alcotest.(check int) "rows scanned" 40 meter.rows_scanned;
+  Alcotest.(check bool) "pages charged" true (meter.pages_read >= 1);
+  Alcotest.(check bool) "work positive" true (Exec.Meter.work meter > 0.)
+
+let test_expensive_fn_metered () =
+  let db = Lazy.force db in
+  let p =
+    scan ~filter:[ A.Pred_fn ("expensive_check", [ c "e" "emp_id"; i 1 ]) ]
+      "employees" "e"
+  in
+  let _, _, meter = Exec.Executor.execute db p in
+  Alcotest.(check int) "one expensive call per row" 40 meter.expensive_calls
+
+let test_limit_filter_streams () =
+  let db = Lazy.force db in
+  let p =
+    Plan.Limit_filter
+      {
+        child = scan "employees" "e";
+        preds = [ A.Pred_fn ("expensive_check", [ c "e" "emp_id"; i 1 ]) ];
+        n = 3;
+      }
+  in
+  let _, rows, meter = Exec.Executor.execute db p in
+  Alcotest.(check int) "3 rows" 3 (List.length rows);
+  Alcotest.(check bool)
+    (Printf.sprintf "stopped early (%d calls < 40)" meter.expensive_calls)
+    true
+    (meter.expensive_calls < 40)
+
+
+let () =
+  Alcotest.run "exec"
+    [
+      ( "scan",
+        [
+          Alcotest.test_case "table scan" `Quick test_table_scan;
+          Alcotest.test_case "scan filter" `Quick test_scan_filter;
+          Alcotest.test_case "null semantics" `Quick test_filter_null_semantics;
+          Alcotest.test_case "index eq" `Quick test_index_scan_eq;
+          Alcotest.test_case "index range" `Quick test_index_range;
+        ] );
+      ( "join",
+        [
+          Alcotest.test_case "methods agree" `Quick test_join_methods_agree;
+          Alcotest.test_case "left outer" `Quick test_left_outer;
+          Alcotest.test_case "semi/anti" `Quick test_semi_anti;
+          Alcotest.test_case "anti vs anti-na" `Quick test_anti_vs_anti_na_nulls;
+          Alcotest.test_case "anti-na right nulls" `Quick test_anti_na_null_on_right;
+          Alcotest.test_case "index NL" `Quick test_index_nl_join;
+        ] );
+      ( "aggregate",
+        [
+          Alcotest.test_case "group by" `Quick test_aggregate;
+          Alcotest.test_case "scalar agg empty" `Quick test_scalar_aggregate_empty;
+          Alcotest.test_case "count distinct" `Quick test_distinct_agg;
+          Alcotest.test_case "window running" `Quick test_window_running_avg;
+        ] );
+      ( "misc",
+        [
+          Alcotest.test_case "sort+limit" `Quick test_sort_limit;
+          Alcotest.test_case "distinct" `Quick test_distinct_op;
+          Alcotest.test_case "setops" `Quick test_union_all_and_setops;
+          Alcotest.test_case "TIS exists" `Quick test_subq_filter_exists;
+          Alcotest.test_case "TIS caching" `Quick test_subq_filter_caching;
+          Alcotest.test_case "meter" `Quick test_meter_charges;
+          Alcotest.test_case "expensive fn" `Quick test_expensive_fn_metered;
+          Alcotest.test_case "limit filter streams" `Quick
+            test_limit_filter_streams;
+        ] );
+    ]
+

@@ -1,0 +1,300 @@
+(** Direct tests of the reference evaluator against hand-computed
+    results on a three-row database. Everything else in the repository
+    is validated against [Refeval], so [Refeval] itself is validated
+    here against results computed by hand. *)
+
+open Sqlir
+module A = Ast
+module V = Value
+
+let db =
+  let cat = Catalog.create () in
+  Catalog.add_table cat
+    {
+      t_name = "t";
+      t_cols =
+        [
+          { Catalog.c_name = "id"; c_ty = V.T_int; c_nullable = false };
+          { Catalog.c_name = "g"; c_ty = V.T_int; c_nullable = true };
+          { Catalog.c_name = "v"; c_ty = V.T_int; c_nullable = false };
+        ];
+      t_pkey = [ "id" ];
+      t_fkeys = [];
+      t_uniques = [];
+    };
+  Catalog.add_table cat
+    {
+      t_name = "s";
+      t_cols =
+        [
+          { Catalog.c_name = "g"; c_ty = V.T_int; c_nullable = true };
+          { Catalog.c_name = "w"; c_ty = V.T_int; c_nullable = false };
+        ];
+      t_pkey = [];
+      t_fkeys = [];
+      t_uniques = [];
+    };
+  let db = Storage.Db.create cat in
+  Storage.Db.load db
+    (Storage.Relation.create ~name:"t" ~schema:[ "id"; "g"; "v" ]
+       [
+         [| V.Int 1; V.Int 10; V.Int 100 |];
+         [| V.Int 2; V.Int 10; V.Int 200 |];
+         [| V.Int 3; V.Null; V.Int 300 |];
+       ]);
+  Storage.Db.load db
+    (Storage.Relation.create ~name:"s" ~schema:[ "g"; "w" ]
+       [
+         [| V.Int 10; V.Int 7 |];
+         [| V.Int 20; V.Int 8 |];
+         [| V.Null; V.Int 9 |];
+       ]);
+  db
+
+let tbl name alias =
+  { A.fe_alias = alias; fe_source = A.S_table name; fe_kind = A.J_inner; fe_cond = [] }
+
+let eval q = (Refeval.eval db q).Refeval.rows
+
+let sorted rows = List.sort (List.compare V.compare_total) rows
+
+let check name expected q =
+  Alcotest.(check bool)
+    name true
+    (sorted (eval q) = sorted expected)
+
+let test_scan_and_filter () =
+  check "v > 150 keeps rows 2,3"
+    [ [ V.Int 2 ]; [ V.Int 3 ] ]
+    (A.Block
+       {
+         (A.empty_block "q") with
+         A.select = [ { A.si_expr = A.col "t" "id"; si_name = "id" } ];
+         from = [ tbl "t" "t" ];
+         where = [ A.Cmp (A.Gt, A.col "t" "v", A.Const (V.Int 150)) ];
+       })
+
+let test_join_null_never_matches () =
+  (* t.g = s.g: rows 1,2 match s row 1; the NULLs never match *)
+  check "inner join on g"
+    [ [ V.Int 1; V.Int 7 ]; [ V.Int 2; V.Int 7 ] ]
+    (A.Block
+       {
+         (A.empty_block "q") with
+         A.select =
+           [
+             { A.si_expr = A.col "t" "id"; si_name = "id" };
+             { A.si_expr = A.col "s" "w"; si_name = "w" };
+           ];
+         from = [ tbl "t" "t"; tbl "s" "s" ];
+         where = [ A.Cmp (A.Eq, A.col "t" "g", A.col "s" "g") ];
+       })
+
+let test_left_join_pads () =
+  check "left join pads row 3"
+    [ [ V.Int 1; V.Int 7 ]; [ V.Int 2; V.Int 7 ]; [ V.Int 3; V.Null ] ]
+    (A.Block
+       {
+         (A.empty_block "q") with
+         A.select =
+           [
+             { A.si_expr = A.col "t" "id"; si_name = "id" };
+             { A.si_expr = A.col "s" "w"; si_name = "w" };
+           ];
+         from =
+           [
+             tbl "t" "t";
+             {
+               A.fe_alias = "s";
+               fe_source = A.S_table "s";
+               fe_kind = A.J_left;
+               fe_cond = [ A.Cmp (A.Eq, A.col "t" "g", A.col "s" "g") ];
+             };
+           ];
+       })
+
+let test_group_by_nulls_group () =
+  (* groups: {10 -> sum 300}, {NULL -> sum 300} *)
+  check "group by with NULL group"
+    [ [ V.Int 10; V.Int 300 ]; [ V.Null; V.Int 300 ] ]
+    (A.Block
+       {
+         (A.empty_block "q") with
+         A.select =
+           [
+             { A.si_expr = A.col "t" "g"; si_name = "g" };
+             { A.si_expr = A.Agg (A.Sum, Some (A.col "t" "v"), false); si_name = "s" };
+           ];
+         from = [ tbl "t" "t" ];
+         group_by = [ A.col "t" "g" ];
+       })
+
+let test_scalar_agg_ignores_nulls () =
+  (* AVG over s.g = (10+20)/2 = 15, NULL ignored *)
+  check "avg ignores nulls"
+    [ [ V.Float 15. ] ]
+    (A.Block
+       {
+         (A.empty_block "q") with
+         A.select =
+           [ { A.si_expr = A.Agg (A.Avg, Some (A.col "s" "g"), false); si_name = "a" } ];
+         from = [ tbl "s" "s" ];
+       })
+
+let test_not_in_null_poisons () =
+  (* t.g NOT IN (s.g): s.g contains NULL -> nothing qualifies *)
+  check "NOT IN with null set" []
+    (A.Block
+       {
+         (A.empty_block "q") with
+         A.select = [ { A.si_expr = A.col "t" "id"; si_name = "id" } ];
+         from = [ tbl "t" "t" ];
+         where =
+           [
+             A.Not_in_subq
+               ( [ A.col "t" "g" ],
+                 A.Block
+                   {
+                     (A.empty_block "sub") with
+                     A.select = [ { A.si_expr = A.col "s" "g"; si_name = "g" } ];
+                     from = [ tbl "s" "s" ];
+                   } );
+           ];
+       })
+
+let test_exists_correlated () =
+  check "correlated exists"
+    [ [ V.Int 1 ]; [ V.Int 2 ] ]
+    (A.Block
+       {
+         (A.empty_block "q") with
+         A.select = [ { A.si_expr = A.col "t" "id"; si_name = "id" } ];
+         from = [ tbl "t" "t" ];
+         where =
+           [
+             A.Exists
+               (A.Block
+                  {
+                    (A.empty_block "sub") with
+                    A.select = [ { A.si_expr = A.Const (V.Int 1); si_name = "one" } ];
+                    from = [ tbl "s" "s" ];
+                    where = [ A.Cmp (A.Eq, A.col "s" "g", A.col "t" "g") ];
+                  });
+           ];
+       })
+
+let test_minus_nulls_match () =
+  (* t.g MINUS s.g: t values {10, 10, NULL}; s has {10, 20, NULL};
+     NULL matches NULL in MINUS -> result empty *)
+  check "minus: null matches null" []
+    (A.Setop
+       ( A.Minus,
+         A.Block
+           {
+             (A.empty_block "l") with
+             A.select = [ { A.si_expr = A.col "t" "g"; si_name = "g" } ];
+             from = [ tbl "t" "t" ];
+           },
+         A.Block
+           {
+             (A.empty_block "r") with
+             A.select = [ { A.si_expr = A.col "s" "g"; si_name = "g" } ];
+             from = [ tbl "s" "s" ];
+           } ))
+
+let test_intersect_distinct () =
+  check "intersect distinct result"
+    [ [ V.Int 10 ]; [ V.Null ] ]
+    (A.Setop
+       ( A.Intersect,
+         A.Block
+           {
+             (A.empty_block "l") with
+             A.select = [ { A.si_expr = A.col "t" "g"; si_name = "g" } ];
+             from = [ tbl "t" "t" ];
+           },
+         A.Block
+           {
+             (A.empty_block "r") with
+             A.select = [ { A.si_expr = A.col "s" "g"; si_name = "g" } ];
+             from = [ tbl "s" "s" ];
+           } ))
+
+let test_order_limit () =
+  let q =
+    A.Block
+      {
+        (A.empty_block "q") with
+        A.select = [ { A.si_expr = A.col "t" "v"; si_name = "v" } ];
+        from = [ tbl "t" "t" ];
+        order_by = [ (A.col "t" "v", A.Desc) ];
+        limit = Some 2;
+      }
+  in
+  Alcotest.(check bool) "top-2 by v desc" true
+    (eval q = [ [ V.Int 300 ]; [ V.Int 200 ] ])
+
+let test_window_running_count () =
+  let q =
+    A.Block
+      {
+        (A.empty_block "q") with
+        A.select =
+          [
+            { A.si_expr = A.col "t" "id"; si_name = "id" };
+            {
+              A.si_expr =
+                A.Win
+                  ( A.Count_star,
+                    None,
+                    { A.w_pby = [ A.col "t" "g" ]; w_oby = [ (A.col "t" "v", A.Asc) ] } );
+              si_name = "rc";
+            };
+          ];
+        from = [ tbl "t" "t" ];
+      }
+  in
+  check "running count per g partition"
+    [ [ V.Int 1; V.Int 1 ]; [ V.Int 2; V.Int 2 ]; [ V.Int 3; V.Int 1 ] ]
+    q
+
+let test_case_and_three_valued_logic () =
+  (* CASE on a NULL comparison falls through to ELSE *)
+  check "case with unknown condition"
+    [ [ V.Int 1; V.Str "big" ]; [ V.Int 2; V.Str "big" ]; [ V.Int 3; V.Str "?" ] ]
+    (A.Block
+       {
+         (A.empty_block "q") with
+         A.select =
+           [
+             { A.si_expr = A.col "t" "id"; si_name = "id" };
+             {
+               A.si_expr =
+                 A.Case
+                   ( [ (A.Cmp (A.Gt, A.col "t" "g", A.Const (V.Int 5)), A.Const (V.Str "big")) ],
+                     Some (A.Const (V.Str "?")) );
+               si_name = "c";
+             };
+           ];
+         from = [ tbl "t" "t" ];
+       })
+
+let () =
+  Alcotest.run "refeval"
+    [
+      ( "refeval",
+        [
+          Alcotest.test_case "scan+filter" `Quick test_scan_and_filter;
+          Alcotest.test_case "join null semantics" `Quick test_join_null_never_matches;
+          Alcotest.test_case "left join" `Quick test_left_join_pads;
+          Alcotest.test_case "group by nulls" `Quick test_group_by_nulls_group;
+          Alcotest.test_case "avg ignores nulls" `Quick test_scalar_agg_ignores_nulls;
+          Alcotest.test_case "NOT IN poison" `Quick test_not_in_null_poisons;
+          Alcotest.test_case "correlated exists" `Quick test_exists_correlated;
+          Alcotest.test_case "minus null matching" `Quick test_minus_nulls_match;
+          Alcotest.test_case "intersect" `Quick test_intersect_distinct;
+          Alcotest.test_case "order+limit" `Quick test_order_limit;
+          Alcotest.test_case "window" `Quick test_window_running_count;
+          Alcotest.test_case "case / 3VL" `Quick test_case_and_three_valued_logic;
+        ] );
+    ]

@@ -1,0 +1,182 @@
+(** Unit tests for the IR foundation: value semantics, tree traversals,
+    correlation analysis, pretty-printing / fingerprints. *)
+
+open Sqlir
+module A = Ast
+module V = Value
+
+(* ------------------------------------------------------------------ *)
+(* Values                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_compare_total () =
+  Alcotest.(check bool) "int vs float" true
+    (V.compare_total (V.Int 1) (V.Float 1.0) = 0);
+  Alcotest.(check bool) "int < float" true
+    (V.compare_total (V.Int 1) (V.Float 1.5) < 0);
+  Alcotest.(check bool) "nulls sort last" true
+    (V.compare_total (V.Str "zzz") V.Null < 0);
+  Alcotest.(check bool) "null = null (grouping)" true
+    (V.equal_grouping V.Null V.Null)
+
+let test_compare_sql () =
+  Alcotest.(check bool) "null incomparable" true
+    (V.compare_sql V.Null (V.Int 1) = None);
+  Alcotest.(check bool) "5 > 3" true (V.compare_sql (V.Int 5) (V.Int 3) = Some 2 || V.compare_sql (V.Int 5) (V.Int 3) = Some 1);
+  Alcotest.(check bool) "dates compare" true
+    (V.compare_sql (V.Date 10) (V.Date 20) < Some 0)
+
+let test_arith () =
+  Alcotest.(check bool) "int add" true (V.arith `Add (V.Int 2) (V.Int 3) = V.Int 5);
+  Alcotest.(check bool) "div promotes" true
+    (V.arith `Div (V.Int 7) (V.Int 2) = V.Float 3.5);
+  Alcotest.(check bool) "div by zero is null" true
+    (V.is_null (V.arith `Div (V.Int 7) (V.Int 0)));
+  Alcotest.(check bool) "mixed" true
+    (V.arith `Mul (V.Int 2) (V.Float 1.5) = V.Float 3.0)
+
+(* ------------------------------------------------------------------ *)
+(* Conjunct / disjunct normalisation                                    *)
+(* ------------------------------------------------------------------ *)
+
+let p1 = A.Cmp (A.Eq, A.col "a" "x", A.Const (V.Int 1))
+let p2 = A.Cmp (A.Gt, A.col "a" "y", A.Const (V.Int 2))
+let p3 = A.Is_null (A.col "b" "z")
+
+let test_conjuncts () =
+  Alcotest.(check int) "flattens nested ANDs" 3
+    (List.length (A.conjuncts (A.And (A.And (p1, p2), p3))));
+  Alcotest.(check int) "true vanishes" 0 (List.length (A.conjuncts A.True));
+  let round = A.conjuncts (A.conj [ p1; p2; p3 ]) in
+  Alcotest.(check int) "conj/conjuncts round trip" 3 (List.length round)
+
+let test_disjuncts () =
+  Alcotest.(check int) "flattens ORs" 3
+    (List.length (A.disjuncts (A.Or (p1, A.Or (p2, p3)))))
+
+(* ------------------------------------------------------------------ *)
+(* Walk: correlation and scoping                                        *)
+(* ------------------------------------------------------------------ *)
+
+let subq_correlated =
+  (* SELECT 1 FROM t inner WHERE inner.k = outer.k *)
+  A.Block
+    {
+      (A.empty_block "s") with
+      A.select = [ { A.si_expr = A.Const (V.Int 1); si_name = "one" } ];
+      from =
+        [ { A.fe_alias = "inner"; fe_source = A.S_table "t"; fe_kind = A.J_inner; fe_cond = [] } ];
+      where = [ A.Cmp (A.Eq, A.col "inner" "k", A.col "outer" "k") ];
+    }
+
+let test_free_aliases () =
+  let free = Walk.free_aliases subq_correlated in
+  Alcotest.(check (list string)) "outer is free" [ "outer" ]
+    (Walk.Sset.elements free);
+  Alcotest.(check bool) "correlated" true (Walk.is_correlated subq_correlated)
+
+let test_free_cols () =
+  let cols = Walk.free_cols subq_correlated in
+  Alcotest.(check int) "one free col" 1 (List.length cols);
+  Alcotest.(check string) "outer.k" "k" (List.hd cols).A.c_col
+
+let test_substitute () =
+  let p = A.Cmp (A.Gt, A.col "v" "total", A.Const (V.Int 5)) in
+  let p' =
+    Walk.substitute_alias ~alias:"v"
+      ~subst:[ ("total", A.Agg (A.Sum, Some (A.col "e" "sal"), false)) ]
+      p
+  in
+  Alcotest.(check string) "substituted"
+    "SUM(e.sal) > 5" (Pp.pred_to_string p')
+
+let test_rename_aliases () =
+  let q = subq_correlated in
+  let q' = Walk.rename_aliases (fun a -> if a = "inner" then "i2" else a) q in
+  match q' with
+  | A.Block b ->
+      Alcotest.(check string) "entry renamed" "i2" (List.hd b.A.from).A.fe_alias;
+      Alcotest.(check bool) "refs renamed" true
+        (String.length (Pp.query_to_string q') > 0
+        && not (String.length (Pp.query_to_string q') = 0));
+      Alcotest.(check bool) "inner gone" true
+        (not (Walk.Sset.mem "inner" (Walk.all_aliases_query Walk.Sset.empty q')))
+  | _ -> Alcotest.fail "expected block"
+
+let test_fresh_alias_gen () =
+  let gen = Walk.fresh_alias_gen [ subq_correlated ] in
+  let a = gen "inner" in
+  Alcotest.(check bool) "avoids collision" true (a <> "inner");
+  let b = gen "v" in
+  let c = gen "v" in
+  Alcotest.(check bool) "fresh each time" true (b <> c)
+
+let test_shape_predicates () =
+  let agg_block =
+    {
+      (A.empty_block "g") with
+      A.select =
+        [ { A.si_expr = A.Agg (A.Count_star, None, false); si_name = "c" } ];
+      from =
+        [ { A.fe_alias = "t"; fe_source = A.S_table "t"; fe_kind = A.J_inner; fe_cond = [] } ];
+    }
+  in
+  Alcotest.(check bool) "has agg" true (Walk.block_has_agg agg_block);
+  Alcotest.(check bool) "agg blocks" true (Walk.block_is_blocking agg_block);
+  Alcotest.(check bool) "plain doesn't" false
+    (Walk.block_has_agg (A.empty_block "x"))
+
+(* ------------------------------------------------------------------ *)
+(* Pretty printer / fingerprints                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_fingerprint_stable () =
+  let f1 = Pp.fingerprint subq_correlated in
+  let f2 = Pp.fingerprint subq_correlated in
+  Alcotest.(check string) "deterministic" f1 f2;
+  let other =
+    A.Block
+      {
+        (A.empty_block "s") with
+        A.select = [ { A.si_expr = A.Const (V.Int 2); si_name = "one" } ];
+        from =
+          [ { A.fe_alias = "inner"; fe_source = A.S_table "t"; fe_kind = A.J_inner; fe_cond = [] } ];
+      }
+  in
+  Alcotest.(check bool) "distinguishes" true (f1 <> Pp.fingerprint other)
+
+let test_pp_not_null () =
+  Alcotest.(check string) "IS NOT NULL sugar" "a.x IS NOT NULL"
+    (Pp.pred_to_string (A.Not (A.Is_null (A.col "a" "x"))));
+  Alcotest.(check string) "LNNVL" "LNNVL(a.x = 1)"
+    (Pp.pred_to_string (A.Lnnvl p1))
+
+let () =
+  Alcotest.run "sqlir"
+    [
+      ( "values",
+        [
+          Alcotest.test_case "compare_total" `Quick test_compare_total;
+          Alcotest.test_case "compare_sql" `Quick test_compare_sql;
+          Alcotest.test_case "arith" `Quick test_arith;
+        ] );
+      ( "ast",
+        [
+          Alcotest.test_case "conjuncts" `Quick test_conjuncts;
+          Alcotest.test_case "disjuncts" `Quick test_disjuncts;
+        ] );
+      ( "walk",
+        [
+          Alcotest.test_case "free aliases" `Quick test_free_aliases;
+          Alcotest.test_case "free cols" `Quick test_free_cols;
+          Alcotest.test_case "substitute" `Quick test_substitute;
+          Alcotest.test_case "rename" `Quick test_rename_aliases;
+          Alcotest.test_case "fresh aliases" `Quick test_fresh_alias_gen;
+          Alcotest.test_case "shape predicates" `Quick test_shape_predicates;
+        ] );
+      ( "pp",
+        [
+          Alcotest.test_case "fingerprint" `Quick test_fingerprint_stable;
+          Alcotest.test_case "sugar" `Quick test_pp_not_null;
+        ] );
+    ]

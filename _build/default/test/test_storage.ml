@@ -1,0 +1,141 @@
+(** Unit tests for the storage substrate: relations, B-trees, database
+    loading, and statistics gathering (exact and sampled). *)
+
+open Sqlir
+module V = Value
+module Rel = Storage.Relation
+module Bt = Storage.Btree
+
+let mk_rel () =
+  Rel.create ~name:"t" ~schema:[ "k"; "v" ]
+    (List.init 100 (fun i -> [| V.Int (i mod 10); V.Int i |]))
+
+let test_relation_basics () =
+  let r = mk_rel () in
+  Alcotest.(check int) "cardinality" 100 (Rel.cardinality r);
+  Alcotest.(check int) "pages" 2 (Rel.pages r);
+  Alcotest.(check int) "col index" 1 (Rel.col_index r "v");
+  Alcotest.(check bool) "get" true (Rel.get r ~row:42 ~col:"v" = V.Int 42);
+  Alcotest.check_raises "unknown column"
+    (Invalid_argument "Relation.col_index: t has no column nope") (fun () ->
+      ignore (Rel.col_index r "nope"))
+
+let test_btree_insert_find () =
+  let bt = Bt.create ~cols:[ "k" ] ~unique:false in
+  let r = mk_rel () in
+  Rel.iteri (fun i tup -> Bt.insert bt [ tup.(0) ] i) r;
+  Alcotest.(check int) "entries" 100 (Bt.entries bt);
+  Alcotest.(check int) "distinct keys" 10 (Bt.distinct_keys bt);
+  Alcotest.(check int) "10 rows per key" 10
+    (List.length (Bt.find_eq bt [ V.Int 3 ]));
+  Alcotest.(check int) "missing key" 0 (List.length (Bt.find_eq bt [ V.Int 99 ]))
+
+let test_btree_null_keys_not_indexed () =
+  let bt = Bt.create ~cols:[ "k" ] ~unique:false in
+  Bt.insert bt [ V.Null ] 0;
+  Bt.insert bt [ V.Int 1 ] 1;
+  Alcotest.(check int) "null not indexed" 1 (Bt.entries bt);
+  Alcotest.(check int) "null probe finds nothing" 0
+    (List.length (Bt.find_eq bt [ V.Null ]))
+
+let test_btree_composite_prefix () =
+  let bt = Bt.create ~cols:[ "a"; "b" ] ~unique:false in
+  List.iteri
+    (fun i (a, b) -> Bt.insert bt [ V.Int a; V.Int b ] i)
+    [ (1, 1); (1, 2); (2, 1); (2, 2); (2, 3) ];
+  Alcotest.(check int) "full key" 1 (List.length (Bt.find_eq bt [ V.Int 2; V.Int 3 ]));
+  Alcotest.(check int) "prefix" 3 (List.length (Bt.find_prefix bt [ V.Int 2 ]));
+  let rows, _ =
+    Bt.range bt ~prefix:[ V.Int 2 ] ~lo:(Bt.Incl (V.Int 2)) ~hi:Bt.Unbounded
+  in
+  Alcotest.(check int) "prefix + range" 2 (List.length rows)
+
+let test_btree_height () =
+  let small = Bt.create ~cols:[ "k" ] ~unique:false in
+  Bt.insert small [ V.Int 1 ] 0;
+  Alcotest.(check int) "tiny tree height 1" 1 (Bt.height small);
+  let big = Bt.create ~cols:[ "k" ] ~unique:false in
+  for i = 0 to 9999 do
+    Bt.insert big [ V.Int i ] i
+  done;
+  Alcotest.(check bool) "10k keys -> height >= 2" true (Bt.height big >= 2)
+
+let test_db_load_schema_mismatch () =
+  let cat = Catalog.create () in
+  Catalog.add_table cat
+    {
+      t_name = "t";
+      t_cols = [ { Catalog.c_name = "a"; c_ty = V.T_int; c_nullable = false } ];
+      t_pkey = [ "a" ];
+      t_fkeys = [];
+      t_uniques = [];
+    };
+  let db = Storage.Db.create cat in
+  Alcotest.check_raises "schema mismatch"
+    (Invalid_argument "Db.load: schema mismatch for t (catalog: a, data: b)")
+    (fun () ->
+      Storage.Db.load db (Rel.create ~name:"t" ~schema:[ "b" ] []))
+
+let test_stats_exact () =
+  let r = mk_rel () in
+  let stats = Storage.Stats_gather.exact r in
+  Alcotest.(check int) "rows" 100 stats.Catalog.s_rows;
+  let k = List.assoc "k" stats.s_cols in
+  Alcotest.(check int) "k ndv" 10 k.Catalog.s_ndv;
+  Alcotest.(check bool) "k range" true
+    (k.s_min = V.Int 0 && k.s_max = V.Int 9);
+  let v = List.assoc "v" stats.s_cols in
+  Alcotest.(check int) "v ndv" 100 v.Catalog.s_ndv
+
+let test_stats_nulls () =
+  let r =
+    Rel.create ~name:"t" ~schema:[ "x" ]
+      [ [| V.Null |]; [| V.Int 1 |]; [| V.Null |]; [| V.Int 2 |] ]
+  in
+  let stats = Storage.Stats_gather.exact r in
+  let x = List.assoc "x" stats.Catalog.s_cols in
+  Alcotest.(check int) "nulls counted" 2 x.Catalog.s_nulls;
+  Alcotest.(check int) "ndv excludes nulls" 2 x.s_ndv
+
+let test_stats_sampled_close () =
+  let r =
+    Rel.create ~name:"t" ~schema:[ "k" ]
+      (List.init 2000 (fun i -> [| V.Int (i mod 50) |]))
+  in
+  let s = Storage.Stats_gather.sampled ~seed:7 ~fraction:0.3 r in
+  Alcotest.(check int) "row count exact" 2000 s.Catalog.s_rows;
+  let k = List.assoc "k" s.s_cols in
+  Alcotest.(check bool)
+    (Printf.sprintf "sampled ndv %d within 2x of 50" k.Catalog.s_ndv)
+    true
+    (k.s_ndv >= 25 && k.s_ndv <= 100)
+
+let test_stats_sampled_deterministic () =
+  let r = mk_rel () in
+  let s1 = Storage.Stats_gather.sampled ~seed:42 ~fraction:0.5 r in
+  let s2 = Storage.Stats_gather.sampled ~seed:42 ~fraction:0.5 r in
+  Alcotest.(check bool) "same seed, same stats" true (s1 = s2)
+
+let () =
+  Alcotest.run "storage"
+    [
+      ( "relation",
+        [ Alcotest.test_case "basics" `Quick test_relation_basics ] );
+      ( "btree",
+        [
+          Alcotest.test_case "insert/find" `Quick test_btree_insert_find;
+          Alcotest.test_case "null keys" `Quick test_btree_null_keys_not_indexed;
+          Alcotest.test_case "composite prefix" `Quick test_btree_composite_prefix;
+          Alcotest.test_case "height" `Quick test_btree_height;
+        ] );
+      ( "db",
+        [ Alcotest.test_case "schema mismatch" `Quick test_db_load_schema_mismatch ] );
+      ( "stats",
+        [
+          Alcotest.test_case "exact" `Quick test_stats_exact;
+          Alcotest.test_case "nulls" `Quick test_stats_nulls;
+          Alcotest.test_case "sampled close" `Quick test_stats_sampled_close;
+          Alcotest.test_case "sampled deterministic" `Quick
+            test_stats_sampled_deterministic;
+        ] );
+    ]

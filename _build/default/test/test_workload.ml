@@ -1,0 +1,177 @@
+(** Workload generator and runner tests: determinism, class mix, and —
+    most importantly — end-to-end verification that for every generated
+    query the CBQT-on and CBQT-off plans return identical results. *)
+
+module QG = Workload.Query_gen
+module SG = Workload.Schema_gen
+module R = Workload.Runner
+
+let build () = SG.build ~families:2 ~sample_frac:0.5 ~seed:42 ()
+
+let test_schema_deterministic () =
+  let _, s1 = build () in
+  let _, s2 = build () in
+  let names s =
+    List.map (fun ti -> (ti.SG.ti_name, ti.SG.ti_rows)) s.SG.all_tables
+  in
+  Alcotest.(check (list (pair string int))) "same schema" (names s1) (names s2)
+
+let test_data_deterministic () =
+  let db1, _ = build () in
+  let db2, _ = build () in
+  Hashtbl.iter
+    (fun name rel1 ->
+      let rel2 = Storage.Db.relation db2 name in
+      Alcotest.(check int)
+        (name ^ " cardinality")
+        (Storage.Relation.cardinality rel1)
+        (Storage.Relation.cardinality rel2);
+      Alcotest.(check bool) (name ^ " rows equal") true
+        (rel1.Storage.Relation.r_rows = rel2.Storage.Relation.r_rows))
+    db1.Storage.Db.rels
+
+let test_queries_deterministic () =
+  let _, schema = build () in
+  let mk () =
+    let g = QG.create ~seed:7 schema in
+    List.map
+      (fun it -> Sqlir.Pp.fingerprint it.QG.it_query)
+      (QG.workload g 40)
+  in
+  Alcotest.(check (list string)) "same queries" (mk ()) (mk ())
+
+let test_mix_fractions () =
+  let _, schema = build () in
+  let g = QG.create ~seed:11 schema in
+  let items = QG.workload g 800 in
+  let transformable =
+    List.length
+      (List.filter (fun it -> it.QG.it_class <> QG.C_spj) items)
+  in
+  let frac = float_of_int transformable /. 800. in
+  Alcotest.(check bool)
+    (Printf.sprintf "~8%% transformable (got %.1f%%)" (frac *. 100.))
+    true
+    (frac > 0.04 && frac < 0.14)
+
+let test_all_classes_parse_and_run () =
+  (* one query of every class: optimize under CBQT on and off; verify
+     result equality *)
+  let db, schema = build () in
+  let g = QG.create ~seed:3 schema in
+  let classes =
+    [
+      QG.C_spj; QG.C_exists; QG.C_not_exists; QG.C_in_multi; QG.C_not_in;
+      QG.C_agg_subq; QG.C_gb_view; QG.C_distinct_view; QG.C_union_factor;
+      QG.C_gbp; QG.C_or; QG.C_setop; QG.C_pullup;
+    ]
+  in
+  let items =
+    List.mapi
+      (fun i cls ->
+        g.QG.g_alias <- 0;
+        { QG.it_id = i; it_class = cls; it_query = QG.generate g cls })
+      classes
+  in
+  let o =
+    R.run_pair ~verify:true db ~a:Cbqt.Driver.heuristic_config
+      ~b:Cbqt.Driver.default_config items
+  in
+  List.iter
+    (fun f ->
+      Alcotest.failf "query %d (%s) failed: %s" f.R.f_id
+        (QG.class_name f.f_class) f.f_error)
+    o.R.failures;
+  Alcotest.(check int) "all classes ran" (List.length classes)
+    (List.length o.R.runs)
+
+let test_small_workload_verified () =
+  let db, schema = build () in
+  let g = QG.create ~seed:5 schema in
+  (* boost the transformable fraction so the verification covers them *)
+  let mix =
+    [
+      (QG.C_spj, 0.4); (QG.C_exists, 0.07); (QG.C_not_exists, 0.05);
+      (QG.C_in_multi, 0.06); (QG.C_not_in, 0.05); (QG.C_agg_subq, 0.07);
+      (QG.C_gb_view, 0.06); (QG.C_distinct_view, 0.06);
+      (QG.C_union_factor, 0.05); (QG.C_gbp, 0.05); (QG.C_or, 0.04);
+      (QG.C_setop, 0.02); (QG.C_pullup, 0.02);
+    ]
+  in
+  let items = QG.workload ~mix g 60 in
+  let o =
+    R.run_pair ~verify:true db ~a:Cbqt.Driver.heuristic_config
+      ~b:Cbqt.Driver.default_config items
+  in
+  List.iter
+    (fun f ->
+      Alcotest.failf "query %d (%s) failed: %s" f.R.f_id
+        (QG.class_name f.f_class) f.f_error)
+    o.R.failures;
+  let s = R.summarize o in
+  Alcotest.(check int) "all ran" 60 s.R.sm_total
+
+let test_summary_math () =
+  (* synthetic runs: check bucket and degradation arithmetic *)
+  let mk id wa wb changed =
+    {
+      R.rn_id = id;
+      rn_class = QG.C_spj;
+      rn_a =
+        {
+          R.s_cost = wa; s_work = wa; s_opt_seconds = 0.001; s_states = 1;
+          s_blocks = 1; s_plan_fp = "a";
+        };
+      rn_b =
+        {
+          R.s_cost = wb; s_work = wb; s_opt_seconds = 0.002; s_states = 2;
+          s_blocks = 1; s_plan_fp = (if changed then "b" else "a");
+        };
+      rn_plan_changed = changed;
+      rn_rows = 0;
+    }
+  in
+  let o =
+    {
+      R.runs =
+        [ mk 0 100. 50. true; mk 1 10. 20. true; mk 2 1000. 1000. false ];
+      failures = [];
+    }
+  in
+  let s = R.summarize ~tops:[ 50; 100 ] o in
+  Alcotest.(check int) "affected" 2 s.R.sm_affected;
+  (* total affected: A=110, B=70 -> improvement (110-70)/70 = 57% *)
+  Alcotest.(check bool)
+    (Printf.sprintf "avg improvement %.1f" s.sm_avg_improvement_pct)
+    true
+    (abs_float (s.sm_avg_improvement_pct -. 57.14) < 0.1);
+  Alcotest.(check (float 0.001)) "half degraded" 0.5 s.sm_degraded_frac;
+  (* top 50% = 1 query (the 100-unit one): improvement 100% *)
+  (match s.sm_buckets with
+  | b :: _ ->
+      Alcotest.(check int) "top bucket size" 1 b.R.bk_queries;
+      Alcotest.(check (float 0.1)) "top bucket improvement" 100.
+        b.bk_improvement_pct
+  | [] -> Alcotest.fail "no buckets");
+  Alcotest.(check bool) "opt time increased" true
+    (s.sm_opt_time_increase_pct > 0.)
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "generation",
+        [
+          Alcotest.test_case "schema deterministic" `Quick test_schema_deterministic;
+          Alcotest.test_case "data deterministic" `Quick test_data_deterministic;
+          Alcotest.test_case "queries deterministic" `Quick test_queries_deterministic;
+          Alcotest.test_case "mix fractions" `Quick test_mix_fractions;
+        ] );
+      ( "running",
+        [
+          Alcotest.test_case "all classes verified" `Slow
+            test_all_classes_parse_and_run;
+          Alcotest.test_case "small workload verified" `Slow
+            test_small_workload_verified;
+          Alcotest.test_case "summary math" `Quick test_summary_math;
+        ] );
+    ]
