@@ -31,10 +31,32 @@ let mode_conv =
       ("none", `None);
     ]
 
-let config_of_mode = function
-  | `Cost -> Some Cbqt.Driver.default_config
-  | `Heuristic -> Some Cbqt.Driver.heuristic_config
-  | `None -> None
+let config_of_mode ?(check = false) mode =
+  let base =
+    match mode with
+    | `Cost -> Some Cbqt.Driver.default_config
+    | `Heuristic -> Some Cbqt.Driver.heuristic_config
+    | `None -> None
+  in
+  Option.map
+    (fun c -> { c with Cbqt.Driver.check = c.Cbqt.Driver.check || check })
+    base
+
+let check_flag =
+  Arg.(
+    value & flag
+    & info [ "check" ]
+        ~doc:
+          "Sanitizer mode: re-run the IR well-formedness checker after \
+           every transformation and every search state, and lint the final \
+           plan (same as CBQT_CHECK=1).")
+
+(** Static IR findings for the untransformed tree (used by $(b,--check)
+    with $(b,--mode none) and by the $(b,check) subcommand). *)
+let report_ir_findings cat q : int =
+  let ds = Analysis.Ir_check.check cat q in
+  List.iter (fun d -> Fmt.epr "%s@." (Analysis.Diagnostics.to_string d)) ds;
+  List.length (Analysis.Diagnostics.errors ds)
 
 let with_query sql f =
   let db = demo_db () in
@@ -49,9 +71,9 @@ let explain_cmd =
   let mode =
     Arg.(value & opt mode_conv `Cost & info [ "mode" ] ~doc:"cost | heuristic | none")
   in
-  let run sql mode =
+  let run sql mode check =
     with_query sql (fun db q ->
-        (match config_of_mode mode with
+        (match config_of_mode ~check mode with
         | Some config ->
             let res = Cbqt.Driver.optimize ~config db.Storage.Db.cat q in
             Fmt.pr "-- transformed query tree --@.%s@.@."
@@ -63,6 +85,8 @@ let explain_cmd =
               res.res_annotation.an_rows
               (Exec.Plan.to_string res.res_annotation.an_plan)
         | None ->
+            if check then
+              ignore (report_ir_findings db.Storage.Db.cat q);
             let opt = Planner.Optimizer.create db.Storage.Db.cat in
             let ann = Planner.Optimizer.optimize opt q in
             Fmt.pr "-- physical plan (no transformation; cost %.1f) --@.%s@."
@@ -71,7 +95,7 @@ let explain_cmd =
         0)
   in
   Cmd.v (Cmd.info "explain" ~doc:"Show the transformed query and its plan")
-    Term.(const run $ sql $ mode)
+    Term.(const run $ sql $ mode $ check_flag)
 
 let run_cmd =
   let sql = Arg.(required & pos 0 (some string) None & info [] ~docv:"SQL") in
@@ -81,10 +105,10 @@ let run_cmd =
   let limit =
     Arg.(value & opt int 25 & info [ "limit" ] ~doc:"max rows to print")
   in
-  let run sql mode limit =
+  let run sql mode limit check =
     with_query sql (fun db q ->
         let plan =
-          match config_of_mode mode with
+          match config_of_mode ~check mode with
           | Some config ->
               (Cbqt.Driver.optimize ~config db.Storage.Db.cat q)
                 .res_annotation
@@ -108,7 +132,7 @@ let run_cmd =
         0)
   in
   Cmd.v (Cmd.info "run" ~doc:"Execute a query and print results + work meter")
-    Term.(const run $ sql $ mode $ limit)
+    Term.(const run $ sql $ mode $ limit $ check_flag)
 
 let schema_cmd =
   let run () =
@@ -136,8 +160,71 @@ let schema_cmd =
   in
   Cmd.v (Cmd.info "schema" ~doc:"Print the demo schema") Term.(const run $ const ())
 
+let check_cmd =
+  let seed =
+    Arg.(value & opt int 2006 & info [ "seed" ] ~doc:"workload seed")
+  in
+  let families =
+    Arg.(value & opt int 2 & info [ "families" ] ~doc:"schema families")
+  in
+  let count =
+    Arg.(value & opt int 30 & info [ "queries" ] ~doc:"queries to generate")
+  in
+  let run seed families count =
+    let db, schema =
+      Workload.Schema_gen.build ~families ~sample_frac:0.3 ~seed ()
+    in
+    let cat = db.Storage.Db.cat in
+    let g = Workload.Query_gen.create ~seed schema in
+    let items = Workload.Query_gen.workload g count in
+    let configs =
+      [
+        ("cost", Cbqt.Driver.default_config);
+        ("heuristic", Cbqt.Driver.heuristic_config);
+      ]
+    in
+    let failures = ref 0 in
+    List.iter
+      (fun it ->
+        let qname =
+          Fmt.str "q%d[%s]" it.Workload.Query_gen.it_id
+            (Workload.Query_gen.class_name it.Workload.Query_gen.it_class)
+        in
+        let n_errs = report_ir_findings cat it.Workload.Query_gen.it_query in
+        if n_errs > 0 then (
+          Fmt.epr "FAIL %s: %d static IR errors@." qname n_errs;
+          incr failures);
+        List.iter
+          (fun (mode_name, config) ->
+            let config = { config with Cbqt.Driver.check = true } in
+            match
+              Cbqt.Driver.optimize ~config cat it.Workload.Query_gen.it_query
+            with
+            | _ -> ()
+            | exception Analysis.Diagnostics.Check_failed (tx, errs) ->
+                Fmt.epr "FAIL %s (mode %s): %s@." qname mode_name
+                  (Analysis.Diagnostics.check_failed_message tx errs);
+                incr failures)
+          configs)
+      items;
+    if !failures = 0 then (
+      Fmt.pr "check: %d queries x %d modes clean@." (List.length items)
+        (List.length configs);
+      0)
+    else (
+      Fmt.epr "check: %d failures@." !failures;
+      1)
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Run the IR checker and transformation sanitizer over a generated \
+          workload; exit non-zero on any finding")
+    Term.(const run $ seed $ families $ count)
+
 let () =
   let doc = "Cost-based query transformation (VLDB'06 reproduction)" in
   exit
     (Cmd.eval'
-       (Cmd.group (Cmd.info "cbqt" ~doc) [ explain_cmd; run_cmd; schema_cmd ]))
+       (Cmd.group (Cmd.info "cbqt" ~doc)
+          [ explain_cmd; run_cmd; schema_cmd; check_cmd ]))

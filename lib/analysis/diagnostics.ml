@@ -1,0 +1,84 @@
+(** Diagnostics for the static checkers.
+
+    Every finding carries a {e stable rule ID} (documented in DESIGN.md;
+    tests assert on them), a severity, a {e tree path} locating the
+    offending construct inside the query tree or physical plan, and a
+    human-readable message (offending fragments are pretty-printed via
+    {!Sqlir.Pp}).
+
+    Rule-ID namespaces: [IRxxx] — query-tree well-formedness
+    ({!Ir_check}); [PLxxx] — physical-plan lint ({!Plan_check}). *)
+
+type severity = Error | Warning
+
+type t = {
+  d_rule : string;  (** stable rule ID, e.g. ["IR002"] *)
+  d_severity : severity;
+  d_path : string;  (** tree-path location, e.g. ["w1/from[2]/view/w3/where[0]"] *)
+  d_message : string;
+}
+
+(** Raised by sanitizer mode ({!Cbqt.Driver}) when a transformation
+    produces an ill-formed tree: names the offending transformation and
+    carries the error diagnostics. *)
+exception Check_failed of string * t list
+
+let severity_str = function Error -> "error" | Warning -> "warning"
+
+let make ~rule ~severity ~path fmt =
+  Format.kasprintf
+    (fun msg -> { d_rule = rule; d_severity = severity; d_path = path; d_message = msg })
+    fmt
+
+let error ~rule ~path fmt = make ~rule ~severity:Error ~path fmt
+let warning ~rule ~path fmt = make ~rule ~severity:Warning ~path fmt
+
+let is_error d = d.d_severity = Error
+let errors ds = List.filter is_error ds
+let has_rule rule ds = List.exists (fun d -> String.equal d.d_rule rule) ds
+
+let pp ppf d =
+  Fmt.pf ppf "%s %s at %s: %s" d.d_rule (severity_str d.d_severity) d.d_path
+    d.d_message
+
+let pp_list ppf ds = Fmt.pf ppf "%a" (Fmt.list ~sep:Fmt.cut pp) ds
+
+let to_string d = Fmt.str "%a" pp d
+
+(** Render a [Check_failed] payload for reports and CLI output. *)
+let check_failed_message (tx : string) (ds : t list) : string =
+  Fmt.str "transformation %s produced an ill-formed tree:@.%a" tx pp_list ds
+
+let () =
+  Printexc.register_printer (function
+    | Check_failed (tx, ds) -> Some (check_failed_message tx ds)
+    | _ -> None)
+
+(* ------------------------------------------------------------------ *)
+(* Tree paths                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(** Paths are built root-down as ['/']-separated segments; collectors
+    thread the current path as a string. *)
+let root = ""
+
+let push path seg = if String.equal path "" then seg else path ^ "/" ^ seg
+let pushf path fmt = Format.kasprintf (push path) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Collector                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type collector = { mutable diags : t list }
+
+let collector () = { diags = [] }
+
+let report (c : collector) ~rule ~severity ~path fmt =
+  Format.kasprintf
+    (fun msg ->
+      c.diags <-
+        { d_rule = rule; d_severity = severity; d_path = path; d_message = msg }
+        :: c.diags)
+    fmt
+
+let result (c : collector) : t list = List.rev c.diags

@@ -1,0 +1,470 @@
+(** Query-tree well-formedness checker.
+
+    A rule-based static semantic checker over the {!Sqlir.Ast} query-tree
+    IR. The CBQT driver applies fourteen different rewrites to query
+    trees; a bug in any of them surfaces either as a crash deep inside
+    the physical optimizer / executor or — far worse — as silently wrong
+    rows. This module is the correctness backstop: it validates every
+    invariant the downstream layers rely on, with stable rule IDs so the
+    sanitizer ({!Cbqt.Driver}) and the mutation tests can name exactly
+    what broke.
+
+    Rule catalog (severity [E]rror / [W]arning):
+
+    - [IR001 E] FROM entry references a table absent from the catalog
+    - [IR002 E] column reference resolves to no in-scope FROM alias
+      (neither the enclosing block nor any outer correlation level)
+    - [IR003 E] column reference resolves to an alias, but the named
+      column does not exist on that alias's table / view select list
+    - [IR004 E] two FROM entries of one block share an alias
+    - [IR005 E] aggregate in an illegal clause (WHERE, GROUP BY, or a
+      FROM entry's ON condition)
+    - [IR006 E] in an aggregated block, a SELECT / HAVING / ORDER BY
+      expression is not functionally covered by the GROUP BY keys
+      (syntactic key match, constants, aggregates, outer references, and
+      primary-key functional dependency all count as covered)
+    - [IR007 E] non-inner FROM entry ([J_semi] / [J_anti] / [J_anti_na]
+      / [J_left]) with an empty ON condition ([fe_cond]) and no
+      correlation inside the view to make up for it (JPPD legally pushes
+      the entire ON list into the view as correlation)
+    - [IR008 E] the leading FROM entry of a block is non-inner (the
+      partial orders of Section 2.1.1 require a join to its left)
+    - [IR009 E] set-operation branches disagree on select-list arity
+    - [IR010 E] ROWNUM limit is not positive
+    - [IR011 W] duplicate output column name in a block's select list
+    - [IR012 E] window function in an illegal clause (anywhere but
+      SELECT or ORDER BY)
+    - [IR013 E] empty select list
+    - [IR014 W] empty FROM clause (the physical optimizer rejects such
+      blocks as unsupported rather than crashing, hence only a warning)
+
+    The checker never raises; it returns the full list of findings. *)
+
+open Sqlir
+module A = Ast
+module D = Diagnostics
+module Sset = Walk.Sset
+
+(* ------------------------------------------------------------------ *)
+(* Scopes                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(** One FROM alias in scope: its output column names, or [None] when
+    they are unknowable because the table itself is unknown (IR001
+    already fired; avoid cascading IR003 noise). *)
+type binding = { b_alias : string; b_cols : string list option }
+
+(** Innermost scope first; each scope is one block's FROM bindings. *)
+type scopes = binding list list
+
+let lookup (scopes : scopes) (alias : string) : binding option =
+  List.find_map
+    (fun bindings ->
+      List.find_opt (fun b -> String.equal b.b_alias alias) bindings)
+    scopes
+
+let source_cols (cat : Catalog.t) (fe : A.from_entry) : string list option =
+  match fe.A.fe_source with
+  | A.S_table t -> (
+      match Catalog.find_table_opt cat t with
+      | Some def -> Some (List.map (fun c -> c.Catalog.c_name) def.Catalog.t_cols)
+      | None -> None)
+  | A.S_view v -> Some (A.query_select_names v)
+
+(* ------------------------------------------------------------------ *)
+(* Column resolution (IR002 / IR003)                                    *)
+(* ------------------------------------------------------------------ *)
+
+let check_col (c : D.collector) (scopes : scopes) ~path (col : A.col) =
+  match lookup scopes col.A.c_alias with
+  | None ->
+      D.report c ~rule:"IR002" ~severity:D.Error ~path
+        "column %s.%s: alias %s is not in scope" col.A.c_alias col.A.c_col
+        col.A.c_alias
+  | Some { b_cols = None; _ } -> ()
+  | Some { b_cols = Some cols; _ } ->
+      if not (List.mem col.A.c_col cols) then
+        D.report c ~rule:"IR003" ~severity:D.Error ~path
+          "column %s.%s: alias %s has no column %s" col.A.c_alias col.A.c_col
+          col.A.c_alias col.A.c_col
+
+(* ------------------------------------------------------------------ *)
+(* Expression-shape checks: aggregate / window placement                *)
+(* ------------------------------------------------------------------ *)
+
+type clause = C_select | C_where | C_group_by | C_having | C_order_by | C_on
+
+let clause_str = function
+  | C_select -> "SELECT"
+  | C_where -> "WHERE"
+  | C_group_by -> "GROUP BY"
+  | C_having -> "HAVING"
+  | C_order_by -> "ORDER BY"
+  | C_on -> "ON"
+
+let agg_allowed = function C_select | C_having | C_order_by -> true | _ -> false
+let win_allowed = function C_select | C_order_by -> true | _ -> false
+
+(** Walk an expression shallowly (no subquery descent — expressions
+    cannot contain subqueries), resolving columns and flagging agg /
+    window placement. [in_agg] guards against nested aggregates. *)
+let rec check_expr (c : D.collector) (scopes : scopes) ~clause ~path
+    ?(in_agg = false) (e : A.expr) : unit =
+  let self = check_expr c scopes ~clause ~path ~in_agg in
+  match e with
+  | A.Const _ -> ()
+  | A.Col col -> check_col c scopes ~path col
+  | A.Binop (_, a, b) ->
+      self a;
+      self b
+  | A.Neg a -> self a
+  | A.Agg (_, eo, _) ->
+      if not (agg_allowed clause) then
+        D.report c ~rule:"IR005" ~severity:D.Error ~path
+          "aggregate %s in %s clause" (Pp.expr_to_string e) (clause_str clause);
+      if in_agg then
+        D.report c ~rule:"IR005" ~severity:D.Error ~path
+          "nested aggregate %s" (Pp.expr_to_string e);
+      Option.iter (check_expr c scopes ~clause ~path ~in_agg:true) eo
+  | A.Win (_, eo, w) ->
+      if not (win_allowed clause) then
+        D.report c ~rule:"IR012" ~severity:D.Error ~path
+          "window function %s in %s clause" (Pp.expr_to_string e)
+          (clause_str clause);
+      Option.iter self eo;
+      List.iter self w.A.w_pby;
+      List.iter (fun (e, _) -> self e) w.A.w_oby
+  | A.Fn (_, args) -> List.iter self args
+  | A.Case (arms, els) ->
+      List.iter
+        (fun (p, e) ->
+          check_pred_shallow c scopes ~clause ~path p;
+          self e)
+        arms;
+      Option.iter self els
+
+(** Predicate check without subquery recursion (CASE arms may embed
+    predicates; their subqueries are handled by the caller's deep
+    walk). *)
+and check_pred_shallow c scopes ~clause ~path (p : A.pred) : unit =
+  let pe = check_expr c scopes ~clause ~path in
+  match p with
+  | A.True | A.False -> ()
+  | A.Cmp (_, a, b) ->
+      pe a;
+      pe b
+  | A.Between (a, lo, hi) ->
+      pe a;
+      pe lo;
+      pe hi
+  | A.Is_null a -> pe a
+  | A.Not a | A.Lnnvl a -> check_pred_shallow c scopes ~clause ~path a
+  | A.And (a, b) | A.Or (a, b) ->
+      check_pred_shallow c scopes ~clause ~path a;
+      check_pred_shallow c scopes ~clause ~path b
+  | A.In_list (a, _) -> pe a
+  | A.In_subq (es, _) | A.Not_in_subq (es, _) -> List.iter pe es
+  | A.Exists _ | A.Not_exists _ -> ()
+  | A.Cmp_subq (_, a, _, _) -> pe a
+  | A.Pred_fn (_, args) -> List.iter pe args
+
+(* ------------------------------------------------------------------ *)
+(* GROUP BY functional coverage (IR006)                                 *)
+(* ------------------------------------------------------------------ *)
+
+(** Aliases all of whose columns are functionally determined by the
+    GROUP BY keys: the alias is bound to a base table whose primary key
+    columns all appear (as plain columns of that alias) among the
+    keys. *)
+let fd_covered_aliases (cat : Catalog.t) (b : A.block) : Sset.t =
+  let key_cols =
+    List.filter_map (function A.Col c -> Some c | _ -> None) b.A.group_by
+  in
+  List.fold_left
+    (fun acc fe ->
+      match fe.A.fe_source with
+      | A.S_view _ -> acc
+      | A.S_table t -> (
+          match Catalog.find_table_opt cat t with
+          | Some def when def.Catalog.t_pkey <> [] ->
+              let covered =
+                List.for_all
+                  (fun pk_col ->
+                    List.exists
+                      (fun c ->
+                        String.equal c.A.c_alias fe.A.fe_alias
+                        && String.equal c.A.c_col pk_col)
+                      key_cols)
+                  def.Catalog.t_pkey
+              in
+              if covered then Sset.add fe.A.fe_alias acc else acc
+          | _ -> acc))
+    Sset.empty b.A.from
+
+(** Is [e] functionally covered by the GROUP BY keys of [b]?
+    Covered: a syntactic match of a key; constants; aggregates (their
+    arguments range over the pre-aggregation rows by construction);
+    columns of outer (correlation) aliases — constant per invocation;
+    columns of FD-covered aliases; compounds all of whose children are
+    covered. *)
+let rec covered ~(keys : A.expr list) ~(local : Sset.t) ~(fd : Sset.t)
+    (e : A.expr) : bool =
+  List.mem e keys
+  ||
+  match e with
+  | A.Const _ -> true
+  | A.Agg _ -> true
+  | A.Col c -> (not (Sset.mem c.A.c_alias local)) || Sset.mem c.A.c_alias fd
+  | A.Binop (_, a, b) -> covered ~keys ~local ~fd a && covered ~keys ~local ~fd b
+  | A.Neg a -> covered ~keys ~local ~fd a
+  | A.Win (_, eo, w) ->
+      (match eo with None -> true | Some a -> covered ~keys ~local ~fd a)
+      && List.for_all (covered ~keys ~local ~fd) w.A.w_pby
+      && List.for_all (fun (e, _) -> covered ~keys ~local ~fd e) w.A.w_oby
+  | A.Fn (_, args) -> List.for_all (covered ~keys ~local ~fd) args
+  | A.Case (arms, els) ->
+      List.for_all
+        (fun (p, e) -> covered_pred ~keys ~local ~fd p && covered ~keys ~local ~fd e)
+        arms
+      && (match els with None -> true | Some e -> covered ~keys ~local ~fd e)
+
+and covered_pred ~keys ~local ~fd (p : A.pred) : bool =
+  match p with
+  | A.True | A.False -> true
+  | A.Cmp (_, a, b) -> covered ~keys ~local ~fd a && covered ~keys ~local ~fd b
+  | A.Between (a, lo, hi) ->
+      covered ~keys ~local ~fd a && covered ~keys ~local ~fd lo
+      && covered ~keys ~local ~fd hi
+  | A.Is_null a -> covered ~keys ~local ~fd a
+  | A.Not a | A.Lnnvl a -> covered_pred ~keys ~local ~fd a
+  | A.And (a, b) | A.Or (a, b) ->
+      covered_pred ~keys ~local ~fd a && covered_pred ~keys ~local ~fd b
+  | A.In_list (a, _) -> covered ~keys ~local ~fd a
+  | A.Pred_fn (_, args) -> List.for_all (covered ~keys ~local ~fd) args
+  (* subquery predicates cannot appear in expression position clauses;
+     treat conservatively as covered — the subquery itself is checked in
+     its own scope *)
+  | A.In_subq _ | A.Not_in_subq _ | A.Exists _ | A.Not_exists _
+  | A.Cmp_subq _ ->
+      true
+
+let check_coverage (c : D.collector) (cat : Catalog.t) (b : A.block) ~path
+    ~(what : string) ~loc_path (e : A.expr) : unit =
+  ignore path;
+  let keys = b.A.group_by in
+  let local = Walk.defined_aliases b in
+  let fd = fd_covered_aliases cat b in
+  if not (covered ~keys ~local ~fd e) then
+    D.report c ~rule:"IR006" ~severity:D.Error ~path:loc_path
+      "%s expression %s is not functionally covered by the GROUP BY keys"
+      what (Pp.expr_to_string e)
+
+(* ------------------------------------------------------------------ *)
+(* Blocks and queries                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(** Deep predicate check: shallow shape checks plus recursion into
+    subqueries with the current block's scope pushed. *)
+let rec check_pred (c : D.collector) (cat : Catalog.t) (scopes : scopes)
+    ~clause ~path (p : A.pred) : unit =
+  check_pred_shallow c scopes ~clause ~path p;
+  List.iteri
+    (fun i sq ->
+      check_query c cat scopes ~path:(D.pushf path "subq[%d]" i) sq)
+    (Walk.pred_subqueries p)
+
+and check_block (c : D.collector) (cat : Catalog.t) (outer : scopes) ~path
+    (b : A.block) : unit =
+  let path = D.push path b.A.qb_name in
+  (* --- FROM: alias uniqueness, table existence, jkind invariants --- *)
+  List.iteri
+    (fun i fe ->
+      let epath = D.pushf path "from[%d:%s]" i fe.A.fe_alias in
+      (match fe.A.fe_source with
+      | A.S_table t ->
+          if Catalog.find_table_opt cat t = None then
+            D.report c ~rule:"IR001" ~severity:D.Error ~path:epath
+              "unknown table %s" t
+      | A.S_view _ -> ());
+      (* report at each repeat occurrence of an alias seen earlier *)
+      if
+        List.filteri (fun j _ -> j < i) b.A.from
+        |> List.exists (fun fe' -> String.equal fe'.A.fe_alias fe.A.fe_alias)
+      then
+        D.report c ~rule:"IR004" ~severity:D.Error ~path:epath
+          "duplicate FROM alias %s" fe.A.fe_alias;
+      (match fe.A.fe_kind with
+      | A.J_inner -> ()
+      | A.J_left | A.J_semi | A.J_anti | A.J_anti_na ->
+          (* JPPD legally empties the ON list after pushing the join
+             predicate inside the view, where it survives as
+             correlation — so a correlated view needs no ON. *)
+          let correlated_view =
+            match fe.A.fe_source with
+            | A.S_table _ -> false
+            | A.S_view v -> not (Walk.Sset.is_empty (Walk.free_aliases v))
+          in
+          if fe.A.fe_cond = [] && not correlated_view then
+            D.report c ~rule:"IR007" ~severity:D.Error ~path:epath
+              "non-inner FROM entry %s has neither an ON condition nor \
+               correlation"
+              fe.A.fe_alias;
+          if i = 0 then
+            D.report c ~rule:"IR008" ~severity:D.Error ~path:epath
+              "leading FROM entry %s is non-inner (%s)" fe.A.fe_alias
+              (match fe.A.fe_kind with
+              | A.J_left -> "left outer"
+              | A.J_semi -> "semi"
+              | A.J_anti -> "anti"
+              | A.J_anti_na -> "anti-na"
+              | A.J_inner -> assert false)))
+    b.A.from;
+  (* --- scope for everything inside this block --- *)
+  let bindings =
+    List.map
+      (fun fe -> { b_alias = fe.A.fe_alias; b_cols = source_cols cat fe })
+      b.A.from
+  in
+  let scopes = bindings :: outer in
+  (* --- views: checked laterally (siblings visible, self excluded) --- *)
+  List.iteri
+    (fun i fe ->
+      match fe.A.fe_source with
+      | A.S_table _ -> ()
+      | A.S_view v ->
+          let sibling_bindings =
+            List.filter
+              (fun bd -> not (String.equal bd.b_alias fe.A.fe_alias))
+              bindings
+          in
+          check_query c cat (sibling_bindings :: outer)
+            ~path:(D.pushf path "from[%d:%s]/view" i fe.A.fe_alias)
+            v)
+    b.A.from;
+  (* --- ON conditions --- *)
+  List.iteri
+    (fun i fe ->
+      List.iteri
+        (fun j p ->
+          check_pred c cat scopes ~clause:C_on
+            ~path:(D.pushf path "from[%d:%s]/on[%d]" i fe.A.fe_alias j)
+            p)
+        fe.A.fe_cond)
+    b.A.from;
+  (* --- select list --- *)
+  if b.A.select = [] then
+    D.report c ~rule:"IR013" ~severity:D.Error ~path "empty select list";
+  if b.A.from = [] then
+    D.report c ~rule:"IR014" ~severity:D.Warning ~path "empty FROM clause";
+  let seen_names = Hashtbl.create 8 in
+  List.iteri
+    (fun i si ->
+      let spath = D.pushf path "select[%d:%s]" i si.A.si_name in
+      if Hashtbl.mem seen_names si.A.si_name then
+        D.report c ~rule:"IR011" ~severity:D.Warning ~path:spath
+          "duplicate select-list name %s" si.A.si_name;
+      Hashtbl.replace seen_names si.A.si_name ();
+      check_expr c scopes ~clause:C_select ~path:spath si.A.si_expr)
+    b.A.select;
+  (* --- where --- *)
+  List.iteri
+    (fun i p ->
+      check_pred c cat scopes ~clause:C_where ~path:(D.pushf path "where[%d]" i) p)
+    b.A.where;
+  (* --- group by --- *)
+  List.iteri
+    (fun i e ->
+      check_expr c scopes ~clause:C_group_by
+        ~path:(D.pushf path "group_by[%d]" i)
+        e)
+    b.A.group_by;
+  (* --- having --- *)
+  List.iteri
+    (fun i p ->
+      check_pred c cat scopes ~clause:C_having
+        ~path:(D.pushf path "having[%d]" i)
+        p)
+    b.A.having;
+  (* --- order by --- *)
+  List.iteri
+    (fun i (e, _) ->
+      check_expr c scopes ~clause:C_order_by
+        ~path:(D.pushf path "order_by[%d]" i)
+        e)
+    b.A.order_by;
+  (* --- aggregate coverage (IR006) --- *)
+  if Walk.block_has_agg b then (
+    List.iteri
+      (fun i si ->
+        check_coverage c cat b ~path ~what:"select"
+          ~loc_path:(D.pushf path "select[%d:%s]" i si.A.si_name)
+          si.A.si_expr)
+      b.A.select;
+    List.iteri
+      (fun i p ->
+        let exprs = ref [] in
+        ignore
+          (Walk.map_pred_exprs
+             (fun e ->
+               exprs := e :: !exprs;
+               e)
+             p);
+        List.iter
+          (check_coverage c cat b ~path ~what:"having"
+             ~loc_path:(D.pushf path "having[%d]" i))
+          !exprs)
+      b.A.having;
+    List.iteri
+      (fun i (e, _) ->
+        check_coverage c cat b ~path ~what:"order-by"
+          ~loc_path:(D.pushf path "order_by[%d]" i)
+          e)
+      b.A.order_by);
+  (* --- rownum --- *)
+  match b.A.limit with
+  | Some n when n < 1 ->
+      D.report c ~rule:"IR010" ~severity:D.Error ~path
+        "ROWNUM limit %d is not positive" n
+  | _ -> ()
+
+and check_query (c : D.collector) (cat : Catalog.t) (outer : scopes) ~path
+    (q : A.query) : unit =
+  (match q with
+  | A.Block _ -> ()
+  | A.Setop _ ->
+      (* all leaves of a setop tree must agree on select-list arity *)
+      let leaves = A.leaves q in
+      let arities = List.map (fun b -> List.length b.A.select) leaves in
+      match arities with
+      | [] -> ()
+      | first :: _ ->
+          List.iteri
+            (fun i n ->
+              if n <> first then
+                D.report c ~rule:"IR009" ~severity:D.Error
+                  ~path:(D.pushf path "branch[%d]" i)
+                  "set-operation branch has %d select items, expected %d" n
+                  first)
+            arities);
+  let rec go path = function
+    | A.Block b -> check_block c cat outer ~path b
+    | A.Setop (_, l, r) ->
+        go (D.push path "setop.l") l;
+        go (D.push path "setop.r") r
+  in
+  go path q
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(** Run all rules over [q]; returns every finding (errors and
+    warnings), in tree order. *)
+let check (cat : Catalog.t) (q : A.query) : D.t list =
+  let c = D.collector () in
+  check_query c cat [] ~path:D.root q;
+  D.result c
+
+(** Errors only — what sanitizer mode gates on. *)
+let errors (cat : Catalog.t) (q : A.query) : D.t list =
+  D.errors (check cat q)

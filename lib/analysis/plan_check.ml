@@ -1,0 +1,389 @@
+(** Physical-plan lint.
+
+    Post-optimization checks over {!Exec.Plan} operator trees: data-flow
+    (every column an operator consumes must be produced below it or be a
+    legal correlation binding into an enclosing scope) and the
+    partial-order constraints the physical optimizer
+    ([lib/planner/optimizer.ml]) is supposed to respect when placing
+    semi / anti / outer joins.
+
+    Rule catalog (severity [E]rror / [W]arning):
+
+    - [PL001 E] an operator consumes a column that is neither produced
+      by its input nor bound in an enclosing correlation scope (also
+      covers index probe expressions referencing the scanned table
+      itself)
+    - [PL002 E] join partial-order / method violation: a hash or merge
+      join whose right side is correlated to the left side (only nested
+      loops can supply per-row bindings), or a merge join with a
+      [Left_outer] / [Anti_na] role (the optimizer never builds those)
+    - [PL003 E] cost annotation is NaN, infinite or negative
+    - [PL004 E] cardinality annotation is NaN, infinite or negative
+    - [PL005 E] a subquery predicate embedded in a plain filter, scan
+      filter or join condition — subqueries must be evaluated via
+      [Subq_filter] (tuple-iteration semantics), never inline
+    - [PL006 E] branches of a [Union_all] / [Setop_exec] disagree on
+      output width
+    - [PL007 E] scan of a table absent from the catalog
+
+    The checker never raises; it returns the full list of findings. *)
+
+open Sqlir
+module A = Ast
+module P = Exec.Plan
+module D = Diagnostics
+
+module Pset = Set.Make (struct
+  type t = string * string
+
+  let compare = compare
+end)
+
+let set_of_layout (l : (string * string) array) : Pset.t =
+  Array.fold_left (fun s ac -> Pset.add ac s) Pset.empty l
+
+(** [layout] raises on unknown tables; degrade to [None] so one bad
+    scan does not cascade into spurious PL001s everywhere above it. *)
+let layout_opt (cat : Catalog.t) (p : P.t) : Pset.t option =
+  match P.layout p cat with
+  | l -> Some (set_of_layout l)
+  | exception Catalog.Unknown_table _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Column consumption                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let expr_cols (e : A.expr) : A.col list =
+  List.rev (Walk.fold_expr_cols (fun acc c -> c :: acc) [] e)
+
+let pred_cols (p : A.pred) : A.col list =
+  List.rev (Walk.fold_pred_cols ~deep:false (fun acc c -> c :: acc) [] p)
+
+(** Report every column of [cols] not visible in [visible]. [ctx] names
+    the consuming clause. When [visible] is [None] the producer below is
+    already broken (PL007 fired); stay silent. *)
+let check_cols (c : D.collector) ~path ~ctx (visible : Pset.t option)
+    (cols : A.col list) : unit =
+  match visible with
+  | None -> ()
+  | Some vis ->
+      List.iter
+        (fun col ->
+          if not (Pset.mem (col.A.c_alias, col.A.c_col) vis) then
+            D.report c ~rule:"PL001" ~severity:D.Error ~path
+              "%s references column %s.%s, which is not produced below this \
+               operator nor bound in an enclosing scope"
+              ctx col.A.c_alias col.A.c_col)
+        cols
+
+let check_no_subquery (c : D.collector) ~path ~ctx (preds : A.pred list) : unit
+    =
+  List.iter
+    (fun p ->
+      if Walk.pred_has_subquery p then
+        D.report c ~rule:"PL005" ~severity:D.Error ~path
+          "%s embeds a subquery predicate %s — subqueries must go through a \
+           SUBQUERY FILTER operator"
+          ctx
+          (Pp.pred_to_string p))
+    preds
+
+let union_opt a b =
+  match (a, b) with Some x, Some y -> Some (Pset.union x y) | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* The walk                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(** [go c cat env path p] checks [p] under correlation environment
+    [env] (columns supplied per-row by enclosing operators) and returns
+    [p]'s own output column set (or [None] when unknowable). *)
+let rec go (c : D.collector) (cat : Catalog.t) (env : Pset.t option) path
+    (p : P.t) : Pset.t option =
+  match p with
+  | P.Table_scan { table; alias; filter } ->
+      let path = D.pushf path "scan[%s:%s]" table alias in
+      let own =
+        match Catalog.find_table_opt cat table with
+        | Some _ -> layout_opt cat p
+        | None ->
+            D.report c ~rule:"PL007" ~severity:D.Error ~path
+              "scan of unknown table %s" table;
+            None
+      in
+      let vis = union_opt own env in
+      check_no_subquery c ~path ~ctx:"scan filter" filter;
+      List.iter
+        (fun pr -> check_cols c ~path ~ctx:"scan filter" vis (pred_cols pr))
+        filter;
+      own
+  | P.Index_scan { table; alias; index; prefix; lo; hi; filter } ->
+      let path = D.pushf path "iscan[%s(%s):%s]" table index alias in
+      let own =
+        match Catalog.find_table_opt cat table with
+        | Some _ -> layout_opt cat p
+        | None ->
+            D.report c ~rule:"PL007" ~severity:D.Error ~path
+              "scan of unknown table %s" table;
+            None
+      in
+      (* probe expressions are evaluated before a row of this table
+         exists: they may use only the enclosing scopes *)
+      let probe_exprs =
+        prefix
+        @ (match lo with P.R_unbounded -> [] | P.R_incl e | P.R_excl e -> [ e ])
+        @ match hi with P.R_unbounded -> [] | P.R_incl e | P.R_excl e -> [ e ]
+      in
+      List.iter
+        (fun e ->
+          let cols = expr_cols e in
+          List.iter
+            (fun col ->
+              if String.equal col.A.c_alias alias then
+                D.report c ~rule:"PL001" ~severity:D.Error ~path
+                  "index probe expression references the scanned table's own \
+                   column %s.%s"
+                  col.A.c_alias col.A.c_col)
+            cols;
+          check_cols c ~path ~ctx:"index probe" env
+            (List.filter
+               (fun col -> not (String.equal col.A.c_alias alias))
+               cols))
+        probe_exprs;
+      let vis = union_opt own env in
+      check_no_subquery c ~path ~ctx:"scan filter" filter;
+      List.iter
+        (fun pr -> check_cols c ~path ~ctx:"scan filter" vis (pred_cols pr))
+        filter;
+      own
+  | P.Join { meth; role; left; right; cond } ->
+      let path =
+        D.pushf path "join[%s%s]"
+          (match meth with
+          | P.Nested_loop -> "nl"
+          | P.Hash -> "hash"
+          | P.Merge -> "merge")
+          (match role with
+          | P.Inner -> ""
+          | P.Semi -> ",semi"
+          | P.Anti -> ",anti"
+          | P.Anti_na -> ",anti-na"
+          | P.Left_outer -> ",outer")
+      in
+      (match (meth, role) with
+      | P.Merge, (P.Left_outer | P.Anti_na) ->
+          D.report c ~rule:"PL002" ~severity:D.Error ~path
+            "merge join with role %s — the optimizer's partial order never \
+             builds this shape"
+            (String.trim (P.jrole_str role))
+      | _ -> ());
+      let lout = go c cat env path left in
+      let right_env =
+        match meth with
+        | P.Nested_loop ->
+            (* nested loops re-evaluate the right side per left row: the
+               left layout is a legal correlation scope *)
+            union_opt lout env
+        | P.Hash | P.Merge -> env
+      in
+      let rout = go c cat right_env path right in
+      (* a hash/merge right side correlated to the left is a
+         partial-order violation, not merely a dangling column *)
+      (match (meth, lout, rout, env) with
+      | (P.Hash | P.Merge), Some l, Some r, Some e ->
+          let visible = Pset.union r e in
+          List.iter
+            (fun col ->
+              let k = (col.A.c_alias, col.A.c_col) in
+              if (not (Pset.mem k visible)) && Pset.mem k l then
+                D.report c ~rule:"PL002" ~severity:D.Error ~path
+                  "%s-join right side is correlated to the left side via \
+                   %s.%s — only nested loops can supply per-row bindings"
+                  (match meth with P.Hash -> "hash" | _ -> "merge")
+                  col.A.c_alias col.A.c_col)
+            (P.all_cols right)
+      | _ -> ());
+      check_no_subquery c ~path ~ctx:"join condition" cond;
+      let cond_vis = union_opt (union_opt lout rout) env in
+      List.iter
+        (fun pr ->
+          check_cols c ~path ~ctx:"join condition" cond_vis (pred_cols pr))
+        cond;
+      (match role with
+      | P.Semi | P.Anti | P.Anti_na -> lout
+      | P.Inner | P.Left_outer -> union_opt lout rout)
+  | P.Filter { child; preds } ->
+      let path = D.push path "filter" in
+      let own = go c cat env path child in
+      check_no_subquery c ~path ~ctx:"filter" preds;
+      let vis = union_opt own env in
+      List.iter
+        (fun pr -> check_cols c ~path ~ctx:"filter" vis (pred_cols pr))
+        preds;
+      own
+  | P.Subq_filter { child; preds } ->
+      let path = D.push path "subq_filter" in
+      let own = go c cat env path child in
+      let vis = union_opt own env in
+      List.iteri
+        (fun i sp ->
+          let spath = D.pushf path "subq[%d]" i in
+          match sp with
+          | P.SP_exists { plan; _ } -> ignore (go c cat vis spath plan)
+          | P.SP_in { lhs; plan; _ } ->
+              List.iter
+                (fun e ->
+                  check_cols c ~path:spath ~ctx:"IN left-hand side" vis
+                    (expr_cols e))
+                lhs;
+              ignore (go c cat vis spath plan)
+          | P.SP_cmp { lhs; plan; _ } ->
+              check_cols c ~path:spath ~ctx:"comparison left-hand side" vis
+                (expr_cols lhs);
+              ignore (go c cat vis spath plan))
+        preds;
+      own
+  | P.Project { child; alias; items } ->
+      let path = D.pushf path "project[%s]" alias in
+      let cout = go c cat env path child in
+      let vis = union_opt cout env in
+      List.iter
+        (fun (e, _) -> check_cols c ~path ~ctx:"projection" vis (expr_cols e))
+        items;
+      layout_opt cat p
+  | P.Aggregate { child; alias; keys; aggs; _ } ->
+      let path = D.pushf path "aggregate[%s]" alias in
+      let cout = go c cat env path child in
+      let vis = union_opt cout env in
+      List.iter
+        (fun (e, _) ->
+          check_cols c ~path ~ctx:"group-by key" vis (expr_cols e))
+        keys;
+      List.iter
+        (fun (_, _, eo, _) ->
+          Option.iter
+            (fun e ->
+              check_cols c ~path ~ctx:"aggregate argument" vis (expr_cols e))
+            eo)
+        aggs;
+      layout_opt cat p
+  | P.Window { child; alias; wins } ->
+      let path = D.pushf path "window[%s]" alias in
+      let cout = go c cat env path child in
+      let vis = union_opt cout env in
+      List.iter
+        (fun (_, _, eo, w) ->
+          Option.iter
+            (fun e ->
+              check_cols c ~path ~ctx:"window argument" vis (expr_cols e))
+            eo;
+          List.iter
+            (fun e ->
+              check_cols c ~path ~ctx:"window partition key" vis (expr_cols e))
+            w.A.w_pby;
+          List.iter
+            (fun (e, _) ->
+              check_cols c ~path ~ctx:"window order key" vis (expr_cols e))
+            w.A.w_oby)
+        wins;
+      union_opt cout (layout_opt cat p)
+  | P.Distinct child -> go c cat env (D.push path "distinct") child
+  | P.Sort { child; keys } ->
+      let path = D.push path "sort" in
+      let own = go c cat env path child in
+      let vis = union_opt own env in
+      List.iter
+        (fun (e, _) -> check_cols c ~path ~ctx:"sort key" vis (expr_cols e))
+        keys;
+      own
+  | P.Limit { child; n } ->
+      let path = D.push path "limit" in
+      if n < 1 then
+        D.report c ~rule:"PL004" ~severity:D.Error ~path
+          "ROWNUM limit %d is not positive" n;
+      go c cat env path child
+  | P.Limit_filter { child; preds; n } ->
+      let path = D.push path "limit_filter" in
+      if n < 1 then
+        D.report c ~rule:"PL004" ~severity:D.Error ~path
+          "ROWNUM limit %d is not positive" n;
+      let own = go c cat env path child in
+      check_no_subquery c ~path ~ctx:"filter" preds;
+      let vis = union_opt own env in
+      List.iter
+        (fun pr -> check_cols c ~path ~ctx:"filter" vis (pred_cols pr))
+        preds;
+      own
+  | P.Union_all children ->
+      let path = D.push path "union_all" in
+      let outs =
+        List.mapi (fun i ch -> go c cat env (D.pushf path "branch[%d]" i) ch)
+          children
+      in
+      let widths =
+        List.filter_map
+          (fun ch ->
+            match P.layout ch cat with
+            | l -> Some (Array.length l)
+            | exception Catalog.Unknown_table _ -> None)
+          children
+      in
+      (match widths with
+      | first :: rest ->
+          List.iteri
+            (fun i w ->
+              if w <> first then
+                D.report c ~rule:"PL006" ~severity:D.Error
+                  ~path:(D.pushf path "branch[%d]" (i + 1))
+                  "UNION ALL branch has width %d, expected %d" w first)
+            rest
+      | [] -> ());
+      (match outs with o :: _ -> o | [] -> Some Pset.empty)
+  | P.Setop_exec { op; left; right } ->
+      let path =
+        D.pushf path "setop[%s]"
+          (match op with `Intersect -> "intersect" | `Minus -> "minus")
+      in
+      let lo = go c cat env (D.push path "l") left in
+      let ro = go c cat env (D.push path "r") right in
+      (match
+         ( (match P.layout left cat with
+           | l -> Some (Array.length l)
+           | exception Catalog.Unknown_table _ -> None),
+           match P.layout right cat with
+           | l -> Some (Array.length l)
+           | exception Catalog.Unknown_table _ -> None )
+       with
+      | Some lw, Some rw when lw <> rw ->
+          D.report c ~rule:"PL006" ~severity:D.Error ~path
+            "set-operation branches have widths %d and %d" lw rw
+      | _ -> ());
+      ignore ro;
+      lo
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(** Data-flow and partial-order lint over a plan. *)
+let check (cat : Catalog.t) (p : P.t) : D.t list =
+  let c = D.collector () in
+  ignore (go c cat (Some Pset.empty) D.root p);
+  D.result c
+
+(** [check] plus validation of the cost / cardinality annotations
+    (PL003 / PL004). *)
+let check_annotated (cat : Catalog.t) ~(cost : float) ~(rows : float)
+    (p : P.t) : D.t list =
+  let c = D.collector () in
+  let finite_nonneg v = Float.is_finite v && v >= 0.0 in
+  if not (finite_nonneg cost) then
+    D.report c ~rule:"PL003" ~severity:D.Error ~path:D.root
+      "plan cost %g is not finite and non-negative" cost;
+  if not (finite_nonneg rows) then
+    D.report c ~rule:"PL004" ~severity:D.Error ~path:D.root
+      "plan cardinality %g is not finite and non-negative" rows;
+  ignore (go c cat (Some Pset.empty) D.root p);
+  D.result c
+
+let errors (cat : Catalog.t) (p : P.t) : D.t list = D.errors (check cat p)

@@ -81,6 +81,7 @@ let find_table t name =
   | Some def -> def
   | None -> raise (Unknown_table name)
 
+let find_table_opt t name = Hashtbl.find_opt t.tables name
 let mem_table t name = Hashtbl.mem t.tables name
 let table_names t = Hashtbl.fold (fun k _ acc -> k :: acc) t.tables []
 

@@ -54,8 +54,25 @@ type config = {
           elimination, predicate move-around, group pruning) *)
   interleave : bool;
   juxtapose : bool;
+  check : bool;
+      (** sanitizer mode: re-run {!Analysis.Ir_check} after every
+          transformation application and every CBQT search state, and
+          {!Analysis.Plan_check} on the final plan; raise
+          {!Analysis.Diagnostics.Check_failed} naming the offending
+          transformation on the first ill-formed tree *)
   policy : Policy.t;
 }
+
+(** [CBQT_CHECK=1] (or [true] / [on]) turns sanitizer mode on
+    process-wide, without touching call sites — the env-var override the
+    issue tracker asked for. *)
+let env_check =
+  match Sys.getenv_opt "CBQT_CHECK" with
+  | Some v -> (
+      match String.lowercase_ascii (String.trim v) with
+      | "1" | "true" | "on" | "yes" -> true
+      | _ -> false)
+  | None -> false
 
 let default_config =
   {
@@ -70,6 +87,7 @@ let default_config =
     heuristic_phase = true;
     interleave = true;
     juxtapose = true;
+    check = env_check;
     policy = Policy.default;
   }
 
@@ -127,6 +145,21 @@ type ctx = {
   mutable total_objects : int;  (** for the two-pass policy rule *)
 }
 
+(* ------------------------------------------------------------------ *)
+(* Sanitizer mode                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(** In sanitizer mode, run {!Analysis.Ir_check} over [q] and raise
+    {!Analysis.Diagnostics.Check_failed} — naming the transformation
+    [tx] that produced the tree — on any error-severity finding.
+    Returns [q] unchanged so it chains inside pipelines. *)
+let sanitize (ctx : ctx) ~(tx : string) (q : A.query) : A.query =
+  (if ctx.cfg.check then
+     match Analysis.Ir_check.errors ctx.cat q with
+     | [] -> ()
+     | errs -> raise (Analysis.Diagnostics.Check_failed (tx, errs)));
+  q
+
 (** Cost a candidate query under the cost cut-off. Returns [infinity]
     when the optimizer aborts or the tree is not optimizable. *)
 let cost_of (ctx : ctx) ~(cap : float option) (q : A.query) : float =
@@ -175,7 +208,10 @@ let cost_step (ctx : ctx) (name : string)
       | None -> q
       | Some h ->
           let mask = h ctx.cat q in
-          if List.exists Fun.id mask then apply_mask ctx.cat q mask else q)
+          if List.exists Fun.id mask then
+            sanitize ctx ~tx:(name ^ " (heuristic)")
+              (apply_mask ctx.cat q mask)
+          else q)
   | D_cost ->
       let objs = objects ctx.cat q in
       let n = List.length objs in
@@ -188,13 +224,21 @@ let cost_step (ctx : ctx) (name : string)
         in
         let best_seen = ref infinity in
         let eval mask =
-          let q' = apply_mask ctx.cat (T.Tx.deep_copy q) mask in
+          let q' =
+            sanitize ctx
+              ~tx:(name ^ " (search state)")
+              (apply_mask ctx.cat (T.Tx.deep_copy q) mask)
+          in
           let cap = if !best_seen < infinity then Some !best_seen else None in
           let c = cost_of ctx ~cap q' in
           let c =
             match interleave_with with
             | Some follow when ctx.cfg.interleave && List.exists Fun.id mask ->
-                let q'' = follow ctx.cat q' in
+                let q'' =
+                  sanitize ctx
+                    ~tx:(name ^ " (interleaved search state)")
+                    (follow ctx.cat q')
+                in
                 if Pp.fingerprint q'' = Pp.fingerprint q' then c
                 else Float.min c (cost_of ctx ~cap q'')
             | _ -> c
@@ -215,7 +259,7 @@ let cost_step (ctx : ctx) (name : string)
           ~states:res.Search.r_states ~chosen:res.Search.r_best ~base
           ~best:res.Search.r_best_cost;
         if List.exists Fun.id res.Search.r_best then
-          apply_mask ctx.cat q res.Search.r_best
+          sanitize ctx ~tx:name (apply_mask ctx.cat q res.Search.r_best)
         else q)
 
 (* ------------------------------------------------------------------ *)
@@ -237,6 +281,7 @@ let gb_merge_juxtaposed (ctx : ctx) (q : A.query) : A.query =
     let best_seen = ref infinity in
     let eval q' =
       incr states;
+      ignore (sanitize ctx ~tx:"gb-view-merge (search state)" q');
       let cap = if !best_seen < infinity then Some !best_seen else None in
       let c = cost_of ctx ~cap q' in
       if c < !best_seen then best_seen := c;
@@ -289,9 +334,13 @@ let heuristics (ctx : ctx) (q : A.query) : A.query =
   else
     q
     |> T.View_merge_spj.apply ctx.cat
+    |> sanitize ctx ~tx:"view-merge-spj"
     |> T.Join_elim.apply ctx.cat
+    |> sanitize ctx ~tx:"join-elim"
     |> T.Predicate_move.apply ctx.cat
+    |> sanitize ctx ~tx:"predicate-move"
     |> T.Group_prune.apply ctx.cat
+    |> sanitize ctx ~tx:"group-prune"
 
 let transform (ctx : ctx) (q : A.query) : A.query =
   (* 1. imperative phase: SPJ view merging, join elimination,
@@ -304,7 +353,7 @@ let transform (ctx : ctx) (q : A.query) : A.query =
     match ctx.cfg.unnest with
     | D_off -> q
     | D_heuristic | D_cost ->
-        let q = T.Unnest_merge.apply ctx.cat q in
+        let q = sanitize ctx ~tx:"unnest-merge" (T.Unnest_merge.apply ctx.cat q) in
         cost_step ctx "unnest" ~objects:T.Unnest_view.objects
           ~apply_mask:T.Unnest_view.apply_mask
           ~interleave_with:T.Gb_view_merge.apply_all
@@ -316,7 +365,8 @@ let transform (ctx : ctx) (q : A.query) : A.query =
     | D_off -> q
     | D_heuristic ->
         (* pre-10g behaviour: always merge when legal *)
-        T.Gb_view_merge.apply_all ctx.cat q
+        sanitize ctx ~tx:"gb-view-merge (heuristic)"
+          (T.Gb_view_merge.apply_all ctx.cat q)
     | D_cost -> gb_merge_juxtaposed ctx q
   in
   (* 4. re-run pruning / predicate motion over the rewritten tree *)
@@ -364,8 +414,18 @@ let optimize ?(config = default_config) (cat : Catalog.t) (q : A.query) :
   let annot_cache = Hashtbl.create 64 in
   let opt = Opt.create ~annot_cache cat in
   let ctx = { cat; opt; cfg = config; steps = []; total_objects = 0 } in
+  ignore (sanitize ctx ~tx:"input" q);
   let q' = transform ctx q in
   let ann = Opt.optimize opt q' in
+  (if config.check then
+     let diags =
+       Analysis.Plan_check.check_annotated cat
+         ~cost:ann.Planner.Annotation.an_cost
+         ~rows:ann.Planner.Annotation.an_rows ann.Planner.Annotation.an_plan
+     in
+     match Analysis.Diagnostics.errors diags with
+     | [] -> ()
+     | errs -> raise (Analysis.Diagnostics.Check_failed ("physical-plan", errs)));
   let t1 = Unix.gettimeofday () in
   let states_total =
     List.fold_left (fun acc s -> acc + s.sr_states) 0 ctx.steps

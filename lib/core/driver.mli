@@ -25,6 +25,14 @@ type config = {
           elimination, predicate move-around, group pruning) *)
   interleave : bool;  (** Section 3.3.1: unnesting ⋈ view merging *)
   juxtapose : bool;  (** Section 3.3.2: view merging vs JPPD *)
+  check : bool;
+      (** sanitizer mode: re-run {!Analysis.Ir_check} after every
+          transformation application and every CBQT search state, and
+          {!Analysis.Plan_check} on the final plan. On the first
+          error-severity finding, {!optimize} raises
+          {!Analysis.Diagnostics.Check_failed} naming the offending
+          transformation. Defaults to the [CBQT_CHECK] env var
+          ([1] / [true] / [on] / [yes]). *)
   policy : Policy.t;
 }
 
@@ -63,6 +71,10 @@ type result = {
 
 val optimize : ?config:config -> Catalog.t -> Sqlir.Ast.query -> result
 (** Transform and physically optimize a query. The returned plan is
-    executable with {!Exec.Executor.execute}. *)
+    executable with {!Exec.Executor.execute}.
+
+    @raise Analysis.Diagnostics.Check_failed in sanitizer mode
+    ([config.check]) when any transformation — or the final physical
+    plan — fails its static checks. *)
 
 val pp_report : Format.formatter -> report -> unit

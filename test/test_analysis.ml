@@ -1,0 +1,500 @@
+(** Tests for [lib/analysis]: mutation tests that break query trees and
+    plans in specific ways and assert the checker names the documented
+    rule, plus the sanitizer property: every workload query and every
+    intermediate tree of a full driver run passes [Ir_check] under all
+    decision configurations. *)
+
+open Tsupport
+module A = Sqlir.Ast
+module An = Analysis
+module D = Analysis.Diagnostics
+module P = Exec.Plan
+
+let cat = hr_catalog ()
+
+(* ------------------------------------------------------------------ *)
+(* Helpers                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let rules ds = List.map (fun d -> d.D.d_rule) (D.errors ds)
+
+let assert_rule ~rule query =
+  let ds = An.Ir_check.check cat query in
+  if not (D.has_rule rule (D.errors ds)) then
+    Alcotest.failf "expected %s, got errors [%s]" rule
+      (String.concat "; " (List.map D.to_string (D.errors ds)))
+
+let assert_clean query =
+  match D.errors (An.Ir_check.check cat query) with
+  | [] -> ()
+  | ds ->
+      Alcotest.failf "expected clean, got [%s]"
+        (String.concat "; " (List.map D.to_string ds))
+
+let assert_plan_rule ~rule plan =
+  let ds = An.Plan_check.check cat plan in
+  if not (D.has_rule rule (D.errors ds)) then
+    Alcotest.failf "expected %s, got errors [%s]" rule
+      (String.concat "; " (List.map D.to_string (D.errors ds)))
+
+(* a well-formed baseline query the mutations start from *)
+let base_q =
+  q ~name:"b"
+    ~select:[ si (c "e" "name") "name"; si (c "d" "dept_name") "dept" ]
+    ~from:[ tbl "employees" "e"; tbl "departments" "d" ]
+    ~where:[ c "e" "dept_id" =% c "d" "dept_id" ]
+    ()
+
+(* ------------------------------------------------------------------ *)
+(* Well-formed trees stay clean                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_clean_baseline () =
+  assert_clean base_q;
+  (* aggregated block, keys + aggregates only *)
+  assert_clean
+    (q ~name:"g"
+       ~select:
+         [
+           si (c "e" "dept_id") "dept_id";
+           si (A.Agg (A.Sum, Some (c "e" "salary"), false)) "total";
+         ]
+       ~from:[ tbl "employees" "e" ]
+       ~group_by:[ c "e" "dept_id" ]
+       ());
+  (* correlated subquery: inner references the outer alias *)
+  assert_clean
+    (q ~name:"outer"
+       ~select:[ si (c "d" "dept_name") "dn" ]
+       ~from:[ tbl "departments" "d" ]
+       ~where:
+         [
+           A.Exists
+             (q ~name:"inner"
+                ~select:[ si (i 1) "one" ]
+                ~from:[ tbl "employees" "e" ]
+                ~where:[ c "e" "dept_id" =% c "d" "dept_id" ]
+                ());
+         ]
+       ());
+  (* semi-join with an ON condition *)
+  assert_clean
+    (q ~name:"sj"
+       ~select:[ si (c "d" "dept_name") "dn" ]
+       ~from:
+         [
+           tbl "departments" "d";
+           tbl ~kind:A.J_semi
+             ~cond:[ c "e" "dept_id" =% c "d" "dept_id" ]
+             "employees" "e";
+         ]
+       ());
+  (* JPPD output shape: semi-joined view, empty ON, correlation inside *)
+  assert_clean
+    (q ~name:"jppd"
+       ~select:[ si (c "d" "dept_name") "dn" ]
+       ~from:
+         [
+           tbl "departments" "d";
+           view ~kind:A.J_semi
+             (q ~name:"v"
+                ~select:[ si (c "e" "dept_id") "dept_id" ]
+                ~from:[ tbl "employees" "e" ]
+                ~where:[ c "e" "dept_id" =% c "d" "dept_id" ]
+                ())
+             "uv";
+         ]
+       ())
+
+(* ------------------------------------------------------------------ *)
+(* Mutation tests (the ISSUE's ≥4, plus friends)                        *)
+(* ------------------------------------------------------------------ *)
+
+(* IR002: rewrite leaves a column pointing at an alias that is gone *)
+let test_dangling_alias () =
+  assert_rule ~rule:"IR002"
+    (q ~name:"b"
+       ~select:[ si (c "e" "name") "name" ]
+       ~from:[ tbl "employees" "e" ]
+       ~where:[ c "gone" "dept_id" =% i 10 ]
+       ())
+
+(* IR003: alias in scope but no such column on the table *)
+let test_unknown_column () =
+  assert_rule ~rule:"IR003"
+    (q ~name:"b"
+       ~select:[ si (c "e" "no_such_col") "x" ]
+       ~from:[ tbl "employees" "e" ]
+       ())
+
+(* IR004: two FROM entries share an alias *)
+let test_duplicate_alias () =
+  assert_rule ~rule:"IR004"
+    (q ~name:"b"
+       ~select:[ si (c "e" "name") "name" ]
+       ~from:[ tbl "employees" "e"; tbl "departments" "e" ]
+       ())
+
+(* IR005: aggregate in WHERE *)
+let test_agg_in_where () =
+  assert_rule ~rule:"IR005"
+    (q ~name:"b"
+       ~select:[ si (c "e" "name") "name" ]
+       ~from:[ tbl "employees" "e" ]
+       ~where:[ A.Cmp (A.Gt, A.Agg (A.Sum, Some (c "e" "salary"), false), i 0) ]
+       ())
+
+(* IR006: selected column not covered by the GROUP BY keys *)
+let test_ungrouped_column () =
+  assert_rule ~rule:"IR006"
+    (q ~name:"g"
+       ~select:
+         [
+           si (c "e" "name") "name";
+           si (A.Agg (A.Sum, Some (c "e" "salary"), false)) "total";
+         ]
+       ~from:[ tbl "employees" "e" ]
+       ~group_by:[ c "e" "dept_id" ]
+       ())
+
+(* ...but primary-key coverage makes other columns of the row legal *)
+let test_pk_functional_coverage () =
+  assert_clean
+    (q ~name:"g"
+       ~select:
+         [
+           si (c "e" "name") "name";
+           si (A.Agg (A.Count_star, None, false)) "n";
+         ]
+       ~from:[ tbl "employees" "e" ]
+       ~group_by:[ c "e" "emp_id" ]
+       ())
+
+(* IR007: a rewrite drops the ON condition of an uncorrelated semi-join *)
+let test_dropped_fe_cond () =
+  assert_rule ~rule:"IR007"
+    (q ~name:"b"
+       ~select:[ si (c "d" "dept_name") "dn" ]
+       ~from:[ tbl "departments" "d"; tbl ~kind:A.J_semi "employees" "e" ]
+       ())
+
+(* IR008: the leading FROM entry is non-inner *)
+let test_leading_outer () =
+  assert_rule ~rule:"IR008"
+    (q ~name:"b"
+       ~select:[ si (c "d" "dept_name") "dn" ]
+       ~from:
+         [
+           tbl ~kind:A.J_left
+             ~cond:[ c "d" "loc_id" =% i 100 ]
+             "departments" "d";
+         ]
+       ())
+
+(* IR009: setop branches with different select-list arity *)
+let test_setop_arity () =
+  let l =
+    q ~name:"l"
+      ~select:[ si (c "e" "emp_id") "a"; si (c "e" "name") "b" ]
+      ~from:[ tbl "employees" "e" ]
+      ()
+  in
+  let r =
+    q ~name:"r" ~select:[ si (c "d" "dept_id") "a" ]
+      ~from:[ tbl "departments" "d" ]
+      ()
+  in
+  assert_rule ~rule:"IR009" (A.Setop (A.Union_all, l, r))
+
+(* IR010: non-positive ROWNUM *)
+let test_bad_rownum () =
+  assert_rule ~rule:"IR010"
+    (q ~name:"b"
+       ~select:[ si (c "e" "name") "name" ]
+       ~from:[ tbl "employees" "e" ]
+       ~limit:0 ())
+
+(* IR001: table missing from the catalog *)
+let test_unknown_table () =
+  assert_rule ~rule:"IR001"
+    (q ~name:"b"
+       ~select:[ si (i 1) "one" ]
+       ~from:[ tbl "no_such_table" "t" ]
+       ())
+
+(* IR012: window function in WHERE *)
+let test_window_in_where () =
+  let w =
+    A.Win (A.Sum, Some (c "e" "salary"), { A.w_pby = [ c "e" "dept_id" ]; w_oby = [] })
+  in
+  assert_rule ~rule:"IR012"
+    (q ~name:"b"
+       ~select:[ si (c "e" "name") "name" ]
+       ~from:[ tbl "employees" "e" ]
+       ~where:[ A.Cmp (A.Gt, w, i 0) ]
+       ())
+
+(* a diagnostic's path pinpoints the offending clause *)
+let test_diagnostic_path () =
+  let ds =
+    D.errors
+      (An.Ir_check.check cat
+         (q ~name:"blk"
+            ~select:[ si (c "e" "name") "name" ]
+            ~from:[ tbl "employees" "e" ]
+            ~where:[ c "zz" "k" =% i 1 ]
+            ()))
+  in
+  match ds with
+  | [ d ] ->
+      Alcotest.(check string) "rule" "IR002" d.D.d_rule;
+      if not (String.length d.D.d_path >= 3 && String.sub d.D.d_path 0 3 = "blk")
+      then Alcotest.failf "path %S does not start at the block" d.D.d_path
+  | ds -> Alcotest.failf "expected one error, got %d" (List.length ds)
+
+(* ------------------------------------------------------------------ *)
+(* Plan_check mutations                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* PL001: filter consumes a column no operator below produces *)
+let test_plan_unproduced_column () =
+  assert_plan_rule ~rule:"PL001"
+    (P.Filter
+       {
+         child = P.Table_scan { table = "employees"; alias = "e"; filter = [] };
+         preds = [ c "ghost" "x" =% i 1 ];
+       })
+
+(* PL002: hash join whose right side is correlated to the left *)
+let test_plan_hash_correlation () =
+  assert_plan_rule ~rule:"PL002"
+    (P.Join
+       {
+         meth = P.Hash;
+         role = P.Inner;
+         left = P.Table_scan { table = "departments"; alias = "d"; filter = [] };
+         right =
+           P.Table_scan
+             {
+               table = "employees";
+               alias = "e";
+               filter = [ c "e" "dept_id" =% c "d" "dept_id" ];
+             };
+         cond = [ c "e" "dept_id" =% c "d" "dept_id" ];
+       })
+
+(* ...while the same shape under nested loops is legal *)
+let test_plan_nl_correlation_ok () =
+  let plan =
+    P.Join
+      {
+        meth = P.Nested_loop;
+        role = P.Inner;
+        left = P.Table_scan { table = "departments"; alias = "d"; filter = [] };
+        right =
+          P.Table_scan
+            {
+              table = "employees";
+              alias = "e";
+              filter = [ c "e" "dept_id" =% c "d" "dept_id" ];
+            };
+        cond = [];
+      }
+  in
+  match D.errors (An.Plan_check.check cat plan) with
+  | [] -> ()
+  | ds ->
+      Alcotest.failf "expected clean, got [%s]"
+        (String.concat "; " (List.map D.to_string ds))
+
+(* PL003 / PL004: cost and cardinality annotations must be sane *)
+let test_plan_bad_annotations () =
+  let scan = P.Table_scan { table = "employees"; alias = "e"; filter = [] } in
+  let ds = An.Plan_check.check_annotated cat ~cost:Float.nan ~rows:10.0 scan in
+  Alcotest.(check bool) "PL003 caught" true (D.has_rule "PL003" (D.errors ds));
+  let ds =
+    An.Plan_check.check_annotated cat ~cost:1.0 ~rows:(-3.0) scan
+  in
+  Alcotest.(check bool) "PL004 caught" true (D.has_rule "PL004" (D.errors ds));
+  let ds = An.Plan_check.check_annotated cat ~cost:1.0 ~rows:10.0 scan in
+  Alcotest.(check int) "clean" 0 (List.length (D.errors ds))
+
+(* PL005: subquery predicate smuggled into a plain filter *)
+let test_plan_inline_subquery () =
+  let sub =
+    q ~name:"s" ~select:[ si (c "x" "dept_id") "k" ]
+      ~from:[ tbl "departments" "x" ]
+      ()
+  in
+  assert_plan_rule ~rule:"PL005"
+    (P.Filter
+       {
+         child = P.Table_scan { table = "employees"; alias = "e"; filter = [] };
+         preds = [ A.In_subq ([ c "e" "dept_id" ], sub) ];
+       })
+
+(* PL006: UNION ALL branches of different width *)
+let test_plan_union_arity () =
+  assert_plan_rule ~rule:"PL006"
+    (P.Union_all
+       [
+         P.Table_scan { table = "employees"; alias = "e"; filter = [] };
+         P.Table_scan { table = "departments"; alias = "d"; filter = [] };
+       ])
+
+(* PL007: scanning a table the catalog does not know *)
+let test_plan_unknown_table () =
+  assert_plan_rule ~rule:"PL007"
+    (P.Table_scan { table = "nope"; alias = "n"; filter = [] })
+
+(* ------------------------------------------------------------------ *)
+(* Sanitizer integration: driver raises Check_failed on a bad input     *)
+(* ------------------------------------------------------------------ *)
+
+let test_sanitizer_raises () =
+  let bad =
+    q ~name:"b"
+      ~select:[ si (c "ghost" "x") "x" ]
+      ~from:[ tbl "employees" "e" ]
+      ()
+  in
+  let config = { Cbqt.Driver.default_config with check = true } in
+  match Cbqt.Driver.optimize ~config cat bad with
+  | _ -> Alcotest.fail "expected Check_failed"
+  | exception D.Check_failed (tx, errs) ->
+      Alcotest.(check string) "offender named" "input" tx;
+      Alcotest.(check bool) "IR002" true (D.has_rule "IR002" errs)
+
+let test_sanitizer_clean_run () =
+  let db = hr_db () in
+  let config = { Cbqt.Driver.default_config with check = true } in
+  let res = Cbqt.Driver.optimize ~config db.Storage.Db.cat base_q in
+  Alcotest.(check bool)
+    "finite cost" true
+    (Float.is_finite res.Cbqt.Driver.res_annotation.Planner.Annotation.an_cost)
+
+(* ------------------------------------------------------------------ *)
+(* Property: workload trees stay well-formed through every config       *)
+(* ------------------------------------------------------------------ *)
+
+let all_off =
+  {
+    Cbqt.Driver.default_config with
+    unnest = Cbqt.Driver.D_off;
+    gb_merge = Cbqt.Driver.D_off;
+    jppd = Cbqt.Driver.D_off;
+    gbp = Cbqt.Driver.D_off;
+    setop_to_join = Cbqt.Driver.D_off;
+    or_expansion = Cbqt.Driver.D_off;
+    join_factor = Cbqt.Driver.D_off;
+    pred_pullup = Cbqt.Driver.D_off;
+    heuristic_phase = false;
+    interleave = false;
+    juxtapose = false;
+  }
+
+let mixed =
+  {
+    Cbqt.Driver.default_config with
+    unnest = Cbqt.Driver.D_heuristic;
+    gb_merge = Cbqt.Driver.D_cost;
+    jppd = Cbqt.Driver.D_cost;
+    or_expansion = Cbqt.Driver.D_heuristic;
+  }
+
+let prop_workload_sanitized () =
+  let db, schema =
+    Workload.Schema_gen.build ~families:2 ~sample_frac:0.3 ~seed:2006 ()
+  in
+  let cat = db.Storage.Db.cat in
+  let g = Workload.Query_gen.create ~seed:2006 schema in
+  let items = Workload.Query_gen.workload g 40 in
+  let configs =
+    [
+      ("cost", Cbqt.Driver.default_config);
+      ("heuristic", Cbqt.Driver.heuristic_config);
+      ("all-off", all_off);
+      ("mixed", mixed);
+    ]
+  in
+  List.iter
+    (fun it ->
+      let q = it.Workload.Query_gen.it_query in
+      (match rules (An.Ir_check.check cat q) with
+      | [] -> ()
+      | rs ->
+          Alcotest.failf "q%d[%s]: generator produced errors %s"
+            it.Workload.Query_gen.it_id
+            (Workload.Query_gen.class_name it.Workload.Query_gen.it_class)
+            (String.concat "," rs));
+      List.iter
+        (fun (mode, config) ->
+          let config = { config with Cbqt.Driver.check = true } in
+          match Cbqt.Driver.optimize ~config cat q with
+          | _ -> ()
+          | exception D.Check_failed (tx, errs) ->
+              Alcotest.failf "q%d[%s] mode %s: %s"
+                it.Workload.Query_gen.it_id
+                (Workload.Query_gen.class_name it.Workload.Query_gen.it_class)
+                mode
+                (D.check_failed_message tx errs))
+        configs)
+    items
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "clean",
+        [
+          Alcotest.test_case "well-formed trees pass" `Quick
+            test_clean_baseline;
+          Alcotest.test_case "pk functional coverage" `Quick
+            test_pk_functional_coverage;
+          Alcotest.test_case "diagnostic path" `Quick test_diagnostic_path;
+        ] );
+      ( "ir-mutations",
+        [
+          Alcotest.test_case "IR001 unknown table" `Quick test_unknown_table;
+          Alcotest.test_case "IR002 dangling alias" `Quick test_dangling_alias;
+          Alcotest.test_case "IR003 unknown column" `Quick test_unknown_column;
+          Alcotest.test_case "IR004 duplicate alias" `Quick
+            test_duplicate_alias;
+          Alcotest.test_case "IR005 agg in WHERE" `Quick test_agg_in_where;
+          Alcotest.test_case "IR006 ungrouped column" `Quick
+            test_ungrouped_column;
+          Alcotest.test_case "IR007 dropped fe_cond" `Quick
+            test_dropped_fe_cond;
+          Alcotest.test_case "IR008 leading outer" `Quick test_leading_outer;
+          Alcotest.test_case "IR009 setop arity" `Quick test_setop_arity;
+          Alcotest.test_case "IR010 bad rownum" `Quick test_bad_rownum;
+          Alcotest.test_case "IR012 window in WHERE" `Quick
+            test_window_in_where;
+        ] );
+      ( "plan-mutations",
+        [
+          Alcotest.test_case "PL001 unproduced column" `Quick
+            test_plan_unproduced_column;
+          Alcotest.test_case "PL002 hash correlation" `Quick
+            test_plan_hash_correlation;
+          Alcotest.test_case "NL correlation is legal" `Quick
+            test_plan_nl_correlation_ok;
+          Alcotest.test_case "PL003/PL004 bad annotations" `Quick
+            test_plan_bad_annotations;
+          Alcotest.test_case "PL005 inline subquery" `Quick
+            test_plan_inline_subquery;
+          Alcotest.test_case "PL006 union arity" `Quick test_plan_union_arity;
+          Alcotest.test_case "PL007 unknown table" `Quick
+            test_plan_unknown_table;
+        ] );
+      ( "sanitizer",
+        [
+          Alcotest.test_case "raises and names offender" `Quick
+            test_sanitizer_raises;
+          Alcotest.test_case "clean run under check" `Quick
+            test_sanitizer_clean_run;
+          Alcotest.test_case "workload x all configs" `Slow
+            prop_workload_sanitized;
+        ] );
+    ]
