@@ -30,6 +30,7 @@ module D = Cbqt.Driver
 let seed = ref 2006
 let scale = ref 1.0
 let only = ref ""
+let json = ref false
 
 (* statistics sampling fraction: smaller samples mean noisier NDV and
    range estimates, hence more cost mis-estimation — the mechanism
@@ -38,10 +39,50 @@ let sample = ref 0.05
 
 let section name = Fmt.pr "@.========== %s ==========@." name
 
+(* ------------------------------------------------------------------ *)
+(* JSON output (--json writes BENCH_cbqt.json)                          *)
+(* ------------------------------------------------------------------ *)
+
+(* one object per section; values are pre-rendered JSON literals *)
+let json_sections : (string * (string * string) list) list ref = ref []
+
+(* fields the currently running section wants in its JSON object *)
+let section_fields : (string * string) list ref = ref []
+
+let jadd key value = section_fields := !section_fields @ [ (key, value) ]
+let jint n = string_of_int n
+let jfloat f = if Float.is_finite f then Printf.sprintf "%.3f" f else "null"
+let jbool b = if b then "true" else "false"
+let jobj fields =
+  "{"
+  ^ String.concat ", "
+      (List.map (fun (k, v) -> Printf.sprintf "%S: %s" k v) fields)
+  ^ "}"
+
+let write_json path =
+  let oc = open_out path in
+  output_string oc
+    (jobj
+       (List.map (fun (name, fields) -> (name, jobj fields)) !json_sections));
+  output_string oc "\n";
+  close_out oc;
+  Fmt.pr "@.wrote %s@." path
+
+(** [--only] takes a comma-separated list of section names. *)
+let selected name =
+  !only = ""
+  || List.exists (String.equal name) (String.split_on_char ',' !only)
+
 let run_section name f =
-  if !only = "" || !only = name then (
+  if selected name then (
     section name;
-    f ())
+    section_fields := [];
+    let t0 = Unix.gettimeofday () in
+    f ();
+    let wall_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+    json_sections :=
+      !json_sections
+      @ [ (name, !section_fields @ [ ("wall_ms", jfloat wall_ms) ]) ])
 
 (* ------------------------------------------------------------------ *)
 (* Table 1: cost-annotation reuse                                       *)
@@ -55,6 +96,7 @@ let q1_sql =
    d.loc_id = l.loc_id AND l.country_id = 'US')"
 
 let table1 () =
+  let module Opt = Planner.Optimizer in
   let db = Workload.Demo.hr_db ~size:4 () in
   let cat = db.Storage.Db.cat in
   let q1 = Sqlparse.Parser.parse_exn cat q1_sql in
@@ -64,25 +106,93 @@ let table1 () =
   Fmt.pr
     "Optimizing the four unnesting states of Q1 (two subqueries, three query \
      blocks per state).@.@.";
+  let plan_str (ann : Planner.Annotation.t) =
+    Fmt.str "%a" (Exec.Plan.pp ~indent:0) ann.Planner.Annotation.an_plan
+  in
+  (* separate optimizer per state; optionally a shared fingerprint
+     cache across states (the pre-incremental Section 3.4.2 device) *)
   let count ~reuse =
     let shared = Hashtbl.create 32 in
     List.fold_left
-      (fun total mask ->
+      (fun (total, best) mask ->
         let q = Transform.Unnest_view.apply_mask cat q1 mask in
         let opt =
-          if reuse then Planner.Optimizer.create ~annot_cache:shared cat
-          else Planner.Optimizer.create cat
+          if reuse then Opt.create ~annot_cache:shared cat else Opt.create cat
         in
-        ignore (Planner.Optimizer.optimize opt q);
-        total + opt.Planner.Optimizer.blocks_optimized)
-      0 states
+        let ann = Opt.optimize opt q in
+        let best =
+          match best with
+          | Some (c, _) when c <= ann.Planner.Annotation.an_cost -> best
+          | _ -> Some (ann.Planner.Annotation.an_cost, plan_str ann)
+        in
+        (total + Opt.blocks_optimized opt, best))
+      (0, None) states
   in
-  let without_reuse = count ~reuse:false in
-  let with_reuse = count ~reuse:true in
+  (* incremental costing: ONE optimizer across the whole state space —
+     identity-cache reuse for untouched blocks plus the cost cut-off
+     aborting hopeless states mid-block *)
+  let count_incremental () =
+    let opt = Opt.create ~annot_cache:(Hashtbl.create 32) cat in
+    let best = ref None in
+    List.iter
+      (fun mask ->
+        let touched = ref Sqlir.Walk.Sset.empty in
+        let q = Transform.Unnest_view.apply_mask ~touched cat q1 mask in
+        let is_base = not (List.exists Fun.id mask) in
+        Opt.set_dirty opt (if is_base then None else Some !touched);
+        Opt.set_cost_cap opt
+          (match !best with Some (c, _) -> Some c | None -> None);
+        (match Opt.optimize opt q with
+        | ann -> (
+            match !best with
+            | Some (c, _) when c <= ann.Planner.Annotation.an_cost -> ()
+            | _ -> best := Some (ann.Planner.Annotation.an_cost, plan_str ann))
+        | exception Opt.Cost_cap_exceeded -> ()
+        | exception Opt.Unsupported _ -> ());
+        Opt.set_cost_cap opt None;
+        Opt.set_dirty opt None)
+      states;
+    (opt, !best)
+  in
+  let without_reuse, best_plain = count ~reuse:false in
+  let with_reuse, best_reuse = count ~reuse:true in
+  let opt_inc, best_inc = count_incremental () in
+  let incremental = Opt.blocks_optimized opt_inc in
+  let st = Opt.stats opt_inc in
   Fmt.pr "%-28s %s@." "" "query blocks optimized";
   Fmt.pr "%-28s %d@." "without annotation reuse" without_reuse;
   Fmt.pr "%-28s %d@." "with annotation reuse" with_reuse;
-  Fmt.pr "(paper, Table 1: 12 vs 8)@."
+  Fmt.pr "%-28s %d  (+%d reused by identity, %d by fingerprint, %d states \
+          aborted mid-block)@."
+    "incremental costing" incremental
+    st.Planner.Opt_stats.ident_hits st.Planner.Opt_stats.fp_hits
+    (Planner.Opt_stats.blocks_aborted st);
+  Fmt.pr "(paper, Table 1: 12 vs 8)@.";
+  (* all three accountings must elect the same winner *)
+  let cost_of = function Some (c, _) -> c | None -> nan in
+  let plans_identical =
+    match (best_plain, best_reuse, best_inc) with
+    | Some (c1, p1), Some (c2, p2), Some (c3, p3) ->
+        c1 = c2 && c2 = c3 && String.equal p1 p2 && String.equal p2 p3
+    | _ -> false
+  in
+  if not plans_identical then
+    Fmt.pr
+      "WARNING: winners differ across accounting modes (%.3f / %.3f / %.3f)@."
+      (cost_of best_plain) (cost_of best_reuse) (cost_of best_inc)
+  else Fmt.pr "winning plan and cost identical across all three modes@.";
+  if not (incremental < with_reuse) then
+    Fmt.pr "WARNING: incremental costing (%d) not below annotation reuse (%d)@."
+      incremental with_reuse;
+  jadd "states" (jint (List.length states));
+  jadd "blocks_without_reuse" (jint without_reuse);
+  jadd "blocks_with_reuse" (jint with_reuse);
+  jadd "blocks_incremental" (jint incremental);
+  jadd "ident_hits" (jint st.Planner.Opt_stats.ident_hits);
+  jadd "fp_hits" (jint st.Planner.Opt_stats.fp_hits);
+  jadd "blocks_aborted" (jint (Planner.Opt_stats.blocks_aborted st));
+  jadd "best_cost" (jfloat (cost_of best_inc));
+  jadd "plans_identical" (jbool plans_identical)
 
 (* ------------------------------------------------------------------ *)
 (* Table 2: search strategies                                           *)
@@ -172,29 +282,33 @@ let table2 () =
   Fmt.pr "query: 3 base tables, %d unnestable subqueries@.@." n_objects;
   let strategies =
     [
-      ("heuristic", None);
-      ("two-pass", Some Cbqt.Search.Two_pass);
-      ("linear", Some Cbqt.Search.Linear);
-      ("exhaustive", Some Cbqt.Search.Exhaustive);
+      ("heuristic", None, true);
+      ("two-pass", Some Cbqt.Search.Two_pass, true);
+      ("linear", Some Cbqt.Search.Linear, true);
+      ("exhaustive", Some Cbqt.Search.Exhaustive, true);
+      (* same search, annotation reuse disabled: what the Section 3.4.2
+         caches buy on the exhaustive state space *)
+      ("exhaustive-nomemo", Some Cbqt.Search.Exhaustive, false);
     ]
   in
-  let config_of force =
+  let config_of force memo =
     match force with
-    | None -> { D.heuristic_config with unnest = D.D_heuristic }
+    | None -> { D.heuristic_config with unnest = D.D_heuristic; memo }
     | Some s ->
         {
           D.default_config with
           policy = { Cbqt.Policy.default with force = Some s };
           interleave = false;
           juxtapose = false;
+          memo;
         }
   in
   (* one Bechamel test per strategy; OLS on the monotonic clock gives a
      robust per-run optimization time *)
   let tests =
     List.map
-      (fun (name, force) ->
-        let config = config_of force in
+      (fun (name, force, memo) ->
+        let config = config_of force memo in
         Bechamel.Test.make ~name
           (Bechamel.Staged.stage (fun () -> ignore (D.optimize ~config cat q))))
       strategies
@@ -216,18 +330,22 @@ let table2 () =
   let results =
     Bechamel.Analyze.all ols Bechamel.Toolkit.Instance.monotonic_clock raw
   in
-  Fmt.pr "%-12s %12s %8s@." "" "opt. time" "#states";
+  Fmt.pr "%-18s %12s %8s %8s %8s@." "" "opt. time" "#states" "#blocks"
+    "#reused";
+  let exh_ms = ref nan and nomemo_ms = ref nan in
   List.iter
-    (fun (name, force) ->
+    (fun (name, force, memo) ->
+      let rp =
+        (D.optimize ~config:(config_of force memo) cat q).D.res_report
+      in
       let states =
         match force with
         | None -> 1
         | Some _ ->
-            let res = D.optimize ~config:(config_of force) cat q in
             List.fold_left
               (fun acc st ->
                 if st.D.sr_name = "unnest" then max acc st.sr_states else acc)
-              1 res.D.res_report.rp_steps
+              1 rp.D.rp_steps
       in
       let time_ns =
         match Hashtbl.find_opt results ("table2/" ^ name) with
@@ -237,8 +355,31 @@ let table2 () =
             | _ -> nan)
         | None -> nan
       in
-      Fmt.pr "%-12s %10.2fms %8d@." name (time_ns /. 1e6) states)
+      let time_ms = time_ns /. 1e6 in
+      if name = "exhaustive" then exh_ms := time_ms;
+      if name = "exhaustive-nomemo" then nomemo_ms := time_ms;
+      Fmt.pr "%-18s %10.2fms %8d %8d %8d@." name time_ms states
+        rp.D.rp_blocks_optimized rp.D.rp_cache_hits;
+      jadd name
+        (jobj
+           [
+             ("time_ms", jfloat time_ms);
+             ("states", jint states);
+             ("blocks_optimized", jint rp.D.rp_blocks_optimized);
+             ("ident_hits", jint rp.D.rp_ident_hits);
+             ("fp_hits", jint rp.D.rp_fp_hits);
+             ("states_cutoff", jint rp.D.rp_states_cutoff);
+             ("dp_pruned", jint rp.D.rp_dp_pruned);
+           ]))
     strategies;
+  if Float.is_finite !exh_ms && Float.is_finite !nomemo_ms then
+    if !exh_ms < !nomemo_ms then
+      Fmt.pr "annotation reuse saves %.0f%% of exhaustive optimization time@."
+        (100. *. (1. -. (!exh_ms /. !nomemo_ms)))
+    else
+      Fmt.pr "WARNING: exhaustive with reuse (%.2fms) not faster than \
+              without (%.2fms)@."
+        !exh_ms !nomemo_ms;
   Fmt.pr
     "(paper, Table 2: heuristic 0.24s/1, two-pass 0.33s/2, linear 0.61s/5, \
      exhaustive 0.97s/16)@."
@@ -265,6 +406,8 @@ let run_experiment ~name ~paper ~n ~mix ~config_a ~config_b () =
   let s = R.summarize o in
   Fmt.pr "%a" R.pp_summary s;
   Fmt.pr "(paper: %s)@." paper;
+  jadd "queries" (jint n);
+  jadd "failures" (jint (List.length o.R.failures));
   s
 
 let figure2 () =
@@ -341,6 +484,9 @@ let () =
     | "--sample" :: v :: rest ->
         sample := float_of_string v;
         parse rest
+    | "--json" :: rest ->
+        json := true;
+        parse rest
     | _ :: rest -> parse rest
     | [] -> ()
   in
@@ -355,4 +501,5 @@ let () =
   run_section "figure3" figure3;
   run_section "figure4" figure4;
   run_section "gbp" gbp;
+  if !json then write_json "BENCH_cbqt.json";
   Fmt.pr "@.done.@."

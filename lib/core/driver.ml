@@ -7,18 +7,25 @@
     join factorization, disjunction into union-all expansion, and join
     predicate pushdown. Heuristic transformations are imperative;
     cost-based ones run a state-space search ({!Search}) whose states
-    are costed by deep-copying the query tree, applying the state's
-    mask, and invoking the physical optimizer.
+    are costed by applying the state's mask to the (immutable, shared)
+    query tree and invoking the physical optimizer. No copying is
+    involved: transformations preserve sharing, so each state's tree
+    physically shares every untouched block with the input.
 
     The engineering devices of Section 3.4 are all wired in:
 
     - {b cost cut-off}: once a state has been fully costed, subsequent
       states run with the optimizer's [cost_cap] set, so hopeless states
-      abort early;
-    - {b cost-annotation reuse}: one annotation cache (keyed by
-      query-block fingerprint) is shared across all states of all
-      transformations of one driver run, so an untransformed subquery is
-      optimized once no matter how many states contain it;
+      abort early — pushed into the join enumeration itself as
+      branch-and-bound pruning ({!Planner.Join_enum});
+    - {b cost-annotation reuse}: two annotation caches (physical
+      identity and query-block fingerprint) are shared across all states
+      of all transformations of one driver run, so an untransformed
+      subquery is optimized once no matter how many states contain it.
+      Each state's set of rebuilt blocks (reported by the
+      transformation's [?touched] accumulator) is handed to the
+      optimizer as the {e dirty set} for incremental costing
+      diagnostics;
     - {b interleaving} (Section 3.3.1): when costing an unnesting state,
       the generated group-by view is also costed in merged form, so
       unnesting is not rejected merely because the unmerged view is
@@ -59,7 +66,17 @@ type config = {
           transformation application and every CBQT search state, and
           {!Analysis.Plan_check} on the final plan; raise
           {!Analysis.Diagnostics.Check_failed} naming the offending
-          transformation on the first ill-formed tree *)
+          transformation on the first ill-formed tree. Also fails the
+          run (rule [CB001]) when a transformed search state cannot be
+          optimized although the untransformed state could — such a
+          state silently costs [infinity] otherwise, masking
+          transformation bugs *)
+  memo : bool;
+      (** cost-annotation reuse (Section 3.4.2): share the identity and
+          fingerprint annotation caches across all states of all
+          transformations of the run. [false] re-optimizes every block
+          of every state from scratch — only useful for measuring what
+          the caches buy (Table 2) and for differential testing *)
   policy : Policy.t;
 }
 
@@ -88,6 +105,7 @@ let default_config =
     interleave = true;
     juxtapose = true;
     check = env_check;
+    memo = true;
     policy = Policy.default;
   }
 
@@ -121,8 +139,23 @@ type step_report = {
 type report = {
   rp_steps : step_report list;
   rp_states_total : int;
+  rp_states_cutoff : int;
+      (** search states abandoned by the cost cut-off (Section 3.4.1) *)
+  rp_states_errored : int;
+      (** search states that failed to optimize (unsupported shape or
+          unbound column) — distinct from a legitimate cut-off *)
+  rp_blocks_started : int;
   rp_blocks_optimized : int;
-  rp_cache_hits : int;
+  rp_ident_hits : int;
+      (** annotations reused by physical identity of the block *)
+  rp_fp_hits : int;  (** annotations reused by fingerprint *)
+  rp_cache_hits : int;  (** [rp_ident_hits + rp_fp_hits] *)
+  rp_dp_pruned : int;
+      (** partial join orders discarded by branch-and-bound against the
+          state cost cap *)
+  rp_dirty_misses : int;
+      (** blocks reported clean by a transformation's dirty set that
+          nevertheless missed the identity cache *)
   rp_final_cost : float;
   rp_opt_seconds : float;
 }
@@ -143,6 +176,8 @@ type ctx = {
   cfg : config;
   mutable steps : step_report list;
   mutable total_objects : int;  (** for the two-pass policy rule *)
+  mutable states_cutoff : int;
+  mutable states_errored : int;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -160,19 +195,60 @@ let sanitize (ctx : ctx) ~(tx : string) (q : A.query) : A.query =
      | errs -> raise (Analysis.Diagnostics.Check_failed (tx, errs)));
   q
 
-(** Cost a candidate query under the cost cut-off. Returns [infinity]
-    when the optimizer aborts or the tree is not optimizable. *)
-let cost_of (ctx : ctx) ~(cap : float option) (q : A.query) : float =
-  ctx.opt.Opt.cost_cap <- cap;
+(** How costing a search state ended: a real cost, a legitimate
+    abandonment by the cost cut-off, or an error (a tree shape the
+    optimizer cannot cost — suspicious when the untransformed state
+    could). *)
+type outcome = O_cost of float | O_cutoff | O_error of string
+
+(** Cost a candidate query under the cost cut-off. *)
+let cost_of (ctx : ctx) ~(cap : float option) (q : A.query) : outcome =
+  Opt.set_cost_cap ctx.opt cap;
   let r =
     match Opt.optimize ctx.opt q with
-    | ann -> ann.Planner.Annotation.an_cost
-    | exception Opt.Cost_cap_exceeded -> infinity
-    | exception Opt.Unsupported _ -> infinity
-    | exception Exec.Eval.Unbound_column _ -> infinity
+    | ann -> O_cost ann.Planner.Annotation.an_cost
+    | exception Opt.Cost_cap_exceeded -> O_cutoff
+    | exception Opt.Unsupported msg -> O_error ("unsupported: " ^ msg)
+    | exception Exec.Eval.Unbound_column (a, c) ->
+        O_error (Printf.sprintf "unbound column %s.%s" a c)
   in
-  ctx.opt.Opt.cost_cap <- None;
+  Opt.set_cost_cap ctx.opt None;
   r
+
+(** Cost one search state and fold the outcome into the run counters:
+    cut-offs and errors both score [infinity] for the search, but are
+    counted separately, and an error on a {e transformed} state whose
+    base state costed fine fails the run under sanitizer mode (a
+    transformation produced a tree the optimizer cannot cost — rule
+    [CB001]). [dirty] is the set of blocks this state rebuilt, handed to
+    the optimizer for incremental-costing diagnostics ([None] = no
+    information, e.g. the first time the tree is costed). *)
+let score (ctx : ctx) ~(tx : string) ~(is_base : bool) ~(base_ok : bool ref)
+    ~(cap : float option) ~(dirty : Walk.Sset.t option) (q : A.query) : float =
+  Opt.set_dirty ctx.opt dirty;
+  let outcome = cost_of ctx ~cap q in
+  Opt.set_dirty ctx.opt None;
+  match outcome with
+  | O_cost c ->
+      if is_base then base_ok := true;
+      c
+  | O_cutoff ->
+      ctx.states_cutoff <- ctx.states_cutoff + 1;
+      infinity
+  | O_error msg ->
+      ctx.states_errored <- ctx.states_errored + 1;
+      if ctx.cfg.check && (not is_base) && !base_ok then
+        raise
+          (Analysis.Diagnostics.Check_failed
+             ( tx,
+               [
+                 Analysis.Diagnostics.error ~rule:"CB001"
+                   ~path:Analysis.Diagnostics.root
+                   "search state fails to optimize (%s) although the \
+                    untransformed state optimizes fine"
+                   msg;
+               ] ));
+      infinity
 
 (* ------------------------------------------------------------------ *)
 (* Generic cost-based step                                              *)
@@ -197,7 +273,8 @@ let record ctx name ~objects ~strategy ~states ~chosen ~base ~best =
     transformation for costing purposes only (Section 3.3.1). *)
 let cost_step (ctx : ctx) (name : string)
     ~(objects : Catalog.t -> A.query -> string list)
-    ~(apply_mask : Catalog.t -> A.query -> bool list -> A.query)
+    ~(apply_mask :
+       ?touched:Walk.Sset.t ref -> Catalog.t -> A.query -> bool list -> A.query)
     ?(interleave_with : (Catalog.t -> A.query -> A.query) option)
     ?(heuristic_mask : (Catalog.t -> A.query -> bool list) option)
     (decision : decision) (q : A.query) : A.query =
@@ -223,14 +300,21 @@ let cost_step (ctx : ctx) (name : string)
             ~total_objects:ctx.total_objects
         in
         let best_seen = ref infinity in
+        let base_ok = ref false in
         let eval mask =
+          let is_base = not (List.exists Fun.id mask) in
+          let touched = ref Walk.Sset.empty in
           let q' =
             sanitize ctx
               ~tx:(name ^ " (search state)")
-              (apply_mask ctx.cat (T.Tx.deep_copy q) mask)
+              (apply_mask ~touched ctx.cat q mask)
           in
           let cap = if !best_seen < infinity then Some !best_seen else None in
-          let c = cost_of ctx ~cap q' in
+          (* the base state is the first time this tree is costed in
+             this step; later states are dirty exactly where the
+             transformation reports it rebuilt blocks *)
+          let dirty = if is_base then None else Some !touched in
+          let c = score ctx ~tx:name ~is_base ~base_ok ~cap ~dirty q' in
           let c =
             match interleave_with with
             | Some follow when ctx.cfg.interleave && List.exists Fun.id mask ->
@@ -239,8 +323,15 @@ let cost_step (ctx : ctx) (name : string)
                     ~tx:(name ^ " (interleaved search state)")
                     (follow ctx.cat q')
                 in
-                if Pp.fingerprint q'' = Pp.fingerprint q' then c
-                else Float.min c (cost_of ctx ~cap q'')
+                if q'' == q' || Pp.fingerprint q'' = Pp.fingerprint q' then c
+                else
+                  let dirty =
+                    Some (Walk.Sset.union !touched (T.Tx.dirty_blocks q' q''))
+                  in
+                  Float.min c
+                    (score ctx
+                       ~tx:(name ^ " (interleaved)")
+                       ~is_base:false ~base_ok ~cap ~dirty q'')
             | _ -> c
           in
           if c < !best_seen then best_seen := c;
@@ -279,32 +370,38 @@ let gb_merge_juxtaposed (ctx : ctx) (q : A.query) : A.query =
     ctx.total_objects <- ctx.total_objects + n;
     let states = ref 0 in
     let best_seen = ref infinity in
-    let eval q' =
+    let base_ok = ref false in
+    let eval ~is_base ~dirty q' =
       incr states;
       ignore (sanitize ctx ~tx:"gb-view-merge (search state)" q');
       let cap = if !best_seen < infinity then Some !best_seen else None in
-      let c = cost_of ctx ~cap q' in
+      let c = score ctx ~tx:"gb-view-merge" ~is_base ~base_ok ~cap ~dirty q' in
       if c < !best_seen then best_seen := c;
       c
     in
     let chosen = ref [] in
     let current = ref q in
-    let base = eval q in
+    let base = eval ~is_base:true ~dirty:None q in
     List.iteri
       (fun _i (qb, alias) ->
-        let cost_none = eval !current in
+        (* [!current] was fully costed when it was accepted, so nothing
+           in it is dirty *)
+        let cost_none = eval ~is_base:false ~dirty:(Some Walk.Sset.empty) !current in
         (* merging exactly this object on the current tree *)
         let cur_objs = T.Gb_view_merge.discover ctx.cat !current in
         let mask =
           List.map (fun (qb', a') -> qb' = qb && a' = alias) cur_objs
         in
+        let merge_touched = ref Walk.Sset.empty in
         let merged =
           if List.exists Fun.id mask then
-            T.Gb_view_merge.apply_mask ctx.cat !current mask
+            T.Gb_view_merge.apply_mask ~touched:merge_touched ctx.cat !current
+              mask
           else !current
         in
         let cost_merge =
-          if merged == !current then infinity else eval merged
+          if merged == !current then infinity
+          else eval ~is_base:false ~dirty:(Some !merge_touched) merged
         in
         (* the JPPD rival on the same view, if applicable *)
         let jppd_objs = T.Jppd.discover ctx.cat !current in
@@ -312,8 +409,10 @@ let gb_merge_juxtaposed (ctx : ctx) (q : A.query) : A.query =
           List.map (fun (qb', a') -> qb' = qb && a' = alias) jppd_objs
         in
         let cost_jppd =
-          if ctx.cfg.juxtapose && List.exists Fun.id jppd_mask then
-            eval (T.Jppd.apply_mask ctx.cat !current jppd_mask)
+          if ctx.cfg.juxtapose && List.exists Fun.id jppd_mask then (
+            let touched = ref Walk.Sset.empty in
+            let q'' = T.Jppd.apply_mask ~touched ctx.cat !current jppd_mask in
+            eval ~is_base:false ~dirty:(Some !touched) q'')
           else infinity
         in
         if cost_merge < cost_none && cost_merge <= cost_jppd then (
@@ -411,9 +510,21 @@ let transform (ctx : ctx) (q : A.query) : A.query =
 let optimize ?(config = default_config) (cat : Catalog.t) (q : A.query) :
     result =
   let t0 = Unix.gettimeofday () in
-  let annot_cache = Hashtbl.create 64 in
-  let opt = Opt.create ~annot_cache cat in
-  let ctx = { cat; opt; cfg = config; steps = []; total_objects = 0 } in
+  let opt =
+    if config.memo then Opt.create ~annot_cache:(Hashtbl.create 64) cat
+    else Opt.create cat
+  in
+  let ctx =
+    {
+      cat;
+      opt;
+      cfg = config;
+      steps = [];
+      total_objects = 0;
+      states_cutoff = 0;
+      states_errored = 0;
+    }
+  in
   ignore (sanitize ctx ~tx:"input" q);
   let q' = transform ctx q in
   let ann = Opt.optimize opt q' in
@@ -430,6 +541,7 @@ let optimize ?(config = default_config) (cat : Catalog.t) (q : A.query) :
   let states_total =
     List.fold_left (fun acc s -> acc + s.sr_states) 0 ctx.steps
   in
+  let st = Opt.stats opt in
   {
     res_query = q';
     res_annotation = ann;
@@ -437,17 +549,29 @@ let optimize ?(config = default_config) (cat : Catalog.t) (q : A.query) :
       {
         rp_steps = List.rev ctx.steps;
         rp_states_total = states_total;
-        rp_blocks_optimized = opt.Opt.blocks_optimized;
-        rp_cache_hits = opt.Opt.cache_hits;
+        rp_states_cutoff = ctx.states_cutoff;
+        rp_states_errored = ctx.states_errored;
+        rp_blocks_started = st.Planner.Opt_stats.blocks_started;
+        rp_blocks_optimized = st.Planner.Opt_stats.blocks_optimized;
+        rp_ident_hits = st.Planner.Opt_stats.ident_hits;
+        rp_fp_hits = st.Planner.Opt_stats.fp_hits;
+        rp_cache_hits = Planner.Opt_stats.cache_hits st;
+        rp_dp_pruned = st.Planner.Opt_stats.dp_pruned;
+        rp_dirty_misses = st.Planner.Opt_stats.dirty_misses;
         rp_final_cost = ann.Planner.Annotation.an_cost;
         rp_opt_seconds = t1 -. t0;
       };
   }
 
 let pp_report ppf (r : report) =
-  Fmt.pf ppf "optimization: %.3fms, %d states, %d blocks optimized, %d cache hits, final cost %.1f@."
-    (r.rp_opt_seconds *. 1000.) r.rp_states_total r.rp_blocks_optimized
-    r.rp_cache_hits r.rp_final_cost;
+  Fmt.pf ppf
+    "optimization: %.3fms, %d states (%d cut off, %d errored), %d blocks \
+     optimized, %d reused (%d ident + %d fp), %d join orders pruned, final \
+     cost %.1f@."
+    (r.rp_opt_seconds *. 1000.)
+    r.rp_states_total r.rp_states_cutoff r.rp_states_errored
+    r.rp_blocks_optimized r.rp_cache_hits r.rp_ident_hits r.rp_fp_hits
+    r.rp_dp_pruned r.rp_final_cost;
   List.iter
     (fun s ->
       Fmt.pf ppf "  %-20s objects=%d strategy=%-12s states=%-3d chosen=%s (%.1f -> %.1f)@."

@@ -31,8 +31,16 @@ type config = {
           {!Analysis.Plan_check} on the final plan. On the first
           error-severity finding, {!optimize} raises
           {!Analysis.Diagnostics.Check_failed} naming the offending
-          transformation. Defaults to the [CBQT_CHECK] env var
-          ([1] / [true] / [on] / [yes]). *)
+          transformation. Also fails the run (rule [CB001]) when a
+          transformed search state cannot be optimized although the
+          untransformed state could. Defaults to the [CBQT_CHECK] env
+          var ([1] / [true] / [on] / [yes]). *)
+  memo : bool;
+      (** cost-annotation reuse (Section 3.4.2): share the identity and
+          fingerprint annotation caches across all states of all
+          transformations of the run. [false] re-optimizes every block
+          of every state from scratch — for measuring what the caches
+          buy (Table 2) and for differential testing. Default [true]. *)
   policy : Policy.t;
 }
 
@@ -57,8 +65,34 @@ type step_report = {
 type report = {
   rp_steps : step_report list;
   rp_states_total : int;
+  rp_states_cutoff : int;
+      (** search states abandoned by the cost cut-off (Section 3.4.1) —
+          a legitimate saving, not a failure *)
+  rp_states_errored : int;
+      (** search states the optimizer could not cost (unsupported shape
+          or unbound column); in sanitizer mode a transformed state
+          erroring while its base state succeeded fails the run *)
+  rp_blocks_started : int;
+      (** query-block optimizations entered (cache misses); the
+          difference to [rp_blocks_optimized] is aborted mid-block by
+          the cut-off *)
   rp_blocks_optimized : int;  (** Table 1 / Table 2 accounting unit *)
-  rp_cache_hits : int;  (** annotation-reuse hits (Section 3.4.2) *)
+  rp_ident_hits : int;
+      (** annotations reused by physical identity of the block —
+          untouched blocks of a search state cost O(1) to look up *)
+  rp_fp_hits : int;
+      (** annotations reused by block fingerprint (structurally equal
+          but freshly allocated trees) *)
+  rp_cache_hits : int;
+      (** [rp_ident_hits + rp_fp_hits] — annotation reuse total
+          (Section 3.4.2) *)
+  rp_dp_pruned : int;
+      (** partial join orders discarded by branch-and-bound against the
+          state cost cap inside the join enumeration *)
+  rp_dirty_misses : int;
+      (** blocks a transformation's dirty set reported clean that
+          nevertheless missed the identity cache (advisory: indicates a
+          transformation over-copying untouched blocks) *)
   rp_final_cost : float;
   rp_opt_seconds : float;
 }

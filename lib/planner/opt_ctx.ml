@@ -1,0 +1,169 @@
+(** Shared optimizer context: catalog, configuration, caches and
+    counters, threaded through the split planner modules
+    ({!Access_path}, {!Join_enum}, {!Block_cost}) behind the
+    {!Optimizer} façade.
+
+    Two annotation caches implement the cost-annotation reuse of
+    Section 3.4.2:
+
+    - the {e identity cache} keys on the physical identity of the query
+      node (plus the output alias). Transformations preserve sharing
+      ({!Transform.Tx.map_blocks_bottom_up}), so a block untouched by a
+      search state is the {e same} node across states and its annotation
+      is found without re-fingerprinting or re-walking the subtree;
+    - the {e fingerprint cache} keys on the pretty-printed query text
+      and catches structurally-equal blocks that are not physically
+      shared (e.g. a view regenerated identically by two different
+      masks). Both caches deliberately ignore the outer environment,
+      like the pre-split implementation.
+
+    The [dirty] set is the transformation's report of which blocks the
+    current state rebuilt ([qb_name]s). It is advisory: identity is the
+    correctness guard; a clean block that misses the identity cache is
+    only counted ({!Opt_stats.t.dirty_misses}), never mis-costed. *)
+
+open Sqlir
+module Info = Cost.Info
+module Model = Cost.Model
+module Sel = Cost.Selectivity
+module Plan = Exec.Plan
+
+exception Unsupported of string
+exception Cost_cap_exceeded
+
+type config = {
+  dp_threshold : int;
+      (** maximum number of FROM entries for exhaustive left-deep DP;
+          larger blocks use a greedy ordering *)
+  enable_merge_join : bool;
+  enable_hash_join : bool;
+}
+
+let default_config =
+  { dp_threshold = 9; enable_merge_join = true; enable_hash_join = true }
+
+(** Hashing on the physical identity of a query node. [Hashtbl.hash] is
+    depth-bounded, so hashing is O(1) in the subtree size; [( == )]
+    makes structural collisions harmless. *)
+module Qtbl = Hashtbl.Make (struct
+  type t = Ast.query
+
+  let equal = ( == )
+  let hash = Hashtbl.hash
+end)
+
+type t = {
+  cat : Catalog.t;
+  cfg : config;
+  stats : Opt_stats.t;
+  annot_cache : (string, Annotation.t) Hashtbl.t option;
+      (** fingerprint-keyed annotation cache, shared across every state
+          of every transformation of one driver run *)
+  ident_cache : (string * Annotation.t) list Qtbl.t;
+      (** identity-keyed annotation cache: query node -> annotations by
+          output alias; only populated when [annot_cache] is present *)
+  mutable dirty : Walk.Sset.t option;
+      (** block names the current search state rebuilt ([None] = no
+          dirty information; everything may be new) *)
+  mutable cost_cap : float option;
+      (** abort optimization when a block's cost exceeds this (cost
+          cut-off, Section 3.4.1); also drives branch-and-bound pruning
+          inside {!Join_enum} *)
+  mutable fresh : int;
+  info_cache : (string, (string * Cost.Info.colinfo) list) Hashtbl.t;
+      (** per-table column properties, derived from catalog statistics
+          once per optimizer and reused across every state of every
+          transformation — the analogue of the paper's caching of
+          expensive optimizer computations such as dynamic sampling
+          (Section 3.4.4) *)
+}
+
+let create ?(cfg = default_config) ?annot_cache cat =
+  {
+    cat;
+    cfg;
+    stats = Opt_stats.create ();
+    annot_cache;
+    ident_cache = Qtbl.create 64;
+    dirty = None;
+    cost_cap = None;
+    fresh = 0;
+    info_cache = Hashtbl.create 32;
+  }
+
+(** Annotation reuse is on iff a fingerprint cache was supplied. *)
+let memo_enabled t = t.annot_cache <> None
+
+let gensym t base =
+  t.fresh <- t.fresh + 1;
+  Printf.sprintf "%s%d" base t.fresh
+
+(* ------------------------------------------------------------------ *)
+(* Identity cache                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let ident_find t ~(out_alias : string) (q : Ast.query) : Annotation.t option =
+  match Qtbl.find_opt t.ident_cache q with
+  | None -> None
+  | Some entries -> List.assoc_opt out_alias entries
+
+let ident_store t ~(out_alias : string) (q : Ast.query) (ann : Annotation.t) :
+    unit =
+  if memo_enabled t then
+    let entries =
+      match Qtbl.find_opt t.ident_cache q with None -> [] | Some es -> es
+    in
+    Qtbl.replace t.ident_cache q ((out_alias, ann) :: entries)
+
+(* ------------------------------------------------------------------ *)
+(* Statistics helpers shared by the split modules                       *)
+(* ------------------------------------------------------------------ *)
+
+(** Table info with the Section 3.4.4 cache: the (alias-independent)
+    per-column derivation happens once per optimizer instance. *)
+let table_info t ~table ~alias : Info.rel_info =
+  let cols =
+    match Hashtbl.find_opt t.info_cache table with
+    | Some cols -> cols
+    | None ->
+        let info = Info.of_table t.cat ~table ~alias:"$t" in
+        let cols = List.map (fun ((_, c), ci) -> (c, ci)) info.Info.ri_cols in
+        Hashtbl.replace t.info_cache table cols;
+        cols
+  in
+  let rows =
+    match Catalog.stats t.cat table with
+    | Some s -> float_of_int (max 1 s.s_rows)
+    | None -> 1000.
+  in
+  {
+    Info.ri_rows = rows;
+    ri_cols = List.map (fun (c, ci) -> ((alias, c), ci)) cols;
+  }
+
+let merge_env (infos : Info.rel_info list) : Info.rel_info =
+  {
+    Info.ri_rows = 1.;
+    ri_cols = List.concat_map (fun i -> i.Info.ri_cols) infos;
+  }
+
+(** Filter-evaluation cost of [preds] over [rows] input rows, charging
+    expensive procedural predicates per surviving row (cheap conjuncts
+    are ordered first, both here and in the built plans). *)
+let filter_cost env ~rows (preds : Ast.pred list) : float =
+  let cheap = List.filter (fun p -> Plan.n_expensive_preds [ p ] = 0) preds in
+  Model.pred_eval_cost ~rows
+    ~cheap_sel:(Sel.conj_sel env cheap)
+    ~n_expensive:(Plan.n_expensive_preds preds)
+
+let default_expr_info env ~rows (e : Ast.expr) : Info.colinfo =
+  match e with
+  | Ast.Col c -> (
+      match Info.find_col env c with
+      | Some ci -> ci
+      | None -> { Info.default_colinfo with ci_ndv = Float.max 1. rows })
+  | Ast.Const v ->
+      { Info.default_colinfo with ci_ndv = 1.; ci_min = v; ci_max = v }
+  | Ast.Agg ((Ast.Count | Ast.Count_star), _, _) ->
+      { Info.default_colinfo with ci_ndv = Float.max 1. (rows /. 2.) }
+  | _ -> { Info.default_colinfo with ci_ndv = Float.max 1. (rows /. 3.) }

@@ -1,4 +1,4 @@
-(** The physical optimizer.
+(** Public façade of the physical optimizer.
 
     A System-R style per-query-block optimizer: it chooses access paths
     (full scan vs. B-tree index), join order (left-deep dynamic
@@ -6,1357 +6,61 @@
     (nested loops with or without index, hash, sort-merge), honouring
     the partial orders that semijoin, antijoin, outerjoin and
     correlated (join-predicate-pushed-down) views impose on the join
-    sequence (Sections 2.1.1 and 2.2.3). Non-unnested subqueries are
-    costed and executed with tuple iteration semantics, including the
-    correlation-value cache.
+    sequence (Sections 2.1.1 and 2.2.3).
 
-    Within the CBQT framework this module plays the role of the "cost
-    estimation technique (physical optimizer)" of Section 3.1: each
-    transformation state is deep-copied, handed to [optimize_query], and
-    the resulting {!Annotation} is compared across states. The
-    [cost_cap] hook implements the cost cut-off of Section 3.4.1, and
-    the annotation cache implements the sub-tree cost-annotation reuse
-    of Section 3.4.2. *)
+    The implementation is split by layer:
 
-open Sqlir
-module A = Ast
-module Info = Cost.Info
-module Sel = Cost.Selectivity
-module Model = Cost.Model
-module Plan = Exec.Plan
-module Sset = Walk.Sset
+    - {!Opt_ctx} — catalog, configuration, annotation caches (identity +
+      fingerprint), cost cap, dirty set, counters;
+    - {!Access_path} — per-table access-path choice and join methods;
+    - {!Join_enum} — left-deep DP with partial-order constraints and
+      branch-and-bound pruning against the state cost cap;
+    - {!Block_cost} — per-block costing recursion and the annotation
+      store;
+    - {!Opt_stats} — observability counters.
 
-exception Unsupported of string
-exception Cost_cap_exceeded
+    Callers keep compiling against [Opt.*]: the context record, its
+    exceptions and the configuration are re-exported here. *)
 
-type config = {
+exception Unsupported = Opt_ctx.Unsupported
+exception Cost_cap_exceeded = Opt_ctx.Cost_cap_exceeded
+
+type config = Opt_ctx.config = {
   dp_threshold : int;
-      (** maximum number of FROM entries for exhaustive left-deep DP;
-          larger blocks use a greedy ordering *)
   enable_merge_join : bool;
   enable_hash_join : bool;
 }
 
-let default_config =
-  { dp_threshold = 9; enable_merge_join = true; enable_hash_join = true }
+let default_config = Opt_ctx.default_config
 
-type t = {
+type t = Opt_ctx.t = {
   cat : Catalog.t;
   cfg : config;
-  mutable blocks_optimized : int;
-      (** number of query-block optimizations performed (cache misses),
-          the unit of Table 1 / Table 2 accounting *)
-  mutable cache_hits : int;
+  stats : Opt_stats.t;
   annot_cache : (string, Annotation.t) Hashtbl.t option;
+  ident_cache : (string * Annotation.t) list Opt_ctx.Qtbl.t;
+  mutable dirty : Sqlir.Walk.Sset.t option;
   mutable cost_cap : float option;
-      (** abort optimization when a block's cost exceeds this (cost
-          cut-off, Section 3.4.1) *)
   mutable fresh : int;
   info_cache : (string, (string * Cost.Info.colinfo) list) Hashtbl.t;
-      (** per-table column properties, derived from catalog statistics
-          once per optimizer and reused across every state of every
-          transformation — the analogue of the paper's caching of
-          expensive optimizer computations such as dynamic sampling
-          (Section 3.4.4) *)
 }
 
-let create ?(cfg = default_config) ?annot_cache cat =
-  {
-    cat;
-    cfg;
-    blocks_optimized = 0;
-    cache_hits = 0;
-    annot_cache;
-    cost_cap = None;
-    fresh = 0;
-    info_cache = Hashtbl.create 32;
-  }
+let create = Opt_ctx.create
 
-let gensym t base =
-  t.fresh <- t.fresh + 1;
-  Printf.sprintf "%s%d" base t.fresh
+(* --- counters (see {!Opt_stats} for the full set) --- *)
 
-(** Table info with the Section 3.4.4 cache: the (alias-independent)
-    per-column derivation happens once per optimizer instance. *)
-let table_info t ~table ~alias : Info.rel_info =
-  let cols =
-    match Hashtbl.find_opt t.info_cache table with
-    | Some cols -> cols
-    | None ->
-        let info = Info.of_table t.cat ~table ~alias:"$t" in
-        let cols = List.map (fun ((_, c), ci) -> (c, ci)) info.Info.ri_cols in
-        Hashtbl.replace t.info_cache table cols;
-        cols
-  in
-  let rows =
-    match Catalog.stats t.cat table with
-    | Some s -> float_of_int (max 1 s.s_rows)
-    | None -> 1000.
-  in
-  {
-    Info.ri_rows = rows;
-    ri_cols = List.map (fun (c, ci) -> ((alias, c), ci)) cols;
-  }
+let blocks_optimized (t : t) = t.stats.Opt_stats.blocks_optimized
+let cache_hits (t : t) = Opt_stats.cache_hits t.stats
+let stats (t : t) = t.stats
 
-let merge_env (infos : Info.rel_info list) : Info.rel_info =
-  {
-    Info.ri_rows = 1.;
-    ri_cols = List.concat_map (fun i -> i.Info.ri_cols) infos;
-  }
+(* --- incremental-costing controls --- *)
 
-(** Filter-evaluation cost of [preds] over [rows] input rows, charging
-    expensive procedural predicates per surviving row (cheap conjuncts
-    are ordered first, both here and in the built plans). *)
-let filter_cost env ~rows (preds : A.pred list) : float =
-  let cheap = List.filter (fun p -> Plan.n_expensive_preds [ p ] = 0) preds in
-  Model.pred_eval_cost ~rows
-    ~cheap_sel:(Sel.conj_sel env cheap)
-    ~n_expensive:(Plan.n_expensive_preds preds)
+let set_cost_cap (t : t) cap = t.cost_cap <- cap
 
-let default_expr_info env ~rows (e : A.expr) : Info.colinfo =
-  match e with
-  | A.Col c -> (
-      match Info.find_col env c with
-      | Some ci -> ci
-      | None -> { Info.default_colinfo with ci_ndv = Float.max 1. rows })
-  | A.Const v ->
-      { Info.default_colinfo with ci_ndv = 1.; ci_min = v; ci_max = v }
-  | A.Agg ((A.Count | A.Count_star), _, _) ->
-      { Info.default_colinfo with ci_ndv = Float.max 1. (rows /. 2.) }
-  | _ -> { Info.default_colinfo with ci_ndv = Float.max 1. (rows /. 3.) }
+(** Declare which blocks the next query to be optimized rebuilt
+    ([None] = no information; everything may be new). Advisory — see
+    {!Opt_ctx}. *)
+let set_dirty (t : t) dirty = t.dirty <- dirty
 
-(* ------------------------------------------------------------------ *)
-(* FROM-entry analysis                                                  *)
-(* ------------------------------------------------------------------ *)
-
-type entry = {
-  e_idx : int;
-  e_alias : string;
-  e_kind : A.jkind;
-  e_cond : A.pred list;  (* ON conjuncts for non-inner roles *)
-  e_source : esource;
-  e_info : Info.rel_info;  (* raw (pre-filter) info, bound to e_alias *)
-  e_rows : float;
-  e_single : A.pred list;  (* WHERE conjuncts local to this alias *)
-  e_single_sel : float;
-  e_prereq : Sset.t;  (* local aliases that must precede this entry *)
-}
-
-and esource =
-  | E_table of string
-  | E_view of Annotation.t * bool  (* annotation, correlated? *)
-
-type partial = {
-  p_set : int;
-  p_aliases : Sset.t;
-  p_plan : Plan.t;
-  p_cost : float;
-  p_rows : float;
-  p_info : Info.rel_info;
-}
-
-let bit i = 1 lsl i
-
-(* ------------------------------------------------------------------ *)
-(* Main recursion                                                       *)
-(* ------------------------------------------------------------------ *)
-
-let rec optimize_query t ~(outer : Info.rel_info) ~(out_alias : string)
-    (q : A.query) : Annotation.t =
-  let key = out_alias ^ "|" ^ Pp.fingerprint q in
-  let cached =
-    match t.annot_cache with
-    | Some c -> Hashtbl.find_opt c key
-    | None -> None
-  in
-  match cached with
-  | Some ann ->
-      t.cache_hits <- t.cache_hits + 1;
-      ann
-  | None ->
-      let ann =
-        match q with
-        | A.Block b -> optimize_block t ~outer ~out_alias b
-        | A.Setop (op, l, r) -> optimize_setop t ~outer ~out_alias op l r
-      in
-      (match t.annot_cache with
-      | Some c -> Hashtbl.replace c key ann
-      | None -> ());
-      (match t.cost_cap with
-      | Some cap when ann.an_cost > cap -> raise Cost_cap_exceeded
-      | _ -> ());
-      ann
-
-and optimize_setop t ~outer ~out_alias op l r : Annotation.t =
-  let al = optimize_query t ~outer ~out_alias l in
-  let ar = optimize_query t ~outer ~out_alias r in
-  match op with
-  | A.Union_all ->
-      let rows = al.an_rows +. ar.an_rows in
-      {
-        an_plan = Plan.Union_all [ al.an_plan; ar.an_plan ];
-        an_cost = al.an_cost +. ar.an_cost +. Model.out_tax rows;
-        an_rows = rows;
-        an_info = { al.an_info with ri_rows = rows };
-      }
-  | A.Union ->
-      let rows = al.an_rows +. ar.an_rows in
-      let groups = Float.max 1. (rows *. 0.7) in
-      {
-        an_plan = Plan.Distinct (Plan.Union_all [ al.an_plan; ar.an_plan ]);
-        an_cost =
-          al.an_cost +. ar.an_cost +. Model.distinct ~rows ~groups;
-        an_rows = groups;
-        an_info = { al.an_info with ri_rows = groups };
-      }
-  | A.Intersect | A.Minus ->
-      let sop = match op with A.Intersect -> `Intersect | _ -> `Minus in
-      let rows =
-        match op with
-        | A.Intersect -> Float.max 1. (Float.min al.an_rows ar.an_rows /. 2.)
-        | _ -> Float.max 1. (al.an_rows /. 2.)
-      in
-      {
-        an_plan = Plan.Setop_exec { op = sop; left = al.an_plan; right = ar.an_plan };
-        an_cost =
-          al.an_cost +. ar.an_cost
-          +. Model.setop ~lrows:al.an_rows ~rrows:ar.an_rows ~out:rows;
-        an_rows = rows;
-        an_info = { al.an_info with ri_rows = rows };
-      }
-
-and optimize_block t ~outer ~out_alias (b : A.block) : Annotation.t =
-  t.blocks_optimized <- t.blocks_optimized + 1;
-  if b.from = [] then raise (Unsupported "empty FROM clause");
-  match rownum_fusion t ~outer ~out_alias b with
-  | Some ann -> ann
-  | None -> optimize_block_general t ~outer ~out_alias b
-
-(** ROWNUM short-circuit: a simple single-source block with a row limit
-    and expensive predicates evaluates the predicates streaming, row by
-    row, stopping when the quota fills (Section 2.2.6's pulled-up
-    expensive predicates only pay for the rows actually examined). *)
-and rownum_fusion t ~outer ~out_alias (b : A.block) : Annotation.t option =
-  match (b.A.limit, b.A.from) with
-  | Some k, [ fe ]
-    when fe.A.fe_kind = A.J_inner && fe.A.fe_cond = []
-         && b.A.group_by = [] && b.A.having = []
-         && (not b.A.distinct)
-         && b.A.order_by = []
-         && (not (Walk.block_has_agg b))
-         && (not (Walk.block_has_win b))
-         && b.A.where <> []
-         && List.for_all (fun p -> not (Walk.pred_has_subquery p)) b.A.where
-         && Plan.n_expensive_preds b.A.where > 0 ->
-      let child_ann =
-        match fe.A.fe_source with
-        | A.S_view vq -> optimize_query t ~outer ~out_alias:fe.A.fe_alias vq
-        | A.S_table tbl ->
-            let info = table_info t ~table:tbl ~alias:fe.A.fe_alias in
-            let pages =
-              match Catalog.stats t.cat tbl with
-              | Some st -> float_of_int st.s_pages
-              | None -> Float.max 1. (info.Info.ri_rows /. 64.)
-            in
-            {
-              Annotation.an_plan =
-                Plan.Table_scan { table = tbl; alias = fe.A.fe_alias; filter = [] };
-              an_cost =
-                Model.table_scan ~pages ~rows:info.Info.ri_rows
-                  ~out:info.Info.ri_rows;
-              an_rows = info.Info.ri_rows;
-              an_info = info;
-            }
-      in
-      let env = merge_env [ outer; child_ann.an_info ] in
-      let preds =
-        Plan.order_preds (List.concat_map A.conjuncts b.A.where)
-      in
-      let sel = Sel.conj_sel env preds in
-      let examined =
-        Float.min child_ann.an_rows (float_of_int k /. Float.max sel 1e-3)
-      in
-      let rows =
-        Float.min (float_of_int k)
-          (Float.max 0.5 (child_ann.an_rows *. sel))
-      in
-      let items =
-        List.map (fun si -> (si.A.si_expr, si.A.si_name)) b.A.select
-      in
-      let out_info =
-        Info.project ~alias:out_alias ~rows
-          (List.map
-             (fun (e, nm) -> (nm, default_expr_info env ~rows e))
-             items)
-      in
-      Some
-        {
-          Annotation.an_plan =
-            Plan.Project
-              {
-                child =
-                  Plan.Limit_filter
-                    { child = child_ann.an_plan; preds; n = k };
-                alias = out_alias;
-                items;
-              };
-          an_cost =
-            child_ann.an_cost
-            +. filter_cost env ~rows:examined preds
-            +. Model.project ~rows;
-          an_rows = rows;
-          an_info = out_info;
-        }
-  | _ -> None
-
-(* ------------------------------------------------------------------ *)
-(* Semijoin -> distinct inner join (Section 2.1.1)                       *)
-(* ------------------------------------------------------------------ *)
-
-(* "We can convert this semijoin into an inner join by applying a sort
-   distinct operator on the selected rows [of the right table] and by
-   relaxing the partial join order restriction. This allows both the
-   join orders ... to be considered by the optimizer. In Oracle, this
-   transformation has been incorporated into the physical optimizer."
-
-   Eligibility: a base-table semijoin entry whose ON condition is pure
-   equality with separable sides and which the block references nowhere
-   else. The entry becomes an inner join against SELECT DISTINCT of the
-   table-side expressions (the table's single-table predicates move
-   inside), which is commutative and can therefore lead the join
-   order. *)
-and semi_distinct_variants (b : A.block) : A.block list =
-  let local = Walk.defined_aliases b in
-  List.filter_map
-    (fun fe ->
-      match (fe.A.fe_kind, fe.A.fe_source) with
-      | A.J_semi, A.S_table table ->
-          let alias = fe.A.fe_alias in
-          (* every ON conjunct must be an equality with the table on
-             exactly one side *)
-          let sides =
-            List.map
-              (fun p ->
-                match p with
-                | A.Cmp (A.Eq, x, y) ->
-                    let xa = Walk.expr_aliases x and ya = Walk.expr_aliases y in
-                    if
-                      Sset.equal xa (Sset.singleton alias)
-                      && not (Sset.mem alias ya)
-                    then Some (x, y)
-                    else if
-                      Sset.equal ya (Sset.singleton alias)
-                      && not (Sset.mem alias xa)
-                    then Some (y, x)
-                    else None
-                | _ -> None)
-              fe.A.fe_cond
-          in
-          if sides = [] || not (List.for_all Option.is_some sides) then None
-          else
-            let sides = List.map Option.get sides in
-            (* single-table predicates on the entry move into the view *)
-            let singles, rest_where =
-              List.partition
-                (fun p ->
-                  (not (Walk.pred_has_subquery p))
-                  && Sset.equal
-                       (Sset.inter (Walk.pred_aliases ~deep:false p) local)
-                       (Sset.singleton alias))
-                b.A.where
-            in
-            (* no other references to the entry allowed *)
-            let residual_block =
-              { b with A.from =
-                  List.filter (fun o -> not (String.equal o.A.fe_alias alias)) b.A.from;
-                where = rest_where }
-            in
-            let still_referenced =
-              Walk.fold_block_cols
-                (fun acc c -> acc || String.equal c.A.c_alias alias)
-                false residual_block
-            in
-            if still_referenced then None
-            else
-              let inner_alias = alias ^ "$sd" in
-              let ren e =
-                Walk.map_expr_cols
-                  (fun c ->
-                    if String.equal c.A.c_alias alias then
-                      A.Col { c with A.c_alias = inner_alias }
-                    else A.Col c)
-                  e
-              in
-              let ren_p p =
-                Walk.map_pred_cols
-                  (fun c ->
-                    if String.equal c.A.c_alias alias then
-                      A.Col { c with A.c_alias = inner_alias }
-                    else A.Col c)
-                  p
-              in
-              let view =
-                A.Block
-                  {
-                    (A.empty_block (b.A.qb_name ^ "_sd")) with
-                    A.select =
-                      List.mapi
-                        (fun i (tside, _) ->
-                          { A.si_expr = ren tside; si_name = Printf.sprintf "d%d" i })
-                        sides;
-                    distinct = true;
-                    from =
-                      [
-                        {
-                          A.fe_alias = inner_alias;
-                          fe_source = A.S_table table;
-                          fe_kind = A.J_inner;
-                          fe_cond = [];
-                        };
-                      ];
-                    where = List.map ren_p singles;
-                  }
-              in
-              let new_entry =
-                {
-                  A.fe_alias = alias;
-                  fe_source = A.S_view view;
-                  fe_kind = A.J_inner;
-                  fe_cond = [];
-                }
-              in
-              let join_preds =
-                List.mapi
-                  (fun i (_, other) ->
-                    A.Cmp (A.Eq, A.col alias (Printf.sprintf "d%d" i), other))
-                  sides
-              in
-              Some
-                {
-                  b with
-                  A.from =
-                    List.map
-                      (fun o ->
-                        if String.equal o.A.fe_alias alias then new_entry else o)
-                      b.A.from;
-                  where = rest_where @ join_preds;
-                }
-      | _ -> None)
-    b.A.from
-
-and optimize_block_general t ~outer ~out_alias (b : A.block) : Annotation.t =
-  match semi_distinct_variants b with
-  | [] -> optimize_block_core t ~outer ~out_alias b
-  | variants ->
-      let base = optimize_block_core t ~outer ~out_alias b in
-      List.fold_left
-        (fun (best : Annotation.t) b' ->
-          match optimize_block_core t ~outer ~out_alias b' with
-          | ann when ann.an_cost < best.an_cost -> ann
-          | _ -> best
-          | exception (Unsupported _ | Cost_cap_exceeded) -> best)
-        base variants
-
-and optimize_block_core t ~outer ~out_alias (b : A.block) : Annotation.t =
-  let local_aliases = Walk.defined_aliases b in
-  (* --- classify WHERE conjuncts (flattening nested ANDs first) --- *)
-  let where = List.concat_map A.conjuncts b.where in
-  let subq_preds, plain = List.partition Walk.pred_has_subquery where in
-  let local_of p = Sset.inter (Walk.pred_aliases ~deep:true p) local_aliases in
-  let single_tbl : (string, A.pred list) Hashtbl.t = Hashtbl.create 8 in
-  let join_preds = ref [] in
-  let zero_preds = ref [] in
-  List.iter
-    (fun p ->
-      let locs = local_of p in
-      match Sset.cardinal locs with
-      | 0 -> zero_preds := p :: !zero_preds
-      | 1 ->
-          let a = Sset.choose locs in
-          Hashtbl.replace single_tbl a
-            ((try Hashtbl.find single_tbl a with Not_found -> []) @ [ p ])
-      | _ -> join_preds := p :: !join_preds)
-    plain;
-  let join_preds = List.rev !join_preds in
-  let zero_preds = List.rev !zero_preds in
-  (* --- build entries --- *)
-  let base_infos =
-    List.filter_map
-      (fun fe ->
-        match fe.A.fe_source with
-        | A.S_table tbl ->
-            Some (table_info t ~table:tbl ~alias:fe.A.fe_alias)
-        | A.S_view _ -> None)
-      b.from
-  in
-  let sibling_env = merge_env (outer :: base_infos) in
-  let entries =
-    List.mapi
-      (fun i fe ->
-        let singles =
-          try Hashtbl.find single_tbl fe.A.fe_alias with Not_found -> []
-        in
-        let source, info, correlated_prereq =
-          match fe.A.fe_source with
-          | A.S_table tbl ->
-              ( E_table tbl,
-                table_info t ~table:tbl ~alias:fe.A.fe_alias,
-                Sset.empty )
-          | A.S_view vq ->
-              let free = Sset.inter (Walk.free_aliases vq) local_aliases in
-              let correlated = not (Sset.is_empty free) in
-              let ann =
-                optimize_query t ~outer:sibling_env ~out_alias:fe.A.fe_alias vq
-              in
-              (E_view (ann, correlated), ann.Annotation.an_info, free)
-        in
-        let cond_prereq =
-          List.fold_left
-            (fun s p -> Sset.union s (Sset.inter (Walk.pred_aliases ~deep:true p) local_aliases))
-            Sset.empty fe.A.fe_cond
-        in
-        let prereq =
-          Sset.remove fe.A.fe_alias (Sset.union correlated_prereq cond_prereq)
-        in
-        let env_for_sel = merge_env [ outer; sibling_env; info ] in
-        let ssel = Sel.conj_sel env_for_sel singles in
-        {
-          e_idx = i;
-          e_alias = fe.A.fe_alias;
-          e_kind = fe.A.fe_kind;
-          e_cond = fe.A.fe_cond;
-          e_source = source;
-          e_info = info;
-          e_rows = info.Info.ri_rows;
-          e_single = singles;
-          e_single_sel = ssel;
-          e_prereq = prereq;
-        })
-      b.from
-  in
-  let n = List.length entries in
-  let entries_arr = Array.of_list entries in
-  let full_env =
-    merge_env (outer :: List.map (fun e -> e.e_info) entries)
-  in
-  (* --- join enumeration --- *)
-  let joined =
-    if n = 1 then
-      initial_partial t ~outer ~env:full_env ~local:local_aliases
-        (List.hd entries)
-    else if n <= t.cfg.dp_threshold then
-      dp_join t ~outer ~env:full_env ~local:local_aliases
-        ~entries:entries_arr ~join_preds
-    else
-      greedy_join t ~outer ~env:full_env ~local:local_aliases
-        ~entries:entries_arr ~join_preds
-  in
-  (* --- residual zero-alias predicates --- *)
-  let joined =
-    if zero_preds = [] then joined
-    else
-      let zero_preds = Plan.order_preds zero_preds in
-      let sel = Sel.conj_sel full_env zero_preds in
-      let rows = Float.max 1. (joined.p_rows *. sel) in
-      {
-        joined with
-        p_plan = Plan.Filter { child = joined.p_plan; preds = zero_preds };
-        p_cost =
-          joined.p_cost
-          +. filter_cost full_env ~rows:joined.p_rows zero_preds
-          +. Model.out_tax rows;
-        p_rows = rows;
-        p_info = Info.filter ~sel joined.p_info;
-      }
-  in
-  (* --- TIS subquery filters (non-unnested subqueries) --- *)
-  let joined =
-    if subq_preds = [] then joined
-    else apply_subq_filters t ~outer ~env:full_env joined subq_preds
-  in
-  (* --- aggregation --- *)
-  let has_agg = Walk.block_has_agg b in
-  let post_agg, rewrite1 =
-    if not has_agg then (joined, fun e -> e)
-    else lower_aggregation t ~env:full_env joined b
-  in
-  (* --- window functions --- *)
-  let post_win, rewrite2 =
-    if not (Walk.block_has_win b) then (post_agg, rewrite1)
-    else lower_windows t ~env:full_env post_agg b ~rewrite:rewrite1
-  in
-  (* --- ORDER BY (pre-projection; row order survives projection) --- *)
-  let post_sort =
-    match b.order_by with
-    | [] -> post_win
-    | keys ->
-        let keys = List.map (fun (e, d) -> (rewrite2 e, d)) keys in
-        {
-          post_win with
-          p_plan = Plan.Sort { child = post_win.p_plan; keys };
-          p_cost = post_win.p_cost +. Model.sort ~rows:post_win.p_rows;
-        }
-  in
-  (* --- projection --- *)
-  let items =
-    List.map (fun si -> (rewrite2 si.A.si_expr, si.A.si_name)) b.select
-  in
-  let out_info =
-    Info.project ~alias:out_alias ~rows:post_sort.p_rows
-      (List.map
-         (fun (e, nm) ->
-           (nm, default_expr_info (merge_env [ full_env; post_sort.p_info ]) ~rows:post_sort.p_rows e))
-         items)
-  in
-  let projected =
-    {
-      post_sort with
-      p_plan = Plan.Project { child = post_sort.p_plan; alias = out_alias; items };
-      p_cost = post_sort.p_cost +. Model.project ~rows:post_sort.p_rows;
-      p_info = out_info;
-    }
-  in
-  (* --- DISTINCT --- *)
-  let distincted =
-    if not b.distinct then projected
-    else
-      let groups =
-        Float.max 1.
-          (Sel.distinct_count
-             (merge_env [ projected.p_info ])
-             ~rows:projected.p_rows
-             (List.map (fun (_, nm) -> A.col out_alias nm) items))
-      in
-      {
-        projected with
-        p_plan = Plan.Distinct projected.p_plan;
-        p_cost =
-          projected.p_cost +. Model.distinct ~rows:projected.p_rows ~groups;
-        p_rows = groups;
-        p_info = { projected.p_info with ri_rows = groups };
-      }
-  in
-  (* --- ROWNUM limit --- *)
-  let limited =
-    match b.limit with
-    | None -> distincted
-    | Some k ->
-        let rows = Float.min distincted.p_rows (float_of_int k) in
-        {
-          distincted with
-          p_plan = Plan.Limit { child = distincted.p_plan; n = k };
-          p_rows = rows;
-          p_info = { distincted.p_info with ri_rows = rows };
-        }
-  in
-  {
-    Annotation.an_plan = limited.p_plan;
-    an_cost = limited.p_cost;
-    an_rows = limited.p_rows;
-    an_info = limited.p_info;
-  }
-
-(* ------------------------------------------------------------------ *)
-(* Access paths                                                         *)
-(* ------------------------------------------------------------------ *)
-
-(** Equality bindings available for [e]: (column of e, binding expr)
-    pairs where the binding does not reference [e] itself and references
-    only aliases in [avail] (or outer scopes). *)
-and eq_bindings ~(local : Sset.t) ~(avail : Sset.t) ~(alias : string)
-    (preds : A.pred list) : (string * A.expr) list =
-  List.filter_map
-    (fun p ->
-      match p with
-      | A.Cmp (A.Eq, A.Col c, rhs)
-        when String.equal c.A.c_alias alias
-             && (not (Sset.mem alias (Walk.expr_aliases rhs)))
-             && Sset.subset (Sset.inter (Walk.expr_aliases rhs) local) avail ->
-          Some (c.A.c_col, rhs)
-      | A.Cmp (A.Eq, rhs, A.Col c)
-        when String.equal c.A.c_alias alias
-             && (not (Sset.mem alias (Walk.expr_aliases rhs)))
-             && Sset.subset (Sset.inter (Walk.expr_aliases rhs) local) avail ->
-          Some (c.A.c_col, rhs)
-      | _ -> None)
-    preds
-
-(** The predicates consumed by binding [cols] via [bindings]. *)
-and consumed_preds ~alias (cols : string list) (preds : A.pred list) :
-    A.pred list * A.pred list =
-  List.partition
-    (fun p ->
-      match p with
-      | A.Cmp (A.Eq, A.Col c, rhs) | A.Cmp (A.Eq, rhs, A.Col c) ->
-          String.equal c.A.c_alias alias
-          && List.mem c.A.c_col cols
-          && not (Sset.mem alias (Walk.expr_aliases rhs))
-      | _ -> false)
-    preds
-
-(** Best access path for table entry [e], given available bindings from
-    [avail] aliases (join side) and its single-table predicates.
-    Returns (plan, per-execution cost, output rows, consumed preds). *)
-and table_access_path t ~env ~(local : Sset.t) ~(avail : Sset.t) (e : entry)
-    ~table
-    ~(extra_preds : A.pred list) : (Plan.t * float * float * A.pred list) list
-    =
-  let alias = e.e_alias in
-  let all_preds = e.e_single @ extra_preds in
-  let bindings = eq_bindings ~local ~avail ~alias all_preds in
-  let pages =
-    match Catalog.stats t.cat table with
-    | Some s -> float_of_int s.s_pages
-    | None -> Float.max 1. (e.e_rows /. float_of_int Catalog.rows_per_page)
-  in
-  let all_preds = Plan.order_preds all_preds in
-  let full_sel = Sel.conj_sel env all_preds in
-  let out_rows = Float.max 0.5 (e.e_rows *. full_sel) in
-  let scan =
-    ( Plan.Table_scan { table; alias; filter = all_preds },
-      Model.table_scan ~pages ~rows:e.e_rows ~out:out_rows
-      +. filter_cost env ~rows:e.e_rows all_preds,
-      out_rows,
-      all_preds )
-  in
-  let index_paths =
-    List.filter_map
-      (fun (ix : Catalog.index) ->
-        (* longest binding prefix of the index columns *)
-        let rec prefix cols =
-          match cols with
-          | [] -> []
-          | c :: rest -> (
-              match List.assoc_opt c bindings with
-              | Some rhs -> (c, rhs) :: prefix rest
-              | None -> [])
-        in
-        let pfx = prefix ix.ix_cols in
-        if pfx = [] then None
-        else
-          let pfx_cols = List.map fst pfx in
-          let consumed, residual = consumed_preds ~alias pfx_cols all_preds in
-          let consumed_sel = Sel.conj_sel env consumed in
-          let matched = Float.max 0.5 (e.e_rows *. consumed_sel) in
-          let residual_sel = Sel.conj_sel env residual in
-          let rows_out = Float.max 0.5 (matched *. residual_sel) in
-          let height =
-            max 1
-              (int_of_float
-                 (ceil (log (Float.max 2. e.e_rows) /. log 64.)))
-          in
-          let residual = Plan.order_preds residual in
-          let cost =
-            Model.index_probe ~height ~entries:matched ~rows:matched
-              ~out:rows_out
-            +. filter_cost env ~rows:matched residual
-          in
-          Some
-            ( Plan.Index_scan
-                {
-                  table;
-                  alias;
-                  index = ix.ix_name;
-                  prefix = List.map snd pfx;
-                  lo = Plan.R_unbounded;
-                  hi = Plan.R_unbounded;
-                  filter = residual;
-                },
-              cost,
-              rows_out,
-              consumed @ residual ))
-      (Catalog.indexes_on t.cat table)
-  in
-  scan :: index_paths
-
-(** Initial partial plan over a single entry (no joins yet). *)
-and initial_partial t ~outer ~env ~local (e : entry) : partial =
-  ignore outer;
-  let plan, cost, rows =
-    match e.e_source with
-    | E_table table ->
-        let paths =
-          table_access_path t ~env ~local ~avail:Sset.empty e ~table
-            ~extra_preds:[]
-        in
-        let best =
-          List.fold_left
-            (fun acc (p, c, r, _) ->
-              match acc with
-              | Some (_, bc, _) when bc <= c -> acc
-              | _ -> Some (p, c, r))
-            None paths
-        in
-        Option.get best
-    | E_view (ann, correlated) ->
-        if correlated then
-          raise (Unsupported "correlated view cannot lead the join order");
-        let rows = Float.max 0.5 (ann.an_rows *. e.e_single_sel) in
-        let singles = Plan.order_preds e.e_single in
-        let plan =
-          if singles = [] then ann.Annotation.an_plan
-          else Plan.Filter { child = ann.Annotation.an_plan; preds = singles }
-        in
-        ( plan,
-          ann.an_cost
-          +. filter_cost env ~rows:ann.an_rows singles
-          +. Model.out_tax rows,
-          rows )
-  in
-  {
-    p_set = bit e.e_idx;
-    p_aliases = Sset.singleton e.e_alias;
-    p_plan = plan;
-    p_cost = cost;
-    p_rows = rows;
-    p_info = Info.filter ~sel:e.e_single_sel e.e_info;
-  }
-
-(* ------------------------------------------------------------------ *)
-(* Extending a partial plan with one more entry                          *)
-(* ------------------------------------------------------------------ *)
-
-and extend t ~env ~local ~(join_preds : A.pred list) (lp : partial)
-    (e : entry) : partial list =
-  let avail = lp.p_aliases in
-  let now_aliases = Sset.add e.e_alias avail in
-  (* join conjuncts that become applicable when e joins *)
-  let applicable, _remaining =
-    List.partition
-      (fun p ->
-        let locs = Sset.inter (Walk.pred_aliases ~deep:true p) local in
-        Sset.mem e.e_alias locs && Sset.subset locs now_aliases)
-      join_preds
-  in
-  (* closing conjuncts: all aliases in lp but applicable only now?
-     cannot happen: they were applied when their last alias joined. *)
-  let conds =
-    match e.e_kind with
-    | A.J_inner -> applicable
-    | _ -> e.e_cond @ applicable
-  in
-  let jsel = Sel.conj_sel env conds in
-  let eff_rows = Float.max 0.5 (e.e_rows *. e.e_single_sel) in
-  let inner_out = Float.max 0.5 (lp.p_rows *. eff_rows *. jsel) in
-  let match_prob = Float.min 1. (eff_rows *. jsel) in
-  let out_rows =
-    match e.e_kind with
-    | A.J_inner -> inner_out
-    | A.J_semi -> Float.max 0.5 (lp.p_rows *. match_prob)
-    | A.J_anti | A.J_anti_na ->
-        Float.max 0.5 (lp.p_rows *. (1. -. match_prob))
-    | A.J_left -> Float.max lp.p_rows inner_out
-  in
-  let role : Plan.jrole =
-    match e.e_kind with
-    | A.J_inner -> Plan.Inner
-    | A.J_semi -> Plan.Semi
-    | A.J_anti -> Plan.Anti
-    | A.J_anti_na -> Plan.Anti_na
-    | A.J_left -> Plan.Left_outer
-  in
-  let out_info =
-    match role with
-    | Plan.Semi | Plan.Anti | Plan.Anti_na ->
-        { lp.p_info with ri_rows = out_rows }
-    | _ ->
-        Info.join ~rows:out_rows lp.p_info
-          (Info.filter ~sel:e.e_single_sel e.e_info)
-  in
-  let mk plan cost =
-    {
-      p_set = lp.p_set lor bit e.e_idx;
-      p_aliases = now_aliases;
-      p_plan = plan;
-      p_cost = cost;
-      p_rows = out_rows;
-      p_info = out_info;
-    }
-  in
-  (* The executor caches the right side of a nested loop on the
-     correlation values it reads from the left row; the number of right
-     executions is therefore the number of distinct combinations of
-     those values (capped by the left cardinality), not the left
-     cardinality itself. *)
-  let probes_for_plan rplan =
-    let corr =
-      List.filter
-        (fun c -> Sset.mem c.A.c_alias avail)
-        (Plan.all_cols rplan)
-    in
-    if corr = [] then 1.
-    else
-      Float.min lp.p_rows
-        (Sel.distinct_count env ~rows:lp.p_rows
-           (List.map (fun c -> A.Col c) corr))
-  in
-  let alternatives = ref [] in
-  let add alt = alternatives := alt :: !alternatives in
-  (match e.e_source with
-  | E_table table ->
-      (* nested loops over each access path of e *)
-      let paths =
-        table_access_path t ~env ~local ~avail e ~table ~extra_preds:conds
-      in
-      List.iter
-        (fun (rplan, rcost, rrows_probe, consumed) ->
-          let residual_conds =
-            List.filter (fun p -> not (List.memq p consumed)) conds
-          in
-          let pairs =
-            match role with
-            | Plan.Semi | Plan.Anti | Plan.Anti_na ->
-                lp.p_rows *. Float.max 1. (rrows_probe /. 2.)
-            | _ -> lp.p_rows *. rrows_probe
-          in
-          let probes = probes_for_plan rplan in
-          let cost =
-            lp.p_cost
-            +. (probes *. rcost)
-            +. (Model.w_join *. pairs)
-            +. Model.out_tax out_rows
-          in
-          add
-            (mk
-               (Plan.Join
-                  {
-                    meth = Plan.Nested_loop;
-                    role;
-                    left = lp.p_plan;
-                    right = rplan;
-                    cond = residual_conds;
-                  })
-               cost))
-        paths;
-      (* hash / merge require at least one local equi-conjunct *)
-      let has_equi =
-        List.exists
-          (fun p ->
-            match p with
-            | A.Cmp (A.Eq, a, bb) ->
-                let aa = Walk.expr_aliases a and ab = Walk.expr_aliases bb in
-                let a_left = Sset.subset (Sset.inter aa now_aliases) avail
-                and a_right = Sset.mem e.e_alias ab in
-                let b_left = Sset.subset (Sset.inter ab now_aliases) avail
-                and b_right = Sset.mem e.e_alias aa in
-                (a_left && a_right && not (Sset.mem e.e_alias aa))
-                || (b_left && b_right && not (Sset.mem e.e_alias ab))
-            | _ -> false)
-          conds
-      in
-      if has_equi then (
-        let pages =
-          match Catalog.stats t.cat table with
-          | Some s -> float_of_int s.s_pages
-          | None -> Float.max 1. (e.e_rows /. float_of_int Catalog.rows_per_page)
-        in
-        let rrows = Float.max 0.5 (e.e_rows *. e.e_single_sel) in
-        let rcost =
-          Model.table_scan ~pages ~rows:e.e_rows ~out:rrows
-        in
-        let rplan = Plan.Table_scan { table; alias = e.e_alias; filter = e.e_single } in
-        if t.cfg.enable_hash_join then
-          add
-            (mk
-               (Plan.Join
-                  { meth = Plan.Hash; role; left = lp.p_plan; right = rplan; cond = conds })
-               (Model.hash_join ~lcost:lp.p_cost ~rcost ~lrows:lp.p_rows
-                  ~rrows ~pairs:inner_out ~out:out_rows));
-        if
-          t.cfg.enable_merge_join
-          && match role with
-             | Plan.Inner | Plan.Semi | Plan.Anti -> true
-             | _ -> false
-        then
-          add
-            (mk
-               (Plan.Join
-                  { meth = Plan.Merge; role; left = lp.p_plan; right = rplan; cond = conds })
-               (Model.merge_join ~lcost:lp.p_cost ~rcost ~lrows:lp.p_rows
-                  ~rrows ~pairs:inner_out ~out:out_rows)))
-  | E_view (ann, correlated) ->
-      let rrows = Float.max 0.5 (ann.an_rows *. e.e_single_sel) in
-      let singles = Plan.order_preds e.e_single in
-      let rplan =
-        if singles = [] then ann.Annotation.an_plan
-        else Plan.Filter { child = ann.Annotation.an_plan; preds = singles }
-      in
-      let rcost =
-        ann.an_cost
-        +. filter_cost env ~rows:ann.an_rows singles
-        +. Model.out_tax rrows
-      in
-      (* nested loops: re-executes the view per probe (this is how a
-         join-predicate-pushed-down view runs, with its correlations
-         bound from the left row) *)
-      let pairs = lp.p_rows *. rrows in
-      let probes = probes_for_plan rplan in
-      add
-        (mk
-           (Plan.Join
-              {
-                meth = Plan.Nested_loop;
-                role;
-                left = lp.p_plan;
-                right = rplan;
-                cond = conds;
-              })
-           (lp.p_cost +. (probes *. rcost) +. (Model.w_join *. pairs)
-           +. Model.out_tax out_rows));
-      if not correlated then (
-        let has_equi =
-          List.exists
-            (fun p ->
-              match p with A.Cmp (A.Eq, _, _) -> true | _ -> false)
-            conds
-        in
-        if has_equi && t.cfg.enable_hash_join then
-          add
-            (mk
-               (Plan.Join
-                  { meth = Plan.Hash; role; left = lp.p_plan; right = rplan; cond = conds })
-               (Model.hash_join ~lcost:lp.p_cost ~rcost ~lrows:lp.p_rows
-                  ~rrows ~pairs:inner_out ~out:out_rows))));
-  !alternatives
-
-(* ------------------------------------------------------------------ *)
-(* Join-order search                                                    *)
-(* ------------------------------------------------------------------ *)
-
-and can_follow (e : entry) (aliases : Sset.t) =
-  Sset.subset e.e_prereq aliases
-
-and can_start (e : entry) =
-  e.e_kind = A.J_inner && Sset.is_empty e.e_prereq
-  &&
-  match e.e_source with E_view (_, correlated) -> not correlated | _ -> true
-
-and dp_join t ~outer ~env ~local ~(entries : entry array) ~join_preds :
-    partial =
-  let n = Array.length entries in
-  let full = (1 lsl n) - 1 in
-  let best : (int, partial) Hashtbl.t = Hashtbl.create 64 in
-  let consider (p : partial) =
-    match Hashtbl.find_opt best p.p_set with
-    | Some q when q.p_cost <= p.p_cost -> ()
-    | _ -> Hashtbl.replace best p.p_set p
-  in
-  Array.iter
-    (fun e ->
-      if can_start e then consider (initial_partial t ~outer ~env ~local e))
-    entries;
-  (* iterate by subset size *)
-  for _size = 1 to n - 1 do
-    let snapshot = Hashtbl.fold (fun k v acc -> (k, v) :: acc) best [] in
-    List.iter
-      (fun (set, lp) ->
-        Array.iter
-          (fun e ->
-            if set land bit e.e_idx = 0 && can_follow e lp.p_aliases then
-              List.iter consider (extend t ~env ~local ~join_preds lp e))
-          entries)
-      snapshot
-  done;
-  match Hashtbl.find_opt best full with
-  | Some p -> p
-  | None -> raise (Unsupported "no valid join order (cyclic partial order?)")
-
-and greedy_join t ~outer ~env ~local ~(entries : entry array) ~join_preds :
-    partial =
-  let n = Array.length entries in
-  let start =
-    Array.to_list entries
-    |> List.filter can_start
-    |> List.map (initial_partial t ~outer ~env ~local)
-    |> List.sort (fun a b -> Float.compare a.p_cost b.p_cost)
-  in
-  match start with
-  | [] -> raise (Unsupported "no startable FROM entry")
-  | first :: _ ->
-      let current = ref first in
-      let remaining = ref (n - 1) in
-      while !remaining > 0 do
-        let lp = !current in
-        let candidates =
-          Array.to_list entries
-          |> List.filter (fun e ->
-                 lp.p_set land bit e.e_idx = 0 && can_follow e lp.p_aliases)
-          |> List.concat_map (fun e -> extend t ~env ~local ~join_preds lp e)
-        in
-        match
-          List.sort (fun a b -> Float.compare a.p_cost b.p_cost) candidates
-        with
-        | [] -> raise (Unsupported "greedy join ordering got stuck")
-        | best :: _ ->
-            current := best;
-            decr remaining
-      done;
-      !current
-
-(* ------------------------------------------------------------------ *)
-(* TIS subquery filters                                                 *)
-(* ------------------------------------------------------------------ *)
-
-and apply_subq_filters t ~outer ~env (joined : partial)
-    (preds : A.pred list) : partial =
-  let sub_env = merge_env [ outer; env ] in
-  let compiled, total_cost, sel =
-    List.fold_left
-      (fun (acc, cost, sel) p ->
-        let mk_sub q = optimize_query t ~outer:sub_env ~out_alias:"" q in
-        let sp, subq_cost =
-          match p with
-          | A.Exists q ->
-              let ann = mk_sub q in
-              (Plan.SP_exists { negated = false; plan = ann.an_plan }, ann.an_cost)
-          | A.Not_exists q ->
-              let ann = mk_sub q in
-              (Plan.SP_exists { negated = true; plan = ann.an_plan }, ann.an_cost)
-          | A.In_subq (es, q) ->
-              let ann = mk_sub q in
-              (Plan.SP_in { negated = false; lhs = es; plan = ann.an_plan }, ann.an_cost)
-          | A.Not_in_subq (es, q) ->
-              let ann = mk_sub q in
-              (Plan.SP_in { negated = true; lhs = es; plan = ann.an_plan }, ann.an_cost)
-          | A.Cmp_subq (op, lhs, quant, q) ->
-              let ann = mk_sub q in
-              (Plan.SP_cmp { op; lhs; quant; plan = ann.an_plan }, ann.an_cost)
-          | _ ->
-              raise
-                (Unsupported
-                   "subquery predicate under OR / NOT cannot be executed")
-        in
-        let q =
-          match p with
-          | A.Exists q | A.Not_exists q | A.In_subq (_, q) | A.Not_in_subq (_, q)
-          | A.Cmp_subq (_, _, _, q) ->
-              q
-          | _ -> assert false
-        in
-        (* cache misses: distinct combinations of the correlation values
-           drawn from the current block's stream *)
-        let corr_cols =
-          List.filter
-            (fun c -> Info.find_col joined.p_info c <> None)
-            (Walk.free_cols q)
-        in
-        let execs =
-          if corr_cols = [] then 1.
-          else
-            Sel.distinct_count joined.p_info ~rows:joined.p_rows
-              (List.map (fun c -> A.Col c) corr_cols)
-        in
-        let psel = Sel.pred_sel sub_env p in
-        (acc @ [ sp ], cost +. (execs *. subq_cost), sel *. psel))
-      ([], 0., 1.) preds
-  in
-  let rows = Float.max 0.5 (joined.p_rows *. sel) in
-  {
-    joined with
-    p_plan = Plan.Subq_filter { child = joined.p_plan; preds = compiled };
-    p_cost =
-      joined.p_cost +. total_cost
-      +. Model.subq_filter ~rows:joined.p_rows ~execs:0. ~subq_cost:0. ~out:rows;
-    p_rows = rows;
-    p_info = Info.filter ~sel joined.p_info;
-  }
-
-(* ------------------------------------------------------------------ *)
-(* Aggregation lowering                                                 *)
-(* ------------------------------------------------------------------ *)
-
-(** Collect the distinct aggregate terms appearing in an expression. *)
-and collect_aggs acc (e : A.expr) : A.expr list =
-  match e with
-  | A.Agg _ -> if List.mem e acc then acc else acc @ [ e ]
-  | A.Const _ | A.Col _ -> acc
-  | A.Binop (_, a, b) -> collect_aggs (collect_aggs acc a) b
-  | A.Neg a -> collect_aggs acc a
-  | A.Win (_, eo, _) -> (
-      match eo with None -> acc | Some a -> collect_aggs acc a)
-  | A.Fn (_, args) -> List.fold_left collect_aggs acc args
-  | A.Case (arms, els) ->
-      let acc = List.fold_left (fun acc (_, e) -> collect_aggs acc e) acc arms in
-      (match els with None -> acc | Some e -> collect_aggs acc e)
-
-and collect_aggs_pred acc (p : A.pred) : A.expr list =
-  let r = ref acc in
-  ignore
-    (Walk.map_pred_exprs
-       (fun e ->
-         r := collect_aggs !r e;
-         e)
-       p);
-  !r
-
-and lower_aggregation t ~env (joined : partial) (b : A.block) :
-    partial * (A.expr -> A.expr) =
-  let agg_alias = gensym t "$agg" in
-  let agg_terms =
-    let acc = List.fold_left (fun acc si -> collect_aggs acc si.A.si_expr) [] b.select in
-    let acc = List.fold_left collect_aggs_pred acc b.having in
-    List.fold_left (fun acc (e, _) -> collect_aggs acc e) acc b.order_by
-  in
-  let keys = List.mapi (fun i e -> (e, Printf.sprintf "k%d" i)) b.group_by in
-  let aggs =
-    List.mapi
-      (fun i e ->
-        match e with
-        | A.Agg (a, arg, dist) -> (Printf.sprintf "a%d" i, a, arg, dist)
-        | _ -> assert false)
-      agg_terms
-  in
-  let rewrite e =
-    let rec go e =
-      match List.find_opt (fun (k, _) -> k = e) keys with
-      | Some (_, nm) -> A.col agg_alias nm
-      | None -> (
-          match e with
-          | A.Agg _ -> (
-              match
-                List.find_opt
-                  (fun (i, _) -> List.nth agg_terms i = e)
-                  (List.mapi (fun i a -> (i, a)) agg_terms)
-              with
-              | Some (i, _) -> A.col agg_alias (Printf.sprintf "a%d" i)
-              | None -> e)
-          | A.Const _ | A.Col _ -> e
-          | A.Binop (op, a, bb) -> A.Binop (op, go a, go bb)
-          | A.Neg a -> A.Neg (go a)
-          | A.Win (a, eo, w) -> A.Win (a, Option.map go eo, w)
-          | A.Fn (n, args) -> A.Fn (n, List.map go args)
-          | A.Case (arms, els) ->
-              A.Case
-                ( List.map (fun (p, e) -> (Walk.map_pred_exprs go p, go e)) arms,
-                  Option.map go els ))
-    in
-    go e
-  in
-  let groups =
-    if b.group_by = [] then 1.
-    else Sel.distinct_count env ~rows:joined.p_rows b.group_by
-  in
-  let agg_plan =
-    Plan.Aggregate
-      { child = joined.p_plan; strategy = `Hash; alias = agg_alias; keys; aggs }
-  in
-  let agg_cost =
-    joined.p_cost
-    +. Model.aggregate ~strategy:`Hash ~rows:joined.p_rows ~groups
-  in
-  let agg_info =
-    Info.project ~alias:agg_alias ~rows:groups
-      (List.map
-         (fun (e, nm) -> (nm, default_expr_info env ~rows:groups e))
-         keys
-      @ List.map
-          (fun (nm, _, _, _) ->
-            (nm, { Info.default_colinfo with ci_ndv = Float.max 1. (groups /. 2.) }))
-          aggs)
-  in
-  let post =
-    {
-      joined with
-      p_plan = agg_plan;
-      p_cost = agg_cost;
-      p_rows = groups;
-      p_info = agg_info;
-    }
-  in
-  (* HAVING: filter over the aggregate output *)
-  let post =
-    if b.having = [] then post
-    else
-      let having = List.map (Walk.map_pred_exprs rewrite) b.having in
-      let sel = Sel.conj_sel agg_info having in
-      let rows = Float.max 0.5 (post.p_rows *. sel) in
-      {
-        post with
-        p_plan = Plan.Filter { child = post.p_plan; preds = having };
-        p_cost = post.p_cost +. Model.filter ~rows:post.p_rows ~out:rows;
-        p_rows = rows;
-        p_info = Info.filter ~sel post.p_info;
-      }
-  in
-  (post, rewrite)
-
-(* ------------------------------------------------------------------ *)
-(* Window lowering                                                      *)
-(* ------------------------------------------------------------------ *)
-
-and collect_wins acc (e : A.expr) : A.expr list =
-  match e with
-  | A.Win _ -> if List.mem e acc then acc else acc @ [ e ]
-  | A.Const _ | A.Col _ | A.Agg _ -> acc
-  | A.Binop (_, a, b) -> collect_wins (collect_wins acc a) b
-  | A.Neg a -> collect_wins acc a
-  | A.Fn (_, args) -> List.fold_left collect_wins acc args
-  | A.Case (arms, els) ->
-      let acc = List.fold_left (fun acc (_, e) -> collect_wins acc e) acc arms in
-      (match els with None -> acc | Some e -> collect_wins acc e)
-
-and lower_windows t ~env (input : partial) (b : A.block)
-    ~(rewrite : A.expr -> A.expr) : partial * (A.expr -> A.expr) =
-  let win_alias = gensym t "$win" in
-  let win_terms =
-    List.fold_left (fun acc si -> collect_wins acc si.A.si_expr) [] b.select
-  in
-  let wins =
-    List.mapi
-      (fun i e ->
-        match e with
-        | A.Win (a, arg, w) ->
-            (Printf.sprintf "w%d" i, a, Option.map rewrite arg,
-             {
-               A.w_pby = List.map rewrite w.A.w_pby;
-               w_oby = List.map (fun (e, d) -> (rewrite e, d)) w.A.w_oby;
-             })
-        | _ -> assert false)
-      win_terms
-  in
-  let rewrite2 e =
-    let rec go e =
-      match e with
-      | A.Win _ -> (
-          match
-            List.find_opt (fun (i, _) -> List.nth win_terms i = e)
-              (List.mapi (fun i w -> (i, w)) win_terms)
-          with
-          | Some (i, _) -> A.col win_alias (Printf.sprintf "w%d" i)
-          | None -> rewrite e)
-      | A.Const _ | A.Col _ -> rewrite e
-      | A.Agg _ -> rewrite e
-      | A.Binop (op, a, bb) -> A.Binop (op, go a, go bb)
-      | A.Neg a -> A.Neg (go a)
-      | A.Fn (n, args) -> A.Fn (n, List.map go args)
-      | A.Case (arms, els) ->
-          A.Case
-            ( List.map (fun (p, e) -> (Walk.map_pred_exprs go p, go e)) arms,
-              Option.map go els )
-    in
-    go e
-  in
-  ignore env;
-  let plan = Plan.Window { child = input.p_plan; alias = win_alias; wins } in
-  let cost = input.p_cost +. Model.window ~rows:input.p_rows in
-  let info =
-    {
-      input.p_info with
-      Info.ri_cols =
-        input.p_info.Info.ri_cols
-        @ List.map
-            (fun (nm, _, _, _) ->
-              ((win_alias, nm),
-               { Info.default_colinfo with ci_ndv = Float.max 1. input.p_rows }))
-            wins;
-    }
-  in
-  ({ input with p_plan = plan; p_cost = cost; p_info = info }, rewrite2)
-
-(* ------------------------------------------------------------------ *)
-(* Public entry point                                                   *)
-(* ------------------------------------------------------------------ *)
-
-(** Optimize a complete (top-level) query. *)
-let optimize t (q : A.query) : Annotation.t =
-  optimize_query t ~outer:Info.empty ~out_alias:"" q
+let optimize (t : t) (q : Sqlir.Ast.query) : Annotation.t =
+  Block_cost.optimize_query t ~outer:Cost.Info.empty ~out_alias:"" q

@@ -257,7 +257,8 @@ let discover (_cat : Catalog.t) (q : A.query) : (string * string) list =
 let objects (cat : Catalog.t) (q : A.query) : string list =
   List.map (fun (qb, a) -> Printf.sprintf "%s:gbp(%s)" qb a) (discover cat q)
 
-let apply_mask (cat : Catalog.t) (q : A.query) (mask : bool list) : A.query =
+let apply_mask ?touched (cat : Catalog.t) (q : A.query) (mask : bool list) :
+    A.query =
   let gen = Walk.fresh_alias_gen [ q ] in
   let plan =
     List.mapi
@@ -267,7 +268,7 @@ let apply_mask (cat : Catalog.t) (q : A.query) (mask : bool list) : A.query =
           match List.nth_opt mask i with Some b -> b | None -> false ))
       (discover cat q)
   in
-  Tx.map_blocks_bottom_up
+  Tx.map_blocks_bottom_up ?touched
     (fun b ->
       List.fold_left
         (fun b (qb, alias, selected) ->

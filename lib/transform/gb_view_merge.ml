@@ -265,7 +265,8 @@ let discover (cat : Catalog.t) (q : A.query) : (string * string) list =
        q);
   List.rev !objs
 
-let apply_mask (cat : Catalog.t) (q : A.query) (mask : bool list) : A.query =
+let apply_mask ?touched (cat : Catalog.t) (q : A.query) (mask : bool list) :
+    A.query =
   let plan =
     List.mapi
       (fun i (qb, key) ->
@@ -274,7 +275,7 @@ let apply_mask (cat : Catalog.t) (q : A.query) (mask : bool list) : A.query =
           match List.nth_opt mask i with Some b -> b | None -> false ))
       (discover cat q)
   in
-  Tx.map_blocks_bottom_up
+  Tx.map_blocks_bottom_up ?touched
     (fun b ->
       List.fold_left
         (fun b (qb, alias, selected) ->

@@ -38,51 +38,58 @@ let prune_constant_groups (b : A.block) : A.block =
 (** Remove select items of inner views that the parent never
     references. *)
 let prune_view_projections (parent : A.block) : A.block =
-  {
-    parent with
-    A.from =
-      List.map
-        (fun fe ->
-          match fe.A.fe_source with
-          | A.S_table _ -> fe
-          | A.S_view vq ->
-              let used = Tx.alias_refs_in_block parent fe.A.fe_alias in
-              let prune_block (lb : A.block) =
-                let keep =
-                  List.filter
-                    (fun si -> List.mem si.A.si_name used)
-                    lb.A.select
-                in
-                if keep = [] || List.length keep = List.length lb.A.select
-                then lb
-                else { lb with A.select = keep }
+  let from' =
+    Tx.map_sharing
+      (fun fe ->
+        match fe.A.fe_source with
+        | A.S_table _ -> fe
+        | A.S_view vq ->
+            let used = Tx.alias_refs_in_block parent fe.A.fe_alias in
+            let prune_block (lb : A.block) =
+              let keep =
+                List.filter
+                  (fun si -> List.mem si.A.si_name used)
+                  lb.A.select
               in
-              let rec prune_q q =
-                match q with
-                | A.Block lb -> A.Block (prune_block lb)
-                | A.Setop (op, l, r) -> A.Setop (op, prune_q l, prune_q r)
-              in
-              (* never prune DISTINCT views (the select list is the
-                 duplicate-elimination key); for set-op views the
-                 branches must keep identical arity: prune only when
-                 every leaf selects by the same names *)
-              let prunable =
-                match Jppd.leaf_blocks vq with
-                | Some leaves ->
-                    let names lb = List.map (fun si -> si.A.si_name) lb.A.select in
-                    List.for_all
-                      (fun lb ->
-                        (not lb.A.distinct)
-                        && names lb = names (List.hd leaves))
-                      leaves
-                | None -> false
-              in
-              if prunable then { fe with A.fe_source = A.S_view (prune_q vq) }
-              else fe)
-        parent.A.from;
-  }
+              if keep = [] || List.length keep = List.length lb.A.select
+              then lb
+              else { lb with A.select = keep }
+            in
+            let rec prune_q q =
+              match q with
+              | A.Block lb ->
+                  let lb' = prune_block lb in
+                  if lb' == lb then q else A.Block lb'
+              | A.Setop (op, l, r) ->
+                  let l' = prune_q l in
+                  let r' = prune_q r in
+                  if l' == l && r' == r then q else A.Setop (op, l', r')
+            in
+            (* never prune DISTINCT views (the select list is the
+               duplicate-elimination key); for set-op views the
+               branches must keep identical arity: prune only when
+               every leaf selects by the same names *)
+            let prunable =
+              match Jppd.leaf_blocks vq with
+              | Some leaves ->
+                  let names lb = List.map (fun si -> si.A.si_name) lb.A.select in
+                  List.for_all
+                    (fun lb ->
+                      (not lb.A.distinct)
+                      && names lb = names (List.hd leaves))
+                    leaves
+              | None -> false
+            in
+            if prunable then (
+              let vq' = prune_q vq in
+              if vq' == vq then fe
+              else { fe with A.fe_source = A.S_view vq' })
+            else fe)
+      parent.A.from
+  in
+  if from' == parent.A.from then parent else { parent with A.from = from' }
 
-let apply (_cat : Catalog.t) (q : A.query) : A.query =
-  Tx.map_blocks_bottom_up
+let apply ?touched (_cat : Catalog.t) (q : A.query) : A.query =
+  Tx.map_blocks_bottom_up ?touched
     (fun b -> prune_view_projections (prune_constant_groups b))
     q

@@ -170,8 +170,8 @@ let eliminate_one (cat : Catalog.t) (b : A.block) : A.block option =
   try_all b.A.from
 
 (** Eliminate joins to a fixpoint in every block (imperative rule). *)
-let apply (cat : Catalog.t) (q : A.query) : A.query =
-  Tx.map_blocks_bottom_up
+let apply ?touched (cat : Catalog.t) (q : A.query) : A.query =
+  Tx.map_blocks_bottom_up ?touched
     (fun b ->
       let rec fix b =
         match eliminate_one cat b with Some b' -> fix b' | None -> b

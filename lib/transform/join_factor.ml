@@ -390,7 +390,8 @@ let discover (_cat : Catalog.t) (q : A.query) : (string * string) list =
 let objects (cat : Catalog.t) (q : A.query) : string list =
   List.map (fun (_, t) -> Printf.sprintf "factor(%s)" t) (discover cat q)
 
-let apply_mask (_cat : Catalog.t) (q : A.query) (mask : bool list) : A.query =
+let apply_mask ?touched (_cat : Catalog.t) (q : A.query) (mask : bool list) :
+    A.query =
   let gen = Walk.fresh_alias_gen [ q ] in
   let cands = classify_setop q in
   (* apply at most one factorization (factoring one table restructures
@@ -402,7 +403,14 @@ let apply_mask (_cat : Catalog.t) (q : A.query) (mask : bool list) : A.query =
           apply_candidate gen q cand
         else pick (i + 1) rest
   in
-  pick 0 cands
+  let q' = pick 0 cands in
+  (* factoring rebuilds the whole tree: report every block that is not
+     physically shared with the input as dirty *)
+  (if q' != q then
+     match touched with
+     | None -> ()
+     | Some r -> r := Walk.Sset.union !r (Tx.dirty_blocks q q'));
+  q'
 
 let apply_all cat q =
   apply_mask cat q (List.map (fun _ -> true) (objects cat q))

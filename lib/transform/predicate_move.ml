@@ -202,11 +202,14 @@ let push_block (b : A.block) : A.block =
 
 (** One pass of transitive generation + view pushdown on every block,
     repeated until a fixpoint (bounded to 4 rounds). *)
-let apply (_cat : Catalog.t) (q : A.query) : A.query =
+let apply ?touched (_cat : Catalog.t) (q : A.query) : A.query =
   let round q =
-    Tx.map_blocks_bottom_up
+    Tx.map_blocks_bottom_up ?touched
       (fun b ->
-        let b = { b with A.where = b.A.where @ transitive_preds b } in
+        let extra = transitive_preds b in
+        let b =
+          if extra = [] then b else { b with A.where = b.A.where @ extra }
+        in
         push_block b)
       q
   in

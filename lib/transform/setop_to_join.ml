@@ -93,7 +93,8 @@ let discover (_cat : Catalog.t) (q : A.query) : (string * string) list =
 let objects (cat : Catalog.t) (q : A.query) : string list =
   List.map (fun (_, p) -> Printf.sprintf "setop-join(%s)" p) (discover cat q)
 
-let apply_mask (_cat : Catalog.t) (q : A.query) (mask : bool list) : A.query =
+let apply_mask ?touched (_cat : Catalog.t) (q : A.query) (mask : bool list) :
+    A.query =
   let gen = Walk.fresh_alias_gen [ q ] in
   let plan =
     List.mapi
@@ -105,29 +106,39 @@ let apply_mask (_cat : Catalog.t) (q : A.query) (mask : bool list) : A.query =
   let selected path =
     match List.assoc_opt path plan with Some b -> b | None -> false
   in
+  (* sharing-preserving: subtrees with no selected conversion are
+     returned as the original nodes, so their cost annotations survive *)
   let rec go path q =
     match q with
     | A.Block b ->
-        A.Block
-          {
-            b with
-            A.from =
-              List.map
-                (fun fe ->
-                  match fe.A.fe_source with
-                  | A.S_view vq ->
-                      {
-                        fe with
-                        A.fe_source =
-                          A.S_view (go (path ^ "." ^ fe.A.fe_alias) vq);
-                      }
-                  | A.S_table _ -> fe)
-                b.A.from;
-          }
+        let from' =
+          Tx.map_sharing
+            (fun fe ->
+              match fe.A.fe_source with
+              | A.S_view vq ->
+                  let vq' = go (path ^ "." ^ fe.A.fe_alias) vq in
+                  if vq' == vq then fe
+                  else { fe with A.fe_source = A.S_view vq' }
+              | A.S_table _ -> fe)
+            b.A.from
+        in
+        if from' == b.A.from then q
+        else (
+          Tx.mark_touched touched b;
+          A.Block { b with A.from = from' })
     | A.Setop (op, l, r) -> (
         match convertible q with
-        | Some (cop, cl, cr) when selected path -> convert gen cop cl cr
-        | _ -> A.Setop (op, go (path ^ "L") l, go (path ^ "R") r))
+        | Some (cop, cl, cr) when selected path ->
+            let q' = convert gen cop cl cr in
+            (match touched with
+            | None -> ()
+            | Some r ->
+                r := Walk.Sset.union !r (Tx.all_block_names q'));
+            q'
+        | _ ->
+            let l' = go (path ^ "L") l in
+            let r' = go (path ^ "R") r in
+            if l' == l && r' == r then q else A.Setop (op, l', r'))
   in
   go "@" q
 

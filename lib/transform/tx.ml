@@ -8,58 +8,169 @@
 open Sqlir
 module A = Ast
 
+(** Map [f] over a list preserving physical identity: if [f] returns
+    every element unchanged (by [==]), the original list is returned, so
+    an untouched spine stays shared with the input. *)
+let map_sharing (f : 'a -> 'a) (l : 'a list) : 'a list =
+  let changed = ref false in
+  let l' =
+    List.map
+      (fun x ->
+        let y = f x in
+        if y != x then changed := true;
+        y)
+      l
+  in
+  if !changed then l' else l
+
+(** Record a rewritten block in the optional touched-block accumulator.
+    Keys are [qb_name]s — the dirty-set protocol (DESIGN.md): a
+    transformation must report every block whose subtree it rebuilt;
+    blocks it returns physically unchanged keep their annotations. *)
+let mark_touched (touched : Walk.Sset.t ref option) (b : A.block) : unit =
+  match touched with
+  | None -> ()
+  | Some r -> r := Walk.Sset.add b.A.qb_name !r
+
+(** Iterate over every block of [q], bottom-up: nested views and
+    subqueries before the enclosing block. *)
+let rec iter_blocks (f : A.block -> unit) (q : A.query) : unit =
+  match q with
+  | A.Setop (_, l, r) ->
+      iter_blocks f l;
+      iter_blocks f r
+  | A.Block b ->
+      List.iter
+        (fun fe ->
+          (match fe.A.fe_source with
+          | A.S_view v -> iter_blocks f v
+          | A.S_table _ -> ());
+          List.iter (iter_pred_blocks f) fe.A.fe_cond)
+        b.A.from;
+      List.iter (iter_pred_blocks f) b.A.where;
+      List.iter (iter_pred_blocks f) b.A.having;
+      f b
+
+and iter_pred_blocks (f : A.block -> unit) (p : A.pred) : unit =
+  match p with
+  | A.In_subq (_, q)
+  | A.Not_in_subq (_, q)
+  | A.Exists q
+  | A.Not_exists q
+  | A.Cmp_subq (_, _, _, q) ->
+      iter_blocks f q
+  | A.Not a | A.Lnnvl a -> iter_pred_blocks f a
+  | A.And (a, b) | A.Or (a, b) ->
+      iter_pred_blocks f a;
+      iter_pred_blocks f b
+  | _ -> ()
+
 (** Apply [f] to every block of [q], bottom-up: nested views and
-    subqueries are rewritten before the enclosing block. *)
-let rec map_blocks_bottom_up (f : A.block -> A.block) (q : A.query) : A.query =
+    subqueries are rewritten before the enclosing block.
+
+    The traversal is {e sharing-preserving}: any node whose subtree [f]
+    leaves unchanged (physically, by [==]) is returned as the original
+    node, so untouched blocks stay physically identical across rewrite
+    alternatives and the planner can reuse their cost annotations by
+    identity. When [?touched] is given, the [qb_name] of every block
+    that {e was} rebuilt is accumulated into it. *)
+let rec map_blocks_bottom_up ?touched (f : A.block -> A.block) (q : A.query) :
+    A.query =
   match q with
   | A.Setop (op, l, r) ->
-      A.Setop (op, map_blocks_bottom_up f l, map_blocks_bottom_up f r)
+      let l' = map_blocks_bottom_up ?touched f l in
+      let r' = map_blocks_bottom_up ?touched f r in
+      if l' == l && r' == r then q else A.Setop (op, l', r')
   | A.Block b ->
-      let rewrite_pred p = map_pred_queries (map_blocks_bottom_up f) p in
-      let b =
-        {
-          b with
-          A.from =
-            List.map
-              (fun fe ->
-                {
-                  fe with
-                  A.fe_source =
-                    (match fe.A.fe_source with
-                    | A.S_table t -> A.S_table t
-                    | A.S_view v -> A.S_view (map_blocks_bottom_up f v));
-                  fe_cond = List.map rewrite_pred fe.A.fe_cond;
-                })
-              b.A.from;
-          where = List.map rewrite_pred b.A.where;
-          having = List.map rewrite_pred b.A.having;
-        }
+      let rewrite_pred p =
+        map_pred_queries (map_blocks_bottom_up ?touched f) p
       in
-      A.Block (f b)
+      let from' =
+        map_sharing
+          (fun fe ->
+            let src' =
+              match fe.A.fe_source with
+              | A.S_table _ -> fe.A.fe_source
+              | A.S_view v ->
+                  let v' = map_blocks_bottom_up ?touched f v in
+                  if v' == v then fe.A.fe_source else A.S_view v'
+            in
+            let cond' = map_sharing rewrite_pred fe.A.fe_cond in
+            if src' == fe.A.fe_source && cond' == fe.A.fe_cond then fe
+            else { fe with A.fe_source = src'; fe_cond = cond' })
+          b.A.from
+      in
+      let where' = map_sharing rewrite_pred b.A.where in
+      let having' = map_sharing rewrite_pred b.A.having in
+      let b1 =
+        if from' == b.A.from && where' == b.A.where && having' == b.A.having
+        then b
+        else { b with A.from = from'; where = where'; having = having' }
+      in
+      let b2 = f b1 in
+      if b2 == b then q
+      else (
+        mark_touched touched b;
+        (* [f] may have renamed the block or synthesized new nested
+           blocks (e.g. a generated group-by view): record every block
+           of its result that is not physically present in its input. *)
+        (match touched with
+        | Some r when b2 != b1 ->
+            let module H = Hashtbl.Make (struct
+              type t = A.block
 
-(** Rewrite the subqueries embedded in a predicate. *)
+              let equal = ( == )
+              let hash = Hashtbl.hash
+            end) in
+            let seen = H.create 16 in
+            iter_blocks (fun ob -> H.replace seen ob ()) (A.Block b1);
+            iter_blocks
+              (fun nb ->
+                if not (H.mem seen nb) then
+                  r := Walk.Sset.add nb.A.qb_name !r)
+              (A.Block b2)
+        | _ -> ());
+        A.Block b2)
+
+(** Rewrite the subqueries embedded in a predicate
+    (sharing-preserving, like {!map_blocks_bottom_up}). *)
 and map_pred_queries (f : A.query -> A.query) (p : A.pred) : A.pred =
   match p with
-  | A.In_subq (es, q) -> A.In_subq (es, f q)
-  | A.Not_in_subq (es, q) -> A.Not_in_subq (es, f q)
-  | A.Exists q -> A.Exists (f q)
-  | A.Not_exists q -> A.Not_exists (f q)
-  | A.Cmp_subq (op, e, qt, q) -> A.Cmp_subq (op, e, qt, f q)
-  | A.Not a -> A.Not (map_pred_queries f a)
-  | A.Lnnvl a -> A.Lnnvl (map_pred_queries f a)
-  | A.And (a, b) -> A.And (map_pred_queries f a, map_pred_queries f b)
-  | A.Or (a, b) -> A.Or (map_pred_queries f a, map_pred_queries f b)
+  | A.In_subq (es, q) ->
+      let q' = f q in
+      if q' == q then p else A.In_subq (es, q')
+  | A.Not_in_subq (es, q) ->
+      let q' = f q in
+      if q' == q then p else A.Not_in_subq (es, q')
+  | A.Exists q ->
+      let q' = f q in
+      if q' == q then p else A.Exists q'
+  | A.Not_exists q ->
+      let q' = f q in
+      if q' == q then p else A.Not_exists q'
+  | A.Cmp_subq (op, e, qt, q) ->
+      let q' = f q in
+      if q' == q then p else A.Cmp_subq (op, e, qt, q')
+  | A.Not a ->
+      let a' = map_pred_queries f a in
+      if a' == a then p else A.Not a'
+  | A.Lnnvl a ->
+      let a' = map_pred_queries f a in
+      if a' == a then p else A.Lnnvl a'
+  | A.And (a, b) ->
+      let a' = map_pred_queries f a in
+      let b' = map_pred_queries f b in
+      if a' == a && b' == b then p else A.And (a', b')
+  | A.Or (a, b) ->
+      let a' = map_pred_queries f a in
+      let b' = map_pred_queries f b in
+      if a' == a && b' == b then p else A.Or (a', b')
   | p -> p
 
 (** Count the blocks that satisfy [pred]. *)
 let count_blocks (f : A.block -> bool) (q : A.query) : int =
   let n = ref 0 in
-  ignore
-    (map_blocks_bottom_up
-       (fun b ->
-         if f b then incr n;
-         b)
-       q);
+  iter_blocks (fun b -> if f b then incr n) q;
   !n
 
 (** Is the query a single plain block (no set operators)? *)
@@ -135,12 +246,41 @@ let substitute_view_cols ~(alias : string) ~(subst : (string * A.expr) list)
   in
   Walk.map_block_cols f b
 
+(** The [qb_name]s of every block in [q]. *)
+let all_block_names (q : A.query) : Walk.Sset.t =
+  let names = ref Walk.Sset.empty in
+  iter_blocks (fun b -> names := Walk.Sset.add b.A.qb_name !names) q;
+  !names
+
+(** The blocks of [out] that are {e not} physically shared with [base]:
+    an identity diff of the two trees, for checking that a
+    transformation's [?touched] report covers everything it rebuilt.
+    Returns the [qb_name]s of the fresh blocks in [out]. *)
+let dirty_blocks (base : A.query) (out : A.query) : Walk.Sset.t =
+  let module H = Hashtbl.Make (struct
+    type t = A.block
+
+    let equal = ( == )
+    let hash = Hashtbl.hash
+  end) in
+  let seen = H.create 64 in
+  iter_blocks (fun b -> H.replace seen b ()) base;
+  let dirty = ref Walk.Sset.empty in
+  iter_blocks
+    (fun b -> if not (H.mem seen b) then dirty := Walk.Sset.add b.A.qb_name !dirty)
+    out;
+  !dirty
+
 (** A deep copy of a query tree. The IR is immutable, so this is the
     identity — the paper's "capability for deep copying query blocks"
     (Section 3.1) comes for free; what matters is that transformed
     copies share no mutable state with the original, which immutability
-    guarantees. *)
+    guarantees. Copying per search state would also defeat the
+    identity-keyed annotation reuse in {!Planner.Optimizer}, so callers
+    must not reintroduce it on the costing path. *)
 let deep_copy (q : A.query) : A.query = q
+[@@ocaml.deprecated
+  "the IR is immutable; deep_copy is the identity and is never needed"]
 
 (** Primary-or-unique key of a base-table entry, if declared. *)
 let entry_key (cat : Catalog.t) (fe : A.from_entry) : string list option =

@@ -130,8 +130,8 @@ let merge_one (cat : Catalog.t) (parent : A.block) (p : A.pred) :
 (** Merge every eligible subquery of every block. Imperative: applied
     wherever legal. Subqueries under OR / NOT are never touched (their
     unnesting is invalid, as the paper notes). *)
-let apply (cat : Catalog.t) (q : A.query) : A.query =
-  Tx.map_blocks_bottom_up
+let apply ?touched (cat : Catalog.t) (q : A.query) : A.query =
+  Tx.map_blocks_bottom_up ?touched
     (fun b ->
       let new_entries = ref [] in
       let where =
@@ -144,7 +144,8 @@ let apply (cat : Catalog.t) (q : A.query) : A.query =
             | None -> Some p)
           b.A.where
       in
-      { b with A.where; from = b.A.from @ List.rev !new_entries })
+      if !new_entries = [] then b
+      else { b with A.where; from = b.A.from @ List.rev !new_entries })
     q
 
 (** Number of subqueries this transformation would merge; used by tests

@@ -281,7 +281,8 @@ let discover (_cat : Catalog.t) (q : A.query) : (string * string) list =
 
 (** Apply the transformation to the objects selected by [mask] (in the
     same order [objects] reported them). *)
-let apply_mask (cat : Catalog.t) (q : A.query) (mask : bool list) : A.query =
+let apply_mask ?touched (cat : Catalog.t) (q : A.query) (mask : bool list) :
+    A.query =
   let fresh = fresh_view_alias q in
   let plan =
     ref
@@ -293,7 +294,7 @@ let apply_mask (cat : Catalog.t) (q : A.query) (mask : bool list) : A.query =
              match List.nth_opt mask i with Some b -> b | None -> false ))
          (discover cat q))
   in
-  Tx.map_blocks_bottom_up
+  Tx.map_blocks_bottom_up ?touched
     (fun b ->
       List.fold_left
         (fun b p ->

@@ -108,5 +108,5 @@ let merge_block (b : A.block) : A.block =
   fix b
 
 (** Merge every SPJ view, everywhere, to a fixpoint (imperative). *)
-let apply (_cat : Catalog.t) (q : A.query) : A.query =
-  Tx.map_blocks_bottom_up merge_block q
+let apply ?touched (_cat : Catalog.t) (q : A.query) : A.query =
+  Tx.map_blocks_bottom_up ?touched merge_block q

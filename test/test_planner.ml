@@ -469,11 +469,11 @@ let test_annotation_cache_reuse () =
       ()
   in
   let a1 = Opt.optimize opt query in
-  let blocks_first = opt.Opt.blocks_optimized in
+  let blocks_first = Opt.blocks_optimized opt in
   let a2 = Opt.optimize opt query in
   Alcotest.(check int) "no new blocks on re-optimization" blocks_first
-    opt.Opt.blocks_optimized;
-  Alcotest.(check bool) "cache hits recorded" true (opt.Opt.cache_hits > 0);
+    (Opt.blocks_optimized opt);
+  Alcotest.(check bool) "cache hits recorded" true (Opt.cache_hits opt > 0);
   Alcotest.(check (float 0.001)) "same cost" a1.Planner.Annotation.an_cost
     a2.Planner.Annotation.an_cost
 
@@ -537,7 +537,7 @@ let test_greedy_join_many_tables () =
 let test_cost_cap_aborts () =
   let db = Lazy.force db in
   let opt = Opt.create db.Storage.Db.cat in
-  opt.Opt.cost_cap <- Some 0.0001;
+  Opt.set_cost_cap opt (Some 0.0001);
   Alcotest.check_raises "cost cap" Opt.Cost_cap_exceeded (fun () ->
       ignore
         (Opt.optimize opt

@@ -78,14 +78,21 @@ let prop_plain_optimizer_equivalence =
    the reference evaluator, for every object mask bit on its own *)
 let transformations =
   [
-    ("unnest-view", Transform.Unnest_view.objects, Transform.Unnest_view.apply_mask);
-    ("gb-view-merge", Transform.Gb_view_merge.objects, Transform.Gb_view_merge.apply_mask);
-    ("jppd", Transform.Jppd.objects, Transform.Jppd.apply_mask);
-    ("gb-placement", Transform.Gb_placement.objects, Transform.Gb_placement.apply_mask);
-    ("join-factor", Transform.Join_factor.objects, Transform.Join_factor.apply_mask);
-    ("pred-pullup", Transform.Predicate_pullup.objects, Transform.Predicate_pullup.apply_mask);
-    ("setop-to-join", Transform.Setop_to_join.objects, Transform.Setop_to_join.apply_mask);
-    ("or-expansion", Transform.Or_expansion.objects, Transform.Or_expansion.apply_mask);
+    ("unnest-view", Transform.Unnest_view.objects,
+     Transform.Unnest_view.apply_mask ?touched:None);
+    ("gb-view-merge", Transform.Gb_view_merge.objects,
+     Transform.Gb_view_merge.apply_mask ?touched:None);
+    ("jppd", Transform.Jppd.objects, Transform.Jppd.apply_mask ?touched:None);
+    ("gb-placement", Transform.Gb_placement.objects,
+     Transform.Gb_placement.apply_mask ?touched:None);
+    ("join-factor", Transform.Join_factor.objects,
+     Transform.Join_factor.apply_mask ?touched:None);
+    ("pred-pullup", Transform.Predicate_pullup.objects,
+     Transform.Predicate_pullup.apply_mask ?touched:None);
+    ("setop-to-join", Transform.Setop_to_join.objects,
+     Transform.Setop_to_join.apply_mask ?touched:None);
+    ("or-expansion", Transform.Or_expansion.objects,
+     Transform.Or_expansion.apply_mask ?touched:None);
   ]
 
 let prop_each_transformation =
@@ -122,6 +129,136 @@ let prop_heuristic_transforms =
           Transform.Group_prune.apply;
           Transform.View_merge_spj.apply;
         ])
+
+(* ------------------------------------------------------------------ *)
+(* Immutability, dirty sets, and incremental-costing equivalence        *)
+(* ------------------------------------------------------------------ *)
+
+(* the IR is immutable and transformations are sharing-preserving
+   rewrites: applying any transformation must leave the input tree
+   bit-identical (this is what lets the driver cost states without
+   deep-copying) *)
+let prop_transformations_immutable =
+  QCheck.Test.make ~count:80
+    ~name:"transformations never mutate their input" gen_query (fun input ->
+      let q = query_of input in
+      let cat = db.Storage.Db.cat in
+      let before = Sqlir.Pp.fingerprint q in
+      List.iter
+        (fun (_name, objects, apply_mask) ->
+          let objs = objects cat q in
+          let n = List.length objs in
+          List.iter
+            (fun i ->
+              ignore (apply_mask cat q (List.mapi (fun j _ -> j = i) objs)))
+            (List.init n Fun.id);
+          ignore (apply_mask cat q (List.map (fun _ -> true) objs)))
+        transformations;
+      List.iter
+        (fun f -> ignore (f cat q))
+        [
+          Transform.Unnest_merge.apply;
+          Transform.Join_elim.apply;
+          Transform.Predicate_move.apply;
+          Transform.Group_prune.apply;
+          Transform.View_merge_spj.apply;
+        ];
+      String.equal before (Sqlir.Pp.fingerprint q))
+
+(* the ?touched accumulator must cover every block of the output that
+   is not physically shared with the input — the dirty-set protocol the
+   optimizer's identity cache relies on for incremental costing *)
+let touched_transformations =
+  [
+    ("unnest-view", Transform.Unnest_view.objects, Transform.Unnest_view.apply_mask);
+    ("gb-view-merge", Transform.Gb_view_merge.objects, Transform.Gb_view_merge.apply_mask);
+    ("jppd", Transform.Jppd.objects, Transform.Jppd.apply_mask);
+    ("gb-placement", Transform.Gb_placement.objects, Transform.Gb_placement.apply_mask);
+    ("join-factor", Transform.Join_factor.objects, Transform.Join_factor.apply_mask);
+    ("pred-pullup", Transform.Predicate_pullup.objects, Transform.Predicate_pullup.apply_mask);
+    ("setop-to-join", Transform.Setop_to_join.objects, Transform.Setop_to_join.apply_mask);
+    ("or-expansion", Transform.Or_expansion.objects, Transform.Or_expansion.apply_mask);
+  ]
+
+let prop_touched_covers_dirty =
+  QCheck.Test.make ~count:80
+    ~name:"?touched covers every identity-fresh block of the output"
+    gen_query (fun input ->
+      let q = query_of input in
+      let cat = db.Storage.Db.cat in
+      let module Sset = Sqlir.Walk.Sset in
+      List.for_all
+        (fun (name, objects, apply_mask) ->
+          let objs = objects cat q in
+          let n = List.length objs in
+          List.for_all
+            (fun i ->
+              let mask = List.mapi (fun j _ -> j = i) objs in
+              let touched = ref Sset.empty in
+              let q' = apply_mask ?touched:(Some touched) cat q mask in
+              let dirty = Transform.Tx.dirty_blocks q q' in
+              Sset.subset dirty !touched
+              ||
+              (QCheck.Test.fail_reportf
+                 "%s bit %d: dirty %s not covered by touched %s" name i
+                 (String.concat "," (Sset.elements dirty))
+                 (String.concat "," (Sset.elements !touched))))
+            (List.init n Fun.id))
+        touched_transformations)
+
+(* gensym counters ($agg7, $win3) depend on how many blocks the
+   optimizer walked, which annotation reuse legitimately changes; strip
+   the counter digits before comparing plans *)
+let normalize_plan s =
+  let b = Buffer.create (String.length s) in
+  let n = String.length s in
+  let i = ref 0 in
+  let isprefix p =
+    !i + String.length p <= n && String.sub s !i (String.length p) = p
+  in
+  while !i < n do
+    if isprefix "$agg" || isprefix "$win" then (
+      Buffer.add_string b (String.sub s !i 4);
+      i := !i + 4;
+      while !i < n && s.[!i] >= '0' && s.[!i] <= '9' do
+        incr i
+      done)
+    else (
+      Buffer.add_char b s.[!i];
+      incr i)
+  done;
+  Buffer.contents b
+
+(* cost-annotation reuse must be a pure optimization: with the caches
+   off the driver re-optimizes every block of every state from scratch
+   and must still produce bit-identical costs, the same winning masks,
+   and the same physical plan *)
+let prop_memo_equivalence =
+  QCheck.Test.make ~count:40
+    ~name:"annotation reuse never changes costs, masks, or plans"
+    gen_query (fun input ->
+      let q = query_of input in
+      let cat = db.Storage.Db.cat in
+      let run memo =
+        Cbqt.Driver.optimize
+          ~config:{ Cbqt.Driver.default_config with memo }
+          cat q
+      in
+      let a = run true and b = run false in
+      let plan r =
+        normalize_plan
+          (Fmt.str "%a" (Exec.Plan.pp ~indent:0)
+             r.Cbqt.Driver.res_annotation.Planner.Annotation.an_plan)
+      in
+      let masks r =
+        List.map
+          (fun s -> (s.Cbqt.Driver.sr_name, s.Cbqt.Driver.sr_chosen))
+          r.Cbqt.Driver.res_report.Cbqt.Driver.rp_steps
+      in
+      a.Cbqt.Driver.res_report.Cbqt.Driver.rp_final_cost
+      = b.Cbqt.Driver.res_report.Cbqt.Driver.rp_final_cost
+      && masks a = masks b
+      && String.equal (plan a) (plan b))
 
 (* ------------------------------------------------------------------ *)
 (* B-tree vs naive scan                                                 *)
@@ -293,6 +430,12 @@ let () =
           to_alco prop_plain_optimizer_equivalence;
           to_alco prop_each_transformation;
           to_alco prop_heuristic_transforms;
+        ] );
+      ( "incremental costing",
+        [
+          to_alco prop_transformations_immutable;
+          to_alco prop_touched_covers_dirty;
+          to_alco prop_memo_equivalence;
         ] );
       ( "btree",
         [ to_alco prop_btree_eq; to_alco prop_btree_range ] );
