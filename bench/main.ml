@@ -15,6 +15,9 @@
     - [figure4] — Figure 4: join predicate pushdown disabled vs.
       cost-based, over a view-join slice.
     - [gbp]     — Section 4.3: group-by placement on vs. off.
+    - [observability] — trace aggregates (states/sec, cut-off share,
+      span coverage), the Q-error distribution over every executed
+      operator, and the wall-clock cost of leaving tracing on.
 
     "Execution time" is metered work units (see {!Exec.Meter});
     "optimization time" is wall clock. Absolute values are not
@@ -466,6 +469,121 @@ let gbp () =
        ())
 
 (* ------------------------------------------------------------------ *)
+(* Observability: trace aggregates + Q-error distribution               *)
+(* ------------------------------------------------------------------ *)
+
+(** Aggregate view of what {!Obs.Trace} and {!Cbqt.Explain} report over
+    a workload: search throughput (states/sec), the cut-off share, span
+    coverage of the optimization wall clock, the cardinality-estimation
+    Q-error distribution over every executed operator, and the cost of
+    leaving tracing enabled (Full vs Off wall clock). *)
+let observability () =
+  let db, schema = SG.build ~families:2 ~sample_frac:0.3 ~seed:!seed () in
+  let cat = db.Storage.Db.cat in
+  let g = QG.create ~seed:!seed schema in
+  let n = scaled 60 in
+  let items = QG.workload g n in
+  let full_config = { D.default_config with trace = Obs.Trace.Full } in
+  let states = ref 0
+  and cut = ref 0
+  and errored = ref 0
+  and mismatches = ref 0 in
+  let wall = ref 0.
+  and covs = ref [] in
+  let results =
+    List.filter_map
+      (fun it ->
+        match
+          let t0 = Unix.gettimeofday () in
+          let res = D.optimize ~config:full_config cat it.QG.it_query in
+          (res, Unix.gettimeofday () -. t0)
+        with
+        | res, w ->
+            let rp = res.D.res_report in
+            states := !states + rp.D.rp_states_total;
+            cut := !cut + rp.D.rp_states_cutoff;
+            errored := !errored + rp.D.rp_states_errored;
+            wall := !wall +. w;
+            covs := Obs.Trace.root_coverage res.D.res_trace :: !covs;
+            (match D.report_consistent rp res.D.res_trace with
+            | Ok () -> ()
+            | Error e ->
+                incr mismatches;
+                Fmt.pr "WARNING: q%d trace/report mismatch: %s@."
+                  it.QG.it_id e);
+            Some res
+        | exception _ -> None)
+      items
+  in
+  let mean_cov =
+    List.fold_left ( +. ) 0. !covs /. float_of_int (max 1 (List.length !covs))
+  in
+  let states_per_sec = float_of_int !states /. Float.max 1e-9 !wall in
+  let cutoff_share = float_of_int !cut /. float_of_int (max 1 !states) in
+  Fmt.pr
+    "%d/%d queries traced: %d states in %.1f ms (%.0f states/sec), cut-off \
+     share %.1f%%, %d errored, mean span coverage %.1f%%, %d trace/report \
+     mismatches@."
+    (List.length results) n !states (1000. *. !wall) states_per_sec
+    (100. *. cutoff_share) !errored (100. *. mean_cov) !mismatches;
+  (* Q-error over every executed operator of every final plan *)
+  let qes =
+    List.concat_map
+      (fun res ->
+        match
+          Cbqt.Explain.analyze db
+            res.D.res_annotation.Planner.Annotation.an_plan
+        with
+        | ex ->
+            List.filter_map
+              (fun o ->
+                if Float.is_nan o.Cbqt.Explain.op_q_error then None
+                else Some o.Cbqt.Explain.op_q_error)
+              ex.Cbqt.Explain.ex_ops
+        | exception _ -> [])
+      results
+  in
+  let sorted = Array.of_list (List.sort compare qes) in
+  let pct p =
+    let n = Array.length sorted in
+    if n = 0 then nan
+    else sorted.(min (n - 1) (int_of_float (p *. float_of_int n)))
+  in
+  let p50 = pct 0.5 and p90 = pct 0.9 in
+  let qmax = if sorted = [||] then nan else sorted.(Array.length sorted - 1) in
+  Fmt.pr
+    "cardinality accuracy over %d operators: q-error p50 %.2f, p90 %.2f, \
+     max %.1f@."
+    (Array.length sorted) p50 p90 qmax;
+  (* what does leaving tracing on cost? *)
+  let time config =
+    let t0 = Unix.gettimeofday () in
+    List.iter
+      (fun it -> try ignore (D.optimize ~config cat it.QG.it_query) with _ -> ())
+      items;
+    Unix.gettimeofday () -. t0
+  in
+  let t_off = time { D.default_config with trace = Obs.Trace.Off } in
+  let t_full = time full_config in
+  Fmt.pr "tracing overhead: off %.1f ms, full %.1f ms (+%.1f%%)@."
+    (1000. *. t_off) (1000. *. t_full)
+    (100. *. ((t_full /. Float.max 1e-9 t_off) -. 1.));
+  jadd "queries" (jint n);
+  jadd "traced" (jint (List.length results));
+  jadd "states" (jint !states);
+  jadd "states_per_sec" (jfloat states_per_sec);
+  jadd "cutoff_share" (jfloat cutoff_share);
+  jadd "states_errored" (jint !errored);
+  jadd "mean_span_coverage" (jfloat mean_cov);
+  jadd "report_trace_mismatches" (jint !mismatches);
+  jadd "qerr_operators" (jint (Array.length sorted));
+  jadd "qerr_p50" (jfloat p50);
+  jadd "qerr_p90" (jfloat p90);
+  jadd "qerr_max" (jfloat qmax);
+  jadd "trace_off_ms" (jfloat (1000. *. t_off));
+  jadd "trace_full_ms" (jfloat (1000. *. t_full))
+
+(* ------------------------------------------------------------------ *)
 (* Entry point                                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -501,5 +619,6 @@ let () =
   run_section "figure3" figure3;
   run_section "figure4" figure4;
   run_section "gbp" gbp;
+  run_section "observability" observability;
   if !json then write_json "BENCH_cbqt.json";
   Fmt.pr "@.done.@."

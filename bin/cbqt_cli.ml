@@ -71,31 +71,231 @@ let explain_cmd =
   let mode =
     Arg.(value & opt mode_conv `Cost & info [ "mode" ] ~doc:"cost | heuristic | none")
   in
-  let run sql mode check =
+  let no_exec =
+    Arg.(
+      value & flag
+      & info [ "no-exec" ]
+          ~doc:
+            "Skip execution: show only the transformed query and the plan, \
+             without the per-operator actual rows / Q-error table.")
+  in
+  let run sql mode check no_exec =
     with_query sql (fun db q ->
-        (match config_of_mode ~check mode with
-        | Some config ->
-            let res = Cbqt.Driver.optimize ~config db.Storage.Db.cat q in
-            Fmt.pr "-- transformed query tree --@.%s@.@."
-              (Sqlir.Pp.query_to_string res.Cbqt.Driver.res_query);
-            Fmt.pr "-- transformation report --@.%a@." Cbqt.Driver.pp_report
-              res.res_report;
-            Fmt.pr "-- physical plan (cost %.1f, est. rows %.1f) --@.%s@."
-              res.res_annotation.Planner.Annotation.an_cost
-              res.res_annotation.an_rows
-              (Exec.Plan.to_string res.res_annotation.an_plan)
-        | None ->
-            if check then
-              ignore (report_ir_findings db.Storage.Db.cat q);
-            let opt = Planner.Optimizer.create db.Storage.Db.cat in
-            let ann = Planner.Optimizer.optimize opt q in
-            Fmt.pr "-- physical plan (no transformation; cost %.1f) --@.%s@."
-              ann.Planner.Annotation.an_cost
-              (Exec.Plan.to_string ann.an_plan));
+        let plan =
+          match config_of_mode ~check mode with
+          | Some config ->
+              let res = Cbqt.Driver.optimize ~config db.Storage.Db.cat q in
+              Fmt.pr "-- transformed query tree --@.%s@.@."
+                (Sqlir.Pp.query_to_string res.Cbqt.Driver.res_query);
+              Fmt.pr "-- transformation report --@.%a@." Cbqt.Driver.pp_report
+                res.res_report;
+              Fmt.pr "-- physical plan (cost %.1f, est. rows %.1f) --@.%s@."
+                res.res_annotation.Planner.Annotation.an_cost
+                res.res_annotation.an_rows
+                (Exec.Plan.to_string res.res_annotation.an_plan);
+              res.res_annotation.an_plan
+          | None ->
+              if check then
+                ignore (report_ir_findings db.Storage.Db.cat q);
+              let opt = Planner.Optimizer.create db.Storage.Db.cat in
+              let ann = Planner.Optimizer.optimize opt q in
+              Fmt.pr "-- physical plan (no transformation; cost %.1f) --@.%s@."
+                ann.Planner.Annotation.an_cost
+                (Exec.Plan.to_string ann.an_plan);
+              ann.an_plan
+        in
+        if not no_exec then (
+          let ex = Cbqt.Explain.analyze db plan in
+          Fmt.pr "@.-- explain analyze --@.%a" Cbqt.Explain.pp ex);
         0)
   in
-  Cmd.v (Cmd.info "explain" ~doc:"Show the transformed query and its plan")
-    Term.(const run $ sql $ mode $ check_flag)
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Show the transformed query and its plan, then execute it and \
+          report estimated vs. actual rows and Q-error per operator")
+    Term.(const run $ sql $ mode $ check_flag $ no_exec)
+
+let trace_cmd =
+  let sql = Arg.(value & pos 0 (some string) None & info [] ~docv:"SQL") in
+  let mode =
+    Arg.(value & opt mode_conv `Cost & info [ "mode" ] ~doc:"cost | heuristic")
+  in
+  let level_conv =
+    Arg.enum [ ("steps", Obs.Trace.Steps); ("full", Obs.Trace.Full) ]
+  in
+  let level =
+    Arg.(
+      value
+      & opt level_conv Obs.Trace.Full
+      & info [ "level" ]
+          ~doc:
+            "steps (one span per transformation attempt) | full (adds \
+             per-state, per-costing and per-block spans)")
+  in
+  let sink_conv =
+    Arg.enum [ ("pretty", `Pretty); ("jsonl", `Jsonl); ("chrome", `Chrome) ]
+  in
+  let sink =
+    Arg.(
+      value & opt sink_conv `Pretty
+      & info [ "sink" ]
+          ~doc:
+            "pretty (console span tree) | jsonl (one JSON object per span) \
+             | chrome (chrome://tracing / Perfetto trace-event JSON)")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE" ~doc:"write the sink output to $(docv)")
+  in
+  let validate =
+    Arg.(
+      value & flag
+      & info [ "validate" ]
+          ~doc:
+            "check the span-tree invariants (and, with --sink jsonl, the \
+             emitted document against the schema); exit non-zero on any \
+             violation")
+  in
+  let workload =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "workload" ] ~docv:"N"
+          ~doc:"trace $(docv) generated workload queries instead of SQL")
+  in
+  let seed =
+    Arg.(value & opt int 2006 & info [ "seed" ] ~doc:"workload seed")
+  in
+  let run sql mode level sink out validate workload seed check =
+    let config =
+      match config_of_mode ~check mode with
+      | Some c -> { c with Cbqt.Driver.trace = level }
+      | None ->
+          Fmt.epr "trace: --mode none has nothing to trace@.";
+          exit 2
+    in
+    let traced name cat q =
+      let t0 = Unix.gettimeofday () in
+      let res = Cbqt.Driver.optimize ~config cat q in
+      let wall = Unix.gettimeofday () -. t0 in
+      (name, res, wall)
+    in
+    let runs =
+      match (workload, sql) with
+      | Some n, _ ->
+          let db, schema =
+            Workload.Schema_gen.build ~families:2 ~sample_frac:0.3 ~seed ()
+          in
+          let g = Workload.Query_gen.create ~seed schema in
+          List.map
+            (fun it ->
+              traced
+                (Fmt.str "q%d[%s]" it.Workload.Query_gen.it_id
+                   (Workload.Query_gen.class_name it.Workload.Query_gen.it_class))
+                db.Storage.Db.cat it.Workload.Query_gen.it_query)
+            (Workload.Query_gen.workload g n)
+      | None, Some sql ->
+          let db = demo_db () in
+          (match Sqlparse.Parser.parse db.Storage.Db.cat sql with
+          | Error msg ->
+              Fmt.epr "parse error: %s@." msg;
+              exit 1
+          | Ok q -> [ traced "query" db.Storage.Db.cat q ])
+      | None, None ->
+          Fmt.epr "trace: need SQL or --workload N@.";
+          exit 2
+    in
+    let traces = List.map (fun (_, r, _) -> r.Cbqt.Driver.res_trace) runs in
+    let emit doc =
+      match out with
+      | None -> print_string doc
+      | Some f ->
+          let oc = open_out f in
+          output_string oc doc;
+          close_out oc;
+          Fmt.epr "wrote %s (%d bytes)@." f (String.length doc)
+    in
+    let jsonl_doc () =
+      String.concat "" (List.map Obs.Trace.to_jsonl traces)
+    in
+    (match sink with
+    | `Pretty ->
+        List.iter
+          (fun (name, res, _) ->
+            Fmt.pr "== %s ==@.%a" name Obs.Trace.pp_tree
+              res.Cbqt.Driver.res_trace)
+          runs
+    | `Jsonl -> emit (jsonl_doc ())
+    | `Chrome -> emit (Obs.Trace.to_chrome_many traces));
+    (* per-run summary + aggregates, to stderr so sinks stay clean *)
+    let tot_states = ref 0 and tot_attempts = ref 0 in
+    let tot_wall = ref 0. and tot_cut = ref 0 and tot_cost = ref 0 in
+    let coverages =
+      List.map
+        (fun (name, res, wall) ->
+          let tr = res.Cbqt.Driver.res_trace in
+          let cov = Obs.Trace.root_coverage tr in
+          let rp = res.Cbqt.Driver.res_report in
+          tot_states := !tot_states + rp.Cbqt.Driver.rp_states_total;
+          tot_attempts :=
+            !tot_attempts + Obs.Trace.count_kind tr Obs.Trace.Attempt;
+          tot_wall := !tot_wall +. wall;
+          tot_cut := !tot_cut + rp.Cbqt.Driver.rp_states_cutoff;
+          tot_cost := !tot_cost + Obs.Trace.count_kind tr Obs.Trace.Cost;
+          Fmt.epr
+            "%-14s %4d spans  %3d attempts  %3d states  coverage %5.1f%%  \
+             %.2f ms@."
+            name
+            (List.length (Obs.Trace.spans tr))
+            (Obs.Trace.count_kind tr Obs.Trace.Attempt)
+            rp.Cbqt.Driver.rp_states_total (100. *. cov) (1000. *. wall);
+          cov)
+        runs
+    in
+    let mean_cov =
+      List.fold_left ( +. ) 0. coverages
+      /. float_of_int (max 1 (List.length coverages))
+    in
+    Fmt.epr
+      "total: %d runs, %d attempts, %d states in %.1f ms (%.0f states/sec), \
+       cut-off share %.1f%%, mean span coverage %.1f%%@."
+      (List.length runs) !tot_attempts !tot_states (1000. *. !tot_wall)
+      (float_of_int !tot_states /. Float.max 1e-9 !tot_wall)
+      (100.
+      *. float_of_int !tot_cut
+      /. float_of_int (max 1 !tot_states))
+      (100. *. mean_cov);
+    if validate then (
+      let errs =
+        List.concat_map
+          (fun (name, res, _) ->
+            List.map
+              (fun e -> name ^ ": " ^ e)
+              (Obs.Trace.validate res.Cbqt.Driver.res_trace))
+          runs
+        @
+        match sink with
+        | `Jsonl ->
+            List.map
+              (fun e -> "jsonl: " ^ e)
+              (Obs.Trace.validate_jsonl (jsonl_doc ()))
+        | _ -> []
+      in
+      List.iter (fun e -> Fmt.epr "invalid: %s@." e) errs;
+      if errs <> [] then 1 else (Fmt.epr "validate: ok@."; 0))
+    else 0
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Optimize with search-space tracing on and emit the span tree \
+          (pretty console, JSON-Lines, or Chrome trace-event format)")
+    Term.(
+      const run $ sql $ mode $ level $ sink $ out $ validate $ workload $ seed
+      $ check_flag)
 
 let run_cmd =
   let sql = Arg.(required & pos 0 (some string) None & info [] ~docv:"SQL") in
@@ -227,4 +427,4 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group (Cmd.info "cbqt" ~doc)
-          [ explain_cmd; run_cmd; schema_cmd; check_cmd ]))
+          [ explain_cmd; run_cmd; trace_cmd; schema_cmd; check_cmd ]))

@@ -44,6 +44,7 @@ open Sqlir
 module A = Ast
 module Opt = Planner.Optimizer
 module T = Transform
+module Tr = Obs.Trace
 
 type decision = D_off | D_heuristic | D_cost
 
@@ -77,6 +78,12 @@ type config = {
           transformations of the run. [false] re-optimizes every block
           of every state from scratch — only useful for measuring what
           the caches buy (Table 2) and for differential testing *)
+  trace : Obs.Trace.level;
+      (** observability spans ({!Obs.Trace}): [Off] records nothing,
+          [Steps] one span per transformation attempt, [Full] adds
+          per-state, per-costing and per-block spans with
+          {!Planner.Opt_stats} counter deltas. Defaults to the
+          [CBQT_TRACE] env var ([0]/[off], [1]/[steps], [2]/[full]) *)
   policy : Policy.t;
 }
 
@@ -90,6 +97,10 @@ let env_check =
       | "1" | "true" | "on" | "yes" -> true
       | _ -> false)
   | None -> false
+
+(** [CBQT_TRACE=steps|full] (or [1]/[2]) turns tracing on process-wide,
+    mirroring [CBQT_CHECK]. *)
+let env_trace = Tr.level_of_env ()
 
 let default_config =
   {
@@ -106,6 +117,7 @@ let default_config =
     juxtapose = true;
     check = env_check;
     memo = true;
+    trace = env_trace;
     policy = Policy.default;
   }
 
@@ -164,6 +176,9 @@ type result = {
   res_query : A.query;  (** the transformed query tree *)
   res_annotation : Planner.Annotation.t;  (** final physical plan *)
   res_report : report;
+  res_trace : Tr.t;
+      (** the run's span tree ({!Obs.Trace.disabled} when
+          [config.trace = Off]) *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -174,6 +189,7 @@ type ctx = {
   cat : Catalog.t;
   opt : Opt.t;
   cfg : config;
+  tr : Tr.t;
   mutable steps : step_report list;
   mutable total_objects : int;  (** for the two-pass policy rule *)
   mutable states_cutoff : int;
@@ -201,19 +217,44 @@ let sanitize (ctx : ctx) ~(tx : string) (q : A.query) : A.query =
     could). *)
 type outcome = O_cost of float | O_cutoff | O_error of string
 
+(** Attributes of one costing: how it ended, the cap it ran under and
+    the {!Planner.Opt_stats} increments it earned — the trace's unit of
+    attribution for annotation reuse and cut-off savings. *)
+let cost_attrs ~(cap : float option) ~before ~after (outcome : outcome) :
+    (string * Tr.value) list =
+  (match outcome with
+  | O_cost c -> [ ("outcome", Tr.S "cost"); ("cost", Tr.F c) ]
+  | O_cutoff -> [ ("outcome", Tr.S "cutoff") ]
+  | O_error msg -> [ ("outcome", Tr.S "error"); ("error", Tr.S msg) ])
+  @ (match cap with Some c -> [ ("cap", Tr.F c) ] | None -> [])
+  @ List.map
+      (fun (k, v) -> (k, Tr.I v))
+      (Planner.Opt_stats.delta ~before ~after)
+
 (** Cost a candidate query under the cost cut-off. *)
 let cost_of (ctx : ctx) ~(cap : float option) (q : A.query) : outcome =
-  Opt.set_cost_cap ctx.opt cap;
-  let r =
-    match Opt.optimize ctx.opt q with
-    | ann -> O_cost ann.Planner.Annotation.an_cost
-    | exception Opt.Cost_cap_exceeded -> O_cutoff
-    | exception Opt.Unsupported msg -> O_error ("unsupported: " ^ msg)
-    | exception Exec.Eval.Unbound_column (a, c) ->
-        O_error (Printf.sprintf "unbound column %s.%s" a c)
-  in
-  Opt.set_cost_cap ctx.opt None;
-  r
+  Tr.wrap_with ctx.tr Tr.Cost "cost" (fun sp ->
+      let before =
+        match sp with
+        | None -> None
+        | Some _ -> Some (Planner.Opt_stats.copy (Opt.stats ctx.opt))
+      in
+      Opt.set_cost_cap ctx.opt cap;
+      let r =
+        match Opt.optimize ctx.opt q with
+        | ann -> O_cost ann.Planner.Annotation.an_cost
+        | exception Opt.Cost_cap_exceeded -> O_cutoff
+        | exception Opt.Unsupported msg -> O_error ("unsupported: " ^ msg)
+        | exception Exec.Eval.Unbound_column (a, c) ->
+            O_error (Printf.sprintf "unbound column %s.%s" a c)
+      in
+      Opt.set_cost_cap ctx.opt None;
+      (match before with
+      | None -> ()
+      | Some before ->
+          Tr.add_attrs sp
+            (cost_attrs ~cap ~before ~after:(Opt.stats ctx.opt) r));
+      r)
 
 (** Cost one search state and fold the outcome into the run counters:
     cut-offs and errors both score [infinity] for the search, but are
@@ -284,15 +325,22 @@ let cost_step (ctx : ctx) (name : string)
       match heuristic_mask with
       | None -> q
       | Some h ->
-          let mask = h ctx.cat q in
-          if List.exists Fun.id mask then
-            sanitize ctx ~tx:(name ^ " (heuristic)")
-              (apply_mask ctx.cat q mask)
-          else q)
+          Tr.wrap_with ctx.tr Tr.Attempt name (fun sp ->
+              let mask = h ctx.cat q in
+              if List.exists Fun.id mask then (
+                Tr.add_attrs sp [ ("outcome", Tr.S "heuristic-applied") ];
+                sanitize ctx ~tx:(name ^ " (heuristic)")
+                  (apply_mask ctx.cat q mask))
+              else (
+                Tr.add_attrs sp [ ("outcome", Tr.S "heuristic-skip") ];
+                q)))
   | D_cost ->
+      Tr.wrap_with ctx.tr Tr.Attempt name (fun sp ->
       let objs = objects ctx.cat q in
       let n = List.length objs in
-      if n = 0 then q
+      if n = 0 then (
+        Tr.add_attrs sp [ ("outcome", Tr.S "not-applicable") ];
+        q)
       else (
         ctx.total_objects <- ctx.total_objects + n;
         let strategy =
@@ -302,6 +350,7 @@ let cost_step (ctx : ctx) (name : string)
         let best_seen = ref infinity in
         let base_ok = ref false in
         let eval mask =
+          Tr.wrap ctx.tr Tr.State (Search.mask_to_string mask) (fun () ->
           let is_base = not (List.exists Fun.id mask) in
           let touched = ref Walk.Sset.empty in
           let q' =
@@ -335,7 +384,7 @@ let cost_step (ctx : ctx) (name : string)
             | _ -> c
           in
           if c < !best_seen then best_seen := c;
-          c
+          c)
         in
         let res =
           Search.run
@@ -349,9 +398,20 @@ let cost_step (ctx : ctx) (name : string)
           ~strategy:(Search.strategy_name strategy)
           ~states:res.Search.r_states ~chosen:res.Search.r_best ~base
           ~best:res.Search.r_best_cost;
-        if List.exists Fun.id res.Search.r_best then
+        let applied = List.exists Fun.id res.Search.r_best in
+        Tr.add_attrs sp
+          [
+            ("outcome", Tr.S (if applied then "applied" else "cost-rejected"));
+            ("objects", Tr.I n);
+            ("strategy", Tr.S (Search.strategy_name strategy));
+            ("states", Tr.I res.Search.r_states);
+            ("mask", Tr.S (Search.mask_to_string res.Search.r_best));
+            ("base_cost", Tr.F base);
+            ("best_cost", Tr.F res.Search.r_best_cost);
+          ];
+        if applied then
           sanitize ctx ~tx:name (apply_mask ctx.cat q res.Search.r_best)
-        else q)
+        else q))
 
 (* ------------------------------------------------------------------ *)
 (* Group-by view merging with juxtaposition against JPPD                *)
@@ -363,30 +423,40 @@ let cost_step (ctx : ctx) (name : string)
     pushdown winner is left untransformed here and picked up by the
     sequential JPPD step later (the paper's mitigation in 3.3.3). *)
 let gb_merge_juxtaposed (ctx : ctx) (q : A.query) : A.query =
+  Tr.wrap_with ctx.tr Tr.Attempt "gb-view-merge" (fun sp ->
   let merge_objs = T.Gb_view_merge.discover ctx.cat q in
   let n = List.length merge_objs in
-  if n = 0 then q
+  if n = 0 then (
+    Tr.add_attrs sp [ ("outcome", Tr.S "not-applicable") ];
+    q)
   else (
     ctx.total_objects <- ctx.total_objects + n;
     let states = ref 0 in
     let best_seen = ref infinity in
     let base_ok = ref false in
-    let eval ~is_base ~dirty q' =
-      incr states;
-      ignore (sanitize ctx ~tx:"gb-view-merge (search state)" q');
-      let cap = if !best_seen < infinity then Some !best_seen else None in
-      let c = score ctx ~tx:"gb-view-merge" ~is_base ~base_ok ~cap ~dirty q' in
-      if c < !best_seen then best_seen := c;
-      c
+    let eval ~label ~is_base ~dirty q' =
+      Tr.wrap ctx.tr Tr.State label (fun () ->
+          incr states;
+          ignore (sanitize ctx ~tx:"gb-view-merge (search state)" q');
+          let cap = if !best_seen < infinity then Some !best_seen else None in
+          let c =
+            score ctx ~tx:"gb-view-merge" ~is_base ~base_ok ~cap ~dirty q'
+          in
+          if c < !best_seen then best_seen := c;
+          c)
     in
     let chosen = ref [] in
     let current = ref q in
-    let base = eval ~is_base:true ~dirty:None q in
+    let base = eval ~label:"base" ~is_base:true ~dirty:None q in
     List.iteri
-      (fun _i (qb, alias) ->
+      (fun i (qb, alias) ->
         (* [!current] was fully costed when it was accepted, so nothing
            in it is dirty *)
-        let cost_none = eval ~is_base:false ~dirty:(Some Walk.Sset.empty) !current in
+        let cost_none =
+          eval
+            ~label:(Printf.sprintf "%d:none" i)
+            ~is_base:false ~dirty:(Some Walk.Sset.empty) !current
+        in
         (* merging exactly this object on the current tree *)
         let cur_objs = T.Gb_view_merge.discover ctx.cat !current in
         let mask =
@@ -401,7 +471,10 @@ let gb_merge_juxtaposed (ctx : ctx) (q : A.query) : A.query =
         in
         let cost_merge =
           if merged == !current then infinity
-          else eval ~is_base:false ~dirty:(Some !merge_touched) merged
+          else
+            eval
+              ~label:(Printf.sprintf "%d:merge" i)
+              ~is_base:false ~dirty:(Some !merge_touched) merged
         in
         (* the JPPD rival on the same view, if applicable *)
         let jppd_objs = T.Jppd.discover ctx.cat !current in
@@ -412,7 +485,9 @@ let gb_merge_juxtaposed (ctx : ctx) (q : A.query) : A.query =
           if ctx.cfg.juxtapose && List.exists Fun.id jppd_mask then (
             let touched = ref Walk.Sset.empty in
             let q'' = T.Jppd.apply_mask ~touched ctx.cat !current jppd_mask in
-            eval ~is_base:false ~dirty:(Some !touched) q'')
+            eval
+              ~label:(Printf.sprintf "%d:jppd" i)
+              ~is_base:false ~dirty:(Some !touched) q'')
           else infinity
         in
         if cost_merge < cost_none && cost_merge <= cost_jppd then (
@@ -422,24 +497,42 @@ let gb_merge_juxtaposed (ctx : ctx) (q : A.query) : A.query =
       merge_objs;
     record ctx "gb-view-merge" ~objects:n ~strategy:"juxtaposed-linear"
       ~states:!states ~chosen:(List.rev !chosen) ~base ~best:!best_seen;
-    !current)
+    let applied = List.exists Fun.id !chosen in
+    Tr.add_attrs sp
+      [
+        ("outcome", Tr.S (if applied then "applied" else "cost-rejected"));
+        ("objects", Tr.I n);
+        ("strategy", Tr.S "juxtaposed-linear");
+        ("states", Tr.I !states);
+        ("mask", Tr.S (Search.mask_to_string (List.rev !chosen)));
+        ("base_cost", Tr.F base);
+        ("best_cost", Tr.F !best_seen);
+      ];
+    !current))
 
 (* ------------------------------------------------------------------ *)
 (* The pipeline                                                         *)
 (* ------------------------------------------------------------------ *)
 
+(** One imperative (heuristic) transformation, traced as an attempt
+    whose outcome is [applied] or [no-change] (transformations return
+    the input tree physically unchanged when they do nothing). *)
+let imperative (ctx : ctx) (name : string) (f : Catalog.t -> A.query -> A.query)
+    (q : A.query) : A.query =
+  Tr.wrap_with ctx.tr Tr.Attempt name (fun sp ->
+      let q' = sanitize ctx ~tx:name (f ctx.cat q) in
+      Tr.add_attrs sp
+        [ ("outcome", Tr.S (if q' == q then "no-change" else "applied")) ];
+      q')
+
 let heuristics (ctx : ctx) (q : A.query) : A.query =
   if not ctx.cfg.heuristic_phase then q
   else
     q
-    |> T.View_merge_spj.apply ctx.cat
-    |> sanitize ctx ~tx:"view-merge-spj"
-    |> T.Join_elim.apply ctx.cat
-    |> sanitize ctx ~tx:"join-elim"
-    |> T.Predicate_move.apply ctx.cat
-    |> sanitize ctx ~tx:"predicate-move"
-    |> T.Group_prune.apply ctx.cat
-    |> sanitize ctx ~tx:"group-prune"
+    |> imperative ctx "view-merge-spj" T.View_merge_spj.apply
+    |> imperative ctx "join-elim" T.Join_elim.apply
+    |> imperative ctx "predicate-move" T.Predicate_move.apply
+    |> imperative ctx "group-prune" T.Group_prune.apply
 
 let transform (ctx : ctx) (q : A.query) : A.query =
   (* 1. imperative phase: SPJ view merging, join elimination,
@@ -452,7 +545,7 @@ let transform (ctx : ctx) (q : A.query) : A.query =
     match ctx.cfg.unnest with
     | D_off -> q
     | D_heuristic | D_cost ->
-        let q = sanitize ctx ~tx:"unnest-merge" (T.Unnest_merge.apply ctx.cat q) in
+        let q = imperative ctx "unnest-merge" T.Unnest_merge.apply q in
         cost_step ctx "unnest" ~objects:T.Unnest_view.objects
           ~apply_mask:T.Unnest_view.apply_mask
           ~interleave_with:T.Gb_view_merge.apply_all
@@ -464,8 +557,7 @@ let transform (ctx : ctx) (q : A.query) : A.query =
     | D_off -> q
     | D_heuristic ->
         (* pre-10g behaviour: always merge when legal *)
-        sanitize ctx ~tx:"gb-view-merge (heuristic)"
-          (T.Gb_view_merge.apply_all ctx.cat q)
+        imperative ctx "gb-view-merge (heuristic)" T.Gb_view_merge.apply_all q
     | D_cost -> gb_merge_juxtaposed ctx q
   in
   (* 4. re-run pruning / predicate motion over the rewritten tree *)
@@ -510,24 +602,46 @@ let transform (ctx : ctx) (q : A.query) : A.query =
 let optimize ?(config = default_config) (cat : Catalog.t) (q : A.query) :
     result =
   let t0 = Unix.gettimeofday () in
+  let tr =
+    if config.trace = Tr.Off then Tr.disabled else Tr.create config.trace
+  in
   let opt =
-    if config.memo then Opt.create ~annot_cache:(Hashtbl.create 64) cat
-    else Opt.create cat
+    if config.memo then Opt.create ~annot_cache:(Hashtbl.create 64) ~tracer:tr cat
+    else Opt.create ~tracer:tr cat
   in
   let ctx =
     {
       cat;
       opt;
       cfg = config;
+      tr;
       steps = [];
       total_objects = 0;
       states_cutoff = 0;
       states_errored = 0;
     }
   in
+  let root = Tr.enter tr Tr.Driver "cbqt" in
   ignore (sanitize ctx ~tx:"input" q);
   let q' = transform ctx q in
-  let ann = Opt.optimize opt q' in
+  (* the final plan optimization is traced like a costing so the
+     counter deltas it earns (often all identity hits) stay attributed *)
+  let ann =
+    Tr.wrap_with tr Tr.Cost "final-plan" (fun sp ->
+        let before =
+          match sp with
+          | None -> None
+          | Some _ -> Some (Planner.Opt_stats.copy (Opt.stats opt))
+        in
+        let ann = Opt.optimize opt q' in
+        (match before with
+        | None -> ()
+        | Some before ->
+            Tr.add_attrs sp
+              (cost_attrs ~cap:None ~before ~after:(Opt.stats opt)
+                 (O_cost ann.Planner.Annotation.an_cost)));
+        ann)
+  in
   (if config.check then
      let diags =
        Analysis.Plan_check.check_annotated cat
@@ -537,6 +651,9 @@ let optimize ?(config = default_config) (cat : Catalog.t) (q : A.query) :
      match Analysis.Diagnostics.errors diags with
      | [] -> ()
      | errs -> raise (Analysis.Diagnostics.Check_failed ("physical-plan", errs)));
+  Tr.add_attrs root
+    [ ("final_cost", Tr.F ann.Planner.Annotation.an_cost) ];
+  Tr.exit_ tr root;
   let t1 = Unix.gettimeofday () in
   let states_total =
     List.fold_left (fun acc s -> acc + s.sr_states) 0 ctx.steps
@@ -561,21 +678,96 @@ let optimize ?(config = default_config) (cat : Catalog.t) (q : A.query) :
         rp_final_cost = ann.Planner.Annotation.an_cost;
         rp_opt_seconds = t1 -. t0;
       };
+    res_trace = tr;
   }
 
+(** Stable, aligned report format: one [label value] line per counter
+    (fixed label column, counters in a fixed order), then one aligned
+    line per transformation step. Tooling that scrapes the output can
+    rely on the label text and ordering. *)
 let pp_report ppf (r : report) =
-  Fmt.pf ppf
-    "optimization: %.3fms, %d states (%d cut off, %d errored), %d blocks \
-     optimized, %d reused (%d ident + %d fp), %d join orders pruned, final \
-     cost %.1f@."
-    (r.rp_opt_seconds *. 1000.)
-    r.rp_states_total r.rp_states_cutoff r.rp_states_errored
-    r.rp_blocks_optimized r.rp_cache_hits r.rp_ident_hits r.rp_fp_hits
-    r.rp_dp_pruned r.rp_final_cost;
+  let line label pp_v = Fmt.pf ppf "  %-18s %t@." label pp_v in
+  Fmt.pf ppf "optimization report@.";
+  line "wall clock" (fun ppf -> Fmt.pf ppf "%.3f ms" (r.rp_opt_seconds *. 1000.));
+  line "states total" (fun ppf -> Fmt.pf ppf "%d" r.rp_states_total);
+  line "states cutoff" (fun ppf -> Fmt.pf ppf "%d" r.rp_states_cutoff);
+  line "states errored" (fun ppf -> Fmt.pf ppf "%d" r.rp_states_errored);
+  line "blocks started" (fun ppf -> Fmt.pf ppf "%d" r.rp_blocks_started);
+  line "blocks optimized" (fun ppf -> Fmt.pf ppf "%d" r.rp_blocks_optimized);
+  line "reuse ident" (fun ppf -> Fmt.pf ppf "%d" r.rp_ident_hits);
+  line "reuse fp" (fun ppf -> Fmt.pf ppf "%d" r.rp_fp_hits);
+  line "reuse total" (fun ppf -> Fmt.pf ppf "%d" r.rp_cache_hits);
+  line "dp pruned" (fun ppf -> Fmt.pf ppf "%d" r.rp_dp_pruned);
+  line "dirty misses" (fun ppf -> Fmt.pf ppf "%d" r.rp_dirty_misses);
+  line "final cost" (fun ppf -> Fmt.pf ppf "%.1f" r.rp_final_cost);
+  Fmt.pf ppf "  steps@.";
   List.iter
     (fun s ->
-      Fmt.pf ppf "  %-20s objects=%d strategy=%-12s states=%-3d chosen=%s (%.1f -> %.1f)@."
+      Fmt.pf ppf
+        "    %-20s objects=%-2d strategy=%-18s states=%-3d chosen=%s \
+         (%.1f -> %.1f)@."
         s.sr_name s.sr_objects s.sr_strategy s.sr_states
         (Search.mask_to_string s.sr_chosen)
         s.sr_base_cost s.sr_best_cost)
     r.rp_steps
+
+(* ------------------------------------------------------------------ *)
+(* Report / trace consistency                                           *)
+(* ------------------------------------------------------------------ *)
+
+(** The report counters re-derived from a [Full]-level trace: states
+    from the State spans, cut-offs and errors from the Cost spans'
+    [outcome] attribute, and every {!Planner.Opt_stats} counter by
+    summing the [d_]-prefixed deltas over the Cost spans (which include
+    the final-plan costing). Returned in [report] shape with the fields
+    a trace does not carry ([rp_steps], costs, wall clock) zeroed. *)
+let counts_of_trace (tr : Tr.t) : report =
+  let cost_attr key = Tr.sum_int_attr tr Tr.Cost key in
+  let ident = cost_attr "d_ident_hits" and fp = cost_attr "d_fp_hits" in
+  {
+    rp_steps = [];
+    rp_states_total = Tr.count_kind tr Tr.State;
+    rp_states_cutoff = Tr.count_kind_attr tr Tr.Cost "outcome" "cutoff";
+    rp_states_errored = Tr.count_kind_attr tr Tr.Cost "outcome" "error";
+    rp_blocks_started = cost_attr "d_blocks_started";
+    rp_blocks_optimized = cost_attr "d_blocks_optimized";
+    rp_ident_hits = ident;
+    rp_fp_hits = fp;
+    rp_cache_hits = ident + fp;
+    rp_dp_pruned = cost_attr "d_dp_pruned";
+    rp_dirty_misses = cost_attr "d_dirty_misses";
+    rp_final_cost = 0.;
+    rp_opt_seconds = 0.;
+  }
+
+(** Check that a report and the trace of the same run can never
+    disagree: every counter the trace can derive must match the report
+    exactly. Only meaningful for a [Full]-level trace ([Error] explains
+    which counter diverged). *)
+let report_consistent (r : report) (tr : Tr.t) : (unit, string) Stdlib.result =
+  if Tr.level tr <> Tr.Full then
+    Error "report_consistent requires a Full-level trace"
+  else
+    let d = counts_of_trace tr in
+    let checks =
+      [
+        ("states_total", r.rp_states_total, d.rp_states_total);
+        ("states_cutoff", r.rp_states_cutoff, d.rp_states_cutoff);
+        ("states_errored", r.rp_states_errored, d.rp_states_errored);
+        ("blocks_started", r.rp_blocks_started, d.rp_blocks_started);
+        ("blocks_optimized", r.rp_blocks_optimized, d.rp_blocks_optimized);
+        ("ident_hits", r.rp_ident_hits, d.rp_ident_hits);
+        ("fp_hits", r.rp_fp_hits, d.rp_fp_hits);
+        ("cache_hits", r.rp_cache_hits, d.rp_cache_hits);
+        ("dp_pruned", r.rp_dp_pruned, d.rp_dp_pruned);
+        ("dirty_misses", r.rp_dirty_misses, d.rp_dirty_misses);
+      ]
+    in
+    match
+      List.find_opt (fun (_, rep, derived) -> rep <> derived) checks
+    with
+    | None -> Ok ()
+    | Some (name, rep, derived) ->
+        Error
+          (Printf.sprintf "%s: report says %d, trace derives %d" name rep
+             derived)

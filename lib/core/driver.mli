@@ -41,6 +41,13 @@ type config = {
           transformations of the run. [false] re-optimizes every block
           of every state from scratch — for measuring what the caches
           buy (Table 2) and for differential testing. Default [true]. *)
+  trace : Obs.Trace.level;
+      (** observability spans ({!Obs.Trace}): [Off] records nothing
+          (and costs nothing), [Steps] one span per transformation
+          attempt, [Full] adds per-state, per-costing and per-block
+          spans carrying {!Planner.Opt_stats} counter deltas. Defaults
+          to the [CBQT_TRACE] env var ([0]/[off], [1]/[steps],
+          [2]/[full]). *)
   policy : Policy.t;
 }
 
@@ -101,6 +108,10 @@ type result = {
   res_query : Sqlir.Ast.query;  (** the transformed query tree *)
   res_annotation : Planner.Annotation.t;  (** final physical plan *)
   res_report : report;
+  res_trace : Obs.Trace.t;
+      (** the run's span tree ({!Obs.Trace.disabled} when
+          [config.trace = Off]); render with {!Obs.Trace.pp_tree},
+          {!Obs.Trace.to_jsonl} or {!Obs.Trace.to_chrome} *)
 }
 
 val optimize : ?config:config -> Catalog.t -> Sqlir.Ast.query -> result
@@ -112,3 +123,19 @@ val optimize : ?config:config -> Catalog.t -> Sqlir.Ast.query -> result
     plan — fails its static checks. *)
 
 val pp_report : Format.formatter -> report -> unit
+(** Stable, aligned rendering: one [label value] line per counter in a
+    fixed order, then one aligned line per transformation step. *)
+
+val counts_of_trace : Obs.Trace.t -> report
+(** The report counters re-derived from a [Full]-level trace (states
+    from State spans, cut-offs/errors from Cost-span outcomes, the
+    {!Planner.Opt_stats} counters by summing [d_]-prefixed deltas over
+    Cost spans). Fields a trace does not carry ([rp_steps], costs, wall
+    clock) are zeroed. *)
+
+val report_consistent : report -> Obs.Trace.t -> (unit, string) Stdlib.result
+(** [report_consistent res_report res_trace] checks that the report and
+    the trace of the same run agree on every counter the trace can
+    derive — the two are produced from the same underlying events, so
+    any disagreement is a tracing bug. Requires a [Full]-level trace;
+    [Error] names the diverging counter. *)

@@ -1,0 +1,188 @@
+(** EXPLAIN ANALYZE: estimated vs. actual per-operator cardinalities.
+
+    Executes a physical plan with {!Exec.Executor.execute_analyzed} and
+    joins the per-operator actuals (calls, rows, {!Exec.Meter} deltas)
+    against the cost model's estimates ({!Planner.Plan_est}), reporting
+    the Q-error — [max(est/act, act/est)], the standard multiplicative
+    misestimation factor — per operator and for the whole query.
+
+    Actual rows are normalized {e per invocation} before comparison:
+    nested-loop inner sides and TIS subquery plans run once per outer
+    row, and their estimates are per execution, so comparing against
+    the accumulated total would misreport exactly the operators whose
+    cardinality matters most.
+
+    Per-operator meter charges are {e self} charges: the node's
+    accumulated meter minus its direct children's, so the self columns
+    sum to the whole-query meter (tested in [test_obs]). *)
+
+module Plan = Exec.Plan
+module Meter = Exec.Meter
+module Executor = Exec.Executor
+module Db = Storage.Db
+
+(** One operator row of the report, in pre-order. *)
+type op = {
+  op_plan : Plan.t;
+  op_depth : int;
+  op_label : string;
+  op_est_rows : float;  (** estimated output rows per invocation *)
+  op_calls : int;  (** closure invocations (0 = never executed) *)
+  op_total_rows : int;  (** rows produced, summed over invocations *)
+  op_act_rows : float;  (** actual rows per invocation *)
+  op_self : Meter.t;  (** meter charges net of children *)
+  op_q_error : float;  (** [nan] when the operator never executed *)
+  op_shared : bool;
+      (** repeat occurrence of a physically shared node: actuals and
+          self charges are reported at its first occurrence only *)
+}
+
+type t = {
+  ex_ops : op list;  (** pre-order over the plan *)
+  ex_rows : int;  (** result rows *)
+  ex_meter : Meter.t;  (** whole-query meter *)
+  ex_root_q_error : float;
+  ex_max_q_error : float;  (** worst executed operator *)
+  ex_median_q_error : float;
+}
+
+(** [q_error ~est ~act] = [max(est/act, act/est)] with both sides
+    clamped to at least one row, so "estimated 0.3, got 0" counts as
+    perfect rather than dividing by zero — the convention of the
+    cardinality-estimation literature. Always >= 1. *)
+let q_error ~est ~act =
+  let est = Float.max 1. est and act = Float.max 1. act in
+  Float.max (est /. act) (act /. est)
+
+module Ptbl = Hashtbl.Make (struct
+  type t = Plan.t
+
+  let equal = ( == )
+  let hash = Hashtbl.hash
+end)
+
+(** Execute [plan] against [db] and build the per-operator report. *)
+let analyze ?meter (db : Db.t) (plan : Plan.t) : t =
+  let _, rows, whole, stat_of = Executor.execute_analyzed ?meter db plan in
+  let est_root, est_of = Planner.Plan_est.estimate db.Db.cat plan in
+  ignore est_root;
+  let visited : unit Ptbl.t = Ptbl.create 64 in
+  let ops = ref [] in
+  let rec walk depth p =
+    let first = not (Ptbl.mem visited p) in
+    if first then Ptbl.add visited p ();
+    let stat = stat_of p in
+    let calls, total_rows =
+      if not first then (0, 0)
+      else
+        match stat with
+        | None -> (0, 0)
+        | Some st -> (st.Executor.ns_calls, st.Executor.ns_rows)
+    in
+    let self =
+      if not first then Meter.create ()
+      else
+        match stat with
+        | None -> Meter.create ()
+        | Some st ->
+            let m = Meter.copy st.Executor.ns_meter in
+            (* subtract each direct child's accumulated total; children
+               are unvisited here (pre-order), so a shared child is
+               consumed by its first parent only *)
+            List.iter
+              (fun c ->
+                if not (Ptbl.mem visited c) then
+                  match stat_of c with
+                  | Some cst ->
+                      Meter.add m
+                        (Meter.diff (Meter.create ()) cst.Executor.ns_meter)
+                  | None -> ())
+              (Plan.children p);
+            m
+    in
+    let act_rows = float_of_int total_rows /. float_of_int (max 1 calls) in
+    let est_rows = match est_of p with Some e -> e | None -> nan in
+    let qe = if calls = 0 then nan else q_error ~est:est_rows ~act:act_rows in
+    ops :=
+      {
+        op_plan = p;
+        op_depth = depth;
+        op_label = Plan.node_label p;
+        op_est_rows = est_rows;
+        op_calls = calls;
+        op_total_rows = total_rows;
+        op_act_rows = act_rows;
+        op_self = self;
+        op_q_error = qe;
+        op_shared = not first;
+      }
+      :: !ops;
+    List.iter (walk (depth + 1)) (Plan.children p)
+  in
+  walk 0 plan;
+  let ops = List.rev !ops in
+  let executed_qes =
+    List.filter_map
+      (fun o -> if Float.is_nan o.op_q_error then None else Some o.op_q_error)
+      ops
+  in
+  let root_qe =
+    match ops with
+    | o :: _ when not (Float.is_nan o.op_q_error) -> o.op_q_error
+    | _ -> nan
+  in
+  let max_qe = List.fold_left Float.max 1. executed_qes in
+  let median_qe =
+    match List.sort compare executed_qes with
+    | [] -> nan
+    | sorted -> List.nth sorted (List.length sorted / 2)
+  in
+  {
+    ex_ops = ops;
+    ex_rows = List.length rows;
+    ex_meter = whole;
+    ex_root_q_error = root_qe;
+    ex_max_q_error = max_qe;
+    ex_median_q_error = median_qe;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let fmt_rows f =
+  if Float.is_nan f then "-"
+  else if Float.is_integer f && Float.abs f < 1e7 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.1f" f
+
+let pp ppf (t : t) =
+  let width =
+    List.fold_left
+      (fun w o -> max w ((o.op_depth * 2) + String.length o.op_label))
+      4 t.ex_ops
+  in
+  Fmt.pf ppf "%-*s %10s %10s %7s %8s %12s@." width "PLAN" "est.rows"
+    "act.rows" "calls" "q-err" "self-work";
+  List.iter
+    (fun o ->
+      let label = String.make (o.op_depth * 2) ' ' ^ o.op_label in
+      if o.op_shared then
+        Fmt.pf ppf "%-*s %10s %10s %7s %8s %12s@." width label "(shared)" ""
+          "" "" ""
+      else
+        Fmt.pf ppf "%-*s %10s %10s %7d %8s %12.1f@." width label
+          (fmt_rows o.op_est_rows)
+          (if o.op_calls = 0 then "-" else fmt_rows o.op_act_rows)
+          o.op_calls
+          (if Float.is_nan o.op_q_error then "-"
+           else Printf.sprintf "%.2f" o.op_q_error)
+          (Meter.work o.op_self))
+    t.ex_ops;
+  Fmt.pf ppf "@.%d rows; total work %.1f@." t.ex_rows (Meter.work t.ex_meter);
+  Fmt.pf ppf "q-error: root %s, median %s, max %s@."
+    (if Float.is_nan t.ex_root_q_error then "-"
+     else Printf.sprintf "%.2f" t.ex_root_q_error)
+    (if Float.is_nan t.ex_median_q_error then "-"
+     else Printf.sprintf "%.2f" t.ex_median_q_error)
+    (Printf.sprintf "%.2f" t.ex_max_q_error)

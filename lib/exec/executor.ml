@@ -20,7 +20,28 @@ module Btree = Storage.Btree
 type row = Eval.row
 type layout = Eval.layout
 
-type ctx = { db : Db.t; meter : Meter.t }
+(** Per-operator runtime statistics collected in analyze mode. Rows and
+    meter charges accumulate over {e all} invocations of the node's
+    closure (nested-loop inner sides and TIS subquery plans run once
+    per outer row), and the meter includes the node's children — the
+    self-only share is recovered at report time by subtracting the
+    children's totals. *)
+type node_stat = {
+  mutable ns_calls : int;
+  mutable ns_rows : int;
+  ns_meter : Meter.t;
+}
+
+(* plan nodes keyed by physical identity: annotation reuse can share
+   subtrees, and a shared node must accumulate into one stat record *)
+module Ptbl = Hashtbl.Make (struct
+  type t = Plan.t
+
+  let equal = ( == )
+  let hash = Hashtbl.hash
+end)
+
+type ctx = { db : Db.t; meter : Meter.t; analyze : node_stat Ptbl.t option }
 
 exception Runtime_error of string
 
@@ -118,8 +139,33 @@ let acc_result (a : A.agg) acc ~rows_in_group =
 (* --------------------------------------------------------------- *)
 
 (** Compile [p] under correlation scopes [scopes]. The returned closure
-    takes the rows for those scopes and yields the operator's output. *)
+    takes the rows for those scopes and yields the operator's output.
+    In analyze mode every node's closure is wrapped to accumulate
+    per-node calls / rows / meter deltas; with [analyze = None] the
+    compiled closures are exactly the uninstrumented ones. *)
 let rec prepare (ctx : ctx) (scopes : layout list) (p : Plan.t) :
+    row list -> row list =
+  match ctx.analyze with
+  | None -> prepare_node ctx scopes p
+  | Some tbl ->
+      let f = prepare_node ctx scopes p in
+      let st =
+        match Ptbl.find_opt tbl p with
+        | Some st -> st
+        | None ->
+            let st = { ns_calls = 0; ns_rows = 0; ns_meter = Meter.create () } in
+            Ptbl.add tbl p st;
+            st
+      in
+      fun orows ->
+        let before = Meter.copy ctx.meter in
+        let rows = f orows in
+        st.ns_calls <- st.ns_calls + 1;
+        st.ns_rows <- st.ns_rows + List.length rows;
+        Meter.add st.ns_meter (Meter.diff ctx.meter before);
+        rows
+
+and prepare_node (ctx : ctx) (scopes : layout list) (p : Plan.t) :
     row list -> row list =
   let cat = ctx.db.Db.cat in
   let meter = ctx.meter in
@@ -1001,10 +1047,23 @@ and prepare_window ctx scopes child wins =
 let execute ?meter (db : Db.t) (plan : Plan.t) :
     layout * row list * Meter.t =
   let meter = match meter with Some m -> m | None -> Meter.create () in
-  let ctx = { db; meter } in
+  let ctx = { db; meter; analyze = None } in
   let f = prepare ctx [] plan in
   let rows = f [] in
   (Plan.layout plan db.Db.cat, rows, meter)
+
+(** Like {!execute} but with per-operator instrumentation (EXPLAIN
+    ANALYZE). The returned lookup maps a plan node (by physical
+    identity) to its accumulated {!node_stat}; nodes the execution
+    never reached have no entry. *)
+let execute_analyzed ?meter (db : Db.t) (plan : Plan.t) :
+    layout * row list * Meter.t * (Plan.t -> node_stat option) =
+  let meter = match meter with Some m -> m | None -> Meter.create () in
+  let tbl = Ptbl.create 64 in
+  let ctx = { db; meter; analyze = Some tbl } in
+  let f = prepare ctx [] plan in
+  let rows = f [] in
+  (Plan.layout plan db.Db.cat, rows, meter, fun p -> Ptbl.find_opt tbl p)
 
 (** Multiset equality of result sets, used by the equivalence tests:
     transformations must preserve the bag of result rows (row order is

@@ -86,6 +86,79 @@ let work t =
   +. (w_out *. float_of_int t.rows_out)
   +. (w_expensive *. float_of_int t.expensive_calls)
 
+let copy t =
+  {
+    rows_scanned = t.rows_scanned;
+    pages_read = t.pages_read;
+    idx_probes = t.idx_probes;
+    idx_entries = t.idx_entries;
+    rows_joined = t.rows_joined;
+    hash_build = t.hash_build;
+    hash_probe = t.hash_probe;
+    sort_compares = t.sort_compares;
+    agg_rows = t.agg_rows;
+    rows_out = t.rows_out;
+    subq_execs = t.subq_execs;
+    subq_cache_hits = t.subq_cache_hits;
+    expensive_calls = t.expensive_calls;
+  }
+
+(** [diff cur before] — the charges accrued between the [before]
+    snapshot and [cur], as a fresh meter. Field-wise subtraction, so
+    [work (diff cur before) = work cur - work before] exactly (the
+    weighted total is linear in the fields). *)
+let diff cur before =
+  {
+    rows_scanned = cur.rows_scanned - before.rows_scanned;
+    pages_read = cur.pages_read - before.pages_read;
+    idx_probes = cur.idx_probes - before.idx_probes;
+    idx_entries = cur.idx_entries - before.idx_entries;
+    rows_joined = cur.rows_joined - before.rows_joined;
+    hash_build = cur.hash_build - before.hash_build;
+    hash_probe = cur.hash_probe - before.hash_probe;
+    sort_compares = cur.sort_compares - before.sort_compares;
+    agg_rows = cur.agg_rows - before.agg_rows;
+    rows_out = cur.rows_out - before.rows_out;
+    subq_execs = cur.subq_execs - before.subq_execs;
+    subq_cache_hits = cur.subq_cache_hits - before.subq_cache_hits;
+    expensive_calls = cur.expensive_calls - before.expensive_calls;
+  }
+
+(** [add acc d] accumulates [d] into [acc] in place. *)
+let add acc d =
+  acc.rows_scanned <- acc.rows_scanned + d.rows_scanned;
+  acc.pages_read <- acc.pages_read + d.pages_read;
+  acc.idx_probes <- acc.idx_probes + d.idx_probes;
+  acc.idx_entries <- acc.idx_entries + d.idx_entries;
+  acc.rows_joined <- acc.rows_joined + d.rows_joined;
+  acc.hash_build <- acc.hash_build + d.hash_build;
+  acc.hash_probe <- acc.hash_probe + d.hash_probe;
+  acc.sort_compares <- acc.sort_compares + d.sort_compares;
+  acc.agg_rows <- acc.agg_rows + d.agg_rows;
+  acc.rows_out <- acc.rows_out + d.rows_out;
+  acc.subq_execs <- acc.subq_execs + d.subq_execs;
+  acc.subq_cache_hits <- acc.subq_cache_hits + d.subq_cache_hits;
+  acc.expensive_calls <- acc.expensive_calls + d.expensive_calls
+
+(** Field name / value pairs, for structured sinks and for tests that
+    check meter algebra field by field. *)
+let to_fields t =
+  [
+    ("rows_scanned", t.rows_scanned);
+    ("pages_read", t.pages_read);
+    ("idx_probes", t.idx_probes);
+    ("idx_entries", t.idx_entries);
+    ("rows_joined", t.rows_joined);
+    ("hash_build", t.hash_build);
+    ("hash_probe", t.hash_probe);
+    ("sort_compares", t.sort_compares);
+    ("agg_rows", t.agg_rows);
+    ("rows_out", t.rows_out);
+    ("subq_execs", t.subq_execs);
+    ("subq_cache_hits", t.subq_cache_hits);
+    ("expensive_calls", t.expensive_calls);
+  ]
+
 let pp ppf t =
   Fmt.pf ppf
     "scan=%d pages=%d probes=%d entries=%d join=%d hb=%d hp=%d cmp=%d agg=%d \

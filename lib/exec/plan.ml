@@ -202,6 +202,62 @@ let to_string p = Fmt.str "%a" (pp ~indent:0) p
 (** Fingerprint used by the workload runner's plan differ. *)
 let fingerprint p = Digest.to_hex (Digest.string (to_string p))
 
+(** One-line label for a node (no children), for EXPLAIN ANALYZE rows
+    and trace span names. *)
+let node_label (p : t) : string =
+  match p with
+  | Table_scan { table; alias; _ } ->
+      Printf.sprintf "TABLE SCAN %s %s" table alias
+  | Index_scan { table; alias; index; _ } ->
+      Printf.sprintf "INDEX SCAN %s(%s) %s" table index alias
+  | Join { meth; role; _ } -> jmethod_str meth ^ jrole_str role
+  | Filter { preds; _ } -> Printf.sprintf "FILTER (%d preds)" (List.length preds)
+  | Subq_filter { preds; _ } ->
+      Printf.sprintf "SUBQUERY FILTER (%d subqueries)" (List.length preds)
+  | Project { alias; items; _ } ->
+      Printf.sprintf "PROJECT %s (%d cols)" alias (List.length items)
+  | Aggregate { strategy; alias; keys; _ } ->
+      Printf.sprintf "GROUP BY (%s) %s (%d keys)"
+        (match strategy with `Hash -> "HASH" | `Sort -> "SORT")
+        alias (List.length keys)
+  | Window { alias; wins; _ } ->
+      Printf.sprintf "WINDOW %s (%d fns)" alias (List.length wins)
+  | Distinct _ -> "DISTINCT"
+  | Sort { keys; _ } -> Printf.sprintf "SORT (%d keys)" (List.length keys)
+  | Limit { n; _ } -> Printf.sprintf "ROWNUM <= %d" n
+  | Limit_filter { n; preds; _ } ->
+      Printf.sprintf "FILTER+ROWNUM <= %d (%d preds)" n (List.length preds)
+  | Union_all cs -> Printf.sprintf "UNION ALL (%d branches)" (List.length cs)
+  | Setop_exec { op; _ } -> (
+      match op with `Intersect -> "INTERSECT" | `Minus -> "MINUS")
+
+(** Direct children of a node. Subquery plans embedded in a
+    [Subq_filter]'s predicates count as children: they do real metered
+    work during execution, so any accounting walk must visit them. *)
+let children (p : t) : t list =
+  match p with
+  | Table_scan _ | Index_scan _ -> []
+  | Join { left; right; _ } -> [ left; right ]
+  | Filter { child; _ }
+  | Project { child; _ }
+  | Aggregate { child; _ }
+  | Window { child; _ }
+  | Sort { child; _ }
+  | Limit { child; _ }
+  | Limit_filter { child; _ } ->
+      [ child ]
+  | Subq_filter { child; preds } ->
+      child
+      :: List.map
+           (function
+             | SP_exists { plan; _ } | SP_in { plan; _ } | SP_cmp { plan; _ }
+               ->
+                 plan)
+           preds
+  | Distinct c -> [ c ]
+  | Union_all cs -> cs
+  | Setop_exec { left; right; _ } -> [ left; right ]
+
 (** All column references embedded anywhere in a plan (scan filters,
     probe expressions, join conditions, projections, aggregates, nested
     subquery plans). Used to determine a sub-plan's correlation

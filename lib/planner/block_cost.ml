@@ -124,19 +124,30 @@ and optimize_setop t ~outer ~out_alias op l r : Annotation.t =
       }
 
 and optimize_block t ~outer ~out_alias (b : A.block) : Annotation.t =
-  t.Ctx.stats.Opt_stats.blocks_started <-
-    t.Ctx.stats.Opt_stats.blocks_started + 1;
-  if b.from = [] then raise (Ctx.Unsupported "empty FROM clause");
-  let ann =
-    match rownum_fusion t ~outer ~out_alias b with
-    | Some ann -> ann
-    | None -> optimize_block_general t ~outer ~out_alias b
-  in
-  (* completion-counted: an abort (cost cut-off, unsupported shape)
-     unwinds past this point and does not count as a block optimized *)
-  t.Ctx.stats.Opt_stats.blocks_optimized <-
-    t.Ctx.stats.Opt_stats.blocks_optimized + 1;
-  ann
+  (* one Block span per optimization actually entered: cache hits in
+     {!optimize_query} never reach this point, so the spans measure
+     exactly the work annotation reuse did not save *)
+  Obs.Trace.wrap_with t.Ctx.tracer Obs.Trace.Block
+    (if out_alias = "" then b.A.qb_name else out_alias ^ ":" ^ b.A.qb_name)
+    (fun sp ->
+      t.Ctx.stats.Opt_stats.blocks_started <-
+        t.Ctx.stats.Opt_stats.blocks_started + 1;
+      if b.from = [] then raise (Ctx.Unsupported "empty FROM clause");
+      let ann =
+        match rownum_fusion t ~outer ~out_alias b with
+        | Some ann -> ann
+        | None -> optimize_block_general t ~outer ~out_alias b
+      in
+      (* completion-counted: an abort (cost cut-off, unsupported shape)
+         unwinds past this point and does not count as a block optimized *)
+      t.Ctx.stats.Opt_stats.blocks_optimized <-
+        t.Ctx.stats.Opt_stats.blocks_optimized + 1;
+      Obs.Trace.add_attrs sp
+        [
+          ("cost", Obs.Trace.F ann.Annotation.an_cost);
+          ("rows", Obs.Trace.F ann.Annotation.an_rows);
+        ];
+      ann)
 
 (** ROWNUM short-circuit: a simple single-source block with a row limit
     and expensive predicates evaluates the predicates streaming, row by

@@ -76,9 +76,14 @@ type t = {
           transformation — the analogue of the paper's caching of
           expensive optimizer computations such as dynamic sampling
           (Section 3.4.4) *)
+  tracer : Obs.Trace.t;
+      (** observability spans ({!Obs.Trace.disabled} unless the driver
+          threads a live trace through) — block-level spans are emitted
+          by {!Block_cost} for every optimization actually entered *)
 }
 
-let create ?(cfg = default_config) ?annot_cache cat =
+let create ?(cfg = default_config) ?annot_cache ?(tracer = Obs.Trace.disabled)
+    cat =
   {
     cat;
     cfg;
@@ -89,6 +94,7 @@ let create ?(cfg = default_config) ?annot_cache cat =
     cost_cap = None;
     fresh = 0;
     info_cache = Hashtbl.create 32;
+    tracer;
   }
 
 (** Annotation reuse is on iff a fingerprint cache was supplied. *)

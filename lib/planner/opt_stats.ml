@@ -56,6 +56,29 @@ let blocks_aborted s = s.blocks_started - s.blocks_optimized
     pre-split [cache_hits] figure). *)
 let cache_hits s = s.fp_hits + s.ident_hits
 
+let copy s =
+  {
+    blocks_started = s.blocks_started;
+    blocks_optimized = s.blocks_optimized;
+    fp_hits = s.fp_hits;
+    ident_hits = s.ident_hits;
+    dp_pruned = s.dp_pruned;
+    dirty_misses = s.dirty_misses;
+  }
+
+(** [delta ~before ~after] — counter increments between two snapshots,
+    as trace attributes. Keys carry the ["d_"] prefix the trace
+    validator checks for non-negativity (counters only ever grow). *)
+let delta ~before ~after : (string * int) list =
+  [
+    ("d_blocks_started", after.blocks_started - before.blocks_started);
+    ("d_blocks_optimized", after.blocks_optimized - before.blocks_optimized);
+    ("d_fp_hits", after.fp_hits - before.fp_hits);
+    ("d_ident_hits", after.ident_hits - before.ident_hits);
+    ("d_dp_pruned", after.dp_pruned - before.dp_pruned);
+    ("d_dirty_misses", after.dirty_misses - before.dirty_misses);
+  ]
+
 let pp ppf s =
   Fmt.pf ppf
     "blocks optimized %d (aborted %d), reuse ident %d + fp %d, dp pruned %d, \

@@ -43,6 +43,7 @@ type t = Opt_ctx.t = {
   mutable cost_cap : float option;
   mutable fresh : int;
   info_cache : (string, (string * Cost.Info.colinfo) list) Hashtbl.t;
+  tracer : Obs.Trace.t;
 }
 
 let create = Opt_ctx.create

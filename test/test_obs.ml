@@ -1,0 +1,321 @@
+(** Observability tests: the {!Obs.Trace} span-tree invariants, the
+    meter algebra behind EXPLAIN ANALYZE, report-from-trace consistency,
+    sink round-trips, and the guarantee that tracing never changes what
+    the optimizer decides. *)
+
+module QG = Workload.Query_gen
+module SG = Workload.Schema_gen
+module D = Cbqt.Driver
+module E = Cbqt.Explain
+module T = Obs.Trace
+module J = Obs.Json
+module M = Exec.Meter
+
+(* small database: these tests execute final plans *)
+let db, schema = SG.build ~families:2 ~sample_frac:0.5 ~row_scale:0.08 ~seed:7 ()
+let cat = db.Storage.Db.cat
+
+let all_classes =
+  [
+    QG.C_spj; QG.C_exists; QG.C_not_exists; QG.C_in_multi; QG.C_not_in;
+    QG.C_agg_subq; QG.C_gb_view; QG.C_distinct_view; QG.C_union_factor;
+    QG.C_gbp; QG.C_or; QG.C_setop; QG.C_pullup;
+  ]
+
+let query_of (cls, seed) =
+  let g = QG.create ~seed schema in
+  QG.generate g cls
+
+let gen_query =
+  QCheck.make
+    ~print:(fun (cls, seed) ->
+      Printf.sprintf "%s (seed %d)" (QG.class_name cls) seed)
+    QCheck.Gen.(pair (oneofl all_classes) (int_bound 100000))
+
+let full_config = { D.default_config with trace = T.Full }
+
+(* ------------------------------------------------------------------ *)
+(* Meter algebra (satellite: diff/add helpers)                          *)
+(* ------------------------------------------------------------------ *)
+
+let charge m ~scans ~probes ~outs =
+  m.M.rows_scanned <- m.M.rows_scanned + scans;
+  m.M.idx_probes <- m.M.idx_probes + probes;
+  m.M.rows_out <- m.M.rows_out + outs
+
+let test_meter_diff_add () =
+  let m = M.create () in
+  charge m ~scans:100 ~probes:7 ~outs:40;
+  let before = M.copy m in
+  charge m ~scans:23 ~probes:2 ~outs:5;
+  let d = M.diff m before in
+  Alcotest.(check (list (pair string int)))
+    "diff isolates the delta"
+    [
+      ("rows_scanned", 23); ("pages_read", 0); ("idx_probes", 2);
+      ("idx_entries", 0); ("rows_joined", 0); ("hash_build", 0);
+      ("hash_probe", 0); ("sort_compares", 0); ("agg_rows", 0);
+      ("rows_out", 5); ("subq_execs", 0); ("subq_cache_hits", 0);
+      ("expensive_calls", 0);
+    ]
+    (M.to_fields d);
+  (* work is linear in the fields, so it distributes over diff/add *)
+  Alcotest.(check (float 1e-9))
+    "work(diff) = work(cur) - work(before)"
+    (M.work m -. M.work before)
+    (M.work d);
+  let acc = M.copy before in
+  M.add acc d;
+  Alcotest.(check (list (pair string int)))
+    "before + diff = cur" (M.to_fields m) (M.to_fields acc)
+
+(* per-operator self charges of EXPLAIN ANALYZE sum back to the
+   whole-query meter, field by field *)
+let test_self_charges_sum () =
+  let sql =
+    "SELECT f.id, d.region FROM f0_fact0 f, f0_dim0 d WHERE f.dim0_id = d.id \
+     AND d.grp = 1 AND EXISTS (SELECT 1 FROM f0_mid m WHERE m.id = f.mid_id)"
+  in
+  let q = Sqlparse.Parser.parse_exn cat sql in
+  let res = D.optimize cat q in
+  let ex = E.analyze db res.D.res_annotation.Planner.Annotation.an_plan in
+  let sum = M.create () in
+  List.iter (fun o -> M.add sum o.E.op_self) ex.E.ex_ops;
+  Alcotest.(check (list (pair string int)))
+    "sum of op self meters = whole-query meter"
+    (M.to_fields ex.E.ex_meter) (M.to_fields sum);
+  Alcotest.(check bool) "query produced rows" true (ex.E.ex_rows > 0)
+
+let prop_self_charges_sum =
+  QCheck.Test.make ~count:40 ~name:"explain self charges sum to query meter"
+    gen_query (fun input ->
+      let q = query_of input in
+      match D.optimize cat q with
+      | res ->
+          let ex =
+            E.analyze db res.D.res_annotation.Planner.Annotation.an_plan
+          in
+          let sum = M.create () in
+          List.iter (fun o -> M.add sum o.E.op_self) ex.E.ex_ops;
+          M.to_fields ex.E.ex_meter = M.to_fields sum
+      | exception _ -> QCheck.assume_fail ())
+
+(* ------------------------------------------------------------------ *)
+(* Explain: Q-error defined for every executed operator                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_qerror_every_operator () =
+  let sql =
+    "SELECT d.region, COUNT(*) AS n FROM f0_fact0 f, f0_dim0 d WHERE \
+     f.dim0_id = d.id GROUP BY d.region"
+  in
+  let q = Sqlparse.Parser.parse_exn cat sql in
+  let res = D.optimize cat q in
+  let ex = E.analyze db res.D.res_annotation.Planner.Annotation.an_plan in
+  List.iter
+    (fun o ->
+      if (not o.E.op_shared) && o.E.op_calls > 0 then (
+        Alcotest.(check bool)
+          (o.E.op_label ^ " has a q-error")
+          false
+          (Float.is_nan o.E.op_q_error);
+        Alcotest.(check bool)
+          (o.E.op_label ^ " q-error >= 1")
+          true (o.E.op_q_error >= 1.)))
+    ex.E.ex_ops;
+  Alcotest.(check bool)
+    "root executed, so the query has a q-error" false
+    (Float.is_nan ex.E.ex_root_q_error)
+
+let test_qerror_formula () =
+  Alcotest.(check (float 1e-9)) "over-estimate" 4. (E.q_error ~est:40. ~act:10.);
+  Alcotest.(check (float 1e-9)) "under-estimate" 4. (E.q_error ~est:10. ~act:40.);
+  Alcotest.(check (float 1e-9)) "exact" 1. (E.q_error ~est:10. ~act:10.);
+  Alcotest.(check (float 1e-9)) "sub-row clamps" 1. (E.q_error ~est:0.2 ~act:0.)
+
+(* ------------------------------------------------------------------ *)
+(* Trace invariants (satellite: property tests)                         *)
+(* ------------------------------------------------------------------ *)
+
+(* [T.validate] checks: ids sequential, spans closed, parents exist and
+   strictly nest intervals, every State span hangs off a transformation
+   attempt (or the driver root), counter deltas non-negative *)
+let prop_trace_valid =
+  QCheck.Test.make ~count:60 ~name:"driver traces satisfy span invariants"
+    gen_query (fun input ->
+      let q = query_of input in
+      match D.optimize ~config:full_config cat q with
+      | res -> T.validate res.D.res_trace = []
+      | exception _ -> QCheck.assume_fail ())
+
+let prop_report_consistent =
+  QCheck.Test.make ~count:60 ~name:"report counters re-derivable from trace"
+    gen_query (fun input ->
+      let q = query_of input in
+      match D.optimize ~config:full_config cat q with
+      | res -> (
+          match D.report_consistent res.D.res_report res.D.res_trace with
+          | Ok () -> true
+          | Error e -> QCheck.Test.fail_report e)
+      | exception _ -> QCheck.assume_fail ())
+
+(* tracing is observation only: same plan, same cost, same report *)
+let prop_tracing_inert =
+  QCheck.Test.make ~count:40 ~name:"tracing off vs full: identical outcome"
+    gen_query (fun input ->
+      let q = query_of input in
+      match
+        ( D.optimize ~config:{ D.default_config with trace = T.Off } cat q,
+          D.optimize ~config:full_config cat q )
+      with
+      | off, full ->
+          let fp r =
+            Exec.Plan.fingerprint r.D.res_annotation.Planner.Annotation.an_plan
+          in
+          let cost r = r.D.res_annotation.Planner.Annotation.an_cost in
+          fp off = fp full
+          && cost off = cost full
+          && off.D.res_report.D.rp_states_total
+             = full.D.res_report.D.rp_states_total
+          && off.D.res_report.D.rp_blocks_optimized
+             = full.D.res_report.D.rp_blocks_optimized
+      | exception _ -> QCheck.assume_fail ())
+
+let test_trace_off_records_nothing () =
+  let q = Sqlparse.Parser.parse_exn cat "SELECT d.region FROM f0_dim0 d" in
+  let res = D.optimize ~config:{ D.default_config with trace = T.Off } cat q in
+  Alcotest.(check int) "no spans" 0 (List.length (T.spans res.D.res_trace))
+
+let test_steps_level_filters () =
+  let q =
+    Sqlparse.Parser.parse_exn cat
+      "SELECT f.id FROM f0_fact0 f WHERE EXISTS (SELECT 1 FROM f0_mid m \
+       WHERE m.id = f.mid_id)"
+  in
+  let res =
+    D.optimize ~config:{ D.default_config with trace = T.Steps } cat q
+  in
+  let tr = res.D.res_trace in
+  Alcotest.(check bool)
+    "attempt spans present" true
+    (T.count_kind tr T.Attempt > 0);
+  Alcotest.(check int) "no state spans at Steps" 0 (T.count_kind tr T.State);
+  Alcotest.(check int) "no cost spans at Steps" 0 (T.count_kind tr T.Cost);
+  Alcotest.(check (list string)) "still a valid tree" [] (T.validate tr)
+
+(* ------------------------------------------------------------------ *)
+(* Sinks: JSONL round-trip, Chrome format, report rendering             *)
+(* ------------------------------------------------------------------ *)
+
+let traced_query () =
+  let q =
+    Sqlparse.Parser.parse_exn cat
+      "SELECT f.id FROM f0_fact0 f, f0_dim0 d WHERE f.dim0_id = d.id AND \
+       EXISTS (SELECT 1 FROM f0_mid m WHERE m.id = f.mid_id)"
+  in
+  D.optimize ~config:full_config cat q
+
+let test_jsonl_roundtrip () =
+  let res = traced_query () in
+  let doc = T.to_jsonl res.D.res_trace in
+  Alcotest.(check (list string)) "emitted JSONL validates" []
+    (T.validate_jsonl doc);
+  (* two concatenated runs (ids restart) must also validate *)
+  Alcotest.(check (list string))
+    "concatenated runs validate" []
+    (T.validate_jsonl (doc ^ doc));
+  (* a negative counter delta must be rejected *)
+  let bad =
+    {|{"id":1,"parent":0,"kind":"cost","name":"c","t0_us":0,"dur_us":1,"attrs":{"d_fp_hits":-1}}|}
+  in
+  Alcotest.(check bool)
+    "negative delta rejected" true
+    (T.validate_jsonl (bad ^ "\n") <> [])
+
+let test_chrome_sink () =
+  let res = traced_query () in
+  let doc = T.to_chrome res.D.res_trace in
+  match J.parse doc with
+  | Error e -> Alcotest.failf "chrome trace is not valid JSON: %s" e
+  | Ok j -> (
+      match J.member "traceEvents" j with
+      | Some (J.List evs) ->
+          Alcotest.(check int)
+            "one event per span"
+            (List.length (T.spans res.D.res_trace))
+            (List.length evs);
+          List.iter
+            (fun ev ->
+              match J.member "ph" ev with
+              | Some (J.Str "X") -> ()
+              | _ -> Alcotest.fail "event is not a complete (ph=X) event")
+            evs
+      | _ -> Alcotest.fail "no traceEvents array")
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let test_pp_report_stable () =
+  let res = traced_query () in
+  let s = Fmt.str "%a" D.pp_report res.D.res_report in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("report mentions " ^ needle) true
+        (contains s needle))
+    [
+      "wall clock"; "states total"; "states cutoff"; "blocks optimized";
+      "reuse total"; "final cost"; "steps";
+    ]
+
+let test_level_parsing () =
+  List.iter
+    (fun (s, expect) ->
+      Alcotest.(check bool)
+        ("level " ^ s) true
+        (T.level_of_string s = expect))
+    [
+      ("off", Some T.Off); ("0", Some T.Off); ("steps", Some T.Steps);
+      ("1", Some T.Steps); ("full", Some T.Full); ("2", Some T.Full);
+      ("bogus", None);
+    ]
+
+(* ------------------------------------------------------------------ *)
+
+let qsuite = List.map QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "meter",
+        [
+          Alcotest.test_case "diff/add algebra" `Quick test_meter_diff_add;
+          Alcotest.test_case "self charges sum (unit)" `Quick
+            test_self_charges_sum;
+        ]
+        @ qsuite [ prop_self_charges_sum ] );
+      ( "explain",
+        [
+          Alcotest.test_case "q-error for every operator" `Quick
+            test_qerror_every_operator;
+          Alcotest.test_case "q-error formula" `Quick test_qerror_formula;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "off records nothing" `Quick
+            test_trace_off_records_nothing;
+          Alcotest.test_case "steps level filters kinds" `Quick
+            test_steps_level_filters;
+        ]
+        @ qsuite [ prop_trace_valid; prop_report_consistent; prop_tracing_inert ]
+      );
+      ( "sinks",
+        [
+          Alcotest.test_case "jsonl round-trip" `Quick test_jsonl_roundtrip;
+          Alcotest.test_case "chrome trace events" `Quick test_chrome_sink;
+          Alcotest.test_case "pp_report stable labels" `Quick
+            test_pp_report_stable;
+          Alcotest.test_case "level parsing" `Quick test_level_parsing;
+        ] );
+    ]
