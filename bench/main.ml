@@ -15,6 +15,9 @@
     - [figure4] — Figure 4: join predicate pushdown disabled vs.
       cost-based, over a view-join slice.
     - [gbp]     — Section 4.3: group-by placement on vs. off.
+    - [cache]   — plan-cache throughput: warm (soft parse) vs cold
+      (full CBQT compile) over repeated parameterized statements, plus
+      the stats-epoch invalidation path.
     - [observability] — trace aggregates (states/sec, cut-off share,
       span coverage), the Q-error distribution over every executed
       operator, and the wall-clock cost of leaving tracing on.
@@ -469,6 +472,134 @@ let gbp () =
        ())
 
 (* ------------------------------------------------------------------ *)
+(* Plan cache: soft- vs hard-parse throughput                           *)
+(* ------------------------------------------------------------------ *)
+
+(* optimizer-heavy classes, so compile time (what the cache removes)
+   dominates over execution *)
+let cache_mix =
+  [
+    (QG.C_spj, 0.2);
+    (QG.C_exists, 0.2);
+    (QG.C_in_multi, 0.2);
+    (QG.C_agg_subq, 0.2);
+    (QG.C_gb_view, 0.2);
+  ]
+
+(** Warm-cache vs cold-compile throughput over repeated parameterized
+    statements: [shapes] query shapes, each instantiated as several
+    literal variants (same structural fingerprint, different
+    constants). Cold runs every statement through the full CBQT
+    pipeline; warm runs them through {!Service} with a populated plan
+    cache, so every statement soft-parses. A statistics refresh at the
+    end exercises the epoch-based invalidation path. *)
+let cache () =
+  let module Fp = Sqlir.Fingerprint in
+  let module V = Sqlir.Value in
+  (* small rows: this section measures the parse path, not execution *)
+  let db, schema =
+    SG.build ~families:2 ~sample_frac:!sample ~row_scale:0.04 ~seed:!seed ()
+  in
+  let g = QG.create ~seed:(!seed lxor 0xCAFE) schema in
+  let shapes = scaled 40 in
+  let variants = 5 in
+  let items = QG.workload ~mix:cache_mix g shapes in
+  let all_queries =
+    List.concat_map
+      (fun it ->
+        let pq, extracted = Fp.parameterize it.QG.it_query in
+        List.init variants (fun j ->
+            let binds =
+              Array.of_list
+                (List.map
+                   (function V.Int n -> V.Int (n + j) | v -> v)
+                   extracted)
+            in
+            Fp.instantiate pq binds))
+      items
+  in
+  let config =
+    { Service.default_config with Service.capacity = 4 * shapes }
+  in
+  let svc = Service.create ~config db in
+  (* warm-up pass: populates the cache (one miss per shape) and drops
+     the few shapes the pipeline cannot compile, identically for both
+     measured paths *)
+  let queries =
+    List.filter
+      (fun q ->
+        match Service.exec_ir svc q [] with
+        | _ -> true
+        | exception _ -> false)
+      all_queries
+  in
+  let n = List.length queries in
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun q ->
+      let res = D.optimize db.Storage.Db.cat q in
+      ignore
+        (Exec.Executor.execute db
+           res.D.res_annotation.Planner.Annotation.an_plan))
+    queries;
+  let cold_s = Unix.gettimeofday () -. t0 in
+  let t0 = Unix.gettimeofday () in
+  List.iter (fun q -> ignore (Service.exec_ir svc q [])) queries;
+  let warm_s = Unix.gettimeofday () -. t0 in
+  (* statistics refresh: every table's stats epoch bumps, so each shape
+     recompiles once (the cost-delta guard may keep the old plan) *)
+  Storage.Stats_gather.analyze db;
+  let reval = ref 0 and inval = ref 0 in
+  List.iter
+    (fun q ->
+      match (Service.exec_ir svc q []).Service.r_outcome with
+      | Service.Revalidated -> incr reval
+      | Service.Invalidated -> incr inval
+      | Service.Hit | Service.Miss -> ())
+    queries;
+  let rp = Service.report svc in
+  let cold_qps = float_of_int n /. Float.max 1e-9 cold_s in
+  let warm_qps = float_of_int n /. Float.max 1e-9 warm_s in
+  let speedup = warm_qps /. Float.max 1e-9 cold_qps in
+  Fmt.pr
+    "%d statements (%d shapes x %d literal variants, %d compilable)@.@."
+    (List.length all_queries) shapes variants n;
+  Fmt.pr "cold (full CBQT each):  %8.1f qps (%.1f ms)@." cold_qps
+    (1000. *. cold_s);
+  Fmt.pr "warm (plan cache):      %8.1f qps (%.1f ms)  -> %.1fx@." warm_qps
+    (1000. *. warm_s) speedup;
+  Fmt.pr
+    "soft parse avg %.1f us (%d), hard parse avg %.1f us (%d), hit rate \
+     %.2f@."
+    rp.Service.sv_soft_avg_us rp.Service.sv_soft_parses
+    rp.Service.sv_hard_avg_us rp.Service.sv_hard_parses rp.Service.sv_hit_rate;
+  Fmt.pr
+    "stats refresh: %d invalidations (%d plans replaced, %d kept by the \
+     cost-delta guard)@."
+    rp.Service.sv_invalidations !inval !reval;
+  Fmt.pr "%a" Service.pp_report rp;
+  if speedup < 5. then
+    Fmt.pr "WARNING: warm-cache speedup %.1fx below the 5x target@." speedup;
+  jadd "statements" (jint n);
+  jadd "shapes" (jint shapes);
+  jadd "variants" (jint variants);
+  jadd "cold_qps" (jfloat cold_qps);
+  jadd "warm_qps" (jfloat warm_qps);
+  jadd "speedup" (jfloat speedup);
+  jadd "hit_rate" (jfloat rp.Service.sv_hit_rate);
+  jadd "soft_parse_avg_us" (jfloat rp.Service.sv_soft_avg_us);
+  jadd "hard_parse_avg_us" (jfloat rp.Service.sv_hard_avg_us);
+  jadd "soft_parses" (jint rp.Service.sv_soft_parses);
+  jadd "hard_parses" (jint rp.Service.sv_hard_parses);
+  jadd "invalidations" (jint rp.Service.sv_invalidations);
+  jadd "plans_replaced" (jint !inval);
+  jadd "plans_kept_by_guard" (jint !reval);
+  jadd "evictions" (jint rp.Service.sv_evictions);
+  jadd "fp_collisions" (jint rp.Service.sv_collisions);
+  jadd "cache_entries" (jint rp.Service.sv_entries);
+  jadd "cache_memory_words" (jint rp.Service.sv_memory_words)
+
+(* ------------------------------------------------------------------ *)
 (* Observability: trace aggregates + Q-error distribution               *)
 (* ------------------------------------------------------------------ *)
 
@@ -619,6 +750,7 @@ let () =
   run_section "figure3" figure3;
   run_section "figure4" figure4;
   run_section "gbp" gbp;
+  run_section "cache" cache;
   run_section "observability" observability;
   if !json then write_json "BENCH_cbqt.json";
   Fmt.pr "@.done.@."

@@ -334,6 +334,181 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Execute a query and print results + work meter")
     Term.(const run $ sql $ mode $ limit $ check_flag)
 
+let serve_cmd =
+  let file =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE"
+          ~doc:"SQL file, one statement per line ($(b,-) = stdin)")
+  in
+  let workload =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "workload" ] ~docv:"N"
+          ~doc:"serve $(docv) generated workload queries instead of a file")
+  in
+  let repeat =
+    Arg.(
+      value & opt int 2
+      & info [ "repeat" ] ~docv:"R"
+          ~doc:
+            "run the batch $(docv) times through one service (later passes \
+             exercise the warm plan cache)")
+  in
+  let seed =
+    Arg.(value & opt int 2006 & info [ "seed" ] ~doc:"workload seed")
+  in
+  let capacity =
+    Arg.(
+      value & opt int 128
+      & info [ "cache-capacity" ] ~docv:"N" ~doc:"plan-cache entry bound")
+  in
+  let min_hit_rate =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "min-hit-rate" ] ~docv:"F"
+          ~doc:
+            "exit non-zero unless the final pass's cache hit rate is at \
+             least $(docv)")
+  in
+  let validate_trace =
+    Arg.(
+      value & flag
+      & info [ "validate-trace" ]
+          ~doc:
+            "check the service's cache-span tree and its JSON-Lines \
+             rendering; exit non-zero on any violation")
+  in
+  let binds =
+    Arg.(
+      value & opt_all string []
+      & info [ "bind" ] ~docv:"VALUE"
+          ~doc:
+            "bind value for the explicit :n markers of every statement \
+             (repeatable, in marker order; int / float / string)")
+  in
+  let bind_value s =
+    match int_of_string_opt s with
+    | Some n -> V.Int n
+    | None -> (
+        match float_of_string_opt s with
+        | Some f -> V.Float f
+        | None -> V.Str s)
+  in
+  let run file workload repeat seed capacity min_hit_rate validate_trace binds
+      =
+    let module Svc = Service in
+    let module Pc = Service.Plan_cache in
+    let bvs = List.map bind_value binds in
+    let db, stmts =
+      match (workload, file) with
+      | Some n, _ ->
+          let db, schema =
+            Workload.Schema_gen.build ~families:2 ~sample_frac:0.3 ~seed ()
+          in
+          let g = Workload.Query_gen.create ~seed schema in
+          ( db,
+            List.map
+              (fun it -> `Ir it.Workload.Query_gen.it_query)
+              (Workload.Query_gen.workload g n) )
+      | None, Some f ->
+          let ic = if f = "-" then stdin else open_in f in
+          let lines = ref [] in
+          (try
+             while true do
+               let l = String.trim (input_line ic) in
+               if l <> "" && not (String.length l >= 2 && String.sub l 0 2 = "--")
+               then lines := l :: !lines
+             done
+           with End_of_file -> ());
+          if f <> "-" then close_in ic;
+          (demo_db (), List.rev_map (fun l -> `Sql l) !lines)
+      | None, None ->
+          Fmt.epr "serve: need FILE or --workload N@.";
+          exit 2
+    in
+    if stmts = [] then (
+      Fmt.epr "serve: no statements@.";
+      exit 2);
+    let config =
+      { Svc.default_config with Svc.capacity; trace = Obs.Trace.Steps }
+    in
+    let svc = Svc.create ~config db in
+    let exec_one stmt =
+      try
+        let q =
+          match stmt with
+          | `Sql sql -> Sqlparse.Parser.parse_exn db.Storage.Db.cat sql
+          | `Ir q -> q
+        in
+        (* each statement consumes only the binds it references *)
+        let need = Sqlir.Fingerprint.binds_count q in
+        let r = Svc.exec_ir svc q (List.filteri (fun i _ -> i < need) bvs) in
+        List.length r.Svc.r_rows
+      with
+      | Sqlparse.Parser.Parse_error msg ->
+          Fmt.epr "serve: parse error: %s@." msg;
+          exit 1
+      | Invalid_argument msg ->
+          Fmt.epr "serve: %s@." msg;
+          exit 1
+    in
+    let n = List.length stmts in
+    let last_rate = ref 0. in
+    for pass = 1 to max 1 repeat do
+      let st = Pc.stats (Svc.cache svc) in
+      let hits0 = st.Pc.hits in
+      let t0 = Unix.gettimeofday () in
+      let rows = List.fold_left (fun acc s -> acc + exec_one s) 0 stmts in
+      let dt = Unix.gettimeofday () -. t0 in
+      let hits = st.Pc.hits - hits0 in
+      last_rate := float_of_int hits /. float_of_int n;
+      Fmt.pr
+        "pass %d: %d stmts, %d rows in %.1f ms (%.0f qps), %d cache hits \
+         (rate %.2f)@."
+        pass n rows (1000. *. dt)
+        (float_of_int n /. Float.max 1e-9 dt)
+        hits !last_rate
+    done;
+    Fmt.pr "%a" Svc.pp_report (Svc.report svc);
+    let bad_rate =
+      match min_hit_rate with
+      | Some m when !last_rate < m ->
+          Fmt.epr "serve: final-pass hit rate %.2f below required %.2f@."
+            !last_rate m;
+          true
+      | _ -> false
+    in
+    let bad_trace =
+      if not validate_trace then false
+      else (
+        let tr = Svc.tracer svc in
+        let errs =
+          Obs.Trace.validate tr
+          @ List.map
+              (fun e -> "jsonl: " ^ e)
+              (Obs.Trace.validate_jsonl (Obs.Trace.to_jsonl tr))
+        in
+        List.iter (fun e -> Fmt.epr "invalid: %s@." e) errs;
+        if errs = [] then Fmt.epr "validate: ok (%d cache spans)@."
+            (Obs.Trace.count_kind tr Obs.Trace.Cache);
+        errs <> [])
+    in
+    if bad_rate || bad_trace then 1 else 0
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Batch-execute statements through the shared plan cache (soft \
+          parse / bind parameterization) and report hit rates and parse \
+          timings")
+    Term.(
+      const run $ file $ workload $ repeat $ seed $ capacity $ min_hit_rate
+      $ validate_trace $ binds)
+
 let schema_cmd =
   let run () =
     let db = demo_db () in
@@ -427,4 +602,4 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group (Cmd.info "cbqt" ~doc)
-          [ explain_cmd; run_cmd; trace_cmd; schema_cmd; check_cmd ]))
+          [ explain_cmd; run_cmd; serve_cmd; trace_cmd; schema_cmd; check_cmd ]))

@@ -1,0 +1,93 @@
+(** Over-copying detector (rule [TX001]).
+
+    The IR is immutable and transformations are expected to preserve
+    sharing ({!Transform.Tx.map_sharing}): a block a transformation did
+    not change must be the {e same} node — physically — in the output
+    tree. A freshly allocated block that is structurally identical to a
+    block of the input tree is a {e deep copy}: semantically harmless,
+    but it defeats the identity-keyed annotation reuse in
+    {!Planner.Optimizer} and silently reintroduces the per-state
+    copying cost the planner split removed (the deprecated
+    [Tx.deep_copy] identity was deleted for the same reason).
+
+    [check ~before ~after] flags every block of [after] that is absent
+    from [before] by physical identity yet structurally equal to some
+    [before] block. Findings are error-severity so sanitizer mode
+    ({!Cbqt.Driver}) fails loudly — over-copying is a transformation
+    bug, not an input property. *)
+
+open Sqlir
+module A = Ast
+module D = Diagnostics
+
+(** Physical identity table over query-block nodes. [Hashtbl.hash] is
+    depth-bounded, so hashing is O(1); [( == )] makes structural
+    collisions harmless. *)
+module Btbl = Hashtbl.Make (struct
+  type t = A.block
+
+  let equal = ( == )
+  let hash = Hashtbl.hash
+end)
+
+(** Every block of [q], including view bodies and subqueries of WHERE,
+    HAVING and join conditions. *)
+let rec fold_blocks acc (q : A.query) : A.block list =
+  match q with
+  | A.Setop (_, l, r) -> fold_blocks (fold_blocks acc l) r
+  | A.Block b ->
+      let fold_pred acc p =
+        List.fold_left fold_blocks acc (Walk.pred_subqueries p)
+      in
+      let acc = b :: acc in
+      let acc =
+        List.fold_left
+          (fun acc fe ->
+            let acc =
+              match fe.A.fe_source with
+              | A.S_table _ -> acc
+              | A.S_view v -> fold_blocks acc v
+            in
+            List.fold_left fold_pred acc fe.A.fe_cond)
+          acc b.A.from
+      in
+      let acc = List.fold_left fold_pred acc b.A.where in
+      List.fold_left fold_pred acc b.A.having
+
+let check ~(before : A.query) ~(after : A.query) : D.t list =
+  let old_blocks = fold_blocks [] before in
+  let ident = Btbl.create 64 in
+  List.iter (fun b -> Btbl.replace ident b ()) old_blocks;
+  (* structural lookup buckets on the qb_name-insensitive fingerprint,
+     verified by full structural equality *)
+  let structural : (int, A.block list) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun b ->
+      let h = Fingerprint.hash_block ~mode:Fingerprint.With_peeks b in
+      let bucket =
+        match Hashtbl.find_opt structural h with None -> [] | Some bs -> bs
+      in
+      Hashtbl.replace structural h (b :: bucket))
+    old_blocks;
+  let c = D.collector () in
+  List.iter
+    (fun b ->
+      if not (Btbl.mem ident b) then
+        let h =
+          Fingerprint.hash_block ~mode:Fingerprint.With_peeks b
+        in
+        let copied =
+          match Hashtbl.find_opt structural h with
+          | None -> false
+          | Some bucket -> List.exists (fun b' -> b' = b) bucket
+        in
+        if copied then
+          D.report c ~rule:"TX001" ~severity:D.Error ~path:D.root
+            "block %s rebuilt identically: over-copying defeats \
+             identity-keyed annotation reuse"
+            b.A.qb_name)
+    (fold_blocks [] after);
+  D.result c
+
+(** Error-severity findings only (currently all of them). *)
+let errors ~before ~after = D.errors (check ~before ~after)

@@ -113,6 +113,10 @@ let rec check_expr (c : D.collector) (scopes : scopes) ~clause ~path
   let self = check_expr c scopes ~clause ~path ~in_agg in
   match e with
   | A.Const _ -> ()
+  | A.Bind (i, _) ->
+      if i < 0 then
+        D.report c ~rule:"IR015" ~severity:D.Error ~path
+          "negative bind index :%d" (i + 1)
   | A.Col col -> check_col c scopes ~path col
   | A.Binop (_, a, b) ->
       self a;
@@ -213,6 +217,8 @@ let rec covered ~(keys : A.expr list) ~(local : Sset.t) ~(fd : Sset.t)
   ||
   match e with
   | A.Const _ -> true
+  (* a bind is constant within one execution, so it is covered *)
+  | A.Bind _ -> true
   | A.Agg _ -> true
   | A.Col c -> (not (Sset.mem c.A.c_alias local)) || Sset.mem c.A.c_alias fd
   | A.Binop (_, a, b) -> covered ~keys ~local ~fd a && covered ~keys ~local ~fd b

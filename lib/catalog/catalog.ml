@@ -54,6 +54,11 @@ type t = {
   tables : (string, table_def) Hashtbl.t;
   indexes : (string, index list) Hashtbl.t;  (** keyed by table name *)
   stats : (string, table_stats) Hashtbl.t;
+  epochs : (string, int) Hashtbl.t;
+      (** per-table stats epoch: bumped by every statistics refresh and
+          by DDL (table/index creation). Plan caches snapshot the epochs
+          of the tables a plan reads and treat any later bump as an
+          invalidation signal. *)
 }
 
 let create () =
@@ -61,7 +66,13 @@ let create () =
     tables = Hashtbl.create 64;
     indexes = Hashtbl.create 64;
     stats = Hashtbl.create 64;
+    epochs = Hashtbl.create 64;
   }
+
+(** Current stats epoch of [name] (0 for a table never analyzed). *)
+let epoch t name = Option.value ~default:0 (Hashtbl.find_opt t.epochs name)
+
+let bump_epoch t name = Hashtbl.replace t.epochs name (epoch t name + 1)
 
 exception Unknown_table of string
 exception Unknown_column of string * string
@@ -69,12 +80,14 @@ exception Unknown_column of string * string
 let add_table t (def : table_def) =
   Hashtbl.replace t.tables def.t_name def;
   if not (Hashtbl.mem t.indexes def.t_name) then
-    Hashtbl.replace t.indexes def.t_name []
+    Hashtbl.replace t.indexes def.t_name [];
+  bump_epoch t def.t_name
 
 let add_index t (ix : index) =
   if not (Hashtbl.mem t.tables ix.ix_table) then raise (Unknown_table ix.ix_table);
   let existing = try Hashtbl.find t.indexes ix.ix_table with Not_found -> [] in
-  Hashtbl.replace t.indexes ix.ix_table (existing @ [ ix ])
+  Hashtbl.replace t.indexes ix.ix_table (existing @ [ ix ]);
+  bump_epoch t ix.ix_table
 
 let find_table t name =
   match Hashtbl.find_opt t.tables name with
@@ -138,7 +151,9 @@ let fk_between t ~table ~cols ~ref_table ~ref_cols =
 
 let col_nullable t ~table ~col = (col_def t ~table ~col).c_nullable
 
-let set_stats t name (s : table_stats) = Hashtbl.replace t.stats name s
+let set_stats t name (s : table_stats) =
+  Hashtbl.replace t.stats name s;
+  bump_epoch t name
 
 let stats t name = Hashtbl.find_opt t.stats name
 

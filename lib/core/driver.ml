@@ -168,6 +168,9 @@ type report = {
   rp_dirty_misses : int;
       (** blocks reported clean by a transformation's dirty set that
           nevertheless missed the identity cache *)
+  rp_fp_collisions : int;
+      (** fingerprint-hash bucket entries that failed the full
+          structural comparison on probe (true hash collisions) *)
   rp_final_cost : float;
   rp_opt_seconds : float;
 }
@@ -202,13 +205,21 @@ type ctx = {
 
 (** In sanitizer mode, run {!Analysis.Ir_check} over [q] and raise
     {!Analysis.Diagnostics.Check_failed} — naming the transformation
-    [tx] that produced the tree — on any error-severity finding.
+    [tx] that produced the tree — on any error-severity finding. When
+    [base] (the tree the transformation started from) is supplied, also
+    run the {!Analysis.Copy_check} over-copying detector (rule TX001).
     Returns [q] unchanged so it chains inside pipelines. *)
-let sanitize (ctx : ctx) ~(tx : string) (q : A.query) : A.query =
-  (if ctx.cfg.check then
-     match Analysis.Ir_check.errors ctx.cat q with
+let sanitize (ctx : ctx) ~(tx : string) ?base (q : A.query) : A.query =
+  (if ctx.cfg.check then (
+     (match Analysis.Ir_check.errors ctx.cat q with
      | [] -> ()
      | errs -> raise (Analysis.Diagnostics.Check_failed (tx, errs)));
+     match base with
+     | Some b when b != q -> (
+         match Analysis.Copy_check.errors ~before:b ~after:q with
+         | [] -> ()
+         | errs -> raise (Analysis.Diagnostics.Check_failed (tx, errs)))
+     | _ -> ()));
   q
 
 (** How costing a search state ended: a real cost, a legitimate
@@ -329,7 +340,7 @@ let cost_step (ctx : ctx) (name : string)
               let mask = h ctx.cat q in
               if List.exists Fun.id mask then (
                 Tr.add_attrs sp [ ("outcome", Tr.S "heuristic-applied") ];
-                sanitize ctx ~tx:(name ^ " (heuristic)")
+                sanitize ctx ~tx:(name ^ " (heuristic)") ~base:q
                   (apply_mask ctx.cat q mask))
               else (
                 Tr.add_attrs sp [ ("outcome", Tr.S "heuristic-skip") ];
@@ -356,6 +367,7 @@ let cost_step (ctx : ctx) (name : string)
           let q' =
             sanitize ctx
               ~tx:(name ^ " (search state)")
+              ~base:q
               (apply_mask ~touched ctx.cat q mask)
           in
           let cap = if !best_seen < infinity then Some !best_seen else None in
@@ -370,7 +382,7 @@ let cost_step (ctx : ctx) (name : string)
                 let q'' =
                   sanitize ctx
                     ~tx:(name ^ " (interleaved search state)")
-                    (follow ctx.cat q')
+                    ~base:q' (follow ctx.cat q')
                 in
                 if q'' == q' || Pp.fingerprint q'' = Pp.fingerprint q' then c
                 else
@@ -410,7 +422,8 @@ let cost_step (ctx : ctx) (name : string)
             ("best_cost", Tr.F res.Search.r_best_cost);
           ];
         if applied then
-          sanitize ctx ~tx:name (apply_mask ctx.cat q res.Search.r_best)
+          sanitize ctx ~tx:name ~base:q
+            (apply_mask ctx.cat q res.Search.r_best)
         else q))
 
 (* ------------------------------------------------------------------ *)
@@ -437,7 +450,7 @@ let gb_merge_juxtaposed (ctx : ctx) (q : A.query) : A.query =
     let eval ~label ~is_base ~dirty q' =
       Tr.wrap ctx.tr Tr.State label (fun () ->
           incr states;
-          ignore (sanitize ctx ~tx:"gb-view-merge (search state)" q');
+          ignore (sanitize ctx ~tx:"gb-view-merge (search state)" ~base:q q');
           let cap = if !best_seen < infinity then Some !best_seen else None in
           let c =
             score ctx ~tx:"gb-view-merge" ~is_base ~base_ok ~cap ~dirty q'
@@ -675,6 +688,7 @@ let optimize ?(config = default_config) (cat : Catalog.t) (q : A.query) :
         rp_cache_hits = Planner.Opt_stats.cache_hits st;
         rp_dp_pruned = st.Planner.Opt_stats.dp_pruned;
         rp_dirty_misses = st.Planner.Opt_stats.dirty_misses;
+        rp_fp_collisions = st.Planner.Opt_stats.fp_collisions;
         rp_final_cost = ann.Planner.Annotation.an_cost;
         rp_opt_seconds = t1 -. t0;
       };
@@ -699,6 +713,7 @@ let pp_report ppf (r : report) =
   line "reuse total" (fun ppf -> Fmt.pf ppf "%d" r.rp_cache_hits);
   line "dp pruned" (fun ppf -> Fmt.pf ppf "%d" r.rp_dp_pruned);
   line "dirty misses" (fun ppf -> Fmt.pf ppf "%d" r.rp_dirty_misses);
+  line "fp collisions" (fun ppf -> Fmt.pf ppf "%d" r.rp_fp_collisions);
   line "final cost" (fun ppf -> Fmt.pf ppf "%.1f" r.rp_final_cost);
   Fmt.pf ppf "  steps@.";
   List.iter
@@ -736,6 +751,7 @@ let counts_of_trace (tr : Tr.t) : report =
     rp_cache_hits = ident + fp;
     rp_dp_pruned = cost_attr "d_dp_pruned";
     rp_dirty_misses = cost_attr "d_dirty_misses";
+    rp_fp_collisions = cost_attr "d_fp_collisions";
     rp_final_cost = 0.;
     rp_opt_seconds = 0.;
   }
@@ -761,6 +777,7 @@ let report_consistent (r : report) (tr : Tr.t) : (unit, string) Stdlib.result =
         ("cache_hits", r.rp_cache_hits, d.rp_cache_hits);
         ("dp_pruned", r.rp_dp_pruned, d.rp_dp_pruned);
         ("dirty_misses", r.rp_dirty_misses, d.rp_dirty_misses);
+        ("fp_collisions", r.rp_fp_collisions, d.rp_fp_collisions);
       ]
     in
     match

@@ -100,6 +100,9 @@ type report = {
       (** blocks a transformation's dirty set reported clean that
           nevertheless missed the identity cache (advisory: indicates a
           transformation over-copying untouched blocks) *)
+  rp_fp_collisions : int;
+      (** fingerprint-hash bucket entries that failed the full
+          structural comparison on probe (true hash collisions) *)
   rp_final_cost : float;
   rp_opt_seconds : float;
 }

@@ -47,6 +47,14 @@ let eq_join_sel (c1 : Info.colinfo) (c2 : Info.colinfo) =
     ((1. -. c1.ci_null_frac) *. (1. -. c2.ci_null_frac)
     /. Float.max 1. (Float.max c1.ci_ndv c2.ci_ndv))
 
+(** Constant value usable for estimation: a literal, or the peeked
+    value of a bind marker ({e bind peeking} — the peek steers the
+    estimate only, never plan legality). *)
+let peek_const = function
+  | A.Const v -> Some v
+  | A.Bind (_, v) when not (Value.is_null v) -> Some v
+  | _ -> None
+
 (** Estimate the selectivity of [p] against environment [env]. Subquery
     predicates get a fixed default (they are costed separately by the
     TIS machinery, but their filtering effect on the stream still needs
@@ -55,10 +63,18 @@ let rec pred_sel (env : Info.rel_info) (p : A.pred) : float =
   match p with
   | A.True -> 1.0
   | A.False -> 1e-6
-  | A.Cmp (op, A.Col c, A.Const v) when Info.find_col env c <> None ->
-      cmp_const_sel (Option.get (Info.find_col env c)) op v
-  | A.Cmp (op, A.Const v, A.Col c) when Info.find_col env c <> None ->
-      cmp_const_sel (Option.get (Info.find_col env c)) (flip op) v
+  | A.Cmp (op, A.Col c, rhs)
+    when Info.find_col env c <> None && peek_const rhs <> None ->
+      cmp_const_sel
+        (Option.get (Info.find_col env c))
+        op
+        (Option.get (peek_const rhs))
+  | A.Cmp (op, lhs, A.Col c)
+    when Info.find_col env c <> None && peek_const lhs <> None ->
+      cmp_const_sel
+        (Option.get (Info.find_col env c))
+        (flip op)
+        (Option.get (peek_const lhs))
   | A.Cmp (op, a, b) -> (
       match (Info.expr_colinfo env a, Info.expr_colinfo env b) with
       | Some c1, Some c2 when op = A.Eq -> eq_join_sel c1 c2
@@ -74,8 +90,8 @@ let rec pred_sel (env : Info.rel_info) (p : A.pred) : float =
   | A.Between (a, lo, hi) -> (
       match Info.expr_colinfo env a with
       | Some ci -> (
-          match (lo, hi) with
-          | A.Const l, A.Const h ->
+          match (peek_const lo, peek_const hi) with
+          | Some l, Some h ->
               clamp
                 ((1. -. ci.ci_null_frac)
                 *. frac_of_range ci ~lo:(Some l) ~hi:(Some h))

@@ -46,26 +46,33 @@ let arith_op : Ast.arith -> _ = function
   | Ast.Mul -> `Mul
   | Ast.Div -> `Div
 
-let rec compile_expr ~(meter : Meter.t) (scopes : layout list) (e : Ast.expr) :
-    row list -> Value.t =
+let rec compile_expr ~(meter : Meter.t) ?(binds = [||]) (scopes : layout list)
+    (e : Ast.expr) : row list -> Value.t =
   match e with
   | Ast.Const v -> fun _ -> v
+  | Ast.Bind (i, peek) ->
+      (* Bind values are fixed for one execution, so the lookup happens
+         at compile (prepare) time. A plan executed without the bind
+         vector it references falls back to the peeked value the plan
+         was compiled under. *)
+      let v = if i >= 0 && i < Array.length binds then binds.(i) else peek in
+      fun _ -> v
   | Ast.Col c ->
       let depth, i = resolve scopes c in
       fun rows -> fetch rows depth i
   | Ast.Binop (op, a, b) ->
-      let fa = compile_expr ~meter scopes a
-      and fb = compile_expr ~meter scopes b
+      let fa = compile_expr ~meter ~binds scopes a
+      and fb = compile_expr ~meter ~binds scopes b
       and op = arith_op op in
       fun rows -> Value.arith op (fa rows) (fb rows)
   | Ast.Neg a ->
-      let fa = compile_expr ~meter scopes a in
+      let fa = compile_expr ~meter ~binds scopes a in
       fun rows -> Value.neg (fa rows)
   | Ast.Agg _ -> raise (Unlowered "aggregate in scalar position")
   | Ast.Win _ -> raise (Unlowered "window function in scalar position")
   | Ast.Fn (name, args) ->
       let def = Funcs.find_exn name in
-      let fargs = List.map (compile_expr ~meter scopes) args in
+      let fargs = List.map (compile_expr ~meter ~binds scopes) args in
       fun rows ->
         if def.f_expensive then meter.expensive_calls <- meter.expensive_calls + 1;
         def.f_eval (List.map (fun f -> f rows) fargs)
@@ -73,10 +80,10 @@ let rec compile_expr ~(meter : Meter.t) (scopes : layout list) (e : Ast.expr) :
       let farms =
         List.map
           (fun (p, e) ->
-            (compile_pred ~meter scopes p, compile_expr ~meter scopes e))
+            (compile_pred ~meter ~binds scopes p, compile_expr ~meter ~binds scopes e))
           arms
       in
-      let fels = Option.map (compile_expr ~meter scopes) els in
+      let fels = Option.map (compile_expr ~meter ~binds scopes) els in
       fun rows ->
         let rec go = function
           | [] -> ( match fels with None -> Value.Null | Some f -> f rows)
@@ -85,8 +92,8 @@ let rec compile_expr ~(meter : Meter.t) (scopes : layout list) (e : Ast.expr) :
         in
         go farms
 
-and compile_pred ~(meter : Meter.t) (scopes : layout list) (p : Ast.pred) :
-    row list -> bool option =
+and compile_pred ~(meter : Meter.t) ?(binds = [||]) (scopes : layout list)
+    (p : Ast.pred) : row list -> bool option =
   let not3 = function None -> None | Some b -> Some (not b) in
   let and3 a b =
     match (a, b) with
@@ -104,38 +111,38 @@ and compile_pred ~(meter : Meter.t) (scopes : layout list) (p : Ast.pred) :
   | Ast.True -> fun _ -> Some true
   | Ast.False -> fun _ -> Some false
   | Ast.Cmp (op, a, b) ->
-      let fa = compile_expr ~meter scopes a
-      and fb = compile_expr ~meter scopes b in
+      let fa = compile_expr ~meter ~binds scopes a
+      and fb = compile_expr ~meter ~binds scopes b in
       let test = cmp_test op in
       fun rows -> Option.map test (Value.compare_sql (fa rows) (fb rows))
   | Ast.Between (a, lo, hi) ->
-      let fa = compile_expr ~meter scopes a
-      and flo = compile_expr ~meter scopes lo
-      and fhi = compile_expr ~meter scopes hi in
+      let fa = compile_expr ~meter ~binds scopes a
+      and flo = compile_expr ~meter ~binds scopes lo
+      and fhi = compile_expr ~meter ~binds scopes hi in
       fun rows ->
         let v = fa rows in
         and3
           (Option.map (fun c -> c >= 0) (Value.compare_sql v (flo rows)))
           (Option.map (fun c -> c <= 0) (Value.compare_sql v (fhi rows)))
   | Ast.Is_null a ->
-      let fa = compile_expr ~meter scopes a in
+      let fa = compile_expr ~meter ~binds scopes a in
       fun rows -> Some (Value.is_null (fa rows))
   | Ast.Not a ->
-      let fa = compile_pred ~meter scopes a in
+      let fa = compile_pred ~meter ~binds scopes a in
       fun rows -> not3 (fa rows)
   | Ast.Lnnvl a ->
-      let fa = compile_pred ~meter scopes a in
+      let fa = compile_pred ~meter ~binds scopes a in
       fun rows -> Some (fa rows <> Some true)
   | Ast.And (a, b) ->
-      let fa = compile_pred ~meter scopes a
-      and fb = compile_pred ~meter scopes b in
+      let fa = compile_pred ~meter ~binds scopes a
+      and fb = compile_pred ~meter ~binds scopes b in
       fun rows -> and3 (fa rows) (fb rows)
   | Ast.Or (a, b) ->
-      let fa = compile_pred ~meter scopes a
-      and fb = compile_pred ~meter scopes b in
+      let fa = compile_pred ~meter ~binds scopes a
+      and fb = compile_pred ~meter ~binds scopes b in
       fun rows -> or3 (fa rows) (fb rows)
   | Ast.In_list (e, vs) ->
-      let fe = compile_expr ~meter scopes e in
+      let fe = compile_expr ~meter ~binds scopes e in
       fun rows ->
         let v = fe rows in
         if Value.is_null v then None
@@ -145,7 +152,7 @@ and compile_pred ~(meter : Meter.t) (scopes : layout list) (p : Ast.pred) :
         else Some false
   | Ast.Pred_fn (name, args) ->
       let def = Funcs.find_exn name in
-      let fargs = List.map (compile_expr ~meter scopes) args in
+      let fargs = List.map (compile_expr ~meter ~binds scopes) args in
       fun rows ->
         if def.f_expensive then meter.expensive_calls <- meter.expensive_calls + 1;
         (match def.f_eval (List.map (fun f -> f rows) fargs) with

@@ -41,7 +41,12 @@ module Ptbl = Hashtbl.Make (struct
   let hash = Hashtbl.hash
 end)
 
-type ctx = { db : Db.t; meter : Meter.t; analyze : node_stat Ptbl.t option }
+type ctx = {
+  db : Db.t;
+  meter : Meter.t;
+  analyze : node_stat Ptbl.t option;
+  binds : Value.t array;  (** values for the plan's [Bind] markers *)
+}
 
 exception Runtime_error of string
 
@@ -169,11 +174,12 @@ and prepare_node (ctx : ctx) (scopes : layout list) (p : Plan.t) :
     row list -> row list =
   let cat = ctx.db.Db.cat in
   let meter = ctx.meter in
+  let binds = ctx.binds in
   let self_layout = Plan.layout p cat in
   match p with
   | Plan.Table_scan { table; alias = _; filter } ->
       let rel = Db.relation ctx.db table in
-      let fs = List.map (Eval.compile_pred ~meter (self_layout :: scopes)) filter in
+      let fs = List.map (Eval.compile_pred ~meter ~binds (self_layout :: scopes)) filter in
       fun orows ->
         meter.pages_read <- meter.pages_read + Relation.pages rel;
         let acc = ref [] in
@@ -186,18 +192,18 @@ and prepare_node (ctx : ctx) (scopes : layout list) (p : Plan.t) :
   | Plan.Index_scan { table; alias = _; index; prefix; lo; hi; filter } ->
       let rel = Db.relation ctx.db table in
       let bt = Db.index ctx.db ~table ~name:index in
-      let fprefix = List.map (Eval.compile_expr ~meter scopes) prefix in
+      let fprefix = List.map (Eval.compile_expr ~meter ~binds scopes) prefix in
       let bound = function
         | Plan.R_unbounded -> fun _ -> Btree.Unbounded
         | Plan.R_incl e ->
-            let f = Eval.compile_expr ~meter scopes e in
+            let f = Eval.compile_expr ~meter ~binds scopes e in
             fun orows -> Btree.Incl (f orows)
         | Plan.R_excl e ->
-            let f = Eval.compile_expr ~meter scopes e in
+            let f = Eval.compile_expr ~meter ~binds scopes e in
             fun orows -> Btree.Excl (f orows)
       in
       let flo = bound lo and fhi = bound hi in
-      let fs = List.map (Eval.compile_pred ~meter (self_layout :: scopes)) filter in
+      let fs = List.map (Eval.compile_pred ~meter ~binds (self_layout :: scopes)) filter in
       let full_key_eq =
         List.length prefix = List.length bt.Btree.bt_cols
       in
@@ -227,7 +233,7 @@ and prepare_node (ctx : ctx) (scopes : layout list) (p : Plan.t) :
         out ctx (List.rev !acc)
   | Plan.Filter { child; preds } ->
       let fchild = prepare ctx scopes child in
-      let fs = List.map (Eval.compile_pred ~meter (self_layout :: scopes)) preds in
+      let fs = List.map (Eval.compile_pred ~meter ~binds (self_layout :: scopes)) preds in
       fun orows ->
         out ctx
           (List.filter (fun r -> Eval.passes fs (r :: orows)) (fchild orows))
@@ -236,7 +242,7 @@ and prepare_node (ctx : ctx) (scopes : layout list) (p : Plan.t) :
       let fchild = prepare ctx scopes child in
       let fitems =
         List.map
-          (fun (e, _) -> Eval.compile_expr ~meter (child_layout :: scopes) e)
+          (fun (e, _) -> Eval.compile_expr ~meter ~binds (child_layout :: scopes) e)
           items
       in
       fun orows ->
@@ -271,7 +277,7 @@ and prepare_node (ctx : ctx) (scopes : layout list) (p : Plan.t) :
       let kfs =
         List.map
           (fun (e, _) ->
-            let f = Eval.compile_expr ~meter (child_layout :: scopes) e in
+            let f = Eval.compile_expr ~meter ~binds (child_layout :: scopes) e in
             f)
           keys
       in
@@ -288,7 +294,7 @@ and prepare_node (ctx : ctx) (scopes : layout list) (p : Plan.t) :
   | Plan.Limit_filter { child; preds; n } ->
       let fchild = prepare ctx scopes child in
       let fs =
-        List.map (Eval.compile_pred ~meter (self_layout :: scopes)) preds
+        List.map (Eval.compile_pred ~meter ~binds (self_layout :: scopes)) preds
       in
       fun orows ->
         (* streaming: stop evaluating predicates once the quota fills *)
@@ -356,6 +362,7 @@ and equi_split left_aliases right_aliases cond =
 and prepare_join ctx scopes ~meth ~role ~left ~right ~cond =
   let cat = ctx.db.Db.cat in
   let meter = ctx.meter in
+  let binds = ctx.binds in
   let left_layout = Plan.layout left cat in
   let right_layout = Plan.layout right cat in
   let combined = Array.append left_layout right_layout in
@@ -390,7 +397,7 @@ and prepare_join ctx scopes ~meth ~role ~left ~right ~cond =
       let fright = prepare ctx (left_layout :: scopes) right in
       let right_corr = Plan.corr_positions right left_layout in
       let fcond =
-        List.map (Eval.compile_pred ~meter (combined :: scopes)) cond
+        List.map (Eval.compile_pred ~meter ~binds (combined :: scopes)) cond
       in
       let fconds3 = fcond in
       let right_cache : row list Vkey.t ref = ref Vkey.empty in
@@ -479,18 +486,18 @@ and prepare_join ctx scopes ~meth ~role ~left ~right ~cond =
       if keys = [] then
         invalid_arg "Executor: hash join requires at least one equi-conjunct";
       let flk =
-        List.map (fun (a, _) -> Eval.compile_expr ~meter (left_layout :: scopes) a) keys
+        List.map (fun (a, _) -> Eval.compile_expr ~meter ~binds (left_layout :: scopes) a) keys
       in
       let frk =
-        List.map (fun (_, b) -> Eval.compile_expr ~meter (right_layout :: scopes) b) keys
+        List.map (fun (_, b) -> Eval.compile_expr ~meter ~binds (right_layout :: scopes) b) keys
       in
       let fres =
-        List.map (Eval.compile_pred ~meter (combined :: scopes)) residual
+        List.map (Eval.compile_pred ~meter ~binds (combined :: scopes)) residual
       in
       (* 3VL per-conjunct evaluation of the full condition, used by the
          null-aware antijoin's possible-match check *)
       let fconds3 =
-        List.map (Eval.compile_pred ~meter (combined :: scopes)) cond
+        List.map (Eval.compile_pred ~meter ~binds (combined :: scopes)) cond
       in
       fun orows ->
         let rrows = fright orows in
@@ -574,13 +581,13 @@ and prepare_join ctx scopes ~meth ~role ~left ~right ~cond =
       if keys = [] then
         invalid_arg "Executor: merge join requires at least one equi-conjunct";
       let flk =
-        List.map (fun (a, _) -> Eval.compile_expr ~meter (left_layout :: scopes) a) keys
+        List.map (fun (a, _) -> Eval.compile_expr ~meter ~binds (left_layout :: scopes) a) keys
       in
       let frk =
-        List.map (fun (_, b) -> Eval.compile_expr ~meter (right_layout :: scopes) b) keys
+        List.map (fun (_, b) -> Eval.compile_expr ~meter ~binds (right_layout :: scopes) b) keys
       in
       let fres =
-        List.map (Eval.compile_pred ~meter (combined :: scopes)) residual
+        List.map (Eval.compile_pred ~meter ~binds (combined :: scopes)) residual
       in
       fun orows ->
         let lkeyed =
@@ -663,6 +670,7 @@ and prepare_join ctx scopes ~meth ~role ~left ~right ~cond =
 and prepare_subq_filter ctx scopes child preds =
   let cat = ctx.db.Db.cat in
   let meter = ctx.meter in
+  let binds = ctx.binds in
   let child_layout = Plan.layout child cat in
   let fchild = prepare ctx scopes child in
   let inner_scopes = child_layout :: scopes in
@@ -698,7 +706,7 @@ and prepare_subq_filter ctx scopes child preds =
               let non_empty = rows_of r orows <> [] in
               Some (if negated then not non_empty else non_empty)
         | Plan.SP_in { negated; lhs; plan } ->
-            let flhs = List.map (Eval.compile_expr ~meter inner_scopes) lhs in
+            let flhs = List.map (Eval.compile_expr ~meter ~binds inner_scopes) lhs in
             let rows_of = cached_rows plan in
             let width = List.length lhs in
             (* per inner-result index: hash set of null-free keys plus
@@ -780,7 +788,7 @@ and prepare_subq_filter ctx scopes child preds =
               | Some b -> Some (if negated then not b else b)
               | None -> None)
         | Plan.SP_cmp { op; lhs; quant; plan } ->
-            let flhs = Eval.compile_expr ~meter inner_scopes lhs in
+            let flhs = Eval.compile_expr ~meter ~binds inner_scopes lhs in
             let rows_of = cached_rows plan in
             let test = Eval.cmp_test op in
             let positions = Plan.corr_positions plan child_layout in
@@ -886,14 +894,15 @@ and prepare_subq_filter ctx scopes child preds =
 and prepare_aggregate ctx scopes child strategy keys aggs =
   let cat = ctx.db.Db.cat in
   let meter = ctx.meter in
+  let binds = ctx.binds in
   let child_layout = Plan.layout child cat in
   let inner = child_layout :: scopes in
   let fchild = prepare ctx scopes child in
-  let fkeys = List.map (fun (e, _) -> Eval.compile_expr ~meter inner e) keys in
+  let fkeys = List.map (fun (e, _) -> Eval.compile_expr ~meter ~binds inner e) keys in
   let faggs =
     List.map
       (fun (_, a, eo, dist) ->
-        (a, Option.map (Eval.compile_expr ~meter inner) eo, dist))
+        (a, Option.map (Eval.compile_expr ~meter ~binds inner) eo, dist))
       aggs
   in
   fun orows ->
@@ -949,6 +958,7 @@ and prepare_aggregate ctx scopes child strategy keys aggs =
 and prepare_window ctx scopes child wins =
   let cat = ctx.db.Db.cat in
   let meter = ctx.meter in
+  let binds = ctx.binds in
   let child_layout = Plan.layout child cat in
   let inner = child_layout :: scopes in
   let fchild = prepare ctx scopes child in
@@ -956,9 +966,9 @@ and prepare_window ctx scopes child wins =
     List.map
       (fun (_, a, eo, (w : A.win)) ->
         ( a,
-          Option.map (Eval.compile_expr ~meter inner) eo,
-          List.map (Eval.compile_expr ~meter inner) w.w_pby,
-          List.map (fun (e, _) -> Eval.compile_expr ~meter inner e) w.w_oby,
+          Option.map (Eval.compile_expr ~meter ~binds inner) eo,
+          List.map (Eval.compile_expr ~meter ~binds inner) w.w_pby,
+          List.map (fun (e, _) -> Eval.compile_expr ~meter ~binds inner e) w.w_oby,
           List.map snd w.w_oby ))
       wins
   in
@@ -1044,10 +1054,10 @@ and prepare_window ctx scopes child wins =
 
 (** Execute a complete (uncorrelated) plan against [db]. Returns the
     output layout and rows; work is charged to [meter]. *)
-let execute ?meter (db : Db.t) (plan : Plan.t) :
+let execute ?meter ?(binds = [||]) (db : Db.t) (plan : Plan.t) :
     layout * row list * Meter.t =
   let meter = match meter with Some m -> m | None -> Meter.create () in
-  let ctx = { db; meter; analyze = None } in
+  let ctx = { db; meter; analyze = None; binds } in
   let f = prepare ctx [] plan in
   let rows = f [] in
   (Plan.layout plan db.Db.cat, rows, meter)
@@ -1056,11 +1066,11 @@ let execute ?meter (db : Db.t) (plan : Plan.t) :
     ANALYZE). The returned lookup maps a plan node (by physical
     identity) to its accumulated {!node_stat}; nodes the execution
     never reached have no entry. *)
-let execute_analyzed ?meter (db : Db.t) (plan : Plan.t) :
+let execute_analyzed ?meter ?(binds = [||]) (db : Db.t) (plan : Plan.t) :
     layout * row list * Meter.t * (Plan.t -> node_stat option) =
   let meter = match meter with Some m -> m | None -> Meter.create () in
   let tbl = Ptbl.create 64 in
-  let ctx = { db; meter; analyze = Some tbl } in
+  let ctx = { db; meter; analyze = Some tbl; binds } in
   let f = prepare ctx [] plan in
   let rows = f [] in
   (Plan.layout plan db.Db.cat, rows, meter, fun p -> Ptbl.find_opt tbl p)

@@ -17,12 +17,15 @@
       earned them;
     - {b Block}: one span per query-block optimization actually entered
       by the physical optimizer (cache hits produce no span — they are
-      the work that {e didn't} happen).
+      the work that {e didn't} happen);
+    - {b Cache}: one span per plan-cache probe in the service layer
+      ({!Service}), carrying the hit/miss/invalidation outcome and the
+      soft/hard parse timings.
 
     Spans carry wall-clock start/duration plus free-form attributes.
     Levels gate collection: [Off] records nothing (and is within noise
-    of no tracing at all), [Steps] records Driver + Attempt spans,
-    [Full] records everything. Sinks: a pretty console tree, JSON-Lines
+    of no tracing at all), [Steps] records Driver + Attempt + Cache
+    spans, [Full] records everything. Sinks: a pretty console tree, JSON-Lines
     (one span object per line), and the Chrome trace-event format
     loadable in [chrome://tracing] / [ui.perfetto.dev]. *)
 
@@ -44,7 +47,7 @@ let level_of_env () =
   | None -> Off
   | Some v -> ( match level_of_string v with Some l -> l | None -> Off)
 
-type kind = Driver | Attempt | State | Cost | Block
+type kind = Driver | Attempt | State | Cost | Block | Cache
 
 let kind_name = function
   | Driver -> "driver"
@@ -52,6 +55,7 @@ let kind_name = function
   | State -> "state"
   | Cost -> "cost"
   | Block -> "block"
+  | Cache -> "cache"
 
 let kind_of_string = function
   | "driver" -> Some Driver
@@ -59,11 +63,12 @@ let kind_of_string = function
   | "state" -> Some State
   | "cost" -> Some Cost
   | "block" -> Some Block
+  | "cache" -> Some Cache
   | _ -> None
 
 (* minimum level at which a kind is recorded *)
 let kind_level = function
-  | Driver | Attempt -> Steps
+  | Driver | Attempt | Cache -> Steps
   | State | Cost | Block -> Full
 
 let level_geq a b =

@@ -55,10 +55,14 @@ let rec optimize_query (t : Ctx.t) ~(outer : Info.rel_info)
           t.Ctx.stats.Opt_stats.dirty_misses <-
             t.Ctx.stats.Opt_stats.dirty_misses + 1
       | _ -> ());
-      let key = out_alias ^ "|" ^ Pp.fingerprint q in
-      let cached =
+      let fp =
         match t.Ctx.annot_cache with
-        | Some c -> Hashtbl.find_opt c key
+        | Some _ -> Some (Ctx.fp_key ~out_alias q)
+        | None -> None
+      in
+      let cached =
+        match fp with
+        | Some (h, kq) -> Ctx.fp_find t ~out_alias ~h ~kq
         | None -> None
       in
       (match cached with
@@ -72,8 +76,8 @@ let rec optimize_query (t : Ctx.t) ~(outer : Info.rel_info)
             | A.Block b -> optimize_block t ~outer ~out_alias b
             | A.Setop (op, l, r) -> optimize_setop t ~outer ~out_alias op l r
           in
-          (match t.Ctx.annot_cache with
-          | Some c -> Hashtbl.replace c key ann
+          (match fp with
+          | Some (h, kq) -> Ctx.fp_store t ~out_alias ~h ~kq ann
           | None -> ());
           Ctx.ident_store t ~out_alias q ann;
           (match t.Ctx.cost_cap with
@@ -649,7 +653,7 @@ and apply_subq_filters t ~outer ~env (joined : partial)
 and collect_aggs acc (e : A.expr) : A.expr list =
   match e with
   | A.Agg _ -> if List.mem e acc then acc else acc @ [ e ]
-  | A.Const _ | A.Col _ -> acc
+  | A.Const _ | A.Bind _ | A.Col _ -> acc
   | A.Binop (_, a, b) -> collect_aggs (collect_aggs acc a) b
   | A.Neg a -> collect_aggs acc a
   | A.Win (_, eo, _) -> (
@@ -700,7 +704,7 @@ and lower_aggregation t ~env (joined : partial) (b : A.block) :
               with
               | Some (i, _) -> A.col agg_alias (Printf.sprintf "a%d" i)
               | None -> e)
-          | A.Const _ | A.Col _ -> e
+          | A.Const _ | A.Bind _ | A.Col _ -> e
           | A.Binop (op, a, bb) -> A.Binop (op, go a, go bb)
           | A.Neg a -> A.Neg (go a)
           | A.Win (a, eo, w) -> A.Win (a, Option.map go eo, w)
@@ -767,7 +771,7 @@ and lower_aggregation t ~env (joined : partial) (b : A.block) :
 and collect_wins acc (e : A.expr) : A.expr list =
   match e with
   | A.Win _ -> if List.mem e acc then acc else acc @ [ e ]
-  | A.Const _ | A.Col _ | A.Agg _ -> acc
+  | A.Const _ | A.Bind _ | A.Col _ | A.Agg _ -> acc
   | A.Binop (_, a, b) -> collect_wins (collect_wins acc a) b
   | A.Neg a -> collect_wins acc a
   | A.Fn (_, args) -> List.fold_left collect_wins acc args
@@ -804,7 +808,7 @@ and lower_windows t ~env (input : partial) (b : A.block)
           with
           | Some (i, _) -> A.col win_alias (Printf.sprintf "w%d" i)
           | None -> rewrite e)
-      | A.Const _ | A.Col _ -> rewrite e
+      | A.Const _ | A.Bind _ | A.Col _ -> rewrite e
       | A.Agg _ -> rewrite e
       | A.Binop (op, a, bb) -> A.Binop (op, go a, go bb)
       | A.Neg a -> A.Neg (go a)

@@ -11,11 +11,16 @@
       ({!Transform.Tx.map_blocks_bottom_up}), so a block untouched by a
       search state is the {e same} node across states and its annotation
       is found without re-fingerprinting or re-walking the subtree;
-    - the {e fingerprint cache} keys on the pretty-printed query text
-      and catches structurally-equal blocks that are not physically
-      shared (e.g. a view regenerated identically by two different
-      masks). Both caches deliberately ignore the outer environment,
-      like the pre-split implementation.
+    - the {e fingerprint cache} keys on the structural fingerprint hash
+      ({!Sqlir.Fingerprint}, [With_peeks] mode — bind-peek values
+      matter for costing) mixed with the output alias, and catches
+      structurally-equal blocks that are not physically shared (e.g. a
+      view regenerated identically by two different masks). Hash
+      buckets are verified by full structural comparison against the
+      canonical form; a bucket entry that fails the comparison is a
+      true hash collision and is counted
+      ({!Opt_stats.t.fp_collisions}). Both caches deliberately ignore
+      the outer environment, like the pre-split implementation.
 
     The [dirty] set is the transformation's report of which blocks the
     current state rebuilt ([qb_name]s). It is advisory: identity is the
@@ -56,9 +61,11 @@ type t = {
   cat : Catalog.t;
   cfg : config;
   stats : Opt_stats.t;
-  annot_cache : (string, Annotation.t) Hashtbl.t option;
+  annot_cache :
+    (int, (string * Ast.query * Annotation.t) list) Hashtbl.t option;
       (** fingerprint-keyed annotation cache, shared across every state
-          of every transformation of one driver run *)
+          of every transformation of one driver run: structural hash ->
+          [(out_alias, canonical query, annotation)] bucket *)
   ident_cache : (string * Annotation.t) list Qtbl.t;
       (** identity-keyed annotation cache: query node -> annotations by
           output alias; only populated when [annot_cache] is present *)
@@ -122,6 +129,48 @@ let ident_store t ~(out_alias : string) (q : Ast.query) (ann : Annotation.t) :
     Qtbl.replace t.ident_cache q ((out_alias, ann) :: entries)
 
 (* ------------------------------------------------------------------ *)
+(* Fingerprint cache                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(** Cache key of [q] under output alias [out_alias]: the [With_peeks]
+    structural hash mixed with the alias, plus the canonical query the
+    bucket entry is verified against. Computed once per probe/store
+    pair. *)
+let fp_key ~(out_alias : string) (q : Ast.query) : int * Ast.query =
+  let kq = Fingerprint.canonical ~mode:With_peeks q in
+  (Fingerprint.hash ~mode:With_peeks kq lxor Hashtbl.hash out_alias, kq)
+
+let fp_find t ~(out_alias : string) ~(h : int) ~(kq : Ast.query) :
+    Annotation.t option =
+  match t.annot_cache with
+  | None -> None
+  | Some c -> (
+      match Hashtbl.find_opt c h with
+      | None -> None
+      | Some entries ->
+          let rec scan = function
+            | [] -> None
+            | (a, q', ann) :: rest ->
+                if String.equal a out_alias && q' = kq then Some ann
+                else (
+                  (* same hash, different structure: a true collision *)
+                  t.stats.Opt_stats.fp_collisions <-
+                    t.stats.Opt_stats.fp_collisions + 1;
+                  scan rest)
+          in
+          scan entries)
+
+let fp_store t ~(out_alias : string) ~(h : int) ~(kq : Ast.query)
+    (ann : Annotation.t) : unit =
+  match t.annot_cache with
+  | None -> ()
+  | Some c ->
+      let entries =
+        match Hashtbl.find_opt c h with None -> [] | Some es -> es
+      in
+      Hashtbl.replace c h ((out_alias, kq, ann) :: entries)
+
+(* ------------------------------------------------------------------ *)
 (* Statistics helpers shared by the split modules                       *)
 (* ------------------------------------------------------------------ *)
 
@@ -169,6 +218,9 @@ let default_expr_info env ~rows (e : Ast.expr) : Info.colinfo =
       | Some ci -> ci
       | None -> { Info.default_colinfo with ci_ndv = Float.max 1. rows })
   | Ast.Const v ->
+      { Info.default_colinfo with ci_ndv = 1.; ci_min = v; ci_max = v }
+  | Ast.Bind (_, v) when not (Value.is_null v) ->
+      (* execution-constant; the peeked value steers the estimate *)
       { Info.default_colinfo with ci_ndv = 1.; ci_min = v; ci_max = v }
   | Ast.Agg ((Ast.Count | Ast.Count_star), _, _) ->
       { Info.default_colinfo with ci_ndv = Float.max 1. (rows /. 2.) }

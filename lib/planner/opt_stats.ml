@@ -29,6 +29,10 @@ type t = {
       (** blocks reported clean by the transformation's dirty set that
           nevertheless missed the identity cache (advisory: indicates a
           transformation over-copying untouched blocks) *)
+  mutable fp_collisions : int;
+      (** fingerprint-hash bucket entries whose full structural
+          comparison failed on probe — true hash collisions, expected to
+          stay at (or very near) zero *)
 }
 
 let create () =
@@ -39,6 +43,7 @@ let create () =
     ident_hits = 0;
     dp_pruned = 0;
     dirty_misses = 0;
+    fp_collisions = 0;
   }
 
 let reset s =
@@ -47,7 +52,8 @@ let reset s =
   s.fp_hits <- 0;
   s.ident_hits <- 0;
   s.dp_pruned <- 0;
-  s.dirty_misses <- 0
+  s.dirty_misses <- 0;
+  s.fp_collisions <- 0
 
 (** Block optimizations entered but aborted by the cost cut-off. *)
 let blocks_aborted s = s.blocks_started - s.blocks_optimized
@@ -64,6 +70,7 @@ let copy s =
     ident_hits = s.ident_hits;
     dp_pruned = s.dp_pruned;
     dirty_misses = s.dirty_misses;
+    fp_collisions = s.fp_collisions;
   }
 
 (** [delta ~before ~after] — counter increments between two snapshots,
@@ -77,11 +84,12 @@ let delta ~before ~after : (string * int) list =
     ("d_ident_hits", after.ident_hits - before.ident_hits);
     ("d_dp_pruned", after.dp_pruned - before.dp_pruned);
     ("d_dirty_misses", after.dirty_misses - before.dirty_misses);
+    ("d_fp_collisions", after.fp_collisions - before.fp_collisions);
   ]
 
 let pp ppf s =
   Fmt.pf ppf
     "blocks optimized %d (aborted %d), reuse ident %d + fp %d, dp pruned %d, \
-     dirty misses %d"
+     dirty misses %d, fp collisions %d"
     s.blocks_optimized (blocks_aborted s) s.ident_hits s.fp_hits s.dp_pruned
-    s.dirty_misses
+    s.dirty_misses s.fp_collisions

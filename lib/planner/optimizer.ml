@@ -37,7 +37,8 @@ type t = Opt_ctx.t = {
   cat : Catalog.t;
   cfg : config;
   stats : Opt_stats.t;
-  annot_cache : (string, Annotation.t) Hashtbl.t option;
+  annot_cache :
+    (int, (string * Sqlir.Ast.query * Annotation.t) list) Hashtbl.t option;
   ident_cache : (string * Annotation.t) list Opt_ctx.Qtbl.t;
   mutable dirty : Sqlir.Walk.Sset.t option;
   mutable cost_cap : float option;

@@ -67,6 +67,9 @@ let rec eval_expr (db : Storage.Db.t) (env : env) ?(group : env list option)
     (e : A.expr) : V.t =
   match e with
   | A.Const v -> v
+  (* the reference evaluator runs one execution at a time, so a bind's
+     peeked value IS its value for that execution *)
+  | A.Bind (_, v) -> v
   | A.Col c -> lookup env c
   | A.Binop (op, a, b) ->
       V.arith (arith_op op) (eval_expr db env ?group a) (eval_expr db env ?group b)

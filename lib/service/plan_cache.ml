@@ -1,0 +1,174 @@
+(** Bounded shared plan cache: structural query fingerprint -> compiled
+    plan.
+
+    Keys are the {!Sqlir.Fingerprint} [Generic]-mode hash of the
+    canonical parameterized query (bind-peek values excluded — one
+    cached plan serves every bind vector of the same query shape).
+    Buckets hold the canonical query itself, so a probe is verified by
+    full structural comparison; a bucket entry that fails it is a true
+    hash collision and is only counted, never returned.
+
+    Entries carry the stats-epoch snapshot of every base table the
+    query reads. The cache itself never consults the catalog:
+    {!Service} compares the snapshot against the live epochs on each
+    hit and drives recompilation ({e lazy invalidation} — a bumped
+    epoch costs nothing until the next probe of an affected plan).
+
+    Replacement is least-recently-used under a logical clock, bounded
+    by entry count; memory is accounted per entry with
+    [Obj.reachable_words] at insertion time (annotations share plan
+    subtrees, so the figure is an upper bound of the cache's own
+    footprint). *)
+
+open Sqlir
+module A = Ast
+
+type entry = {
+  e_key : A.query;
+      (** canonical ([Generic]) parameterized query — the verified part
+          of the cache key *)
+  e_ann : Planner.Annotation.t;  (** optimized plan + cost annotation *)
+  e_binds : int;  (** size of the bind vector the plan references *)
+  e_tables : string list;  (** base tables the query reads *)
+  mutable e_epochs : (string * int) list;
+      (** stats-epoch snapshot per table, refreshed on revalidation *)
+  mutable e_last_used : int;  (** logical clock of the last probe *)
+  e_words : int;  (** [Obj.reachable_words] of the entry at insertion *)
+}
+
+type stats = {
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable invalidations : int;
+      (** probes whose epoch snapshot was stale (recompiled; the old
+          plan may still have been kept by the cost-delta guard) *)
+  mutable collisions : int;
+      (** bucket entries that failed the structural comparison *)
+}
+
+let stats_create () =
+  { hits = 0; misses = 0; evictions = 0; invalidations = 0; collisions = 0 }
+
+type t = {
+  tbl : (int, entry list) Hashtbl.t;
+  capacity : int;
+  st : stats;
+  mutable clock : int;
+  mutable words : int;  (** sum of [e_words] over live entries *)
+}
+
+let create ?(capacity = 128) () =
+  {
+    tbl = Hashtbl.create (max 16 capacity);
+    capacity = max 1 capacity;
+    st = stats_create ();
+    clock = 0;
+    words = 0;
+  }
+
+let stats t = t.st
+let memory_words t = t.words
+let length t = Hashtbl.fold (fun _ es n -> n + List.length es) t.tbl 0
+
+let tick t =
+  t.clock <- t.clock + 1;
+  t.clock
+
+(** Probe for [key] under hash [h]. Counts a hit or a miss, bumps the
+    entry's LRU clock, and counts (but skips) colliding bucket
+    entries. *)
+let find t ~(h : int) ~(key : A.query) : entry option =
+  let bucket =
+    match Hashtbl.find_opt t.tbl h with None -> [] | Some es -> es
+  in
+  let rec scan = function
+    | [] ->
+        t.st.misses <- t.st.misses + 1;
+        None
+    | e :: rest ->
+        if e.e_key = key then (
+          t.st.hits <- t.st.hits + 1;
+          e.e_last_used <- tick t;
+          Some e)
+        else (
+          t.st.collisions <- t.st.collisions + 1;
+          scan rest)
+  in
+  scan bucket
+
+let remove_entry t ~(h : int) (e : entry) : unit =
+  (match Hashtbl.find_opt t.tbl h with
+  | None -> ()
+  | Some es -> (
+      match List.filter (fun e' -> e' != e) es with
+      | [] -> Hashtbl.remove t.tbl h
+      | es' -> Hashtbl.replace t.tbl h es'));
+  t.words <- t.words - e.e_words
+
+(** Evict the least-recently-used entry (linear scan — the cache is
+    bounded and small compared to the plans it holds). *)
+let evict_lru t : unit =
+  let victim =
+    Hashtbl.fold
+      (fun h es acc ->
+        List.fold_left
+          (fun acc e ->
+            match acc with
+            | Some (_, best) when best.e_last_used <= e.e_last_used -> acc
+            | _ -> Some (h, e))
+          acc es)
+      t.tbl None
+  in
+  match victim with
+  | None -> ()
+  | Some (h, e) ->
+      remove_entry t ~h e;
+      t.st.evictions <- t.st.evictions + 1
+
+(** Insert a fresh entry, evicting down to capacity first. Returns the
+    stored entry. *)
+let store t ~(h : int) ~(key : A.query) ~(ann : Planner.Annotation.t)
+    ~(binds : int) ~(tables : string list) ~(epochs : (string * int) list) :
+    entry =
+  while length t >= t.capacity do
+    evict_lru t
+  done;
+  let e =
+    {
+      e_key = key;
+      e_ann = ann;
+      e_binds = binds;
+      e_tables = tables;
+      e_epochs = epochs;
+      e_last_used = tick t;
+      e_words = 0;
+    }
+  in
+  let e = { e with e_words = Obj.reachable_words (Obj.repr e) } in
+  let bucket =
+    match Hashtbl.find_opt t.tbl h with None -> [] | Some es -> es
+  in
+  Hashtbl.replace t.tbl h (e :: bucket);
+  t.words <- t.words + e.e_words;
+  e
+
+(** Replace [old_e] (same hash bucket) with a recompiled entry. *)
+let replace t ~(h : int) ~(old_e : entry) ~(ann : Planner.Annotation.t)
+    ~(epochs : (string * int) list) : entry =
+  remove_entry t ~h old_e;
+  store t ~h ~key:old_e.e_key ~ann ~binds:old_e.e_binds
+    ~tables:old_e.e_tables ~epochs
+
+let count_invalidation t = t.st.invalidations <- t.st.invalidations + 1
+
+let hit_rate t =
+  let total = t.st.hits + t.st.misses in
+  if total = 0 then 0. else float_of_int t.st.hits /. float_of_int total
+
+let pp_stats ppf t =
+  Fmt.pf ppf
+    "entries %d, hits %d, misses %d (hit rate %.2f), evictions %d, \
+     invalidations %d, collisions %d, ~%d words"
+    (length t) t.st.hits t.st.misses (hit_rate t) t.st.evictions
+    t.st.invalidations t.st.collisions t.words

@@ -1,0 +1,265 @@
+(** The query service layer: soft parse, bind parameterization and the
+    shared plan cache.
+
+    [exec] drives the full path a query takes through the system:
+
+    + {b parse} the SQL text ({!Sqlparse.Parser});
+    + {b peek} the caller's bind vector into any explicit [:n] markers
+      (the optimizer may use peeked values for estimates — {e bind
+      peeking} — never for legality);
+    + {b parameterize} remaining constant literals into bind markers
+      ({!Sqlir.Fingerprint.parameterize}), so queries differing only in
+      literals share one cached plan;
+    + {b probe} the plan cache under the [Generic] structural
+      fingerprint. A valid hit is a {e soft parse}: the optimizer never
+      runs. A miss is a {e hard parse}: the full CBQT pipeline
+      ({!Cbqt.Driver.optimize}) compiles the peeked parameterized query
+      and the plan is cached;
+    + {b validate} hits against the catalog's per-table stats epochs.
+      A stale snapshot triggers lazy recompilation; the {e cost-delta
+      guard} keeps the old plan when re-costing under the new
+      statistics moves the estimate by less than a threshold
+      (refreshing the snapshot), avoiding plan churn on no-op stats
+      refreshes;
+    + {b execute} the plan with the full bind vector (caller binds
+      followed by extracted literals) substituted at execution time.
+
+    Every probe emits a [Cache] trace span carrying the outcome and
+    parse timing, so a service trace validates and aggregates with the
+    driver's own spans. *)
+
+open Sqlir
+
+module Plan_cache = Plan_cache
+(** Re-export: [Service] is the library's toplevel module. *)
+
+module A = Ast
+module D = Cbqt.Driver
+module Db = Storage.Db
+module Fp = Fingerprint
+module Tr = Obs.Trace
+
+type config = {
+  capacity : int;  (** plan-cache entry bound *)
+  cost_delta : float;
+      (** relative cost-change threshold of the invalidation guard:
+          keep the cached plan when
+          [|new - old| <= cost_delta * old] *)
+  driver : D.config;  (** CBQT configuration used for hard parses *)
+  trace : Tr.level;  (** level of the service's own [Cache] spans *)
+}
+
+let default_config =
+  { capacity = 128; cost_delta = 0.1; driver = D.default_config; trace = Tr.Off }
+
+(** How a probe was resolved. *)
+type outcome =
+  | Hit  (** valid cache hit: soft parse *)
+  | Miss  (** cold compile: hard parse, plan cached *)
+  | Invalidated
+      (** stale stats epoch; recompiled and the new plan replaced the
+          cached one *)
+  | Revalidated
+      (** stale stats epoch; recompiled but the cost-delta guard kept
+          the cached plan (snapshot refreshed) *)
+
+let outcome_name = function
+  | Hit -> "hit"
+  | Miss -> "miss"
+  | Invalidated -> "invalidated"
+  | Revalidated -> "revalidated"
+
+type exec_result = {
+  r_layout : Exec.Eval.layout;
+  r_rows : Exec.Eval.row list;
+  r_outcome : outcome;
+  r_cost : float;  (** estimated cost of the executed plan *)
+  r_parse_s : float;  (** soft- or hard-parse wall clock, seconds *)
+}
+
+type t = {
+  db : Db.t;
+  cfg : config;
+  cache : Plan_cache.t;
+  tracer : Tr.t;
+  mutable soft_parses : int;
+  mutable soft_s : float;  (** total soft-parse seconds *)
+  mutable hard_parses : int;
+  mutable hard_s : float;  (** total hard-parse seconds *)
+}
+
+let create ?(config = default_config) (db : Db.t) : t =
+  {
+    db;
+    cfg = config;
+    cache = Plan_cache.create ~capacity:config.capacity ();
+    tracer = Tr.create config.trace;
+    soft_parses = 0;
+    soft_s = 0.;
+    hard_parses = 0;
+    hard_s = 0.;
+  }
+
+let cache t = t.cache
+let tracer t = t.tracer
+
+let epochs_of t (tables : string list) : (string * int) list =
+  List.map (fun tb -> (tb, Catalog.epoch t.db.Db.cat tb)) tables
+
+let epochs_current t (snapshot : (string * int) list) : bool =
+  List.for_all (fun (tb, ep) -> Catalog.epoch t.db.Db.cat tb = ep) snapshot
+
+(** Hard parse: run the CBQT pipeline over the peeked parameterized
+    query. *)
+let compile t (peeked : A.query) : Planner.Annotation.t =
+  let res = D.optimize ~config:t.cfg.driver t.db.Db.cat peeked in
+  res.D.res_annotation
+
+(** Resolve [peeked] (parameterized query with peeks in place) to an
+    annotation, going through the cache. Returns the annotation, the
+    outcome and the parse time. *)
+let resolve t (peeked : A.query) : Planner.Annotation.t * outcome * float =
+  let t0 = Unix.gettimeofday () in
+  let key = Fp.canonical ~mode:Fp.Generic peeked in
+  let h = Fp.hash ~mode:Fp.Generic key in
+  let finish outcome ann =
+    let dt = Unix.gettimeofday () -. t0 in
+    (match outcome with
+    | Hit ->
+        t.soft_parses <- t.soft_parses + 1;
+        t.soft_s <- t.soft_s +. dt
+    | Miss | Invalidated | Revalidated ->
+        t.hard_parses <- t.hard_parses + 1;
+        t.hard_s <- t.hard_s +. dt);
+    (ann, outcome, dt)
+  in
+  Tr.wrap_with t.tracer Tr.Cache "probe" (fun sp ->
+      let ((_, outcome, dt) as r) =
+        match Plan_cache.find t.cache ~h ~key with
+        | Some e when epochs_current t e.Plan_cache.e_epochs ->
+            finish Hit e.Plan_cache.e_ann
+        | Some e ->
+            (* stale stats epoch: lazy recompilation *)
+            Plan_cache.count_invalidation t.cache;
+            let ann = compile t peeked in
+            let old_cost = e.Plan_cache.e_ann.Planner.Annotation.an_cost in
+            let new_cost = ann.Planner.Annotation.an_cost in
+            let epochs = epochs_of t e.Plan_cache.e_tables in
+            if
+              Float.abs (new_cost -. old_cost)
+              <= t.cfg.cost_delta *. Float.abs old_cost
+            then (
+              (* cost-delta guard: the refreshed statistics do not move
+                 the estimate enough to justify plan churn *)
+              e.Plan_cache.e_epochs <- epochs;
+              finish Revalidated e.Plan_cache.e_ann)
+            else
+              let e' = Plan_cache.replace t.cache ~h ~old_e:e ~ann ~epochs in
+              finish Invalidated e'.Plan_cache.e_ann
+        | None ->
+            let ann = compile t peeked in
+            let tables =
+              Walk.Sset.elements (Walk.all_tables_query Walk.Sset.empty peeked)
+            in
+            let e =
+              Plan_cache.store t.cache ~h ~key ~ann
+                ~binds:(Fp.binds_count peeked) ~tables
+                ~epochs:(epochs_of t tables)
+            in
+            finish Miss e.Plan_cache.e_ann
+      in
+      Tr.add_attrs sp
+        [
+          ("outcome", Tr.S (outcome_name outcome));
+          ("parse", Tr.S (match outcome with Hit -> "soft" | _ -> "hard"));
+          ("parse_us", Tr.F (dt *. 1e6));
+          ("fingerprint", Tr.I h);
+        ];
+      r)
+
+(** Execute a parsed query. [binds] fills the query's explicit [:n]
+    markers, in order; remaining constant literals are auto-
+    parameterized and their values appended to the vector, so one
+    cached plan serves every literal variant of the query shape. *)
+let exec_ir t (q : A.query) (binds : Value.t list) : exec_result =
+  let user = Array.of_list binds in
+  let nexplicit = Fp.binds_count q in
+  if Array.length user <> nexplicit then
+    invalid_arg
+      (Printf.sprintf "Service.exec: query references %d bind(s), %d given"
+         nexplicit (Array.length user));
+  let peeked = Fp.peek_binds q user in
+  let peeked, extracted = Fp.parameterize peeked in
+  let ann, outcome, parse_s = resolve t peeked in
+  let all_binds = Array.append user (Array.of_list extracted) in
+  let layout, rows, _meter =
+    Exec.Executor.execute ~binds:all_binds t.db
+      ann.Planner.Annotation.an_plan
+  in
+  {
+    r_layout = layout;
+    r_rows = rows;
+    r_outcome = outcome;
+    r_cost = ann.Planner.Annotation.an_cost;
+    r_parse_s = parse_s;
+  }
+
+(** Parse and execute SQL text. Raises {!Sqlparse.Parser.Parse_error}
+    (via [parse_exn]) on malformed input. *)
+let exec t (sql : string) (binds : Value.t list) : exec_result =
+  exec_ir t (Sqlparse.Parser.parse_exn t.db.Db.cat sql) binds
+
+(* ------------------------------------------------------------------ *)
+(* Reporting                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type report = {
+  sv_soft_parses : int;
+  sv_soft_avg_us : float;
+  sv_hard_parses : int;
+  sv_hard_avg_us : float;
+  sv_hits : int;
+  sv_misses : int;
+  sv_hit_rate : float;
+  sv_evictions : int;
+  sv_invalidations : int;
+  sv_collisions : int;
+  sv_entries : int;
+  sv_memory_words : int;
+}
+
+let report t : report =
+  let st = Plan_cache.stats t.cache in
+  let avg total n = if n = 0 then 0. else total /. float_of_int n *. 1e6 in
+  {
+    sv_soft_parses = t.soft_parses;
+    sv_soft_avg_us = avg t.soft_s t.soft_parses;
+    sv_hard_parses = t.hard_parses;
+    sv_hard_avg_us = avg t.hard_s t.hard_parses;
+    sv_hits = st.Plan_cache.hits;
+    sv_misses = st.Plan_cache.misses;
+    sv_hit_rate = Plan_cache.hit_rate t.cache;
+    sv_evictions = st.Plan_cache.evictions;
+    sv_invalidations = st.Plan_cache.invalidations;
+    sv_collisions = st.Plan_cache.collisions;
+    sv_entries = Plan_cache.length t.cache;
+    sv_memory_words = Plan_cache.memory_words t.cache;
+  }
+
+(** Stable, aligned report format (label column + value), mirroring
+    {!Cbqt.Driver.pp_report}. *)
+let pp_report ppf (r : report) =
+  let line label pp_v = Fmt.pf ppf "  %-18s %t@." label pp_v in
+  Fmt.pf ppf "service report@.";
+  line "soft parses" (fun ppf ->
+      Fmt.pf ppf "%d (avg %.1f us)" r.sv_soft_parses r.sv_soft_avg_us);
+  line "hard parses" (fun ppf ->
+      Fmt.pf ppf "%d (avg %.1f us)" r.sv_hard_parses r.sv_hard_avg_us);
+  line "cache hits" (fun ppf -> Fmt.pf ppf "%d" r.sv_hits);
+  line "cache misses" (fun ppf -> Fmt.pf ppf "%d" r.sv_misses);
+  line "hit rate" (fun ppf -> Fmt.pf ppf "%.2f" r.sv_hit_rate);
+  line "evictions" (fun ppf -> Fmt.pf ppf "%d" r.sv_evictions);
+  line "invalidations" (fun ppf -> Fmt.pf ppf "%d" r.sv_invalidations);
+  line "collisions" (fun ppf -> Fmt.pf ppf "%d" r.sv_collisions);
+  line "entries" (fun ppf -> Fmt.pf ppf "%d" r.sv_entries);
+  line "memory words" (fun ppf -> Fmt.pf ppf "%d" r.sv_memory_words)

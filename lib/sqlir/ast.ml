@@ -27,6 +27,13 @@ type col = { c_alias : string; c_col : string }
 
 type expr =
   | Const of Value.t
+  | Bind of int * Value.t
+      (** bind marker: 0-based position in the bind vector, plus the
+          {e peeked} value the plan was compiled under. A bind is an
+          unknown-but-execution-constant value: the optimizer may use
+          the peek for {e estimates} (bind peeking), but never for
+          legality or constant folding — a later execution may supply a
+          different value, including NULL. *)
   | Col of col
   | Binop of arith * expr * expr
   | Neg of expr

@@ -37,6 +37,7 @@ let dir_str = function Asc -> "ASC" | Desc -> "DESC"
 let rec pp_expr ppf (e : expr) =
   match e with
   | Const v -> Value.pp ppf v
+  | Bind (i, peek) -> Fmt.pf ppf ":%d{%a}" (i + 1) Value.pp peek
   | Col c -> Fmt.pf ppf "%s.%s" c.c_alias c.c_col
   | Binop (op, a, b) -> Fmt.pf ppf "(%a %s %a)" pp_expr a (arith_str op) pp_expr b
   | Neg a -> Fmt.pf ppf "(-%a)" pp_expr a

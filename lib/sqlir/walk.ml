@@ -20,7 +20,7 @@ module Sset = Set.Make (String)
     subqueries (expressions cannot contain subqueries; predicates can). *)
 let rec fold_expr_cols f acc e =
   match e with
-  | Const _ -> acc
+  | Const _ | Bind _ -> acc
   | Col c -> f acc c
   | Binop (_, a, b) -> fold_expr_cols f (fold_expr_cols f acc a) b
   | Neg a -> fold_expr_cols f acc a
@@ -103,7 +103,7 @@ let pred_aliases ?(deep = false) p =
 let rec map_expr_cols f e =
   let me = map_expr_cols f in
   match e with
-  | Const _ -> e
+  | Const _ | Bind _ -> e
   | Col c -> f c
   | Binop (op, a, b) -> Binop (op, me a, me b)
   | Neg a -> Neg (me a)
@@ -314,13 +314,36 @@ let rec pred_subqueries p =
 
 let pred_has_subquery p = pred_subqueries p <> []
 
+(** All base tables referenced anywhere inside [q], including nested
+    views and subqueries. The plan cache keys its stats-epoch snapshot
+    on this set. *)
+let rec all_tables_query acc = function
+  | Setop (_, l, r) -> all_tables_query (all_tables_query acc l) r
+  | Block b ->
+      let subq_tables acc p =
+        List.fold_left all_tables_query acc (pred_subqueries p)
+      in
+      let acc =
+        List.fold_left
+          (fun acc fe ->
+            let acc =
+              match fe.fe_source with
+              | S_table t -> Sset.add t acc
+              | S_view v -> all_tables_query acc v
+            in
+            List.fold_left subq_tables acc fe.fe_cond)
+          acc b.from
+      in
+      let acc = List.fold_left subq_tables acc b.where in
+      List.fold_left subq_tables acc b.having
+
 (* ------------------------------------------------------------------ *)
 (* Shape predicates.                                                   *)
 (* ------------------------------------------------------------------ *)
 
 let rec expr_has_agg = function
   | Agg _ -> true
-  | Const _ | Col _ -> false
+  | Const _ | Bind _ | Col _ -> false
   | Binop (_, a, b) -> expr_has_agg a || expr_has_agg b
   | Neg a -> expr_has_agg a
   | Win _ -> false
@@ -331,7 +354,7 @@ let rec expr_has_agg = function
 
 let rec expr_has_win = function
   | Win _ -> true
-  | Const _ | Col _ | Agg _ -> false
+  | Const _ | Bind _ | Col _ | Agg _ -> false
   | Binop (_, a, b) -> expr_has_win a || expr_has_win b
   | Neg a -> expr_has_win a
   | Fn (_, args) -> List.exists expr_has_win args

@@ -25,6 +25,7 @@ type token =
   | LE
   | GT
   | GE
+  | BIND of int  (** [:n] positional bind marker, 1-based in the text *)
   | EOF
 
 exception Lex_error of string * int  (** message, position *)
@@ -126,6 +127,15 @@ let tokenize (src : string) : (token * int) list =
           | '=' -> emit EQ pos
           | '<' -> emit LT pos
           | '>' -> emit GT pos
+          | ':' ->
+              let j = ref !i in
+              while !j < n && is_digit src.[!j] do
+                incr j
+              done;
+              if !j = !i then
+                raise (Lex_error ("expected bind position after ':'", pos));
+              emit (BIND (int_of_string (String.sub src !i (!j - !i)))) pos;
+              i := !j
           | c -> raise (Lex_error (Printf.sprintf "unexpected character %c" c, pos))))
   done;
   List.rev ((EOF, n) :: !toks)
@@ -150,4 +160,5 @@ let token_str = function
   | LE -> "<="
   | GT -> ">"
   | GE -> ">="
+  | BIND n -> Printf.sprintf ":%d" n
   | EOF -> "<eof>"

@@ -170,6 +170,12 @@ and parse_factor st : A.expr =
   | L.INT n ->
       advance st;
       A.Const (Value.Int n)
+  | L.BIND n ->
+      advance st;
+      if n < 1 then fail st "bind positions are 1-based";
+      (* peek value unknown at parse time; the service layer re-peeks
+         from the user-supplied bind vector before optimizing *)
+      A.Bind (n - 1, Value.Null)
   | L.FLOAT f ->
       advance st;
       A.Const (Value.Float f)

@@ -103,7 +103,9 @@ let sampled ~seed ~fraction (rel : Relation.t) : Catalog.table_stats =
   in
   Catalog.default_stats ~rows:n cols
 
-(** Gather and install statistics for every loaded relation. *)
+(** Gather and install statistics for every loaded relation. Each
+    [Catalog.set_stats] bumps the table's stats epoch, signalling plan
+    caches to recompile cached plans over the refreshed statistics. *)
 let analyze ?(sample = None) (db : Db.t) =
   Hashtbl.iter
     (fun name rel ->

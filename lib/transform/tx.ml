@@ -271,16 +271,12 @@ let dirty_blocks (base : A.query) (out : A.query) : Walk.Sset.t =
     out;
   !dirty
 
-(** A deep copy of a query tree. The IR is immutable, so this is the
-    identity — the paper's "capability for deep copying query blocks"
-    (Section 3.1) comes for free; what matters is that transformed
-    copies share no mutable state with the original, which immutability
-    guarantees. Copying per search state would also defeat the
-    identity-keyed annotation reuse in {!Planner.Optimizer}, so callers
-    must not reintroduce it on the costing path. *)
-let deep_copy (q : A.query) : A.query = q
-[@@ocaml.deprecated
-  "the IR is immutable; deep_copy is the identity and is never needed"]
+(* The deprecated [deep_copy] identity is gone: the IR is immutable, so
+   the paper's "capability for deep copying query blocks" (Section 3.1)
+   comes for free. Per-state copying would also defeat the
+   identity-keyed annotation reuse in {!Planner.Optimizer};
+   {!Analysis.Copy_check} (rule TX001) alerts when a transformation
+   rebuilds blocks it did not change. *)
 
 (** Primary-or-unique key of a base-table entry, if declared. *)
 let entry_key (cat : Catalog.t) (fe : A.from_entry) : string list option =

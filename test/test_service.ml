@@ -1,0 +1,279 @@
+(** Tests for the query service layer ([lib/service]) and its
+    supporting analysis rules.
+
+    Properties (QCheck over the random workload generator):
+
+    - parameterizing a query and supplying the extracted literals as
+      binds returns the same rows as executing the literal query;
+    - a cache hit returns the identical plan and cost annotation as a
+      cold compile under the same stats epochs;
+    - bumping a table's stats epoch forces recompilation on the next
+      probe (Invalidated or, under the cost-delta guard, Revalidated).
+
+    Unit tests cover [:n] bind parsing, the bind-count guard, LRU
+    eviction, IR015 (negative bind index) and TX001 (over-copying). *)
+
+module QG = Workload.Query_gen
+module SG = Workload.Schema_gen
+module A = Sqlir.Ast
+module V = Sqlir.Value
+module Fp = Sqlir.Fingerprint
+module Walk = Sqlir.Walk
+module Svc = Service
+module Pc = Service.Plan_cache
+module D = Cbqt.Driver
+
+(* tiny database: these tests compile and execute many statements *)
+let db, schema =
+  SG.build ~families:2 ~sample_frac:0.5 ~row_scale:0.04 ~seed:77 ()
+
+let classes =
+  [ QG.C_spj; QG.C_exists; QG.C_in_multi; QG.C_agg_subq; QG.C_gb_view ]
+
+let gen_query =
+  QCheck.make
+    ~print:(fun (cls, seed) ->
+      Printf.sprintf "%s (seed %d)" (QG.class_name cls) seed)
+    QCheck.Gen.(pair (oneofl classes) (int_bound 100000))
+
+let query_of (cls, seed) =
+  let g = QG.create ~seed schema in
+  QG.generate g cls
+
+let norm rows = List.sort (List.compare V.compare_total) rows
+let norm_arrays rows = norm (List.map Array.to_list rows)
+
+(** Cold path: full CBQT compile of the literal query, executed with no
+    binds. *)
+let literal_rows (q : A.query) =
+  let res = D.optimize db.Storage.Db.cat q in
+  let _, rows, _ =
+    Exec.Executor.execute db res.D.res_annotation.Planner.Annotation.an_plan
+  in
+  norm_arrays rows
+
+let plan_str (ann : Planner.Annotation.t) =
+  Fmt.str "%a" (Exec.Plan.pp ~indent:0) ann.Planner.Annotation.an_plan
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* parameterize + execute-with-binds == execute the literal query *)
+let prop_parameterize_equivalence =
+  QCheck.Test.make ~count:50 ~name:"parameterized execution == literal"
+    gen_query (fun input ->
+      let q = query_of input in
+      let pq, extracted = Fp.parameterize q in
+      let res = D.optimize db.Storage.Db.cat pq in
+      let _, rows, _ =
+        Exec.Executor.execute
+          ~binds:(Array.of_list extracted)
+          db res.D.res_annotation.Planner.Annotation.an_plan
+      in
+      norm_arrays rows = literal_rows q)
+
+(* the full service path (peek, parameterize, cache, execute) returns
+   the literal query's rows — on the miss AND on the subsequent hit *)
+let prop_service_equivalence =
+  QCheck.Test.make ~count:50 ~name:"service exec == literal, cold and warm"
+    gen_query (fun input ->
+      let q = query_of input in
+      let svc = Svc.create db in
+      let expect = literal_rows q in
+      let r1 = Svc.exec_ir svc q [] in
+      let r2 = Svc.exec_ir svc q [] in
+      r1.Svc.r_outcome = Svc.Miss
+      && r2.Svc.r_outcome = Svc.Hit
+      && norm_arrays r1.Svc.r_rows = expect
+      && norm_arrays r2.Svc.r_rows = expect)
+
+(* under unchanged stats epochs, a hit hands back exactly the plan and
+   cost a cold compile of the same parameterized query produces *)
+let prop_hit_matches_cold_compile =
+  QCheck.Test.make ~count:40 ~name:"cache hit == cold compile"
+    gen_query (fun input ->
+      let q = query_of input in
+      let svc = Svc.create db in
+      let r1 = Svc.exec_ir svc q [] in
+      let r2 = Svc.exec_ir svc q [] in
+      (* reference: compile the peeked parameterized query directly *)
+      let peeked, _ = Fp.parameterize q in
+      let cold =
+        (D.optimize db.Storage.Db.cat peeked).D.res_annotation
+      in
+      let key = Fp.canonical ~mode:Fp.Generic peeked in
+      let h = Fp.hash ~mode:Fp.Generic key in
+      let cached =
+        match Pc.find (Svc.cache svc) ~h ~key with
+        | Some e -> e.Pc.e_ann
+        | None -> QCheck.Test.fail_report "probe after hit found no entry"
+      in
+      r2.Svc.r_outcome = Svc.Hit
+      && r1.Svc.r_cost = r2.Svc.r_cost
+      && cached.Planner.Annotation.an_cost
+         = cold.Planner.Annotation.an_cost
+      && plan_str cached = plan_str cold)
+
+(* bumping the stats epoch of any referenced table forces the next
+   probe to recompile *)
+let prop_epoch_bump_recompiles =
+  QCheck.Test.make ~count:40 ~name:"stats-epoch bump recompiles"
+    gen_query (fun input ->
+      let q = query_of input in
+      let svc = Svc.create db in
+      let r1 = Svc.exec_ir svc q [] in
+      let tables =
+        Walk.Sset.elements (Walk.all_tables_query Walk.Sset.empty q)
+      in
+      match tables with
+      | [] -> QCheck.assume_fail ()
+      | tb :: _ ->
+          Catalog.bump_epoch db.Storage.Db.cat tb;
+          let r2 = Svc.exec_ir svc q [] in
+          let st = Pc.stats (Svc.cache svc) in
+          r1.Svc.r_outcome = Svc.Miss
+          && (match r2.Svc.r_outcome with
+             | Svc.Invalidated | Svc.Revalidated -> true
+             | Svc.Hit | Svc.Miss -> false)
+          && st.Pc.invalidations = 1
+          (* snapshot refreshed either way: the next probe is a hit *)
+          && (Svc.exec_ir svc q []).Svc.r_outcome = Svc.Hit)
+
+(* ------------------------------------------------------------------ *)
+(* Unit tests                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let hr = Tsupport.hr_db ()
+
+let exec_hr svc sql binds =
+  Svc.exec svc sql (List.map (fun n -> V.Int n) binds)
+
+let test_explicit_binds () =
+  let svc = Svc.create hr in
+  let sql = "SELECT e.name FROM employees e WHERE e.salary > :1" in
+  let r1 = exec_hr svc sql [ 9000 ] in
+  let r0 = exec_hr svc sql [ 0 ] in
+  Alcotest.(check bool) "miss then hit" true
+    (r1.Svc.r_outcome = Svc.Miss && r0.Svc.r_outcome = Svc.Hit);
+  Alcotest.(check bool)
+    "threshold 0 returns more rows than 9000" true
+    (List.length r0.Svc.r_rows > List.length r1.Svc.r_rows);
+  (* a different literal elsewhere still shares the shape *)
+  let r =
+    exec_hr svc "SELECT e.name FROM employees e WHERE e.salary > :1 AND \
+                 e.job_id = 3"
+      [ 0 ]
+  in
+  Alcotest.(check bool) "new shape misses" true (r.Svc.r_outcome = Svc.Miss)
+
+let test_bind_count_guard () =
+  let svc = Svc.create hr in
+  let sql = "SELECT e.name FROM employees e WHERE e.salary > :1" in
+  Alcotest.check_raises "missing bind"
+    (Invalid_argument "Service.exec: query references 1 bind(s), 0 given")
+    (fun () -> ignore (exec_hr svc sql []));
+  Alcotest.check_raises "extra bind"
+    (Invalid_argument "Service.exec: query references 1 bind(s), 2 given")
+    (fun () -> ignore (exec_hr svc sql [ 1; 2 ]))
+
+let test_bind_parse () =
+  let q =
+    Sqlparse.Parser.parse_exn hr.Storage.Db.cat
+      "SELECT e.name FROM employees e WHERE e.salary > :2 AND e.job_id = :1"
+  in
+  Alcotest.(check int) "binds_count" 2 (Fp.binds_count q);
+  let rejected =
+    match
+      Sqlparse.Parser.parse_exn hr.Storage.Db.cat
+        "SELECT e.name FROM employees e WHERE e.salary > :0"
+    with
+    | _ -> false
+    | exception Sqlparse.Parser.Parse_error _ -> true
+  in
+  Alcotest.(check bool) "bind :0 rejected" true rejected
+
+let test_lru_eviction () =
+  let svc =
+    Svc.create ~config:{ Svc.default_config with Svc.capacity = 2 } hr
+  in
+  let shapes =
+    [
+      "SELECT e.name FROM employees e WHERE e.salary > 100";
+      "SELECT e.name FROM employees e WHERE e.job_id = 1";
+      "SELECT d.dept_name FROM departments d WHERE d.loc_id = 100";
+    ]
+  in
+  List.iter (fun sql -> ignore (exec_hr svc sql [])) shapes;
+  let st = Pc.stats (Svc.cache svc) in
+  Alcotest.(check int) "bounded" 2 (Pc.length (Svc.cache svc));
+  Alcotest.(check int) "one eviction" 1 st.Pc.evictions;
+  (* the evicted (least recently used) shape now misses again *)
+  let r = exec_hr svc (List.hd shapes) [] in
+  Alcotest.(check bool) "evicted shape misses" true
+    (r.Svc.r_outcome = Svc.Miss)
+
+let test_memory_accounting () =
+  let svc = Svc.create hr in
+  ignore (exec_hr svc "SELECT e.name FROM employees e" []);
+  Alcotest.(check bool) "memory tracked" true
+    (Pc.memory_words (Svc.cache svc) > 0)
+
+let has_rule rule ds =
+  List.exists (fun d -> d.Analysis.Diagnostics.d_rule = rule) ds
+
+let test_ir015_negative_bind () =
+  let q =
+    Sqlparse.Parser.parse_exn hr.Storage.Db.cat
+      "SELECT e.name FROM employees e WHERE e.salary > :1"
+  in
+  let bad = Fp.rewrite (function A.Bind (i, v) -> A.Bind (i - 1, v) | e -> e) q in
+  Alcotest.(check bool) "ok query clean" false
+    (has_rule "IR015" (Analysis.Ir_check.errors hr.Storage.Db.cat q));
+  Alcotest.(check bool) "negative index flagged" true
+    (has_rule "IR015" (Analysis.Ir_check.errors hr.Storage.Db.cat bad))
+
+let test_tx001_over_copying () =
+  let q =
+    Sqlparse.Parser.parse_exn hr.Storage.Db.cat
+      "SELECT e.name FROM employees e WHERE e.dept_id IN (SELECT d.dept_id \
+       FROM departments d WHERE d.loc_id = 100)"
+  in
+  Alcotest.(check bool) "identity is clean" false
+    (has_rule "TX001" (Analysis.Copy_check.check ~before:q ~after:q));
+  (* a full rebuild is structurally equal but physically fresh *)
+  let copied = Fp.rewrite (fun e -> e) q in
+  Alcotest.(check bool) "rebuild flagged" true
+    (has_rule "TX001" (Analysis.Copy_check.check ~before:q ~after:copied))
+
+let () =
+  let to_alco = QCheck_alcotest.to_alcotest in
+  Alcotest.run "service"
+    [
+      ( "properties",
+        [
+          to_alco prop_parameterize_equivalence;
+          to_alco prop_service_equivalence;
+          to_alco prop_hit_matches_cold_compile;
+          to_alco prop_epoch_bump_recompiles;
+        ] );
+      ( "binds",
+        [
+          Alcotest.test_case "explicit binds" `Quick test_explicit_binds;
+          Alcotest.test_case "bind-count guard" `Quick test_bind_count_guard;
+          Alcotest.test_case "bind parsing" `Quick test_bind_parse;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "lru eviction" `Quick test_lru_eviction;
+          Alcotest.test_case "memory accounting" `Quick
+            test_memory_accounting;
+        ] );
+      ( "analysis",
+        [
+          Alcotest.test_case "IR015 negative bind" `Quick
+            test_ir015_negative_bind;
+          Alcotest.test_case "TX001 over-copying" `Quick
+            test_tx001_over_copying;
+        ] );
+    ]
