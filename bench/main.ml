@@ -715,6 +715,116 @@ let observability () =
   jadd "trace_full_ms" (jfloat (1000. *. t_full))
 
 (* ------------------------------------------------------------------ *)
+(* Executor: block-at-a-time vs list-at-a-time throughput               *)
+(* ------------------------------------------------------------------ *)
+
+(** Execution throughput of the batch engine against {!Exec.Baseline},
+    the list-at-a-time interpreter it replaced. Both engines charge the
+    same meter (differentially tested), so [rows_out] — the total rows
+    flowing out of operators — is identical by construction and serves
+    as the workload size: rows/sec cold (first pass) and warm (best of
+    three), bytes allocated per row via [Gc.allocated_bytes] deltas,
+    and a batch-size sweep showing throughput as blocks grow from
+    tuple-at-a-time (1) to cache-friendly sizes. *)
+let executor () =
+  let db, schema = SG.build ~families:2 ~sample_frac:!sample ~seed:!seed () in
+  let cat = db.Storage.Db.cat in
+  let g = QG.create ~seed:(!seed lxor 0xBA7C) schema in
+  (* the headline workload is pure scan/filter/join — the shapes the
+     streaming engine targets *)
+  let mix = [ (QG.C_spj, 1.0) ] in
+  let items = QG.workload ~mix g (scaled 30) in
+  let plans =
+    List.filter_map
+      (fun it ->
+        match D.optimize cat it.QG.it_query with
+        | res -> Some res.D.res_annotation.Planner.Annotation.an_plan
+        | exception _ -> None)
+      items
+  in
+  let pass exec =
+    let meter = Exec.Meter.create () in
+    let a0 = Gc.allocated_bytes () in
+    let t0 = Unix.gettimeofday () in
+    List.iter (fun p -> exec meter p) plans;
+    let t = Unix.gettimeofday () -. t0 in
+    let bytes = Gc.allocated_bytes () -. a0 in
+    (meter.Exec.Meter.rows_out, t, bytes)
+  in
+  let measure exec =
+    let rows, cold_s, _ = pass exec in
+    (rows, cold_s)
+  in
+  let batch m p = ignore (Exec.Executor.execute ~meter:m db p) in
+  let base m p = ignore (Exec.Baseline.execute ~meter:m db p) in
+  (* start from a compacted heap so earlier sections' garbage doesn't
+     skew the GC costs being compared *)
+  Gc.compact ();
+  let brows, bcold = measure batch in
+  let lrows, lcold = measure base in
+  (* warm passes alternate between the engines so load drift on the
+     host penalizes both equally; best-of-5 per engine *)
+  let bwarm = ref Float.infinity
+  and bbytes = ref Float.infinity
+  and lwarm = ref Float.infinity
+  and lbytes = ref Float.infinity in
+  for _ = 1 to 5 do
+    let _, t, by = pass batch in
+    if t < !bwarm then bwarm := t;
+    if by < !bbytes then bbytes := by;
+    let _, t, by = pass base in
+    if t < !lwarm then lwarm := t;
+    if by < !lbytes then lbytes := by
+  done;
+  let bwarm = !bwarm
+  and bbytes = !bbytes
+  and lwarm = !lwarm
+  and lbytes = !lbytes in
+  let rps rows s = float_of_int rows /. Float.max 1e-9 s in
+  let bpr rows bytes = bytes /. Float.max 1. (float_of_int rows) in
+  let speedup = rps brows bwarm /. Float.max 1e-9 (rps lrows lwarm) in
+  let sweep =
+    List.map
+      (fun batch_size ->
+        let _, t, _ =
+          pass (fun m p ->
+              ignore (Exec.Executor.execute ~meter:m ~batch_size db p))
+        in
+        (batch_size, rps brows t))
+      [ 1; 16; 256; 1024 ]
+  in
+  Fmt.pr "%d plans; %d operator rows out per pass (engines agree: %b)@.@."
+    (List.length plans) brows (brows = lrows);
+  Fmt.pr "baseline (row lists):  cold %10.0f rows/s, warm %10.0f rows/s, \
+          %6.1f bytes/row@."
+    (rps lrows lcold) (rps lrows lwarm) (bpr lrows lbytes);
+  Fmt.pr "batch (blocks of 256): cold %10.0f rows/s, warm %10.0f rows/s, \
+          %6.1f bytes/row@."
+    (rps brows bcold) (rps brows bwarm) (bpr brows bbytes);
+  Fmt.pr "warm speedup: %.2fx@." speedup;
+  List.iter
+    (fun (s, r) -> Fmt.pr "  batch size %4d: %10.0f rows/s@." s r)
+    sweep;
+  if brows <> lrows then
+    Fmt.pr "WARNING: engines disagree on rows_out (%d vs %d)@." brows lrows;
+  if speedup < 2. then
+    Fmt.pr "WARNING: batch executor speedup %.2fx below the 2x target@."
+      speedup;
+  jadd "plans" (jint (List.length plans));
+  jadd "rows_out_per_pass" (jint brows);
+  jadd "engines_agree" (jbool (brows = lrows));
+  jadd "baseline_cold_rows_per_sec" (jfloat (rps lrows lcold));
+  jadd "baseline_warm_rows_per_sec" (jfloat (rps lrows lwarm));
+  jadd "baseline_bytes_per_row" (jfloat (bpr lrows lbytes));
+  jadd "batch_cold_rows_per_sec" (jfloat (rps brows bcold));
+  jadd "batch_warm_rows_per_sec" (jfloat (rps brows bwarm));
+  jadd "batch_bytes_per_row" (jfloat (bpr brows bbytes));
+  jadd "warm_speedup" (jfloat speedup);
+  jadd "batch_size_sweep"
+    (jobj
+       (List.map (fun (s, r) -> (string_of_int s, jfloat r)) sweep))
+
+(* ------------------------------------------------------------------ *)
 (* Entry point                                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -752,5 +862,6 @@ let () =
   run_section "gbp" gbp;
   run_section "cache" cache;
   run_section "observability" observability;
+  run_section "executor" executor;
   if !json then write_json "BENCH_cbqt.json";
   Fmt.pr "@.done.@."

@@ -305,7 +305,14 @@ let run_cmd =
   let limit =
     Arg.(value & opt int 25 & info [ "limit" ] ~doc:"max rows to print")
   in
-  let run sql mode limit check =
+  let batch_size =
+    Arg.(
+      value
+      & opt int Exec.Executor.default_batch_size
+      & info [ "batch-size" ] ~docv:"N"
+          ~doc:"executor rows per block (results do not depend on it)")
+  in
+  let run sql mode limit batch_size check =
     with_query sql (fun db q ->
         let plan =
           match config_of_mode ~check mode with
@@ -320,7 +327,7 @@ let run_cmd =
                 .an_plan
         in
         let meter = Exec.Meter.create () in
-        let _, rows, _ = Exec.Executor.execute ~meter db plan in
+        let _, rows, _ = Exec.Executor.execute ~meter ~batch_size db plan in
         List.iteri
           (fun i row ->
             if i < limit then
@@ -332,7 +339,7 @@ let run_cmd =
         0)
   in
   Cmd.v (Cmd.info "run" ~doc:"Execute a query and print results + work meter")
-    Term.(const run $ sql $ mode $ limit $ check_flag)
+    Term.(const run $ sql $ mode $ limit $ batch_size $ check_flag)
 
 let serve_cmd =
   let file =
@@ -364,6 +371,13 @@ let serve_cmd =
     Arg.(
       value & opt int 128
       & info [ "cache-capacity" ] ~docv:"N" ~doc:"plan-cache entry bound")
+  in
+  let batch_size =
+    Arg.(
+      value
+      & opt int Exec.Executor.default_batch_size
+      & info [ "batch-size" ] ~docv:"N"
+          ~doc:"executor rows per block (results do not depend on it)")
   in
   let min_hit_rate =
     Arg.(
@@ -398,8 +412,8 @@ let serve_cmd =
         | Some f -> V.Float f
         | None -> V.Str s)
   in
-  let run file workload repeat seed capacity min_hit_rate validate_trace binds
-      =
+  let run file workload repeat seed capacity batch_size min_hit_rate
+      validate_trace binds =
     let module Svc = Service in
     let module Pc = Service.Plan_cache in
     let bvs = List.map bind_value binds in
@@ -434,7 +448,12 @@ let serve_cmd =
       Fmt.epr "serve: no statements@.";
       exit 2);
     let config =
-      { Svc.default_config with Svc.capacity; trace = Obs.Trace.Steps }
+      {
+        Svc.default_config with
+        Svc.capacity;
+        trace = Obs.Trace.Steps;
+        batch_size;
+      }
     in
     let svc = Svc.create ~config db in
     let exec_one stmt =
@@ -506,8 +525,8 @@ let serve_cmd =
           parse / bind parameterization) and report hit rates and parse \
           timings")
     Term.(
-      const run $ file $ workload $ repeat $ seed $ capacity $ min_hit_rate
-      $ validate_trace $ binds)
+      const run $ file $ workload $ repeat $ seed $ capacity $ batch_size
+      $ min_hit_rate $ validate_trace $ binds)
 
 let schema_cmd =
   let run () =

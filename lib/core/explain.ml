@@ -180,6 +180,16 @@ let pp ppf (t : t) =
           (Meter.work o.op_self))
     t.ex_ops;
   Fmt.pf ppf "@.%d rows; total work %.1f@." t.ex_rows (Meter.work t.ex_meter);
+  (* cache key-build cost of the TIS / NL-inner result caches: values
+     copied into lookup keys, traded against re-executing sub-plans *)
+  if
+    t.ex_meter.Meter.key_build > 0
+    || t.ex_meter.Meter.subq_cache_hits > 0
+    || t.ex_meter.Meter.subq_execs > 0
+  then
+    Fmt.pf ppf "subquery caches: %d execs, %d hits, %d key values built@."
+      t.ex_meter.Meter.subq_execs t.ex_meter.Meter.subq_cache_hits
+      t.ex_meter.Meter.key_build;
   Fmt.pf ppf "q-error: root %s, median %s, max %s@."
     (if Float.is_nan t.ex_root_q_error then "-"
      else Printf.sprintf "%.2f" t.ex_root_q_error)

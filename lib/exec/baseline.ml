@@ -1,0 +1,1013 @@
+(** Reference list-at-a-time plan interpreter (the pre-batch executor).
+
+    This is the materialize-everything row-list engine the batch
+    executor ({!Executor}) replaced: every operator closure consumes and
+    produces a complete [row list]. It is retained verbatim — minus the
+    analyze instrumentation — as
+
+    + the {e differential oracle} for the batch engine: on any plan both
+      executors must produce identical rows {e and} identical meter
+      totals (up to the documented sort-key divergence), which the test
+      suite checks on fixed plans and generated workloads; and
+    + the {e baseline} of the executor benchmark section, where the
+      throughput and allocation gains of block-at-a-time execution are
+      measured against it.
+
+    Semantics and meter charges are unchanged from the original, except
+    that cache keys are built (and charged) through {!Keys} so the two
+    engines account key-build work identically. *)
+
+open Sqlir
+module A = Ast
+module Db = Storage.Db
+module Relation = Storage.Relation
+module Btree = Storage.Btree
+
+type row = Eval.row
+type layout = Eval.layout
+
+type ctx = {
+  db : Db.t;
+  meter : Meter.t;
+  binds : Value.t array;  (** values for the plan's [Bind] markers *)
+}
+
+exception Runtime_error of string
+
+module Vkey = Map.Make (struct
+  type t = Value.t list
+
+  let compare = List.compare Value.compare_total
+end)
+
+let out ctx rows =
+  ctx.meter.rows_out <- ctx.meter.rows_out + List.length rows;
+  rows
+
+let charge_sort ctx n =
+  if n > 1 then
+    ctx.meter.sort_compares <-
+      ctx.meter.sort_compares
+      + int_of_float (float_of_int n *. (log (float_of_int n) /. log 2.))
+
+(* Sort rows by compiled keys with direction; nulls last ascending. *)
+let sort_rows ctx (keyfs : (row -> Value.t) list) (dirs : A.dir list) rows =
+  charge_sort ctx (List.length rows);
+  let cmp r1 r2 =
+    let rec go ks ds =
+      match (ks, ds) with
+      | [], _ -> 0
+      | k :: ks', d :: ds' ->
+          let c = Value.compare_total (k r1) (k r2) in
+          let c = match d with A.Asc -> c | A.Desc -> -c in
+          if c <> 0 then c else go ks' ds'
+      | k :: ks', [] ->
+          let c = Value.compare_total (k r1) (k r2) in
+          if c <> 0 then c else go ks' []
+    in
+    go keyfs dirs
+  in
+  List.stable_sort cmp rows
+
+(* --------------------------------------------------------------- *)
+(* Aggregation accumulators                                          *)
+(* --------------------------------------------------------------- *)
+
+type acc = {
+  mutable a_count : int;
+  mutable a_sum : Value.t;  (* running sum; Null until first value *)
+  mutable a_min : Value.t;
+  mutable a_max : Value.t;
+  mutable a_seen : unit Vkey.t;  (* for DISTINCT aggregates *)
+}
+
+let acc_create () =
+  {
+    a_count = 0;
+    a_sum = Value.Null;
+    a_min = Value.Null;
+    a_max = Value.Null;
+    a_seen = Vkey.empty;
+  }
+
+let acc_add distinct acc (v : Value.t) =
+  let proceed =
+    if not distinct then true
+    else if Vkey.mem [ v ] acc.a_seen then false
+    else (
+      acc.a_seen <- Vkey.add [ v ] () acc.a_seen;
+      true)
+  in
+  if proceed && not (Value.is_null v) then (
+    acc.a_count <- acc.a_count + 1;
+    acc.a_sum <-
+      (if Value.is_null acc.a_sum then v else Value.arith `Add acc.a_sum v);
+    acc.a_min <-
+      (if Value.is_null acc.a_min || Value.compare_total v acc.a_min < 0 then v
+       else acc.a_min);
+    acc.a_max <-
+      (if Value.is_null acc.a_max || Value.compare_total v acc.a_max > 0 then v
+       else acc.a_max))
+
+let acc_result (a : A.agg) acc ~rows_in_group =
+  match a with
+  | A.Count_star -> Value.Int rows_in_group
+  | A.Count -> Value.Int acc.a_count
+  | A.Sum -> acc.a_sum
+  | A.Min -> acc.a_min
+  | A.Max -> acc.a_max
+  | A.Avg ->
+      if acc.a_count = 0 then Value.Null
+      else Value.arith `Div acc.a_sum (Value.Int acc.a_count)
+
+(* --------------------------------------------------------------- *)
+(* The interpreter                                                   *)
+(* --------------------------------------------------------------- *)
+
+(** Compile [p] under correlation scopes [scopes]. The returned closure
+    takes the rows for those scopes and yields the operator's output. *)
+let rec prepare (ctx : ctx) (scopes : layout list) (p : Plan.t) :
+    row list -> row list =
+  let cat = ctx.db.Db.cat in
+  let meter = ctx.meter in
+  let binds = ctx.binds in
+  let self_layout = Plan.layout p cat in
+  match p with
+  | Plan.Table_scan { table; alias = _; filter } ->
+      let rel = Db.relation ctx.db table in
+      let fs = List.map (Eval.compile_pred ~meter ~binds (self_layout :: scopes)) filter in
+      fun orows ->
+        meter.pages_read <- meter.pages_read + Relation.pages rel;
+        let acc = ref [] in
+        Relation.iter
+          (fun tup ->
+            meter.rows_scanned <- meter.rows_scanned + 1;
+            if Eval.passes fs (tup :: orows) then acc := tup :: !acc)
+          rel;
+        out ctx (List.rev !acc)
+  | Plan.Index_scan { table; alias = _; index; prefix; lo; hi; filter } ->
+      let rel = Db.relation ctx.db table in
+      let bt = Db.index ctx.db ~table ~name:index in
+      let fprefix = List.map (Eval.compile_expr ~meter ~binds scopes) prefix in
+      let bound = function
+        | Plan.R_unbounded -> fun _ -> Btree.Unbounded
+        | Plan.R_incl e ->
+            let f = Eval.compile_expr ~meter ~binds scopes e in
+            fun orows -> Btree.Incl (f orows)
+        | Plan.R_excl e ->
+            let f = Eval.compile_expr ~meter ~binds scopes e in
+            fun orows -> Btree.Excl (f orows)
+      in
+      let flo = bound lo and fhi = bound hi in
+      let fs = List.map (Eval.compile_pred ~meter ~binds (self_layout :: scopes)) filter in
+      let full_key_eq =
+        List.length prefix = List.length bt.Btree.bt_cols
+      in
+      fun orows ->
+        let pvals = List.map (fun f -> f orows) fprefix in
+        meter.idx_probes <- meter.idx_probes + Btree.height bt;
+        let rowids =
+          if List.exists Value.is_null pvals && pvals <> [] then []
+          else if full_key_eq then Btree.find_eq bt pvals
+          else
+            match (flo orows, fhi orows) with
+            | Btree.Unbounded, Btree.Unbounded when pvals <> [] ->
+                Btree.find_prefix bt pvals
+            | lo, hi ->
+                let ids, touched = Btree.range bt ~prefix:pvals ~lo ~hi in
+                meter.idx_entries <- meter.idx_entries + touched;
+                ids
+        in
+        meter.idx_entries <- meter.idx_entries + List.length rowids;
+        let acc = ref [] in
+        List.iter
+          (fun rid ->
+            meter.rows_scanned <- meter.rows_scanned + 1;
+            let tup = rel.Relation.r_rows.(rid) in
+            if Eval.passes fs (tup :: orows) then acc := tup :: !acc)
+          rowids;
+        out ctx (List.rev !acc)
+  | Plan.Filter { child; preds } ->
+      let fchild = prepare ctx scopes child in
+      let fs = List.map (Eval.compile_pred ~meter ~binds (self_layout :: scopes)) preds in
+      fun orows ->
+        out ctx
+          (List.filter (fun r -> Eval.passes fs (r :: orows)) (fchild orows))
+  | Plan.Project { child; alias = _; items } ->
+      let child_layout = Plan.layout child cat in
+      let fchild = prepare ctx scopes child in
+      let fitems =
+        List.map
+          (fun (e, _) -> Eval.compile_expr ~meter ~binds (child_layout :: scopes) e)
+          items
+      in
+      fun orows ->
+        out ctx
+          (List.map
+             (fun r ->
+               Array.of_list (List.map (fun f -> f (r :: orows)) fitems))
+             (fchild orows))
+  | Plan.Join { meth; role; left; right; cond } ->
+      prepare_join ctx scopes ~meth ~role ~left ~right ~cond
+  | Plan.Subq_filter { child; preds } -> prepare_subq_filter ctx scopes child preds
+  | Plan.Aggregate { child; strategy; alias = _; keys; aggs } ->
+      prepare_aggregate ctx scopes child strategy keys aggs
+  | Plan.Window { child; alias = _; wins } -> prepare_window ctx scopes child wins
+  | Plan.Distinct child ->
+      let fchild = prepare ctx scopes child in
+      fun orows ->
+        let seen = ref Vkey.empty in
+        let acc = ref [] in
+        List.iter
+          (fun r ->
+            meter.hash_build <- meter.hash_build + 1;
+            let k = Array.to_list r in
+            if not (Vkey.mem k !seen) then (
+              seen := Vkey.add k () !seen;
+              acc := r :: !acc))
+          (fchild orows);
+        out ctx (List.rev !acc)
+  | Plan.Sort { child; keys } ->
+      let child_layout = Plan.layout child cat in
+      let fchild = prepare ctx scopes child in
+      let kfs =
+        List.map
+          (fun (e, _) ->
+            let f = Eval.compile_expr ~meter ~binds (child_layout :: scopes) e in
+            f)
+          keys
+      in
+      let dirs = List.map snd keys in
+      fun orows ->
+        let rows = fchild orows in
+        let kfs = List.map (fun f r -> f (r :: orows)) kfs in
+        out ctx (sort_rows ctx kfs dirs rows)
+  | Plan.Limit { child; n } ->
+      let fchild = prepare ctx scopes child in
+      fun orows ->
+        let rows = fchild orows in
+        out ctx (List.filteri (fun i _ -> i < n) rows)
+  | Plan.Limit_filter { child; preds; n } ->
+      let fchild = prepare ctx scopes child in
+      let fs =
+        List.map (Eval.compile_pred ~meter ~binds (self_layout :: scopes)) preds
+      in
+      fun orows ->
+        (* streaming: stop evaluating predicates once the quota fills *)
+        let rec take acc k = function
+          | [] -> List.rev acc
+          | _ when k = 0 -> List.rev acc
+          | r :: rest ->
+              if Eval.passes fs (r :: orows) then take (r :: acc) (k - 1) rest
+              else take acc k rest
+        in
+        out ctx (take [] n (fchild orows))
+  | Plan.Union_all children ->
+      let fs = List.map (prepare ctx scopes) children in
+      fun orows -> out ctx (List.concat_map (fun f -> f orows) fs)
+  | Plan.Setop_exec { op; left; right } ->
+      let fleft = prepare ctx scopes left in
+      let fright = prepare ctx scopes right in
+      fun orows ->
+        let rrows = fright orows in
+        let rset =
+          List.fold_left
+            (fun m r ->
+              meter.hash_build <- meter.hash_build + 1;
+              Vkey.add (Array.to_list r) () m)
+            Vkey.empty rrows
+        in
+        let seen = ref Vkey.empty in
+        let acc = ref [] in
+        List.iter
+          (fun r ->
+            meter.hash_probe <- meter.hash_probe + 1;
+            let k = Array.to_list r in
+            let in_right = Vkey.mem k rset in
+            let keep =
+              match op with `Intersect -> in_right | `Minus -> not in_right
+            in
+            if keep && not (Vkey.mem k !seen) then (
+              seen := Vkey.add k () !seen;
+              acc := r :: !acc))
+          (fleft orows);
+        out ctx (List.rev !acc)
+
+(* --------------------------------------------------------------- *)
+(* Joins                                                             *)
+(* --------------------------------------------------------------- *)
+
+(* Split join conjuncts into equi-conjuncts usable as hash/merge keys
+   (left expr, right expr) and residual conjuncts. *)
+and equi_split left_aliases right_aliases cond =
+  let module S = Walk.Sset in
+  let aliases_of e = Walk.expr_aliases e in
+  List.fold_left
+    (fun (keys, residual) c ->
+      match c with
+      | A.Cmp (A.Eq, a, b) ->
+          let aa = aliases_of a and ab = aliases_of b in
+          if S.subset aa left_aliases && S.subset ab right_aliases then
+            (keys @ [ (a, b) ], residual)
+          else if S.subset ab left_aliases && S.subset aa right_aliases then
+            (keys @ [ (b, a) ], residual)
+          else (keys, residual @ [ c ])
+      | _ -> (keys, residual @ [ c ]))
+    ([], []) cond
+
+and prepare_join ctx scopes ~meth ~role ~left ~right ~cond =
+  let cat = ctx.db.Db.cat in
+  let meter = ctx.meter in
+  let binds = ctx.binds in
+  let left_layout = Plan.layout left cat in
+  let right_layout = Plan.layout right cat in
+  let combined = Array.append left_layout right_layout in
+  let right_width = Array.length right_layout in
+  let fleft = prepare ctx scopes left in
+  let aliases_of_layout l =
+    Array.fold_left (fun s (a, _) -> Walk.Sset.add a s) Walk.Sset.empty l
+  in
+  let join3 v1 v2 = Value.compare_sql v1 v2 in
+  (* componentwise 3VL equality of key value lists *)
+  let _match3 (ks1 : Value.t list) (ks2 : Value.t list) : bool option =
+    let rec go l r =
+      match (l, r) with
+      | [], [] -> Some true
+      | v1 :: l', v2 :: r' -> (
+          match join3 v1 v2 with
+          | Some 0 -> go l' r'
+          | Some _ -> Some false
+          | None -> ( match go l' r' with Some false -> Some false | _ -> None))
+      | _ -> Some false
+    in
+    go ks1 ks2
+  in
+  match meth with
+  | Plan.Nested_loop ->
+      (* The right side may be correlated to the left row (index probes,
+         pushed-down join predicates, TIS-style views). Its result is a
+         deterministic function of the correlation values it reads from
+         the left row, so it is executed once per distinct combination
+         and cached — this models the semijoin/antijoin and subquery
+         caching the paper describes (Section 2.1.1). *)
+      let fright = prepare ctx (left_layout :: scopes) right in
+      let right_corr = Plan.corr_positions right left_layout in
+      let fcond =
+        List.map (Eval.compile_pred ~meter ~binds (combined :: scopes)) cond
+      in
+      let fconds3 = fcond in
+      let right_cache : row list Vkey.t ref = ref Vkey.empty in
+      let cached_right l orows =
+        let key = Keys.corr ctx.meter right_corr l orows in
+        match Vkey.find_opt key !right_cache with
+        | Some rows ->
+            meter.subq_cache_hits <- meter.subq_cache_hits + 1;
+            rows
+        | None ->
+            let rows = fright (l :: orows) in
+            right_cache := Vkey.add key rows !right_cache;
+            rows
+      in
+      fun orows ->
+        let lrows = fleft orows in
+        let result = ref [] in
+        List.iter
+          (fun l ->
+            let rrows = cached_right l orows in
+            match role with
+            | Plan.Inner ->
+                List.iter
+                  (fun r ->
+                    meter.rows_joined <- meter.rows_joined + 1;
+                    let j = Array.append l r in
+                    if Eval.passes fcond (j :: orows) then result := j :: !result)
+                  rrows
+            | Plan.Left_outer ->
+                let matched = ref false in
+                List.iter
+                  (fun r ->
+                    meter.rows_joined <- meter.rows_joined + 1;
+                    let j = Array.append l r in
+                    if Eval.passes fcond (j :: orows) then (
+                      matched := true;
+                      result := j :: !result))
+                  rrows;
+                if not !matched then
+                  result := Array.append l (Array.make right_width Value.Null) :: !result
+            | Plan.Semi ->
+                (* stop at first match *)
+                let rec go = function
+                  | [] -> false
+                  | r :: rest ->
+                      meter.rows_joined <- meter.rows_joined + 1;
+                      if Eval.passes fcond (Array.append l r :: orows) then true
+                      else go rest
+                in
+                if go rrows then result := l :: !result
+            | Plan.Anti ->
+                let rec go = function
+                  | [] -> true
+                  | r :: rest ->
+                      meter.rows_joined <- meter.rows_joined + 1;
+                      if Eval.passes fcond (Array.append l r :: orows) then
+                        false
+                      else go rest
+                in
+                if go rrows then result := l :: !result
+            | Plan.Anti_na ->
+                (* NOT IN semantics: qualify only if every right row
+                   definitely mismatches *)
+                let rec go = function
+                  | [] -> true
+                  | r :: rest ->
+                      meter.rows_joined <- meter.rows_joined + 1;
+                      let j = Array.append l r in
+                      if
+                        List.exists
+                          (fun f -> f (j :: orows) = Some false)
+                          fconds3
+                      then go rest
+                      else false
+                in
+                if go rrows then result := l :: !result)
+          lrows;
+        out ctx (List.rev !result)
+  | Plan.Hash ->
+      let fright = prepare ctx scopes right in
+      let lal = aliases_of_layout left_layout
+      and ral = aliases_of_layout right_layout in
+      let keys, residual = equi_split lal ral cond in
+      if keys = [] then
+        invalid_arg "Executor: hash join requires at least one equi-conjunct";
+      let flk =
+        List.map (fun (a, _) -> Eval.compile_expr ~meter ~binds (left_layout :: scopes) a) keys
+      in
+      let frk =
+        List.map (fun (_, b) -> Eval.compile_expr ~meter ~binds (right_layout :: scopes) b) keys
+      in
+      let fres =
+        List.map (Eval.compile_pred ~meter ~binds (combined :: scopes)) residual
+      in
+      (* 3VL per-conjunct evaluation of the full condition, used by the
+         null-aware antijoin's possible-match check *)
+      let fconds3 =
+        List.map (Eval.compile_pred ~meter ~binds (combined :: scopes)) cond
+      in
+      fun orows ->
+        let rrows = fright orows in
+        let table = ref Vkey.empty in
+        let right_with_null = ref [] in
+        let right_all = ref [] in
+        List.iter
+          (fun r ->
+            meter.hash_build <- meter.hash_build + 1;
+            let kv = List.map (fun f -> f (r :: orows)) frk in
+            right_all := (kv, r) :: !right_all;
+            if List.exists Value.is_null kv then
+              right_with_null := (kv, r) :: !right_with_null
+            else
+              let cur = try Vkey.find kv !table with Not_found -> [] in
+              table := Vkey.add kv (r :: cur) !table)
+          rrows;
+        let lrows = fleft orows in
+        let result = ref [] in
+        List.iter
+          (fun l ->
+            meter.hash_probe <- meter.hash_probe + 1;
+            let kv = List.map (fun f -> f (l :: orows)) flk in
+            let has_null = List.exists Value.is_null kv in
+            let matches =
+              if has_null then []
+              else
+                List.filter
+                  (fun r ->
+                    meter.rows_joined <- meter.rows_joined + 1;
+                    Eval.passes fres (Array.append l r :: orows))
+                  (try Vkey.find kv !table with Not_found -> [])
+            in
+            match role with
+            | Plan.Inner ->
+                List.iter (fun r -> result := Array.append l r :: !result) matches
+            | Plan.Left_outer ->
+                if matches = [] then
+                  result :=
+                    Array.append l (Array.make right_width Value.Null) :: !result
+                else
+                  List.iter (fun r -> result := Array.append l r :: !result) matches
+            | Plan.Semi -> if matches <> [] then result := l :: !result
+            | Plan.Anti -> if matches = [] then result := l :: !result
+            | Plan.Anti_na ->
+                if rrows = [] then result := l :: !result
+                else if matches <> [] then ()
+                else
+                  (* NOT IN semantics: the left row is dropped unless
+                     every right row definitely mismatches. Candidate
+                     possible-matches: rows in the probe bucket (residual
+                     may have been UNKNOWN), null-key rows, and — when
+                     the probe key itself has NULLs — every right row.
+                     A candidate is a possible match if no conjunct of
+                     the full condition evaluates to definitely-false. *)
+                  let candidates =
+                    if has_null then List.map snd !right_all
+                    else
+                      (try Vkey.find kv !table with Not_found -> [])
+                      @ List.map snd !right_with_null
+                  in
+                  let possible =
+                    List.exists
+                      (fun r ->
+                        meter.rows_joined <- meter.rows_joined + 1;
+                        let j = Array.append l r in
+                        not
+                          (List.exists
+                             (fun f -> f (j :: orows) = Some false)
+                             fconds3))
+                      candidates
+                  in
+                  if not possible then result := l :: !result)
+          lrows;
+        out ctx (List.rev !result)
+  | Plan.Merge ->
+      let fright = prepare ctx scopes right in
+      let lal = aliases_of_layout left_layout
+      and ral = aliases_of_layout right_layout in
+      let keys, residual = equi_split lal ral cond in
+      if keys = [] then
+        invalid_arg "Executor: merge join requires at least one equi-conjunct";
+      let flk =
+        List.map (fun (a, _) -> Eval.compile_expr ~meter ~binds (left_layout :: scopes) a) keys
+      in
+      let frk =
+        List.map (fun (_, b) -> Eval.compile_expr ~meter ~binds (right_layout :: scopes) b) keys
+      in
+      let fres =
+        List.map (Eval.compile_pred ~meter ~binds (combined :: scopes)) residual
+      in
+      fun orows ->
+        let lkeyed =
+          List.map (fun l -> (List.map (fun f -> f (l :: orows)) flk, l)) (fleft orows)
+        in
+        let rkeyed =
+          List.map (fun r -> (List.map (fun f -> f (r :: orows)) frk, r)) (fright orows)
+        in
+        charge_sort ctx (List.length lkeyed);
+        charge_sort ctx (List.length rkeyed);
+        let cmpk (k1, _) (k2, _) = List.compare Value.compare_total k1 k2 in
+        let ls = List.stable_sort cmpk lkeyed in
+        let rs = List.stable_sort cmpk rkeyed in
+        let result = ref [] in
+        (* two-pointer merge over sorted runs *)
+        let rec merge ls rs =
+          match (ls, rs) with
+          | [], _ -> ()
+          | (lk, l) :: ls', _ when List.exists Value.is_null lk ->
+              (* null keys never match *)
+              (match role with
+              | Plan.Anti -> result := l :: !result
+              | _ -> ());
+              merge ls' rs
+          | _ :: _, [] ->
+              (match role with
+              | Plan.Anti ->
+                  List.iter (fun (_, l) -> result := l :: !result) ls
+              | _ -> ())
+          | (lk, l) :: ls', (rk, _) :: rs' -> (
+              let c = List.compare Value.compare_total lk rk in
+              if c < 0 then (
+                (match role with
+                | Plan.Anti -> result := l :: !result
+                | _ -> ());
+                merge ls' rs)
+              else if c > 0 then merge ls rs'
+              else
+                (* gather the right group with this key *)
+                let group, rest =
+                  let rec split acc = function
+                    | (rk', r) :: t when List.compare Value.compare_total rk' rk = 0 ->
+                        split (r :: acc) t
+                    | t -> (List.rev acc, t)
+                  in
+                  split [] rs
+                in
+                ignore rest;
+                let consume_left (lk', l') =
+                  if List.compare Value.compare_total lk' rk = 0 then (
+                    let matches =
+                      List.filter
+                        (fun r ->
+                          meter.rows_joined <- meter.rows_joined + 1;
+                          Eval.passes fres (Array.append l' r :: orows))
+                        group
+                    in
+                    (match role with
+                    | Plan.Inner ->
+                        List.iter
+                          (fun r -> result := Array.append l' r :: !result)
+                          matches
+                    | Plan.Semi -> if matches <> [] then result := l' :: !result
+                    | Plan.Anti -> if matches = [] then result := l' :: !result
+                    | _ ->
+                        invalid_arg
+                          "Executor: merge join supports inner/semi/anti only");
+                    true)
+                  else false
+                in
+                let rec eat = function
+                  | lh :: lt when consume_left lh -> eat lt
+                  | lt -> merge lt rs'
+                in
+                eat ((lk, l) :: ls'))
+        in
+        merge ls rs;
+        out ctx (List.rev !result)
+
+and prepare_subq_filter ctx scopes child preds =
+  let cat = ctx.db.Db.cat in
+  let meter = ctx.meter in
+  let binds = ctx.binds in
+  let child_layout = Plan.layout child cat in
+  let fchild = prepare ctx scopes child in
+  let inner_scopes = child_layout :: scopes in
+  (* Each subquery plan is a deterministic function of its correlation
+     columns (the child-row positions it reads) and the outer scopes;
+     its result rows are computed once per distinct combination and
+     cached — the subquery-filter caching of Section 2.1.1. The
+     predicate itself (EXISTS / IN / comparison) is then evaluated per
+     candidate row against the cached result. *)
+  let cached_rows plan =
+    let fplan = prepare ctx inner_scopes plan in
+    let positions = Plan.corr_positions plan child_layout in
+    let cache : row list Vkey.t ref = ref Vkey.empty in
+    fun (r : row) (orows : row list) ->
+      let key = Keys.corr meter positions r orows in
+      match Vkey.find_opt key !cache with
+      | Some rows ->
+          meter.subq_cache_hits <- meter.subq_cache_hits + 1;
+          rows
+      | None ->
+          meter.subq_execs <- meter.subq_execs + 1;
+          let rows = fplan (r :: orows) in
+          cache := Vkey.add key rows !cache;
+          rows
+  in
+  let compiled =
+    List.map
+      (fun sp ->
+        match sp with
+        | Plan.SP_exists { negated; plan } ->
+            let rows_of = cached_rows plan in
+            fun (r : row) orows ->
+              let non_empty = rows_of r orows <> [] in
+              Some (if negated then not non_empty else non_empty)
+        | Plan.SP_in { negated; lhs; plan } ->
+            let flhs = List.map (Eval.compile_expr ~meter ~binds inner_scopes) lhs in
+            let rows_of = cached_rows plan in
+            let width = List.length lhs in
+            (* per inner-result index: hash set of null-free keys plus
+               the rows containing NULLs (checked with 3VL) *)
+            let index_cache :
+                (unit Vkey.t * row list * bool) Vkey.t ref =
+              ref Vkey.empty
+            in
+            let index_of key inner =
+              match Vkey.find_opt key !index_cache with
+              | Some ix -> ix
+              | None ->
+                  let set = ref Vkey.empty in
+                  let nulls = ref [] in
+                  List.iter
+                    (fun (ir : row) ->
+                      meter.hash_build <- meter.hash_build + 1;
+                      let kv = List.init width (fun i -> ir.(i)) in
+                      if List.exists Value.is_null kv then
+                        nulls := ir :: !nulls
+                      else set := Vkey.add kv () !set)
+                    inner;
+                  let ix = (!set, !nulls, inner <> []) in
+                  index_cache := Vkey.add key ix !index_cache;
+                  ix
+            in
+            let positions = Plan.corr_positions plan child_layout in
+            fun r orows ->
+              let lvals = List.map (fun f -> f (r :: orows)) flhs in
+              let inner = rows_of r orows in
+              let key = Keys.corr meter positions r orows in
+              let set, null_rows, non_empty = index_of key inner in
+              meter.hash_probe <- meter.hash_probe + 1;
+              let lhs_has_null = List.exists Value.is_null lvals in
+              let truth =
+                if not non_empty then Some false
+                else if (not lhs_has_null) && Vkey.mem lvals set then Some true
+                else
+                  (* possible UNKNOWN matches: rows with NULL components,
+                     or (when the probe itself has NULLs) any row whose
+                     other components do not definitely mismatch *)
+                  let possible_unknown (ir : row) =
+                    let rec go i = function
+                      | [] -> true
+                      | v :: rest -> (
+                          match Value.compare_sql v ir.(i) with
+                          | Some c when c <> 0 -> false
+                          | _ -> go (i + 1) rest)
+                    in
+                    meter.rows_joined <- meter.rows_joined + 1;
+                    go 0 lvals
+                  in
+                  if lhs_has_null then
+                    if width = 1 then None
+                    else if
+                      List.exists possible_unknown null_rows
+                      || Vkey.exists
+                           (fun kv () ->
+                             meter.rows_joined <- meter.rows_joined + 1;
+                             let rec go ls ks =
+                               match (ls, ks) with
+                               | [], [] -> true
+                               | l :: ls', k :: ks' -> (
+                                   match Value.compare_sql l k with
+                                   | Some c when c <> 0 -> false
+                                   | _ -> go ls' ks')
+                               | _ -> false
+                             in
+                             go lvals kv)
+                           set
+                    then None
+                    else Some false
+                  else if List.exists possible_unknown null_rows then None
+                  else Some false
+              in
+              (match truth with
+              | Some b -> Some (if negated then not b else b)
+              | None -> None)
+        | Plan.SP_cmp { op; lhs; quant; plan } ->
+            let flhs = Eval.compile_expr ~meter ~binds inner_scopes lhs in
+            let rows_of = cached_rows plan in
+            let test = Eval.cmp_test op in
+            let positions = Plan.corr_positions plan child_layout in
+            (* per inner-result statistics for quantified comparisons:
+               min / max / null presence / distinct-value set of the
+               first output column *)
+            let stats_cache :
+                (Value.t * Value.t * bool * unit Vkey.t) Vkey.t ref =
+              ref Vkey.empty
+            in
+            let stats_of key inner =
+              match Vkey.find_opt key !stats_cache with
+              | Some st -> st
+              | None ->
+                  let mn = ref Value.Null
+                  and mx = ref Value.Null
+                  and has_null = ref false
+                  and set = ref Vkey.empty in
+                  List.iter
+                    (fun (ir : row) ->
+                      meter.hash_build <- meter.hash_build + 1;
+                      let v = ir.(0) in
+                      if Value.is_null v then has_null := true
+                      else (
+                        set := Vkey.add [ v ] () !set;
+                        if
+                          Value.is_null !mn
+                          || Value.compare_total v !mn < 0
+                        then mn := v;
+                        if
+                          Value.is_null !mx
+                          || Value.compare_total v !mx > 0
+                        then mx := v))
+                    inner;
+                  let st = (!mn, !mx, !has_null, !set) in
+                  stats_cache := Vkey.add key st !stats_cache;
+                  st
+            in
+            fun r orows ->
+              let lval = flhs (r :: orows) in
+              let inner = rows_of r orows in
+              match quant with
+              | None -> (
+                  match inner with
+                  | [] -> None  (* scalar subquery over empty input: NULL *)
+                  | [ ir ] -> Option.map test (Value.compare_sql lval ir.(0))
+                  | _ ->
+                      raise
+                        (Runtime_error
+                           "scalar subquery returned more than one row"))
+              | Some q ->
+                  let key = Keys.corr meter positions r orows in
+                  let mn, mx, has_null, set = stats_of key inner in
+                  meter.hash_probe <- meter.hash_probe + 1;
+                  let n_distinct = Vkey.cardinal set in
+                  if inner = [] then
+                    Some (match q with A.Q_any -> false | A.Q_all -> true)
+                  else if Value.is_null lval then None
+                  else
+                    let some_true, some_false =
+                      (* does lval op s hold for some / fail for some
+                         non-null s? derived from min/max/set *)
+                      match op with
+                      | A.Eq ->
+                          let m = Vkey.mem [ lval ] set in
+                          (m, n_distinct > 1 || not m)
+                      | A.Ne ->
+                          let m = Vkey.mem [ lval ] set in
+                          (n_distinct > 1 || not m, m)
+                      | A.Lt ->
+                          ( (n_distinct > 0 && Value.compare_total lval mx < 0),
+                            n_distinct > 0 && Value.compare_total lval mn >= 0 )
+                      | A.Le ->
+                          ( (n_distinct > 0 && Value.compare_total lval mx <= 0),
+                            n_distinct > 0 && Value.compare_total lval mn > 0 )
+                      | A.Gt ->
+                          ( (n_distinct > 0 && Value.compare_total lval mn > 0),
+                            n_distinct > 0 && Value.compare_total lval mx <= 0 )
+                      | A.Ge ->
+                          ( (n_distinct > 0 && Value.compare_total lval mn >= 0),
+                            n_distinct > 0 && Value.compare_total lval mx < 0 )
+                    in
+                    (match q with
+                    | A.Q_any ->
+                        if some_true then Some true
+                        else if has_null then None
+                        else Some false
+                    | A.Q_all ->
+                        if some_false then Some false
+                        else if has_null then None
+                        else Some true))
+      preds
+  in
+  fun orows ->
+    let rows = fchild orows in
+    out ctx
+      (List.filter
+         (fun r -> List.for_all (fun f -> f r orows = Some true) compiled)
+         rows)
+
+and prepare_aggregate ctx scopes child strategy keys aggs =
+  let cat = ctx.db.Db.cat in
+  let meter = ctx.meter in
+  let binds = ctx.binds in
+  let child_layout = Plan.layout child cat in
+  let inner = child_layout :: scopes in
+  let fchild = prepare ctx scopes child in
+  let fkeys = List.map (fun (e, _) -> Eval.compile_expr ~meter ~binds inner e) keys in
+  let faggs =
+    List.map
+      (fun (_, a, eo, dist) ->
+        (a, Option.map (Eval.compile_expr ~meter ~binds inner) eo, dist))
+      aggs
+  in
+  fun orows ->
+    let rows = fchild orows in
+    (match strategy with `Sort -> charge_sort ctx (List.length rows) | `Hash -> ());
+    let groups = ref Vkey.empty in
+    let order = ref [] in
+    List.iter
+      (fun r ->
+        meter.agg_rows <- meter.agg_rows + 1;
+        let kv = List.map (fun f -> f (r :: orows)) fkeys in
+        let entry =
+          match Vkey.find_opt kv !groups with
+          | Some e -> e
+          | None ->
+              let e = (ref 0, List.map (fun _ -> acc_create ()) faggs) in
+              groups := Vkey.add kv e !groups;
+              order := kv :: !order;
+              e
+        in
+        let nrows, accs = entry in
+        incr nrows;
+        List.iter2
+          (fun (_, feo, dist) acc ->
+            match feo with
+            | None -> ()
+            | Some f -> acc_add dist acc (f (r :: orows)))
+          faggs accs)
+      rows;
+    let emit kv =
+      let nrows, accs = Vkey.find kv !groups in
+      let aggvals =
+        List.map2
+          (fun (a, _, _) acc -> acc_result a acc ~rows_in_group:!nrows)
+          faggs accs
+      in
+      Array.of_list (kv @ aggvals)
+    in
+    let result =
+      if keys = [] && rows = [] then
+        (* scalar aggregate over empty input: one row *)
+        [ Array.of_list
+            (List.map
+               (fun (a, _, _) ->
+                 match a with
+                 | A.Count_star | A.Count -> Value.Int 0
+                 | _ -> Value.Null)
+               faggs) ]
+      else List.rev_map emit !order
+    in
+    out ctx result
+
+and prepare_window ctx scopes child wins =
+  let cat = ctx.db.Db.cat in
+  let meter = ctx.meter in
+  let binds = ctx.binds in
+  let child_layout = Plan.layout child cat in
+  let inner = child_layout :: scopes in
+  let fchild = prepare ctx scopes child in
+  let fwins =
+    List.map
+      (fun (_, a, eo, (w : A.win)) ->
+        ( a,
+          Option.map (Eval.compile_expr ~meter ~binds inner) eo,
+          List.map (Eval.compile_expr ~meter ~binds inner) w.w_pby,
+          List.map (fun (e, _) -> Eval.compile_expr ~meter ~binds inner e) w.w_oby,
+          List.map snd w.w_oby ))
+      wins
+  in
+  fun orows ->
+    let rows = fchild orows in
+    (* For each window function, compute per-row values; RANGE UNBOUNDED
+       PRECEDING .. CURRENT ROW cumulative semantics with peer rows
+       (equal ORDER BY keys) sharing the same result. *)
+    let n = List.length rows in
+    let indexed = List.mapi (fun i r -> (i, r)) rows in
+    let results = List.map (fun _ -> Array.make n Value.Null) fwins in
+    List.iteri
+      (fun wi (a, feo, fpby, foby, dirs) ->
+        let store = List.nth results wi in
+        (* partition *)
+        let parts = ref Vkey.empty in
+        List.iter
+          (fun (i, r) ->
+            meter.agg_rows <- meter.agg_rows + 1;
+            let pk = List.map (fun f -> f (r :: orows)) fpby in
+            let cur = try Vkey.find pk !parts with Not_found -> [] in
+            parts := Vkey.add pk ((i, r) :: cur) !parts)
+          indexed;
+        Vkey.iter
+          (fun _ members ->
+            let members = List.rev members in
+            let okeys (_, r) = List.map (fun f -> f (r :: orows)) foby in
+            charge_sort ctx (List.length members);
+            let sorted =
+              List.stable_sort
+                (fun m1 m2 ->
+                  let rec go ks1 ks2 ds =
+                    match (ks1, ks2, ds) with
+                    | [], [], _ -> 0
+                    | k1 :: t1, k2 :: t2, d :: ds' ->
+                        let c = Value.compare_total k1 k2 in
+                        let c = match d with A.Asc -> c | A.Desc -> -c in
+                        if c <> 0 then c else go t1 t2 ds'
+                    | k1 :: t1, k2 :: t2, [] ->
+                        let c = Value.compare_total k1 k2 in
+                        if c <> 0 then c else go t1 t2 []
+                    | _ -> 0
+                  in
+                  go (okeys m1) (okeys m2) dirs)
+                members
+            in
+            (* walk peer groups cumulatively *)
+            let acc = acc_create () in
+            let rows_so_far = ref 0 in
+            let rec walk = function
+              | [] -> ()
+              | ((_, r1) :: _ as rest) ->
+                  let k1 = okeys (0, r1) in
+                  let peers, others =
+                    List.partition
+                      (fun m -> List.compare Value.compare_total (okeys m) k1 = 0)
+                      rest
+                  in
+                  List.iter
+                    (fun (_, r) ->
+                      incr rows_so_far;
+                      match feo with
+                      | None -> ()
+                      | Some f -> acc_add false acc (f (r :: orows)))
+                    peers;
+                  let v = acc_result a acc ~rows_in_group:!rows_so_far in
+                  List.iter (fun (i, _) -> store.(i) <- v) peers;
+                  walk others
+            in
+            walk sorted)
+          !parts)
+      fwins;
+    out ctx
+      (List.mapi
+         (fun i r ->
+           Array.append r
+             (Array.of_list (List.map (fun store -> store.(i)) results)))
+         rows)
+
+(* --------------------------------------------------------------- *)
+(* Entry points                                                      *)
+(* --------------------------------------------------------------- *)
+
+(** Execute a complete (uncorrelated) plan against [db]. Returns the
+    output layout and rows; work is charged to [meter]. *)
+let execute ?meter ?(binds = [||]) (db : Db.t) (plan : Plan.t) :
+    layout * row list * Meter.t =
+  let meter = match meter with Some m -> m | None -> Meter.create () in
+  let ctx = { db; meter; binds } in
+  let f = prepare ctx [] plan in
+  let rows = f [] in
+  (Plan.layout plan db.Db.cat, rows, meter)

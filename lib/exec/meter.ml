@@ -23,6 +23,9 @@ type t = {
   mutable expensive_calls : int;
       (** invocations of expensive (procedural / user-defined) functions,
           the subject of predicate pullup (Section 2.2.6) *)
+  mutable key_build : int;
+      (** values copied into TIS / NL-inner cache keys; the key-build
+          cost of the subquery-filter caches (Section 2.1.1) *)
 }
 
 let create () =
@@ -40,6 +43,7 @@ let create () =
     subq_execs = 0;
     subq_cache_hits = 0;
     expensive_calls = 0;
+    key_build = 0;
   }
 
 let reset t =
@@ -55,7 +59,8 @@ let reset t =
   t.rows_out <- 0;
   t.subq_execs <- 0;
   t.subq_cache_hits <- 0;
-  t.expensive_calls <- 0
+  t.expensive_calls <- 0;
+  t.key_build <- 0
 
 (* Weights chosen to mirror the cost model's relative charges: a page
    read costs about as much as processing the tuples on it; an index
@@ -71,6 +76,7 @@ let w_cmp = 0.35
 let w_agg = 0.9
 let w_out = 0.2
 let w_expensive = 250.
+let w_key = 0.05
 
 (** Total work units charged so far. *)
 let work t =
@@ -85,6 +91,7 @@ let work t =
   +. (w_agg *. float_of_int t.agg_rows)
   +. (w_out *. float_of_int t.rows_out)
   +. (w_expensive *. float_of_int t.expensive_calls)
+  +. (w_key *. float_of_int t.key_build)
 
 let copy t =
   {
@@ -101,6 +108,7 @@ let copy t =
     subq_execs = t.subq_execs;
     subq_cache_hits = t.subq_cache_hits;
     expensive_calls = t.expensive_calls;
+    key_build = t.key_build;
   }
 
 (** [diff cur before] — the charges accrued between the [before]
@@ -122,6 +130,7 @@ let diff cur before =
     subq_execs = cur.subq_execs - before.subq_execs;
     subq_cache_hits = cur.subq_cache_hits - before.subq_cache_hits;
     expensive_calls = cur.expensive_calls - before.expensive_calls;
+    key_build = cur.key_build - before.key_build;
   }
 
 (** [add acc d] accumulates [d] into [acc] in place. *)
@@ -138,7 +147,8 @@ let add acc d =
   acc.rows_out <- acc.rows_out + d.rows_out;
   acc.subq_execs <- acc.subq_execs + d.subq_execs;
   acc.subq_cache_hits <- acc.subq_cache_hits + d.subq_cache_hits;
-  acc.expensive_calls <- acc.expensive_calls + d.expensive_calls
+  acc.expensive_calls <- acc.expensive_calls + d.expensive_calls;
+  acc.key_build <- acc.key_build + d.key_build
 
 (** Field name / value pairs, for structured sinks and for tests that
     check meter algebra field by field. *)
@@ -157,12 +167,13 @@ let to_fields t =
     ("subq_execs", t.subq_execs);
     ("subq_cache_hits", t.subq_cache_hits);
     ("expensive_calls", t.expensive_calls);
+    ("key_build", t.key_build);
   ]
 
 let pp ppf t =
   Fmt.pf ppf
     "scan=%d pages=%d probes=%d entries=%d join=%d hb=%d hp=%d cmp=%d agg=%d \
-     out=%d subq=%d cache=%d work=%.0f"
+     out=%d subq=%d cache=%d key=%d work=%.0f"
     t.rows_scanned t.pages_read t.idx_probes t.idx_entries t.rows_joined
     t.hash_build t.hash_probe t.sort_compares t.agg_rows t.rows_out
-    t.subq_execs t.subq_cache_hits (work t)
+    t.subq_execs t.subq_cache_hits t.key_build (work t)

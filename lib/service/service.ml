@@ -47,10 +47,19 @@ type config = {
           [|new - old| <= cost_delta * old] *)
   driver : D.config;  (** CBQT configuration used for hard parses *)
   trace : Tr.level;  (** level of the service's own [Cache] spans *)
+  batch_size : int;
+      (** rows per block in the executor; results and meter totals do
+          not depend on it, only throughput does *)
 }
 
 let default_config =
-  { capacity = 128; cost_delta = 0.1; driver = D.default_config; trace = Tr.Off }
+  {
+    capacity = 128;
+    cost_delta = 0.1;
+    driver = D.default_config;
+    trace = Tr.Off;
+    batch_size = Exec.Executor.default_batch_size;
+  }
 
 (** How a probe was resolved. *)
 type outcome =
@@ -193,7 +202,7 @@ let exec_ir t (q : A.query) (binds : Value.t list) : exec_result =
   let ann, outcome, parse_s = resolve t peeked in
   let all_binds = Array.append user (Array.of_list extracted) in
   let layout, rows, _meter =
-    Exec.Executor.execute ~binds:all_binds t.db
+    Exec.Executor.execute ~binds:all_binds ~batch_size:t.cfg.batch_size t.db
       ann.Planner.Annotation.an_plan
   in
   {

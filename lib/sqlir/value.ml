@@ -66,6 +66,32 @@ let compare_sql (a : t) (b : t) : int option =
     Section 2.2.7). *)
 let equal_grouping a b = compare_total a b = 0
 
+(** Hash consistent with {!compare_total}'s equality: values that
+    compare equal hash equal — in particular [Int n] and the [Float]
+    carrying its exact image land in one bucket. Integers within the
+    exactly-representable float range (|v| < 2^53, i.e. all realistic
+    data) hash by integer mixing with no float boxing; anything larger
+    falls back to hashing through the float image, which is the value
+    both sides of a cross-type equality collapse to. *)
+let hash_total (v : t) : int =
+  let exact = 0x20000000000000 (* 2^53 *) in
+  let mix_int x =
+    let h = x * 0x9E3779B1 in
+    (h lxor (h lsr 16)) land max_int
+  in
+  match v with
+  | Int x ->
+      if x > -exact && x < exact then mix_int x
+      else Hashtbl.hash (float_of_int x)
+  | Float f ->
+      if Float.is_integer f && Float.abs f < 9007199254740992. then
+        mix_int (int_of_float f)
+      else Hashtbl.hash f
+  | Str s -> Hashtbl.hash s
+  | Bool b -> 0x9e3779b9 lxor Hashtbl.hash b
+  | Date d -> 0x7f4a7c15 lxor Hashtbl.hash d
+  | Null -> 0x2b5f0b5d
+
 let to_float = function
   | Int i -> Some (float_of_int i)
   | Float f -> Some f

@@ -18,33 +18,69 @@ module Kmap = Map.Make (struct
   let compare = List.compare Value.compare_total
 end)
 
+(* Hashed view of the same keys, for exact-match probes: executors
+   probe once per index-scan open (nested-loop inner sides open once
+   per outer row), and the ordered map's list-compare descent is
+   measurable there. Equality mirrors [Kmap]'s comparison — numeric
+   values hash through their float image so [Int 1] and [Float 1.]
+   land in one bucket. *)
+module Khash = Hashtbl.Make (struct
+  type t = key
+
+  let equal a b = List.compare Value.compare_total a b = 0
+
+  let hash k =
+    List.fold_left (fun acc v -> (acc * 31) + Value.hash_total v) 17 k
+end)
+
 type t = {
   bt_cols : string list;
   bt_unique : bool;
   mutable bt_map : int list Kmap.t;
+  bt_eq : int list Khash.t;  (** hashed view of [bt_map], equal lists *)
   mutable bt_entries : int;
+  mutable bt_keys : int;  (** distinct keys, maintained incrementally *)
 }
 
 let create ~cols ~unique =
-  { bt_cols = cols; bt_unique = unique; bt_map = Kmap.empty; bt_entries = 0 }
+  {
+    bt_cols = cols;
+    bt_unique = unique;
+    bt_map = Kmap.empty;
+    bt_eq = Khash.create 256;
+    bt_entries = 0;
+    bt_keys = 0;
+  }
 
 let insert t key row =
   match key with
   | Value.Null :: _ -> ()  (* leading-NULL keys are not indexed *)
   | _ ->
-      let prev = try Kmap.find key t.bt_map with Not_found -> [] in
-      t.bt_map <- Kmap.add key (row :: prev) t.bt_map;
+      let prev =
+        match Khash.find_opt t.bt_eq key with
+        | Some l -> l
+        | None ->
+            t.bt_keys <- t.bt_keys + 1;
+            []
+      in
+      let rows = row :: prev in
+      t.bt_map <- Kmap.add key rows t.bt_map;
+      Khash.replace t.bt_eq key rows;
       t.bt_entries <- t.bt_entries + 1
 
 let entries t = t.bt_entries
 
 (** Height of an equivalent disk B-tree, used by the cost model to
-    charge per-probe work. *)
+    charge per-probe work. The distinct-key count is maintained on
+    insert: executors charge a probe per index-scan open (nested-loop
+    inner sides open once per outer row), so this must not walk the
+    key map. *)
 let height t =
-  let n = max 2 (Kmap.cardinal t.bt_map) in
+  let n = max 2 t.bt_keys in
   max 1 (int_of_float (ceil (log (float_of_int n) /. log 64.)))
 
-let find_eq t key = try Kmap.find key t.bt_map with Not_found -> []
+let find_eq t key =
+  match Khash.find_opt t.bt_eq key with Some l -> l | None -> []
 
 (** Rows whose key starts with [prefix] (equality on a prefix of the
     index columns). *)
@@ -110,4 +146,4 @@ let range t ~prefix ~lo ~hi =
     t.bt_map;
   (!acc, !touched)
 
-let distinct_keys t = Kmap.cardinal t.bt_map
+let distinct_keys t = t.bt_keys

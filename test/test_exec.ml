@@ -435,6 +435,72 @@ let test_expensive_fn_metered () =
   let _, _, meter = Exec.Executor.execute db p in
   Alcotest.(check int) "one expensive call per row" 40 meter.expensive_calls
 
+(* The batch engine must account work identically to the list-at-a-time
+   baseline it replaced: same charges, same totals, field by field. A
+   fixed scan/filter/join/sort/limit plan plus a TIS plan (exercising
+   the subquery caches and the key_build charges) pin the two engines
+   against each other, and the headline counters against hand-derived
+   values so a change in either engine's accounting fails loudly. *)
+let test_meter_parity_with_baseline () =
+  let db = Lazy.force db in
+  let p =
+    Plan.Limit
+      {
+        child =
+          Plan.Sort
+            {
+              child =
+                join Plan.Hash Plan.Inner
+                  (scan ~filter:[ c "e" "salary" >% i 5000 ] "employees" "e")
+                  (scan "departments" "d")
+                  emp_dept_cond;
+              keys = [ (c "e" "salary", A.Desc) ];
+            };
+        n = 5;
+      }
+  in
+  let check_parity name plan =
+    let _, brows, bm = Exec.Baseline.execute db plan in
+    let _, xrows, xm = Exec.Executor.execute db plan in
+    Alcotest.(check (list (list string)))
+      (name ^ ": same rows")
+      (List.map (fun r -> Array.to_list (Array.map V.to_string r)) brows)
+      (List.map (fun r -> Array.to_list (Array.map V.to_string r)) xrows);
+    Alcotest.(check (list (pair string int)))
+      (name ^ ": same meter totals")
+      (Exec.Meter.to_fields bm)
+      (Exec.Meter.to_fields xm);
+    xm
+  in
+  let m = check_parity "join plan" p in
+  Alcotest.(check int) "rows scanned: employees + departments" 46
+    m.rows_scanned;
+  Alcotest.(check int) "hash build: one per department" 6 m.hash_build;
+  (* TIS plan: departments WHERE EXISTS correlated employees subquery *)
+  let tis =
+    Plan.Subq_filter
+      {
+        child = scan "departments" "d";
+        preds =
+          [
+            Plan.SP_exists
+              {
+                negated = false;
+                plan =
+                  scan
+                    ~filter:
+                      [
+                        c "e" "dept_id" =% c "d" "dept_id";
+                        c "e" "salary" >% i 7000;
+                      ]
+                    "employees" "e";
+              };
+          ];
+      }
+  in
+  let m = check_parity "TIS plan" tis in
+  Alcotest.(check bool) "key_build charged" true (m.key_build > 0)
+
 let test_limit_filter_streams () =
   let db = Lazy.force db in
   let p =
@@ -489,6 +555,8 @@ let () =
           Alcotest.test_case "TIS caching" `Quick test_subq_filter_caching;
           Alcotest.test_case "meter" `Quick test_meter_charges;
           Alcotest.test_case "expensive fn" `Quick test_expensive_fn_metered;
+          Alcotest.test_case "meter parity vs baseline" `Quick
+            test_meter_parity_with_baseline;
           Alcotest.test_case "limit filter streams" `Quick
             test_limit_filter_streams;
         ] );

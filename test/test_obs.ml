@@ -56,7 +56,7 @@ let test_meter_diff_add () =
       ("idx_entries", 0); ("rows_joined", 0); ("hash_build", 0);
       ("hash_probe", 0); ("sort_compares", 0); ("agg_rows", 0);
       ("rows_out", 5); ("subq_execs", 0); ("subq_cache_hits", 0);
-      ("expensive_calls", 0);
+      ("expensive_calls", 0); ("key_build", 0);
     ]
     (M.to_fields d);
   (* work is linear in the fields, so it distributes over diff/add *)
