@@ -564,7 +564,19 @@ let check_cmd =
   let count =
     Arg.(value & opt int 30 & info [ "queries" ] ~doc:"queries to generate")
   in
-  let run seed families count =
+  let sem =
+    Arg.(
+      value & flag
+      & info [ "sem" ]
+          ~doc:
+            "Semantic-verifier summary mode: run every query in \
+             diagnostic-collection mode (no fail-fast), re-deriving the \
+             inferred properties around every transformation attempt, and \
+             print a per-rule table of the SEM/CB rule registry — rule ID, \
+             number of firings, distinct blocks affected. Exits non-zero \
+             if any rule fired.")
+  in
+  let run seed families count sem =
     let db, schema =
       Workload.Schema_gen.build ~families ~sample_frac:0.3 ~seed ()
     in
@@ -577,44 +589,129 @@ let check_cmd =
         ("heuristic", Cbqt.Driver.heuristic_config);
       ]
     in
-    let failures = ref 0 in
-    List.iter
-      (fun it ->
-        let qname =
-          Fmt.str "q%d[%s]" it.Workload.Query_gen.it_id
-            (Workload.Query_gen.class_name it.Workload.Query_gen.it_class)
+    if sem then (
+      (* collection mode: every diagnostic of every query/mode is
+         tallied per rule instead of failing the first run *)
+      let fires : (string, int) Hashtbl.t = Hashtbl.create 16 in
+      let blocks : (string, (string, unit) Hashtbl.t) Hashtbl.t =
+        Hashtbl.create 16
+      in
+      let record qname tx (d : Analysis.Diagnostics.t) =
+        let r = d.Analysis.Diagnostics.d_rule in
+        Hashtbl.replace fires r
+          (1 + Option.value ~default:0 (Hashtbl.find_opt fires r));
+        let bs =
+          match Hashtbl.find_opt blocks r with
+          | Some bs -> bs
+          | None ->
+              let bs = Hashtbl.create 8 in
+              Hashtbl.replace blocks r bs;
+              bs
         in
-        let n_errs = report_ir_findings cat it.Workload.Query_gen.it_query in
-        if n_errs > 0 then (
-          Fmt.epr "FAIL %s: %d static IR errors@." qname n_errs;
-          incr failures);
-        List.iter
-          (fun (mode_name, config) ->
-            let config = { config with Cbqt.Driver.check = true } in
-            match
-              Cbqt.Driver.optimize ~config cat it.Workload.Query_gen.it_query
-            with
-            | _ -> ()
-            | exception Analysis.Diagnostics.Check_failed (tx, errs) ->
-                Fmt.epr "FAIL %s (mode %s): %s@." qname mode_name
-                  (Analysis.Diagnostics.check_failed_message tx errs);
-                incr failures)
-          configs)
-      items;
-    if !failures = 0 then (
-      Fmt.pr "check: %d queries x %d modes clean@." (List.length items)
+        Hashtbl.replace bs
+          (Fmt.str "%s/%s" qname d.Analysis.Diagnostics.d_path)
+          ();
+        Fmt.epr "%s %s (%s): %s@." r qname tx
+          d.Analysis.Diagnostics.d_message
+      in
+      List.iter
+        (fun it ->
+          let qname =
+            Fmt.str "q%d[%s]" it.Workload.Query_gen.it_id
+              (Workload.Query_gen.class_name it.Workload.Query_gen.it_class)
+          in
+          List.iter
+            (fun d -> record qname "input" d)
+            (Analysis.Diagnostics.errors
+               (Analysis.Ir_check.check cat it.Workload.Query_gen.it_query));
+          List.iter
+            (fun (_, config) ->
+              let config =
+                {
+                  config with
+                  Cbqt.Driver.check = true;
+                  on_diag =
+                    Some (fun tx errs -> List.iter (record qname tx) errs);
+                }
+              in
+              ignore
+                (Cbqt.Driver.optimize ~config cat
+                   it.Workload.Query_gen.it_query))
+            configs)
+        items;
+      let rules =
+        Analysis.Rules.of_namespace "SEM" @ Analysis.Rules.of_namespace "CB"
+      in
+      let other_fired =
+        Hashtbl.fold
+          (fun r _ acc ->
+            if List.exists (fun ru -> ru.Analysis.Rules.r_id = r) rules then
+              acc
+            else r :: acc)
+          fires []
+        |> List.sort compare
+        |> List.filter_map Analysis.Rules.find
+      in
+      let total = Hashtbl.fold (fun _ n acc -> acc + n) fires 0 in
+      Fmt.pr "semantic verifier: %d queries x %d modes@." (List.length items)
         (List.length configs);
-      0)
-    else (
-      Fmt.epr "check: %d failures@." !failures;
-      1)
+      Fmt.pr "%-8s %6s %7s  %s@." "rule" "fires" "blocks" "summary";
+      List.iter
+        (fun ru ->
+          let r = ru.Analysis.Rules.r_id in
+          let n = Option.value ~default:0 (Hashtbl.find_opt fires r) in
+          let b =
+            match Hashtbl.find_opt blocks r with
+            | Some bs -> Hashtbl.length bs
+            | None -> 0
+          in
+          Fmt.pr "%-8s %6d %7d  %s@." r n b ru.Analysis.Rules.r_summary)
+        (rules @ other_fired);
+      if total = 0 then 0
+      else (
+        Fmt.epr "check --sem: %d diagnostics@." total;
+        1))
+    else
+      let failures = ref 0 in
+      List.iter
+        (fun it ->
+          let qname =
+            Fmt.str "q%d[%s]" it.Workload.Query_gen.it_id
+              (Workload.Query_gen.class_name it.Workload.Query_gen.it_class)
+          in
+          let n_errs = report_ir_findings cat it.Workload.Query_gen.it_query in
+          if n_errs > 0 then (
+            Fmt.epr "FAIL %s: %d static IR errors@." qname n_errs;
+            incr failures);
+          List.iter
+            (fun (mode_name, config) ->
+              let config = { config with Cbqt.Driver.check = true } in
+              match
+                Cbqt.Driver.optimize ~config cat it.Workload.Query_gen.it_query
+              with
+              | _ -> ()
+              | exception Analysis.Diagnostics.Check_failed (tx, errs) ->
+                  Fmt.epr "FAIL %s (mode %s): %s@." qname mode_name
+                    (Analysis.Diagnostics.check_failed_message tx errs);
+                  incr failures)
+            configs)
+        items;
+      if !failures = 0 then (
+        Fmt.pr "check: %d queries x %d modes clean@." (List.length items)
+          (List.length configs);
+        0)
+      else (
+        Fmt.epr "check: %d failures@." !failures;
+        1)
   in
   Cmd.v
     (Cmd.info "check"
        ~doc:
          "Run the IR checker and transformation sanitizer over a generated \
-          workload; exit non-zero on any finding")
-    Term.(const run $ seed $ families $ count)
+          workload; exit non-zero on any finding. With $(b,--sem), collect \
+          semantic-legality (SEM) and cost cross-check (CB) diagnostics \
+          across the whole workload and print a per-rule summary table.")
+    Term.(const run $ seed $ families $ count $ sem)
 
 let () =
   let doc = "Cost-based query transformation (VLDB'06 reproduction)" in

@@ -1,0 +1,618 @@
+(** Bottom-up semantic property inference over the query-tree IR.
+
+    Derives, per query block (and per set-operation node), the semantic
+    properties that gate the paper's transformations:
+
+    - {b candidate keys / uniqueness} ([rp_keys], [rp_card1]) — from
+      declared primary keys and unique constraints, absorbed through
+      equi-joins by a key-absorption fixpoint, through GROUP BY keys and
+      DISTINCT;
+    - {b functional dependencies} ([rp_fds]) — key → row and select-item
+      equivalences induced by conjunctive equality predicates;
+    - {b nullability} ([rp_not_null]) — a per-output-column non-null
+      lattice combining declared NOT NULL constraints, null-rejecting
+      WHERE conjuncts, and outer-join null-extension (a [J_left] entry
+      contributes nothing: all its columns may be null-padded);
+    - {b equivalence classes} ({!Eqc}) — constant/column classes from
+      conjunctive equality predicates, shared with {!Sem_check}'s
+      predicate-derivability rules;
+    - {b provable cardinality bounds} ([bound_query]) — an
+      estimator-conformant upper bound on the true output cardinality
+      (key ⇒ |out| ≤ |in|), used by the CB002 cost cross-check.
+
+    Everything here is deliberately conservative: a property is reported
+    only when provable from declared constraints and the tree's own
+    conjuncts, so a missing property never indicts a legal rewrite. *)
+
+open Sqlir
+module A = Ast
+module Sset = Walk.Sset
+
+type rel_props = {
+  rp_cols : string list;  (** output column names, in select order *)
+  rp_keys : Sset.t list;  (** candidate keys over output column names *)
+  rp_not_null : Sset.t;  (** output columns provably never null *)
+  rp_fds : (Sset.t * string) list;  (** determinant set → dependent column *)
+  rp_max_rows : float option;  (** provable output-cardinality bound *)
+  rp_card1 : bool;  (** at most one output row *)
+}
+
+let no_props cols =
+  {
+    rp_cols = cols;
+    rp_keys = [];
+    rp_not_null = Sset.empty;
+    rp_fds = [];
+    rp_max_rows = None;
+    rp_card1 = false;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Equivalence classes from conjunctive equality predicates             *)
+(* ------------------------------------------------------------------ *)
+
+(** Union-find over expressions keyed by their printed form. *)
+module Eqc = struct
+  type t = (string, string) Hashtbl.t
+
+  let create () : t = Hashtbl.create 16
+
+  let rec find (t : t) (x : string) : string =
+    match Hashtbl.find_opt t x with
+    | None | Some "" -> x
+    | Some p when p = x -> x
+    | Some p ->
+        let r = find t p in
+        Hashtbl.replace t x r;
+        r
+
+  let union (t : t) (a : string) (b : string) =
+    let ra = find t a and rb = find t b in
+    if ra <> rb then Hashtbl.replace t ra rb
+
+  let same (t : t) (a : string) (b : string) = find t a = find t b
+
+  let key_of_expr (e : A.expr) = Pp.expr_to_string e
+
+  (** Record the [a = b] equalities of a conjunct list. *)
+  let add_conjuncts (t : t) (ps : A.pred list) =
+    List.iter
+      (function
+        | A.Cmp (A.Eq, a, b) -> union t (key_of_expr a) (key_of_expr b)
+        | _ -> ())
+      ps
+
+  let of_conjuncts ps =
+    let t = create () in
+    add_conjuncts t ps;
+    t
+
+  let same_expr (t : t) (a : A.expr) (b : A.expr) =
+    same t (key_of_expr a) (key_of_expr b)
+end
+
+(* ------------------------------------------------------------------ *)
+(* Null-rejection of predicates                                         *)
+(* ------------------------------------------------------------------ *)
+
+(** Columns a conjunct provably null-rejects: rows where any of these
+    columns is NULL cannot satisfy the conjunct. Comparisons and ranges
+    evaluate to UNKNOWN on NULL inputs and UNKNOWN rows are filtered;
+    [Lnnvl] deliberately keeps UNKNOWN rows, so it rejects nothing. *)
+let rec null_rejected_cols (p : A.pred) : A.col list =
+  match p with
+  | A.Cmp (_, a, b) -> Walk.expr_cols a @ Walk.expr_cols b
+  | A.Between (e, lo, hi) ->
+      Walk.expr_cols e @ Walk.expr_cols lo @ Walk.expr_cols hi
+  | A.In_list (e, _) -> Walk.expr_cols e
+  | A.In_subq (es, _) -> List.concat_map Walk.expr_cols es
+  | A.Not (A.Is_null e) -> Walk.expr_cols e
+  | A.Not ((A.Cmp _ | A.Between _ | A.In_list _) as inner) ->
+      null_rejected_cols inner
+  | A.Or (a, b) ->
+      (* a column is rejected by a disjunction iff both branches reject it *)
+      let cb = null_rejected_cols b in
+      List.filter (fun c -> List.mem c cb) (null_rejected_cols a)
+  | _ -> []
+
+(** Does conjunct [p] null-reject FROM entry [alias] — i.e. can no row
+    in which every column of [alias] is NULL satisfy it? Used as the
+    outer-join → inner-join simplification witness (SEM007). *)
+let null_rejecting_for_alias ~(alias : string) (p : A.pred) : bool =
+  List.exists (fun c -> c.A.c_alias = alias) (null_rejected_cols p)
+
+(* ------------------------------------------------------------------ *)
+(* Block environment                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type benv = {
+  be_block : A.block;
+  be_entries : (string * A.from_entry * rel_props) list;
+      (** alias, entry, properties of the entry's row source *)
+  be_eq : Eqc.t;  (** equalities of WHERE plus all ON conjuncts *)
+  be_nn : Sset.t;  (** ["alias.col"] provably non-null after FROM/WHERE *)
+}
+
+let qcol (a : string) (c : string) = a ^ "." ^ c
+
+(* ------------------------------------------------------------------ *)
+(* Property inference                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let table_rows (cat : Catalog.t) (t : string) : float =
+  match Catalog.stats cat t with
+  | Some s -> float_of_int (max 1 s.Catalog.s_rows)
+  | None -> 1000.
+
+(** Keys of a base table, as column-name sets: primary key plus unique
+    constraints (declared or enforced by a unique index), straight off
+    the catalog's first-class constraint surface. *)
+let table_keys (cat : Catalog.t) (t : string) : Sset.t list =
+  match Catalog.find_table_opt cat t with
+  | None -> []
+  | Some _ ->
+      let tc = Catalog.constraints cat t in
+      let declared =
+        (if tc.Catalog.tc_pkey = [] then [] else [ tc.Catalog.tc_pkey ])
+        @ tc.Catalog.tc_uniques
+      in
+      List.sort_uniq compare (List.map Sset.of_list declared)
+
+let table_props (cat : Catalog.t) (t : string) : rel_props =
+  match Catalog.find_table_opt cat t with
+  | None -> no_props []
+  | Some def ->
+      let cols = List.map (fun c -> c.Catalog.c_name) def.Catalog.t_cols in
+      {
+        rp_cols = cols;
+        rp_keys = table_keys cat t;
+        rp_not_null = Sset.of_list (Catalog.not_null_cols cat t);
+        rp_fds = [];
+        rp_max_rows = Some (table_rows cat t);
+        rp_card1 = false;
+      }
+
+let rec entry_props (cat : Catalog.t) (fe : A.from_entry) : rel_props =
+  match fe.A.fe_source with
+  | A.S_table t -> table_props cat t
+  | A.S_view vq ->
+      let p = query_props cat vq in
+      if Walk.is_correlated vq then
+        (* a lateral (correlated) view repeats its per-invocation output
+           across outer rows: uniqueness and cardinality bounds do not
+           survive, nullability does *)
+        { p with rp_keys = []; rp_card1 = false; rp_max_rows = None }
+      else p
+
+and block_env (cat : Catalog.t) (b : A.block) : benv =
+  let entries =
+    List.map (fun fe -> (fe.A.fe_alias, fe, entry_props cat fe)) b.A.from
+  in
+  let eq = Eqc.create () in
+  Eqc.add_conjuncts eq b.A.where;
+  List.iter (fun fe -> Eqc.add_conjuncts eq fe.A.fe_cond) b.A.from;
+  (* base non-null facts: declared NOT NULL columns of every entry that
+     is not null-extended by an outer join *)
+  let nn = ref Sset.empty in
+  List.iter
+    (fun (alias, fe, p) ->
+      if fe.A.fe_kind <> A.J_left then
+        Sset.iter (fun c -> nn := Sset.add (qcol alias c) !nn) p.rp_not_null)
+    entries;
+  (* null-rejecting conjuncts: WHERE, plus the ON conditions of inner
+     and semijoin entries (a left row whose join column is NULL finds no
+     match and is filtered / not emitted); anti and outer ON conditions
+     keep their non-matching rows, so they reject nothing *)
+  let reject_preds =
+    b.A.where
+    @ List.concat_map
+        (fun fe ->
+          match fe.A.fe_kind with
+          | A.J_inner | A.J_semi -> fe.A.fe_cond
+          | _ -> [])
+        b.A.from
+  in
+  List.iter
+    (fun p ->
+      List.iter
+        (fun c -> nn := Sset.add (qcol c.A.c_alias c.A.c_col) !nn)
+        (null_rejected_cols p))
+    reject_preds;
+  { be_block = b; be_entries = entries; be_eq = eq; be_nn = !nn }
+
+and col_non_null (env : benv) (c : A.col) : bool =
+  Sset.mem (qcol c.A.c_alias c.A.c_col) env.be_nn
+
+(** Is [e] provably non-null on every row the block's FROM/WHERE
+    produces? (Binds are excluded by design: a later execution may
+    supply NULL, and the peeked value never drives legality.) *)
+and expr_non_null (env : benv) (e : A.expr) : bool =
+  match e with
+  | A.Const v -> not (Value.is_null v)
+  | A.Col c -> col_non_null env c
+  | A.Binop (_, a, b) -> expr_non_null env a && expr_non_null env b
+  | A.Neg a -> expr_non_null env a
+  | A.Agg ((A.Count_star | A.Count), _, _) -> true
+  | A.Agg ((A.Sum | A.Avg | A.Min | A.Max), Some a, _) ->
+      (* with GROUP BY every group is non-empty, so an aggregate over a
+         non-null argument is non-null; a scalar aggregate over an empty
+         input is NULL *)
+      env.be_block.A.group_by <> [] && expr_non_null env a
+  | _ -> false
+
+(* --- key absorption ------------------------------------------------ *)
+
+(** Column [col] of entry [alias] is bound w.r.t. the remaining alias
+    set [r]: equated (transitively) to a constant, a column of another
+    remaining entry, or a correlation column (constant per invocation). *)
+and col_bound (env : benv) ~(r : Sset.t) ~(alias : string) (col : string) :
+    bool =
+  let me = Eqc.key_of_expr (A.col alias col) in
+  let local_aliases =
+    List.fold_left (fun s (a, _, _) -> Sset.add a s) Sset.empty env.be_entries
+  in
+  (* scan every expression string that appears in the conjuncts for a
+     class-mate usable as a binding *)
+  let candidates = ref [] in
+  let add_exprs e = candidates := e :: !candidates in
+  let rec scan_pred = function
+    | A.Cmp (A.Eq, a, b) ->
+        add_exprs a;
+        add_exprs b
+    | A.And (a, b) ->
+        scan_pred a;
+        scan_pred b
+    | _ -> ()
+  in
+  List.iter scan_pred env.be_block.A.where;
+  List.iter (fun fe -> List.iter scan_pred fe.A.fe_cond) env.be_block.A.from;
+  List.exists
+    (fun e ->
+      Eqc.same env.be_eq me (Eqc.key_of_expr e)
+      &&
+      match e with
+      | A.Const v -> not (Value.is_null v)
+      | A.Col c ->
+          (not (c.A.c_alias = alias && c.A.c_col = col))
+          && (Sset.mem c.A.c_alias (Sset.remove alias r)
+             || not (Sset.mem c.A.c_alias local_aliases))
+      | _ ->
+          (* a compound expression binds if all its inputs come from
+             other remaining entries or outside the block *)
+          let cols = Walk.expr_cols e in
+          cols <> []
+          && List.for_all
+               (fun c ->
+                 Sset.mem c.A.c_alias (Sset.remove alias r)
+                 || not (Sset.mem c.A.c_alias local_aliases))
+               cols)
+    !candidates
+
+(** One key of [alias] is fully bound w.r.t. remaining set [r]. *)
+and entry_absorbed (env : benv) ~(r : Sset.t) (alias : string)
+    (p : rel_props) : bool =
+  p.rp_card1
+  || List.exists
+       (fun key ->
+         (not (Sset.is_empty key))
+         && Sset.for_all (col_bound env ~r ~alias) key)
+       p.rp_keys
+
+(** Fixpoint: drop multiplier entries whose key is bound by the rest.
+    Returns the aliases that still multiply the output cardinality. *)
+and absorb_fixpoint (env : benv) : Sset.t =
+  let multipliers =
+    List.filter_map
+      (fun (a, fe, _) ->
+        match fe.A.fe_kind with
+        | A.J_inner | A.J_left -> Some a
+        | A.J_semi | A.J_anti | A.J_anti_na -> None)
+      env.be_entries
+  in
+  let r = ref (Sset.of_list multipliers) in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (a, _, p) ->
+        if Sset.mem a !r && entry_absorbed env ~r:!r a p then (
+          r := Sset.remove a !r;
+          changed := true))
+      env.be_entries
+  done;
+  !r
+
+(* --- block output properties --------------------------------------- *)
+
+and block_props (cat : Catalog.t) (b : A.block) : rel_props =
+  let env = block_env cat b in
+  let names = List.map (fun si -> si.A.si_name) b.A.select in
+  let has_agg =
+    List.exists (fun si -> Walk.expr_has_agg si.A.si_expr) b.A.select
+    || b.A.group_by <> []
+  in
+  (* the select name of an expression, when exposed *)
+  let exposed_name (e : A.expr) : string option =
+    let pe = Pp.expr_to_string e in
+    List.find_map
+      (fun si ->
+        if Pp.expr_to_string si.A.si_expr = pe then Some si.A.si_name
+        else None)
+      b.A.select
+  in
+  (* non-null lattice of the output *)
+  let not_null =
+    List.fold_left
+      (fun acc si ->
+        if expr_non_null env si.A.si_expr then Sset.add si.A.si_name acc
+        else acc)
+      Sset.empty b.A.select
+  in
+  (* cardinality-one detection *)
+  let scalar_agg = b.A.group_by = [] && has_agg in
+  let card1 = scalar_agg || b.A.limit = Some 1 in
+  (* candidate keys *)
+  let keys = ref [] in
+  let add_key k = if not (List.exists (Sset.equal k) !keys) then keys := k :: !keys in
+  if not card1 then (
+    if b.A.distinct && names <> [] then add_key (Sset.of_list names);
+    if b.A.group_by <> [] then (
+      let exposed = List.map exposed_name b.A.group_by in
+      if List.for_all Option.is_some exposed then
+        add_key (Sset.of_list (List.map Option.get exposed)));
+    if not has_agg then (
+      (* compose a relation key from one key per remaining multiplier
+         entry; absorbed and semi/anti entries contribute nothing *)
+      let remaining = absorb_fixpoint env in
+      let entry_key_choices =
+        List.filter_map
+          (fun (a, _, p) ->
+            if Sset.mem a remaining then
+              match p.rp_keys with
+              | [] -> Some None (* keyless entry: no relation key *)
+              | ks -> Some (Some (a, ks))
+            else None)
+          env.be_entries
+      in
+      if not (List.exists (( = ) None) entry_key_choices) then
+        let choices = List.filter_map Fun.id entry_key_choices in
+        (* keep the expansion small: first two keys per entry *)
+        let rec combos = function
+          | [] -> [ [] ]
+          | (a, ks) :: rest ->
+              let tails = combos rest in
+              List.concat_map
+                (fun k ->
+                  List.map (fun tl -> (a, k) :: tl)
+                    tails)
+                (match ks with x :: y :: _ -> [ x; y ] | l -> l)
+        in
+        List.iter
+          (fun combo ->
+            let cols =
+              List.concat_map
+                (fun (a, k) ->
+                  List.map (fun c -> A.col a c) (Sset.elements k))
+                combo
+            in
+            let names' = List.map exposed_name cols in
+            if cols <> [] && List.for_all Option.is_some names' then
+              add_key (Sset.of_list (List.map Option.get names')))
+          (combos choices)));
+  (* functional dependencies: key → every other column, plus pairwise
+     select-item equivalences *)
+  let fds = ref [] in
+  List.iter
+    (fun k ->
+      List.iter
+        (fun n -> if not (Sset.mem n k) then fds := (k, n) :: !fds)
+        names)
+    !keys;
+  List.iter
+    (fun si1 ->
+      List.iter
+        (fun si2 ->
+          if
+            si1.A.si_name <> si2.A.si_name
+            && (not (Walk.expr_has_agg si1.A.si_expr))
+            && Eqc.same_expr env.be_eq si1.A.si_expr si2.A.si_expr
+          then fds := (Sset.singleton si1.A.si_name, si2.A.si_name) :: !fds)
+        b.A.select)
+    b.A.select;
+  (* provable cardinality bound *)
+  let max_rows = bound_block cat b in
+  {
+    rp_cols = names;
+    rp_keys = !keys;
+    rp_not_null = not_null;
+    rp_fds = !fds;
+    rp_max_rows = max_rows;
+    rp_card1 = card1;
+  }
+
+and query_props (cat : Catalog.t) (q : A.query) : rel_props =
+  match q with
+  | A.Block b -> block_props cat b
+  | A.Setop (op, l, r) -> (
+      let pl = query_props cat l and pr = query_props cat r in
+      let pos_nn =
+        (* positional intersection of branch non-null sets, named by the
+           left branch (the output naming convention) *)
+        let rnames = pr.rp_cols in
+        Sset.of_list
+          (List.filteri
+             (fun i n ->
+               Sset.mem n pl.rp_not_null
+               && match List.nth_opt rnames i with
+                  | Some rn -> Sset.mem rn pr.rp_not_null
+                  | None -> false)
+             pl.rp_cols)
+      in
+      let add f a b =
+        match (a, b) with Some x, Some y -> Some (f x y) | _ -> None
+      in
+      let all_cols_key =
+        if pl.rp_cols = [] then [] else [ Sset.of_list pl.rp_cols ]
+      in
+      match op with
+      | A.Union_all ->
+          {
+            (no_props pl.rp_cols) with
+            rp_not_null = pos_nn;
+            rp_max_rows = add ( +. ) pl.rp_max_rows pr.rp_max_rows;
+          }
+      | A.Union ->
+          {
+            (no_props pl.rp_cols) with
+            rp_not_null = pos_nn;
+            rp_keys = all_cols_key;
+            rp_max_rows = add ( +. ) pl.rp_max_rows pr.rp_max_rows;
+          }
+      | A.Intersect ->
+          {
+            (no_props pl.rp_cols) with
+            rp_not_null = Sset.union pl.rp_not_null pos_nn;
+            rp_keys = all_cols_key;
+            rp_max_rows = add Float.min pl.rp_max_rows pr.rp_max_rows;
+          }
+      | A.Minus ->
+          {
+            (no_props pl.rp_cols) with
+            rp_not_null = pl.rp_not_null;
+            rp_keys = all_cols_key;
+            rp_max_rows = pl.rp_max_rows;
+          })
+
+(* ------------------------------------------------------------------ *)
+(* Estimator-conformant cardinality bounds (CB002)                      *)
+(* ------------------------------------------------------------------ *)
+
+(** Key absorption for the {e cost} cross-check is stricter than for
+    uniqueness: the bound must hold for the cost model's own arithmetic,
+    so an entry only stops multiplying the estimate when the estimator
+    provably applies a selectivity ≤ 1/rows for it — a single-column
+    key whose catalog NDV is at least the table's row count (exact for
+    unique columns even under sampled statistics), equated by a
+    conjunct whose other references are all inner entries (a conjunct
+    consumed at an outer-join extension disappears into
+    [max(left, inner)] and reduces nothing). *)
+and bound_block (cat : Catalog.t) (b : A.block) : float option =
+  let inner_aliases =
+    List.filter_map
+      (fun fe ->
+        if fe.A.fe_kind = A.J_inner then Some fe.A.fe_alias else None)
+      b.A.from
+    |> Sset.of_list
+  in
+  let local_aliases =
+    List.fold_left
+      (fun s fe -> Sset.add fe.A.fe_alias s)
+      Sset.empty b.A.from
+  in
+  (* strict single-column keys of a base-table entry: NDV ≥ rows in the
+     very statistics the estimator reads *)
+  let strict_keys (t : string) : Sset.t =
+    match Catalog.stats cat t with
+    | None -> Sset.empty
+    | Some s ->
+        let rows = max 1 s.Catalog.s_rows in
+        List.fold_left
+          (fun acc key ->
+            match Sset.elements key with
+            | [ c ] -> (
+                match List.assoc_opt c s.Catalog.s_cols with
+                | Some cs when cs.Catalog.s_ndv >= rows -> Sset.add c acc
+                | _ -> acc)
+            | _ -> acc)
+          Sset.empty (table_keys cat t)
+  in
+  let entry_table fe =
+    match fe.A.fe_source with A.S_table t -> Some t | A.S_view _ -> None
+  in
+  (* the witnessing side of an equality conjunct: Col of a strict key *)
+  let key_side (fe : A.from_entry) (e : A.expr) : bool =
+    match (e, entry_table fe) with
+    | A.Col c, Some t ->
+        c.A.c_alias = fe.A.fe_alias && Sset.mem c.A.c_col (strict_keys t)
+    | _ -> false
+  in
+  (* conjuncts usable as absorption witnesses for entry [fe]: every
+     referenced local alias is an inner entry or [fe] itself when [fe]
+     is the outer-join entry the conjunct comes from *)
+  let witnesses (fe : A.from_entry) : A.pred list =
+    let ok_aliases allowed p =
+      Sset.for_all
+        (fun a -> Sset.mem a allowed || not (Sset.mem a local_aliases))
+        (Walk.pred_aliases p)
+    in
+    match fe.A.fe_kind with
+    | A.J_inner -> List.filter (ok_aliases inner_aliases) b.A.where
+    | A.J_left ->
+        List.filter
+          (ok_aliases (Sset.add fe.A.fe_alias inner_aliases))
+          fe.A.fe_cond
+    | _ -> []
+  in
+  let absorbed = Hashtbl.create 8 in
+  let try_absorb (fe : A.from_entry) =
+    if not (Hashtbl.mem absorbed fe.A.fe_alias) then
+      let found =
+        List.exists
+          (function
+            | A.Cmp (A.Eq, l, r) -> key_side fe l || key_side fe r
+            | _ -> false)
+          (witnesses fe)
+      in
+      if found then Hashtbl.replace absorbed fe.A.fe_alias ()
+  in
+  List.iter try_absorb b.A.from;
+  let factor fe =
+    match fe.A.fe_kind with
+    | A.J_semi | A.J_anti | A.J_anti_na -> Some 1.
+    | A.J_inner | A.J_left ->
+        let base =
+          if Hashtbl.mem absorbed fe.A.fe_alias then Some 1.
+          else
+            match fe.A.fe_source with
+            | A.S_table t -> Some (table_rows cat t)
+            | A.S_view vq -> bound_query cat vq
+        in
+        if fe.A.fe_kind = A.J_left then
+          Option.map (fun f -> Float.max 1. f) base
+        else base
+  in
+  let raw =
+    List.fold_left
+      (fun acc fe ->
+        match (acc, factor fe) with
+        | Some a, Some f -> Some (a *. f)
+        | _ -> None)
+      (Some 1.) b.A.from
+  in
+  let scalar_agg =
+    b.A.group_by = []
+    && List.exists (fun si -> Walk.expr_has_agg si.A.si_expr) b.A.select
+  in
+  let bounded = if scalar_agg then Some 1. else raw in
+  match (bounded, b.A.limit) with
+  | Some r, Some k -> Some (Float.min r (float_of_int k))
+  | Some r, None -> Some r
+  | None, Some k -> Some (float_of_int k)
+  | None, None -> None
+
+and bound_query (cat : Catalog.t) (q : A.query) : float option =
+  match q with
+  | A.Block b -> bound_block cat b
+  | A.Setop (op, l, r) -> (
+      let bl = bound_query cat l and br = bound_query cat r in
+      match op with
+      | A.Union_all | A.Union -> (
+          match (bl, br) with
+          | Some a, Some b -> Some (a +. b)
+          | _ -> None)
+      | A.Intersect -> (
+          match (bl, br) with
+          | Some a, Some b -> Some (Float.min a b)
+          | Some a, None -> Some a
+          | None, b -> b)
+      | A.Minus -> bl)

@@ -1,0 +1,79 @@
+(** The stable diagnostic-rule registry.
+
+    Every rule the analysis layer (or the driver's sanitizer) can emit
+    is declared here, once, with a frozen identifier. Identifiers are
+    append-only: a retired rule keeps its row (flagged [r_retired]) so
+    its number is never reused, and renumbering is forbidden — external
+    tooling, CI baselines and the DESIGN.md catalog all key on these
+    strings. [test/test_analysis.ml] pins the full table.
+
+    Namespaces:
+    - [IR]  — structural well-formedness of a query tree ({!Ir_check})
+    - [PL]  — physical-plan lint ({!Plan_check})
+    - [TX]  — transformation mechanics (sharing / over-copying,
+              {!Copy_check})
+    - [SEM] — transformation legality: semantic properties re-derived
+              before/after a rewrite ({!Sem_check})
+    - [CB]  — cost-model cross-checks (driver + {!Sem_check} bounds) *)
+
+type rule = {
+  r_id : string;
+  r_summary : string;
+  r_retired : bool;
+}
+
+let r id summary = { r_id = id; r_summary = summary; r_retired = false }
+
+let all : rule list =
+  [
+    (* --- IR: structural checks over the query tree --- *)
+    r "IR001" "FROM references a table the catalog does not know";
+    r "IR002" "column references an alias not in scope";
+    r "IR003" "column does not exist on the referenced source";
+    r "IR004" "duplicate alias in one FROM clause";
+    r "IR005" "aggregate in WHERE or ON";
+    r "IR006" "selected expression not covered by GROUP BY";
+    r "IR007" "non-inner FROM entry with an empty ON condition";
+    r "IR008" "leading FROM entry has a non-inner join role";
+    r "IR009" "set-operation branches of different arity";
+    r "IR010" "non-positive ROWNUM limit";
+    r "IR011" "duplicate output column name in a select list";
+    r "IR012" "window function outside SELECT/ORDER BY";
+    r "IR013" "empty select list";
+    r "IR014" "empty FROM clause";
+    r "IR015" "negative bind index";
+    (* --- PL: physical-plan lint --- *)
+    r "PL001" "operator consumes a column no child produces";
+    r "PL002" "hash/merge join with a correlated right side";
+    r "PL003" "non-finite plan cost annotation";
+    r "PL004" "negative or NaN cardinality annotation";
+    r "PL005" "subquery predicate inside a plain filter";
+    r "PL006" "UNION ALL branches of different width";
+    r "PL007" "plan scans a table the catalog does not know";
+    (* --- TX: transformation mechanics --- *)
+    r "TX001" "transformation copied blocks it did not change";
+    (* --- SEM: transformation legality --- *)
+    r "SEM001" "subquery unnested without duplicate-safety";
+    r "SEM002" "null-aware (anti)join downgraded without a non-null proof";
+    r "SEM003" "join eliminated without a witnessing key/FK";
+    r "SEM004" "scalar COUNT subquery unnested as an inner join (COUNT bug)";
+    r "SEM005" "GROUP BY changed in violation of FD closure";
+    r "SEM006" "added WHERE conjunct not derivable from the original tree";
+    r "SEM007" "join role changed without the required witness";
+    (* --- CB: cost-model cross-checks --- *)
+    r "CB001" "search state fails to optimize although its base state does";
+    r "CB002" "cardinality estimate exceeds a provable key-derived bound";
+    r "CB003" "column NDV estimate exceeds the block's cardinality estimate";
+    r "CB004" "search result inconsistent with the states it evaluated";
+  ]
+
+let find id = List.find_opt (fun rl -> rl.r_id = id) all
+let is_registered id = find id <> None
+
+(** Rules of one namespace prefix, e.g. ["SEM"]. *)
+let of_namespace prefix =
+  List.filter
+    (fun rl ->
+      String.length rl.r_id >= String.length prefix
+      && String.sub rl.r_id 0 (String.length prefix) = prefix)
+    all

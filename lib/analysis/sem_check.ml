@@ -1,0 +1,751 @@
+(** Transformation-legality verification: the SEM rule family.
+
+    {!Props} infers semantic properties (keys, nullability, functional
+    dependencies, equivalence classes); this module re-derives them on
+    the {e before} and {e after} trees of every transformation attempt
+    and demands the witness each structural change requires:
+
+    - {b SEM001} — a subquery was unnested into a join whose role does
+      not preserve duplicates (semi/anti vs inner distinctness);
+    - {b SEM002} — a null-aware antijoin was downgraded to a plain
+      antijoin without a proof that the compared sides are non-null;
+    - {b SEM003} — a join was eliminated without a witnessing key/FK;
+    - {b SEM004} — a scalar [COUNT] subquery was unnested as an inner
+      join (the classic {e count bug}: unmatched outer rows must still
+      see [COUNT() = 0]);
+    - {b SEM005} — GROUP BY keys changed in violation of FD closure;
+    - {b SEM006} — a WHERE conjunct appeared out of thin air: it is not
+      derivable from the original tree by equivalence-class closure,
+      view substitution, or pull-up;
+    - {b SEM007} — a join role changed (outer → inner, …) without the
+      required null-rejection / uniqueness witness.
+
+    The unit of verification is {!Transform.Tx.block_delta}: blocks are
+    paired by [qb_name] and each rule looks for its characteristic
+    delta. The design bias is {e zero false positives}: a rule stays
+    silent unless the delta unambiguously matches the rewrite shape it
+    polices, so unknown rewrites are never indicted — they are caught
+    dynamically by the refeval oracle instead.
+
+    The CB cross-checks ({!check_annotation}) compare the cost model's
+    estimates against {!Props.bound_query}'s provable cardinality
+    bounds: an estimate above a provable bound (CB002), or a column NDV
+    above the block's own cardinality estimate (CB003), indicts the
+    estimator arithmetic, not the tree. *)
+
+open Sqlir
+module A = Ast
+module D = Diagnostics
+module Tx = Transform.Tx
+module Sset = Walk.Sset
+
+let pp_p = Pp.pred_to_string
+let pp_e = Pp.expr_to_string
+
+let jkind_str = function
+  | A.J_inner -> "inner"
+  | A.J_left -> "left-outer"
+  | A.J_semi -> "semi"
+  | A.J_anti -> "anti"
+  | A.J_anti_na -> "anti-na"
+
+let mirror_cmp = function
+  | A.Eq -> A.Eq
+  | A.Ne -> A.Ne
+  | A.Lt -> A.Gt
+  | A.Gt -> A.Lt
+  | A.Le -> A.Ge
+  | A.Ge -> A.Le
+
+(** Orientation-insensitive rendering: [a = b] and [b = a] (and the
+    mirrored inequalities) canonicalize to the same string, so
+    predicate-identity comparisons don't depend on which side a
+    transformation happened to write first. *)
+let canon_p (p : A.pred) : string =
+  match p with
+  | A.Cmp (op, a, b) ->
+      let s1 = pp_p p and s2 = pp_p (A.Cmp (mirror_cmp op, b, a)) in
+      if String.compare s1 s2 <= 0 then s1 else s2
+  | _ -> pp_p p
+
+(* ------------------------------------------------------------------ *)
+(* Small helpers                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let subq_pred = function
+  | A.In_subq _ | A.Not_in_subq _ | A.Exists _ | A.Not_exists _
+  | A.Cmp_subq _ ->
+      true
+  | _ -> false
+
+(** Every WHERE / HAVING / ON conjunct of every block of a tree. *)
+let tree_conjuncts (q : A.query) : A.pred list =
+  let acc = ref [] in
+  Tx.iter_blocks
+    (fun b ->
+      acc :=
+        b.A.where @ b.A.having
+        @ List.concat_map (fun fe -> fe.A.fe_cond) b.A.from
+        @ !acc)
+    q;
+  !acc
+
+(** Entry [alias] of block [b] contributes at most one row per
+    combination of the other entries: one of its keys is fully bound by
+    equalities to the rest of the block (or to constants / correlation
+    columns). The duplicate-safety witness for SEM001/SEM007. *)
+let entry_unique (cat : Catalog.t) (b : A.block) (alias : string) : bool =
+  let env = Props.block_env cat b in
+  match List.find_opt (fun (a, _, _) -> a = alias) env.Props.be_entries with
+  | None -> false
+  | Some (_, _, p) ->
+      let r =
+        List.fold_left
+          (fun s (a, _, _) -> Sset.add a s)
+          Sset.empty env.Props.be_entries
+      in
+      Props.entry_absorbed env ~r alias p
+
+(** Non-null proof for antijoin downgrades: the outer-side expressions
+    in the block that owned the subquery predicate, and the subquery's
+    select items in the subquery's own scope. *)
+let anti_nonnull (cat : Catalog.t) (outer : A.block) (es : A.expr list)
+    (sq : A.query) : bool =
+  let oenv = Props.block_env cat outer in
+  List.for_all (Props.expr_non_null oenv) es
+  &&
+  match sq with
+  | A.Setop _ -> false
+  | A.Block sb ->
+      let senv = Props.block_env cat sb in
+      List.for_all
+        (fun si -> Props.expr_non_null senv si.A.si_expr)
+        sb.A.select
+
+(** Does the (single-block) subquery compute a [COUNT]? *)
+let count_subquery = function
+  | A.Block sb ->
+      List.exists
+        (fun si ->
+          match si.A.si_expr with
+          | A.Agg ((A.Count | A.Count_star), _, _) -> true
+          | _ -> false)
+        sb.A.select
+  | A.Setop _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* SEM001 / SEM002 / SEM004 — subquery unnesting                        *)
+(* ------------------------------------------------------------------ *)
+
+(** A removed subquery predicate paired (positionally) with the FROM
+    entry that replaced it. *)
+let check_unnest (c : D.collector) (cat : Catalog.t) (d : Tx.block_delta)
+    (p : A.pred) (fe : A.from_entry) =
+  let path = d.Tx.bd_name in
+  let fire rule fmt = D.report c ~rule ~severity:D.Error ~path fmt in
+  let kind = fe.A.fe_kind in
+  let alias = fe.A.fe_alias in
+  (* [semi_family]: EXISTS / IN / = ANY — an inner join is only safe
+     when the new entry provably cannot duplicate outer rows *)
+  let semi_family () =
+    match kind with
+    | A.J_semi -> ()
+    | A.J_inner when entry_unique cat d.Tx.bd_after alias -> ()
+    | _ ->
+        fire "SEM001"
+          "subquery predicate %s unnested as a %s entry %s without a \
+           duplicate-safety witness"
+          (pp_p p)
+          (jkind_str kind)
+          alias
+  in
+  (* [anti_family]: NOT IN / <> ALL — null-aware unless proven safe *)
+  let anti_family es sq =
+    match kind with
+    | A.J_anti_na -> ()
+    | A.J_anti ->
+        if not (anti_nonnull cat d.Tx.bd_before es sq) then
+          fire "SEM002"
+            "null-aware predicate %s unnested as a plain antijoin %s \
+             without a non-null proof for the compared sides"
+            (pp_p p) alias
+    | _ ->
+        fire "SEM001" "predicate %s unnested as a %s entry %s" (pp_p p)
+          (jkind_str kind)
+          alias
+  in
+  (* scalar subquery: the unnested view must yield at most one row per
+     outer row — cardinality-one, or grouped by keys all equi-joined
+     back to the outer block *)
+  let scalar sq =
+    if count_subquery sq && kind = A.J_inner then
+      fire "SEM004"
+        "scalar COUNT subquery unnested as an inner join %s: unmatched \
+         outer rows must still observe COUNT() = 0"
+        alias
+    else
+      let grouped_witness () =
+        match fe.A.fe_source with
+        | A.S_view (A.Block vb) when vb.A.group_by <> [] ->
+            let exposed =
+              List.map
+                (fun g ->
+                  List.find_opt
+                    (fun si -> pp_e si.A.si_expr = pp_e g)
+                    vb.A.select)
+                vb.A.group_by
+            in
+            let conjs = d.Tx.bd_after.A.where @ fe.A.fe_cond in
+            List.for_all Option.is_some exposed
+            && List.for_all
+                 (fun si_opt ->
+                   let n = (Option.get si_opt).A.si_name in
+                   let no_self e =
+                     not
+                       (List.exists
+                          (fun cl -> cl.A.c_alias = alias)
+                          (Walk.expr_cols e))
+                   in
+                   List.exists
+                     (function
+                       | A.Cmp (A.Eq, A.Col cl, e)
+                         when cl.A.c_alias = alias && cl.A.c_col = n ->
+                           no_self e
+                       | A.Cmp (A.Eq, e, A.Col cl)
+                         when cl.A.c_alias = alias && cl.A.c_col = n ->
+                           no_self e
+                       | _ -> false)
+                     conjs)
+                 exposed
+        | _ -> false
+      in
+      let card1 () =
+        match fe.A.fe_source with
+        | A.S_view vq -> (Props.query_props cat vq).Props.rp_card1
+        | A.S_table _ -> false
+      in
+      match kind with
+      | (A.J_inner | A.J_left) when card1 () || grouped_witness () -> ()
+      | _ ->
+          fire "SEM001"
+            "scalar subquery %s unnested as entry %s without a \
+             single-row-per-outer-row witness"
+            (pp_p p) alias
+  in
+  match p with
+  | A.Exists _ | A.In_subq _ | A.Cmp_subq (_, _, Some A.Q_any, _) ->
+      semi_family ()
+  | A.Not_exists _ ->
+      if kind <> A.J_anti then
+        fire "SEM001" "NOT EXISTS %s unnested as a %s entry %s" (pp_p p)
+          (jkind_str kind)
+          alias
+  | A.Not_in_subq (es, sq) -> anti_family es sq
+  | A.Cmp_subq (_, lhs, Some A.Q_all, sq) -> anti_family [ lhs ] sq
+  | A.Cmp_subq (_, _, None, sq) -> scalar sq
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* SEM003 — join elimination                                            *)
+(* ------------------------------------------------------------------ *)
+
+let check_removed_entry (c : D.collector) (cat : Catalog.t)
+    (d : Tx.block_delta) (fe : A.from_entry) =
+  let path = d.Tx.bd_name in
+  let fire fmt = D.report c ~rule:"SEM003" ~severity:D.Error ~path fmt in
+  let alias = fe.A.fe_alias in
+  match fe.A.fe_source with
+  | A.S_view _ -> () (* view elimination is view merging's business *)
+  | A.S_table t -> (
+      match (fe.A.fe_kind, Catalog.find_table_opt cat t) with
+      | _, None -> ()
+      | A.J_inner, Some def ->
+          (* FK inner-join elimination: the removed table's full primary
+             key equated to the FK columns of a single surviving inner
+             base table, with IS NOT NULL guards for nullable FK cols *)
+          let pk = def.Catalog.t_pkey in
+          let pairings = ref [] in
+          List.iter
+            (fun p ->
+              match p with
+              | A.Cmp (A.Eq, A.Col c1, A.Col c2) ->
+                  if
+                    c1.A.c_alias = alias
+                    && List.mem c1.A.c_col pk
+                    && c2.A.c_alias <> alias
+                  then pairings := (c1.A.c_col, c2) :: !pairings
+                  else if
+                    c2.A.c_alias = alias
+                    && List.mem c2.A.c_col pk
+                    && c1.A.c_alias <> alias
+                  then pairings := (c2.A.c_col, c1) :: !pairings
+              | _ -> ())
+            d.Tx.bd_before.A.where;
+          let witnessed =
+            pk <> []
+            && List.for_all (fun k -> List.mem_assoc k !pairings) pk
+            &&
+            match !pairings with
+            | [] -> false
+            | (_, c0) :: _ -> (
+                let r = c0.A.c_alias in
+                List.for_all (fun (_, cl) -> cl.A.c_alias = r) !pairings
+                &&
+                match
+                  List.find_opt
+                    (fun o -> o.A.fe_alias = r)
+                    d.Tx.bd_before.A.from
+                with
+                | Some
+                    { A.fe_source = A.S_table rt; fe_kind = A.J_inner; _ }
+                  ->
+                    let fk_pairs =
+                      List.filter_map
+                        (fun k ->
+                          Option.map
+                            (fun cl -> (cl.A.c_col, k))
+                            (List.assoc_opt k !pairings))
+                        pk
+                    in
+                    Catalog.fk_between cat ~table:rt
+                      ~cols:(List.map fst fk_pairs)
+                      ~ref_table:t ~ref_cols:(List.map snd fk_pairs)
+                    <> None
+                    && List.for_all
+                         (fun (fk_col, _) ->
+                           (not
+                              (Catalog.col_nullable cat ~table:rt
+                                 ~col:fk_col))
+                           || List.exists
+                                (fun g ->
+                                  pp_p g
+                                  = pp_p
+                                      (A.Not
+                                         (A.Is_null (A.col r fk_col))))
+                                d.Tx.bd_after.A.where)
+                         fk_pairs
+                | _ -> false)
+          in
+          if not witnessed then
+            fire
+              "inner join to %s (%s) eliminated without a witnessing \
+               foreign key onto its primary key"
+              alias t
+      | A.J_left, Some _ ->
+          (* unique-key outer-join elimination: every ON conjunct is an
+             equality on a column set covering a key of the entry *)
+          let eq_cols =
+            List.filter_map
+              (fun p ->
+                match p with
+                | A.Cmp (A.Eq, A.Col c1, A.Col c2) ->
+                    if c1.A.c_alias = alias && c2.A.c_alias <> alias then
+                      Some c1.A.c_col
+                    else if c2.A.c_alias = alias && c1.A.c_alias <> alias
+                    then Some c2.A.c_col
+                    else None
+                | _ -> None)
+              fe.A.fe_cond
+          in
+          if
+            not
+              (List.length eq_cols = List.length fe.A.fe_cond
+              && Catalog.covers_key cat ~table:t ~cols:eq_cols)
+          then
+            fire
+              "left-outer join to %s (%s) eliminated without a unique-key \
+               witness on its ON condition"
+              alias t
+      | (A.J_semi | A.J_anti | A.J_anti_na), Some _ ->
+          fire "filtering %s entry %s removed outright"
+            (jkind_str fe.A.fe_kind)
+            alias)
+
+(* ------------------------------------------------------------------ *)
+(* SEM005 — GROUP BY vs FD closure                                      *)
+(* ------------------------------------------------------------------ *)
+
+let check_group (c : D.collector) (cat : Catalog.t) (d : Tx.block_delta) =
+  let b = d.Tx.bd_before and a = d.Tx.bd_after in
+  let path = d.Tx.bd_name in
+  let fire fmt = D.report c ~rule:"SEM005" ~severity:D.Error ~path fmt in
+  let removed = Tx.multiset_diff pp_e b.A.group_by a.A.group_by in
+  let added = Tx.multiset_diff pp_e a.A.group_by b.A.group_by in
+  let local_aliases =
+    List.fold_left
+      (fun s fe -> Sset.add fe.A.fe_alias s)
+      Sset.empty (b.A.from @ a.A.from)
+  in
+  let conjs =
+    b.A.where @ a.A.where
+    @ List.concat_map (fun fe -> fe.A.fe_cond) (b.A.from @ a.A.from)
+  in
+  let eq = Props.Eqc.of_conjuncts conjs in
+  let eq_sides =
+    List.concat_map
+      (function A.Cmp (A.Eq, x, y) -> [ x; y ] | _ -> [])
+      conjs
+  in
+  (* an expression over constants / correlation columns only: grouping
+     by it neither splits nor merges groups *)
+  let alias_free e =
+    List.for_all
+      (fun cl -> not (Sset.mem cl.A.c_alias local_aliases))
+      (Walk.expr_cols e)
+  in
+  let equated_external g =
+    alias_free g
+    || List.exists
+         (fun e -> alias_free e && Props.Eqc.same_expr eq g e)
+         eq_sides
+  in
+  (* the group-by placement mapping: a removed key reappears as an
+     output of an added (grouped) view — and vice versa *)
+  let added_view_selects =
+    List.filter_map
+      (fun fe ->
+        match fe.A.fe_source with
+        | A.S_view (A.Block vb) -> Some (fe.A.fe_alias, vb.A.select)
+        | _ -> None)
+      d.Tx.bd_added_entries
+  in
+  let mapped_through_view g_removed g_added =
+    match g_added with
+    | A.Col cl -> (
+        match List.assoc_opt cl.A.c_alias added_view_selects with
+        | None -> false
+        | Some sel ->
+            List.exists
+              (fun si ->
+                si.A.si_name = cl.A.c_col
+                && pp_e si.A.si_expr = pp_e g_removed)
+              sel)
+    | _ -> false
+  in
+  if b.A.group_by <> [] then (
+    List.iter
+      (fun g ->
+        let ok =
+          equated_external g
+          || List.exists (mapped_through_view g) added
+        in
+        if not ok then
+          fire "group-by key %s dropped without an FD witness" (pp_e g))
+      removed;
+    List.iter
+      (fun k ->
+        let ok =
+          equated_external k
+          || List.exists (fun g -> mapped_through_view g k) removed
+          || List.exists (fun g -> Props.Eqc.same_expr eq g k) removed
+        in
+        if not ok then
+          fire "group-by key %s added without an FD witness" (pp_e k))
+      added;
+    if
+      a.A.group_by = []
+      && List.exists (fun si -> Walk.expr_has_agg si.A.si_expr) a.A.select
+    then
+      (* collapsing to a scalar aggregate fabricates a row for empty
+         input unless guarded (the JPPD group-removal guard) *)
+      let guard =
+        A.Cmp
+          (A.Gt, A.Agg (A.Count_star, None, false), A.Const (Value.Int 0))
+      in
+      if not (List.exists (fun h -> pp_p h = pp_p guard) a.A.having) then
+        fire
+          "GROUP BY removed under aggregates without an empty-group \
+           guard (COUNT(*) > 0)")
+  else if a.A.group_by <> [] then (
+    (* grouping appeared on an ungrouped block: legal only as group-by
+       view merging — a grouped view was inlined and every surviving
+       multiplying entry's key joined the new GROUP BY *)
+    let merged_grouped_view =
+      List.exists
+        (fun fe ->
+          match fe.A.fe_source with
+          | A.S_view (A.Block vb) ->
+              vb.A.group_by <> [] || Walk.block_has_agg vb
+          | _ -> false)
+        d.Tx.bd_removed_entries
+    in
+    if not merged_grouped_view then
+      fire "GROUP BY introduced on a previously ungrouped block"
+    else
+      let group_strs = List.map pp_e a.A.group_by in
+      List.iter
+        (fun fe ->
+          let survives =
+            List.exists
+              (fun o -> o.A.fe_alias = fe.A.fe_alias)
+              a.A.from
+          in
+          match fe.A.fe_kind with
+          | A.J_semi | A.J_anti | A.J_anti_na -> ()
+          | A.J_inner | A.J_left ->
+              if survives then (
+                match Tx.entry_key cat fe with
+                | Some key
+                  when List.for_all
+                         (fun kc ->
+                           List.mem
+                             (pp_e (A.col fe.A.fe_alias kc))
+                             group_strs)
+                         key ->
+                    ()
+                | _ ->
+                    fire
+                      "group-by view merge leaves surviving entry %s \
+                       without its key in the new GROUP BY"
+                      fe.A.fe_alias))
+        b.A.from)
+
+(* ------------------------------------------------------------------ *)
+(* SEM006 — added WHERE conjuncts must be derivable                     *)
+(* ------------------------------------------------------------------ *)
+
+let check_added_where (c : D.collector) (d : Tx.block_delta)
+    (before_conjs : A.pred list) =
+  let path = d.Tx.bd_name in
+  let before_strs = Hashtbl.create 64 in
+  List.iter (fun p -> Hashtbl.replace before_strs (canon_p p) ()) before_conjs;
+  let added_aliases =
+    List.map (fun fe -> fe.A.fe_alias) d.Tx.bd_added_entries
+  in
+  let block_conjs =
+    d.Tx.bd_before.A.where @ d.Tx.bd_after.A.where
+    @ List.concat_map
+        (fun fe -> fe.A.fe_cond)
+        (d.Tx.bd_before.A.from @ d.Tx.bd_after.A.from)
+  in
+  let eq = Props.Eqc.of_conjuncts block_conjs in
+  let select_map sel = List.map (fun si -> (si.A.si_name, si.A.si_expr)) sel in
+  (* substitution sources: the paired block's own output (predicates
+     pushed through this block's select) … *)
+  let own_maps =
+    [ select_map d.Tx.bd_before.A.select; select_map d.Tx.bd_after.A.select ]
+  in
+  (* … and the after-tree views of this block (predicates pulled up
+     through a view's — possibly freshly widened — select) *)
+  let view_maps =
+    List.filter_map
+      (fun fe ->
+        match fe.A.fe_source with
+        | A.S_view vq -> (
+            match A.leaves vq with
+            | lb :: _ -> Some (fe.A.fe_alias, select_map lb.A.select)
+            | [] -> None)
+        | A.S_table _ -> None)
+      d.Tx.bd_after.A.from
+  in
+  let subst_matches (p : A.pred) : bool =
+    (* pushdown: some original conjunct, rewritten through a select map
+       of this block, yields [p] *)
+    List.exists
+      (fun q ->
+        Sset.exists
+          (fun al ->
+            List.exists
+              (fun m ->
+                match Walk.substitute_alias ~alias:al ~subst:m q with
+                | q' -> canon_p q' = canon_p p
+                | exception Not_found -> false)
+              own_maps)
+          (Walk.pred_aliases q))
+      before_conjs
+    || (* pull-up: [p], rewritten through one of this block's view
+          selects, is an original conjunct *)
+    List.exists
+      (fun (v, m) ->
+        Sset.mem v (Walk.pred_aliases p)
+        &&
+        match Walk.substitute_alias ~alias:v ~subst:m p with
+        | p' -> Hashtbl.mem before_strs (canon_p p')
+        | exception Not_found -> false)
+      view_maps
+  in
+  let transitive_match (p : A.pred) : bool =
+    List.exists
+      (fun q ->
+        match (p, q) with
+        | A.Cmp (op1, l1, r1), A.Cmp (op2, l2, r2) ->
+            (op1 = op2
+             && Props.Eqc.same_expr eq l1 l2
+             && Props.Eqc.same_expr eq r1 r2)
+            || (op1 = mirror_cmp op2
+                && Props.Eqc.same_expr eq l1 r2
+                && Props.Eqc.same_expr eq r1 l2)
+        | A.In_list (e1, vs1), A.In_list (e2, vs2) ->
+            Props.Eqc.same_expr eq e1 e2
+            && List.length vs1 = List.length vs2
+            && List.for_all2 (fun a b -> Value.compare_total a b = 0) vs1 vs2
+        | A.Between (e1, lo1, hi1), A.Between (e2, lo2, hi2) ->
+            Props.Eqc.same_expr eq e1 e2
+            && Props.Eqc.same_expr eq lo1 lo2
+            && Props.Eqc.same_expr eq hi1 hi2
+        | _ -> false)
+      before_conjs
+  in
+  List.iter
+    (fun p ->
+      let skip =
+        Walk.pred_has_subquery p
+        || Sset.exists
+             (fun al -> List.mem al added_aliases)
+             (Walk.pred_aliases p)
+        || (match p with
+           | A.Not (A.Is_null _) -> d.Tx.bd_removed_entries <> []
+           | _ -> false)
+        || Hashtbl.mem before_strs (canon_p p)
+        || transitive_match p || subst_matches p
+      in
+      if not skip then
+        D.report c ~rule:"SEM006" ~severity:D.Error ~path
+          "added WHERE conjunct %s is not derivable from the original tree"
+          (pp_p p))
+    d.Tx.bd_added_where
+
+(* ------------------------------------------------------------------ *)
+(* SEM007 — join-role changes                                           *)
+(* ------------------------------------------------------------------ *)
+
+let check_kind (c : D.collector) (cat : Catalog.t) (d : Tx.block_delta)
+    ((bfe, afe) : A.from_entry * A.from_entry) =
+  let path = d.Tx.bd_name in
+  let alias = afe.A.fe_alias in
+  let fire rule fmt = D.report c ~rule ~severity:D.Error ~path fmt in
+  let outer_inner_ok () =
+    (* a null-rejecting WHERE conjunct on the entry filters the padded
+       rows an outer join would add, collapsing it to inner — and
+       conversely licenses padding an inner join *)
+    List.exists
+      (Props.null_rejecting_for_alias ~alias)
+      d.Tx.bd_after.A.where
+  in
+  let anti_na_ok () =
+    (* the sides actually compared across the antijoin must be provably
+       non-null; entry-local filter conjuncts don't null-extend *)
+    let env = Props.block_env cat d.Tx.bd_after in
+    let crossing p =
+      let als = Walk.pred_aliases p in
+      Sset.mem alias als && not (Sset.equal als (Sset.singleton alias))
+    in
+    List.for_all
+      (fun p ->
+        (not (crossing p))
+        ||
+        match p with
+        | A.Cmp (_, x, y) ->
+            Props.expr_non_null env x && Props.expr_non_null env y
+        | _ -> false)
+      afe.A.fe_cond
+  in
+  match (bfe.A.fe_kind, afe.A.fe_kind) with
+  | A.J_left, A.J_inner ->
+      if not (outer_inner_ok ()) then
+        fire "SEM007"
+          "outer join %s simplified to inner without a null-rejecting \
+           WHERE conjunct"
+          alias
+  | A.J_inner, A.J_left ->
+      if not (outer_inner_ok ()) then
+        fire "SEM007"
+          "inner join %s generalized to outer without a null-rejecting \
+           WHERE conjunct"
+          alias
+  | (A.J_anti_na, A.J_anti | A.J_anti, A.J_anti_na) ->
+      if not (anti_na_ok ()) then
+        fire "SEM002"
+          "antijoin %s changed null-awareness without a non-null proof \
+           for the compared sides"
+          alias
+  | A.J_inner, A.J_semi ->
+      if not (entry_unique cat d.Tx.bd_before bfe.A.fe_alias) then
+        fire "SEM001"
+          "inner join %s narrowed to semijoin without a uniqueness \
+           witness"
+          alias
+  | A.J_semi, A.J_inner ->
+      if not (entry_unique cat d.Tx.bd_after alias) then
+        fire "SEM001"
+          "semijoin %s widened to inner join without a uniqueness witness"
+          alias
+  | bk, ak ->
+      fire "SEM007" "entry %s changed join role %s -> %s without a witness"
+        alias
+        (jkind_str bk)
+        (jkind_str ak)
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let block_errors (c : D.collector) (cat : Catalog.t)
+    (before_conjs : A.pred list) (d : Tx.block_delta) =
+  (* subquery unnesting: k removed subquery predicates replaced by k new
+     FROM entries, paired positionally (both sides keep source order) *)
+  let removed_sq = List.filter subq_pred d.Tx.bd_removed_where in
+  if
+    removed_sq <> []
+    && List.length removed_sq = List.length d.Tx.bd_added_entries
+  then List.iter2 (check_unnest c cat d) removed_sq d.Tx.bd_added_entries;
+  (* join elimination: entries vanished, nothing appeared, the output
+     shape survived, and no new correlation was introduced *)
+  let new_free =
+    not
+      (Sset.subset
+         (Walk.free_aliases (A.Block d.Tx.bd_after))
+         (Walk.free_aliases (A.Block d.Tx.bd_before)))
+  in
+  if
+    d.Tx.bd_removed_entries <> []
+    && d.Tx.bd_added_entries = []
+    && (not d.Tx.bd_select_names_changed)
+    && not new_free
+  then List.iter (check_removed_entry c cat d) d.Tx.bd_removed_entries;
+  if d.Tx.bd_group_changed then check_group c cat d;
+  check_added_where c d before_conjs;
+  List.iter (check_kind c cat d) d.Tx.bd_kind_changes
+
+(** SEM-verify a transformation attempt: pair the blocks of [before] and
+    [after] by name and demand the legality witness of every structural
+    delta. Returns error diagnostics (empty = no objection). *)
+let errors (cat : Catalog.t) ~(before : A.query) ~(after : A.query) :
+    D.t list =
+  let deltas = Tx.query_deltas ~base:before ~out:after in
+  if deltas = [] then []
+  else begin
+    let c = D.collector () in
+    let before_conjs = tree_conjuncts before in
+    List.iter (block_errors c cat before_conjs) deltas;
+    D.result c
+  end
+
+(** Cost-model cross-check for one optimized query block: the estimate
+    must not exceed the provable key-derived cardinality bound (CB002),
+    and no column NDV estimate may exceed the block's own cardinality
+    estimate (CB003). Slack absorbs the estimator's 0.5-row floors. *)
+let check_annotation (cat : Catalog.t) (q : A.query) ~(rows : float)
+    ~(info : Cost.Info.rel_info) : D.t list =
+  if Walk.is_correlated q then []
+  else
+    let c = D.collector () in
+    (match q with
+    | A.Setop _ -> ()
+    | A.Block b ->
+        (match Props.bound_block cat b with
+        | Some bound when rows > (bound *. 1.1) +. 1. ->
+            D.report c ~rule:"CB002" ~severity:D.Error ~path:b.A.qb_name
+              "cardinality estimate %.1f exceeds the provable bound %.1f"
+              rows bound
+        | _ -> ());
+        if b.A.limit = None then
+          List.iter
+            (fun ((al, col), ci) ->
+              if ci.Cost.Info.ci_ndv > (rows *. 1.05) +. 1. then
+                D.report c ~rule:"CB003" ~severity:D.Error ~path:b.A.qb_name
+                  "NDV estimate %.1f for %s.%s exceeds the block's \
+                   cardinality estimate %.1f"
+                  ci.Cost.Info.ci_ndv al col rows)
+            info.Cost.Info.ri_cols);
+    D.result c

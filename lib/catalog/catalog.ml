@@ -151,6 +151,70 @@ let fk_between t ~table ~cols ~ref_table ~ref_cols =
 
 let col_nullable t ~table ~col = (col_def t ~table ~col).c_nullable
 
+(* ------------------------------------------------------------------ *)
+(* First-class constraint surface                                       *)
+(* ------------------------------------------------------------------ *)
+
+(** The declared integrity constraints of one table in one record: the
+    surface {!Analysis.Props} (inference) and the workload generator
+    consume. Unique {e indexes} are folded into [tc_uniques] — an
+    enforced unique index is a uniqueness constraint in all but name. *)
+type table_constraints = {
+  tc_pkey : string list;
+  tc_uniques : string list list;
+  tc_fkeys : fk list;
+  tc_not_null : string list;
+}
+
+let constraints t name : table_constraints =
+  let def = find_table t name in
+  let index_uniques =
+    List.filter_map
+      (fun ix -> if ix.ix_unique then Some ix.ix_cols else None)
+      (indexes_on t name)
+  in
+  {
+    tc_pkey = def.t_pkey;
+    tc_uniques = List.sort_uniq compare (def.t_uniques @ index_uniques);
+    tc_fkeys = def.t_fkeys;
+    tc_not_null =
+      List.filter_map
+        (fun c -> if c.c_nullable then None else Some c.c_name)
+        def.t_cols;
+  }
+
+(** Columns of [name] declared NOT NULL. *)
+let not_null_cols t name = (constraints t name).tc_not_null
+
+(** Declare an additional unique constraint on an existing table,
+    together with the index that would enforce it. *)
+let add_unique t ~table ~(cols : string list) =
+  let def = find_table t table in
+  if not (List.mem cols def.t_uniques) then (
+    add_table t { def with t_uniques = def.t_uniques @ [ cols ] };
+    add_index t
+      {
+        ix_name = Printf.sprintf "%s_uq_%s" table (String.concat "_" cols);
+        ix_table = table;
+        ix_cols = cols;
+        ix_unique = true;
+      })
+
+(** Tighten a column to NOT NULL (the data is the caller's problem). *)
+let set_not_null t ~table ~col =
+  let def = find_table t table in
+  if (col_def t ~table ~col).c_nullable then
+    add_table t
+      {
+        def with
+        t_cols =
+          List.map
+            (fun c ->
+              if String.equal c.c_name col then { c with c_nullable = false }
+              else c)
+            def.t_cols;
+      }
+
 let set_stats t name (s : table_stats) =
   Hashtbl.replace t.stats name s;
   bump_epoch t name

@@ -72,6 +72,13 @@ type config = {
           optimized although the untransformed state could — such a
           state silently costs [infinity] otherwise, masking
           transformation bugs *)
+  on_diag : (string -> Analysis.Diagnostics.t list -> unit) option;
+      (** diagnostic collection mode: when set, every finding the
+          sanitizer would raise as {!Analysis.Diagnostics.Check_failed}
+          is handed to this callback (with the offending transformation
+          name) and the run {e continues} — the CLI's [check --sem]
+          summary table is built this way. [None] (the default) keeps
+          fail-fast raising behaviour *)
   memo : bool;
       (** cost-annotation reuse (Section 3.4.2): share the identity and
           fingerprint annotation caches across all states of all
@@ -116,6 +123,7 @@ let default_config =
     interleave = true;
     juxtapose = true;
     check = env_check;
+    on_diag = None;
     memo = true;
     trace = env_trace;
     policy = Policy.default;
@@ -203,22 +211,32 @@ type ctx = {
 (* Sanitizer mode                                                       *)
 (* ------------------------------------------------------------------ *)
 
+(** Deliver error diagnostics: raise {!Analysis.Diagnostics.Check_failed}
+    (fail-fast sanitizer), or hand them to [config.on_diag] and keep
+    going (collection mode). *)
+let emit (ctx : ctx) ~(tx : string) (errs : Analysis.Diagnostics.t list) =
+  match errs with
+  | [] -> ()
+  | errs -> (
+      match ctx.cfg.on_diag with
+      | Some f -> f tx errs
+      | None -> raise (Analysis.Diagnostics.Check_failed (tx, errs)))
+
 (** In sanitizer mode, run {!Analysis.Ir_check} over [q] and raise
     {!Analysis.Diagnostics.Check_failed} — naming the transformation
     [tx] that produced the tree — on any error-severity finding. When
     [base] (the tree the transformation started from) is supplied, also
-    run the {!Analysis.Copy_check} over-copying detector (rule TX001).
-    Returns [q] unchanged so it chains inside pipelines. *)
+    run the {!Analysis.Copy_check} over-copying detector (rule TX001)
+    and the {!Analysis.Sem_check} transformation-legality verifier
+    (rules SEM001–SEM007) over the before/after pair. Returns [q]
+    unchanged so it chains inside pipelines. *)
 let sanitize (ctx : ctx) ~(tx : string) ?base (q : A.query) : A.query =
   (if ctx.cfg.check then (
-     (match Analysis.Ir_check.errors ctx.cat q with
-     | [] -> ()
-     | errs -> raise (Analysis.Diagnostics.Check_failed (tx, errs)));
+     emit ctx ~tx (Analysis.Ir_check.errors ctx.cat q);
      match base with
-     | Some b when b != q -> (
-         match Analysis.Copy_check.errors ~before:b ~after:q with
-         | [] -> ()
-         | errs -> raise (Analysis.Diagnostics.Check_failed (tx, errs)))
+     | Some b when b != q ->
+         emit ctx ~tx (Analysis.Copy_check.errors ~before:b ~after:q);
+         emit ctx ~tx (Analysis.Sem_check.errors ctx.cat ~before:b ~after:q)
      | _ -> ()));
   q
 
@@ -290,16 +308,14 @@ let score (ctx : ctx) ~(tx : string) ~(is_base : bool) ~(base_ok : bool ref)
   | O_error msg ->
       ctx.states_errored <- ctx.states_errored + 1;
       if ctx.cfg.check && (not is_base) && !base_ok then
-        raise
-          (Analysis.Diagnostics.Check_failed
-             ( tx,
-               [
-                 Analysis.Diagnostics.error ~rule:"CB001"
-                   ~path:Analysis.Diagnostics.root
-                   "search state fails to optimize (%s) although the \
-                    untransformed state optimizes fine"
-                   msg;
-               ] ));
+        emit ctx ~tx
+          [
+            Analysis.Diagnostics.error ~rule:"CB001"
+              ~path:Analysis.Diagnostics.root
+              "search state fails to optimize (%s) although the \
+               untransformed state optimizes fine"
+              msg;
+          ];
       infinity
 
 (* ------------------------------------------------------------------ *)
@@ -398,10 +414,21 @@ let cost_step (ctx : ctx) (name : string)
           if c < !best_seen then best_seen := c;
           c)
         in
-        let res =
+        let run_search ~check =
           Search.run
             ~iterative_max_states:ctx.cfg.policy.Policy.iterative_state_budget
-            strategy n eval
+            ~check strategy n eval
+        in
+        let res =
+          (* in collection mode a CB004 search-invariant violation is
+             recorded and the search result recomputed unvalidated (the
+             memoized costs make the re-run cheap) *)
+          match run_search ~check:ctx.cfg.check with
+          | res -> res
+          | exception Analysis.Diagnostics.Check_failed (txn, errs)
+            when ctx.cfg.on_diag <> None ->
+              emit ctx ~tx:txn errs;
+              run_search ~check:false
         in
         let base =
           match res.Search.r_trace with (_, c) :: _ -> c | [] -> nan
@@ -533,7 +560,7 @@ let gb_merge_juxtaposed (ctx : ctx) (q : A.query) : A.query =
 let imperative (ctx : ctx) (name : string) (f : Catalog.t -> A.query -> A.query)
     (q : A.query) : A.query =
   Tr.wrap_with ctx.tr Tr.Attempt name (fun sp ->
-      let q' = sanitize ctx ~tx:name (f ctx.cat q) in
+      let q' = sanitize ctx ~tx:name ~base:q (f ctx.cat q) in
       Tr.add_attrs sp
         [ ("outcome", Tr.S (if q' == q then "no-change" else "applied")) ];
       q')
@@ -634,6 +661,16 @@ let optimize ?(config = default_config) (cat : Catalog.t) (q : A.query) :
       states_errored = 0;
     }
   in
+  if config.check then
+    (* cross-check every freshly costed block annotation against the
+       key-derived cardinality bounds (CB002/CB003) *)
+    Opt.set_block_hook opt
+      (Some
+         (fun bq ann ->
+           emit ctx ~tx:"cost-model"
+             (Analysis.Sem_check.check_annotation cat bq
+                ~rows:ann.Planner.Annotation.an_rows
+                ~info:ann.Planner.Annotation.an_info)));
   let root = Tr.enter tr Tr.Driver "cbqt" in
   ignore (sanitize ctx ~tx:"input" q);
   let q' = transform ctx q in
@@ -661,9 +698,7 @@ let optimize ?(config = default_config) (cat : Catalog.t) (q : A.query) :
          ~cost:ann.Planner.Annotation.an_cost
          ~rows:ann.Planner.Annotation.an_rows ann.Planner.Annotation.an_plan
      in
-     match Analysis.Diagnostics.errors diags with
-     | [] -> ()
-     | errs -> raise (Analysis.Diagnostics.Check_failed ("physical-plan", errs)));
+     emit ctx ~tx:"physical-plan" (Analysis.Diagnostics.errors diags));
   Tr.add_attrs root
     [ ("final_cost", Tr.F ann.Planner.Annotation.an_cost) ];
   Tr.exit_ tr root;

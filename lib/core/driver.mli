@@ -35,6 +35,13 @@ type config = {
           transformed search state cannot be optimized although the
           untransformed state could. Defaults to the [CBQT_CHECK] env
           var ([1] / [true] / [on] / [yes]). *)
+  on_diag : (string -> Analysis.Diagnostics.t list -> unit) option;
+      (** collection mode for the sanitizer: when set, error-severity
+          findings are passed to this callback (with the offending
+          transformation's name) instead of raising [Check_failed], and
+          the run continues — the CLI's [check --sem] summary uses this
+          to count every rule firing across a workload. [None] (the
+          default) keeps the fail-fast raising behaviour. *)
   memo : bool;
       (** cost-annotation reuse (Section 3.4.2): share the identity and
           fingerprint annotation caches across all states of all

@@ -66,8 +66,39 @@ let ones n = List.init n (fun _ -> true)
 
 let flip mask i = List.mapi (fun j b -> if j = i then not b else b) mask
 
-let run ?(iterative_max_states = 32) (strategy : strategy) (n : int)
-    (eval : bool list -> float) : result =
+(** CB004 invariant over a finished search: the winner must be one of
+    the states actually evaluated, at exactly the cost the evaluation
+    recorded, and no evaluated state may beat it. Raised as
+    [Check_failed ("search", [CB004 ...])] in sanitizer mode. *)
+let validate_result (r : result) : unit =
+  let module D = Analysis.Diagnostics in
+  let fail fmt =
+    Format.kasprintf
+      (fun msg ->
+        raise
+          (D.Check_failed
+             ("search", [ D.error ~rule:"CB004" ~path:"search" "%s" msg ])))
+      fmt
+  in
+  (match List.assoc_opt r.r_best r.r_trace with
+  | None ->
+      fail "winning state %s was never evaluated" (mask_to_string r.r_best)
+  | Some c ->
+      if
+        not
+          (Float.equal c r.r_best_cost || (Float.is_nan c && Float.is_nan r.r_best_cost))
+      then
+        fail "winning state %s reported cost %g but was evaluated at %g"
+          (mask_to_string r.r_best) r.r_best_cost c);
+  List.iter
+    (fun (mask, c) ->
+      if c < r.r_best_cost then
+        fail "evaluated state %s (cost %g) beats the reported winner %s (%g)"
+          (mask_to_string mask) c (mask_to_string r.r_best) r.r_best_cost)
+    r.r_trace
+
+let run ?(iterative_max_states = 32) ?(check = false) (strategy : strategy)
+    (n : int) (eval : bool list -> float) : result =
   if n = 0 then
     { r_best = []; r_best_cost = eval []; r_states = 1; r_trace = [ ([], nan) ] }
   else
@@ -129,5 +160,9 @@ let run ?(iterative_max_states = 32) (strategy : strategy) (n : int)
         in
         climb (zeros n);
         if !states < iterative_max_states then climb (ones n));
-    { r_best = !best; r_best_cost = !best_cost; r_states = !states;
-      r_trace = List.rev !trace }
+    let result =
+      { r_best = !best; r_best_cost = !best_cost; r_states = !states;
+        r_trace = List.rev !trace }
+    in
+    if check then validate_result result;
+    result

@@ -33,8 +33,15 @@ val all_masks : int -> bool list list
 val zeros : int -> bool list
 val ones : int -> bool list
 
+val validate_result : result -> unit
+(** CB004 invariant over a finished search: the winner must be one of
+    the states actually evaluated, at exactly the cost the evaluation
+    recorded, and no evaluated state may beat it. Raises
+    {!Analysis.Diagnostics.Check_failed} (rule [CB004]) on violation. *)
+
 val run :
   ?iterative_max_states:int ->
+  ?check:bool ->
   strategy ->
   int ->
   (bool list -> float) ->
@@ -43,4 +50,5 @@ val run :
     return [infinity] for states aborted by the cost cut-off (Section
     3.4.1); such states lose every comparison. The all-zeros state is
     always evaluated first, so the returned best is never worse than
-    the untransformed query. *)
+    the untransformed query. With [~check:true] the result is passed
+    through {!validate_result} before being returned. *)

@@ -76,6 +76,9 @@ let rec optimize_query (t : Ctx.t) ~(outer : Info.rel_info)
             | A.Block b -> optimize_block t ~outer ~out_alias b
             | A.Setop (op, l, r) -> optimize_setop t ~outer ~out_alias op l r
           in
+          (match t.Ctx.block_hook with
+          | Some hook -> hook q ann
+          | None -> ());
           (match fp with
           | Some (h, kq) -> Ctx.fp_store t ~out_alias ~h ~kq ann
           | None -> ());

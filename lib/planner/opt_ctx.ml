@@ -87,6 +87,10 @@ type t = {
       (** observability spans ({!Obs.Trace.disabled} unless the driver
           threads a live trace through) — block-level spans are emitted
           by {!Block_cost} for every optimization actually entered *)
+  mutable block_hook : (Ast.query -> Annotation.t -> unit) option;
+      (** invoked by {!Block_cost} on every freshly computed (non-cached)
+          per-block annotation; the sanitizer installs the CB002/CB003
+          cost cross-checks here. Exceptions propagate. *)
 }
 
 let create ?(cfg = default_config) ?annot_cache ?(tracer = Obs.Trace.disabled)
@@ -102,6 +106,7 @@ let create ?(cfg = default_config) ?annot_cache ?(tracer = Obs.Trace.disabled)
     fresh = 0;
     info_cache = Hashtbl.create 32;
     tracer;
+    block_hook = None;
   }
 
 (** Annotation reuse is on iff a fingerprint cache was supplied. *)

@@ -45,6 +45,7 @@ type t = Opt_ctx.t = {
   mutable fresh : int;
   info_cache : (string, (string * Cost.Info.colinfo) list) Hashtbl.t;
   tracer : Obs.Trace.t;
+  mutable block_hook : (Sqlir.Ast.query -> Annotation.t -> unit) option;
 }
 
 let create = Opt_ctx.create
@@ -63,6 +64,11 @@ let set_cost_cap (t : t) cap = t.cost_cap <- cap
     ([None] = no information; everything may be new). Advisory — see
     {!Opt_ctx}. *)
 let set_dirty (t : t) dirty = t.dirty <- dirty
+
+(** Install (or clear) the per-block annotation hook — called on every
+    freshly computed block annotation; the driver's check mode wires the
+    CB-series cost cross-checks through it. *)
+let set_block_hook (t : t) hook = t.block_hook <- hook
 
 let optimize (t : t) (q : Sqlir.Ast.query) : Annotation.t =
   Block_cost.optimize_query t ~outer:Cost.Info.empty ~out_alias:"" q

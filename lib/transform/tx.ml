@@ -287,3 +287,137 @@ let entry_key (cat : Catalog.t) (fe : A.from_entry) : string list option =
       if def.t_pkey <> [] then Some def.t_pkey
       else (
         match def.t_uniques with key :: _ -> Some key | [] -> None)
+
+(* ------------------------------------------------------------------ *)
+(* Property-delta reporting                                             *)
+(* ------------------------------------------------------------------ *)
+
+(** Structural delta between the before/after versions of one query
+    block, paired by [qb_name]. This is the unit {!Analysis.Sem_check}
+    verifies: each SEM rule looks for a characteristic delta (a removed
+    subquery predicate, a dropped FROM entry, a changed GROUP BY, …) and
+    demands the corresponding legality witness. Only blocks whose name
+    occurs exactly once in each tree are paired — transformations that
+    rename blocks ([_or<i>], [_sj], …) opt out of delta checking by
+    construction. *)
+type block_delta = {
+  bd_name : string;
+  bd_before : A.block;
+  bd_after : A.block;
+  bd_removed_entries : A.from_entry list;  (** in before-FROM order *)
+  bd_added_entries : A.from_entry list;  (** in after-FROM order *)
+  bd_kind_changes : (A.from_entry * A.from_entry) list;
+      (** same alias on both sides, different join role *)
+  bd_removed_where : A.pred list;  (** in before-WHERE order *)
+  bd_added_where : A.pred list;  (** in after-WHERE order *)
+  bd_group_changed : bool;
+  bd_select_names_changed : bool;
+}
+
+let multiset_diff (pp : 'a -> string) (xs : 'a list) (ys : 'a list) : 'a list =
+  let counts = Hashtbl.create 16 in
+  List.iter
+    (fun y ->
+      let k = pp y in
+      Hashtbl.replace counts k (1 + Option.value ~default:0 (Hashtbl.find_opt counts k)))
+    ys;
+  List.filter
+    (fun x ->
+      let k = pp x in
+      match Hashtbl.find_opt counts k with
+      | Some n when n > 0 ->
+          Hashtbl.replace counts k (n - 1);
+          false
+      | _ -> true)
+    xs
+
+let block_delta (before : A.block) (after : A.block) : block_delta =
+  let aliases b = List.map (fun fe -> fe.A.fe_alias) b.A.from in
+  let removed_entries =
+    List.filter
+      (fun fe -> not (List.mem fe.A.fe_alias (aliases after)))
+      before.A.from
+  in
+  let added_entries =
+    List.filter
+      (fun fe -> not (List.mem fe.A.fe_alias (aliases before)))
+      after.A.from
+  in
+  let kind_changes =
+    List.filter_map
+      (fun bfe ->
+        match
+          List.find_opt
+            (fun afe -> afe.A.fe_alias = bfe.A.fe_alias)
+            after.A.from
+        with
+        | Some afe when afe.A.fe_kind <> bfe.A.fe_kind -> Some (bfe, afe)
+        | _ -> None)
+      before.A.from
+  in
+  let pp = Pp.pred_to_string in
+  {
+    bd_name = before.A.qb_name;
+    bd_before = before;
+    bd_after = after;
+    bd_removed_entries = removed_entries;
+    bd_added_entries = added_entries;
+    bd_kind_changes = kind_changes;
+    bd_removed_where = multiset_diff pp before.A.where after.A.where;
+    bd_added_where = multiset_diff pp after.A.where before.A.where;
+    bd_group_changed =
+      List.map Pp.expr_to_string before.A.group_by
+      <> List.map Pp.expr_to_string after.A.group_by;
+    bd_select_names_changed =
+      List.map (fun si -> si.A.si_name) before.A.select
+      <> List.map (fun si -> si.A.si_name) after.A.select;
+  }
+
+(** Pair the blocks of [base] and [out] by [qb_name] (names occurring
+    exactly once on each side) and report the non-empty deltas. Blocks
+    physically shared between the trees are skipped outright. *)
+let query_deltas ~(base : A.query) ~(out : A.query) : block_delta list =
+  let collect q =
+    let tbl = Hashtbl.create 16 in
+    iter_blocks
+      (fun b ->
+        Hashtbl.replace tbl b.A.qb_name
+          (match Hashtbl.find_opt tbl b.A.qb_name with
+          | None -> [ b ]
+          | Some bs -> b :: bs))
+      q;
+    tbl
+  in
+  let bt = collect base and at = collect out in
+  let deltas = ref [] in
+  Hashtbl.iter
+    (fun name bs ->
+      match (bs, Hashtbl.find_opt at name) with
+      | [ b ], Some [ a ] when b != a ->
+          let d = block_delta b a in
+          if
+            d.bd_removed_entries <> [] || d.bd_added_entries <> []
+            || d.bd_kind_changes <> [] || d.bd_removed_where <> []
+            || d.bd_added_where <> [] || d.bd_group_changed
+            || d.bd_select_names_changed
+          then deltas := d :: !deltas
+      | _ -> ())
+    bt;
+  List.sort (fun a b -> compare a.bd_name b.bd_name) !deltas
+
+(** One-line human summary of a delta, for traces and verbose output. *)
+let delta_summary (d : block_delta) : string =
+  let part label = function
+    | [] -> []
+    | xs -> [ Printf.sprintf "%s:%d" label (List.length xs) ]
+  in
+  let flags =
+    part "entries-" d.bd_removed_entries
+    @ part "entries+" d.bd_added_entries
+    @ part "kind~" d.bd_kind_changes
+    @ part "where-" d.bd_removed_where
+    @ part "where+" d.bd_added_where
+    @ (if d.bd_group_changed then [ "group~" ] else [])
+    @ if d.bd_select_names_changed then [ "select~" ] else []
+  in
+  Printf.sprintf "%s{%s}" d.bd_name (String.concat " " flags)

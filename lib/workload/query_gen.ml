@@ -67,8 +67,18 @@ let iconst n = A.Const (V.Int n)
 
 let family g = Rng.pick g.g_rng g.g_schema.S.families
 
-(* a random filter on a table alias, with selectivity knobs *)
+(* a random filter on a table alias, with selectivity knobs; tables
+   with a declared alternate unique key occasionally get a point filter
+   on it — a single-row selection the property inference can prove from
+   the catalog constraints alone *)
 let filter g (ti : S.tinfo) alias : A.pred =
+  match ti.S.ti_alt_unique with
+  | Some a when Rng.bool g.g_rng ~p:0.2 ->
+      A.Cmp
+        ( A.Eq,
+          c alias a,
+          iconst (S.alt_unique_value (Rng.int g.g_rng ti.S.ti_rows)) )
+  | _ -> (
   match Rng.int g.g_rng 4 with
   | 0 ->
       let m = Rng.pick g.g_rng ti.S.ti_measures in
@@ -86,7 +96,7 @@ let filter g (ti : S.tinfo) alias : A.pred =
             (A.Gt, c alias d, A.Const (V.Date (10000 + Rng.int g.g_rng 2000)))
       | [] ->
           let m = Rng.pick g.g_rng ti.S.ti_measures in
-          A.Cmp (A.Lt, c alias m, iconst (Rng.range g.g_rng 1000 9000)))
+          A.Cmp (A.Lt, c alias m, iconst (Rng.range g.g_rng 1000 9000))))
 
 let tbl name alias =
   { A.fe_alias = alias; fe_source = A.S_table name; fe_kind = A.J_inner; fe_cond = [] }

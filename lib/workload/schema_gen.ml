@@ -16,6 +16,12 @@ type tinfo = {
   ti_name : string;
   ti_rows : int;
   ti_pk : string;  (** single-column primary key *)
+  ti_alt_unique : string option;
+      (** alternate key: a NOT NULL column declared UNIQUE through the
+          catalog constraint API ({!Catalog.add_unique} /
+          {!Catalog.set_not_null}); data is generated distinct, so the
+          declaration is honest and the property inference may rely on
+          it *)
   ti_fks : (string * string * bool) list;
       (** (column, referenced table, nullable) — referenced column is
           always the referenced table's PK *)
@@ -24,6 +30,11 @@ type tinfo = {
   ti_strs : (string * string list) list;  (** string columns with domain *)
   ti_dates : string list;  (** date columns, domain [10000, 12000) *)
 }
+
+(** Value of the alternate-key column in row [r] (0-based): an injective
+    map into a domain disjoint from the PK domain, shared with the query
+    generator so unique-key point filters hit exactly one row. *)
+let alt_unique_value (r : int) : int = 100000 + (7 * (r + 1))
 
 type family = {
   fam_name : string;
@@ -50,6 +61,7 @@ let make_family rng idx : family =
           ti_name = Printf.sprintf "%s_dim%d" fam i;
           ti_rows = Rng.range rng 40 300;
           ti_pk = "id";
+          ti_alt_unique = Some "code_no";
           ti_fks = [];
           ti_measures = [ "rank_no" ];
           ti_cats = [ ("grp", Rng.range rng 3 8) ];
@@ -62,6 +74,7 @@ let make_family rng idx : family =
       ti_name = fam ^ "_mid";
       ti_rows = Rng.range rng 400 1500;
       ti_pk = "id";
+      ti_alt_unique = None;
       ti_fks = [ ("dim0_id", (List.hd dims).ti_name, false) ];
       ti_measures = [ "budget" ];
       ti_cats = [ ("kind", Rng.range rng 4 10) ];
@@ -81,6 +94,7 @@ let make_family rng idx : family =
           ti_name = Printf.sprintf "%s_fact%d" fam i;
           ti_rows = Rng.range rng 1500 6000;
           ti_pk = "id";
+          ti_alt_unique = None;
           ti_fks = (("mid_id", mid.ti_name, Rng.bool rng ~p:0.25)) :: dim_fks;
           ti_measures = [ "m1"; "m2" ];
           ti_cats = [ ("status_c", Rng.range rng 3 6); ("code", Rng.range rng 20 200) ];
@@ -92,6 +106,12 @@ let make_family rng idx : family =
 
 let columns_of (ti : tinfo) : Catalog.col_def list =
   [ { Catalog.c_name = ti.ti_pk; c_ty = V.T_int; c_nullable = false } ]
+  @ (match ti.ti_alt_unique with
+    | Some a ->
+        (* declared nullable here; {!register} tightens it through the
+           constraint API *)
+        [ { Catalog.c_name = a; c_ty = V.T_int; c_nullable = true } ]
+    | None -> [])
   @ List.map
       (fun (c, _, nullable) ->
         { Catalog.c_name = c; c_ty = V.T_int; c_nullable = nullable })
@@ -154,7 +174,12 @@ let register rng (cat : Catalog.t) (ti : tinfo) =
             ix_cols = [ c ];
             ix_unique = false;
           })
-    ti.ti_dates
+    ti.ti_dates;
+  match ti.ti_alt_unique with
+  | None -> ()
+  | Some a ->
+      Catalog.add_unique cat ~table:ti.ti_name ~cols:[ a ];
+      Catalog.set_not_null cat ~table:ti.ti_name ~col:a
 
 (* ------------------------------------------------------------------ *)
 (* Data generation                                                      *)
@@ -166,6 +191,11 @@ let generate_rows rng (ti : tinfo) (ref_rows : string -> int) :
   let rows =
     List.init ti.ti_rows (fun r ->
         let pk = V.Int (r + 1) in
+        let alt =
+          match ti.ti_alt_unique with
+          | Some _ -> [ V.Int (alt_unique_value r) ]
+          | None -> []
+        in
         let fks =
           List.map
             (fun (_, ref_t, nullable) ->
@@ -185,7 +215,7 @@ let generate_rows rng (ti : tinfo) (ref_rows : string -> int) :
         let dates =
           List.map (fun _ -> V.Date (10000 + Rng.int rng 2000)) ti.ti_dates
         in
-        Array.of_list ((pk :: fks) @ measures @ cats @ strs @ dates))
+        Array.of_list ((pk :: alt) @ fks @ measures @ cats @ strs @ dates))
   in
   Storage.Relation.create ~name:ti.ti_name ~schema rows
 

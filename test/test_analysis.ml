@@ -442,6 +442,456 @@ let prop_workload_sanitized () =
     items
 
 (* ------------------------------------------------------------------ *)
+(* Rule registry stability                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* The registry is append-only and rule IDs are frozen: external
+   tooling, CI baselines and DESIGN.md key on these strings. Any edit
+   that renumbers or silently drops a rule must fail here. *)
+let test_rule_registry () =
+  let expected =
+    [
+      "IR001"; "IR002"; "IR003"; "IR004"; "IR005"; "IR006"; "IR007";
+      "IR008"; "IR009"; "IR010"; "IR011"; "IR012"; "IR013"; "IR014";
+      "IR015"; "PL001"; "PL002"; "PL003"; "PL004"; "PL005"; "PL006";
+      "PL007"; "TX001"; "SEM001"; "SEM002"; "SEM003"; "SEM004"; "SEM005";
+      "SEM006"; "SEM007"; "CB001"; "CB002"; "CB003"; "CB004";
+    ]
+  in
+  let ids = List.map (fun r -> r.An.Rules.r_id) An.Rules.all in
+  Alcotest.(check (list string)) "registry IDs, in declaration order"
+    expected ids;
+  let sorted = List.sort_uniq compare ids in
+  Alcotest.(check int) "IDs unique" (List.length ids) (List.length sorted);
+  List.iter
+    (fun r ->
+      if String.length r.An.Rules.r_summary = 0 then
+        Alcotest.failf "rule %s has an empty summary" r.An.Rules.r_id;
+      if not (An.Rules.is_registered r.An.Rules.r_id) then
+        Alcotest.failf "rule %s not registered" r.An.Rules.r_id)
+    An.Rules.all;
+  Alcotest.(check int)
+    "SEM namespace size" 7
+    (List.length (An.Rules.of_namespace "SEM"));
+  Alcotest.(check int)
+    "CB namespace size" 4
+    (List.length (An.Rules.of_namespace "CB"))
+
+(* ------------------------------------------------------------------ *)
+(* SEM mutation suite: per transformation, a seeded mutation that       *)
+(* breaks its legality condition, plus the legal counterpart            *)
+(* ------------------------------------------------------------------ *)
+
+let assert_sem ~rule ~before ~after =
+  let errs = An.Sem_check.errors cat ~before ~after in
+  if not (D.has_rule rule errs) then
+    Alcotest.failf "expected %s, got [%s]" rule
+      (String.concat "; " (List.map D.to_string errs))
+
+let assert_sem_clean ?(msg = "legal rewrite") ~before ~after () =
+  match An.Sem_check.errors cat ~before ~after with
+  | [] -> ()
+  | errs ->
+      Alcotest.failf "%s: expected clean, got [%s]" msg
+        (String.concat "; " (List.map D.to_string errs))
+
+(* SEM001 — EXISTS unnested: the inner table joins on a non-key, so an
+   inner join multiplies outer rows; only a semijoin (or a unique
+   witness) is legal *)
+let test_sem_unnest_duplicates () =
+  let before =
+    q ~name:"m"
+      ~select:[ si (c "d" "dept_name") "dn" ]
+      ~from:[ tbl "departments" "d" ]
+      ~where:
+        [
+          A.Exists
+            (q ~name:"sq"
+               ~select:[ si (i 1) "one" ]
+               ~from:[ tbl "employees" "e" ]
+               ~where:[ c "e" "dept_id" =% c "d" "dept_id" ]
+               ());
+        ]
+      ()
+  in
+  let unnested kind =
+    q ~name:"m"
+      ~select:[ si (c "d" "dept_name") "dn" ]
+      ~from:
+        [
+          tbl "departments" "d";
+          tbl ~kind ~cond:[ c "e" "dept_id" =% c "d" "dept_id" ] "employees"
+            "e";
+        ]
+      ()
+  in
+  assert_sem ~rule:"SEM001" ~before ~after:(unnested A.J_inner);
+  assert_sem_clean ~msg:"semijoin unnest" ~before ~after:(unnested A.J_semi) ()
+
+(* SEM002 — NOT IN over a nullable outer column downgraded from
+   null-aware antijoin to plain antijoin *)
+let test_sem_naaj_downgrade () =
+  let before lhs_col =
+    q ~name:"m"
+      ~select:[ si (c "e" "name") "n" ]
+      ~from:[ tbl "employees" "e" ]
+      ~where:
+        [
+          A.Not_in_subq
+            ( [ c "e" lhs_col ],
+              q ~name:"sq"
+                ~select:[ si (c "d" "dept_id") "dept_id" ]
+                ~from:[ tbl "departments" "d" ]
+                () );
+        ]
+      ()
+  in
+  let after lhs_col kind =
+    q ~name:"m"
+      ~select:[ si (c "e" "name") "n" ]
+      ~from:
+        [
+          tbl "employees" "e";
+          tbl ~kind ~cond:[ c "e" lhs_col =% c "d" "dept_id" ] "departments"
+            "d";
+        ]
+      ()
+  in
+  (* e.dept_id is nullable: the downgrade needs a non-null proof *)
+  assert_sem ~rule:"SEM002" ~before:(before "dept_id")
+    ~after:(after "dept_id" A.J_anti);
+  assert_sem_clean ~msg:"null-aware antijoin keeps NULL semantics"
+    ~before:(before "dept_id") ~after:(after "dept_id" A.J_anti_na) ();
+  (* e.emp_id is NOT NULL and the subquery side is a non-null PK: the
+     plain antijoin is legal *)
+  assert_sem_clean ~msg:"non-null lhs licenses the downgrade"
+    ~before:(before "emp_id") ~after:(after "emp_id" A.J_anti) ()
+
+(* SEM003 — join elimination: legal only along a declared FK onto the
+   referenced table's key (plus a NOT NULL guard for a nullable FK) *)
+let test_sem_join_elim_witness () =
+  let before join_col =
+    q ~name:"m"
+      ~select:[ si (c "e" "name") "n" ]
+      ~from:[ tbl "employees" "e"; tbl "departments" "d" ]
+      ~where:[ c "e" join_col =% c "d" "dept_id" ]
+      ()
+  in
+  let after where =
+    q ~name:"m"
+      ~select:[ si (c "e" "name") "n" ]
+      ~from:[ tbl "employees" "e" ]
+      ~where ()
+  in
+  (* e.mgr_id = d.dept_id is not a declared FK: dropping departments
+     changes the result *)
+  assert_sem ~rule:"SEM003" ~before:(before "mgr_id") ~after:(after []);
+  (* e.dept_id → departments is the FK, but nullable: the guard is
+     required … *)
+  assert_sem ~rule:"SEM003" ~before:(before "dept_id") ~after:(after []);
+  (* … and with it the elimination is legal *)
+  assert_sem_clean ~msg:"FK join elimination with NOT NULL guard"
+    ~before:(before "dept_id")
+    ~after:(after [ A.Not (A.Is_null (c "e" "dept_id")) ])
+    ()
+
+(* SEM004 — the classic COUNT bug: a scalar COUNT subquery returns 0
+   for empty groups, an inner join loses exactly those rows *)
+let test_sem_count_bug () =
+  let sub agg =
+    q ~name:"sq"
+      ~select:[ si agg "a" ]
+      ~from:[ tbl "job_history" "jh" ]
+      ~where:[ c "jh" "emp_id" =% c "e" "emp_id" ]
+      ()
+  in
+  let before agg =
+    q ~name:"m"
+      ~select:[ si (c "e" "name") "n" ]
+      ~from:[ tbl "employees" "e" ]
+      ~where:[ A.Cmp_subq (A.Gt, c "e" "salary", None, sub agg) ]
+      ()
+  in
+  let view_q agg =
+    q ~name:"sqv"
+      ~select:[ si (c "jh" "emp_id") "k"; si agg "a" ]
+      ~from:[ tbl "job_history" "jh" ]
+      ~group_by:[ c "jh" "emp_id" ]
+      ()
+  in
+  let after agg kind =
+    q ~name:"m"
+      ~select:[ si (c "e" "name") "n" ]
+      ~from:
+        [
+          tbl "employees" "e";
+          view ~kind
+            ~cond:[ c "v" "k" =% c "e" "emp_id" ]
+            (view_q agg) "v";
+        ]
+      ~where:[ c "e" "salary" >% c "v" "a" ]
+      ()
+  in
+  let count = A.Agg (A.Count_star, None, false) in
+  let avg = A.Agg (A.Avg, Some (c "jh" "job_id"), false) in
+  assert_sem ~rule:"SEM004" ~before:(before count)
+    ~after:(after count A.J_inner);
+  (* a non-COUNT aggregate needs the outer-join shape, which is legal *)
+  assert_sem_clean ~msg:"AVG subquery as outer-joined grouped view"
+    ~before:(before avg) ~after:(after avg A.J_left) ()
+
+(* SEM005 — group-by keys may only change along the FD closure *)
+let test_sem_group_fd () =
+  let mk ?(where = []) group_by =
+    q ~name:"m"
+      ~select:
+        [
+          si (c "e" "dept_id") "k";
+          si (A.Agg (A.Sum, Some (c "e" "salary"), false)) "t";
+        ]
+      ~from:[ tbl "employees" "e" ]
+      ~where ~group_by ()
+  in
+  (* dropping e.job_id changes group granularity: no witness *)
+  assert_sem ~rule:"SEM005"
+    ~before:(mk [ c "e" "dept_id"; c "e" "job_id" ])
+    ~after:(mk [ c "e" "dept_id" ]);
+  (* … but a constant equality on the dropped key is an FD witness *)
+  let filt = [ c "e" "job_id" =% i 3 ] in
+  assert_sem_clean ~msg:"constant-bound key may be pruned"
+    ~before:(mk ~where:filt [ c "e" "dept_id"; c "e" "job_id" ])
+    ~after:(mk ~where:filt [ c "e" "dept_id" ])
+    ()
+
+(* SEM006 — a rewrite may not invent filters *)
+let test_sem_added_conjunct () =
+  let mk where =
+    q ~name:"m"
+      ~select:[ si (c "e" "name") "n" ]
+      ~from:[ tbl "employees" "e"; tbl "departments" "d" ]
+      ~where ()
+  in
+  let joins =
+    [ c "e" "dept_id" =% c "d" "dept_id"; c "d" "dept_id" =% i 10 ]
+  in
+  assert_sem ~rule:"SEM006" ~before:(mk joins)
+    ~after:(mk (joins @ [ c "e" "job_id" =% i 5 ]));
+  (* transitive closure over the equivalence classes is derivable —
+     in either orientation *)
+  assert_sem_clean ~msg:"transitive conjunct"
+    ~before:(mk joins)
+    ~after:(mk (joins @ [ c "e" "dept_id" =% i 10 ]))
+    ();
+  assert_sem_clean ~msg:"transitive conjunct, flipped"
+    ~before:(mk joins)
+    ~after:(mk (joins @ [ i 10 =% c "e" "dept_id" ]))
+    ()
+
+(* SEM007 — outer→inner collapse needs a null-rejecting predicate *)
+let test_sem_outer_to_inner () =
+  let mk ?(where = []) kind =
+    q ~name:"m"
+      ~select:[ si (c "e" "name") "n"; si (c "d" "dept_name") "dn" ]
+      ~from:
+        [
+          tbl "employees" "e";
+          tbl ~kind ~cond:[ c "e" "dept_id" =% c "d" "dept_id" ] "departments"
+            "d";
+        ]
+      ~where ()
+  in
+  assert_sem ~rule:"SEM007" ~before:(mk A.J_left) ~after:(mk A.J_inner);
+  (* a WHERE predicate on the padded side filters the padding rows *)
+  let filt = [ c "d" "loc_id" >% i 0 ] in
+  assert_sem_clean ~msg:"null-rejecting predicate collapses the outer join"
+    ~before:(mk ~where:filt A.J_left)
+    ~after:(mk ~where:filt A.J_inner)
+    ()
+
+(* ------------------------------------------------------------------ *)
+(* CB — cost cross-checks against provable bounds                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_cb_bounds () =
+  let db = hr_db () in
+  let dcat = db.Storage.Db.cat in
+  (* a PK point lookup provably returns at most one row *)
+  let q1 =
+    q ~name:"m"
+      ~select:[ si (c "e" "name") "n" ]
+      ~from:[ tbl "employees" "e" ]
+      ~where:[ c "e" "emp_id" =% i 1005 ]
+      ()
+  in
+  (match An.Props.bound_query dcat q1 with
+  | Some b when b <= 1. -> ()
+  | b ->
+      Alcotest.failf "expected bound <= 1, got %s"
+        (match b with Some f -> string_of_float f | None -> "none"));
+  let info = Cost.Info.empty in
+  (match An.Sem_check.check_annotation dcat q1 ~rows:50. ~info with
+  | errs when D.has_rule "CB002" errs -> ()
+  | errs ->
+      Alcotest.failf "expected CB002, got [%s]"
+        (String.concat "; " (List.map D.to_string errs)));
+  (match An.Sem_check.check_annotation dcat q1 ~rows:1. ~info with
+  | [] -> ()
+  | errs ->
+      Alcotest.failf "estimate within bound must be clean, got [%s]"
+        (String.concat "; " (List.map D.to_string errs)));
+  (* NDV above the block cardinality is inconsistent *)
+  let wide =
+    {
+      Cost.Info.ri_rows = 10.;
+      ri_cols =
+        [ (("e", "name"), { Cost.Info.default_colinfo with ci_ndv = 400. }) ];
+    }
+  in
+  let q2 =
+    q ~name:"m"
+      ~select:[ si (c "e" "name") "n" ]
+      ~from:[ tbl "employees" "e" ]
+      ()
+  in
+  match An.Sem_check.check_annotation dcat q2 ~rows:10. ~info:wide with
+  | errs when D.has_rule "CB003" errs -> ()
+  | errs ->
+      Alcotest.failf "expected CB003, got [%s]"
+        (String.concat "; " (List.map D.to_string errs))
+
+let test_cb_search_result () =
+  let eval mask = if List.for_all Fun.id mask then 1. else 10. in
+  let r = Cbqt.Search.run ~check:true Cbqt.Search.Exhaustive 3 eval in
+  Alcotest.(check (list bool)) "winner" [ true; true; true ] r.Cbqt.Search.r_best;
+  (* a tampered winner cost must trip CB004 *)
+  (match
+     Cbqt.Search.validate_result { r with Cbqt.Search.r_best_cost = 0.5 }
+   with
+  | () -> Alcotest.fail "expected CB004"
+  | exception D.Check_failed (_, errs) ->
+      if not (D.has_rule "CB004" errs) then Alcotest.fail "expected CB004");
+  (* a winner that was never evaluated must trip CB004 *)
+  match
+    Cbqt.Search.validate_result
+      { r with Cbqt.Search.r_best = [ true; false; false ] }
+  with
+  | () -> Alcotest.fail "expected CB004"
+  | exception D.Check_failed (_, errs) ->
+      if not (D.has_rule "CB004" errs) then Alcotest.fail "expected CB004"
+
+(* ------------------------------------------------------------------ *)
+(* Dynamic validation: inferred properties hold on executed rows        *)
+(* ------------------------------------------------------------------ *)
+
+module Sset = Sqlir.Walk.Sset
+module QG = Workload.Query_gen
+module SG = Workload.Schema_gen
+module V = Sqlir.Value
+
+(* a small database so execution stays cheap across many queries *)
+let prop_db, prop_schema =
+  lazy (SG.build ~families:2 ~sample_frac:1.0 ~row_scale:0.06 ~seed:77 ())
+  |> Lazy.force
+
+let all_classes =
+  [
+    QG.C_spj; QG.C_exists; QG.C_not_exists; QG.C_in_multi; QG.C_not_in;
+    QG.C_agg_subq; QG.C_gb_view; QG.C_distinct_view; QG.C_union_factor;
+    QG.C_gbp; QG.C_or; QG.C_setop; QG.C_pullup;
+  ]
+
+let gen_query =
+  QCheck.make
+    ~print:(fun (cls, seed) ->
+      Printf.sprintf "%s (seed %d)" (QG.class_name cls) seed)
+    QCheck.Gen.(pair (oneofl all_classes) (int_bound 100000))
+
+(* Check every claim [Props.query_props] makes about a query against
+   the rows the executor actually produces. *)
+let props_hold (cls, seed) =
+  let g = QG.create ~seed prop_schema in
+  let qy = QG.generate g cls in
+  let dcat = prop_db.Storage.Db.cat in
+  let p = An.Props.query_props dcat qy in
+  let opt = Planner.Optimizer.create dcat in
+  let ann = Planner.Optimizer.optimize opt qy in
+  let _, rows, _ = Exec.Executor.execute prop_db ann.Planner.Annotation.an_plan in
+  let rows = List.map Array.to_list rows in
+  let n = List.length rows in
+  let col_idx name =
+    let rec go i = function
+      | [] -> Alcotest.failf "props column %s not in output" name
+      | cname :: _ when String.equal cname name -> i
+      | _ :: rest -> go (i + 1) rest
+    in
+    go 0 p.An.Props.rp_cols
+  in
+  let value row name = List.nth row (col_idx name) in
+  (* cardinality claims *)
+  if p.An.Props.rp_card1 && n > 1 then
+    QCheck.Test.fail_reportf "card1 claimed but %d rows produced" n;
+  (match p.An.Props.rp_max_rows with
+  | Some b when float_of_int n > b ->
+      QCheck.Test.fail_reportf "bound %g claimed but %d rows produced" b n
+  | _ -> ());
+  (* nullability claims *)
+  Sset.iter
+    (fun cname ->
+      List.iter
+        (fun row ->
+          if V.is_null (value row cname) then
+            QCheck.Test.fail_reportf "column %s claimed NOT NULL is NULL"
+              cname)
+        rows)
+    p.An.Props.rp_not_null;
+  (* key claims: the projection onto every candidate key is duplicate-
+     free *)
+  List.iter
+    (fun key ->
+      let proj =
+        List.map
+          (fun row -> List.map (value row) (Sset.elements key))
+          rows
+      in
+      let sorted = List.sort (List.compare V.compare_total) proj in
+      let rec dup = function
+        | a :: (b :: _ as rest) ->
+            List.compare V.compare_total a b = 0 || dup rest
+        | _ -> false
+      in
+      if dup sorted then
+        QCheck.Test.fail_reportf "key {%s} claimed but duplicates produced"
+          (String.concat "," (Sset.elements key)))
+    p.An.Props.rp_keys;
+  (* FD claims: equal determinant values imply an equal dependent *)
+  List.iter
+    (fun (det, dep) ->
+      let tbl = Hashtbl.create 16 in
+      List.iter
+        (fun row ->
+          let k =
+            String.concat "\x00"
+              (List.map
+                 (fun cname -> V.to_string (value row cname))
+                 (Sset.elements det))
+          in
+          let v = value row dep in
+          match Hashtbl.find_opt tbl k with
+          | None -> Hashtbl.replace tbl k v
+          | Some v' ->
+              if V.compare_total v v' <> 0 then
+                QCheck.Test.fail_reportf "FD {%s} -> %s violated"
+                  (String.concat "," (Sset.elements det))
+                  dep)
+        rows)
+    p.An.Props.rp_fds;
+  true
+
+let prop_inferred_props_hold =
+  QCheck.Test.make ~count:120 ~name:"inferred properties hold on executed rows"
+    gen_query props_hold
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "analysis"
@@ -488,6 +938,34 @@ let () =
           Alcotest.test_case "PL007 unknown table" `Quick
             test_plan_unknown_table;
         ] );
+      ( "registry",
+        [ Alcotest.test_case "rule table is frozen" `Quick test_rule_registry ]
+      );
+      ( "sem-mutations",
+        [
+          Alcotest.test_case "SEM001 unnest duplicate-safety" `Quick
+            test_sem_unnest_duplicates;
+          Alcotest.test_case "SEM002 null-aware downgrade" `Quick
+            test_sem_naaj_downgrade;
+          Alcotest.test_case "SEM003 join-elimination witness" `Quick
+            test_sem_join_elim_witness;
+          Alcotest.test_case "SEM004 COUNT bug" `Quick test_sem_count_bug;
+          Alcotest.test_case "SEM005 group-by FD closure" `Quick
+            test_sem_group_fd;
+          Alcotest.test_case "SEM006 invented conjunct" `Quick
+            test_sem_added_conjunct;
+          Alcotest.test_case "SEM007 join-role change" `Quick
+            test_sem_outer_to_inner;
+        ] );
+      ( "cb-checks",
+        [
+          Alcotest.test_case "CB002/CB003 cardinality bounds" `Quick
+            test_cb_bounds;
+          Alcotest.test_case "CB004 search invariants" `Quick
+            test_cb_search_result;
+        ] );
+      ( "dynamic-props",
+        [ QCheck_alcotest.to_alcotest prop_inferred_props_hold ] );
       ( "sanitizer",
         [
           Alcotest.test_case "raises and names offender" `Quick

@@ -235,7 +235,7 @@ let test_juxtaposition_changes_decision () =
     Workload.Schema_gen.build ~families:3 ~sample_frac:0.5 ~seed:7 ()
   in
   let cat = db.Storage.Db.cat in
-  let g = Workload.Query_gen.create ~seed:0 schema in
+  let g = Workload.Query_gen.create ~seed:2 schema in
   let q = Workload.Query_gen.generate g Workload.Query_gen.C_gb_view in
   let cost qq =
     (Planner.Optimizer.optimize (Planner.Optimizer.create cat) qq)
