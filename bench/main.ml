@@ -783,14 +783,27 @@ let executor () =
   let rps rows s = float_of_int rows /. Float.max 1e-9 s in
   let bpr rows bytes = bytes /. Float.max 1. (float_of_int rows) in
   let speedup = rps brows bwarm /. Float.max 1e-9 (rps lrows lwarm) in
+  (* warm best-of-3 per size: a single pass is dominated by GC phase
+     noise and misreported the large sizes badly. The row path favors
+     small-to-mid blocks (row-pointer working sets fall out of L1/L2 as
+     blocks grow); the vectorized path is insensitive, its segments
+     being typed arrays. 256 is the default as the flattest compromise. *)
   let sweep =
     List.map
       (fun batch_size ->
-        let _, t, _ =
-          pass (fun m p ->
-              ignore (Exec.Executor.execute ~meter:m ~batch_size db p))
+        let one () =
+          let _, t, _ =
+            pass (fun m p ->
+                ignore (Exec.Executor.execute ~meter:m ~batch_size db p))
+          in
+          t
         in
-        (batch_size, rps brows t))
+        let best = ref (one ()) in
+        for _ = 1 to 2 do
+          let t = one () in
+          if t < !best then best := t
+        done;
+        (batch_size, rps brows !best))
       [ 1; 16; 256; 1024 ]
   in
   Fmt.pr "%d plans; %d operator rows out per pass (engines agree: %b)@.@."
@@ -822,7 +835,151 @@ let executor () =
   jadd "warm_speedup" (jfloat speedup);
   jadd "batch_size_sweep"
     (jobj
-       (List.map (fun (s, r) -> (string_of_int s, jfloat r)) sweep))
+       (List.map (fun (s, r) -> (string_of_int s, jfloat r)) sweep));
+  (* -- scan/filter/aggregate: the vectorized engine's headline -------
+     Single-table pipelines (filter, project, ungrouped aggregate) over
+     every large table, run through all four engine configurations.
+     These are exactly the shapes the columnar engine claims; joins and
+     grouped aggregation stay on the row path and are covered by the
+     headline workload above. *)
+  let module P = Exec.Plan in
+  let module A = Sqlir.Ast in
+  let module Val = Sqlir.Value in
+  let col a c = { A.c_alias = a; A.c_col = c } in
+  let sfa_plans =
+    Hashtbl.fold
+      (fun _ r acc ->
+        let n = Storage.Relation.cardinality r in
+        if n < 1000 then acc
+        else
+          let name = r.Storage.Relation.r_name in
+          let sch = r.Storage.Relation.r_schema in
+          let rows = r.Storage.Relation.r_rows in
+          (* a numeric column with a mid-table cutoff: ~half the rows
+             survive, so the selection vector is genuinely sparse *)
+          let j =
+            let rec go j =
+              if j >= Array.length sch then 0
+              else
+                match rows.(0).(j) with
+                | Val.Int _ | Val.Float _ -> j
+                | _ -> go (j + 1)
+            in
+            go 0
+          in
+          let cutoff = rows.(n / 2).(j) in
+          let cn = col name sch.(j) in
+          let scan = P.Table_scan { table = name; alias = name; filter = [] } in
+          let filt =
+            P.Filter
+              { child = scan; preds = [ A.Cmp (A.Gt, A.Col cn, A.Const cutoff) ] }
+          in
+          let proj =
+            P.Project { child = filt; alias = name; items = [ (A.Col cn, "v") ] }
+          in
+          let agg =
+            P.Aggregate
+              {
+                child = filt;
+                strategy = `Hash;
+                alias = name;
+                keys = [];
+                aggs =
+                  [
+                    ("s", A.Sum, Some (A.Col cn), false);
+                    ("n", A.Count_star, None, false);
+                  ];
+              }
+          in
+          filt :: proj :: agg :: acc)
+      db.Storage.Db.rels []
+  in
+  let hints =
+    (* each per-plan estimate answers only for its own nodes (physical
+       identity), so probing them in turn composes into one [card_of] *)
+    let fns = List.map (Planner.Plan_est.pipeline_hints cat) sfa_plans in
+    fun p -> List.find_map (fun h -> h p) fns
+  in
+  let sfa_pass exec =
+    let meter = Exec.Meter.create () in
+    let a0 = Gc.allocated_bytes () in
+    let t0 = Unix.gettimeofday () in
+    List.iter (fun p -> exec meter p) sfa_plans;
+    let t = Unix.gettimeofday () -. t0 in
+    (meter, t, Gc.allocated_bytes () -. a0)
+  in
+  let engines =
+    [
+      ("baseline", fun m p -> ignore (Exec.Baseline.execute ~meter:m db p));
+      ( "row",
+        fun m p ->
+          ignore (Exec.Executor.execute ~meter:m ~engine:Exec.Executor.Row db p) );
+      ( "vector",
+        fun m p ->
+          ignore
+            (Exec.Executor.execute ~meter:m ~engine:Exec.Executor.Vector db p) );
+      ( "auto",
+        fun m p ->
+          ignore
+            (Exec.Executor.execute ~meter:m ~engine:Exec.Executor.Auto
+               ~card_of:hints db p) );
+    ]
+  in
+  let va0 = Exec.Meter.vec_alloc_bytes () in
+  (* agreement first (also warms the columnar image cache): every
+     engine must produce the same meter, field by field *)
+  let meters = List.map (fun (n, e) -> (n, sfa_pass e)) engines in
+  let ref_fields =
+    match meters with (_, (m, _, _)) :: _ -> Exec.Meter.to_fields m | [] -> []
+  in
+  let sfa_agree =
+    List.for_all (fun (_, (m, _, _)) -> Exec.Meter.to_fields m = ref_fields) meters
+  in
+  let sfa_rows =
+    match meters with (_, (m, _, _)) :: _ -> m.Exec.Meter.rows_out | [] -> 0
+  in
+  Gc.compact ();
+  let warm =
+    let best = List.map (fun (n, _) -> (n, ref (Float.infinity, Float.infinity))) engines in
+    for _ = 1 to 5 do
+      List.iter
+        (fun (n, e) ->
+          let _, t, by = sfa_pass e in
+          let bt, bb = !(List.assoc n best) in
+          List.assoc n best := (Float.min bt t, Float.min bb by))
+        engines
+    done;
+    List.map (fun (n, r) -> (n, !r)) best
+  in
+  let wrps n = rps sfa_rows (fst (List.assoc n warm)) in
+  let wbpr n = bpr sfa_rows (snd (List.assoc n warm)) in
+  let sfa_speedup = wrps "vector" /. Float.max 1e-9 (wrps "row") in
+  let auto_vs_best =
+    wrps "auto" /. Float.max 1e-9 (Float.max (wrps "row") (wrps "vector"))
+  in
+  Fmt.pr
+    "@.scan/filter/aggregate (%d plans, %d rows out; engines agree: %b)@."
+    (List.length sfa_plans) sfa_rows sfa_agree;
+  List.iter
+    (fun (n, _) ->
+      Fmt.pr "  %-8s warm %10.0f rows/s, %6.1f bytes/row@." n (wrps n) (wbpr n))
+    engines;
+  Fmt.pr "  vector/row speedup %.2fx (target >= 2x); auto/best %.2f@."
+    sfa_speedup auto_vs_best;
+  if sfa_speedup < 2. then
+    Fmt.pr "WARNING: vectorized sfa speedup %.2fx below the 2x target@."
+      sfa_speedup;
+  jadd "sfa_plans" (jint (List.length sfa_plans));
+  jadd "sfa_rows_out_per_pass" (jint sfa_rows);
+  jadd "sfa_engines_agree" (jbool sfa_agree);
+  List.iter
+    (fun (n, _) ->
+      jadd ("sfa_" ^ n ^ "_warm_rows_per_sec") (jfloat (wrps n));
+      jadd ("sfa_" ^ n ^ "_bytes_per_row") (jfloat (wbpr n)))
+    engines;
+  jadd "sfa_vector_speedup" (jfloat sfa_speedup);
+  jadd "sfa_auto_vs_best" (jfloat auto_vs_best);
+  jadd "sfa_vec_alloc_bytes" (jint (Exec.Meter.vec_alloc_bytes () - va0))
 
 (* ------------------------------------------------------------------ *)
 (* Entry point                                                          *)

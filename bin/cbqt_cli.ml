@@ -31,6 +31,24 @@ let mode_conv =
       ("none", `None);
     ]
 
+let engine_conv =
+  Arg.enum
+    [
+      ("auto", Exec.Executor.Auto);
+      ("row", Exec.Executor.Row);
+      ("vector", Exec.Executor.Vector);
+    ]
+
+let engine_arg =
+  Arg.(
+    value
+    & opt engine_conv Exec.Executor.Auto
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "execution engine: $(b,auto) picks row or vectorized per pipeline \
+           from the planner's cardinality estimates, $(b,row) and \
+           $(b,vector) force one path (results do not depend on it)")
+
 let config_of_mode ?(check = false) mode =
   let base =
     match mode with
@@ -79,7 +97,7 @@ let explain_cmd =
             "Skip execution: show only the transformed query and the plan, \
              without the per-operator actual rows / Q-error table.")
   in
-  let run sql mode check no_exec =
+  let run sql mode check no_exec engine =
     with_query sql (fun db q ->
         let plan =
           match config_of_mode ~check mode with
@@ -105,7 +123,7 @@ let explain_cmd =
               ann.an_plan
         in
         if not no_exec then (
-          let ex = Cbqt.Explain.analyze db plan in
+          let ex = Cbqt.Explain.analyze ~engine db plan in
           Fmt.pr "@.-- explain analyze --@.%a" Cbqt.Explain.pp ex);
         0)
   in
@@ -114,7 +132,7 @@ let explain_cmd =
        ~doc:
          "Show the transformed query and its plan, then execute it and \
           report estimated vs. actual rows and Q-error per operator")
-    Term.(const run $ sql $ mode $ check_flag $ no_exec)
+    Term.(const run $ sql $ mode $ check_flag $ no_exec $ engine_arg)
 
 let trace_cmd =
   let sql = Arg.(value & pos 0 (some string) None & info [] ~docv:"SQL") in
@@ -312,7 +330,7 @@ let run_cmd =
       & info [ "batch-size" ] ~docv:"N"
           ~doc:"executor rows per block (results do not depend on it)")
   in
-  let run sql mode limit batch_size check =
+  let run sql mode limit batch_size check engine =
     with_query sql (fun db q ->
         let plan =
           match config_of_mode ~check mode with
@@ -327,7 +345,10 @@ let run_cmd =
                 .an_plan
         in
         let meter = Exec.Meter.create () in
-        let _, rows, _ = Exec.Executor.execute ~meter ~batch_size db plan in
+        let card_of = Planner.Plan_est.pipeline_hints db.Storage.Db.cat plan in
+        let _, rows, _ =
+          Exec.Executor.execute ~meter ~batch_size ~engine ~card_of db plan
+        in
         List.iteri
           (fun i row ->
             if i < limit then
@@ -339,7 +360,7 @@ let run_cmd =
         0)
   in
   Cmd.v (Cmd.info "run" ~doc:"Execute a query and print results + work meter")
-    Term.(const run $ sql $ mode $ limit $ batch_size $ check_flag)
+    Term.(const run $ sql $ mode $ limit $ batch_size $ check_flag $ engine_arg)
 
 let serve_cmd =
   let file =
@@ -413,7 +434,7 @@ let serve_cmd =
         | None -> V.Str s)
   in
   let run file workload repeat seed capacity batch_size min_hit_rate
-      validate_trace binds =
+      validate_trace binds engine =
     let module Svc = Service in
     let module Pc = Service.Plan_cache in
     let bvs = List.map bind_value binds in
@@ -453,6 +474,7 @@ let serve_cmd =
         Svc.capacity;
         trace = Obs.Trace.Steps;
         batch_size;
+        engine;
       }
     in
     let svc = Svc.create ~config db in
@@ -526,7 +548,7 @@ let serve_cmd =
           timings")
     Term.(
       const run $ file $ workload $ repeat $ seed $ capacity $ batch_size
-      $ min_hit_rate $ validate_trace $ binds)
+      $ min_hit_rate $ validate_trace $ binds $ engine_arg)
 
 let schema_cmd =
   let run () =

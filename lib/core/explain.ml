@@ -32,6 +32,10 @@ type op = {
   op_act_rows : float;  (** actual rows per invocation *)
   op_self : Meter.t;  (** meter charges net of children *)
   op_q_error : float;  (** [nan] when the operator never executed *)
+  op_engine : string;  (** which engine interpreted the node *)
+  op_sel_density : float;
+      (** vectorized operators: fraction of entering rows surviving the
+          selection vector ([nan] for row-engine nodes) *)
   op_shared : bool;
       (** repeat occurrence of a physically shared node: actuals and
           self charges are reported at its first occurrence only *)
@@ -61,11 +65,16 @@ module Ptbl = Hashtbl.Make (struct
   let hash = Hashtbl.hash
 end)
 
-(** Execute [plan] against [db] and build the per-operator report. *)
-let analyze ?meter (db : Db.t) (plan : Plan.t) : t =
-  let _, rows, whole, stat_of = Executor.execute_analyzed ?meter db plan in
+(** Execute [plan] against [db] and build the per-operator report. The
+    planner's cardinality estimates double as the executor's [card_of]
+    hints, so the hybrid engine choice reported here is the one a
+    served query would make; [engine] forces one path. *)
+let analyze ?meter ?engine (db : Db.t) (plan : Plan.t) : t =
   let est_root, est_of = Planner.Plan_est.estimate db.Db.cat plan in
   ignore est_root;
+  let _, rows, whole, stat_of =
+    Executor.execute_analyzed ?meter ?engine ~card_of:est_of db plan
+  in
   let visited : unit Ptbl.t = Ptbl.create 64 in
   let ops = ref [] in
   let rec walk depth p =
@@ -103,6 +112,16 @@ let analyze ?meter (db : Db.t) (plan : Plan.t) : t =
     let act_rows = float_of_int total_rows /. float_of_int (max 1 calls) in
     let est_rows = match est_of p with Some e -> e | None -> nan in
     let qe = if calls = 0 then nan else q_error ~est:est_rows ~act:act_rows in
+    let engine, density =
+      match stat with
+      | Some st when first ->
+          ( st.Executor.ns_engine,
+            if st.Executor.ns_sel_in > 0 then
+              float_of_int st.Executor.ns_rows
+              /. float_of_int st.Executor.ns_sel_in
+            else nan )
+      | _ -> ("row", nan)
+    in
     ops :=
       {
         op_plan = p;
@@ -114,6 +133,8 @@ let analyze ?meter (db : Db.t) (plan : Plan.t) : t =
         op_act_rows = act_rows;
         op_self = self;
         op_q_error = qe;
+        op_engine = engine;
+        op_sel_density = density;
         op_shared = not first;
       }
       :: !ops;
@@ -162,22 +183,24 @@ let pp ppf (t : t) =
       (fun w o -> max w ((o.op_depth * 2) + String.length o.op_label))
       4 t.ex_ops
   in
-  Fmt.pf ppf "%-*s %10s %10s %7s %8s %12s@." width "PLAN" "est.rows"
-    "act.rows" "calls" "q-err" "self-work";
+  Fmt.pf ppf "%-*s %10s %10s %7s %8s %12s %7s %6s@." width "PLAN" "est.rows"
+    "act.rows" "calls" "q-err" "self-work" "engine" "sel%";
   List.iter
     (fun o ->
       let label = String.make (o.op_depth * 2) ' ' ^ o.op_label in
       if o.op_shared then
-        Fmt.pf ppf "%-*s %10s %10s %7s %8s %12s@." width label "(shared)" ""
-          "" "" ""
+        Fmt.pf ppf "%-*s %10s %10s %7s %8s %12s %7s %6s@." width label
+          "(shared)" "" "" "" "" "" ""
       else
-        Fmt.pf ppf "%-*s %10s %10s %7d %8s %12.1f@." width label
+        Fmt.pf ppf "%-*s %10s %10s %7d %8s %12.1f %7s %6s@." width label
           (fmt_rows o.op_est_rows)
           (if o.op_calls = 0 then "-" else fmt_rows o.op_act_rows)
           o.op_calls
           (if Float.is_nan o.op_q_error then "-"
            else Printf.sprintf "%.2f" o.op_q_error)
-          (Meter.work o.op_self))
+          (Meter.work o.op_self) o.op_engine
+          (if Float.is_nan o.op_sel_density then "-"
+           else Printf.sprintf "%.0f%%" (100. *. o.op_sel_density)))
     t.ex_ops;
   Fmt.pf ppf "@.%d rows; total work %.1f@." t.ex_rows (Meter.work t.ex_meter);
   (* cache key-build cost of the TIS / NL-inner result caches: values

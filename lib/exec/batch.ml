@@ -1,12 +1,17 @@
 (** Row batches and growable row vectors for the block-at-a-time
     executor.
 
-    A {!t} is a fixed-capacity block of rows exchanged between operator
-    cursors: the producing cursor owns the container and reuses it on
-    every [next] call, so a consumer must copy out any row pointers it
-    wants to keep before pulling again. The rows themselves
-    ([Value.t array]s) are immutable once produced and safe to retain —
-    only the batch container is ephemeral.
+    A {!t} is a block of rows exchanged between operator cursors: the
+    producing cursor owns the container and reuses it on every [next]
+    call, so a consumer must copy out any row pointers it wants to keep
+    before pulling again. The rows themselves ([Value.t array]s) are
+    immutable once produced and safe to retain — only the batch
+    container is ephemeral. Blocks are {e not} fixed-size: operators
+    that already hold their output materialized (pipeline breakers,
+    join spill buffers) emit it as a single {!Vec.to_batch} view
+    rather than copying it out in capacity-sized chunks, so a block may
+    be larger than the pipeline's nominal batch size and consumers must
+    size by [len], never by capacity.
 
     {!Vec} is a growable array of rows used by pipeline breakers (sort,
     group-by, hash-join build sides, limit) and by join output spill
@@ -66,4 +71,12 @@ module Vec = struct
   let to_array v = Array.sub v.vdata 0 v.vlen
 
   let of_array a = { vdata = Array.copy a; vlen = Array.length a }
+
+  (** A batch aliasing the vector's buffer — no copy. The batch shares
+      the vector's storage, so it is invalidated by the producer's next
+      mutation of the vector; consumers already may not retain a batch
+      container across pulls. View batches carry however many rows the
+      vector holds, independent of any nominal pipeline capacity —
+      consumers only ever read [len]. *)
+  let to_batch v = { data = v.vdata; len = v.vlen }
 end

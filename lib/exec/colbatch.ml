@@ -1,0 +1,182 @@
+(** Struct-of-arrays columnar images of row sets, for the vectorized
+    engine ({!Vector}).
+
+    A {!t} decomposes an array of rows into one typed vector per
+    column — unboxed [int]/[float]/[int] (dates) arrays where the
+    column is monomorphic, pointer arrays for strings, and a generic
+    [Value.t] fallback for mixed columns — each paired with a null
+    bitmap (bit set = NULL; the typed slot then holds a don't-care
+    default). Predicates over a typed column run as tight monomorphic
+    loops with no per-row closure dispatch or value boxing; anything
+    the typed loops cannot express falls back to the retained [base]
+    rows, which also serve pipeline-edge materialization: a selection
+    over the columnar image converts back to rows by handing out the
+    original row pointers, allocation-free.
+
+    Images are cached per relation, keyed by the {e physical identity}
+    of the row array: {!Storage.Relation.append} installs a fresh
+    array, so a stale image can never be observed. The cache amortizes
+    the row→column conversion across warm executions and across the
+    per-outer-row re-opens of nested-loop inner sides.
+
+    All buffer allocations are charged to {!Meter.vec_alloc_words} so
+    the bench can report honest bytes/row under the SoA layout. *)
+
+open Sqlir
+
+type row = Value.t array
+
+type vec =
+  | V_int of int array
+  | V_float of float array
+  | V_str of string array
+  | V_bool of bool array
+  | V_date of int array  (** day numbers, as in {!Value.Date} *)
+  | V_mixed of Value.t array
+      (** column with more than one runtime type: values as-is *)
+
+type col = {
+  c_vec : vec;
+  c_nulls : Bytes.t;  (** null bitmap: bit [i] set = row [i] is NULL *)
+}
+
+type t = {
+  n_rows : int;
+  cols : col array;
+  base : row array;  (** the source rows; edge materialization reuses them *)
+}
+
+(* The bitmap is indexed by absolute row id; a byte covers 8 rows. *)
+let bitmap_get nb i =
+  Char.code (Bytes.unsafe_get nb (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let bitmap_set nb i =
+  let byte = i lsr 3 in
+  Bytes.unsafe_set nb byte
+    (Char.unsafe_chr (Char.code (Bytes.unsafe_get nb byte) lor (1 lsl (i land 7))))
+
+let words_of_bytes b = (b + (Sys.word_size / 8) - 1) / (Sys.word_size / 8)
+
+type cls = K_unknown | K_int | K_float | K_str | K_bool | K_date | K_mixed
+
+let of_rows (rows : row array) ~(width : int) : t =
+  let n = Array.length rows in
+  let nb_bytes = (n + 7) / 8 in
+  let build_col j =
+    let nulls = Bytes.make nb_bytes '\000' in
+    (* one classification pass: a column is typed when every non-null
+       value shares one constructor; Int-vs-Float mixes are generic
+       (they compare numerically, which the monomorphic loops cannot) *)
+    let cls = ref K_unknown in
+    for i = 0 to n - 1 do
+      let k =
+        match Array.unsafe_get (Array.unsafe_get rows i) j with
+        | Value.Null -> K_unknown
+        | Value.Int _ -> K_int
+        | Value.Float _ -> K_float
+        | Value.Str _ -> K_str
+        | Value.Bool _ -> K_bool
+        | Value.Date _ -> K_date
+      in
+      if k <> K_unknown then
+        match !cls with
+        | K_unknown -> cls := k
+        | c when c = k -> ()
+        | _ -> cls := K_mixed
+    done;
+    let vec =
+      match !cls with
+      | K_int | K_unknown ->
+          (* an all-null column lands here: every bit set, zero slots *)
+          let a = Array.make n 0 in
+          for i = 0 to n - 1 do
+            match rows.(i).(j) with
+            | Value.Int x -> Array.unsafe_set a i x
+            | _ -> bitmap_set nulls i
+          done;
+          V_int a
+      | K_float ->
+          let a = Array.make n 0. in
+          for i = 0 to n - 1 do
+            match rows.(i).(j) with
+            | Value.Float x -> Array.unsafe_set a i x
+            | _ -> bitmap_set nulls i
+          done;
+          V_float a
+      | K_str ->
+          let a = Array.make n "" in
+          for i = 0 to n - 1 do
+            match rows.(i).(j) with
+            | Value.Str x -> Array.unsafe_set a i x
+            | _ -> bitmap_set nulls i
+          done;
+          V_str a
+      | K_bool ->
+          let a = Array.make n false in
+          for i = 0 to n - 1 do
+            match rows.(i).(j) with
+            | Value.Bool x -> Array.unsafe_set a i x
+            | _ -> bitmap_set nulls i
+          done;
+          V_bool a
+      | K_date ->
+          let a = Array.make n 0 in
+          for i = 0 to n - 1 do
+            match rows.(i).(j) with
+            | Value.Date x -> Array.unsafe_set a i x
+            | _ -> bitmap_set nulls i
+          done;
+          V_date a
+      | K_mixed ->
+          let a = Array.init n (fun i -> rows.(i).(j)) in
+          for i = 0 to n - 1 do
+            if Value.is_null a.(i) then bitmap_set nulls i
+          done;
+          V_mixed a
+    in
+    { c_vec = vec; c_nulls = nulls }
+  in
+  (* payload words: one word per slot per column (bool and string
+     arrays are word-per-element in the OCaml heap; string payloads are
+     shared with the base rows, not copied) plus the bitmaps *)
+  Meter.charge_vec_alloc ((width * n) + (width * words_of_bytes nb_bytes));
+  { n_rows = n; cols = Array.init width build_col; base = rows }
+
+let is_null t ~row ~col = bitmap_get t.cols.(col).c_nulls row
+
+(** Reconstruct the [Value.t] at (row, col) — the roundtrip inverse of
+    {!of_rows}, used by tests and slow paths. *)
+let get t ~row ~col : Value.t =
+  let c = t.cols.(col) in
+  if bitmap_get c.c_nulls row then Value.Null
+  else
+    match c.c_vec with
+    | V_int a -> Value.Int a.(row)
+    | V_float a -> Value.Float a.(row)
+    | V_str a -> Value.Str a.(row)
+    | V_bool a -> Value.Bool a.(row)
+    | V_date a -> Value.Date a.(row)
+    | V_mixed a -> a.(row)
+
+(* ------------------------------------------------------------------ *)
+(* Per-relation image cache                                             *)
+(* ------------------------------------------------------------------ *)
+
+let cache_cap = 16
+let cache : (row array * t) list ref = ref []
+
+(** Columnar image of [rows], converted at most once per physical row
+    array (bounded MRU list; eviction only matters across databases in
+    one process, e.g. long test runs). *)
+let of_rows_cached (rows : row array) ~(width : int) : t =
+  match List.find_opt (fun (r, _) -> r == rows) !cache with
+  | Some (_, cb) -> cb
+  | None ->
+      let cb = of_rows rows ~width in
+      let kept =
+        if List.length !cache >= cache_cap then
+          List.filteri (fun i _ -> i < cache_cap - 1) !cache
+        else !cache
+      in
+      cache := (rows, cb) :: kept;
+      cb

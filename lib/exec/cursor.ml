@@ -1,0 +1,306 @@
+(** Shared execution substrate for the row ({!Executor}) and columnar
+    ({!Vector}) engines: the cursor protocol, block combinators, the
+    execution context with the hybrid engine choice, analyze-mode
+    statistics, and the aggregation accumulators.
+
+    Both engines compile plans into trees of {!cursor}s exchanging
+    {!Batch.t} blocks, charge work to the same {!Meter}, and must stay
+    meter-equal field by field — everything here is engine-neutral so
+    neither side can drift. *)
+
+open Sqlir
+module A = Ast
+module Db = Storage.Db
+module B = Batch
+module Vec = Batch.Vec
+
+type row = Eval.row
+type layout = Eval.layout
+
+(* ------------------------------------------------------------------ *)
+(* Engine choice                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** Which interpretation the executor uses for eligible pipelines.
+    [Auto] consults the planner's cardinality estimate per pipeline
+    (vectorized for high-cardinality scans, row for tiny ones); [Row]
+    and [Vector] force one path, for differential testing and
+    benchmarking. Operators outside the vectorizable grammar always run
+    on the row path, whatever the mode. *)
+type engine = Auto | Row | Vector
+
+let engine_name = function Auto -> "auto" | Row -> "row" | Vector -> "vector"
+
+let engine_of_string = function
+  | "auto" -> Some Auto
+  | "row" -> Some Row
+  | "vector" | "vectorized" -> Some Vector
+  | _ -> None
+
+(** Per-execution counters of engine choices, one count per pipeline
+    source (scan) prepared. Surfaced in trace spans and the service
+    report. *)
+type engine_stats = { mutable es_vector : int; mutable es_row : int }
+
+let engine_stats_create () = { es_vector = 0; es_row = 0 }
+
+(* ------------------------------------------------------------------ *)
+(* Analyze-mode statistics                                              *)
+(* ------------------------------------------------------------------ *)
+
+(** Per-operator runtime statistics collected in analyze mode. Rows and
+    meter charges accumulate over {e all} executions of the node
+    (nested-loop inner sides and TIS subquery plans run once per outer
+    row), and the meter includes the node's children — the self-only
+    share is recovered at report time by subtracting the children's
+    totals. [ns_engine] records which engine interpreted the node;
+    [ns_sel_in] counts the rows entering a vectorized operator (its
+    selection-vector capacity), so [ns_rows /. ns_sel_in] is the
+    operator's selection density; it stays 0 for row-engine nodes. *)
+type node_stat = {
+  mutable ns_calls : int;
+  mutable ns_rows : int;
+  ns_meter : Meter.t;
+  mutable ns_engine : string;  (** "row" or "vector" *)
+  mutable ns_sel_in : int;
+}
+
+(* plan nodes keyed by physical identity: annotation reuse can share
+   subtrees, and a shared node must accumulate into one stat record *)
+module Ptbl = Hashtbl.Make (struct
+  type t = Plan.t
+
+  let equal = ( == )
+  let hash = Hashtbl.hash
+end)
+
+let node_stat_of (tbl : node_stat Ptbl.t) (p : Plan.t) : node_stat =
+  match Ptbl.find_opt tbl p with
+  | Some st -> st
+  | None ->
+      let st =
+        {
+          ns_calls = 0;
+          ns_rows = 0;
+          ns_meter = Meter.create ();
+          ns_engine = "row";
+          ns_sel_in = 0;
+        }
+      in
+      Ptbl.add tbl p st;
+      st
+
+(* ------------------------------------------------------------------ *)
+(* Execution context                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type ctx = {
+  db : Db.t;
+  meter : Meter.t;
+  analyze : node_stat Ptbl.t option;
+  binds : Value.t array;  (** values for the plan's [Bind] markers *)
+  size : int;  (** batch capacity, rows per block / vector segment *)
+  engine : engine;
+  card_of : Plan.t -> float option;
+      (** planner cardinality hint per plan node (physical identity);
+          [None] falls back to the table's actual cardinality *)
+  vector_threshold : float;
+      (** [Auto] vectorizes a pipeline whose source-scan cardinality
+          estimate reaches this *)
+  estats : engine_stats option;
+}
+
+let charge_sort ctx n =
+  if n > 1 then
+    ctx.meter.Meter.sort_compares <-
+      ctx.meter.Meter.sort_compares
+      + int_of_float (float_of_int n *. (log (float_of_int n) /. log 2.))
+
+(* ------------------------------------------------------------------ *)
+(* Aggregation accumulators                                             *)
+(* ------------------------------------------------------------------ *)
+
+module Vkey = Map.Make (struct
+  type t = Value.t list
+
+  let compare = List.compare Value.compare_total
+end)
+
+type acc = {
+  mutable a_count : int;
+  mutable a_sum : Value.t;  (* running sum; Null until first value *)
+  mutable a_min : Value.t;
+  mutable a_max : Value.t;
+  mutable a_seen : unit Vkey.t;  (* for DISTINCT aggregates *)
+}
+
+let acc_create () =
+  {
+    a_count = 0;
+    a_sum = Value.Null;
+    a_min = Value.Null;
+    a_max = Value.Null;
+    a_seen = Vkey.empty;
+  }
+
+let acc_add distinct acc (v : Value.t) =
+  let proceed =
+    if not distinct then true
+    else if Vkey.mem [ v ] acc.a_seen then false
+    else (
+      acc.a_seen <- Vkey.add [ v ] () acc.a_seen;
+      true)
+  in
+  if proceed && not (Value.is_null v) then (
+    acc.a_count <- acc.a_count + 1;
+    acc.a_sum <-
+      (if Value.is_null acc.a_sum then v else Value.arith `Add acc.a_sum v);
+    acc.a_min <-
+      (if Value.is_null acc.a_min || Value.compare_total v acc.a_min < 0 then v
+       else acc.a_min);
+    acc.a_max <-
+      (if Value.is_null acc.a_max || Value.compare_total v acc.a_max > 0 then v
+       else acc.a_max))
+
+let acc_result (a : A.agg) acc ~rows_in_group =
+  match a with
+  | A.Count_star -> Value.Int rows_in_group
+  | A.Count -> Value.Int acc.a_count
+  | A.Sum -> acc.a_sum
+  | A.Min -> acc.a_min
+  | A.Max -> acc.a_max
+  | A.Avg ->
+      if acc.a_count = 0 then Value.Null
+      else Value.arith `Div acc.a_sum (Value.Int acc.a_count)
+
+(* ------------------------------------------------------------------ *)
+(* Cursors                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(** The operator interface. [c_open] (re)binds the correlation rows and
+    resets per-execution state; [c_next] yields the next block, [None]
+    at end of stream. The returned batch belongs to the cursor and is
+    reused by the following [c_next] — row pointers may be retained,
+    the container may not. Cursors are re-openable: nested-loop inner
+    sides and TIS sub-plans are opened once per (uncached) outer row.
+    Prepare-time state (result caches) survives re-opens; per-execution
+    state does not. *)
+type cursor = {
+  c_open : row list -> unit;
+  c_next : unit -> B.t option;
+  c_close : unit -> unit;
+}
+
+(** Open [c] under [orows], stream every row through [f], close it.
+    For consumers that fold over the stream once (hash builds,
+    aggregation, the root result), this avoids materializing — and
+    repeatedly regrowing — an intermediate vector. *)
+let iter_rows (c : cursor) (orows : row list) (f : row -> unit) : unit =
+  c.c_open orows;
+  let rec go () =
+    match c.c_next () with
+    | Some b ->
+        B.iter f b;
+        go ()
+    | None -> ()
+  in
+  go ();
+  c.c_close ()
+
+(** Open [c] under [orows], pull it dry into a row vector, close it. *)
+let drain (c : cursor) (orows : row list) : Vec.t =
+  c.c_open orows;
+  let v = Vec.create () in
+  let rec go () =
+    match c.c_next () with
+    | Some b ->
+        B.iter (Vec.push v) b;
+        go ()
+    | None -> ()
+  in
+  go ();
+  c.c_close ();
+  v
+
+(** Streaming (non-expanding) operator: each input row contributes at
+    most one output row, pushed by the per-open step function. Input
+    blocks are consumed whole (they may be larger than [size] — view
+    batches carry a breaker's entire result) and each non-empty
+    survivor set is emitted as one view batch, so rows are never copied
+    out in capacity-sized chunks. *)
+let streaming ?(on_open = fun (_ : row list) -> ()) ~size (child : cursor)
+    (step : row list -> row -> Vec.t -> unit) : cursor =
+  let out = Vec.create ~cap:size () in
+  let orows_r = ref [] in
+  let c_open orows =
+    on_open orows;
+    orows_r := orows;
+    child.c_open orows
+  in
+  let rec fill () =
+    match child.c_next () with
+    | None -> if Vec.length out = 0 then None else Some (Vec.to_batch out)
+    | Some b ->
+        let orows = !orows_r in
+        B.iter (fun r -> step orows r out) b;
+        if Vec.length out > 0 then Some (Vec.to_batch out) else fill ()
+  in
+  let c_next () =
+    Vec.clear out;
+    fill ()
+  in
+  { c_open; c_next; c_close = child.c_close }
+
+(** Expanding operator (joins): each input row may contribute any number
+    of output rows, pushed into a pending vector that is emitted as one
+    view batch per consumed input block. *)
+let expanding ?(on_open = fun (_ : row list) -> ()) ~size (child : cursor)
+    (step : row list -> row -> Vec.t -> unit) : cursor =
+  let pending = Vec.create ~cap:size () in
+  let orows_r = ref [] in
+  let c_open orows =
+    on_open orows;
+    orows_r := orows;
+    Vec.clear pending;
+    child.c_open orows
+  in
+  let rec c_next () =
+    match child.c_next () with
+    | None -> None
+    | Some b ->
+        Vec.clear pending;
+        let orows = !orows_r in
+        B.iter (fun r -> step orows r pending) b;
+        if Vec.length pending > 0 then Some (Vec.to_batch pending)
+        else c_next ()
+  in
+  { c_open; c_next; c_close = child.c_close }
+
+(** Pipeline breaker: [build] opens and drains its input(s) itself and
+    returns the complete materialized result, which is then emitted as
+    a single view batch. *)
+let breaker (build : row list -> Vec.t) : cursor =
+  let result : Vec.t option ref = ref None in
+  let emitted = ref false in
+  let orows_r = ref [] in
+  let c_open orows =
+    orows_r := orows;
+    result := None;
+    emitted := false
+  in
+  let c_next () =
+    let v =
+      match !result with
+      | Some v -> v
+      | None ->
+          let v = build !orows_r in
+          result := Some v;
+          v
+    in
+    if !emitted || Vec.length v = 0 then None
+    else begin
+      emitted := true;
+      Some (Vec.to_batch v)
+    end
+  in
+  { c_open; c_next; c_close = (fun () -> result := None) }

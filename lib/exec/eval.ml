@@ -174,3 +174,37 @@ and cmp_test : Ast.cmp -> int -> bool = function
 (** Evaluate compiled filter conjuncts: a row passes if every conjunct
     is [Some true]. *)
 let passes fs rows = List.for_all (fun f -> f rows = Some true) fs
+
+(* ------------------------------------------------------------------ *)
+(* Single-layout specialization helpers                                 *)
+(* ------------------------------------------------------------------ *)
+
+(** Position of [c] in a single layout (no scope stack), if present. *)
+let find_col (layout : layout) (c : Ast.col) : int option =
+  let n = Array.length layout in
+  let rec go i =
+    if i >= n then None
+    else
+      let a, col = layout.(i) in
+      if String.equal a c.Ast.c_alias && String.equal col c.Ast.c_col then
+        Some i
+      else go (i + 1)
+  in
+  go 0
+
+(** An operand evaluable from the node's own row alone: a column of
+    [layout], a constant, or a bind marker (fixed for one execution).
+    A column that resolves only in an outer scope is not simple. Both
+    engines build their specialized (charge-free) predicate and
+    projection paths on this. *)
+let simple_arg ~binds (layout : layout) : Ast.expr -> (row -> Value.t) option =
+  function
+  | Ast.Const v -> Some (fun _ -> v)
+  | Ast.Bind (i, peek) ->
+      let v = if i >= 0 && i < Array.length binds then binds.(i) else peek in
+      Some (fun _ -> v)
+  | Ast.Col c -> (
+      match find_col layout c with
+      | Some i -> Some (fun r -> Array.unsafe_get r i)
+      | None -> None)
+  | _ -> None

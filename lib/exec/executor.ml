@@ -1,13 +1,28 @@
-(** Pull-based, block-at-a-time plan executor.
+(** Pull-based, block-at-a-time plan executor: the row engine, and the
+    dispatcher of the hybrid row/vectorized execution.
 
-    [prepare] compiles a plan into a tree of {e cursors}. A cursor is
-    opened with the rows of its correlation scopes, then pulled with
-    [c_next], which yields fixed-capacity {!Batch.t} blocks of rows
-    until exhaustion. Scans, filters, projections and the probe sides
-    of hash joins stream block-at-a-time without materializing
-    intermediates; pipeline breakers (sort, group-by, hash-join build
-    sides, distinct, set ops, limit) collect their input into growable
-    {!Batch.Vec} row vectors and then emit it in blocks.
+    [prepare] compiles a plan into a tree of {e cursors} (the protocol
+    and block combinators live in {!Cursor}). A cursor is opened with
+    the rows of its correlation scopes, then pulled with [c_next],
+    which yields {!Batch.t} blocks of rows until exhaustion. Scans,
+    filters, projections and the probe sides of hash joins stream
+    block-at-a-time without materializing intermediates; pipeline
+    breakers (sort, group-by, hash-join build sides, distinct, set ops,
+    limit) collect their input into growable {!Batch.Vec} row vectors
+    and then emit the whole result as a single view batch.
+
+    At every pipeline that fits the columnar grammar (scan → filters →
+    optional projection or scalar aggregation), [prepare] first offers
+    the node to {!Vector.try_root}: under the [Auto] engine the choice
+    is cost-driven — the planner's cardinality estimate for the
+    pipeline's source scan (threaded through {!Cursor.ctx.card_of})
+    must reach [vector_threshold] — while [Row]/[Vector] force one path
+    for differential testing and benchmarking. Vectorized pipelines
+    process segments through typed column vectors and a selection
+    vector ({!Colbatch}, {!Vector}); everything else runs the row path
+    below. Both paths are {e meter-equal field by field} and return
+    identical rows — the test suite checks this differentially against
+    {!Baseline} as well.
 
     Inner sides of nested-loop joins and TIS subquery plans are
     re-opened per outer row — exactly the tuple-iteration semantics the
@@ -29,7 +44,9 @@
     keyed by the plan node's physical identity; [ns_calls] counts opens
     (= executions, as before), [ns_rows] sums emitted block lengths, and
     [ns_meter] includes the node's children — the self-only share is
-    recovered at report time by subtracting the children's totals. *)
+    recovered at report time by subtracting the children's totals.
+    Vectorized nodes additionally record the engine and their
+    selection-vector density inputs. *)
 
 open Sqlir
 module A = Ast
@@ -38,46 +55,36 @@ module Relation = Storage.Relation
 module Btree = Storage.Btree
 module B = Batch
 module Vec = Batch.Vec
+open Cursor
 
 type row = Eval.row
 type layout = Eval.layout
 
-(** Per-operator runtime statistics collected in analyze mode. Rows and
-    meter charges accumulate over {e all} executions of the node
-    (nested-loop inner sides and TIS subquery plans run once per outer
-    row), and the meter includes the node's children — the self-only
-    share is recovered at report time by subtracting the children's
-    totals. *)
-type node_stat = {
+(* Re-exported from {!Cursor} so existing callers keep their paths
+   (tests and EXPLAIN access [st.Executor.ns_calls] etc.). *)
+
+type engine = Cursor.engine = Auto | Row | Vector
+
+type engine_stats = Cursor.engine_stats = {
+  mutable es_vector : int;
+  mutable es_row : int;
+}
+
+let engine_name = Cursor.engine_name
+let engine_of_string = Cursor.engine_of_string
+let engine_stats_create = Cursor.engine_stats_create
+
+type node_stat = Cursor.node_stat = {
   mutable ns_calls : int;
   mutable ns_rows : int;
   ns_meter : Meter.t;
+  mutable ns_engine : string;
+  mutable ns_sel_in : int;
 }
 
-(* plan nodes keyed by physical identity: annotation reuse can share
-   subtrees, and a shared node must accumulate into one stat record *)
-module Ptbl = Hashtbl.Make (struct
-  type t = Plan.t
-
-  let equal = ( == )
-  let hash = Hashtbl.hash
-end)
-
-type ctx = {
-  db : Db.t;
-  meter : Meter.t;
-  analyze : node_stat Ptbl.t option;
-  binds : Value.t array;  (** values for the plan's [Bind] markers *)
-  size : int;  (** batch capacity, rows per block *)
-}
+module Ptbl = Cursor.Ptbl
 
 exception Runtime_error of string
-
-module Vkey = Map.Make (struct
-  type t = Value.t list
-
-  let compare = List.compare Value.compare_total
-end)
 
 (* Hash table over value-list keys with the same equality as {!Vkey}
    (Int and Float compare numerically under [Value.compare_total], so
@@ -105,12 +112,6 @@ module Hval = Hashtbl.Make (struct
   let equal a b = Value.compare_total a b = 0
   let hash = hash_value
 end)
-
-let charge_sort ctx n =
-  if n > 1 then
-    ctx.meter.sort_compares <-
-      ctx.meter.sort_compares
-      + int_of_float (float_of_int n *. (log (float_of_int n) /. log 2.))
 
 (* Lexicographic comparison of precomputed key tuples (equal widths). *)
 let cmp_keys (k1 : Value.t array) (k2 : Value.t array) =
@@ -141,207 +142,6 @@ let cmp_keys_dirs (dirs : A.dir array) (k1 : Value.t array)
   go 0
 
 (* --------------------------------------------------------------- *)
-(* Aggregation accumulators                                          *)
-(* --------------------------------------------------------------- *)
-
-type acc = {
-  mutable a_count : int;
-  mutable a_sum : Value.t;  (* running sum; Null until first value *)
-  mutable a_min : Value.t;
-  mutable a_max : Value.t;
-  mutable a_seen : unit Vkey.t;  (* for DISTINCT aggregates *)
-}
-
-let acc_create () =
-  {
-    a_count = 0;
-    a_sum = Value.Null;
-    a_min = Value.Null;
-    a_max = Value.Null;
-    a_seen = Vkey.empty;
-  }
-
-let acc_add distinct acc (v : Value.t) =
-  let proceed =
-    if not distinct then true
-    else if Vkey.mem [ v ] acc.a_seen then false
-    else (
-      acc.a_seen <- Vkey.add [ v ] () acc.a_seen;
-      true)
-  in
-  if proceed && not (Value.is_null v) then (
-    acc.a_count <- acc.a_count + 1;
-    acc.a_sum <-
-      (if Value.is_null acc.a_sum then v else Value.arith `Add acc.a_sum v);
-    acc.a_min <-
-      (if Value.is_null acc.a_min || Value.compare_total v acc.a_min < 0 then v
-       else acc.a_min);
-    acc.a_max <-
-      (if Value.is_null acc.a_max || Value.compare_total v acc.a_max > 0 then v
-       else acc.a_max))
-
-let acc_result (a : A.agg) acc ~rows_in_group =
-  match a with
-  | A.Count_star -> Value.Int rows_in_group
-  | A.Count -> Value.Int acc.a_count
-  | A.Sum -> acc.a_sum
-  | A.Min -> acc.a_min
-  | A.Max -> acc.a_max
-  | A.Avg ->
-      if acc.a_count = 0 then Value.Null
-      else Value.arith `Div acc.a_sum (Value.Int acc.a_count)
-
-(* --------------------------------------------------------------- *)
-(* Cursors                                                           *)
-(* --------------------------------------------------------------- *)
-
-(** The operator interface. [c_open] (re)binds the correlation rows and
-    resets per-execution state; [c_next] yields the next block, [None]
-    at end of stream. The returned batch belongs to the cursor and is
-    reused by the following [c_next] — row pointers may be retained,
-    the container may not. Cursors are re-openable: nested-loop inner
-    sides and TIS sub-plans are opened once per (uncached) outer row.
-    Prepare-time state (result caches) survives re-opens; per-execution
-    state does not. *)
-type cursor = {
-  c_open : row list -> unit;
-  c_next : unit -> B.t option;
-  c_close : unit -> unit;
-}
-
-(** Open [c] under [orows], stream every row through [f], close it.
-    For consumers that fold over the stream once (hash builds,
-    aggregation, the root result), this avoids materializing — and
-    repeatedly regrowing — an intermediate vector. *)
-let iter_rows (c : cursor) (orows : row list) (f : row -> unit) : unit =
-  c.c_open orows;
-  let rec go () =
-    match c.c_next () with
-    | Some b ->
-        B.iter f b;
-        go ()
-    | None -> ()
-  in
-  go ();
-  c.c_close ()
-
-(** Open [c] under [orows], pull it dry into a row vector, close it. *)
-let drain (c : cursor) (orows : row list) : Vec.t =
-  c.c_open orows;
-  let v = Vec.create () in
-  let rec go () =
-    match c.c_next () with
-    | Some b ->
-        B.iter (Vec.push v) b;
-        go ()
-    | None -> ()
-  in
-  go ();
-  c.c_close ();
-  v
-
-(** Streaming (non-expanding) operator: each input row contributes at
-    most one output row, appended by the per-open step function. Blocks
-    are pulled from [child] until the output block is non-empty or the
-    child is exhausted, so empty blocks are never emitted mid-stream. *)
-let streaming ?(on_open = fun (_ : row list) -> ()) ~size (child : cursor)
-    (step : row list -> row -> B.t -> unit) : cursor =
-  let out = B.create size in
-  let orows_r = ref [] in
-  let c_open orows =
-    on_open orows;
-    orows_r := orows;
-    child.c_open orows
-  in
-  let rec fill () =
-    match child.c_next () with
-    | None -> if out.B.len = 0 then None else Some out
-    | Some b ->
-        let orows = !orows_r in
-        B.iter (fun r -> step orows r out) b;
-        if out.B.len > 0 then Some out else fill ()
-  in
-  let c_next () =
-    B.clear out;
-    fill ()
-  in
-  { c_open; c_next; c_close = child.c_close }
-
-(** Expanding operator (joins): each input row may contribute any number
-    of output rows, pushed into a pending vector that is drained in
-    capacity-sized blocks across [c_next] calls. *)
-let expanding ?(on_open = fun (_ : row list) -> ()) ~size (child : cursor)
-    (step : row list -> row -> Vec.t -> unit) : cursor =
-  let out = B.create size in
-  let pending = Vec.create () in
-  let pos = ref 0 in
-  let orows_r = ref [] in
-  let c_open orows =
-    on_open orows;
-    orows_r := orows;
-    Vec.clear pending;
-    pos := 0;
-    child.c_open orows
-  in
-  let rec refill () =
-    match child.c_next () with
-    | None -> false
-    | Some b ->
-        Vec.clear pending;
-        pos := 0;
-        let orows = !orows_r in
-        B.iter (fun r -> step orows r pending) b;
-        if Vec.length pending > 0 then true else refill ()
-  in
-  let rec c_next () =
-    if !pos < Vec.length pending then begin
-      B.clear out;
-      while (not (B.is_full out)) && !pos < Vec.length pending do
-        B.add out (Vec.get pending !pos);
-        incr pos
-      done;
-      Some out
-    end
-    else if refill () then c_next ()
-    else None
-  in
-  { c_open; c_next; c_close = child.c_close }
-
-(** Pipeline breaker: [build] opens and drains its input(s) itself and
-    returns the complete materialized result, which is then emitted in
-    capacity-sized blocks. *)
-let breaker ~size (build : row list -> Vec.t) : cursor =
-  let out = B.create size in
-  let result : Vec.t option ref = ref None in
-  let pos = ref 0 in
-  let orows_r = ref [] in
-  let c_open orows =
-    orows_r := orows;
-    result := None;
-    pos := 0
-  in
-  let c_next () =
-    let v =
-      match !result with
-      | Some v -> v
-      | None ->
-          let v = build !orows_r in
-          result := Some v;
-          v
-    in
-    if !pos >= Vec.length v then None
-    else begin
-      B.clear out;
-      while (not (B.is_full out)) && !pos < Vec.length v do
-        B.add out (Vec.get v !pos);
-        incr pos
-      done;
-      Some out
-    end
-  in
-  { c_open; c_next; c_close = (fun () -> result := None) }
-
-(* --------------------------------------------------------------- *)
 (* Cursor-layer specialization                                       *)
 (* --------------------------------------------------------------- *)
 
@@ -354,33 +154,12 @@ let breaker ~size (build : row list -> Vec.t) : cursor =
    Specialization is invisible to the meter: simple comparisons charge
    nothing in either engine, and mixed conjunct lists keep the
    original left-to-right evaluation order, so expensive-function
-   short-circuit counts are preserved. *)
+   short-circuit counts are preserved. The resolution helpers
+   ({!Eval.find_col}, {!Eval.simple_arg}) are shared with the
+   vectorized engine's conjunct compiler. *)
 
-let find_col (layout : layout) (c : A.col) : int option =
-  let n = Array.length layout in
-  let rec go i =
-    if i >= n then None
-    else
-      let a, col = layout.(i) in
-      if String.equal a c.A.c_alias && String.equal col c.A.c_col then Some i
-      else go (i + 1)
-  in
-  go 0
-
-(* An operand evaluable from the node's own row alone: a column of
-   [layout], a constant, or a bind marker (fixed for one execution).
-   A column that resolves only in an outer scope is not simple. *)
-let simple_arg ~binds (layout : layout) : A.expr -> (row -> Value.t) option =
-  function
-  | A.Const v -> Some (fun _ -> v)
-  | A.Bind (i, peek) ->
-      let v = if i >= 0 && i < Array.length binds then binds.(i) else peek in
-      Some (fun _ -> v)
-  | A.Col c -> (
-      match find_col layout c with
-      | Some i -> Some (fun r -> Array.unsafe_get r i)
-      | None -> None)
-  | _ -> None
+let find_col = Eval.find_col
+let simple_arg = Eval.simple_arg
 
 type fpred = F_fast of (row -> bool) | F_slow of (row list -> bool option)
 
@@ -637,9 +416,16 @@ let leaf_rows (ctx : ctx) (scopes : layout list) (p : Plan.t) :
     cursor is wrapped to charge emitted block lengths to [rows_out] —
     the batch-layer replacement for the per-operator
     [List.length]-walking `out` of the list engine — and, in analyze
-    mode, to accumulate per-node calls / rows / meter deltas. *)
+    mode, to accumulate per-node calls / rows / meter deltas. The node
+    is first offered to the vectorized engine; a pipeline it accepts
+    comes back as a single chain cursor whose root is wrapped here like
+    any row cursor (the chain charges its interior nodes itself). *)
 let rec prepare (ctx : ctx) (scopes : layout list) (p : Plan.t) : cursor =
-  let raw = prepare_node ctx scopes p in
+  let raw =
+    match Vector.try_root ctx scopes p with
+    | Some c -> c
+    | None -> prepare_node ctx scopes p
+  in
   match ctx.analyze with
   | None ->
       let m = ctx.meter in
@@ -654,16 +440,7 @@ let rec prepare (ctx : ctx) (scopes : layout list) (p : Plan.t) : cursor =
             | None -> None);
       }
   | Some tbl ->
-      let st =
-        match Ptbl.find_opt tbl p with
-        | Some st -> st
-        | None ->
-            let st =
-              { ns_calls = 0; ns_rows = 0; ns_meter = Meter.create () }
-            in
-            Ptbl.add tbl p st;
-            st
-      in
+      let st = node_stat_of tbl p in
       let m = ctx.meter in
       let measure f =
         let before = Meter.copy m in
@@ -697,6 +474,11 @@ and prepare_node (ctx : ctx) (scopes : layout list) (p : Plan.t) : cursor =
   let self_layout = Plan.layout p cat in
   match p with
   | Plan.Table_scan { table; alias = _; filter } ->
+      (* reaching this branch means the vectorized engine declined the
+         pipeline above this scan (or mode Row): one row choice *)
+      (match ctx.estats with
+      | Some es -> es.es_row <- es.es_row + 1
+      | None -> ());
       let rel = Db.relation ctx.db table in
       let ftest = compile_filter ~meter ~binds self_layout scopes filter in
       let out = B.create size in
@@ -725,6 +507,10 @@ and prepare_node (ctx : ctx) (scopes : layout list) (p : Plan.t) : cursor =
       in
       { c_open; c_next; c_close = (fun () -> ()) }
   | Plan.Index_scan { table; alias = _; index; prefix; lo; hi; filter } ->
+      (* index scans always run the row path: one row choice *)
+      (match ctx.estats with
+      | Some es -> es.es_row <- es.es_row + 1
+      | None -> ());
       let rel = Db.relation ctx.db table in
       let bt = Db.index ctx.db ~table ~name:index in
       let fprefix = List.map (Eval.compile_expr ~meter ~binds scopes) prefix in
@@ -786,7 +572,7 @@ and prepare_node (ctx : ctx) (scopes : layout list) (p : Plan.t) : cursor =
       let cchild = prepare ctx scopes child in
       let ftest = compile_filter ~meter ~binds self_layout scopes preds in
       streaming ~size cchild (fun orows r out ->
-          if ftest r orows then B.add out r)
+          if ftest r orows then Vec.push out r)
   | Plan.Project { child; alias = _; items } ->
       let child_layout = Plan.layout child cat in
       let cchild = prepare ctx scopes child in
@@ -795,7 +581,7 @@ and prepare_node (ctx : ctx) (scopes : layout list) (p : Plan.t) : cursor =
         (* simple projection: copy by position, no scope stack *)
         match Array.of_list (List.map Option.get fast) with
         | [| f |] ->
-            streaming ~size cchild (fun _orows r out -> B.add out [| f r |])
+            streaming ~size cchild (fun _orows r out -> Vec.push out [| f r |])
         | fa ->
             let n = Array.length fa in
             streaming ~size cchild (fun _orows r out ->
@@ -803,7 +589,7 @@ and prepare_node (ctx : ctx) (scopes : layout list) (p : Plan.t) : cursor =
                 for k = 0 to n - 1 do
                   Array.unsafe_set o k ((Array.unsafe_get fa k) r)
                 done;
-                B.add out o)
+                Vec.push out o)
       else
         let fitems =
           List.map
@@ -812,7 +598,7 @@ and prepare_node (ctx : ctx) (scopes : layout list) (p : Plan.t) : cursor =
             items
         in
         streaming ~size cchild (fun orows r out ->
-            B.add out
+            Vec.push out
               (Array.of_list (List.map (fun f -> f (r :: orows)) fitems)))
   | Plan.Join { meth; role; left; right; cond } ->
       prepare_join ctx scopes ~meth ~role ~left ~right ~cond
@@ -832,7 +618,7 @@ and prepare_node (ctx : ctx) (scopes : layout list) (p : Plan.t) : cursor =
           let k = Array.to_list r in
           if not (Hkey.mem seen k) then begin
             Hkey.add seen k ();
-            B.add out r
+            Vec.push out r
           end)
   | Plan.Sort { child; keys } ->
       let child_layout = Plan.layout child cat in
@@ -843,7 +629,7 @@ and prepare_node (ctx : ctx) (scopes : layout list) (p : Plan.t) : cursor =
       let dirs = Array.of_list (List.map snd keys) in
       (* decorate-sort-undecorate: keys are computed once per row, not
          once per comparison *)
-      breaker ~size (fun orows ->
+      breaker (fun orows ->
           let v = drain cchild orows in
           let n = Vec.length v in
           charge_sort ctx n;
@@ -862,14 +648,14 @@ and prepare_node (ctx : ctx) (scopes : layout list) (p : Plan.t) : cursor =
       let cchild = prepare ctx scopes child in
       (* the child is drained fully — as the list engine materialized it
          — so meter totals cannot depend on the batch size *)
-      breaker ~size (fun orows ->
+      breaker (fun orows ->
           let v = drain cchild orows in
           Vec.truncate v n;
           v)
   | Plan.Limit_filter { child; preds; n } ->
       let cchild = prepare ctx scopes child in
       let ftest = compile_filter ~meter ~binds self_layout scopes preds in
-      breaker ~size (fun orows ->
+      breaker (fun orows ->
           let v = drain cchild orows in
           let result = Vec.create () in
           let quota = ref n in
@@ -928,7 +714,7 @@ and prepare_node (ctx : ctx) (scopes : layout list) (p : Plan.t) : cursor =
           in
           if keep && not (Hkey.mem seen k) then begin
             Hkey.add seen k ();
-            B.add out r
+            Vec.push out r
           end)
 
 (* --------------------------------------------------------------- *)
@@ -1291,7 +1077,7 @@ and prepare_join ctx scopes ~meth ~role ~left ~right ~cond =
         compile_jtest ~meter ~binds ~left:left_layout ~right:right_layout
           scopes residual
       in
-      breaker ~size (fun orows ->
+      breaker (fun orows ->
           (* both inputs are pipeline breakers: materialize, decorate
              with key tuples computed once per row, sort, merge *)
           let lv = drain cleft orows in
@@ -1609,7 +1395,7 @@ and prepare_subq_filter ctx scopes child preds =
   in
   streaming ~size:ctx.size cchild (fun orows r out ->
       if List.for_all (fun f -> f r orows = Some true) compiled then
-        B.add out r)
+        Vec.push out r)
 
 and prepare_aggregate ctx scopes child strategy keys aggs =
   let cat = ctx.db.Db.cat in
@@ -1634,7 +1420,7 @@ and prepare_aggregate ctx scopes child strategy keys aggs =
        run once per outer row with tiny inputs, so the per-execution
        constant matters; charges (agg_rows, sort) are identical to the
        grouped path over an empty key. *)
-    breaker ~size:ctx.size (fun orows ->
+    breaker (fun orows ->
         let accs = List.map (fun _ -> acc_create ()) faggs in
         let n = ref 0 in
         iter_rows cchild orows (fun r ->
@@ -1672,7 +1458,7 @@ and prepare_aggregate ctx scopes child strategy keys aggs =
      execution: aggregates on nested-loop inner sides run once per
      outer row, and a fresh table per run would dominate them *)
   let groups = Hkey.create 16 in
-  breaker ~size:ctx.size (fun orows ->
+  breaker (fun orows ->
       Hkey.reset groups;
       let order = ref [] in
       let nin = ref 0 in
@@ -1732,7 +1518,7 @@ and prepare_window ctx scopes child wins =
           Array.of_list (List.map snd w.w_oby) ))
       wins
   in
-  breaker ~size:ctx.size (fun orows ->
+  breaker (fun orows ->
       let v = drain cchild orows in
       (* For each window function, compute per-row values; RANGE
          UNBOUNDED PRECEDING .. CURRENT ROW cumulative semantics with
@@ -1807,6 +1593,13 @@ and prepare_window ctx scopes child wins =
 
 let default_batch_size = 256
 
+(** [Auto] vectorizes a pipeline when the planner's cardinality
+    estimate for its source scan reaches this. Tiny pipelines — the
+    re-opened inner sides of nested-loop joins, subquery plans over
+    small tables — stay on the row path, whose per-execution constant
+    is lower than a chain's segment setup. *)
+let default_vector_threshold = 256.
+
 let run_root (ctx : ctx) (plan : Plan.t) : row list =
   let acc = ref [] in
   iter_rows (prepare ctx [] plan) [] (fun r -> acc := r :: !acc);
@@ -1815,11 +1608,29 @@ let run_root (ctx : ctx) (plan : Plan.t) : row list =
 (** Execute a complete (uncorrelated) plan against [db]. Returns the
     output layout and rows; work is charged to [meter]. [batch_size]
     (default {!default_batch_size}) sets the rows-per-block capacity;
-    results and meter totals do not depend on it. *)
+    results and meter totals do not depend on it — nor on the engine
+    choice. [engine] picks the execution engine ([Auto] consults
+    [card_of], the planner's per-node cardinality hint, against
+    [vector_threshold]); [engine_stats] receives per-pipeline choice
+    counts when provided. *)
 let execute ?meter ?(binds = [||]) ?(batch_size = default_batch_size)
-    (db : Db.t) (plan : Plan.t) : layout * row list * Meter.t =
+    ?(engine = Auto) ?(card_of = fun _ -> None)
+    ?(vector_threshold = default_vector_threshold) ?engine_stats (db : Db.t)
+    (plan : Plan.t) : layout * row list * Meter.t =
   let meter = match meter with Some m -> m | None -> Meter.create () in
-  let ctx = { db; meter; analyze = None; binds; size = batch_size } in
+  let ctx =
+    {
+      db;
+      meter;
+      analyze = None;
+      binds;
+      size = batch_size;
+      engine;
+      card_of;
+      vector_threshold;
+      estats = engine_stats;
+    }
+  in
   let rows = run_root ctx plan in
   (Plan.layout plan db.Db.cat, rows, meter)
 
@@ -1828,11 +1639,26 @@ let execute ?meter ?(binds = [||]) ?(batch_size = default_batch_size)
     identity) to its accumulated {!node_stat}; nodes the execution
     never reached have no entry. *)
 let execute_analyzed ?meter ?(binds = [||])
-    ?(batch_size = default_batch_size) (db : Db.t) (plan : Plan.t) :
+    ?(batch_size = default_batch_size) ?(engine = Auto)
+    ?(card_of = fun _ -> None)
+    ?(vector_threshold = default_vector_threshold) ?engine_stats (db : Db.t)
+    (plan : Plan.t) :
     layout * row list * Meter.t * (Plan.t -> node_stat option) =
   let meter = match meter with Some m -> m | None -> Meter.create () in
   let tbl = Ptbl.create 64 in
-  let ctx = { db; meter; analyze = Some tbl; binds; size = batch_size } in
+  let ctx =
+    {
+      db;
+      meter;
+      analyze = Some tbl;
+      binds;
+      size = batch_size;
+      engine;
+      card_of;
+      vector_threshold;
+      estats = engine_stats;
+    }
+  in
   let rows = run_root ctx plan in
   (Plan.layout plan db.Db.cat, rows, meter, fun p -> Ptbl.find_opt tbl p)
 

@@ -177,3 +177,22 @@ let pp ppf t =
     t.rows_scanned t.pages_read t.idx_probes t.idx_entries t.rows_joined
     t.hash_build t.hash_probe t.sort_compares t.agg_rows t.rows_out
     t.subq_execs t.subq_cache_hits t.key_build (work t)
+
+(* ------------------------------------------------------------------ *)
+(* Columnar buffer accounting                                           *)
+(* ------------------------------------------------------------------ *)
+
+(** Words allocated for columnar buffers — typed column vectors, null
+    bitmaps, selection vectors — since process start. Deliberately kept
+    {e outside} {!t}: the row and vectorized engines must stay
+    meter-equal field by field (the differential oracle the test suite
+    checks), and buffer allocation is an engine artifact, not query
+    work. The bench reads this counter to report honest bytes/row under
+    the struct-of-arrays layout: [Gc.allocated_bytes] already includes
+    these buffers, and the explicit counter shows how much of the total
+    they are (and would keep counting them if the buffers ever moved
+    off the OCaml heap). *)
+let vec_alloc_words = ref 0
+
+let charge_vec_alloc words = vec_alloc_words := !vec_alloc_words + words
+let vec_alloc_bytes () = !vec_alloc_words * (Sys.word_size / 8)

@@ -1,0 +1,834 @@
+(** Vectorized (columnar) pipeline engine.
+
+    Executes scan → filter* → (project | scalar aggregate) pipeline
+    chains over the struct-of-arrays images of {!Colbatch}: each
+    [c_next] processes one segment of the table through a selection
+    vector, applying every predicate conjunct as a tight monomorphic
+    loop over its column vector (or, for predicates the typed loops
+    cannot express, over the retained base rows), then materializes the
+    surviving selection at the pipeline edge — for identity pipelines
+    by handing out the original row pointers, allocation-free.
+    Everything outside this grammar (joins, grouped aggregation, sorts,
+    set operators, index scans) stays on the row path of {!Executor};
+    the conversion happens only at pipeline edges, where breakers
+    materialize rows anyway.
+
+    {b Meter parity is exact.} Charges are accounted field by field as
+    the row engine does: [pages_read] per open, [rows_scanned] per
+    segment row, [rows_out] per operator per surviving row, [agg_rows]
+    per aggregated row, sort charges for sort-strategy aggregation —
+    and conjuncts are applied in original order, one selection
+    refinement per conjunct, so generic (possibly expensive) predicates
+    are evaluated on exactly the rows that survive the preceding
+    conjuncts, preserving short-circuit [expensive_calls] counts. The
+    test suite runs forced-engine differential comparisons (vector vs
+    row vs {!Baseline}) on randomized plans to hold this.
+
+    The engine choice is hybrid and cost-driven: {!try_root} consults
+    the planner's estimated pipeline cardinality (threaded through
+    {!Cursor.ctx.card_of}) and vectorizes only pipelines whose source
+    scan is estimated above {!Cursor.ctx.vector_threshold}; tiny
+    pipelines — nested-loop inner sides, subquery plans over small
+    tables — keep the row path's lower per-execution constant. *)
+
+open Sqlir
+module A = Ast
+module Db = Storage.Db
+module Relation = Storage.Relation
+module B = Batch
+module C = Colbatch
+open Cursor
+
+(** Test knob: when set, scans materialize an explicit selection vector
+    even while it is still the dense identity, so properties can check
+    that dense and sparse selections are indistinguishable in results,
+    meters and analyze stats. *)
+let force_sparse = ref false
+
+(* ------------------------------------------------------------------ *)
+(* Selection blocks                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(** One in-flight segment: absolute row ids [lo, hi) of the scanned
+    table, narrowed by a selection. While [dense], the selection is the
+    identity over the segment and [sel] is untouched; the first
+    filtering conjunct switches to the explicit selection vector. *)
+type vblock = {
+  mutable lo : int;
+  mutable hi : int;
+  sel : int array;  (** selected absolute row ids, valid [0, n) when sparse *)
+  mutable n : int;
+  mutable dense : bool;
+}
+
+(* Narrow the selection in place to the rows passing [keep]. *)
+let refine vb (keep : int -> bool) =
+  let sel = vb.sel in
+  let k = ref 0 in
+  if vb.dense then begin
+    for i = vb.lo to vb.hi - 1 do
+      if keep i then begin
+        Array.unsafe_set sel !k i;
+        incr k
+      end
+    done;
+    vb.dense <- false
+  end
+  else
+    for s = 0 to vb.n - 1 do
+      let i = Array.unsafe_get sel s in
+      if keep i then begin
+        Array.unsafe_set sel !k i;
+        incr k
+      end
+    done;
+  vb.n <- !k
+
+(* ------------------------------------------------------------------ *)
+(* Conjunct compilation                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Monomorphic comparison tests: the signature specializes the
+   polymorphic operators to unboxed ints. *)
+let int_test : A.cmp -> int -> int -> bool = function
+  | A.Eq -> ( = )
+  | A.Ne -> ( <> )
+  | A.Lt -> ( < )
+  | A.Le -> ( <= )
+  | A.Gt -> ( > )
+  | A.Ge -> ( >= )
+
+(* Floats go through [Stdlib.compare] so NaN orders exactly as
+   [Value.compare_total] orders it. *)
+let float_test op =
+  let t = Eval.cmp_test op in
+  fun (x : float) (y : float) -> t (Stdlib.compare x y)
+
+(* [a op b] = [b (flip op) a] *)
+let flip : A.cmp -> A.cmp = function
+  | A.Eq -> A.Eq
+  | A.Ne -> A.Ne
+  | A.Lt -> A.Gt
+  | A.Gt -> A.Lt
+  | A.Le -> A.Ge
+  | A.Ge -> A.Le
+
+(** A conjunct compiled at prepare time. Typed conjuncts bind to the
+    column vectors of a concrete columnar image at open time (the image
+    changes when the relation is mutated between executions); the
+    fallbacks are image-independent. *)
+type pconj =
+  | P_typed of A.cmp * pop * pop  (** simple operands, at least one column *)
+  | P_fast of bool  (** constant comparison outcome *)
+  | P_slow of (row list -> bool option)  (** generic 3VL closure *)
+
+and pop = PO_col of int | PO_const of Value.t
+
+(** A conjunct bound to a columnar image, ready to refine selections. *)
+type conj =
+  | K_all
+  | K_none  (** drops every row (e.g. comparison against NULL) *)
+  | K_col of (int -> bool)  (** row-id test over the column vectors *)
+  | K_slow of (row list -> bool option)
+
+let compile_pred ~meter ~binds (layout : layout) scopes (p : A.pred) : pconj =
+  let operand e =
+    match e with
+    | A.Const v -> Some (PO_const v)
+    | A.Bind (i, peek) ->
+        Some
+          (PO_const
+             (if i >= 0 && i < Array.length binds then binds.(i) else peek))
+    | A.Col c -> Option.map (fun j -> PO_col j) (Eval.find_col layout c)
+    | _ -> None
+  in
+  match p with
+  | A.Cmp (op, a, b) -> (
+      match (operand a, operand b) with
+      | Some (PO_const va), Some (PO_const vb) ->
+          (* charge-free constant conjunct in both engines *)
+          P_fast
+            ((not (Value.is_null va || Value.is_null vb))
+            && Eval.cmp_test op (Value.compare_total va vb))
+      | Some pa, Some pb -> P_typed (op, pa, pb)
+      | _ -> P_slow (Eval.compile_pred ~meter ~binds (layout :: scopes) p))
+  | _ -> P_slow (Eval.compile_pred ~meter ~binds (layout :: scopes) p)
+
+let col_const op (c : C.col) (v : Value.t) : conj =
+  if Value.is_null v then K_none
+  else
+    let nulls = c.C.c_nulls in
+    match (c.C.c_vec, v) with
+    | C.V_int a, Value.Int k ->
+        let t = int_test op in
+        K_col
+          (fun i -> (not (C.bitmap_get nulls i)) && t (Array.unsafe_get a i) k)
+    | C.V_int a, Value.Float k ->
+        let t = float_test op in
+        K_col
+          (fun i ->
+            (not (C.bitmap_get nulls i))
+            && t (float_of_int (Array.unsafe_get a i)) k)
+    | C.V_float a, Value.Float k ->
+        let t = float_test op in
+        K_col
+          (fun i -> (not (C.bitmap_get nulls i)) && t (Array.unsafe_get a i) k)
+    | C.V_float a, Value.Int k ->
+        let kf = float_of_int k in
+        let t = float_test op in
+        K_col
+          (fun i -> (not (C.bitmap_get nulls i)) && t (Array.unsafe_get a i) kf)
+    | C.V_date a, Value.Date k ->
+        let t = int_test op in
+        K_col
+          (fun i -> (not (C.bitmap_get nulls i)) && t (Array.unsafe_get a i) k)
+    | C.V_str a, Value.Str k ->
+        let t = Eval.cmp_test op in
+        K_col
+          (fun i ->
+            (not (C.bitmap_get nulls i))
+            && t (String.compare (Array.unsafe_get a i) k))
+    | C.V_bool a, Value.Bool k ->
+        let t = Eval.cmp_test op in
+        K_col
+          (fun i ->
+            (not (C.bitmap_get nulls i))
+            && t (Stdlib.compare (Array.unsafe_get a i : bool) k))
+    | C.V_mixed a, _ ->
+        let t = Eval.cmp_test op in
+        K_col
+          (fun i ->
+            let x = Array.unsafe_get a i in
+            (not (Value.is_null x)) && t (Value.compare_total x v))
+    | (C.V_int _ | C.V_float _ | C.V_str _ | C.V_bool _ | C.V_date _), _ ->
+        (* cross-type comparison outside the numeric tower:
+           [Value.compare_total] then depends only on the constructors,
+           so the non-null outcome is one constant *)
+        let sample =
+          match c.C.c_vec with
+          | C.V_int _ -> Value.Int 0
+          | C.V_float _ -> Value.Float 0.
+          | C.V_str _ -> Value.Str ""
+          | C.V_bool _ -> Value.Bool false
+          | C.V_date _ -> Value.Date 0
+          | C.V_mixed _ -> assert false
+        in
+        if Eval.cmp_test op (Value.compare_total sample v) then
+          K_col (fun i -> not (C.bitmap_get nulls i))
+        else K_none
+
+let col_col (cb : C.t) op ja jb : conj =
+  let ca = cb.C.cols.(ja) and cb2 = cb.C.cols.(jb) in
+  let na = ca.C.c_nulls and nb = cb2.C.c_nulls in
+  match (ca.C.c_vec, cb2.C.c_vec) with
+  | C.V_int a, C.V_int b | C.V_date a, C.V_date b ->
+      let t = int_test op in
+      K_col
+        (fun i ->
+          (not (C.bitmap_get na i))
+          && (not (C.bitmap_get nb i))
+          && t (Array.unsafe_get a i) (Array.unsafe_get b i))
+  | C.V_float a, C.V_float b ->
+      let t = float_test op in
+      K_col
+        (fun i ->
+          (not (C.bitmap_get na i))
+          && (not (C.bitmap_get nb i))
+          && t (Array.unsafe_get a i) (Array.unsafe_get b i))
+  | C.V_int a, C.V_float b ->
+      let t = float_test op in
+      K_col
+        (fun i ->
+          (not (C.bitmap_get na i))
+          && (not (C.bitmap_get nb i))
+          && t (float_of_int (Array.unsafe_get a i)) (Array.unsafe_get b i))
+  | C.V_float a, C.V_int b ->
+      let t = float_test op in
+      K_col
+        (fun i ->
+          (not (C.bitmap_get na i))
+          && (not (C.bitmap_get nb i))
+          && t (Array.unsafe_get a i) (float_of_int (Array.unsafe_get b i)))
+  | C.V_str a, C.V_str b ->
+      let t = Eval.cmp_test op in
+      K_col
+        (fun i ->
+          (not (C.bitmap_get na i))
+          && (not (C.bitmap_get nb i))
+          && t (String.compare (Array.unsafe_get a i) (Array.unsafe_get b i)))
+  | _ ->
+      (* bool pairs, mixed columns, cross-type: through the base rows,
+         exactly the row engine's specialized path *)
+      let base = cb.C.base in
+      let t = Eval.cmp_test op in
+      K_col
+        (fun i ->
+          let r = Array.unsafe_get base i in
+          let va = Array.unsafe_get r ja and vb = Array.unsafe_get r jb in
+          (not (Value.is_null va || Value.is_null vb))
+          && t (Value.compare_total va vb))
+
+let bind_conj (cb : C.t) (pc : pconj) : conj =
+  match pc with
+  | P_fast true -> K_all
+  | P_fast false -> K_none
+  | P_slow f -> K_slow f
+  | P_typed (op, pa, pb) -> (
+      match (pa, pb) with
+      | PO_col j, PO_const v -> col_const op cb.C.cols.(j) v
+      | PO_const v, PO_col j -> col_const (flip op) cb.C.cols.(j) v
+      | PO_col ja, PO_col jb -> col_col cb op ja jb
+      | PO_const _, PO_const _ -> assert false)
+
+let apply_conj vb (base : row array) (orows : row list) = function
+  | K_all -> ()
+  | K_none ->
+      vb.n <- 0;
+      vb.dense <- false
+  | K_col keep -> refine vb keep
+  | K_slow g ->
+      refine vb (fun i -> g (Array.unsafe_get base i :: orows) = Some true)
+
+(* ------------------------------------------------------------------ *)
+(* Chain recognition                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type root_kind =
+  | R_pipe  (** chain top is the scan or a filter: emit the base rows *)
+  | R_project of (A.expr * string) list
+  | R_agg of [ `Hash | `Sort ] * (string * A.agg * A.expr option * bool) list
+
+type chain_desc = {
+  cd_scan : Plan.t;  (** the [Table_scan] source *)
+  cd_table : string;
+  cd_nodes : (Plan.t * A.pred list) list;
+      (** scan first, then each [Filter] above it, bottom-up *)
+  cd_root_plan : Plan.t;
+  cd_root : root_kind;
+}
+
+let rec pipe_of (p : Plan.t) =
+  match p with
+  | Plan.Table_scan { table; filter; _ } -> Some (p, table, [ (p, filter) ])
+  | Plan.Filter { child; preds } ->
+      Option.map
+        (fun (sp, t, nodes) -> (sp, t, nodes @ [ (p, preds) ]))
+        (pipe_of child)
+  | _ -> None
+
+(** The vectorizable grammar, v1:
+    [(Project | scalar non-DISTINCT Aggregate)? · Filter* · Table_scan].
+    Index scans, joins, grouped aggregation and all breakers stay on
+    the row path, converting at the pipeline edge. *)
+let chain_of (p : Plan.t) : chain_desc option =
+  let mk child root =
+    Option.map
+      (fun (sp, table, nodes) ->
+        {
+          cd_scan = sp;
+          cd_table = table;
+          cd_nodes = nodes;
+          cd_root_plan = p;
+          cd_root = root;
+        })
+      (pipe_of child)
+  in
+  match p with
+  | Plan.Project { child; items; _ } -> mk child (R_project items)
+  | Plan.Aggregate { child; keys = []; strategy; aggs; _ }
+    when List.for_all (fun (_, _, _, dist) -> not dist) aggs ->
+      mk child (R_agg (strategy, aggs))
+  | Plan.Table_scan _ | Plan.Filter _ -> mk p R_pipe
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Aggregate fast paths                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Aggregate argument source, compiled at prepare time. *)
+type aggsrc =
+  | AS_none
+  | AS_col of int
+  | AS_expr of (row list -> Value.t)
+
+(* Per-execution accumulator, bound to the columnar image at open.
+   Typed runs keep unboxed running state; [AR_col]/[AR_expr] go through
+   the shared generic accumulator, so semantics (and [Value.arith]
+   corner cases like date addition) cannot drift from the row engine. *)
+type arun =
+  | AR_unit
+  | AR_int of int array * Bytes.t * istate
+  | AR_float of float array * Bytes.t * fstate
+  | AR_col of int * acc
+  | AR_expr of (row list -> Value.t) * acc
+
+and istate = {
+  mutable ic : int;
+  mutable isum : int;
+  mutable imn : int;
+  mutable imx : int;
+}
+
+and fstate = {
+  mutable fc : int;
+  mutable fsum : float;
+  mutable fmn : float;
+  mutable fmx : float;
+}
+
+let mk_run (cb : C.t) = function
+  | AS_none -> AR_unit
+  | AS_expr f -> AR_expr (f, acc_create ())
+  | AS_col j -> (
+      let c = cb.C.cols.(j) in
+      match c.C.c_vec with
+      | C.V_int a -> AR_int (a, c.C.c_nulls, { ic = 0; isum = 0; imn = 0; imx = 0 })
+      | C.V_float a ->
+          AR_float (a, c.C.c_nulls, { fc = 0; fsum = 0.; fmn = 0.; fmx = 0. })
+      | _ -> AR_col (j, acc_create ()))
+
+(* Fold the run back into a generic accumulator and let [acc_result]
+   produce the value — COUNT/SUM/MIN/MAX/AVG semantics (including the
+   empty-input NULLs and integer-average promotion) stay shared. *)
+let run_result (a : A.agg) (ar : arun) ~rows_in_group : Value.t =
+  let acc =
+    match ar with
+    | AR_unit -> acc_create ()
+    | AR_col (_, acc) | AR_expr (_, acc) -> acc
+    | AR_int (_, _, st) ->
+        {
+          a_count = st.ic;
+          a_sum = (if st.ic = 0 then Value.Null else Value.Int st.isum);
+          a_min = (if st.ic = 0 then Value.Null else Value.Int st.imn);
+          a_max = (if st.ic = 0 then Value.Null else Value.Int st.imx);
+          a_seen = Vkey.empty;
+        }
+    | AR_float (_, _, st) ->
+        {
+          a_count = st.fc;
+          a_sum = (if st.fc = 0 then Value.Null else Value.Float st.fsum);
+          a_min = (if st.fc = 0 then Value.Null else Value.Float st.fmn);
+          a_max = (if st.fc = 0 then Value.Null else Value.Float st.fmx);
+          a_seen = Vkey.empty;
+        }
+  in
+  acc_result a acc ~rows_in_group
+
+(* ------------------------------------------------------------------ *)
+(* Chain construction                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* One chain node (the scan or a filter above it): its conjuncts and,
+   in analyze mode, its stat record. [sg_charge] is false for the
+   pipeline root, which the executor's standard wrapper charges. *)
+type stage = {
+  sg_preds : pconj array;
+  mutable sg_conjs : conj array;  (* rebound per columnar image *)
+  sg_charge : bool;
+  sg_stat : node_stat option;
+}
+
+let build (ctx : ctx) (scopes : layout list) (cd : chain_desc) : cursor =
+  let meter = ctx.meter in
+  let binds = ctx.binds in
+  let rel = Db.relation ctx.db cd.cd_table in
+  let scan_layout = Plan.layout cd.cd_scan ctx.db.Db.cat in
+  let width = Array.length scan_layout in
+  let seg = ctx.size in
+  let vb =
+    { lo = 0; hi = 0; sel = Array.make (max 1 seg) 0; n = 0; dense = true }
+  in
+  Meter.charge_vec_alloc (max 1 seg);
+  let stat_of p =
+    match ctx.analyze with
+    | None -> None
+    | Some tbl ->
+        let st = node_stat_of tbl p in
+        st.ns_engine <- "vector";
+        Some st
+  in
+  let n_nodes = List.length cd.cd_nodes in
+  let is_pipe = match cd.cd_root with R_pipe -> true | _ -> false in
+  let stages =
+    List.mapi
+      (fun k (p, preds) ->
+        let is_root = is_pipe && k = n_nodes - 1 in
+        {
+          sg_preds =
+            Array.of_list
+              (List.map (compile_pred ~meter ~binds scan_layout scopes) preds);
+          sg_conjs = [||];
+          sg_charge = not is_root;
+          sg_stat = stat_of p;
+        })
+      cd.cd_nodes
+  in
+  let root_stat =
+    if is_pipe then (List.nth stages (n_nodes - 1)).sg_stat
+    else stat_of cd.cd_root_plan
+  in
+  (* per-open chain state *)
+  let base = ref rel.Relation.r_rows in
+  let cbref : C.t option ref = ref None in
+  let pos = ref 0 in
+  let orows_r = ref [] in
+  let rebind () =
+    let rows = rel.Relation.r_rows in
+    let stale =
+      match !cbref with Some cb -> cb.C.base != rows | None -> true
+    in
+    if stale then begin
+      let cb = C.of_rows_cached rows ~width in
+      cbref := Some cb;
+      base := rows;
+      List.iter
+        (fun sg -> sg.sg_conjs <- Array.map (bind_conj cb) sg.sg_preds)
+        stages
+    end
+  in
+  let open_chain orows =
+    orows_r := orows;
+    pos := 0;
+    rebind ();
+    match ctx.analyze with
+    | None -> meter.Meter.pages_read <- meter.Meter.pages_read + Relation.pages rel
+    | Some _ ->
+        (* every charging chain node counts one execution and absorbs
+           the open charges, as the nested row wrappers would *)
+        let m0 = Meter.copy meter in
+        meter.Meter.pages_read <- meter.Meter.pages_read + Relation.pages rel;
+        let d = Meter.diff meter m0 in
+        List.iter
+          (fun sg ->
+            match sg.sg_stat with
+            | Some st when sg.sg_charge ->
+                st.ns_calls <- st.ns_calls + 1;
+                Meter.add st.ns_meter d
+            | _ -> ())
+          stages
+  in
+  (* Advance one segment through every chain node; false at exhaustion.
+     Stage k's analyze meter gets the cumulative segment delta after
+     its conjuncts ran — i.e. its own work plus everything below it,
+     exactly the nesting of the row engine's per-node measures. *)
+  let step () =
+    let rows = !base in
+    let nrows = Array.length rows in
+    if !pos >= nrows then false
+    else begin
+      let lo = !pos in
+      let hi = min nrows (lo + seg) in
+      pos := hi;
+      vb.lo <- lo;
+      vb.hi <- hi;
+      vb.n <- hi - lo;
+      vb.dense <- true;
+      if !force_sparse then begin
+        let sel = vb.sel in
+        for s = 0 to hi - lo - 1 do
+          Array.unsafe_set sel s (lo + s)
+        done;
+        vb.dense <- false
+      end;
+      let orows = !orows_r in
+      let m0 =
+        match ctx.analyze with
+        | Some _ -> Some (Meter.copy meter)
+        | None -> None
+      in
+      List.iteri
+        (fun k sg ->
+          let sel_in = if k = 0 then hi - lo else vb.n in
+          if k = 0 then
+            meter.Meter.rows_scanned <- meter.Meter.rows_scanned + (hi - lo);
+          Array.iter (fun cj -> apply_conj vb rows orows cj) sg.sg_conjs;
+          if sg.sg_charge then
+            meter.Meter.rows_out <- meter.Meter.rows_out + vb.n;
+          match sg.sg_stat with
+          | Some st ->
+              st.ns_sel_in <- st.ns_sel_in + sel_in;
+              if sg.sg_charge then begin
+                st.ns_rows <- st.ns_rows + vb.n;
+                match m0 with
+                | Some m0 -> Meter.add st.ns_meter (Meter.diff meter m0)
+                | None -> ()
+              end
+          | None -> ())
+        stages;
+      true
+    end
+  in
+  let close_chain () = () in
+  let out = B.create (max 1 seg) in
+  match cd.cd_root with
+  | R_pipe ->
+      (* identity edge: the surviving selection materializes as the
+         original base-row pointers, no copying or re-boxing *)
+      let rec next () =
+        if step () then
+          if vb.n = 0 then next ()
+          else begin
+            let data = out.B.data in
+            let rows = !base in
+            (if vb.dense then begin
+               let k = ref 0 in
+               for i = vb.lo to vb.hi - 1 do
+                 Array.unsafe_set data !k (Array.unsafe_get rows i);
+                 incr k
+               done
+             end
+             else
+               let sel = vb.sel in
+               for s = 0 to vb.n - 1 do
+                 Array.unsafe_set data s
+                   (Array.unsafe_get rows (Array.unsafe_get sel s))
+               done);
+            out.B.len <- vb.n;
+            Some out
+          end
+        else None
+      in
+      { c_open = open_chain; c_next = next; c_close = close_chain }
+  | R_project items ->
+      let fitems =
+        Array.of_list
+          (List.map
+             (fun (e, _) ->
+               match e with
+               | A.Col c -> (
+                   match Eval.find_col scan_layout c with
+                   | Some j -> `Col j
+                   | None ->
+                       `Expr
+                         (Eval.compile_expr ~meter ~binds
+                            (scan_layout :: scopes) e))
+               | A.Const v -> `Const v
+               | A.Bind (i, peek) ->
+                   `Const
+                     (if i >= 0 && i < Array.length binds then binds.(i)
+                      else peek)
+               | _ ->
+                   `Expr
+                     (Eval.compile_expr ~meter ~binds (scan_layout :: scopes) e))
+             items)
+      in
+      let ni = Array.length fitems in
+      let emit_row r orows =
+        let o = Array.make ni Value.Null in
+        for k = 0 to ni - 1 do
+          Array.unsafe_set o k
+            (match Array.unsafe_get fitems k with
+            | `Col j -> Array.unsafe_get r j
+            | `Const v -> v
+            | `Expr f -> f (r :: orows))
+        done;
+        o
+      in
+      let rec next () =
+        if step () then
+          if vb.n = 0 then next ()
+          else begin
+            (match root_stat with
+            | Some st -> st.ns_sel_in <- st.ns_sel_in + vb.n
+            | None -> ());
+            let data = out.B.data in
+            let rows = !base in
+            let orows = !orows_r in
+            (if vb.dense then begin
+               let k = ref 0 in
+               for i = vb.lo to vb.hi - 1 do
+                 Array.unsafe_set data !k
+                   (emit_row (Array.unsafe_get rows i) orows);
+                 incr k
+               done
+             end
+             else
+               let sel = vb.sel in
+               for s = 0 to vb.n - 1 do
+                 Array.unsafe_set data s
+                   (emit_row (Array.unsafe_get rows (Array.unsafe_get sel s))
+                      orows)
+               done);
+            out.B.len <- vb.n;
+            Some out
+          end
+        else None
+      in
+      { c_open = open_chain; c_next = next; c_close = close_chain }
+  | R_agg (strategy, aggs) ->
+      let srcs =
+        Array.of_list
+          (List.map
+             (fun (_, _, eo, _) ->
+               match eo with
+               | None -> AS_none
+               | Some (A.Col c as e) -> (
+                   match Eval.find_col scan_layout c with
+                   | Some j -> AS_col j
+                   | None ->
+                       AS_expr
+                         (Eval.compile_expr ~meter ~binds
+                            (scan_layout :: scopes) e))
+               | Some e ->
+                   AS_expr
+                     (Eval.compile_expr ~meter ~binds (scan_layout :: scopes) e))
+             aggs)
+      in
+      let kinds = Array.of_list (List.map (fun (_, a, _, _) -> a) aggs) in
+      let runs = ref [||] in
+      let ntot = ref 0 in
+      let emitted = ref false in
+      let accumulate orows =
+        let rows = !base in
+        Array.iter
+          (fun ar ->
+            match ar with
+            | AR_unit -> ()
+            | AR_int (a, nulls, st) ->
+                let add i =
+                  if not (C.bitmap_get nulls i) then begin
+                    let v = Array.unsafe_get a i in
+                    if st.ic = 0 then begin
+                      st.isum <- v;
+                      st.imn <- v;
+                      st.imx <- v
+                    end
+                    else begin
+                      st.isum <- st.isum + v;
+                      if v < st.imn then st.imn <- v;
+                      if v > st.imx then st.imx <- v
+                    end;
+                    st.ic <- st.ic + 1
+                  end
+                in
+                if vb.dense then
+                  for i = vb.lo to vb.hi - 1 do
+                    add i
+                  done
+                else
+                  for s = 0 to vb.n - 1 do
+                    add (Array.unsafe_get vb.sel s)
+                  done
+            | AR_float (a, nulls, st) ->
+                (* sum in selection order, min/max via [compare] — the
+                   float image of the generic accumulator, bit-exact *)
+                let add i =
+                  if not (C.bitmap_get nulls i) then begin
+                    let v = Array.unsafe_get a i in
+                    if st.fc = 0 then begin
+                      st.fsum <- v;
+                      st.fmn <- v;
+                      st.fmx <- v
+                    end
+                    else begin
+                      st.fsum <- st.fsum +. v;
+                      if Stdlib.compare v st.fmn < 0 then st.fmn <- v;
+                      if Stdlib.compare v st.fmx > 0 then st.fmx <- v
+                    end;
+                    st.fc <- st.fc + 1
+                  end
+                in
+                if vb.dense then
+                  for i = vb.lo to vb.hi - 1 do
+                    add i
+                  done
+                else
+                  for s = 0 to vb.n - 1 do
+                    add (Array.unsafe_get vb.sel s)
+                  done
+            | AR_col (j, acc) ->
+                let add i =
+                  acc_add false acc (Array.unsafe_get (Array.unsafe_get rows i) j)
+                in
+                if vb.dense then
+                  for i = vb.lo to vb.hi - 1 do
+                    add i
+                  done
+                else
+                  for s = 0 to vb.n - 1 do
+                    add (Array.unsafe_get vb.sel s)
+                  done
+            | AR_expr (f, acc) ->
+                let add i =
+                  acc_add false acc (f (Array.unsafe_get rows i :: orows))
+                in
+                if vb.dense then
+                  for i = vb.lo to vb.hi - 1 do
+                    add i
+                  done
+                else
+                  for s = 0 to vb.n - 1 do
+                    add (Array.unsafe_get vb.sel s)
+                  done)
+          !runs
+      in
+      let c_open orows =
+        open_chain orows;
+        ntot := 0;
+        emitted := false;
+        let cb = match !cbref with Some cb -> cb | None -> assert false in
+        runs := Array.map (mk_run cb) srcs
+      in
+      let c_next () =
+        if !emitted then None
+        else begin
+          let orows = !orows_r in
+          while step () do
+            meter.Meter.agg_rows <- meter.Meter.agg_rows + vb.n;
+            (match root_stat with
+            | Some st -> st.ns_sel_in <- st.ns_sel_in + vb.n
+            | None -> ());
+            ntot := !ntot + vb.n;
+            accumulate orows
+          done;
+          (match strategy with
+          | `Sort -> charge_sort ctx !ntot
+          | `Hash -> ());
+          emitted := true;
+          let o =
+            Array.init (Array.length kinds) (fun k ->
+                run_result kinds.(k) !runs.(k) ~rows_in_group:!ntot)
+          in
+          out.B.data.(0) <- o;
+          out.B.len <- 1;
+          Some out
+        end
+      in
+      { c_open; c_next; c_close = close_chain }
+
+(* ------------------------------------------------------------------ *)
+(* The hybrid choice                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Estimated rows entering the pipeline. The planner hint (threaded by
+   callers that ran {!Planner.Plan_est}) takes precedence; without one
+   the table's cardinality stands in. *)
+let pipeline_card (ctx : ctx) (cd : chain_desc) : float =
+  match ctx.card_of cd.cd_scan with
+  | Some c -> c
+  | None ->
+      float_of_int (Relation.cardinality (Db.relation ctx.db cd.cd_table))
+
+(** Vectorize [p] if it is a vectorizable pipeline chain and the engine
+    mode (plus, under [Auto], the estimated pipeline cardinality
+    against {!Cursor.ctx.vector_threshold}) selects the columnar path.
+    Returns the {e unwrapped} root cursor — the executor's standard
+    prepare wrapper charges the root node, exactly as for a row
+    cursor. *)
+let try_root (ctx : ctx) (scopes : layout list) (p : Plan.t) : cursor option =
+  match chain_of p with
+  | None -> None
+  | Some cd ->
+      let use =
+        match ctx.engine with
+        | Row -> false
+        | Vector -> true
+        | Auto -> pipeline_card ctx cd >= ctx.vector_threshold
+      in
+      if not use then None
+      else begin
+        (match ctx.estats with
+        | Some es -> es.es_vector <- es.es_vector + 1
+        | None -> ());
+        Some (build ctx scopes cd)
+      end

@@ -203,3 +203,11 @@ let estimate (cat : Catalog.t) (plan : Plan.t) :
   let tbl = Ptbl.create 64 in
   let root = est cat tbl plan in
   (root.Info.ri_rows, fun p -> Ptbl.find_opt tbl p)
+
+(** Per-node cardinality hints for the executor's hybrid engine choice:
+    estimated output rows per invocation, keyed by physical identity —
+    the shape of [Exec.Executor.execute]'s [card_of] callback. The
+    executor consults the hint of each pipeline's source scan when
+    deciding between the row and vectorized interpretations. *)
+let pipeline_hints (cat : Catalog.t) (plan : Plan.t) : Plan.t -> float option =
+  snd (estimate cat plan)

@@ -50,6 +50,11 @@ type config = {
   batch_size : int;
       (** rows per block in the executor; results and meter totals do
           not depend on it, only throughput does *)
+  engine : Exec.Executor.engine;
+      (** execution engine policy: [Auto] picks row or vectorized per
+          pipeline from the cached plan's cardinality estimates; [Row]
+          and [Vector] force one path. Results and meter totals do not
+          depend on it. *)
 }
 
 let default_config =
@@ -59,6 +64,7 @@ let default_config =
     driver = D.default_config;
     trace = Tr.Off;
     batch_size = Exec.Executor.default_batch_size;
+    engine = Exec.Executor.Auto;
   }
 
 (** How a probe was resolved. *)
@@ -91,6 +97,12 @@ type t = {
   cfg : config;
   cache : Plan_cache.t;
   tracer : Tr.t;
+  hints : (Exec.Plan.t -> float option) Exec.Executor.Ptbl.t;
+      (** per-cached-plan cardinality hints for the hybrid engine
+          choice, memoized by plan physical identity so the estimator
+          runs once per plan rather than once per execution *)
+  estats : Exec.Executor.engine_stats;
+      (** pipeline engine choices accumulated over every execution *)
   mutable soft_parses : int;
   mutable soft_s : float;  (** total soft-parse seconds *)
   mutable hard_parses : int;
@@ -103,6 +115,8 @@ let create ?(config = default_config) (db : Db.t) : t =
     cfg = config;
     cache = Plan_cache.create ~capacity:config.capacity ();
     tracer = Tr.create config.trace;
+    hints = Exec.Executor.Ptbl.create 64;
+    estats = Exec.Executor.engine_stats_create ();
     soft_parses = 0;
     soft_s = 0.;
     hard_parses = 0;
@@ -111,6 +125,23 @@ let create ?(config = default_config) (db : Db.t) : t =
 
 let cache t = t.cache
 let tracer t = t.tracer
+
+let engine_stats t = t.estats
+(** Pipeline engine choices accumulated over every execution. *)
+
+(** Cardinality hints of [plan], estimated once per distinct (cached)
+    plan. The memo table is bounded alongside the plan cache: when
+    cache churn lets it outgrow the cache by 4x, it is rebuilt from
+    scratch rather than tracking evictions entry by entry. *)
+let hints_of t (plan : Exec.Plan.t) : Exec.Plan.t -> float option =
+  match Exec.Executor.Ptbl.find_opt t.hints plan with
+  | Some h -> h
+  | None ->
+      if Exec.Executor.Ptbl.length t.hints > 4 * t.cfg.capacity then
+        Exec.Executor.Ptbl.reset t.hints;
+      let h = Planner.Plan_est.pipeline_hints t.db.Db.cat plan in
+      Exec.Executor.Ptbl.add t.hints plan h;
+      h
 
 let epochs_of t (tables : string list) : (string * int) list =
   List.map (fun tb -> (tb, Catalog.epoch t.db.Db.cat tb)) tables
@@ -201,10 +232,27 @@ let exec_ir t (q : A.query) (binds : Value.t list) : exec_result =
   let peeked, extracted = Fp.parameterize peeked in
   let ann, outcome, parse_s = resolve t peeked in
   let all_binds = Array.append user (Array.of_list extracted) in
+  let plan = ann.Planner.Annotation.an_plan in
+  let card_of = hints_of t plan in
+  let es = Exec.Executor.engine_stats_create () in
   let layout, rows, _meter =
-    Exec.Executor.execute ~binds:all_binds ~batch_size:t.cfg.batch_size t.db
-      ann.Planner.Annotation.an_plan
+    Tr.wrap_with t.tracer Tr.Cache "execute" (fun sp ->
+        let r =
+          Exec.Executor.execute ~binds:all_binds ~batch_size:t.cfg.batch_size
+            ~engine:t.cfg.engine ~card_of ~engine_stats:es t.db plan
+        in
+        Tr.add_attrs sp
+          [
+            ("engine", Tr.S (Exec.Executor.engine_name t.cfg.engine));
+            ("pipelines_vectorized", Tr.I es.Exec.Executor.es_vector);
+            ("pipelines_row", Tr.I es.Exec.Executor.es_row);
+          ];
+        r)
   in
+  t.estats.Exec.Executor.es_vector <-
+    t.estats.Exec.Executor.es_vector + es.Exec.Executor.es_vector;
+  t.estats.Exec.Executor.es_row <-
+    t.estats.Exec.Executor.es_row + es.Exec.Executor.es_row;
   {
     r_layout = layout;
     r_rows = rows;
