@@ -433,8 +433,17 @@ let serve_cmd =
         | Some f -> V.Float f
         | None -> V.Str s)
   in
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:
+            "on exit, write a JSON snapshot of the metrics registry and the \
+             per-fingerprint query store to $(docv)")
+  in
   let run file workload repeat seed capacity batch_size min_hit_rate
-      validate_trace binds engine =
+      validate_trace binds engine metrics_out =
     let module Svc = Service in
     let module Pc = Service.Plan_cache in
     let bvs = List.map bind_value binds in
@@ -488,7 +497,7 @@ let serve_cmd =
         (* each statement consumes only the binds it references *)
         let need = Sqlir.Fingerprint.binds_count q in
         let r = Svc.exec_ir svc q (List.filteri (fun i _ -> i < need) bvs) in
-        List.length r.Svc.r_rows
+        r.Svc.r_nrows
       with
       | Sqlparse.Parser.Parse_error msg ->
           Fmt.epr "serve: parse error: %s@." msg;
@@ -515,6 +524,23 @@ let serve_cmd =
         hits !last_rate
     done;
     Fmt.pr "%a" Svc.pp_report (Svc.report svc);
+    (match metrics_out with
+    | None -> ()
+    | Some f ->
+        let doc =
+          Obs.Json.to_string
+            (Obs.Json.Obj
+               [
+                 ("registry", Obs.Metrics.to_json Obs.Metrics.default);
+                 ( "query_store",
+                   Obs.Query_store.to_json (Svc.query_store svc) );
+               ])
+        in
+        let oc = open_out f in
+        output_string oc doc;
+        output_char oc '\n';
+        close_out oc;
+        Fmt.epr "wrote %s (%d bytes)@." f (String.length doc));
     let bad_rate =
       match min_hit_rate with
       | Some m when !last_rate < m ->
@@ -548,7 +574,119 @@ let serve_cmd =
           timings")
     Term.(
       const run $ file $ workload $ repeat $ seed $ capacity $ batch_size
-      $ min_hit_rate $ validate_trace $ binds $ engine_arg)
+      $ min_hit_rate $ validate_trace $ binds $ engine_arg $ metrics_out)
+
+let stats_cmd =
+  let workload =
+    Arg.(
+      value & opt int 60
+      & info [ "workload" ] ~docv:"N" ~doc:"generated workload queries to run")
+  in
+  let seed =
+    Arg.(value & opt int 2006 & info [ "seed" ] ~doc:"workload seed")
+  in
+  let repeat =
+    Arg.(
+      value & opt int 2
+      & info [ "repeat" ] ~docv:"R"
+          ~doc:
+            "passes over the workload (later passes soft-parse against the \
+             warm plan cache)")
+  in
+  let top =
+    Arg.(
+      value & opt int 10
+      & info [ "top" ] ~docv:"N" ~doc:"rows per query-store top-N table")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "emit the registry + query-store snapshot as JSON instead of \
+             the console tables")
+  in
+  let prom =
+    Arg.(
+      value & flag
+      & info [ "prom" ]
+          ~doc:
+            "emit the registry in Prometheus text exposition format instead \
+             of the console tables")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE" ~doc:"write the output to $(docv)")
+  in
+  let run workload seed repeat top json prom out engine =
+    let module Svc = Service in
+    let module Mx = Obs.Metrics in
+    (* a fresh run: the default registry is process-wide, so zero it *)
+    Mx.reset Mx.default;
+    let db, schema =
+      Workload.Schema_gen.build ~families:2 ~sample_frac:0.3 ~seed ()
+    in
+    let g = Workload.Query_gen.create ~seed schema in
+    let items = Workload.Query_gen.workload g workload in
+    let config =
+      {
+        Svc.default_config with
+        Svc.engine;
+        metrics = true;
+        (* analyze-mode execution feeds per-operator Q-error into the
+           query store — the point of the stats report *)
+        feedback = true;
+      }
+    in
+    let svc = Svc.create ~config db in
+    for _pass = 1 to max 1 repeat do
+      List.iter
+        (fun it -> ignore (Svc.exec_ir svc it.Workload.Query_gen.it_query []))
+        items
+    done;
+    ignore (Svc.report svc);
+    (* refreshes the cache gauges *)
+    let emit doc =
+      match out with
+      | None -> print_string doc
+      | Some f ->
+          let oc = open_out f in
+          output_string oc doc;
+          close_out oc;
+          Fmt.epr "wrote %s (%d bytes)@." f (String.length doc)
+    in
+    (match (json, prom) with
+    | true, _ ->
+        emit
+          (Obs.Json.to_string
+             (Obs.Json.Obj
+                [
+                  ("registry", Mx.to_json Mx.default);
+                  ( "query_store",
+                    Obs.Query_store.to_json (Svc.query_store svc) );
+                ])
+          ^ "\n")
+    | false, true -> emit (Mx.to_prometheus Mx.default)
+    | false, false ->
+        Fmt.pr "-- metrics registry --@.%s@." (Mx.to_text Mx.default);
+        Fmt.pr "-- query store --@.%s@."
+          (Obs.Query_store.report_string ~top_n:top (Svc.query_store svc));
+        Fmt.pr "%a" Svc.pp_report (Svc.report svc));
+    0
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Run a generated workload through the service with metrics and \
+          EXPLAIN-ANALYZE feedback on, then print the metrics registry and \
+          the per-fingerprint query-store top-N tables (by total time, by \
+          Q-error, by executions); $(b,--json) / $(b,--prom) emit \
+          machine-readable snapshots")
+    Term.(
+      const run $ workload $ seed $ repeat $ top $ json $ prom $ out
+      $ engine_arg)
 
 let schema_cmd =
   let run () =
@@ -740,4 +878,12 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group (Cmd.info "cbqt" ~doc)
-          [ explain_cmd; run_cmd; serve_cmd; trace_cmd; schema_cmd; check_cmd ]))
+          [
+            explain_cmd;
+            run_cmd;
+            serve_cmd;
+            stats_cmd;
+            trace_cmd;
+            schema_cmd;
+            check_cmd;
+          ]))

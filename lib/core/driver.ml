@@ -45,6 +45,7 @@ module A = Ast
 module Opt = Planner.Optimizer
 module T = Transform
 module Tr = Obs.Trace
+module Mx = Obs.Metrics
 
 type decision = D_off | D_heuristic | D_cost
 
@@ -707,28 +708,47 @@ let optimize ?(config = default_config) (cat : Catalog.t) (q : A.query) :
     List.fold_left (fun acc s -> acc + s.sr_states) 0 ctx.steps
   in
   let st = Opt.stats opt in
-  {
-    res_query = q';
-    res_annotation = ann;
-    res_report =
-      {
-        rp_steps = List.rev ctx.steps;
-        rp_states_total = states_total;
-        rp_states_cutoff = ctx.states_cutoff;
-        rp_states_errored = ctx.states_errored;
-        rp_blocks_started = st.Planner.Opt_stats.blocks_started;
-        rp_blocks_optimized = st.Planner.Opt_stats.blocks_optimized;
-        rp_ident_hits = st.Planner.Opt_stats.ident_hits;
-        rp_fp_hits = st.Planner.Opt_stats.fp_hits;
-        rp_cache_hits = Planner.Opt_stats.cache_hits st;
-        rp_dp_pruned = st.Planner.Opt_stats.dp_pruned;
-        rp_dirty_misses = st.Planner.Opt_stats.dirty_misses;
-        rp_fp_collisions = st.Planner.Opt_stats.fp_collisions;
-        rp_final_cost = ann.Planner.Annotation.an_cost;
-        rp_opt_seconds = t1 -. t0;
-      };
-    res_trace = tr;
-  }
+  let report =
+    {
+      rp_steps = List.rev ctx.steps;
+      rp_states_total = states_total;
+      rp_states_cutoff = ctx.states_cutoff;
+      rp_states_errored = ctx.states_errored;
+      rp_blocks_started = st.Planner.Opt_stats.blocks_started;
+      rp_blocks_optimized = st.Planner.Opt_stats.blocks_optimized;
+      rp_ident_hits = st.Planner.Opt_stats.ident_hits;
+      rp_fp_hits = st.Planner.Opt_stats.fp_hits;
+      rp_cache_hits = Planner.Opt_stats.cache_hits st;
+      rp_dp_pruned = st.Planner.Opt_stats.dp_pruned;
+      rp_dirty_misses = st.Planner.Opt_stats.dirty_misses;
+      rp_fp_collisions = st.Planner.Opt_stats.fp_collisions;
+      rp_final_cost = ann.Planner.Annotation.an_cost;
+      rp_opt_seconds = t1 -. t0;
+    }
+  in
+  (* publish the run's totals to the process-wide metrics registry:
+     every hard parse contributes, so the registry accumulates what a
+     single report only shows per run *)
+  (if !Mx.enabled then begin
+     let c name = Mx.counter Mx.default name in
+     Mx.add (c "cbqt_states_total") report.rp_states_total;
+     Mx.add (c "cbqt_states_cutoff_total") report.rp_states_cutoff;
+     Mx.add (c "cbqt_states_errored_total") report.rp_states_errored;
+     Mx.add (c "cbqt_blocks_optimized_total") report.rp_blocks_optimized;
+     Mx.add (c "cbqt_annot_reuse_total") report.rp_cache_hits;
+     Mx.add (c "cbqt_dp_pruned_total") report.rp_dp_pruned;
+     Mx.observe
+       (Mx.histogram Mx.default "cbqt_optimize_seconds")
+       report.rp_opt_seconds;
+     List.iter
+       (fun s ->
+         let labels = [ ("tx", s.sr_name) ] in
+         Mx.inc (Mx.counter ~labels Mx.default "cbqt_tx_attempts_total");
+         if List.exists Fun.id s.sr_chosen then
+           Mx.inc (Mx.counter ~labels Mx.default "cbqt_tx_accepts_total"))
+       report.rp_steps
+   end);
+  { res_query = q'; res_annotation = ann; res_report = report; res_trace = tr }
 
 (** Stable, aligned report format: one [label value] line per counter
     (fixed label column, counters in a fixed order), then one aligned

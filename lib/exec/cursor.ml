@@ -44,6 +44,40 @@ type engine_stats = { mutable es_vector : int; mutable es_row : int }
 
 let engine_stats_create () = { es_vector = 0; es_row = 0 }
 
+(* process-wide metrics riding along the per-execution counters: engine
+   dispatch totals and the batch-fill histogram. Handles are lazy so the
+   registry entries only exist once an executor actually runs, and
+   cached so the hot path is one bool check plus a field bump. *)
+module Mx = Obs.Metrics
+
+let m_dispatch_row =
+  lazy
+    (Mx.counter
+       ~labels:[ ("engine", "row") ]
+       Mx.default "exec_pipeline_dispatch_total")
+
+let m_dispatch_vector =
+  lazy
+    (Mx.counter
+       ~labels:[ ("engine", "vector") ]
+       Mx.default "exec_pipeline_dispatch_total")
+
+let m_batch_fill = lazy (Mx.histogram Mx.default "exec_batch_fill_rows")
+
+(** Count one pipeline dispatched to the row engine (per-execution
+    stats plus the process-wide counter). *)
+let dispatch_row (es : engine_stats option) =
+  (match es with Some es -> es.es_row <- es.es_row + 1 | None -> ());
+  if !Mx.enabled then Mx.inc (Lazy.force m_dispatch_row)
+
+(** Count one pipeline dispatched to the vectorized engine. *)
+let dispatch_vector (es : engine_stats option) =
+  (match es with Some es -> es.es_vector <- es.es_vector + 1 | None -> ());
+  if !Mx.enabled then Mx.inc (Lazy.force m_dispatch_vector)
+
+let observe_batch_fill (b : B.t) =
+  if !Mx.enabled then Mx.observe_int (Lazy.force m_batch_fill) b.B.len
+
 (* ------------------------------------------------------------------ *)
 (* Analyze-mode statistics                                              *)
 (* ------------------------------------------------------------------ *)
@@ -200,6 +234,7 @@ let iter_rows (c : cursor) (orows : row list) (f : row -> unit) : unit =
   let rec go () =
     match c.c_next () with
     | Some b ->
+        observe_batch_fill b;
         B.iter f b;
         go ()
     | None -> ()
@@ -214,6 +249,7 @@ let drain (c : cursor) (orows : row list) : Vec.t =
   let rec go () =
     match c.c_next () with
     | Some b ->
+        observe_batch_fill b;
         B.iter (Vec.push v) b;
         go ()
     | None -> ()

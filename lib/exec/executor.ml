@@ -476,9 +476,7 @@ and prepare_node (ctx : ctx) (scopes : layout list) (p : Plan.t) : cursor =
   | Plan.Table_scan { table; alias = _; filter } ->
       (* reaching this branch means the vectorized engine declined the
          pipeline above this scan (or mode Row): one row choice *)
-      (match ctx.estats with
-      | Some es -> es.es_row <- es.es_row + 1
-      | None -> ());
+      dispatch_row ctx.estats;
       let rel = Db.relation ctx.db table in
       let ftest = compile_filter ~meter ~binds self_layout scopes filter in
       let out = B.create size in
@@ -508,9 +506,7 @@ and prepare_node (ctx : ctx) (scopes : layout list) (p : Plan.t) : cursor =
       { c_open; c_next; c_close = (fun () -> ()) }
   | Plan.Index_scan { table; alias = _; index; prefix; lo; hi; filter } ->
       (* index scans always run the row path: one row choice *)
-      (match ctx.estats with
-      | Some es -> es.es_row <- es.es_row + 1
-      | None -> ());
+      dispatch_row ctx.estats;
       let rel = Db.relation ctx.db table in
       let bt = Db.index ctx.db ~table ~name:index in
       let fprefix = List.map (Eval.compile_expr ~meter ~binds scopes) prefix in

@@ -150,25 +150,56 @@ let add acc d =
   acc.expensive_calls <- acc.expensive_calls + d.expensive_calls;
   acc.key_build <- acc.key_build + d.key_build
 
-(** Field name / value pairs, for structured sinks and for tests that
-    check meter algebra field by field. *)
-let to_fields t =
+(** The single canonical ordering of meter field names. Everything that
+    renders or keys meter fields — {!to_fields}, EXPLAIN ANALYZE
+    columns, trace sinks, the metrics registry, the query store — must
+    derive from this list so a newly added field cannot silently drift
+    out of one surface (a sync unit test enforces it). *)
+let field_names =
   [
-    ("rows_scanned", t.rows_scanned);
-    ("pages_read", t.pages_read);
-    ("idx_probes", t.idx_probes);
-    ("idx_entries", t.idx_entries);
-    ("rows_joined", t.rows_joined);
-    ("hash_build", t.hash_build);
-    ("hash_probe", t.hash_probe);
-    ("sort_compares", t.sort_compares);
-    ("agg_rows", t.agg_rows);
-    ("rows_out", t.rows_out);
-    ("subq_execs", t.subq_execs);
-    ("subq_cache_hits", t.subq_cache_hits);
-    ("expensive_calls", t.expensive_calls);
-    ("key_build", t.key_build);
+    "rows_scanned";
+    "pages_read";
+    "idx_probes";
+    "idx_entries";
+    "rows_joined";
+    "hash_build";
+    "hash_probe";
+    "sort_compares";
+    "agg_rows";
+    "rows_out";
+    "subq_execs";
+    "subq_cache_hits";
+    "expensive_calls";
+    "key_build";
   ]
+
+(** Field values in the canonical {!field_names} order, as one flat
+    array. The allocation-light accessor for per-execution accounting
+    (metrics registry, query store): one unboxed int array, no pairs. *)
+let values t =
+  [|
+    t.rows_scanned;
+    t.pages_read;
+    t.idx_probes;
+    t.idx_entries;
+    t.rows_joined;
+    t.hash_build;
+    t.hash_probe;
+    t.sort_compares;
+    t.agg_rows;
+    t.rows_out;
+    t.subq_execs;
+    t.subq_cache_hits;
+    t.expensive_calls;
+    t.key_build;
+  |]
+
+(** Field name / value pairs, for structured sinks and for tests that
+    check meter algebra field by field. Built by zipping the canonical
+    {!field_names} with {!values} — [List.combine] raises if the two
+    ever disagree in length, so a field added to {!t} without a name
+    (or vice versa) fails loudly. *)
+let to_fields t = List.combine field_names (Array.to_list (values t))
 
 let pp ppf t =
   Fmt.pf ppf

@@ -827,8 +827,6 @@ let try_root (ctx : ctx) (scopes : layout list) (p : Plan.t) : cursor option =
       in
       if not use then None
       else begin
-        (match ctx.estats with
-        | Some es -> es.es_vector <- es.es_vector + 1
-        | None -> ());
+        dispatch_vector ctx.estats;
         Some (build ctx scopes cd)
       end

@@ -1,0 +1,411 @@
+(** Metrics registry: named counters, gauges and log-bucketed
+    histograms with JSON and Prometheus exporters.
+
+    The registry is the always-on complement of {!Trace}: traces record
+    {e one} run in full detail, the registry accumulates {e every} run
+    into constant-memory aggregates that survive a whole [serve]
+    session. Metrics are created once (find-or-create by name + label
+    set) and then updated by direct field mutation, so the hot-path
+    cost of a counter bump is one load and one store; call sites that
+    sit inside per-batch loops additionally gate on {!enabled} so the
+    bench can measure the on/off delta honestly.
+
+    Histograms are log-bucketed at a fixed ~1.2x ratio: bucket [i >= 1]
+    covers [(lo*r^(i-1), lo*r^i]] with [lo = 1e-9] and [r = 1.2],
+    bucket [0] is the underflow bucket ([v <= lo]), and the last bucket
+    absorbs overflow. One histogram is a fixed [int array] (constant
+    memory, no per-observation allocation) plus exact count / sum /
+    min / max, so any quantile readout is within one bucket ratio
+    (~20%) of the exact sorted-order quantile — the property the test
+    suite checks — and two histograms merge by field-wise addition into
+    exactly the histogram that would have recorded both value streams.
+
+    Deliberately dependency-free (stdlib + {!Json}) so every layer of
+    the system, including the executor's inner loops, can charge
+    metrics without a dependency cycle. *)
+
+(* ------------------------------------------------------------------ *)
+(* Bucket scheme                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let bucket_ratio = 1.2
+let bucket_lo = 1e-9
+
+(** Bucket count: [lo * ratio^(n-2)] must clear the largest values we
+    ever record (row counts up to ~1e12, seconds up to ~1e3). 268 log
+    buckets reach [1e-9 * 1.2^267 ~ 1.4e12]. *)
+let n_buckets = 268
+
+let inv_log_ratio = 1. /. Float.log bucket_ratio
+
+(** Upper edge of bucket [i] (the value reported for quantiles landing
+    in it). *)
+let bucket_upper i =
+  if i <= 0 then bucket_lo else bucket_lo *. (bucket_ratio ** float_of_int i)
+
+let bucket_of (v : float) : int =
+  if not (v > bucket_lo) then 0
+  else
+    let i =
+      1 + int_of_float (Float.floor (Float.log (v /. bucket_lo) *. inv_log_ratio))
+    in
+    if i >= n_buckets then n_buckets - 1 else i
+
+(* ------------------------------------------------------------------ *)
+(* Metric records                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type counter = {
+  c_name : string;
+  c_labels : (string * string) list;
+  mutable c_value : int;
+}
+
+type gauge = {
+  g_name : string;
+  g_labels : (string * string) list;
+  mutable g_value : float;
+}
+
+type histogram = {
+  h_name : string;
+  h_labels : (string * string) list;
+  h_buckets : int array;  (** per-bucket observation counts *)
+  mutable h_count : int;
+  h_stats : float array;
+      (** [sum; min; max] — exact; min is [infinity] and max
+          [neg_infinity] while empty. A flat float array rather than
+          mutable float fields: in a mixed record every float store
+          boxes, so the hot [observe] path would allocate per
+          observation. *)
+}
+
+let hist_sum h = h.h_stats.(0)
+let hist_min h = h.h_stats.(1)
+let hist_max h = h.h_stats.(2)
+
+type metric = Counter of counter | Gauge of gauge | Histogram of histogram
+
+(** Process-wide switch for call sites inside hot loops (per-batch,
+    per-pipeline). Registry bookkeeping itself is always available;
+    this only gates the highest-frequency observation points so the
+    bench can measure metrics-on vs metrics-off. *)
+let enabled = ref true
+
+let inc c = c.c_value <- c.c_value + 1
+let add c n = c.c_value <- c.c_value + n
+let set g v = g.g_value <- v
+
+let observe h v =
+  let i = bucket_of v in
+  h.h_buckets.(i) <- h.h_buckets.(i) + 1;
+  h.h_count <- h.h_count + 1;
+  let s = h.h_stats in
+  s.(0) <- s.(0) +. v;
+  if v < s.(1) then s.(1) <- v;
+  if v > s.(2) then s.(2) <- v
+
+(* small non-negative ints (batch fills, row counts) hit a precomputed
+   bucket table instead of paying a [Float.log] per observation — the
+   integer observation points sit in per-batch loops. Kept as [Bytes]
+   (4 KB, one page) rather than an int array (32 KB) to limit cache
+   footprint on the hot path; bucket_of 4095. = 160 so every index
+   fits a byte with current bucket constants (checked at build). *)
+let int_bucket_table =
+  lazy
+    (Bytes.init 4096 (fun i ->
+         let b = bucket_of (float_of_int i) in
+         assert (b < 256);
+         Char.chr b))
+
+let observe_int h n =
+  if n >= 0 && n < 4096 then begin
+    let v = float_of_int n in
+    let i = Char.code (Bytes.unsafe_get (Lazy.force int_bucket_table) n) in
+    h.h_buckets.(i) <- h.h_buckets.(i) + 1;
+    h.h_count <- h.h_count + 1;
+    let s = h.h_stats in
+    s.(0) <- s.(0) +. v;
+    if v < s.(1) then s.(1) <- v;
+    if v > s.(2) then s.(2) <- v
+  end
+  else observe h (float_of_int n)
+
+(** [quantile h q] for [q] in [[0,1]]: the upper edge of the bucket
+    holding the rank-[ceil(q*count)] observation, clamped into
+    [[h_min, h_max]]. For any observation stream of values above
+    {!bucket_lo} this is within one bucket ratio {e above} the exact
+    sorted-order quantile; the underflow bucket carries no bound.
+    [nan] while empty. *)
+let quantile h q =
+  if h.h_count = 0 then nan
+  else begin
+    let rank = int_of_float (Float.ceil (q *. float_of_int h.h_count)) in
+    let rank = max 1 (min rank h.h_count) in
+    let i = ref 0 and cum = ref 0 in
+    while !cum < rank && !i < n_buckets do
+      cum := !cum + h.h_buckets.(!i);
+      if !cum < rank then incr i
+    done;
+    Float.max (hist_min h) (Float.min (bucket_upper !i) (hist_max h))
+  end
+
+let hist_mean h =
+  if h.h_count = 0 then nan else hist_sum h /. float_of_int h.h_count
+
+(** Merge [src] into [dst] field-wise: afterwards [dst] is exactly the
+    histogram that would have recorded both observation streams. *)
+let merge_into ~dst (src : histogram) =
+  Array.iteri (fun i n -> dst.h_buckets.(i) <- dst.h_buckets.(i) + n) src.h_buckets;
+  dst.h_count <- dst.h_count + src.h_count;
+  dst.h_stats.(0) <- dst.h_stats.(0) +. src.h_stats.(0);
+  if src.h_stats.(1) < dst.h_stats.(1) then dst.h_stats.(1) <- src.h_stats.(1);
+  if src.h_stats.(2) > dst.h_stats.(2) then dst.h_stats.(2) <- src.h_stats.(2)
+
+(** Standalone histogram, not attached to any registry (the query
+    store embeds one per entry). *)
+let hist_create ?(labels = []) name =
+  {
+    h_name = name;
+    h_labels = labels;
+    h_buckets = Array.make n_buckets 0;
+    h_count = 0;
+    h_stats = [| 0.; infinity; neg_infinity |];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type t = { tbl : (string, metric) Hashtbl.t }
+
+let create () : t = { tbl = Hashtbl.create 64 }
+
+(** The process-wide default registry. Everything in the system charges
+    here unless handed an explicit registry; exporters snapshot it. *)
+let default : t = create ()
+
+let render_labels = function
+  | [] -> ""
+  | labels ->
+      "{"
+      ^ String.concat ","
+          (List.map
+             (fun (k, v) -> Printf.sprintf "%s=%S" k v)
+             (List.sort compare labels))
+      ^ "}"
+
+let key name labels = name ^ render_labels labels
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Histogram _ -> "histogram"
+
+let find_or_create t name labels (make : unit -> metric) (extract : metric -> 'a)
+    : 'a =
+  let k = key name labels in
+  match Hashtbl.find_opt t.tbl k with
+  | Some m -> extract m
+  | None ->
+      let m = make () in
+      Hashtbl.replace t.tbl k m;
+      extract m
+
+(** Find-or-create a counter. Raises [Invalid_argument] if the name is
+    already registered as a different metric kind. *)
+let counter ?(labels = []) t name : counter =
+  find_or_create t name labels
+    (fun () -> Counter { c_name = name; c_labels = labels; c_value = 0 })
+    (function
+      | Counter c -> c
+      | m ->
+          invalid_arg
+            (Printf.sprintf "Metrics.counter: %s is a %s" name (kind_name m)))
+
+let gauge ?(labels = []) t name : gauge =
+  find_or_create t name labels
+    (fun () -> Gauge { g_name = name; g_labels = labels; g_value = 0. })
+    (function
+      | Gauge g -> g
+      | m ->
+          invalid_arg
+            (Printf.sprintf "Metrics.gauge: %s is a %s" name (kind_name m)))
+
+let histogram ?(labels = []) t name : histogram =
+  find_or_create t name labels
+    (fun () -> Histogram (hist_create ~labels name))
+    (function
+      | Histogram h -> h
+      | m ->
+          invalid_arg
+            (Printf.sprintf "Metrics.histogram: %s is a %s" name (kind_name m)))
+
+(** Zero every metric in place. Registrations (and any handles call
+    sites cached) stay valid — only the accumulated values drop. *)
+let reset t =
+  Hashtbl.iter
+    (fun _ m ->
+      match m with
+      | Counter c -> c.c_value <- 0
+      | Gauge g -> g.g_value <- 0.
+      | Histogram h ->
+          Array.fill h.h_buckets 0 n_buckets 0;
+          h.h_count <- 0;
+          h.h_stats.(0) <- 0.;
+          h.h_stats.(1) <- infinity;
+          h.h_stats.(2) <- neg_infinity)
+    t.tbl
+
+(** Snapshot in deterministic (sorted-key) order. *)
+let sorted_bindings t : (string * metric) list =
+  List.sort
+    (fun (a, _) (b, _) -> compare a b)
+    (Hashtbl.fold (fun k m acc -> (k, m) :: acc) t.tbl [])
+
+(* ------------------------------------------------------------------ *)
+(* Exporters                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let jfloat f = if Float.is_finite f then Json.Float f else Json.Null
+
+(** Histogram summary object: exact count/sum/min/max, the standard
+    quantile readouts, and the sparse bucket array (index, count). *)
+let hist_to_json h : Json.t =
+  let buckets =
+    Array.to_list h.h_buckets
+    |> List.mapi (fun i n -> (i, n))
+    |> List.filter (fun (_, n) -> n > 0)
+    |> List.map (fun (i, n) -> Json.List [ Json.Int i; Json.Int n ])
+  in
+  Json.Obj
+    [
+      ("count", Json.Int h.h_count);
+      ("sum", jfloat (hist_sum h));
+      ("min", jfloat (hist_min h));
+      ("max", jfloat (hist_max h));
+      ("p50", jfloat (quantile h 0.5));
+      ("p90", jfloat (quantile h 0.9));
+      ("p99", jfloat (quantile h 0.99));
+      ("buckets", Json.List buckets);
+    ]
+
+(** JSON snapshot of the whole registry, grouped by metric kind, keys
+    sorted (deterministic for identical metric values). *)
+let to_json t : Json.t =
+  let counters = ref [] and gauges = ref [] and hists = ref [] in
+  List.iter
+    (fun (k, m) ->
+      match m with
+      | Counter c -> counters := (k, Json.Int c.c_value) :: !counters
+      | Gauge g -> gauges := (k, jfloat g.g_value) :: !gauges
+      | Histogram h -> hists := (k, hist_to_json h) :: !hists)
+    (List.rev (sorted_bindings t));
+  Json.Obj
+    [
+      ("counters", Json.Obj !counters);
+      ("gauges", Json.Obj !gauges);
+      ("histograms", Json.Obj !hists);
+    ]
+
+let prom_escape v =
+  String.concat ""
+    (List.map
+       (function
+         | '\\' -> "\\\\" | '"' -> "\\\"" | '\n' -> "\\n" | c -> String.make 1 c)
+       (List.init (String.length v) (String.get v)))
+
+let prom_labels = function
+  | [] -> ""
+  | labels ->
+      "{"
+      ^ String.concat ","
+          (List.map
+             (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (prom_escape v))
+             (List.sort compare labels))
+      ^ "}"
+
+let prom_float f =
+  if Float.is_nan f then "NaN"
+  else if f = infinity then "+Inf"
+  else if f = neg_infinity then "-Inf"
+  else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.9g" f
+
+(** Prometheus text exposition (version 0.0.4): one [# TYPE] line per
+    metric family, histograms as cumulative [_bucket{le=...}] series
+    (up to the last occupied bucket, then [+Inf]) plus [_sum] and
+    [_count]. *)
+let to_prometheus t : string =
+  let buf = Buffer.create 1024 in
+  let typed = Hashtbl.create 16 in
+  let type_line name kind =
+    if not (Hashtbl.mem typed name) then begin
+      Hashtbl.replace typed name ();
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name kind)
+    end
+  in
+  List.iter
+    (fun (_, m) ->
+      match m with
+      | Counter c ->
+          type_line c.c_name "counter";
+          Buffer.add_string buf
+            (Printf.sprintf "%s%s %d\n" c.c_name (prom_labels c.c_labels)
+               c.c_value)
+      | Gauge g ->
+          type_line g.g_name "gauge";
+          Buffer.add_string buf
+            (Printf.sprintf "%s%s %s\n" g.g_name (prom_labels g.g_labels)
+               (prom_float g.g_value))
+      | Histogram h ->
+          type_line h.h_name "histogram";
+          let last =
+            let l = ref (-1) in
+            Array.iteri (fun i n -> if n > 0 then l := i) h.h_buckets;
+            !l
+          in
+          let cum = ref 0 in
+          for i = 0 to last do
+            cum := !cum + h.h_buckets.(i);
+            Buffer.add_string buf
+              (Printf.sprintf "%s_bucket%s %d\n" h.h_name
+                 (prom_labels (("le", prom_float (bucket_upper i)) :: h.h_labels))
+                 !cum)
+          done;
+          Buffer.add_string buf
+            (Printf.sprintf "%s_bucket%s %d\n" h.h_name
+               (prom_labels (("le", "+Inf") :: h.h_labels))
+               h.h_count);
+          Buffer.add_string buf
+            (Printf.sprintf "%s_sum%s %s\n" h.h_name (prom_labels h.h_labels)
+               (prom_float (hist_sum h)));
+          Buffer.add_string buf
+            (Printf.sprintf "%s_count%s %d\n" h.h_name (prom_labels h.h_labels)
+               h.h_count))
+    (sorted_bindings t);
+  Buffer.contents buf
+
+(** Aligned console rendering: counters and gauges one per line,
+    histograms with count / mean / p50 / p90 / p99 / max. *)
+let to_text t : string =
+  let buf = Buffer.create 1024 in
+  let bindings = sorted_bindings t in
+  let width =
+    List.fold_left (fun w (k, _) -> max w (String.length k)) 8 bindings
+  in
+  List.iter
+    (fun (k, m) ->
+      match m with
+      | Counter c -> Buffer.add_string buf (Printf.sprintf "%-*s %d\n" width k c.c_value)
+      | Gauge g ->
+          Buffer.add_string buf (Printf.sprintf "%-*s %.3f\n" width k g.g_value)
+      | Histogram h ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "%-*s count=%d mean=%.3g p50=%.3g p90=%.3g p99=%.3g max=%.3g\n"
+               width k h.h_count (hist_mean h) (quantile h 0.5) (quantile h 0.9)
+               (quantile h 0.99)
+               (if h.h_count = 0 then nan else hist_max h)))
+    bindings;
+  Buffer.contents buf

@@ -1,0 +1,372 @@
+(** Per-fingerprint query store: an AWR-style workload repository.
+
+    One entry per {e Generic} structural fingerprint — the same key the
+    plan cache uses, so every literal variant of a query shape
+    accumulates into one record. Each entry carries execution and
+    parse counts, a latency histogram ({!Metrics.histogram},
+    constant-memory), rows returned, per-field meter totals, the
+    engine mix (row vs vectorized pipelines), transformation
+    attempt/accept counts from the optimizer report of every hard
+    parse, and per-operator Q-error aggregates from EXPLAIN-ANALYZE
+    feedback. This is the data foundation adaptive reoptimization
+    needs: which shapes dominate total time, where estimates go wrong,
+    and whether the cost-based transformations pay off per shape.
+
+    The store is bounded: when a {e new} fingerprint would exceed the
+    capacity, the least-recently-executed entry is evicted (and
+    counted). Hash collisions are disambiguated by the canonical query
+    text, mirroring {!Plan_cache}'s verified probes.
+
+    Deliberately generic (fingerprint [int] + rendered text) so it can
+    live below {!Sqlir} in the build graph; the service layer owns the
+    fingerprinting and rendering. The JSON snapshot separates
+    wall-clock-derived fields under a per-entry ["wall"] object so
+    that, for a fixed workload and seed, the rest of the snapshot is
+    bit-identical across runs — the determinism property the test
+    suite checks. *)
+
+module M = Metrics
+
+type entry = {
+  qe_fp : int;  (** Generic fingerprint hash *)
+  qe_text : string;  (** canonical parameterized query, one line *)
+  mutable qe_execs : int;
+  mutable qe_soft : int;  (** soft parses (cache hits) *)
+  mutable qe_hard : int;  (** hard parses (miss / invalidated / revalidated) *)
+  mutable qe_reval : int;  (** hard parses kept by the cost-delta guard *)
+  mutable qe_inval : int;  (** hard parses that replaced the plan *)
+  mutable qe_rows : int;  (** total rows returned *)
+  qe_secs : float array;
+      (** [exec; parse] total wall seconds. A flat float array rather
+          than mutable float fields so accumulating them in the mixed
+          record does not box per execution. *)
+  qe_latency : M.histogram;  (** per-execution wall seconds *)
+  mutable qe_meter_names : string array;  (** canonical meter field names *)
+  mutable qe_meter : int array;  (** meter field totals, same order *)
+  mutable qe_vec_pipelines : int;
+  mutable qe_row_pipelines : int;
+  qe_tx : (string, int * int) Hashtbl.t;  (** tx -> (attempts, accepts) *)
+  mutable qe_qerr_max : float;  (** worst per-operator Q-error observed *)
+  mutable qe_qerr_sum : float;
+  mutable qe_qerr_n : int;  (** per-operator Q-error samples *)
+  mutable qe_last_used : int;  (** logical clock of the last execution *)
+}
+
+(** Total execution / parse wall seconds accumulated by an entry. *)
+let qe_exec_s e = e.qe_secs.(0)
+
+let qe_parse_s e = e.qe_secs.(1)
+
+type t = {
+  tbl : (int, entry list) Hashtbl.t;
+  capacity : int;
+  mutable clock : int;
+  mutable evictions : int;
+}
+
+let create ?(capacity = 256) () : t =
+  {
+    tbl = Hashtbl.create (max 16 capacity);
+    capacity = max 1 capacity;
+    clock = 0;
+    evictions = 0;
+  }
+
+let length t = Hashtbl.fold (fun _ es n -> n + List.length es) t.tbl 0
+let evictions t = t.evictions
+
+let entries t : entry list =
+  Hashtbl.fold (fun _ es acc -> es @ acc) t.tbl []
+
+let evict_lru t =
+  let victim =
+    Hashtbl.fold
+      (fun _ es acc ->
+        List.fold_left
+          (fun acc e ->
+            match acc with
+            | Some best when best.qe_last_used <= e.qe_last_used -> acc
+            | _ -> Some e)
+          acc es)
+      t.tbl None
+  in
+  match victim with
+  | None -> ()
+  | Some e ->
+      (match Hashtbl.find_opt t.tbl e.qe_fp with
+      | None -> ()
+      | Some es -> (
+          match List.filter (fun e' -> e' != e) es with
+          | [] -> Hashtbl.remove t.tbl e.qe_fp
+          | es' -> Hashtbl.replace t.tbl e.qe_fp es'));
+      t.evictions <- t.evictions + 1
+
+(** One execution observed for fingerprint [fp]. [text] is evaluated
+    only when the entry is created (rendering the canonical query is
+    not hot-path work). [meter] is the execution's meter delta in the
+    canonical order named by [meter_names] ([Exec.Meter.field_names]
+    upstream); callers pass one shared physically-equal [meter_names]
+    array, which keeps accumulation a positional unboxed loop on the
+    hot path. Returns the (created or updated) entry so the caller can
+    attach hard-parse and feedback data. *)
+let observe t ~(fp : int) ~(text : unit -> string) ~(outcome : string)
+    ~(rows : int) ~(exec_s : float) ~(parse_s : float)
+    ~(meter_names : string array) ~(meter : int array)
+    ~(vec_pipelines : int) ~(row_pipelines : int) : entry =
+  let bucket =
+    match Hashtbl.find_opt t.tbl fp with None -> [] | Some es -> es
+  in
+  let e =
+    match
+      match bucket with
+      | [ e ] -> Some e (* common case: no collision, skip rendering *)
+      | [] -> None
+      | es ->
+          let txt = text () in
+          List.find_opt (fun e -> e.qe_text = txt) es
+    with
+    | Some e -> e
+    | None ->
+        while length t >= t.capacity do
+          evict_lru t
+        done;
+        let e =
+          {
+            qe_fp = fp;
+            qe_text = text ();
+            qe_execs = 0;
+            qe_soft = 0;
+            qe_hard = 0;
+            qe_reval = 0;
+            qe_inval = 0;
+            qe_rows = 0;
+            qe_secs = [| 0.; 0. |];
+            qe_latency = M.hist_create "latency_seconds";
+            qe_meter_names = meter_names;
+            qe_meter = Array.make (Array.length meter_names) 0;
+            qe_vec_pipelines = 0;
+            qe_row_pipelines = 0;
+            qe_tx = Hashtbl.create 8;
+            qe_qerr_max = nan;
+            qe_qerr_sum = 0.;
+            qe_qerr_n = 0;
+            qe_last_used = 0;
+          }
+        in
+        Hashtbl.replace t.tbl fp
+          (e :: (match Hashtbl.find_opt t.tbl fp with None -> [] | Some es -> es));
+        e
+  in
+  t.clock <- t.clock + 1;
+  e.qe_last_used <- t.clock;
+  e.qe_execs <- e.qe_execs + 1;
+  (match outcome with
+  | "hit" -> e.qe_soft <- e.qe_soft + 1
+  | "miss" -> e.qe_hard <- e.qe_hard + 1
+  | "revalidated" ->
+      e.qe_hard <- e.qe_hard + 1;
+      e.qe_reval <- e.qe_reval + 1
+  | "invalidated" ->
+      e.qe_hard <- e.qe_hard + 1;
+      e.qe_inval <- e.qe_inval + 1
+  | _ -> e.qe_hard <- e.qe_hard + 1);
+  e.qe_rows <- e.qe_rows + rows;
+  e.qe_secs.(0) <- e.qe_secs.(0) +. exec_s;
+  e.qe_secs.(1) <- e.qe_secs.(1) +. parse_s;
+  M.observe e.qe_latency exec_s;
+  (if
+     e.qe_meter_names == meter_names
+     && Array.length meter = Array.length e.qe_meter
+   then
+     (* common case: one shared canonical name array per process, so
+        accumulation is a positional unboxed add — no allocation, no
+        string compares, no write barrier *)
+     Array.iteri (fun i v -> e.qe_meter.(i) <- e.qe_meter.(i) + v) meter
+   else
+     (* name array drifted (a second canonical list in one process —
+        should not happen) — merge by name, appending unknown fields *)
+     Array.iteri
+       (fun i v ->
+         let name = meter_names.(i) in
+         match
+           Array.find_index (String.equal name) e.qe_meter_names
+         with
+         | Some j -> e.qe_meter.(j) <- e.qe_meter.(j) + v
+         | None ->
+             e.qe_meter_names <-
+               Array.append e.qe_meter_names [| name |];
+             e.qe_meter <- Array.append e.qe_meter [| v |])
+       meter);
+  e.qe_vec_pipelines <- e.qe_vec_pipelines + vec_pipelines;
+  e.qe_row_pipelines <- e.qe_row_pipelines + row_pipelines;
+  e
+
+(** Record one transformation attempt (and whether its rewrite was
+    accepted) from a hard parse's optimizer report. *)
+let record_tx (e : entry) ~(name : string) ~(accepted : bool) : unit =
+  let att, acc =
+    match Hashtbl.find_opt e.qe_tx name with Some p -> p | None -> (0, 0)
+  in
+  Hashtbl.replace e.qe_tx name (att + 1, if accepted then acc + 1 else acc)
+
+(** Fold per-operator Q-errors of one EXPLAIN-ANALYZE run into the
+    entry's max / mean aggregates. *)
+let record_qerr (e : entry) (qerrs : float list) : unit =
+  List.iter
+    (fun q ->
+      if Float.is_finite q then begin
+        if Float.is_nan e.qe_qerr_max || q > e.qe_qerr_max then
+          e.qe_qerr_max <- q;
+        e.qe_qerr_sum <- e.qe_qerr_sum +. q;
+        e.qe_qerr_n <- e.qe_qerr_n + 1
+      end)
+    qerrs
+
+let qerr_mean e =
+  if e.qe_qerr_n = 0 then nan else e.qe_qerr_sum /. float_of_int e.qe_qerr_n
+
+(* ------------------------------------------------------------------ *)
+(* Top-N reports                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type order = By_time | By_qerr | By_execs
+
+let order_name = function
+  | By_time -> "total time"
+  | By_qerr -> "q-error"
+  | By_execs -> "executions"
+
+(** Sort key: the requested measure descending, then (fp, text) for a
+    deterministic total order. *)
+let top t (order : order) (n : int) : entry list =
+  let measure e =
+    match order with
+    | By_time -> qe_exec_s e +. qe_parse_s e
+    | By_qerr -> if Float.is_nan e.qe_qerr_max then neg_infinity else e.qe_qerr_max
+    | By_execs -> float_of_int e.qe_execs
+  in
+  let sorted =
+    List.sort
+      (fun a b ->
+        match compare (measure b) (measure a) with
+        | 0 -> compare (a.qe_fp, a.qe_text) (b.qe_fp, b.qe_text)
+        | c -> c)
+      (entries t)
+  in
+  List.filteri (fun i _ -> i < n) sorted
+
+let truncate_text n s =
+  if String.length s <= n then s else String.sub s 0 (n - 1) ^ "~"
+
+let meter_field e name =
+  match Array.find_index (String.equal name) e.qe_meter_names with
+  | Some i -> e.qe_meter.(i)
+  | None -> 0
+
+(** One aligned top-N table. *)
+let top_table t (order : order) (n : int) : string =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf
+    (Printf.sprintf "top %d by %s\n" n (order_name order));
+  Buffer.add_string buf
+    (Printf.sprintf "  %-16s %6s %5s %5s %9s %9s %8s %7s %7s  %s\n"
+       "fingerprint" "execs" "soft" "hard" "rows" "time_ms" "p99_ms" "qe_max"
+       "qe_mean" "query");
+  List.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %016x %6d %5d %5d %9d %9.2f %8.2f %7s %7s  %s\n"
+           e.qe_fp e.qe_execs e.qe_soft e.qe_hard e.qe_rows
+           (1000. *. (qe_exec_s e +. qe_parse_s e))
+           (1000. *. M.quantile e.qe_latency 0.99)
+           (if Float.is_nan e.qe_qerr_max then "-"
+            else Printf.sprintf "%.2f" e.qe_qerr_max)
+           (if e.qe_qerr_n = 0 then "-"
+            else Printf.sprintf "%.2f" (qerr_mean e))
+           (truncate_text 48 e.qe_text)))
+    (top t order n);
+  Buffer.contents buf
+
+(** The standard three-table report: by total time, by worst Q-error,
+    by executions. *)
+let report_string ?(top_n = 10) t : string =
+  String.concat "\n"
+    [
+      Printf.sprintf "query store: %d fingerprints, %d evictions" (length t)
+        t.evictions;
+      top_table t By_time top_n;
+      top_table t By_qerr top_n;
+      top_table t By_execs top_n;
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* JSON snapshot                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let jfloat f = if Float.is_finite f then Json.Float f else Json.Null
+
+(** Snapshot of one entry. Deterministic for a fixed workload and
+    seed, except the fields under ["wall"] (wall-clock derived:
+    timings and the latency histogram); [wall:false] drops them. *)
+let entry_to_json ?(wall = true) (e : entry) : Json.t =
+  let tx =
+    Hashtbl.fold (fun name (att, acc) l -> (name, att, acc) :: l) e.qe_tx []
+    |> List.sort compare
+    |> List.map (fun (name, att, acc) ->
+           ( name,
+             Json.Obj [ ("attempts", Json.Int att); ("accepts", Json.Int acc) ]
+           ))
+  in
+  let base =
+    [
+      ("fingerprint", Json.Str (Printf.sprintf "%016x" e.qe_fp));
+      ("query", Json.Str e.qe_text);
+      ("executions", Json.Int e.qe_execs);
+      ("soft_parses", Json.Int e.qe_soft);
+      ("hard_parses", Json.Int e.qe_hard);
+      ("revalidated", Json.Int e.qe_reval);
+      ("invalidated", Json.Int e.qe_inval);
+      ("rows", Json.Int e.qe_rows);
+      ( "meter",
+        Json.Obj
+          (List.map2
+             (fun n v -> (n, Json.Int v))
+             (Array.to_list e.qe_meter_names)
+             (Array.to_list e.qe_meter)) );
+      ("vec_pipelines", Json.Int e.qe_vec_pipelines);
+      ("row_pipelines", Json.Int e.qe_row_pipelines);
+      ("transformations", Json.Obj tx);
+      ("qerr_max", jfloat e.qe_qerr_max);
+      ("qerr_mean", jfloat (qerr_mean e));
+      ("qerr_samples", Json.Int e.qe_qerr_n);
+    ]
+  in
+  if not wall then Json.Obj base
+  else
+    Json.Obj
+      (base
+      @ [
+          ( "wall",
+            Json.Obj
+              [
+                ("exec_s", jfloat (qe_exec_s e));
+                ("parse_s", jfloat (qe_parse_s e));
+                ("latency", M.hist_to_json e.qe_latency);
+              ] );
+        ])
+
+(** Whole-store snapshot, entries sorted by (fingerprint, text) so two
+    runs of the same workload produce the same document (modulo the
+    per-entry ["wall"] objects; [wall:false] makes it bit-identical). *)
+let to_json ?(wall = true) t : Json.t =
+  let es =
+    List.sort
+      (fun a b -> compare (a.qe_fp, a.qe_text) (b.qe_fp, b.qe_text))
+      (entries t)
+  in
+  Json.Obj
+    [
+      ("fingerprints", Json.Int (length t));
+      ("evictions", Json.Int t.evictions);
+      ("entries", Json.List (List.map (entry_to_json ~wall) es));
+    ]

@@ -22,6 +22,14 @@
 
 open Sqlir
 module A = Ast
+module Mx = Obs.Metrics
+
+(* the cache's footprint and churn, published to the process-wide
+   registry: memory was previously computed but visible only through
+   the service report *)
+let m_evictions = lazy (Mx.counter Mx.default "plan_cache_evictions_total")
+let m_words = lazy (Mx.gauge Mx.default "plan_cache_memory_words")
+let m_entries = lazy (Mx.gauge Mx.default "plan_cache_entries")
 
 type entry = {
   e_key : A.query;
@@ -124,7 +132,8 @@ let evict_lru t : unit =
   | None -> ()
   | Some (h, e) ->
       remove_entry t ~h e;
-      t.st.evictions <- t.st.evictions + 1
+      t.st.evictions <- t.st.evictions + 1;
+      if !Mx.enabled then Mx.inc (Lazy.force m_evictions)
 
 (** Insert a fresh entry, evicting down to capacity first. Returns the
     stored entry. *)
@@ -151,6 +160,11 @@ let store t ~(h : int) ~(key : A.query) ~(ann : Planner.Annotation.t)
   in
   Hashtbl.replace t.tbl h (e :: bucket);
   t.words <- t.words + e.e_words;
+  if !Mx.enabled then begin
+    (* gauge refresh rides the hard-parse path only — never a probe *)
+    Mx.set (Lazy.force m_words) (float_of_int t.words);
+    Mx.set (Lazy.force m_entries) (float_of_int (length t))
+  end;
   e
 
 (** Replace [old_e] (same hash bucket) with a recompiled entry. *)

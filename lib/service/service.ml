@@ -38,6 +38,8 @@ module D = Cbqt.Driver
 module Db = Storage.Db
 module Fp = Fingerprint
 module Tr = Obs.Trace
+module Mx = Obs.Metrics
+module Qs = Obs.Query_store
 
 type config = {
   capacity : int;  (** plan-cache entry bound *)
@@ -55,6 +57,17 @@ type config = {
           pipeline from the cached plan's cardinality estimates; [Row]
           and [Vector] force one path. Results and meter totals do not
           depend on it. *)
+  metrics : bool;
+      (** publish phase timers / cache outcomes to the process-wide
+          {!Obs.Metrics.default} registry and accumulate the
+          per-fingerprint query store. Also gated by the global
+          {!Obs.Metrics.enabled} switch (the bench's overhead toggle). *)
+  feedback : bool;
+      (** execute in analyze mode and fold per-operator Q-error into
+          the query store — the estimate-quality signal adaptive
+          reoptimization consumes. Costs per-node stat collection, so
+          off by default. *)
+  store_capacity : int;  (** query-store fingerprint bound *)
 }
 
 let default_config =
@@ -65,6 +78,9 @@ let default_config =
     trace = Tr.Off;
     batch_size = Exec.Executor.default_batch_size;
     engine = Exec.Executor.Auto;
+    metrics = true;
+    feedback = false;
+    store_capacity = 256;
   }
 
 (** How a probe was resolved. *)
@@ -87,6 +103,7 @@ let outcome_name = function
 type exec_result = {
   r_layout : Exec.Eval.layout;
   r_rows : Exec.Eval.row list;
+  r_nrows : int;  (** [List.length r_rows], counted once here *)
   r_outcome : outcome;
   r_cost : float;  (** estimated cost of the executed plan *)
   r_parse_s : float;  (** soft- or hard-parse wall clock, seconds *)
@@ -107,7 +124,55 @@ type t = {
   mutable soft_s : float;  (** total soft-parse seconds *)
   mutable hard_parses : int;
   mutable hard_s : float;  (** total hard-parse seconds *)
+  store : Qs.t;
+      (** per-Generic-fingerprint workload repository (AWR-style):
+          execution counts, latency histograms, meter totals,
+          transformation outcomes and Q-error per query shape *)
+  meter_tot : int array;
+      (** per-field meter totals in [Meter.field_names] order. A
+          contiguous accumulator (two cache lines) bumped on every
+          execution; bumping the 14 separately-allocated
+          [svc_meter_total] counter records inline instead measurably
+          dents throughput through cache pressure, so [report]
+          publishes the registry counters from this array lazily. *)
+  meter_pub : int array;
+      (** the prefix of [meter_tot] already published to the registry *)
 }
+
+(* hot-path metric handles, cached so an instrumented exec costs one
+   bool check plus field bumps, never a registry lookup. [Mx.reset]
+   zeroes values in place, so the handles stay valid across resets. *)
+let m_soft_parse =
+  lazy
+    (Mx.histogram ~labels:[ ("kind", "soft") ] Mx.default "svc_parse_seconds")
+
+let m_hard_parse =
+  lazy
+    (Mx.histogram ~labels:[ ("kind", "hard") ] Mx.default "svc_parse_seconds")
+
+let m_execute = lazy (Mx.histogram Mx.default "svc_execute_seconds")
+let m_rows = lazy (Mx.counter Mx.default "svc_rows_returned_total")
+
+let m_outcome name =
+  Mx.counter ~labels:[ ("outcome", name) ] Mx.default "svc_cache_outcomes_total"
+
+let m_oc_hit = lazy (m_outcome "hit")
+let m_oc_miss = lazy (m_outcome "miss")
+let m_oc_inval = lazy (m_outcome "invalidated")
+let m_oc_reval = lazy (m_outcome "revalidated")
+
+(* one counter per canonical meter field, in Meter.field_names order so
+   positional iteration over Meter.values lines up *)
+let m_meter_fields =
+  lazy
+    (Array.of_list
+       (List.map
+          (fun f -> Mx.counter ~labels:[ ("field", f) ] Mx.default "svc_meter_total")
+          Exec.Meter.field_names))
+
+(* the one shared name array the query store keys meter accumulation
+   on (physical equality = the positional fast path) *)
+let meter_names = lazy (Array.of_list Exec.Meter.field_names)
 
 let create ?(config = default_config) (db : Db.t) : t =
   {
@@ -121,10 +186,18 @@ let create ?(config = default_config) (db : Db.t) : t =
     soft_s = 0.;
     hard_parses = 0;
     hard_s = 0.;
+    store = Qs.create ~capacity:config.store_capacity ();
+    meter_tot = Array.make (List.length Exec.Meter.field_names) 0;
+    meter_pub = Array.make (List.length Exec.Meter.field_names) 0;
   }
 
 let cache t = t.cache
 let tracer t = t.tracer
+
+let query_store t = t.store
+(** The per-fingerprint workload repository accumulated by [exec]. *)
+
+let metrics_on t = t.cfg.metrics && !Mx.enabled
 
 let engine_stats t = t.estats
 (** Pipeline engine choices accumulated over every execution. *)
@@ -150,19 +223,30 @@ let epochs_current t (snapshot : (string * int) list) : bool =
   List.for_all (fun (tb, ep) -> Catalog.epoch t.db.Db.cat tb = ep) snapshot
 
 (** Hard parse: run the CBQT pipeline over the peeked parameterized
-    query. *)
-let compile t (peeked : A.query) : Planner.Annotation.t =
-  let res = D.optimize ~config:t.cfg.driver t.db.Db.cat peeked in
-  res.D.res_annotation
+    query. Returns the full driver result so the transformation report
+    can feed the query store. *)
+let compile t (peeked : A.query) : D.result =
+  D.optimize ~config:t.cfg.driver t.db.Db.cat peeked
+
+(** How {!resolve} answered a probe: the annotation plus everything the
+    query store wants to know about the parse. [rs_report] is the hard
+    parse's optimizer report, [None] on a soft parse. *)
+type resolved = {
+  rs_ann : Planner.Annotation.t;
+  rs_outcome : outcome;
+  rs_parse_s : float;
+  rs_fp : int;  (** Generic fingerprint hash *)
+  rs_key : A.query;  (** canonical parameterized query *)
+  rs_report : D.report option;
+}
 
 (** Resolve [peeked] (parameterized query with peeks in place) to an
-    annotation, going through the cache. Returns the annotation, the
-    outcome and the parse time. *)
-let resolve t (peeked : A.query) : Planner.Annotation.t * outcome * float =
+    annotation, going through the cache. *)
+let resolve t (peeked : A.query) : resolved =
   let t0 = Unix.gettimeofday () in
   let key = Fp.canonical ~mode:Fp.Generic peeked in
   let h = Fp.hash ~mode:Fp.Generic key in
-  let finish outcome ann =
+  let finish outcome ?report ann =
     let dt = Unix.gettimeofday () -. t0 in
     (match outcome with
     | Hit ->
@@ -171,17 +255,38 @@ let resolve t (peeked : A.query) : Planner.Annotation.t * outcome * float =
     | Miss | Invalidated | Revalidated ->
         t.hard_parses <- t.hard_parses + 1;
         t.hard_s <- t.hard_s +. dt);
-    (ann, outcome, dt)
+    (if metrics_on t then begin
+       Mx.observe
+         (Lazy.force (match outcome with Hit -> m_soft_parse | _ -> m_hard_parse))
+         dt;
+       Mx.inc
+         (Lazy.force
+            (match outcome with
+            | Hit -> m_oc_hit
+            | Miss -> m_oc_miss
+            | Invalidated -> m_oc_inval
+            | Revalidated -> m_oc_reval))
+     end);
+    {
+      rs_ann = ann;
+      rs_outcome = outcome;
+      rs_parse_s = dt;
+      rs_fp = h;
+      rs_key = key;
+      rs_report = report;
+    }
   in
   Tr.wrap_with t.tracer Tr.Cache "probe" (fun sp ->
-      let ((_, outcome, dt) as r) =
+      let r =
         match Plan_cache.find t.cache ~h ~key with
         | Some e when epochs_current t e.Plan_cache.e_epochs ->
             finish Hit e.Plan_cache.e_ann
         | Some e ->
             (* stale stats epoch: lazy recompilation *)
             Plan_cache.count_invalidation t.cache;
-            let ann = compile t peeked in
+            let res = compile t peeked in
+            let ann = res.D.res_annotation in
+            let report = res.D.res_report in
             let old_cost = e.Plan_cache.e_ann.Planner.Annotation.an_cost in
             let new_cost = ann.Planner.Annotation.an_cost in
             let epochs = epochs_of t e.Plan_cache.e_tables in
@@ -192,12 +297,13 @@ let resolve t (peeked : A.query) : Planner.Annotation.t * outcome * float =
               (* cost-delta guard: the refreshed statistics do not move
                  the estimate enough to justify plan churn *)
               e.Plan_cache.e_epochs <- epochs;
-              finish Revalidated e.Plan_cache.e_ann)
+              finish Revalidated ~report e.Plan_cache.e_ann)
             else
               let e' = Plan_cache.replace t.cache ~h ~old_e:e ~ann ~epochs in
-              finish Invalidated e'.Plan_cache.e_ann
+              finish Invalidated ~report e'.Plan_cache.e_ann
         | None ->
-            let ann = compile t peeked in
+            let res = compile t peeked in
+            let ann = res.D.res_annotation in
             let tables =
               Walk.Sset.elements (Walk.all_tables_query Walk.Sset.empty peeked)
             in
@@ -206,16 +312,59 @@ let resolve t (peeked : A.query) : Planner.Annotation.t * outcome * float =
                 ~binds:(Fp.binds_count peeked) ~tables
                 ~epochs:(epochs_of t tables)
             in
-            finish Miss e.Plan_cache.e_ann
+            finish Miss ~report:res.D.res_report e.Plan_cache.e_ann
       in
       Tr.add_attrs sp
         [
-          ("outcome", Tr.S (outcome_name outcome));
-          ("parse", Tr.S (match outcome with Hit -> "soft" | _ -> "hard"));
-          ("parse_us", Tr.F (dt *. 1e6));
+          ("outcome", Tr.S (outcome_name r.rs_outcome));
+          ( "parse",
+            Tr.S (match r.rs_outcome with Hit -> "soft" | _ -> "hard") );
+          ("parse_us", Tr.F (r.rs_parse_s *. 1e6));
           ("fingerprint", Tr.I h);
         ];
       r)
+
+(** Collapse runs of whitespace so a canonical query renders as one
+    report-table line. *)
+let squeeze_ws s =
+  let buf = Buffer.create (String.length s) in
+  let pending = ref false in
+  String.iter
+    (fun c ->
+      match c with
+      | ' ' | '\n' | '\t' | '\r' -> pending := true
+      | c ->
+          if !pending && Buffer.length buf > 0 then Buffer.add_char buf ' ';
+          pending := false;
+          Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(** Per-operator Q-errors of one analyze-mode execution: estimated
+    rows (fresh {!Planner.Plan_est} pass over the cached plan) against
+    per-invocation actuals, first visit of each physical node only —
+    the same normalization EXPLAIN ANALYZE reports. *)
+let qerrors t (plan : Exec.Plan.t)
+    (stat_of : Exec.Plan.t -> Exec.Executor.node_stat option) : float list =
+  let _, est_of = Planner.Plan_est.estimate t.db.Db.cat plan in
+  let visited : unit Exec.Executor.Ptbl.t = Exec.Executor.Ptbl.create 32 in
+  let acc = ref [] in
+  let rec walk p =
+    if not (Exec.Executor.Ptbl.mem visited p) then begin
+      Exec.Executor.Ptbl.add visited p ();
+      (match (stat_of p, est_of p) with
+      | Some st, Some est when st.Exec.Executor.ns_calls > 0 ->
+          let act =
+            float_of_int st.Exec.Executor.ns_rows
+            /. float_of_int (max 1 st.Exec.Executor.ns_calls)
+          in
+          acc := Cbqt.Explain.q_error ~est ~act :: !acc
+      | _ -> ());
+      List.iter walk (Exec.Plan.children p)
+    end
+  in
+  walk plan;
+  !acc
 
 (** Execute a parsed query. [binds] fills the query's explicit [:n]
     markers, in order; remaining constant literals are auto-
@@ -230,16 +379,30 @@ let exec_ir t (q : A.query) (binds : Value.t list) : exec_result =
          nexplicit (Array.length user));
   let peeked = Fp.peek_binds q user in
   let peeked, extracted = Fp.parameterize peeked in
-  let ann, outcome, parse_s = resolve t peeked in
+  let rs = resolve t peeked in
+  let ann = rs.rs_ann in
   let all_binds = Array.append user (Array.of_list extracted) in
   let plan = ann.Planner.Annotation.an_plan in
   let card_of = hints_of t plan in
   let es = Exec.Executor.engine_stats_create () in
-  let layout, rows, _meter =
+  let e0 = Unix.gettimeofday () in
+  let layout, rows, meter, stat_of =
     Tr.wrap_with t.tracer Tr.Cache "execute" (fun sp ->
         let r =
-          Exec.Executor.execute ~binds:all_binds ~batch_size:t.cfg.batch_size
-            ~engine:t.cfg.engine ~card_of ~engine_stats:es t.db plan
+          if t.cfg.feedback then
+            let layout, rows, meter, stat_of =
+              Exec.Executor.execute_analyzed ~binds:all_binds
+                ~batch_size:t.cfg.batch_size ~engine:t.cfg.engine ~card_of
+                ~engine_stats:es t.db plan
+            in
+            (layout, rows, meter, Some stat_of)
+          else
+            let layout, rows, meter =
+              Exec.Executor.execute ~binds:all_binds
+                ~batch_size:t.cfg.batch_size ~engine:t.cfg.engine ~card_of
+                ~engine_stats:es t.db plan
+            in
+            (layout, rows, meter, None)
         in
         Tr.add_attrs sp
           [
@@ -249,16 +412,49 @@ let exec_ir t (q : A.query) (binds : Value.t list) : exec_result =
           ];
         r)
   in
+  let exec_s = Unix.gettimeofday () -. e0 in
   t.estats.Exec.Executor.es_vector <-
     t.estats.Exec.Executor.es_vector + es.Exec.Executor.es_vector;
   t.estats.Exec.Executor.es_row <-
     t.estats.Exec.Executor.es_row + es.Exec.Executor.es_row;
+  let nrows = List.length rows in
+  (if metrics_on t then begin
+     Mx.observe (Lazy.force m_execute) exec_s;
+     Mx.add (Lazy.force m_rows) nrows;
+     (* one flat int array, iterated positionally both here and inside
+        the store; accumulated into the contiguous [meter_tot] rather
+        than 14 scattered counter records (see the field doc) *)
+     let vals = Exec.Meter.values meter in
+     let tot = t.meter_tot in
+     Array.iteri (fun i v -> tot.(i) <- tot.(i) + v) vals;
+     let entry =
+       Qs.observe t.store ~fp:rs.rs_fp
+         ~text:(fun () -> squeeze_ws (Pp.query_to_string rs.rs_key))
+         ~outcome:(outcome_name rs.rs_outcome)
+         ~rows:nrows ~exec_s ~parse_s:rs.rs_parse_s
+         ~meter_names:(Lazy.force meter_names) ~meter:vals
+         ~vec_pipelines:es.Exec.Executor.es_vector
+         ~row_pipelines:es.Exec.Executor.es_row
+     in
+     (match rs.rs_report with
+     | Some rp ->
+         List.iter
+           (fun s ->
+             Qs.record_tx entry ~name:s.D.sr_name
+               ~accepted:(List.exists Fun.id s.D.sr_chosen))
+           rp.D.rp_steps
+     | None -> ());
+     match stat_of with
+     | Some stat_of -> Qs.record_qerr entry (qerrors t plan stat_of)
+     | None -> ()
+   end);
   {
     r_layout = layout;
     r_rows = rows;
-    r_outcome = outcome;
+    r_nrows = nrows;
+    r_outcome = rs.rs_outcome;
     r_cost = ann.Planner.Annotation.an_cost;
-    r_parse_s = parse_s;
+    r_parse_s = rs.rs_parse_s;
   }
 
 (** Parse and execute SQL text. Raises {!Sqlparse.Parser.Parse_error}
@@ -288,6 +484,28 @@ type report = {
 let report t : report =
   let st = Plan_cache.stats t.cache in
   let avg total n = if n = 0 then 0. else total /. float_of_int n *. 1e6 in
+  (if metrics_on t then begin
+     (* publish the meter totals accumulated by [exec_ir] into the
+        svc_meter_total counters (delta since the last publish, so
+        repeated reports do not double count) *)
+     let mf = Lazy.force m_meter_fields in
+     Array.iteri
+       (fun i v ->
+         let d = v - t.meter_pub.(i) in
+         if d <> 0 then begin
+           Mx.add mf.(i) d;
+           t.meter_pub.(i) <- v
+         end)
+       t.meter_tot;
+     (* refresh the cache gauges at report time so a snapshot taken
+        right after (serve --metrics-out, stats) sees current values *)
+     Mx.set
+       (Mx.gauge Mx.default "plan_cache_memory_words")
+       (float_of_int (Plan_cache.memory_words t.cache));
+     Mx.set
+       (Mx.gauge Mx.default "plan_cache_entries")
+       (float_of_int (Plan_cache.length t.cache))
+   end);
   {
     sv_soft_parses = t.soft_parses;
     sv_soft_avg_us = avg t.soft_s t.soft_parses;

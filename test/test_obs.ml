@@ -282,6 +282,197 @@ let test_level_parsing () =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* Metrics: histogram quantile/merge properties, registry, exporters    *)
+(* ------------------------------------------------------------------ *)
+
+module Mx = Obs.Metrics
+
+(* log-uniform positive values across 12 decades, always above the
+   underflow bucket *)
+let gen_value =
+  QCheck.Gen.map
+    (fun u -> 1e-6 *. (10. ** (12. *. float_of_int u /. 1_000_000.)))
+    QCheck.Gen.(int_bound 1_000_000)
+
+let gen_values =
+  QCheck.make
+    ~print:(fun vs -> Printf.sprintf "[%d values]" (List.length vs))
+    QCheck.Gen.(list_size (int_range 1 300) gen_value)
+
+let record_all vs =
+  let h = Mx.hist_create "h" in
+  List.iter (Mx.observe h) vs;
+  h
+
+(* the documented accuracy bound: for any stream of values above the
+   underflow bucket, quantile(q) lies within one bucket ratio above the
+   exact sorted-order quantile of the same rank *)
+let prop_quantile_within_bucket =
+  QCheck.Test.make ~count:200
+    ~name:"histogram quantile within one bucket ratio of exact" gen_values
+    (fun vs ->
+      let h = record_all vs in
+      let sorted = Array.of_list (List.sort compare vs) in
+      let n = Array.length sorted in
+      List.for_all
+        (fun q ->
+          let rank =
+            max 1 (min n (int_of_float (Float.ceil (q *. float_of_int n))))
+          in
+          let exact = sorted.(rank - 1) in
+          let approx = Mx.quantile h q in
+          (* one float epsilon of slack for values landing exactly on a
+             bucket edge *)
+          exact <= approx *. 1.000001
+          && approx <= exact *. Mx.bucket_ratio *. 1.000001)
+        [ 0.; 0.5; 0.9; 0.99; 1. ])
+
+let prop_merge_equals_record_all =
+  QCheck.Test.make ~count:200 ~name:"merge(h1,h2) = record-all histogram"
+    (QCheck.pair gen_values gen_values) (fun (xs, ys) ->
+      let merged = record_all xs in
+      Mx.merge_into ~dst:merged (record_all ys);
+      let all = record_all (xs @ ys) in
+      merged.Mx.h_buckets = all.Mx.h_buckets
+      && merged.Mx.h_count = all.Mx.h_count
+      && Mx.hist_min merged = Mx.hist_min all
+      && Mx.hist_max merged = Mx.hist_max all
+      && Float.abs (Mx.hist_sum merged -. Mx.hist_sum all)
+         <= 1e-9 *. Float.max 1. (Float.abs (Mx.hist_sum all)))
+
+let test_registry_basics () =
+  let r = Mx.create () in
+  let c = Mx.counter r "requests_total" in
+  Mx.inc c;
+  Mx.add c 4;
+  Alcotest.(check int) "counter accumulates" 5 c.Mx.c_value;
+  Alcotest.(check bool)
+    "find-or-create returns the same record" true
+    (Mx.counter r "requests_total" == c);
+  let cl = Mx.counter ~labels:[ ("k", "v") ] r "requests_total" in
+  Alcotest.(check bool) "label set distinguishes" true (not (cl == c));
+  (match Mx.gauge r "requests_total" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "kind mismatch must raise");
+  let h = Mx.histogram r "latency_seconds" in
+  Mx.observe h 0.5;
+  Mx.reset r;
+  Alcotest.(check int) "reset zeroes counters in place" 0 c.Mx.c_value;
+  Alcotest.(check int) "reset zeroes histograms in place" 0 h.Mx.h_count;
+  Mx.inc c;
+  Alcotest.(check int)
+    "cached handle still live after reset" 1
+    (Mx.counter r "requests_total").Mx.c_value
+
+let sample_registry () =
+  let r = Mx.create () in
+  Mx.add (Mx.counter r "requests_total") 42;
+  Mx.inc (Mx.counter ~labels:[ ("outcome", "hit") ] r "cache_total");
+  Mx.set (Mx.gauge r "entries") 17.;
+  let h = Mx.histogram r "latency_seconds" in
+  List.iter (Mx.observe h) [ 1e-4; 2e-4; 5e-3; 0.12 ];
+  r
+
+let test_json_export () =
+  let r = sample_registry () in
+  let doc = J.to_string (Mx.to_json r) in
+  match J.parse doc with
+  | Error e -> Alcotest.failf "snapshot is not valid JSON: %s" e
+  | Ok j ->
+      let counters =
+        match J.member "counters" j with
+        | Some c -> c
+        | None -> Alcotest.fail "no counters object"
+      in
+      (match J.member "requests_total" counters with
+      | Some (J.Int 42) -> ()
+      | _ -> Alcotest.fail "counter value lost");
+      let hist =
+        match J.member "histograms" j with
+        | Some h -> (
+            match J.member "latency_seconds" h with
+            | Some h -> h
+            | None -> Alcotest.fail "no latency_seconds")
+        | None -> Alcotest.fail "no histograms object"
+      in
+      (match J.member "count" hist with
+      | Some (J.Int 4) -> ()
+      | _ -> Alcotest.fail "histogram count lost");
+      Alcotest.(check bool)
+        "p99 present" true
+        (match J.member "p99" hist with
+        | Some (J.Float p) -> p >= 0.12 && p <= 0.12 *. Mx.bucket_ratio
+        | _ -> false)
+
+(* minimal exposition-format check: every non-comment line is
+   [name{labels} value], histogram bucket series are cumulative and end
+   at the +Inf count *)
+let test_prometheus_export () =
+  let r = sample_registry () in
+  let doc = Mx.to_prometheus r in
+  let lines = List.filter (fun l -> l <> "") (String.split_on_char '\n' doc) in
+  Alcotest.(check bool)
+    "has TYPE comments" true
+    (List.exists (fun l -> contains l "# TYPE requests_total counter") lines
+    && List.exists (fun l -> contains l "# TYPE latency_seconds histogram") lines);
+  List.iter
+    (fun l ->
+      if String.length l > 0 && l.[0] <> '#' then
+        match String.rindex_opt l ' ' with
+        | None -> Alcotest.failf "unparseable line: %s" l
+        | Some i ->
+            let v = String.sub l (i + 1) (String.length l - i - 1) in
+            if
+              (not (List.mem v [ "+Inf"; "-Inf"; "NaN" ]))
+              && float_of_string_opt v = None
+            then Alcotest.failf "bad sample value in line: %s" l)
+    lines;
+  let bucket_counts =
+    List.filter_map
+      (fun l ->
+        if String.length l > 0 && l.[0] <> '#'
+           && contains l "latency_seconds_bucket"
+        then
+          String.rindex_opt l ' '
+          |> Option.map (fun i ->
+                 int_of_string (String.sub l (i + 1) (String.length l - i - 1)))
+        else None)
+      lines
+  in
+  Alcotest.(check bool)
+    "cumulative bucket series" true
+    (List.sort compare bucket_counts = bucket_counts);
+  Alcotest.(check bool)
+    "+Inf bucket carries the total count" true
+    (List.exists (fun l -> contains l {|latency_seconds_bucket{le="+Inf"} 4|})
+       lines);
+  Alcotest.(check bool)
+    "count series present" true
+    (List.exists (fun l -> contains l "latency_seconds_count 4") lines)
+
+(* satellite: one canonical meter field-name list, shared by
+   Meter.to_fields (EXPLAIN ANALYZE columns, trace fields, differential
+   tests) and the registry's per-field counters *)
+let test_meter_field_names_sync () =
+  Alcotest.(check (list string))
+    "to_fields keys follow the canonical order" M.field_names
+    (List.map fst (M.to_fields (M.create ())));
+  Alcotest.(check int)
+    "field names are distinct"
+    (List.length M.field_names)
+    (List.length (List.sort_uniq compare M.field_names));
+  (* the service registers one svc_meter_total counter per canonical
+     field; simulate that registration and check the registry keys *)
+  let r = Mx.create () in
+  List.iter
+    (fun f -> ignore (Mx.counter ~labels:[ ("field", f) ] r "svc_meter_total"))
+    M.field_names;
+  Alcotest.(check int)
+    "one registry entry per canonical field"
+    (List.length M.field_names)
+    (List.length (Mx.sorted_bindings r))
+
+(* ------------------------------------------------------------------ *)
 
 let qsuite = List.map QCheck_alcotest.to_alcotest
 
@@ -318,4 +509,16 @@ let () =
             test_pp_report_stable;
           Alcotest.test_case "level parsing" `Quick test_level_parsing;
         ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "registry basics + reset" `Quick
+            test_registry_basics;
+          Alcotest.test_case "json snapshot round-trip" `Quick test_json_export;
+          Alcotest.test_case "prometheus exposition" `Quick
+            test_prometheus_export;
+          Alcotest.test_case "meter field names in sync" `Quick
+            test_meter_field_names_sync;
+        ]
+        @ qsuite [ prop_quantile_within_bucket; prop_merge_equals_record_all ]
+      );
     ]

@@ -246,6 +246,135 @@ let test_tx001_over_copying () =
   Alcotest.(check bool) "rebuild flagged" true
     (has_rule "TX001" (Analysis.Copy_check.check ~before:q ~after:copied))
 
+(* ------------------------------------------------------------------ *)
+(* Metrics wiring and the per-fingerprint query store                   *)
+(* ------------------------------------------------------------------ *)
+
+module Mx = Obs.Metrics
+module Qs = Obs.Query_store
+
+let run_workload ~config ~n ~passes ~seed =
+  let svc = Svc.create ~config db in
+  let g = QG.create ~seed schema in
+  let items = QG.workload g n in
+  for _ = 1 to passes do
+    List.iter (fun it -> ignore (Svc.exec_ir svc it.QG.it_query [])) items
+  done;
+  svc
+
+(* same workload + seed => bit-identical store snapshot once the
+   wall-clock-derived fields are stripped *)
+let test_query_store_determinism () =
+  let config = { Svc.default_config with Svc.feedback = true } in
+  let snap () =
+    let svc = run_workload ~config ~n:15 ~passes:2 ~seed:4242 in
+    Obs.Json.to_string (Qs.to_json ~wall:false (Svc.query_store svc))
+  in
+  let a = snap () and b = snap () in
+  Alcotest.(check string) "identical snapshots modulo wall clock" a b;
+  (* and the wall fields are genuinely the only difference: with them
+     included the documents still parse and agree on entry count *)
+  let svc = run_workload ~config ~n:15 ~passes:2 ~seed:4242 in
+  match Obs.Json.parse (Obs.Json.to_string (Qs.to_json (Svc.query_store svc))) with
+  | Error e -> Alcotest.failf "wall snapshot not valid JSON: %s" e
+  | Ok j -> (
+      match Obs.Json.member "entries" j with
+      | Some (Obs.Json.List es) ->
+          Alcotest.(check int)
+            "one entry per fingerprint"
+            (Qs.length (Svc.query_store svc))
+            (List.length es)
+      | _ -> Alcotest.fail "no entries array")
+
+(* the store's parse accounting agrees with the service report, and
+   analyze-mode feedback populates Q-error *)
+let test_query_store_accounting () =
+  let config = { Svc.default_config with Svc.feedback = true } in
+  let passes = 3 in
+  let svc = run_workload ~config ~n:12 ~passes ~seed:99 in
+  let entries = Qs.entries (Svc.query_store svc) in
+  let r = Svc.report svc in
+  let sum f = List.fold_left (fun acc e -> acc + f e) 0 entries in
+  Alcotest.(check int)
+    "store soft parses = report soft parses" r.Svc.sv_soft_parses
+    (sum (fun e -> e.Qs.qe_soft));
+  Alcotest.(check int)
+    "store hard parses = report hard parses" r.Svc.sv_hard_parses
+    (sum (fun e -> e.Qs.qe_hard));
+  Alcotest.(check int)
+    "every execution lands in the store"
+    (r.Svc.sv_soft_parses + r.Svc.sv_hard_parses)
+    (sum (fun e -> e.Qs.qe_execs));
+  Alcotest.(check bool)
+    "feedback populated q-error samples" true
+    (List.exists (fun e -> e.Qs.qe_qerr_n > 0) entries);
+  List.iter
+    (fun e ->
+      if e.Qs.qe_qerr_n > 0 then
+        Alcotest.(check bool)
+          "q-error >= 1" true
+          (e.Qs.qe_qerr_max >= 1. && Qs.qerr_mean e >= 1.))
+    entries;
+  (* top-N ordering: by-time is sorted descending on total time *)
+  let top = Qs.top (Svc.query_store svc) Qs.By_time 5 in
+  let times = List.map (fun e -> Qs.qe_exec_s e +. Qs.qe_parse_s e) top in
+  Alcotest.(check bool)
+    "top list sorted descending" true
+    (List.sort (fun a b -> compare b a) times = times)
+
+let test_query_store_bounded () =
+  let config = { Svc.default_config with Svc.store_capacity = 4 } in
+  let svc = run_workload ~config ~n:12 ~passes:1 ~seed:7 in
+  let store = Svc.query_store svc in
+  Alcotest.(check bool)
+    "store bounded by capacity" true
+    (Qs.length store <= 4);
+  Alcotest.(check bool) "evictions counted" true (Qs.evictions store > 0)
+
+let test_registry_wiring () =
+  Mx.reset Mx.default;
+  let svc = run_workload ~config:Svc.default_config ~n:10 ~passes:2 ~seed:13 in
+  let r = Svc.report svc in
+  let oc name =
+    (Mx.counter ~labels:[ ("outcome", name) ] Mx.default
+       "svc_cache_outcomes_total")
+      .Mx.c_value
+  in
+  Alcotest.(check int)
+    "hit outcomes = soft parses" r.Svc.sv_soft_parses (oc "hit");
+  Alcotest.(check int)
+    "hard outcomes = hard parses" r.Svc.sv_hard_parses
+    (oc "miss" + oc "invalidated" + oc "revalidated");
+  Alcotest.(check bool)
+    "rows counter accumulated" true
+    ((Mx.counter Mx.default "svc_rows_returned_total").Mx.c_value >= 0);
+  Alcotest.(check int)
+    "parse histogram count = soft parses" r.Svc.sv_soft_parses
+    (Mx.histogram ~labels:[ ("kind", "soft") ] Mx.default "svc_parse_seconds")
+      .Mx.h_count;
+  (* satellite: the cache's memory accounting surfaces as a gauge *)
+  Alcotest.(check (float 0.))
+    "plan-cache memory gauge matches report"
+    (float_of_int r.Svc.sv_memory_words)
+    (Mx.gauge Mx.default "plan_cache_memory_words").Mx.g_value;
+  Alcotest.(check (float 0.))
+    "plan-cache entries gauge matches report"
+    (float_of_int r.Svc.sv_entries)
+    (Mx.gauge Mx.default "plan_cache_entries").Mx.g_value
+
+let test_metrics_off () =
+  Mx.reset Mx.default;
+  let config = { Svc.default_config with Svc.metrics = false } in
+  let svc = run_workload ~config ~n:8 ~passes:1 ~seed:5 in
+  Alcotest.(check int)
+    "no query-store accumulation with metrics off" 0
+    (Qs.length (Svc.query_store svc));
+  Alcotest.(check int)
+    "no outcome counters with metrics off" 0
+    (Mx.counter ~labels:[ ("outcome", "miss") ] Mx.default
+       "svc_cache_outcomes_total")
+      .Mx.c_value
+
 let () =
   let to_alco = QCheck_alcotest.to_alcotest in
   Alcotest.run "service"
@@ -275,5 +404,16 @@ let () =
             test_ir015_negative_bind;
           Alcotest.test_case "TX001 over-copying" `Quick
             test_tx001_over_copying;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "query-store determinism" `Quick
+            test_query_store_determinism;
+          Alcotest.test_case "query-store accounting" `Quick
+            test_query_store_accounting;
+          Alcotest.test_case "query-store bounded" `Quick
+            test_query_store_bounded;
+          Alcotest.test_case "registry wiring" `Quick test_registry_wiring;
+          Alcotest.test_case "metrics off" `Quick test_metrics_off;
         ] );
     ]
