@@ -442,10 +442,34 @@ let serve_cmd =
             "on exit, write a JSON snapshot of the metrics registry and the \
              per-fingerprint query store to $(docv)")
   in
+  let workers =
+    Arg.(
+      value & opt int 1
+      & info [ "workers" ] ~docv:"N"
+          ~doc:"domain workers serving the request queue")
+  in
+  let queue_depth =
+    Arg.(
+      value & opt int 64
+      & info [ "queue-depth" ] ~docv:"D"
+          ~doc:
+            "request-queue bound: submissions beyond $(docv) queued requests \
+             block the batch driver (admission control)")
+  in
+  let deadline_ms =
+    Arg.(
+      value & opt float 0.
+      & info [ "deadline-ms" ] ~docv:"T"
+          ~doc:
+            "per-request deadline: requests still queued after $(docv) ms \
+             are timed out without executing (0 = none)")
+  in
   let run file workload repeat seed capacity batch_size min_hit_rate
-      validate_trace binds engine metrics_out =
+      validate_trace binds engine metrics_out workers queue_depth deadline_ms
+      check =
     let module Svc = Service in
     let module Pc = Service.Plan_cache in
+    let module Sv = Server in
     let bvs = List.map bind_value binds in
     let db, stmts =
       match (workload, file) with
@@ -477,6 +501,29 @@ let serve_cmd =
     if stmts = [] then (
       Fmt.epr "serve: no statements@.";
       exit 2);
+    (* parse up front (and filter each statement's binds to the markers
+       it references) so a malformed file fails before any domain spawns *)
+    let items =
+      List.map
+        (fun stmt ->
+          let q =
+            match stmt with
+            | `Sql sql -> (
+                match Sqlparse.Parser.parse db.Storage.Db.cat sql with
+                | Ok q -> q
+                | Error msg ->
+                    Fmt.epr "serve: parse error: %s@." msg;
+                    exit 1)
+            | `Ir q -> q
+          in
+          let need = Sqlir.Fingerprint.binds_count q in
+          if List.length bvs < need then (
+            Fmt.epr "serve: statement references %d bind(s), %d given@." need
+              (List.length bvs);
+            exit 1);
+          (Sv.Ir q, List.filteri (fun i _ -> i < need) bvs))
+        stmts
+    in
     let config =
       {
         Svc.default_config with
@@ -484,46 +531,63 @@ let serve_cmd =
         trace = Obs.Trace.Steps;
         batch_size;
         engine;
+        driver =
+          (if check then
+             { Cbqt.Driver.default_config with Cbqt.Driver.check = true }
+           else Cbqt.Driver.default_config);
       }
     in
-    let svc = Svc.create ~config db in
-    let exec_one stmt =
-      try
-        let q =
-          match stmt with
-          | `Sql sql -> Sqlparse.Parser.parse_exn db.Storage.Db.cat sql
-          | `Ir q -> q
-        in
-        (* each statement consumes only the binds it references *)
-        let need = Sqlir.Fingerprint.binds_count q in
-        let r = Svc.exec_ir svc q (List.filteri (fun i _ -> i < need) bvs) in
-        r.Svc.r_nrows
-      with
-      | Sqlparse.Parser.Parse_error msg ->
-          Fmt.epr "serve: parse error: %s@." msg;
-          exit 1
-      | Invalid_argument msg ->
-          Fmt.epr "serve: %s@." msg;
-          exit 1
+    let pool_cfg =
+      {
+        Sv.default_config with
+        Sv.workers;
+        queue_depth;
+        deadline_s = deadline_ms /. 1000.;
+        svc = config;
+      }
     in
-    let n = List.length stmts in
+    let pool = Sv.create ~config:pool_cfg db in
+    let se = Sv.session pool in
+    let n = List.length items in
     let last_rate = ref 0. in
+    let failures = ref 0 in
     for pass = 1 to max 1 repeat do
-      let st = Pc.stats (Svc.cache svc) in
-      let hits0 = st.Pc.hits in
+      let hits0 = (Pc.stats (Sv.cache pool)).Pc.hits in
       let t0 = Unix.gettimeofday () in
-      let rows = List.fold_left (fun acc s -> acc + exec_one s) 0 stmts in
+      let handles =
+        List.map (fun (stmt, b) -> Sv.submit_wait ~binds:b pool se stmt) items
+      in
+      let outcomes = List.map Sv.await handles in
       let dt = Unix.gettimeofday () -. t0 in
-      let hits = st.Pc.hits - hits0 in
+      let rows = ref 0 and failed = ref 0 and rej = ref 0 and timed = ref 0 in
+      List.iter
+        (fun o ->
+          match o with
+          | Sv.Done r -> rows := !rows + r.Svc.r_nrows
+          | Sv.Failed msg ->
+              incr failed;
+              if !failed <= 3 then Fmt.epr "serve: request failed: %s@." msg
+          | Sv.Rejected -> incr rej
+          | Sv.Timed_out -> incr timed)
+        outcomes;
+      failures := !failures + !failed;
+      let hits = (Pc.stats (Sv.cache pool)).Pc.hits - hits0 in
       last_rate := float_of_int hits /. float_of_int n;
       Fmt.pr
         "pass %d: %d stmts, %d rows in %.1f ms (%.0f qps), %d cache hits \
-         (rate %.2f)@."
-        pass n rows (1000. *. dt)
+         (rate %.2f), digest %016x%s@."
+        pass n !rows (1000. *. dt)
         (float_of_int n /. Float.max 1e-9 dt)
         hits !last_rate
+        (Sv.outcomes_digest outcomes)
+        (if !failed + !rej + !timed = 0 then ""
+         else
+           Fmt.str ", %d failed, %d rejected, %d timed out" !failed !rej
+             !timed)
     done;
-    Fmt.pr "%a" Svc.pp_report (Svc.report svc);
+    Sv.shutdown pool;
+    Sv.publish_metrics pool;
+    Fmt.pr "%a" Sv.pp_report (Sv.report pool);
     (match metrics_out with
     | None -> ()
     | Some f ->
@@ -533,7 +597,7 @@ let serve_cmd =
                [
                  ("registry", Obs.Metrics.to_json Obs.Metrics.default);
                  ( "query_store",
-                   Obs.Query_store.to_json (Svc.query_store svc) );
+                   Obs.Query_store.to_json (Sv.query_store pool) );
                ])
         in
         let oc = open_out f in
@@ -552,29 +616,42 @@ let serve_cmd =
     let bad_trace =
       if not validate_trace then false
       else (
-        let tr = Svc.tracer svc in
-        let errs =
-          Obs.Trace.validate tr
-          @ List.map
-              (fun e -> "jsonl: " ^ e)
-              (Obs.Trace.validate_jsonl (Obs.Trace.to_jsonl tr))
+        (* one tracer per worker service: validate each span tree *)
+        let errs, spans =
+          List.fold_left
+            (fun (errs, spans) svc ->
+              let tr = Svc.tracer svc in
+              ( errs @ Obs.Trace.validate tr
+                @ List.map
+                    (fun e -> "jsonl: " ^ e)
+                    (Obs.Trace.validate_jsonl (Obs.Trace.to_jsonl tr)),
+                spans + Obs.Trace.count_kind tr Obs.Trace.Cache ))
+            ([], 0) (Sv.services pool)
         in
         List.iter (fun e -> Fmt.epr "invalid: %s@." e) errs;
-        if errs = [] then Fmt.epr "validate: ok (%d cache spans)@."
-            (Obs.Trace.count_kind tr Obs.Trace.Cache);
+        if errs = [] then
+          Fmt.epr "validate: ok (%d cache spans over %d workers)@." spans
+            workers;
         errs <> [])
     in
-    if bad_rate || bad_trace then 1 else 0
+    let bad_check =
+      if check && !failures > 0 then (
+        Fmt.epr "serve: %d requests failed under --check@." !failures;
+        true)
+      else false
+    in
+    if bad_rate || bad_trace || bad_check then 1 else 0
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
-         "Batch-execute statements through the shared plan cache (soft \
-          parse / bind parameterization) and report hit rates and parse \
-          timings")
+         "Batch-execute statements through a domain worker pool sharing one \
+          plan cache (soft parse / bind parameterization) and report hit \
+          rates, QPS and pool outcomes")
     Term.(
       const run $ file $ workload $ repeat $ seed $ capacity $ batch_size
-      $ min_hit_rate $ validate_trace $ binds $ engine_arg $ metrics_out)
+      $ min_hit_rate $ validate_trace $ binds $ engine_arg $ metrics_out
+      $ workers $ queue_depth $ deadline_ms $ check_flag)
 
 let stats_cmd =
   let workload =
@@ -620,8 +697,15 @@ let stats_cmd =
       & opt (some string) None
       & info [ "out" ] ~docv:"FILE" ~doc:"write the output to $(docv)")
   in
-  let run workload seed repeat top json prom out engine =
+  let workers =
+    Arg.(
+      value & opt int 1
+      & info [ "workers" ] ~docv:"N"
+          ~doc:"domain workers serving the workload")
+  in
+  let run workload seed repeat top json prom out engine workers =
     let module Svc = Service in
+    let module Sv = Server in
     let module Mx = Obs.Metrics in
     (* a fresh run: the default registry is process-wide, so zero it *)
     Mx.reset Mx.default;
@@ -640,14 +724,19 @@ let stats_cmd =
         feedback = true;
       }
     in
-    let svc = Svc.create ~config db in
+    let pool_cfg = { Sv.default_config with Sv.workers; svc = config } in
+    let pool = Sv.create ~config:pool_cfg db in
+    let se = Sv.session pool in
+    let stmts =
+      List.map (fun it -> Sv.Ir it.Workload.Query_gen.it_query) items
+    in
     for _pass = 1 to max 1 repeat do
-      List.iter
-        (fun it -> ignore (Svc.exec_ir svc it.Workload.Query_gen.it_query []))
-        items
+      ignore (Sv.run_batch pool se stmts)
     done;
-    ignore (Svc.report svc);
-    (* refreshes the cache gauges *)
+    Sv.shutdown pool;
+    (* refreshes the cache gauges, meter counters and pool gauges *)
+    ignore (Sv.report pool);
+    Sv.publish_metrics pool;
     let emit doc =
       match out with
       | None -> print_string doc
@@ -665,28 +754,29 @@ let stats_cmd =
                 [
                   ("registry", Mx.to_json Mx.default);
                   ( "query_store",
-                    Obs.Query_store.to_json (Svc.query_store svc) );
+                    Obs.Query_store.to_json (Sv.query_store pool) );
                 ])
           ^ "\n")
     | false, true -> emit (Mx.to_prometheus Mx.default)
     | false, false ->
         Fmt.pr "-- metrics registry --@.%s@." (Mx.to_text Mx.default);
         Fmt.pr "-- query store --@.%s@."
-          (Obs.Query_store.report_string ~top_n:top (Svc.query_store svc));
-        Fmt.pr "%a" Svc.pp_report (Svc.report svc));
+          (Obs.Query_store.report_string ~top_n:top (Sv.query_store pool));
+        Fmt.pr "%a" Sv.pp_report (Sv.report pool));
     0
   in
   Cmd.v
     (Cmd.info "stats"
        ~doc:
-         "Run a generated workload through the service with metrics and \
-          EXPLAIN-ANALYZE feedback on, then print the metrics registry and \
-          the per-fingerprint query-store top-N tables (by total time, by \
-          Q-error, by executions); $(b,--json) / $(b,--prom) emit \
+         "Run a generated workload through the server with metrics and \
+          EXPLAIN-ANALYZE feedback on, then print the metrics registry, the \
+          per-fingerprint query-store top-N tables (by total time, by \
+          Q-error, by executions) and the pool gauges (queued, in-flight, \
+          rejected, timed-out); $(b,--json) / $(b,--prom) emit \
           machine-readable snapshots")
     Term.(
       const run $ workload $ seed $ repeat $ top $ json $ prom $ out
-      $ engine_arg)
+      $ engine_arg $ workers)
 
 let schema_cmd =
   let run () =

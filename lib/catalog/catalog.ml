@@ -50,15 +50,28 @@ type table_stats = {
   s_cols : (string * col_stats) list;
 }
 
+module Smap = Map.Make (String)
+
 type t = {
   tables : (string, table_def) Hashtbl.t;
   indexes : (string, index list) Hashtbl.t;  (** keyed by table name *)
   stats : (string, table_stats) Hashtbl.t;
-  epochs : (string, int) Hashtbl.t;
+  epochs : int Smap.t Atomic.t;
       (** per-table stats epoch: bumped by every statistics refresh and
           by DDL (table/index creation). Plan caches snapshot the epochs
           of the tables a plan reads and treat any later bump as an
-          invalidation signal. *)
+          invalidation signal.
+
+          The whole epoch map lives in one [Atomic.t] so it doubles as
+          the cross-domain {e publication} point: a stats refresh first
+          writes the new [table_stats] into [stats] and only then bumps
+          the epoch (an atomic release store), so any worker that
+          observes the new epoch (an acquire load) also observes the
+          stats that justified it. Concurrent stats writes are
+          replace-only on an existing key — no Hashtbl resize — which
+          the OCaml memory model keeps memory-safe; DDL (new tables or
+          indexes, which do resize) is not supported concurrently with
+          traffic. *)
 }
 
 let create () =
@@ -66,13 +79,29 @@ let create () =
     tables = Hashtbl.create 64;
     indexes = Hashtbl.create 64;
     stats = Hashtbl.create 64;
-    epochs = Hashtbl.create 64;
+    epochs = Atomic.make Smap.empty;
   }
 
 (** Current stats epoch of [name] (0 for a table never analyzed). *)
-let epoch t name = Option.value ~default:0 (Hashtbl.find_opt t.epochs name)
+let epoch t name =
+  Option.value ~default:0 (Smap.find_opt name (Atomic.get t.epochs))
 
-let bump_epoch t name = Hashtbl.replace t.epochs name (epoch t name + 1)
+let bump_epoch t name =
+  let rec loop () =
+    let m = Atomic.get t.epochs in
+    let e = Option.value ~default:0 (Smap.find_opt name m) in
+    if not (Atomic.compare_and_set t.epochs m (Smap.add name (e + 1) m)) then
+      loop ()
+  in
+  loop ()
+
+(** One consistent point-in-time view of every table's epoch: the
+    returned lookup never mixes epochs from two different bumps, which
+    is what lets a plan-cache probe validate a multi-table plan against
+    a single moment of the catalog. *)
+let epochs_snapshot t : string -> int =
+  let m = Atomic.get t.epochs in
+  fun name -> Option.value ~default:0 (Smap.find_opt name m)
 
 exception Unknown_table of string
 exception Unknown_column of string * string

@@ -64,6 +64,14 @@ let m_dispatch_vector =
 
 let m_batch_fill = lazy (Mx.histogram Mx.default "exec_batch_fill_rows")
 
+(** Force the cached registry handles. [Lazy.force] of one suspension
+    from two domains at once can raise [Lazy.Undefined], so a server
+    prewarms every executor handle before spawning workers. *)
+let prewarm_metrics () =
+  ignore (Lazy.force m_dispatch_row);
+  ignore (Lazy.force m_dispatch_vector);
+  ignore (Lazy.force m_batch_fill)
+
 (** Count one pipeline dispatched to the row engine (per-execution
     stats plus the process-wide counter). *)
 let dispatch_row (es : engine_stats option) =

@@ -5,20 +5,35 @@
     {e one} run in full detail, the registry accumulates {e every} run
     into constant-memory aggregates that survive a whole [serve]
     session. Metrics are created once (find-or-create by name + label
-    set) and then updated by direct field mutation, so the hot-path
-    cost of a counter bump is one load and one store; call sites that
-    sit inside per-batch loops additionally gate on {!enabled} so the
-    bench can measure the on/off delta honestly.
+    set) and then updated through their handle, so the hot-path cost of
+    a counter bump is one atomic add; call sites that sit inside
+    per-batch loops additionally gate on {!enabled} so the bench can
+    measure the on/off delta honestly.
+
+    {b Domain safety.} Every metric is safe to update concurrently from
+    multiple domains and loses no observations:
+
+    - counters and gauges are a single [Atomic.t] cell;
+    - histograms are {e lock-striped}: a registry histogram holds a
+      small power-of-two array of independently-locked accumulators and
+      an observation locks only the stripe indexed by the observing
+      domain's id, so concurrent workers almost never contend. Readouts
+      merge the stripes field-wise under their locks, which is exact —
+      the merged histogram is precisely the one a single-domain run of
+      the same observation stream would have produced (the property the
+      test suite checks with concurrent observers);
+    - registration (find-or-create) and snapshotting take the
+      registry's mutex; handles themselves are lock-free to use.
 
     Histograms are log-bucketed at a fixed ~1.2x ratio: bucket [i >= 1]
     covers [(lo*r^(i-1), lo*r^i]] with [lo = 1e-9] and [r = 1.2],
     bucket [0] is the underflow bucket ([v <= lo]), and the last bucket
-    absorbs overflow. One histogram is a fixed [int array] (constant
+    absorbs overflow. One stripe is a fixed [int array] (constant
     memory, no per-observation allocation) plus exact count / sum /
     min / max, so any quantile readout is within one bucket ratio
-    (~20%) of the exact sorted-order quantile — the property the test
-    suite checks — and two histograms merge by field-wise addition into
-    exactly the histogram that would have recorded both value streams.
+    (~20%) of the exact sorted-order quantile — and two histograms
+    merge by field-wise addition into exactly the histogram that would
+    have recorded both value streams.
 
     Deliberately dependency-free (stdlib + {!Json}) so every layer of
     the system, including the executor's inner loops, can charge
@@ -58,128 +73,216 @@ let bucket_of (v : float) : int =
 type counter = {
   c_name : string;
   c_labels : (string * string) list;
-  mutable c_value : int;
+  c_cell : int Atomic.t;
 }
 
 type gauge = {
   g_name : string;
   g_labels : (string * string) list;
-  mutable g_value : float;
+  g_cell : float Atomic.t;
+}
+
+(** One histogram stripe: an independently-locked accumulator. All
+    mutation happens under [p_mu]; [p_stats] is [sum; min; max] kept as
+    a flat float array (in a mixed record every float store boxes, so
+    the hot observe path would allocate per observation). *)
+type stripe = {
+  p_mu : Mutex.t;
+  p_buckets : int array;  (** per-bucket observation counts *)
+  mutable p_count : int;
+  p_stats : float array;
 }
 
 type histogram = {
   h_name : string;
   h_labels : (string * string) list;
-  h_buckets : int array;  (** per-bucket observation counts *)
-  mutable h_count : int;
-  h_stats : float array;
-      (** [sum; min; max] — exact; min is [infinity] and max
-          [neg_infinity] while empty. A flat float array rather than
-          mutable float fields: in a mixed record every float store
-          boxes, so the hot [observe] path would allocate per
-          observation. *)
+  h_stripes : stripe array;  (** power-of-two length *)
+  h_smask : int;  (** [Array.length h_stripes - 1] *)
 }
-
-let hist_sum h = h.h_stats.(0)
-let hist_min h = h.h_stats.(1)
-let hist_max h = h.h_stats.(2)
 
 type metric = Counter of counter | Gauge of gauge | Histogram of histogram
 
 (** Process-wide switch for call sites inside hot loops (per-batch,
     per-pipeline). Registry bookkeeping itself is always available;
     this only gates the highest-frequency observation points so the
-    bench can measure metrics-on vs metrics-off. *)
+    bench can measure metrics-on vs metrics-off. A plain [ref]: the
+    only writer is the bench's single-threaded toggle, and a stale read
+    merely delays the gate by one observation (word-sized reads never
+    tear under the OCaml memory model). *)
 let enabled = ref true
 
-let inc c = c.c_value <- c.c_value + 1
-let add c n = c.c_value <- c.c_value + n
-let set g v = g.g_value <- v
+let inc c = Atomic.incr c.c_cell
+let add c n = ignore (Atomic.fetch_and_add c.c_cell n)
+let set g v = Atomic.set g.g_cell v
+let counter_value c = Atomic.get c.c_cell
+let gauge_value g = Atomic.get g.g_cell
+
+(** The stripe an observation on this domain goes to. Domain ids are
+    small consecutive ints, so workers spread across stripes; two
+    domains sharing a stripe is only a (rare) contention cost, never a
+    lost update. *)
+let stripe_of h = Array.unsafe_get h.h_stripes ((Domain.self () :> int) land h.h_smask)
 
 let observe h v =
+  let s = stripe_of h in
+  Mutex.lock s.p_mu;
   let i = bucket_of v in
-  h.h_buckets.(i) <- h.h_buckets.(i) + 1;
-  h.h_count <- h.h_count + 1;
-  let s = h.h_stats in
-  s.(0) <- s.(0) +. v;
-  if v < s.(1) then s.(1) <- v;
-  if v > s.(2) then s.(2) <- v
+  s.p_buckets.(i) <- s.p_buckets.(i) + 1;
+  s.p_count <- s.p_count + 1;
+  let st = s.p_stats in
+  st.(0) <- st.(0) +. v;
+  if v < st.(1) then st.(1) <- v;
+  if v > st.(2) then st.(2) <- v;
+  Mutex.unlock s.p_mu
 
 (* small non-negative ints (batch fills, row counts) hit a precomputed
    bucket table instead of paying a [Float.log] per observation — the
    integer observation points sit in per-batch loops. Kept as [Bytes]
    (4 KB, one page) rather than an int array (32 KB) to limit cache
    footprint on the hot path; bucket_of 4095. = 160 so every index
-   fits a byte with current bucket constants (checked at build). *)
+   fits a byte with current bucket constants (checked at build). Built
+   eagerly at module init: a [lazy] here would race when the first
+   observation comes from two domains at once. *)
 let int_bucket_table =
-  lazy
-    (Bytes.init 4096 (fun i ->
-         let b = bucket_of (float_of_int i) in
-         assert (b < 256);
-         Char.chr b))
+  Bytes.init 4096 (fun i ->
+      let b = bucket_of (float_of_int i) in
+      assert (b < 256);
+      Char.chr b)
 
 let observe_int h n =
   if n >= 0 && n < 4096 then begin
     let v = float_of_int n in
-    let i = Char.code (Bytes.unsafe_get (Lazy.force int_bucket_table) n) in
-    h.h_buckets.(i) <- h.h_buckets.(i) + 1;
-    h.h_count <- h.h_count + 1;
-    let s = h.h_stats in
-    s.(0) <- s.(0) +. v;
-    if v < s.(1) then s.(1) <- v;
-    if v > s.(2) then s.(2) <- v
+    let i = Char.code (Bytes.unsafe_get int_bucket_table n) in
+    let s = stripe_of h in
+    Mutex.lock s.p_mu;
+    s.p_buckets.(i) <- s.p_buckets.(i) + 1;
+    s.p_count <- s.p_count + 1;
+    let st = s.p_stats in
+    st.(0) <- st.(0) +. v;
+    if v < st.(1) then st.(1) <- v;
+    if v > st.(2) then st.(2) <- v;
+    Mutex.unlock s.p_mu
   end
   else observe h (float_of_int n)
 
+(* ------------------------------------------------------------------ *)
+(* Histogram readouts (stripe merges)                                   *)
+(* ------------------------------------------------------------------ *)
+
+(** A merged point-in-time copy of a histogram: what a single
+    accumulator would hold had it recorded every stripe's stream. *)
+type hist_snapshot = {
+  sn_count : int;
+  sn_buckets : int array;
+  sn_sum : float;
+  sn_min : float;  (** [infinity] while empty *)
+  sn_max : float;  (** [neg_infinity] while empty *)
+}
+
+(** Merge every stripe under its lock. Concurrent observations landing
+    while the merge walks the stripes appear in the next snapshot. *)
+let hist_snapshot h : hist_snapshot =
+  let buckets = Array.make n_buckets 0 in
+  let count = ref 0 and sum = ref 0. in
+  let mn = ref infinity and mx = ref neg_infinity in
+  Array.iter
+    (fun s ->
+      Mutex.lock s.p_mu;
+      Array.iteri (fun i n -> if n > 0 then buckets.(i) <- buckets.(i) + n) s.p_buckets;
+      count := !count + s.p_count;
+      sum := !sum +. s.p_stats.(0);
+      if s.p_stats.(1) < !mn then mn := s.p_stats.(1);
+      if s.p_stats.(2) > !mx then mx := s.p_stats.(2);
+      Mutex.unlock s.p_mu)
+    h.h_stripes;
+  { sn_count = !count; sn_buckets = buckets; sn_sum = !sum; sn_min = !mn; sn_max = !mx }
+
+let hist_count h = (hist_snapshot h).sn_count
+let hist_sum h = (hist_snapshot h).sn_sum
+let hist_min h = (hist_snapshot h).sn_min
+let hist_max h = (hist_snapshot h).sn_max
+
+(** Merged copy of the per-bucket counts (for tests and tooling). *)
+let hist_buckets h = (hist_snapshot h).sn_buckets
+
+let quantile_of_snapshot (s : hist_snapshot) q =
+  if s.sn_count = 0 then nan
+  else begin
+    let rank = int_of_float (Float.ceil (q *. float_of_int s.sn_count)) in
+    let rank = max 1 (min rank s.sn_count) in
+    let i = ref 0 and cum = ref 0 in
+    while !cum < rank && !i < n_buckets do
+      cum := !cum + s.sn_buckets.(!i);
+      if !cum < rank then incr i
+    done;
+    Float.max s.sn_min (Float.min (bucket_upper !i) s.sn_max)
+  end
+
 (** [quantile h q] for [q] in [[0,1]]: the upper edge of the bucket
     holding the rank-[ceil(q*count)] observation, clamped into
-    [[h_min, h_max]]. For any observation stream of values above
+    [[min, max]]. For any observation stream of values above
     {!bucket_lo} this is within one bucket ratio {e above} the exact
     sorted-order quantile; the underflow bucket carries no bound.
     [nan] while empty. *)
-let quantile h q =
-  if h.h_count = 0 then nan
-  else begin
-    let rank = int_of_float (Float.ceil (q *. float_of_int h.h_count)) in
-    let rank = max 1 (min rank h.h_count) in
-    let i = ref 0 and cum = ref 0 in
-    while !cum < rank && !i < n_buckets do
-      cum := !cum + h.h_buckets.(!i);
-      if !cum < rank then incr i
-    done;
-    Float.max (hist_min h) (Float.min (bucket_upper !i) (hist_max h))
-  end
+let quantile h q = quantile_of_snapshot (hist_snapshot h) q
 
 let hist_mean h =
-  if h.h_count = 0 then nan else hist_sum h /. float_of_int h.h_count
+  let s = hist_snapshot h in
+  if s.sn_count = 0 then nan else s.sn_sum /. float_of_int s.sn_count
 
-(** Merge [src] into [dst] field-wise: afterwards [dst] is exactly the
-    histogram that would have recorded both observation streams. *)
+(** Merge [src] into [dst] field-wise: afterwards [dst] reads exactly
+    like the histogram that would have recorded both observation
+    streams. The merge lands in [dst]'s first stripe. *)
 let merge_into ~dst (src : histogram) =
-  Array.iteri (fun i n -> dst.h_buckets.(i) <- dst.h_buckets.(i) + n) src.h_buckets;
-  dst.h_count <- dst.h_count + src.h_count;
-  dst.h_stats.(0) <- dst.h_stats.(0) +. src.h_stats.(0);
-  if src.h_stats.(1) < dst.h_stats.(1) then dst.h_stats.(1) <- src.h_stats.(1);
-  if src.h_stats.(2) > dst.h_stats.(2) then dst.h_stats.(2) <- src.h_stats.(2)
+  let s = hist_snapshot src in
+  let d = dst.h_stripes.(0) in
+  Mutex.lock d.p_mu;
+  Array.iteri (fun i n -> if n > 0 then d.p_buckets.(i) <- d.p_buckets.(i) + n) s.sn_buckets;
+  d.p_count <- d.p_count + s.sn_count;
+  d.p_stats.(0) <- d.p_stats.(0) +. s.sn_sum;
+  if s.sn_min < d.p_stats.(1) then d.p_stats.(1) <- s.sn_min;
+  if s.sn_max > d.p_stats.(2) then d.p_stats.(2) <- s.sn_max;
+  Mutex.unlock d.p_mu
 
-(** Standalone histogram, not attached to any registry (the query
-    store embeds one per entry). *)
-let hist_create ?(labels = []) name =
+let stripe_create () =
+  {
+    p_mu = Mutex.create ();
+    p_buckets = Array.make n_buckets 0;
+    p_count = 0;
+    p_stats = [| 0.; infinity; neg_infinity |];
+  }
+
+(** Registry histograms spread observers over this many stripes; small
+    enough that a full merge stays cheap, large enough that a worker
+    pool rarely shares one. *)
+let default_stripes = 8
+
+(** Standalone histogram, not attached to any registry. [stripes]
+    defaults to 1 — the embedded use case ({!Query_store} holds one per
+    entry, already under the store's shard lock) should not pay 8
+    bucket arrays per entry. *)
+let hist_create ?(labels = []) ?(stripes = 1) name =
+  let n =
+    let rec np2 k = if k >= stripes then k else np2 (k * 2) in
+    np2 1
+  in
   {
     h_name = name;
     h_labels = labels;
-    h_buckets = Array.make n_buckets 0;
-    h_count = 0;
-    h_stats = [| 0.; infinity; neg_infinity |];
+    h_stripes = Array.init n (fun _ -> stripe_create ());
+    h_smask = n - 1;
   }
 
 (* ------------------------------------------------------------------ *)
 (* Registry                                                             *)
 (* ------------------------------------------------------------------ *)
 
-type t = { tbl : (string, metric) Hashtbl.t }
+type t = {
+  tbl : (string, metric) Hashtbl.t;
+  mu : Mutex.t;  (** guards [tbl]: registration and snapshots *)
+}
 
-let create () : t = { tbl = Hashtbl.create 64 }
+let create () : t = { tbl = Hashtbl.create 64; mu = Mutex.create () }
 
 (** The process-wide default registry. Everything in the system charges
     here unless handed an explicit registry; exporters snapshot it. *)
@@ -205,18 +308,24 @@ let kind_name = function
 let find_or_create t name labels (make : unit -> metric) (extract : metric -> 'a)
     : 'a =
   let k = key name labels in
-  match Hashtbl.find_opt t.tbl k with
-  | Some m -> extract m
-  | None ->
-      let m = make () in
-      Hashtbl.replace t.tbl k m;
-      extract m
+  Mutex.lock t.mu;
+  let m =
+    match Hashtbl.find_opt t.tbl k with
+    | Some m -> m
+    | None ->
+        let m = make () in
+        Hashtbl.replace t.tbl k m;
+        m
+  in
+  Mutex.unlock t.mu;
+  extract m
 
 (** Find-or-create a counter. Raises [Invalid_argument] if the name is
     already registered as a different metric kind. *)
 let counter ?(labels = []) t name : counter =
   find_or_create t name labels
-    (fun () -> Counter { c_name = name; c_labels = labels; c_value = 0 })
+    (fun () ->
+      Counter { c_name = name; c_labels = labels; c_cell = Atomic.make 0 })
     (function
       | Counter c -> c
       | m ->
@@ -225,7 +334,8 @@ let counter ?(labels = []) t name : counter =
 
 let gauge ?(labels = []) t name : gauge =
   find_or_create t name labels
-    (fun () -> Gauge { g_name = name; g_labels = labels; g_value = 0. })
+    (fun () ->
+      Gauge { g_name = name; g_labels = labels; g_cell = Atomic.make 0. })
     (function
       | Gauge g -> g
       | m ->
@@ -234,7 +344,7 @@ let gauge ?(labels = []) t name : gauge =
 
 let histogram ?(labels = []) t name : histogram =
   find_or_create t name labels
-    (fun () -> Histogram (hist_create ~labels name))
+    (fun () -> Histogram (hist_create ~labels ~stripes:default_stripes name))
     (function
       | Histogram h -> h
       | m ->
@@ -244,24 +354,32 @@ let histogram ?(labels = []) t name : histogram =
 (** Zero every metric in place. Registrations (and any handles call
     sites cached) stay valid — only the accumulated values drop. *)
 let reset t =
+  Mutex.lock t.mu;
   Hashtbl.iter
     (fun _ m ->
       match m with
-      | Counter c -> c.c_value <- 0
-      | Gauge g -> g.g_value <- 0.
+      | Counter c -> Atomic.set c.c_cell 0
+      | Gauge g -> Atomic.set g.g_cell 0.
       | Histogram h ->
-          Array.fill h.h_buckets 0 n_buckets 0;
-          h.h_count <- 0;
-          h.h_stats.(0) <- 0.;
-          h.h_stats.(1) <- infinity;
-          h.h_stats.(2) <- neg_infinity)
-    t.tbl
+          Array.iter
+            (fun s ->
+              Mutex.lock s.p_mu;
+              Array.fill s.p_buckets 0 n_buckets 0;
+              s.p_count <- 0;
+              s.p_stats.(0) <- 0.;
+              s.p_stats.(1) <- infinity;
+              s.p_stats.(2) <- neg_infinity;
+              Mutex.unlock s.p_mu)
+            h.h_stripes)
+    t.tbl;
+  Mutex.unlock t.mu
 
 (** Snapshot in deterministic (sorted-key) order. *)
 let sorted_bindings t : (string * metric) list =
-  List.sort
-    (fun (a, _) (b, _) -> compare a b)
-    (Hashtbl.fold (fun k m acc -> (k, m) :: acc) t.tbl [])
+  Mutex.lock t.mu;
+  let bs = Hashtbl.fold (fun k m acc -> (k, m) :: acc) t.tbl [] in
+  Mutex.unlock t.mu;
+  List.sort (fun (a, _) (b, _) -> compare a b) bs
 
 (* ------------------------------------------------------------------ *)
 (* Exporters                                                            *)
@@ -272,21 +390,22 @@ let jfloat f = if Float.is_finite f then Json.Float f else Json.Null
 (** Histogram summary object: exact count/sum/min/max, the standard
     quantile readouts, and the sparse bucket array (index, count). *)
 let hist_to_json h : Json.t =
+  let s = hist_snapshot h in
   let buckets =
-    Array.to_list h.h_buckets
+    Array.to_list s.sn_buckets
     |> List.mapi (fun i n -> (i, n))
     |> List.filter (fun (_, n) -> n > 0)
     |> List.map (fun (i, n) -> Json.List [ Json.Int i; Json.Int n ])
   in
   Json.Obj
     [
-      ("count", Json.Int h.h_count);
-      ("sum", jfloat (hist_sum h));
-      ("min", jfloat (hist_min h));
-      ("max", jfloat (hist_max h));
-      ("p50", jfloat (quantile h 0.5));
-      ("p90", jfloat (quantile h 0.9));
-      ("p99", jfloat (quantile h 0.99));
+      ("count", Json.Int s.sn_count);
+      ("sum", jfloat s.sn_sum);
+      ("min", jfloat s.sn_min);
+      ("max", jfloat s.sn_max);
+      ("p50", jfloat (quantile_of_snapshot s 0.5));
+      ("p90", jfloat (quantile_of_snapshot s 0.9));
+      ("p99", jfloat (quantile_of_snapshot s 0.99));
       ("buckets", Json.List buckets);
     ]
 
@@ -297,8 +416,8 @@ let to_json t : Json.t =
   List.iter
     (fun (k, m) ->
       match m with
-      | Counter c -> counters := (k, Json.Int c.c_value) :: !counters
-      | Gauge g -> gauges := (k, jfloat g.g_value) :: !gauges
+      | Counter c -> counters := (k, Json.Int (counter_value c)) :: !counters
+      | Gauge g -> gauges := (k, jfloat (gauge_value g)) :: !gauges
       | Histogram h -> hists := (k, hist_to_json h) :: !hists)
     (List.rev (sorted_bindings t));
   Json.Obj
@@ -352,22 +471,23 @@ let to_prometheus t : string =
           type_line c.c_name "counter";
           Buffer.add_string buf
             (Printf.sprintf "%s%s %d\n" c.c_name (prom_labels c.c_labels)
-               c.c_value)
+               (counter_value c))
       | Gauge g ->
           type_line g.g_name "gauge";
           Buffer.add_string buf
             (Printf.sprintf "%s%s %s\n" g.g_name (prom_labels g.g_labels)
-               (prom_float g.g_value))
+               (prom_float (gauge_value g)))
       | Histogram h ->
           type_line h.h_name "histogram";
+          let s = hist_snapshot h in
           let last =
             let l = ref (-1) in
-            Array.iteri (fun i n -> if n > 0 then l := i) h.h_buckets;
+            Array.iteri (fun i n -> if n > 0 then l := i) s.sn_buckets;
             !l
           in
           let cum = ref 0 in
           for i = 0 to last do
-            cum := !cum + h.h_buckets.(i);
+            cum := !cum + s.sn_buckets.(i);
             Buffer.add_string buf
               (Printf.sprintf "%s_bucket%s %d\n" h.h_name
                  (prom_labels (("le", prom_float (bucket_upper i)) :: h.h_labels))
@@ -376,13 +496,13 @@ let to_prometheus t : string =
           Buffer.add_string buf
             (Printf.sprintf "%s_bucket%s %d\n" h.h_name
                (prom_labels (("le", "+Inf") :: h.h_labels))
-               h.h_count);
+               s.sn_count);
           Buffer.add_string buf
             (Printf.sprintf "%s_sum%s %s\n" h.h_name (prom_labels h.h_labels)
-               (prom_float (hist_sum h)));
+               (prom_float s.sn_sum));
           Buffer.add_string buf
             (Printf.sprintf "%s_count%s %d\n" h.h_name (prom_labels h.h_labels)
-               h.h_count))
+               s.sn_count))
     (sorted_bindings t);
   Buffer.contents buf
 
@@ -397,15 +517,23 @@ let to_text t : string =
   List.iter
     (fun (k, m) ->
       match m with
-      | Counter c -> Buffer.add_string buf (Printf.sprintf "%-*s %d\n" width k c.c_value)
+      | Counter c ->
+          Buffer.add_string buf
+            (Printf.sprintf "%-*s %d\n" width k (counter_value c))
       | Gauge g ->
-          Buffer.add_string buf (Printf.sprintf "%-*s %.3f\n" width k g.g_value)
+          Buffer.add_string buf
+            (Printf.sprintf "%-*s %.3f\n" width k (gauge_value g))
       | Histogram h ->
+          let s = hist_snapshot h in
           Buffer.add_string buf
             (Printf.sprintf
                "%-*s count=%d mean=%.3g p50=%.3g p90=%.3g p99=%.3g max=%.3g\n"
-               width k h.h_count (hist_mean h) (quantile h 0.5) (quantile h 0.9)
-               (quantile h 0.99)
-               (if h.h_count = 0 then nan else hist_max h)))
+               width k s.sn_count
+               (if s.sn_count = 0 then nan
+                else s.sn_sum /. float_of_int s.sn_count)
+               (quantile_of_snapshot s 0.5)
+               (quantile_of_snapshot s 0.9)
+               (quantile_of_snapshot s 0.99)
+               (if s.sn_count = 0 then nan else s.sn_max)))
     bindings;
   Buffer.contents buf

@@ -17,6 +17,19 @@
     counted). Hash collisions are disambiguated by the canonical query
     text, mirroring {!Plan_cache}'s verified probes.
 
+    {b Domain safety.} Sharded exactly like the plan cache: the
+    fingerprint picks one of a power-of-two number of shards, each an
+    independent hashtable behind its own mutex. [observe] performs
+    {e every} mutation of the entry — counts, meters, the embedded
+    latency histogram, and the optional hard-parse transformation and
+    Q-error attachments — inside the one shard lock, so an entry's
+    fields never tear apart under concurrent executions of the same
+    query shape and no observation is lost. The default [shards = 1]
+    keeps the single-lock behavior (and one global LRU order) of a
+    private store. The bare [record_tx] / [record_qerr] helpers mutate
+    an entry directly and are for single-domain use only; concurrent
+    callers pass [~txs] / [~qerrs] to [observe] instead.
+
     Deliberately generic (fingerprint [int] + rendered text) so it can
     live below {!Sqlir} in the build graph; the service layer owns the
     fingerprinting and rendering. The JSON snapshot separates
@@ -57,28 +70,72 @@ let qe_exec_s e = e.qe_secs.(0)
 
 let qe_parse_s e = e.qe_secs.(1)
 
-type t = {
+type shard = {
+  mu : Mutex.t;
   tbl : (int, entry list) Hashtbl.t;
-  capacity : int;
   mutable clock : int;
   mutable evictions : int;
+  mutable entries : int;  (** live entry count (O(1) capacity check) *)
 }
 
-let create ?(capacity = 256) () : t =
+type t = {
+  shards : shard array;  (** power-of-two length *)
+  smask : int;
+  shard_capacity : int;  (** per-shard entry bound *)
+}
+
+let create ?(capacity = 256) ?(shards = 1) () : t =
+  let capacity = max 1 capacity in
+  let n =
+    let rec np2 k = if k >= shards || k >= 256 then k else np2 (k * 2) in
+    np2 1
+  in
+  let shard_capacity = (capacity + n - 1) / n in
   {
-    tbl = Hashtbl.create (max 16 capacity);
-    capacity = max 1 capacity;
-    clock = 0;
-    evictions = 0;
+    shards =
+      Array.init n (fun _ ->
+          {
+            mu = Mutex.create ();
+            tbl = Hashtbl.create (max 16 shard_capacity);
+            clock = 0;
+            evictions = 0;
+            entries = 0;
+          });
+    smask = n - 1;
+    shard_capacity;
   }
 
-let length t = Hashtbl.fold (fun _ es n -> n + List.length es) t.tbl 0
-let evictions t = t.evictions
+let shard_of t (fp : int) = Array.unsafe_get t.shards (fp land t.smask)
+
+let length t =
+  Array.fold_left
+    (fun n s ->
+      Mutex.lock s.mu;
+      let e = s.entries in
+      Mutex.unlock s.mu;
+      n + e)
+    0 t.shards
+
+let evictions t =
+  Array.fold_left
+    (fun n s ->
+      Mutex.lock s.mu;
+      let e = s.evictions in
+      Mutex.unlock s.mu;
+      n + e)
+    0 t.shards
 
 let entries t : entry list =
-  Hashtbl.fold (fun _ es acc -> es @ acc) t.tbl []
+  Array.fold_left
+    (fun acc s ->
+      Mutex.lock s.mu;
+      let es = Hashtbl.fold (fun _ es acc -> es @ acc) s.tbl acc in
+      Mutex.unlock s.mu;
+      es)
+    [] t.shards
 
-let evict_lru t =
+(* caller holds [s.mu] *)
+let evict_lru_locked s =
   let victim =
     Hashtbl.fold
       (fun _ es acc ->
@@ -88,18 +145,38 @@ let evict_lru t =
             | Some best when best.qe_last_used <= e.qe_last_used -> acc
             | _ -> Some e)
           acc es)
-      t.tbl None
+      s.tbl None
   in
   match victim with
   | None -> ()
   | Some e ->
-      (match Hashtbl.find_opt t.tbl e.qe_fp with
+      (match Hashtbl.find_opt s.tbl e.qe_fp with
       | None -> ()
       | Some es -> (
           match List.filter (fun e' -> e' != e) es with
-          | [] -> Hashtbl.remove t.tbl e.qe_fp
-          | es' -> Hashtbl.replace t.tbl e.qe_fp es'));
-      t.evictions <- t.evictions + 1
+          | [] -> Hashtbl.remove s.tbl e.qe_fp
+          | es' -> Hashtbl.replace s.tbl e.qe_fp es'));
+      s.entries <- s.entries - 1;
+      s.evictions <- s.evictions + 1
+
+(* caller holds the entry's shard lock *)
+let record_tx_locked (e : entry) ~(name : string) ~(accepted : bool) : unit =
+  let att, acc =
+    match Hashtbl.find_opt e.qe_tx name with Some p -> p | None -> (0, 0)
+  in
+  Hashtbl.replace e.qe_tx name (att + 1, if accepted then acc + 1 else acc)
+
+(* caller holds the entry's shard lock *)
+let record_qerr_locked (e : entry) (qerrs : float list) : unit =
+  List.iter
+    (fun q ->
+      if Float.is_finite q then begin
+        if Float.is_nan e.qe_qerr_max || q > e.qe_qerr_max then
+          e.qe_qerr_max <- q;
+        e.qe_qerr_sum <- e.qe_qerr_sum +. q;
+        e.qe_qerr_n <- e.qe_qerr_n + 1
+      end)
+    qerrs
 
 (** One execution observed for fingerprint [fp]. [text] is evaluated
     only when the entry is created (rendering the canonical query is
@@ -107,16 +184,22 @@ let evict_lru t =
     canonical order named by [meter_names] ([Exec.Meter.field_names]
     upstream); callers pass one shared physically-equal [meter_names]
     array, which keeps accumulation a positional unboxed loop on the
-    hot path. Returns the (created or updated) entry so the caller can
-    attach hard-parse and feedback data. *)
-let observe t ~(fp : int) ~(text : unit -> string) ~(outcome : string)
-    ~(rows : int) ~(exec_s : float) ~(parse_s : float)
-    ~(meter_names : string array) ~(meter : int array)
-    ~(vec_pipelines : int) ~(row_pipelines : int) : entry =
-  let bucket =
-    match Hashtbl.find_opt t.tbl fp with None -> [] | Some es -> es
-  in
+    hot path. [txs] (transformation attempts of a hard parse) and
+    [qerrs] (per-operator Q-errors of an EXPLAIN-ANALYZE run) are
+    folded in under the same shard lock as the rest of the update.
+    Returns the (created or updated) entry for single-domain callers
+    that want to attach more data. *)
+let observe ?(txs : (string * bool) list = []) ?(qerrs : float list = []) t
+    ~(fp : int) ~(text : unit -> string) ~(outcome : string) ~(rows : int)
+    ~(exec_s : float) ~(parse_s : float) ~(meter_names : string array)
+    ~(meter : int array) ~(vec_pipelines : int) ~(row_pipelines : int) : entry
+    =
+  let s = shard_of t fp in
+  Mutex.lock s.mu;
   let e =
+    let bucket =
+      match Hashtbl.find_opt s.tbl fp with None -> [] | Some es -> es
+    in
     match
       match bucket with
       | [ e ] -> Some e (* common case: no collision, skip rendering *)
@@ -127,8 +210,8 @@ let observe t ~(fp : int) ~(text : unit -> string) ~(outcome : string)
     with
     | Some e -> e
     | None ->
-        while length t >= t.capacity do
-          evict_lru t
+        while s.entries >= t.shard_capacity do
+          evict_lru_locked s
         done;
         let e =
           {
@@ -153,12 +236,13 @@ let observe t ~(fp : int) ~(text : unit -> string) ~(outcome : string)
             qe_last_used = 0;
           }
         in
-        Hashtbl.replace t.tbl fp
-          (e :: (match Hashtbl.find_opt t.tbl fp with None -> [] | Some es -> es));
+        Hashtbl.replace s.tbl fp
+          (e :: (match Hashtbl.find_opt s.tbl fp with None -> [] | Some es -> es));
+        s.entries <- s.entries + 1;
         e
   in
-  t.clock <- t.clock + 1;
-  e.qe_last_used <- t.clock;
+  s.clock <- s.clock + 1;
+  e.qe_last_used <- s.clock;
   e.qe_execs <- e.qe_execs + 1;
   (match outcome with
   | "hit" -> e.qe_soft <- e.qe_soft + 1
@@ -199,28 +283,22 @@ let observe t ~(fp : int) ~(text : unit -> string) ~(outcome : string)
        meter);
   e.qe_vec_pipelines <- e.qe_vec_pipelines + vec_pipelines;
   e.qe_row_pipelines <- e.qe_row_pipelines + row_pipelines;
+  List.iter (fun (name, accepted) -> record_tx_locked e ~name ~accepted) txs;
+  if qerrs <> [] then record_qerr_locked e qerrs;
+  Mutex.unlock s.mu;
   e
 
 (** Record one transformation attempt (and whether its rewrite was
-    accepted) from a hard parse's optimizer report. *)
+    accepted) from a hard parse's optimizer report. Single-domain use
+    only — concurrent callers pass [~txs] to {!observe}. *)
 let record_tx (e : entry) ~(name : string) ~(accepted : bool) : unit =
-  let att, acc =
-    match Hashtbl.find_opt e.qe_tx name with Some p -> p | None -> (0, 0)
-  in
-  Hashtbl.replace e.qe_tx name (att + 1, if accepted then acc + 1 else acc)
+  record_tx_locked e ~name ~accepted
 
 (** Fold per-operator Q-errors of one EXPLAIN-ANALYZE run into the
-    entry's max / mean aggregates. *)
+    entry's max / mean aggregates. Single-domain use only — concurrent
+    callers pass [~qerrs] to {!observe}. *)
 let record_qerr (e : entry) (qerrs : float list) : unit =
-  List.iter
-    (fun q ->
-      if Float.is_finite q then begin
-        if Float.is_nan e.qe_qerr_max || q > e.qe_qerr_max then
-          e.qe_qerr_max <- q;
-        e.qe_qerr_sum <- e.qe_qerr_sum +. q;
-        e.qe_qerr_n <- e.qe_qerr_n + 1
-      end)
-    qerrs
+  record_qerr_locked e qerrs
 
 let qerr_mean e =
   if e.qe_qerr_n = 0 then nan else e.qe_qerr_sum /. float_of_int e.qe_qerr_n
@@ -293,7 +371,7 @@ let report_string ?(top_n = 10) t : string =
   String.concat "\n"
     [
       Printf.sprintf "query store: %d fingerprints, %d evictions" (length t)
-        t.evictions;
+        (evictions t);
       top_table t By_time top_n;
       top_table t By_qerr top_n;
       top_table t By_execs top_n;
@@ -367,6 +445,6 @@ let to_json ?(wall = true) t : Json.t =
   Json.Obj
     [
       ("fingerprints", Json.Int (length t));
-      ("evictions", Json.Int t.evictions);
+      ("evictions", Json.Int (evictions t));
       ("entries", Json.List (List.map (entry_to_json ~wall) es));
     ]

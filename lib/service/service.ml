@@ -174,11 +174,39 @@ let m_meter_fields =
    on (physical equality = the positional fast path) *)
 let meter_names = lazy (Array.of_list Exec.Meter.field_names)
 
-let create ?(config = default_config) (db : Db.t) : t =
+(** Force every cached lazy metric handle on the query path. OCaml's
+    [Lazy.force] raises [Lazy.Undefined] when two domains race the same
+    unforced suspension, so a concurrent server calls this once before
+    spawning workers; single-domain users never need it. *)
+let prewarm () =
+  ignore (Lazy.force m_soft_parse);
+  ignore (Lazy.force m_hard_parse);
+  ignore (Lazy.force m_execute);
+  ignore (Lazy.force m_rows);
+  ignore (Lazy.force m_oc_hit);
+  ignore (Lazy.force m_oc_miss);
+  ignore (Lazy.force m_oc_inval);
+  ignore (Lazy.force m_oc_reval);
+  ignore (Lazy.force m_meter_fields);
+  ignore (Lazy.force meter_names);
+  Plan_cache.prewarm ();
+  Exec.Cursor.prewarm_metrics ()
+
+(** [create ?cache ?store db] builds a service over [db]. [cache] and
+    [store] default to private single-shard instances sized by the
+    config; a concurrent server passes one {e shared} sharded plan
+    cache and query store to all of its per-worker services, which is
+    the only sharing the service layer needs — everything else in [t]
+    (parse counters, hint memo, engine stats, meter accumulators) is
+    single-domain state owned by one worker. *)
+let create ?(config = default_config) ?cache ?store (db : Db.t) : t =
   {
     db;
     cfg = config;
-    cache = Plan_cache.create ~capacity:config.capacity ();
+    cache =
+      (match cache with
+      | Some c -> c
+      | None -> Plan_cache.create ~capacity:config.capacity ());
     tracer = Tr.create config.trace;
     hints = Exec.Executor.Ptbl.create 64;
     estats = Exec.Executor.engine_stats_create ();
@@ -186,7 +214,10 @@ let create ?(config = default_config) (db : Db.t) : t =
     soft_s = 0.;
     hard_parses = 0;
     hard_s = 0.;
-    store = Qs.create ~capacity:config.store_capacity ();
+    store =
+      (match store with
+      | Some s -> s
+      | None -> Qs.create ~capacity:config.store_capacity ());
     meter_tot = Array.make (List.length Exec.Meter.field_names) 0;
     meter_pub = Array.make (List.length Exec.Meter.field_names) 0;
   }
@@ -216,11 +247,17 @@ let hints_of t (plan : Exec.Plan.t) : Exec.Plan.t -> float option =
       Exec.Executor.Ptbl.add t.hints plan h;
       h
 
+(* both walk one consistent point-in-time view of the catalog's epoch
+   map ([Catalog.epochs_snapshot] is the acquire side of the stats
+   publication protocol), so a multi-table plan never records or
+   validates against a mix of two different stats refreshes *)
 let epochs_of t (tables : string list) : (string * int) list =
-  List.map (fun tb -> (tb, Catalog.epoch t.db.Db.cat tb)) tables
+  let ep = Catalog.epochs_snapshot t.db.Db.cat in
+  List.map (fun tb -> (tb, ep tb)) tables
 
 let epochs_current t (snapshot : (string * int) list) : bool =
-  List.for_all (fun (tb, ep) -> Catalog.epoch t.db.Db.cat tb = ep) snapshot
+  let ep = Catalog.epochs_snapshot t.db.Db.cat in
+  List.for_all (fun (tb, e) -> ep tb = e) snapshot
 
 (** Hard parse: run the CBQT pipeline over the peeked parameterized
     query. Returns the full driver result so the transformation report
@@ -283,7 +320,7 @@ let resolve t (peeked : A.query) : resolved =
             finish Hit e.Plan_cache.e_ann
         | Some e ->
             (* stale stats epoch: lazy recompilation *)
-            Plan_cache.count_invalidation t.cache;
+            Plan_cache.count_invalidation t.cache ~h;
             let res = compile t peeked in
             let ann = res.D.res_annotation in
             let report = res.D.res_report in
@@ -296,7 +333,7 @@ let resolve t (peeked : A.query) : resolved =
             then (
               (* cost-delta guard: the refreshed statistics do not move
                  the estimate enough to justify plan churn *)
-              e.Plan_cache.e_epochs <- epochs;
+              Plan_cache.refresh_epochs t.cache ~h e ~epochs;
               finish Revalidated ~report e.Plan_cache.e_ann)
             else
               let e' = Plan_cache.replace t.cache ~h ~old_e:e ~ann ~epochs in
@@ -427,26 +464,32 @@ let exec_ir t (q : A.query) (binds : Value.t list) : exec_result =
      let vals = Exec.Meter.values meter in
      let tot = t.meter_tot in
      Array.iteri (fun i v -> tot.(i) <- tot.(i) + v) vals;
-     let entry =
-       Qs.observe t.store ~fp:rs.rs_fp
-         ~text:(fun () -> squeeze_ws (Pp.query_to_string rs.rs_key))
-         ~outcome:(outcome_name rs.rs_outcome)
-         ~rows:nrows ~exec_s ~parse_s:rs.rs_parse_s
-         ~meter_names:(Lazy.force meter_names) ~meter:vals
-         ~vec_pipelines:es.Exec.Executor.es_vector
-         ~row_pipelines:es.Exec.Executor.es_row
+     (* hard-parse transformation outcomes and analyze-mode Q-errors
+        ride into the store through [observe] so the whole entry
+        update happens under one shard lock (concurrent executions of
+        the same shape never interleave a half-attached update) *)
+     let txs =
+       match rs.rs_report with
+       | None -> []
+       | Some rp ->
+           List.map
+             (fun s ->
+               (s.D.sr_name, List.exists Fun.id s.D.sr_chosen))
+             rp.D.rp_steps
      in
-     (match rs.rs_report with
-     | Some rp ->
-         List.iter
-           (fun s ->
-             Qs.record_tx entry ~name:s.D.sr_name
-               ~accepted:(List.exists Fun.id s.D.sr_chosen))
-           rp.D.rp_steps
-     | None -> ());
-     match stat_of with
-     | Some stat_of -> Qs.record_qerr entry (qerrors t plan stat_of)
-     | None -> ()
+     let qerrs =
+       match stat_of with
+       | Some stat_of -> qerrors t plan stat_of
+       | None -> []
+     in
+     ignore
+       (Qs.observe t.store ~txs ~qerrs ~fp:rs.rs_fp
+          ~text:(fun () -> squeeze_ws (Pp.query_to_string rs.rs_key))
+          ~outcome:(outcome_name rs.rs_outcome)
+          ~rows:nrows ~exec_s ~parse_s:rs.rs_parse_s
+          ~meter_names:(Lazy.force meter_names) ~meter:vals
+          ~vec_pipelines:es.Exec.Executor.es_vector
+          ~row_pipelines:es.Exec.Executor.es_row)
    end);
   {
     r_layout = layout;
@@ -499,12 +542,7 @@ let report t : report =
        t.meter_tot;
      (* refresh the cache gauges at report time so a snapshot taken
         right after (serve --metrics-out, stats) sees current values *)
-     Mx.set
-       (Mx.gauge Mx.default "plan_cache_memory_words")
-       (float_of_int (Plan_cache.memory_words t.cache));
-     Mx.set
-       (Mx.gauge Mx.default "plan_cache_entries")
-       (float_of_int (Plan_cache.length t.cache))
+     Plan_cache.publish_metrics t.cache
    end);
   {
     sv_soft_parses = t.soft_parses;

@@ -333,19 +333,58 @@ let prop_merge_equals_record_all =
       let merged = record_all xs in
       Mx.merge_into ~dst:merged (record_all ys);
       let all = record_all (xs @ ys) in
-      merged.Mx.h_buckets = all.Mx.h_buckets
-      && merged.Mx.h_count = all.Mx.h_count
+      Mx.hist_buckets merged = Mx.hist_buckets all
+      && Mx.hist_count merged = Mx.hist_count all
       && Mx.hist_min merged = Mx.hist_min all
       && Mx.hist_max merged = Mx.hist_max all
       && Float.abs (Mx.hist_sum merged -. Mx.hist_sum all)
          <= 1e-9 *. Float.max 1. (Float.abs (Mx.hist_sum all)))
+
+(* the lost-update property: N domains hammering one shared counter and
+   lock-striped histogram produce exactly the single-domain sequential
+   totals — counts and buckets bit-exact, sums within float
+   reassociation tolerance *)
+let prop_concurrent_observes_exact =
+  QCheck.Test.make ~count:15
+    ~name:"concurrent observes from N domains sum exactly like sequential"
+    (QCheck.make
+       ~print:(fun (d, vs) ->
+         Printf.sprintf "%d domains x %d values" d (List.length vs))
+       QCheck.Gen.(
+         pair (int_range 2 4) (list_size (int_range 1 200) gen_value)))
+    (fun (domains, vs) ->
+      let values = Array.of_list vs in
+      let n = Array.length values in
+      let r = Mx.create () in
+      let c = Mx.counter r "observes_total" in
+      let h = Mx.hist_create ~stripes:8 "h" in
+      let ds =
+        Array.init domains (fun _ ->
+            Domain.spawn (fun () ->
+                for _ = 1 to 50 do
+                  Array.iter
+                    (fun v ->
+                      Mx.inc c;
+                      Mx.observe h v)
+                    values
+                done))
+      in
+      Array.iter Domain.join ds;
+      let seq = record_all (List.concat (List.init (domains * 50) (fun _ -> vs))) in
+      Mx.counter_value c = domains * 50 * n
+      && Mx.hist_count h = Mx.hist_count seq
+      && Mx.hist_buckets h = Mx.hist_buckets seq
+      && Mx.hist_min h = Mx.hist_min seq
+      && Mx.hist_max h = Mx.hist_max seq
+      && Float.abs (Mx.hist_sum h -. Mx.hist_sum seq)
+         <= 1e-9 *. Float.max 1. (Mx.hist_sum seq))
 
 let test_registry_basics () =
   let r = Mx.create () in
   let c = Mx.counter r "requests_total" in
   Mx.inc c;
   Mx.add c 4;
-  Alcotest.(check int) "counter accumulates" 5 c.Mx.c_value;
+  Alcotest.(check int) "counter accumulates" 5 (Mx.counter_value c);
   Alcotest.(check bool)
     "find-or-create returns the same record" true
     (Mx.counter r "requests_total" == c);
@@ -357,12 +396,12 @@ let test_registry_basics () =
   let h = Mx.histogram r "latency_seconds" in
   Mx.observe h 0.5;
   Mx.reset r;
-  Alcotest.(check int) "reset zeroes counters in place" 0 c.Mx.c_value;
-  Alcotest.(check int) "reset zeroes histograms in place" 0 h.Mx.h_count;
+  Alcotest.(check int) "reset zeroes counters in place" 0 (Mx.counter_value c);
+  Alcotest.(check int) "reset zeroes histograms in place" 0 (Mx.hist_count h);
   Mx.inc c;
   Alcotest.(check int)
     "cached handle still live after reset" 1
-    (Mx.counter r "requests_total").Mx.c_value
+    (Mx.counter_value (Mx.counter r "requests_total"))
 
 let sample_registry () =
   let r = Mx.create () in
@@ -519,6 +558,10 @@ let () =
           Alcotest.test_case "meter field names in sync" `Quick
             test_meter_field_names_sync;
         ]
-        @ qsuite [ prop_quantile_within_bucket; prop_merge_equals_record_all ]
-      );
+        @ qsuite
+            [
+              prop_quantile_within_bucket;
+              prop_merge_equals_record_all;
+              prop_concurrent_observes_exact;
+            ] );
     ]

@@ -336,9 +336,9 @@ let test_registry_wiring () =
   let svc = run_workload ~config:Svc.default_config ~n:10 ~passes:2 ~seed:13 in
   let r = Svc.report svc in
   let oc name =
-    (Mx.counter ~labels:[ ("outcome", name) ] Mx.default
-       "svc_cache_outcomes_total")
-      .Mx.c_value
+    Mx.counter_value
+      (Mx.counter ~labels:[ ("outcome", name) ] Mx.default
+         "svc_cache_outcomes_total")
   in
   Alcotest.(check int)
     "hit outcomes = soft parses" r.Svc.sv_soft_parses (oc "hit");
@@ -347,20 +347,21 @@ let test_registry_wiring () =
     (oc "miss" + oc "invalidated" + oc "revalidated");
   Alcotest.(check bool)
     "rows counter accumulated" true
-    ((Mx.counter Mx.default "svc_rows_returned_total").Mx.c_value >= 0);
+    (Mx.counter_value (Mx.counter Mx.default "svc_rows_returned_total") >= 0);
   Alcotest.(check int)
     "parse histogram count = soft parses" r.Svc.sv_soft_parses
-    (Mx.histogram ~labels:[ ("kind", "soft") ] Mx.default "svc_parse_seconds")
-      .Mx.h_count;
+    (Mx.hist_count
+       (Mx.histogram ~labels:[ ("kind", "soft") ] Mx.default
+          "svc_parse_seconds"));
   (* satellite: the cache's memory accounting surfaces as a gauge *)
   Alcotest.(check (float 0.))
     "plan-cache memory gauge matches report"
     (float_of_int r.Svc.sv_memory_words)
-    (Mx.gauge Mx.default "plan_cache_memory_words").Mx.g_value;
+    (Mx.gauge_value (Mx.gauge Mx.default "plan_cache_memory_words"));
   Alcotest.(check (float 0.))
     "plan-cache entries gauge matches report"
     (float_of_int r.Svc.sv_entries)
-    (Mx.gauge Mx.default "plan_cache_entries").Mx.g_value
+    (Mx.gauge_value (Mx.gauge Mx.default "plan_cache_entries"))
 
 let test_metrics_off () =
   Mx.reset Mx.default;
@@ -371,9 +372,9 @@ let test_metrics_off () =
     (Qs.length (Svc.query_store svc));
   Alcotest.(check int)
     "no outcome counters with metrics off" 0
-    (Mx.counter ~labels:[ ("outcome", "miss") ] Mx.default
-       "svc_cache_outcomes_total")
-      .Mx.c_value
+    (Mx.counter_value
+       (Mx.counter ~labels:[ ("outcome", "miss") ] Mx.default
+          "svc_cache_outcomes_total"))
 
 let () =
   let to_alco = QCheck_alcotest.to_alcotest in
