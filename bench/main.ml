@@ -33,6 +33,11 @@
       per-count order-insensitive result digests checked against the
       1-worker run and the reported core count so CI can gate the
       4-worker speedup only on multi-core runners.
+    - [parallel] — intra-query parallelism over partitioned fact
+      tables: warm rows/sec at DOP 1/2/4(/8) vs the serial plans on a
+      10x-scaled dataset, with rows and merged meters checked
+      bit-identical at every DOP, plus the costed-pruning scan ratio
+      (partition-key-selective scan with the prune spec on vs off).
 
     "Execution time" is metered work units (see {!Exec.Meter});
     "optimization time" is wall clock. Absolute values are not
@@ -1225,6 +1230,184 @@ let server () =
   jadd "lost_requests" (jint lost)
 
 (* ------------------------------------------------------------------ *)
+(* Parallel: partition-parallel execution and costed pruning            *)
+(* ------------------------------------------------------------------ *)
+
+(** Intra-query parallelism over partitioned fact tables: the DOP
+    post-pass wraps scan / two-phase-aggregation / co-located-join
+    regions in exchanges, and the same statement list runs at DOP
+    1/2/4(/8) against the serial plans. Correctness is the headline:
+    rows must be bit-identical to the serial plans at every DOP, and
+    the merged meters must not depend on the DOP at all (the plan
+    determines the metered work; domains only split it). Throughput is
+    warm best-of-3 rows/sec per DOP; [Domain.recommended_domain_count]
+    clamps the degree, so on starved runners every DOP collapses to 1
+    and the emitted [cores] field lets CI skip the speedup gate.
+    Pruning rides along: the same partition-key-selective scan with and
+    without its prune spec, gated on identical rows and on scanning
+    under half the partitions' rows. *)
+let parallel () =
+  let module P = Exec.Plan in
+  let module A = Sqlir.Ast in
+  let module Par = Planner.Parallel in
+  let module Val = Sqlir.Value in
+  (* 10x at full scale; floored well above the base size so the CI
+     smoke still gives each domain real scan work *)
+  let row_scale = Float.max 8.0 (10. *. !scale) in
+  let db, _ =
+    SG.build ~families:2 ~sample_frac:!sample ~row_scale ~partitions:8
+      ~seed:!seed ()
+  in
+  let cat = db.Storage.Db.cat in
+  (* fixed statements over the always-present f0 family: a plain
+     filtered scan, two group-bys (two-phase split), and a fact-mid
+     join on the co-location keys *)
+  let sqls =
+    [
+      "SELECT f.id, f.m1 FROM f0_fact0 f WHERE f.m1 > 2000";
+      "SELECT f.status_c, SUM(f.m1), COUNT(f.id) FROM f0_fact0 f GROUP BY \
+       f.status_c";
+      "SELECT f.region, SUM(f.m2), COUNT(f.id) FROM f0_fact0 f WHERE f.m1 > \
+       500 GROUP BY f.region";
+      "SELECT f.id, m.status FROM f0_fact0 f, f0_mid m WHERE f.mid_id = m.id \
+       AND f.m2 < 8000";
+    ]
+  in
+  let plans =
+    List.filter_map
+      (fun sql ->
+        match D.optimize cat (Sqlparse.Parser.parse_exn cat sql) with
+        | res -> Some res.D.res_annotation.Planner.Annotation.an_plan
+        | exception _ -> None)
+      sqls
+  in
+  let pass plans =
+    let meter = Exec.Meter.create () in
+    let es = Exec.Executor.engine_stats_create () in
+    let t0 = Unix.gettimeofday () in
+    let rowss =
+      List.map
+        (fun p ->
+          let _, rows, _ =
+            Exec.Executor.execute ~meter ~engine_stats:es db p
+          in
+          rows)
+        plans
+    in
+    let t = Unix.gettimeofday () -. t0 in
+    (rowss, meter, es, t)
+  in
+  let warm plans =
+    let rowss, meter, es, t0 = pass plans in
+    let best = ref t0 in
+    for _ = 1 to 2 do
+      let _, _, _, t = pass plans in
+      if t < !best then best := t
+    done;
+    (rowss, meter, es, !best)
+  in
+  let cores = Domain.recommended_domain_count () in
+  let dops = [ 1; 2; 4 ] @ (if cores >= 8 then [ 8 ] else []) in
+  let ser_rowss, ser_meter, _, ser_t = warm plans in
+  let runs =
+    List.map
+      (fun d ->
+        let plans_d =
+          List.map (Par.apply cat ~dop:(Par.Fixed d)) plans
+        in
+        let rowss, meter, es, t = warm plans_d in
+        (d, rowss, meter, es, t))
+      dops
+  in
+  let rows_out = ser_meter.Exec.Meter.rows_out in
+  let rps t = float_of_int rows_out /. Float.max 1e-9 t in
+  let results_agree =
+    List.for_all (fun (_, rowss, _, _, _) -> rowss = ser_rowss) runs
+  in
+  let meters_agree =
+    match runs with
+    | (_, _, m0, _, _) :: rest ->
+        List.for_all (fun (_, _, m, _, _) -> m = m0) rest
+    | [] -> true
+  in
+  let t_of d =
+    List.find_map
+      (fun (d', _, _, _, t) -> if d = d' then Some t else None)
+      runs
+    |> Option.value ~default:nan
+  in
+  let speedup = rps (t_of 4) /. Float.max 1e-9 (rps (t_of 1)) in
+  let observed_dop =
+    List.fold_left
+      (fun acc (_, _, _, es, _) -> max acc es.Exec.Executor.es_dop)
+      0 runs
+  in
+  (* -- costed partition pruning: hash-eq on the partition key --------
+     Same scan, same filter, prune spec on vs off: rows must match,
+     and the pruned scan reads only the key's own partition. *)
+  let fact = "f0_fact0" in
+  let key = A.Col { A.c_alias = "f"; A.c_col = "mid_id" } in
+  let v = A.Const (Val.Int 5) in
+  let mk prune =
+    P.Part_scan
+      { table = fact; alias = "f"; filter = [ A.Cmp (A.Eq, key, v) ]; prune }
+  in
+  let run1 p =
+    let meter = Exec.Meter.create () in
+    let es = Exec.Executor.engine_stats_create () in
+    let _, rows, _ = Exec.Executor.execute ~meter ~engine_stats:es db p in
+    (rows, meter, es)
+  in
+  let rows_p, m_p, es_p = run1 (mk (P.Pr_eq v)) in
+  let rows_u, m_u, _ = run1 (mk P.Pr_none) in
+  let prune_agree = rows_p = rows_u in
+  let prune_scan_ratio =
+    float_of_int m_p.Exec.Meter.rows_scanned
+    /. Float.max 1. (float_of_int m_u.Exec.Meter.rows_scanned)
+  in
+  let parts_total =
+    es_p.Exec.Executor.es_parts_scanned + es_p.Exec.Executor.es_parts_pruned
+  in
+  Fmt.pr "%d plans; %d operator rows out per pass; %d cores@.@."
+    (List.length plans) rows_out cores;
+  Fmt.pr "  serial: %10.0f rows/s@." (rps ser_t);
+  List.iter
+    (fun (d, _, _, _, t) ->
+      Fmt.pr "  dop %d:  %10.0f rows/s (%.2fx)@." d (rps t)
+        (rps t /. Float.max 1e-9 (rps (t_of 1))))
+    runs;
+  Fmt.pr
+    "dop-4 speedup: %.2fx (target >= 2x on >= 4 cores); rows agree: %b; \
+     meters dop-invariant: %b@."
+    speedup results_agree meters_agree;
+  Fmt.pr
+    "pruning: %d/%d partitions scanned, %.1f%% of rows, results agree: %b@."
+    es_p.Exec.Executor.es_parts_scanned parts_total
+    (100. *. prune_scan_ratio) prune_agree;
+  if (not results_agree) || not meters_agree then
+    Fmt.pr "WARNING: parallel execution is not bit-identical to serial@."
+  else if cores >= 4 && speedup < 2. then
+    Fmt.pr "WARNING: dop-4 speedup %.2fx below the 2x target@." speedup
+  else if cores < 4 then
+    Fmt.pr "(single-core host: speedup target not applicable)@.";
+  jadd "plans" (jint (List.length plans));
+  jadd "rows_out_per_pass" (jint rows_out);
+  jadd "cores" (jint cores);
+  jadd "serial_rows_per_sec" (jfloat (rps ser_t));
+  List.iter
+    (fun (d, _, _, _, t) ->
+      jadd (Printf.sprintf "rows_per_sec_dop%d" d) (jfloat (rps t)))
+    runs;
+  jadd "parallel_speedup" (jfloat speedup);
+  jadd "parallel_results_agree" (jbool results_agree);
+  jadd "meters_dop_invariant" (jbool meters_agree);
+  jadd "observed_dop" (jint observed_dop);
+  jadd "prune_parts_scanned" (jint es_p.Exec.Executor.es_parts_scanned);
+  jadd "prune_parts_total" (jint parts_total);
+  jadd "prune_scan_ratio" (jfloat prune_scan_ratio);
+  jadd "prune_results_agree" (jbool prune_agree)
+
+(* ------------------------------------------------------------------ *)
 (* Entry point                                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -1265,5 +1448,6 @@ let () =
   run_section "observability" observability;
   run_section "executor" executor;
   run_section "server" server;
+  run_section "parallel" parallel;
   if !json then write_json "BENCH_cbqt.json";
   Fmt.pr "@.done.@."

@@ -19,8 +19,13 @@ module V = Sqlir.Value
 (* Demo database: the paper's HR-style schema, generated rows          *)
 (* ------------------------------------------------------------------ *)
 
+(* mid and fact tables are partitioned (8 ways) so [--dop] has a real
+   surface: pruning and Exchange plans are visible out of the box *)
 let demo_db () : Storage.Db.t =
-  let db, _ = Workload.Schema_gen.build ~families:2 ~sample_frac:0.3 ~seed:2006 () in
+  let db, _ =
+    Workload.Schema_gen.build ~families:2 ~sample_frac:0.3 ~partitions:8
+      ~seed:2006 ()
+  in
   db
 
 let mode_conv =
@@ -48,6 +53,28 @@ let engine_arg =
           "execution engine: $(b,auto) picks row or vectorized per pipeline \
            from the planner's cardinality estimates, $(b,row) and \
            $(b,vector) force one path (results do not depend on it)")
+
+let dop_conv =
+  let parse s =
+    match Planner.Parallel.dop_of_string s with
+    | Some d -> Ok d
+    | None ->
+        Error (`Msg (Printf.sprintf "invalid dop %S (serial | auto | N)" s))
+  in
+  Arg.conv
+    (parse, fun ppf d -> Fmt.string ppf (Planner.Parallel.dop_to_string d))
+
+let dop_arg =
+  Arg.(
+    value
+    & opt dop_conv Planner.Parallel.Serial
+    & info [ "dop" ] ~docv:"DOP"
+        ~doc:
+          "degree of parallelism: $(b,serial) leaves plans untouched, a \
+           number $(b,N) wraps eligible partitioned regions in exchange \
+           operators running $(docv) OCaml domains, $(b,auto) sizes the \
+           degree from estimated scan volume and the machine's core count \
+           (results and work meters do not depend on it)")
 
 let config_of_mode ?(check = false) mode =
   let base =
@@ -97,7 +124,7 @@ let explain_cmd =
             "Skip execution: show only the transformed query and the plan, \
              without the per-operator actual rows / Q-error table.")
   in
-  let run sql mode check no_exec engine =
+  let run sql mode check no_exec engine dop =
     with_query sql (fun db q ->
         let plan =
           match config_of_mode ~check mode with
@@ -122,6 +149,14 @@ let explain_cmd =
                 (Exec.Plan.to_string ann.an_plan);
               ann.an_plan
         in
+        let plan =
+          let p = Planner.Parallel.apply db.Storage.Db.cat ~dop plan in
+          if p != plan then
+            Fmt.pr "@.-- parallel plan (dop %s) --@.%s@."
+              (Planner.Parallel.dop_to_string dop)
+              (Exec.Plan.to_string p);
+          p
+        in
         if not no_exec then (
           let ex = Cbqt.Explain.analyze ~engine db plan in
           Fmt.pr "@.-- explain analyze --@.%a" Cbqt.Explain.pp ex);
@@ -132,7 +167,8 @@ let explain_cmd =
        ~doc:
          "Show the transformed query and its plan, then execute it and \
           report estimated vs. actual rows and Q-error per operator")
-    Term.(const run $ sql $ mode $ check_flag $ no_exec $ engine_arg)
+    Term.(
+      const run $ sql $ mode $ check_flag $ no_exec $ engine_arg $ dop_arg)
 
 let trace_cmd =
   let sql = Arg.(value & pos 0 (some string) None & info [] ~docv:"SQL") in
@@ -330,7 +366,7 @@ let run_cmd =
       & info [ "batch-size" ] ~docv:"N"
           ~doc:"executor rows per block (results do not depend on it)")
   in
-  let run sql mode limit batch_size check engine =
+  let run sql mode limit batch_size check engine dop =
     with_query sql (fun db q ->
         let plan =
           match config_of_mode ~check mode with
@@ -344,10 +380,13 @@ let run_cmd =
                  q)
                 .an_plan
         in
+        let plan = Planner.Parallel.apply db.Storage.Db.cat ~dop plan in
         let meter = Exec.Meter.create () in
         let card_of = Planner.Plan_est.pipeline_hints db.Storage.Db.cat plan in
+        let es = Exec.Executor.engine_stats_create () in
         let _, rows, _ =
-          Exec.Executor.execute ~meter ~batch_size ~engine ~card_of db plan
+          Exec.Executor.execute ~meter ~batch_size ~engine ~engine_stats:es
+            ~card_of db plan
         in
         List.iteri
           (fun i row ->
@@ -357,10 +396,21 @@ let run_cmd =
                    (List.map V.to_string (Array.to_list row))))
           rows;
         Fmt.pr "-- %d rows; %a@." (List.length rows) Exec.Meter.pp meter;
+        if
+          es.Exec.Executor.es_parts_scanned > 0
+          || es.Exec.Executor.es_parts_pruned > 0
+        then
+          Fmt.pr "-- partitions: %d scanned, %d pruned%s@."
+            es.Exec.Executor.es_parts_scanned es.Exec.Executor.es_parts_pruned
+            (if es.Exec.Executor.es_dop > 0 then
+               Printf.sprintf "; exchange dop %d" es.Exec.Executor.es_dop
+             else "");
         0)
   in
   Cmd.v (Cmd.info "run" ~doc:"Execute a query and print results + work meter")
-    Term.(const run $ sql $ mode $ limit $ batch_size $ check_flag $ engine_arg)
+    Term.(
+      const run $ sql $ mode $ limit $ batch_size $ check_flag $ engine_arg
+      $ dop_arg)
 
 let serve_cmd =
   let file =
@@ -465,8 +515,8 @@ let serve_cmd =
              are timed out without executing (0 = none)")
   in
   let run file workload repeat seed capacity batch_size min_hit_rate
-      validate_trace binds engine metrics_out workers queue_depth deadline_ms
-      check =
+      validate_trace binds engine dop metrics_out workers queue_depth
+      deadline_ms check =
     let module Svc = Service in
     let module Pc = Service.Plan_cache in
     let module Sv = Server in
@@ -475,7 +525,8 @@ let serve_cmd =
       match (workload, file) with
       | Some n, _ ->
           let db, schema =
-            Workload.Schema_gen.build ~families:2 ~sample_frac:0.3 ~seed ()
+            Workload.Schema_gen.build ~families:2 ~sample_frac:0.3
+              ~partitions:8 ~seed ()
           in
           let g = Workload.Query_gen.create ~seed schema in
           ( db,
@@ -531,6 +582,7 @@ let serve_cmd =
         trace = Obs.Trace.Steps;
         batch_size;
         engine;
+        dop;
         driver =
           (if check then
              { Cbqt.Driver.default_config with Cbqt.Driver.check = true }
@@ -650,8 +702,8 @@ let serve_cmd =
           rates, QPS and pool outcomes")
     Term.(
       const run $ file $ workload $ repeat $ seed $ capacity $ batch_size
-      $ min_hit_rate $ validate_trace $ binds $ engine_arg $ metrics_out
-      $ workers $ queue_depth $ deadline_ms $ check_flag)
+      $ min_hit_rate $ validate_trace $ binds $ engine_arg $ dop_arg
+      $ metrics_out $ workers $ queue_depth $ deadline_ms $ check_flag)
 
 let stats_cmd =
   let workload =
@@ -703,14 +755,15 @@ let stats_cmd =
       & info [ "workers" ] ~docv:"N"
           ~doc:"domain workers serving the workload")
   in
-  let run workload seed repeat top json prom out engine workers =
+  let run workload seed repeat top json prom out engine dop workers =
     let module Svc = Service in
     let module Sv = Server in
     let module Mx = Obs.Metrics in
     (* a fresh run: the default registry is process-wide, so zero it *)
     Mx.reset Mx.default;
     let db, schema =
-      Workload.Schema_gen.build ~families:2 ~sample_frac:0.3 ~seed ()
+      Workload.Schema_gen.build ~families:2 ~sample_frac:0.3 ~partitions:8
+        ~seed ()
     in
     let g = Workload.Query_gen.create ~seed schema in
     let items = Workload.Query_gen.workload g workload in
@@ -718,6 +771,7 @@ let stats_cmd =
       {
         Svc.default_config with
         Svc.engine;
+        dop;
         metrics = true;
         (* analyze-mode execution feeds per-operator Q-error into the
            query store — the point of the stats report *)
@@ -776,7 +830,7 @@ let stats_cmd =
           machine-readable snapshots")
     Term.(
       const run $ workload $ seed $ repeat $ top $ json $ prom $ out
-      $ engine_arg $ workers)
+      $ engine_arg $ dop_arg $ workers)
 
 let schema_cmd =
   let run () =

@@ -25,6 +25,18 @@
     - [PL006 E] branches of a [Union_all] / [Setop_exec] disagree on
       output width
     - [PL007 E] scan of a table absent from the catalog
+    - [PL008 E] unsound partition pruning: a partitioned scan of a
+      table with no partition spec, or a prune specification not
+      implied by any retained filter conjunct on the partition key —
+      the pruned partitions must be {e provably disjoint} from the
+      predicate, which holds exactly when the bound that drove the
+      pruning is still applied to every surviving row
+    - [PL009 E/W] exchange shape: partitioned scans under one exchange
+      disagree on partition count (task indices are not co-located), a
+      partitioned scan hides inside a subquery plan beneath an exchange
+      (it would be wrongly restricted to the enclosing task's
+      partition), or — warning — an exchange with no partitioned scan
+      below it (serial pass-through)
 
     The checker never raises; it returns the full list of findings. *)
 
@@ -92,6 +104,88 @@ let union_opt a b =
   match (a, b) with Some x, Some y -> Some (Pset.union x y) | _ -> None
 
 (* ------------------------------------------------------------------ *)
+(* Partition pruning legality                                           *)
+(* ------------------------------------------------------------------ *)
+
+(** Does [e] name the partition key [alias.key] (and nothing else)? *)
+let is_key ~alias ~key (e : A.expr) : bool =
+  match e with
+  | A.Col { A.c_alias; c_col } ->
+      String.equal c_alias alias && String.equal c_col key
+  | _ -> false
+
+(** Is there a conjunct in [filter] that implies [key cmp-class bound]?
+    [cls] is [`Eq], [`Lo] (key >= / > bound) or [`Hi] (key <= / <
+    bound); a strict conjunct justifies a non-strict prune bound. *)
+let conjunct_implies ~alias ~key (filter : A.pred list)
+    (cls : [ `Eq of A.expr | `Lo of A.expr | `Hi of A.expr ]) : bool =
+  let implies pr =
+    match (cls, pr) with
+    | `Eq b, A.Cmp (A.Eq, l, r) ->
+        (* the conjunct must pin the key to the {e same} operand the
+           prune routes on — an equality on some other value justifies
+           nothing *)
+        (is_key ~alias ~key l && r = b) || (is_key ~alias ~key r && l = b)
+    | `Lo b, A.Cmp ((A.Ge | A.Gt), l, r) -> is_key ~alias ~key l && r = b
+    | `Lo b, A.Cmp ((A.Le | A.Lt), l, r) -> is_key ~alias ~key r && l = b
+    | `Lo b, A.Between (e, lo, _) -> is_key ~alias ~key e && lo = b
+    | `Hi b, A.Cmp ((A.Le | A.Lt), l, r) -> is_key ~alias ~key l && r = b
+    | `Hi b, A.Cmp ((A.Ge | A.Gt), l, r) -> is_key ~alias ~key r && l = b
+    | `Hi b, A.Between (e, _, hi) -> is_key ~alias ~key e && hi = b
+    | _ -> false
+  in
+  List.exists implies filter
+
+(** A prune spec is justified iff every bound it prunes on is still
+    enforced by a retained filter conjunct on the partition key — then
+    rows living in pruned partitions cannot satisfy the filter, i.e.
+    the pruned partitions are provably predicate-disjoint. *)
+let prune_justified ~alias ~key (filter : A.pred list) (prune : P.prune) :
+    bool =
+  match prune with
+  | P.Pr_none -> true
+  | P.Pr_eq e -> conjunct_implies ~alias ~key filter (`Eq e)
+  | P.Pr_range (lo, hi) ->
+      (* [key = e] implies both [key >= e] and [key <= e], so an
+         equality on the bound's own operand justifies either side *)
+      let lo_ok =
+        match lo with
+        | P.R_unbounded -> true
+        | P.R_incl e | P.R_excl e ->
+            conjunct_implies ~alias ~key filter (`Lo e)
+            || conjunct_implies ~alias ~key filter (`Eq e)
+      in
+      let hi_ok =
+        match hi with
+        | P.R_unbounded -> true
+        | P.R_incl e | P.R_excl e ->
+            conjunct_implies ~alias ~key filter (`Hi e)
+            || conjunct_implies ~alias ~key filter (`Eq e)
+      in
+      lo_ok && hi_ok
+
+(** Partitioned scans reachable only through subquery plans embedded in
+    [Subq_filter] predicates — [P.part_scans] walks structural children
+    only, so these are exactly the scans an [Exchange] task restriction
+    would hit {e incorrectly}. *)
+let rec subq_part_scans (p : P.t) : (string * P.prune) list =
+  (match p with
+  | P.Subq_filter { preds; _ } ->
+      List.concat_map
+        (fun sp ->
+          let plan =
+            match sp with
+            | P.SP_exists { plan; _ }
+            | P.SP_in { plan; _ }
+            | P.SP_cmp { plan; _ } ->
+                plan
+          in
+          P.part_scans plan @ subq_part_scans plan)
+        preds
+  | _ -> [])
+  @ List.concat_map subq_part_scans (P.children p)
+
+(* ------------------------------------------------------------------ *)
 (* The walk                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -117,6 +211,101 @@ let rec go (c : D.collector) (cat : Catalog.t) (env : Pset.t option) path
         (fun pr -> check_cols c ~path ~ctx:"scan filter" vis (pred_cols pr))
         filter;
       own
+  | P.Part_scan { table; alias; filter; prune } ->
+      let path = D.pushf path "pscan[%s:%s]" table alias in
+      let own =
+        match Catalog.find_table_opt cat table with
+        | Some _ -> layout_opt cat p
+        | None ->
+            D.report c ~rule:"PL007" ~severity:D.Error ~path
+              "scan of unknown table %s" table;
+            None
+      in
+      let vis = union_opt own env in
+      check_no_subquery c ~path ~ctx:"scan filter" filter;
+      List.iter
+        (fun pr -> check_cols c ~path ~ctx:"scan filter" vis (pred_cols pr))
+        filter;
+      (match Catalog.part_spec cat table with
+      | None ->
+          if Catalog.find_table_opt cat table <> None then
+            D.report c ~rule:"PL008" ~severity:D.Error ~path
+              "partitioned scan of %s, which has no partition spec" table
+      | Some ps ->
+          if not (prune_justified ~alias ~key:ps.Catalog.ps_col filter prune)
+          then
+            D.report c ~rule:"PL008" ~severity:D.Error ~path
+              "partition pruning is not provably disjoint: no retained \
+               filter conjunct on partition key %s.%s implies the prune \
+               bounds"
+              alias ps.Catalog.ps_col);
+      own
+  | P.Exchange { child; dop } ->
+      let path = D.pushf path "exchange[dop=%d]" dop in
+      if dop < 1 then
+        D.report c ~rule:"PL009" ~severity:D.Error ~path
+          "exchange degree of parallelism %d is not positive" dop;
+      (match P.part_scans child with
+      | [] ->
+          D.report c ~rule:"PL009" ~severity:D.Warning ~path
+            "exchange over a subtree with no partitioned scan — executes \
+             as a serial pass-through"
+      | (t0, _) :: rest -> (
+          match Catalog.part_spec cat t0 with
+          | None -> () (* PL008 fires at the scan itself *)
+          | Some ps0 ->
+              List.iter
+                (fun (t, _) ->
+                  match Catalog.part_spec cat t with
+                  | Some ps when ps.Catalog.ps_n <> ps0.Catalog.ps_n ->
+                      D.report c ~rule:"PL009" ~severity:D.Error ~path
+                        "partitioned scans under one exchange disagree on \
+                         partition count (%s: %d, %s: %d) — task indices \
+                         are not co-located"
+                        t0 ps0.Catalog.ps_n t ps.Catalog.ps_n
+                  | _ -> ())
+                rest));
+      List.iter
+        (fun (t, _) ->
+          D.report c ~rule:"PL009" ~severity:D.Error ~path
+            "partitioned scan of %s inside a subquery plan beneath an \
+             exchange — it would be restricted to the enclosing task's \
+             partition"
+            t)
+        (subq_part_scans child);
+      go c cat env path child
+  | P.Partial_agg { child; alias; keys; aggs } ->
+      let path = D.pushf path "partial_agg[%s]" alias in
+      let cout = go c cat env path child in
+      let vis = union_opt cout env in
+      List.iter
+        (fun (e, _) ->
+          check_cols c ~path ~ctx:"group-by key" vis (expr_cols e))
+        keys;
+      List.iter
+        (fun (_, _, eo) ->
+          Option.iter
+            (fun e ->
+              check_cols c ~path ~ctx:"aggregate argument" vis (expr_cols e))
+            eo)
+        aggs;
+      layout_opt cat p
+  | P.Final_agg { child; alias; keys; _ } ->
+      let path = D.pushf path "final_agg[%s]" alias in
+      let cout = go c cat env path child in
+      (* the final side consumes its child's state columns by name *)
+      (match cout with
+      | None -> ()
+      | Some vis ->
+          List.iter
+            (fun k ->
+              if not (Pset.mem (alias, k) vis) then
+                D.report c ~rule:"PL001" ~severity:D.Error ~path
+                  "final aggregation key %s.%s is not produced by its \
+                   partial side"
+                  alias k)
+            keys);
+      layout_opt cat p
   | P.Index_scan { table; alias; index; prefix; lo; hi; filter } ->
       let path = D.pushf path "iscan[%s(%s):%s]" table index alias in
       let own =

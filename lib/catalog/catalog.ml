@@ -50,12 +50,68 @@ type table_stats = {
   s_cols : (string * col_stats) list;
 }
 
+(* ------------------------------------------------------------------ *)
+(* Partitioning                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(** How a partitioned table routes a partition-key value to a partition.
+
+    [`Hash] spreads by {!Sqlir.Value.hash_total} modulo the partition
+    count. [`Range] keeps [ps_n - 1] ascending split points: partition
+    [i] holds keys [< ps_bounds.(i)], the last partition holds the rest
+    (and NULLs, which sort last under {!Sqlir.Value.compare_total}). *)
+type part_scheme = [ `Hash | `Range ]
+
+type part_spec = {
+  ps_col : string;  (** the single partition-key column *)
+  ps_scheme : part_scheme;
+  ps_n : int;  (** number of partitions, >= 1 *)
+  ps_bounds : Sqlir.Value.t array;
+      (** [`Range]: [ps_n - 1] ascending split points; [`Hash]: empty *)
+}
+
+(** Per-partition statistics of the partition-key column, gathered by
+    [Stats_gather] alongside the table stats. Pruning selectivity and
+    the parallel scan's cost both read these. *)
+type part_stats = {
+  pp_rows : int;
+  pp_min : Sqlir.Value.t;  (** key min within the partition; Null if empty *)
+  pp_max : Sqlir.Value.t;
+  pp_ndv : int;  (** distinct non-null key values within the partition *)
+}
+
+(** The partition a key value belongs to — the {e single} routing
+    definition shared by storage (placement), the planner (pruning) and
+    the executor (partitioned joins), so they can never disagree. *)
+let part_route (ps : part_spec) (v : Sqlir.Value.t) : int =
+  match ps.ps_scheme with
+  | `Hash ->
+      if Sqlir.Value.is_null v then 0
+      else Sqlir.Value.hash_total v mod ps.ps_n
+  | `Range ->
+      (* first split point strictly greater than [v]; NULL sorts last,
+         so it lands in the final partition *)
+      let n = Array.length ps.ps_bounds in
+      let rec bsearch lo hi =
+        if lo >= hi then lo
+        else
+          let mid = (lo + hi) / 2 in
+          if Sqlir.Value.compare_total v ps.ps_bounds.(mid) < 0 then
+            bsearch lo mid
+          else bsearch (mid + 1) hi
+      in
+      bsearch 0 n
+
 module Smap = Map.Make (String)
 
 type t = {
   tables : (string, table_def) Hashtbl.t;
   indexes : (string, index list) Hashtbl.t;  (** keyed by table name *)
   stats : (string, table_stats) Hashtbl.t;
+  parts : (string, part_spec) Hashtbl.t;
+      (** partition spec per partitioned table; absent = unpartitioned *)
+  pstats : (string, part_stats array) Hashtbl.t;
+      (** per-partition key stats, [ps_n] entries, set by [Stats_gather] *)
   epochs : int Smap.t Atomic.t;
       (** per-table stats epoch: bumped by every statistics refresh and
           by DDL (table/index creation). Plan caches snapshot the epochs
@@ -79,6 +135,8 @@ let create () =
     tables = Hashtbl.create 64;
     indexes = Hashtbl.create 64;
     stats = Hashtbl.create 64;
+    parts = Hashtbl.create 8;
+    pstats = Hashtbl.create 8;
     epochs = Atomic.make Smap.empty;
   }
 
@@ -249,6 +307,35 @@ let set_stats t name (s : table_stats) =
   bump_epoch t name
 
 let stats t name = Hashtbl.find_opt t.stats name
+
+(** Declare [name] partitioned. DDL, like [add_table]: bumps the epoch
+    so cached plans built against the unpartitioned layout die. *)
+let set_part_spec t name (ps : part_spec) =
+  if not (Hashtbl.mem t.tables name) then raise (Unknown_table name);
+  if ps.ps_n < 1 then invalid_arg "Catalog.set_part_spec: ps_n < 1";
+  (match ps.ps_scheme with
+  | `Hash ->
+      if Array.length ps.ps_bounds <> 0 then
+        invalid_arg "Catalog.set_part_spec: hash scheme takes no bounds"
+  | `Range ->
+      if Array.length ps.ps_bounds <> ps.ps_n - 1 then
+        invalid_arg "Catalog.set_part_spec: range scheme needs ps_n - 1 bounds");
+  ignore (col_def t ~table:name ~col:ps.ps_col);
+  Hashtbl.replace t.parts name ps;
+  Hashtbl.remove t.pstats name;
+  bump_epoch t name
+
+let part_spec t name : part_spec option = Hashtbl.find_opt t.parts name
+
+(** Install per-partition key statistics ([ps_n] entries). Written
+    before the epoch bump, like [set_stats], so the epoch publication
+    covers both. *)
+let set_part_stats t name (pp : part_stats array) =
+  if not (Hashtbl.mem t.parts name) then raise (Unknown_table name);
+  Hashtbl.replace t.pstats name pp;
+  bump_epoch t name
+
+let part_stats t name : part_stats array option = Hashtbl.find_opt t.pstats name
 
 let col_stats t ~table ~col =
   match stats t table with

@@ -1,0 +1,115 @@
+(** Bounded multi-producer multi-consumer channel: the server's request
+    queue.
+
+    A fixed-capacity ring buffer behind one mutex and two condition
+    variables ([nonempty] for consumers, [nonfull] for producers). The
+    queue is deliberately {e not} lock-free: a request's payload is a
+    whole query execution, so the microseconds a contended mutex costs
+    are noise next to the work each slot hands over, and a mutex keeps
+    the invariants (no lost or duplicated element, exact [length])
+    trivially auditable.
+
+    The bounded capacity is the server's admission control: [try_push]
+    refuses immediately when the ring is full, which the server turns
+    into an explicit [Rejected] outcome instead of unbounded queueing;
+    [push] blocks, which batch drivers use as backpressure.
+
+    [close] wakes everyone: producers fail fast, consumers drain what
+    was accepted and then see [None] — so every element pushed before
+    the close is still consumed exactly once. *)
+
+type 'a t = {
+  buf : 'a option array;  (** ring storage; [None] = empty slot *)
+  cap : int;
+  mutable head : int;  (** index of the next element to pop *)
+  mutable len : int;
+  mutable closed : bool;
+  mu : Mutex.t;
+  nonempty : Condition.t;
+  nonfull : Condition.t;
+}
+
+let create ~capacity =
+  let cap = max 1 capacity in
+  {
+    buf = Array.make cap None;
+    cap;
+    head = 0;
+    len = 0;
+    closed = false;
+    mu = Mutex.create ();
+    nonempty = Condition.create ();
+    nonfull = Condition.create ();
+  }
+
+let capacity t = t.cap
+
+let length t =
+  Mutex.lock t.mu;
+  let n = t.len in
+  Mutex.unlock t.mu;
+  n
+
+(* caller holds [t.mu] and has checked there is room *)
+let push_locked t v =
+  t.buf.((t.head + t.len) mod t.cap) <- Some v;
+  t.len <- t.len + 1;
+  Condition.signal t.nonempty
+
+(** Non-blocking push: [false] when the ring is full or the channel is
+    closed — the admission-control path. *)
+let try_push t v : bool =
+  Mutex.lock t.mu;
+  let ok = (not t.closed) && t.len < t.cap in
+  if ok then push_locked t v;
+  Mutex.unlock t.mu;
+  ok
+
+(** Blocking push: waits for room (backpressure). [false] iff the
+    channel is (or becomes) closed. *)
+let push t v : bool =
+  Mutex.lock t.mu;
+  while (not t.closed) && t.len >= t.cap do
+    Condition.wait t.nonfull t.mu
+  done;
+  let ok = not t.closed in
+  if ok then push_locked t v;
+  Mutex.unlock t.mu;
+  ok
+
+(** Blocking pop: waits for an element. [None] iff the channel is
+    closed {e and} drained — elements accepted before a close are still
+    delivered. *)
+let pop t : 'a option =
+  Mutex.lock t.mu;
+  while t.len = 0 && not t.closed do
+    Condition.wait t.nonempty t.mu
+  done;
+  let r =
+    if t.len = 0 then None
+    else begin
+      let v = t.buf.(t.head) in
+      t.buf.(t.head) <- None;
+      t.head <- (t.head + 1) mod t.cap;
+      t.len <- t.len - 1;
+      Condition.signal t.nonfull;
+      v
+    end
+  in
+  Mutex.unlock t.mu;
+  r
+
+(** Close the channel: producers fail from now on, consumers drain the
+    remaining elements and then receive [None]. Idempotent. *)
+let close t =
+  Mutex.lock t.mu;
+  t.closed <- true;
+  Condition.broadcast t.nonempty;
+  Condition.broadcast t.nonfull;
+  Mutex.unlock t.mu
+
+let closed t =
+  Mutex.lock t.mu;
+  let c = t.closed in
+  Mutex.unlock t.mu;
+  c

@@ -48,6 +48,9 @@ type t = {
   ex_root_q_error : float;
   ex_max_q_error : float;  (** worst executed operator *)
   ex_median_q_error : float;
+  ex_parts_scanned : int;  (** partitions actually read *)
+  ex_parts_pruned : int;  (** partitions skipped by runtime pruning *)
+  ex_dop : int;  (** max effective exchange worker count; 0 = serial *)
 }
 
 (** [q_error ~est ~act] = [max(est/act, act/est)] with both sides
@@ -72,11 +75,31 @@ end)
 let analyze ?meter ?engine (db : Db.t) (plan : Plan.t) : t =
   let est_root, est_of = Planner.Plan_est.estimate db.Db.cat plan in
   ignore est_root;
+  let es = Executor.engine_stats_create () in
   let _, rows, whole, stat_of =
-    Executor.execute_analyzed ?meter ?engine ~card_of:est_of db plan
+    Executor.execute_analyzed ?meter ?engine ~engine_stats:es ~card_of:est_of
+      db plan
   in
   let visited : unit Ptbl.t = Ptbl.create 64 in
   let ops = ref [] in
+  (* partitioned scans carry the costed pruning decision in the label:
+     statically estimated surviving partitions over the total *)
+  let label_of p =
+    let base = Plan.node_label p in
+    match p with
+    | Plan.Part_scan { table; prune; _ } -> (
+        match Catalog.part_spec db.Db.cat table with
+        | Some ps ->
+            let est =
+              List.length
+                (Exec.Prune.survivors
+                   ~value_of:(Exec.Prune.value_of ~binds:[||])
+                   ps prune)
+            in
+            Printf.sprintf "%s [parts %d/%d est]" base est ps.Catalog.ps_n
+        | None -> base)
+    | _ -> base
+  in
   let rec walk depth p =
     let first = not (Ptbl.mem visited p) in
     if first then Ptbl.add visited p ();
@@ -126,7 +149,7 @@ let analyze ?meter ?engine (db : Db.t) (plan : Plan.t) : t =
       {
         op_plan = p;
         op_depth = depth;
-        op_label = Plan.node_label p;
+        op_label = label_of p;
         op_est_rows = est_rows;
         op_calls = calls;
         op_total_rows = total_rows;
@@ -165,6 +188,9 @@ let analyze ?meter ?engine (db : Db.t) (plan : Plan.t) : t =
     ex_root_q_error = root_qe;
     ex_max_q_error = max_qe;
     ex_median_q_error = median_qe;
+    ex_parts_scanned = es.Executor.es_parts_scanned;
+    ex_parts_pruned = es.Executor.es_parts_pruned;
+    ex_dop = es.Executor.es_dop;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -213,6 +239,11 @@ let pp ppf (t : t) =
     Fmt.pf ppf "subquery caches: %d execs, %d hits, %d key values built@."
       t.ex_meter.Meter.subq_execs t.ex_meter.Meter.subq_cache_hits
       t.ex_meter.Meter.key_build;
+  if t.ex_parts_scanned > 0 || t.ex_parts_pruned > 0 then
+    Fmt.pf ppf "partitions: %d scanned, %d pruned%s@." t.ex_parts_scanned
+      t.ex_parts_pruned
+      (if t.ex_dop > 0 then Printf.sprintf "; exchange dop %d" t.ex_dop
+       else "");
   Fmt.pf ppf "q-error: root %s, median %s, max %s@."
     (if Float.is_nan t.ex_root_q_error then "-"
      else Printf.sprintf "%.2f" t.ex_root_q_error)

@@ -30,6 +30,11 @@ type ctx = {
   db : Db.t;
   meter : Meter.t;
   binds : Value.t array;  (** values for the plan's [Bind] markers *)
+  mutable restrict : int option;
+      (** partition restriction of the currently running [Exchange]
+          task: closures read it at {e run} time, so the serial task
+          loop just mutates it between runs. [None] outside an
+          exchange. *)
 }
 
 exception Runtime_error of string
@@ -145,6 +150,103 @@ let rec prepare (ctx : ctx) (scopes : layout list) (p : Plan.t) :
             if Eval.passes fs (tup :: orows) then acc := tup :: !acc)
           rel;
         out ctx (List.rev !acc)
+  | Plan.Part_scan { table; alias = _; filter; prune } ->
+      (* identical charging contract to the batch engine's PART SCAN:
+         pages = sum of per-partition ceilings of the partitions read,
+         rows_scanned per row of those partitions, in ascending
+         partition order. Pruning is evaluated per run against the
+         actual binds through the shared {!Prune} module. *)
+      let rel = Db.relation ctx.db table in
+      let spec =
+        match Relation.part rel with
+        | Some pt -> pt.Relation.p_spec
+        | None ->
+            invalid_arg
+              (Printf.sprintf "Baseline: PART SCAN over unpartitioned %s"
+                 table)
+      in
+      let fs =
+        List.map
+          (Eval.compile_pred ~meter ~binds (self_layout :: scopes))
+          filter
+      in
+      fun orows ->
+        let surv = Prune.survivors_runtime ~binds spec prune in
+        let surv =
+          match ctx.restrict with
+          | None -> surv
+          | Some i -> if List.mem i surv then [ i ] else []
+        in
+        List.iter
+          (fun i ->
+            meter.pages_read <- meter.pages_read + Relation.part_pages rel i)
+          surv;
+        let acc = ref [] in
+        List.iter
+          (fun i ->
+            let lo, hi = Relation.part_bounds rel i in
+            for r = lo to hi - 1 do
+              let tup = rel.Relation.r_rows.(r) in
+              meter.rows_scanned <- meter.rows_scanned + 1;
+              if Eval.passes fs (tup :: orows) then acc := tup :: !acc
+            done)
+          surv;
+        out ctx (List.rev !acc)
+  | Plan.Exchange { child; dop = _ } -> (
+      (* the reference engine has no domains: an exchange is its
+         serial-loop interpretation — the same task list (ascending
+         union of the child's pruning survivors), each task re-prepared
+         (fresh per-task caches, as the batch engine's per-task prepare)
+         and run with [ctx.restrict] set, results concatenated in task
+         order. Charges land directly in the shared meter; merging
+         per-task meters would sum to the same integers. *)
+      match Plan.part_scans child with
+      | [] ->
+          let fchild = prepare ctx scopes child in
+          fun orows -> out ctx (fchild orows)
+      | scans ->
+          let specs =
+            List.map
+              (fun (table, pr) ->
+                let rel = Db.relation ctx.db table in
+                match Relation.part rel with
+                | Some pt -> (pt.Relation.p_spec, pr)
+                | None ->
+                    invalid_arg
+                      (Printf.sprintf
+                         "Baseline: EXCHANGE over unpartitioned PART SCAN \
+                          of %s"
+                         table))
+              scans
+          in
+          fun orows ->
+            let module Iset = Set.Make (Int) in
+            let tasks =
+              Iset.elements
+                (List.fold_left
+                   (fun acc (ps, pr) ->
+                     List.fold_left
+                       (fun acc i -> Iset.add i acc)
+                       acc
+                       (Prune.survivors_runtime ~binds ps pr))
+                   Iset.empty specs)
+            in
+            let acc = ref [] in
+            List.iter
+              (fun t ->
+                let saved = ctx.restrict in
+                ctx.restrict <- Some t;
+                Fun.protect
+                  ~finally:(fun () -> ctx.restrict <- saved)
+                  (fun () ->
+                    let f = prepare ctx scopes child in
+                    List.iter (fun r -> acc := r :: !acc) (f orows)))
+              tasks;
+            out ctx (List.rev !acc))
+  | Plan.Partial_agg { child; alias = _; keys; aggs } ->
+      prepare_partial_agg ctx scopes child keys aggs
+  | Plan.Final_agg { child; alias = _; keys; aggs } ->
+      prepare_final_agg ctx scopes child keys aggs
   | Plan.Index_scan { table; alias = _; index; prefix; lo; hi; filter } ->
       let rel = Db.relation ctx.db table in
       let bt = Db.index ctx.db ~table ~name:index in
@@ -905,6 +1007,181 @@ and prepare_aggregate ctx scopes child strategy keys aggs =
     in
     out ctx result
 
+(* Per-partition aggregation emitting accumulator-state rows; the
+   list-engine mirror of the batch executor's [Partial_agg], charging
+   [agg_rows] per input row and emitting groups in first-seen order
+   (one state row always for the scalar form). *)
+and prepare_partial_agg ctx scopes child keys aggs =
+  let cat = ctx.db.Db.cat in
+  let meter = ctx.meter in
+  let binds = ctx.binds in
+  let child_layout = Plan.layout child cat in
+  let inner = child_layout :: scopes in
+  let fchild = prepare ctx scopes child in
+  let fkeys =
+    List.map (fun (e, _) -> Eval.compile_expr ~meter ~binds inner e) keys
+  in
+  let faggs =
+    List.map
+      (fun (_, a, eo) ->
+        (a, Option.map (Eval.compile_expr ~meter ~binds inner) eo))
+      aggs
+  in
+  let states_of nrows accs =
+    List.concat
+      (List.map2
+         (fun (a, _) acc ->
+           match a with
+           | A.Count_star -> [ Value.Int nrows ]
+           | A.Count -> [ Value.Int acc.a_count ]
+           | A.Sum -> [ acc.a_sum ]
+           | A.Min -> [ acc.a_min ]
+           | A.Max -> [ acc.a_max ]
+           | A.Avg -> [ acc.a_sum; Value.Int acc.a_count ])
+         faggs accs)
+  in
+  fun orows ->
+    let rows = fchild orows in
+    if keys = [] then begin
+      let accs = List.map (fun _ -> acc_create ()) faggs in
+      let n = ref 0 in
+      List.iter
+        (fun r ->
+          incr n;
+          meter.agg_rows <- meter.agg_rows + 1;
+          List.iter2
+            (fun (_, feo) acc ->
+              match feo with
+              | None -> ()
+              | Some f -> acc_add false acc (f (r :: orows)))
+            faggs accs)
+        rows;
+      out ctx [ Array.of_list (states_of !n accs) ]
+    end
+    else begin
+      let groups = ref Vkey.empty in
+      let order = ref [] in
+      List.iter
+        (fun r ->
+          meter.agg_rows <- meter.agg_rows + 1;
+          let kv = List.map (fun f -> f (r :: orows)) fkeys in
+          let entry =
+            match Vkey.find_opt kv !groups with
+            | Some e -> e
+            | None ->
+                let e = (ref 0, List.map (fun _ -> acc_create ()) faggs) in
+                groups := Vkey.add kv e !groups;
+                order := kv :: !order;
+                e
+          in
+          let nrows, accs = entry in
+          incr nrows;
+          List.iter2
+            (fun (_, feo) acc ->
+              match feo with
+              | None -> ()
+              | Some f -> acc_add false acc (f (r :: orows)))
+            faggs accs)
+        rows;
+      let emit kv =
+        let nrows, accs = Vkey.find kv !groups in
+        Array.of_list (kv @ states_of !nrows accs)
+      in
+      out ctx (List.rev_map emit !order)
+    end
+
+(* Combine partial-agg state rows into final values; the list-engine
+   mirror of the batch executor's [Final_agg]. *)
+and prepare_final_agg ctx scopes child keys aggs =
+  let meter = ctx.meter in
+  let fchild = prepare ctx scopes child in
+  let nkeys = List.length keys in
+  let readers =
+    let pos = ref nkeys in
+    List.map
+      (fun (_, a) ->
+        let p = !pos in
+        (pos := !pos + (match a with A.Avg -> 2 | _ -> 1));
+        (a, p))
+      aggs
+  in
+  let int_of = function Value.Int n -> n | _ -> 0 in
+  let merge_sum acc v =
+    if not (Value.is_null v) then
+      acc.a_sum <-
+        (if Value.is_null acc.a_sum then v else Value.arith `Add acc.a_sum v)
+  in
+  let combine acc (a : A.agg) (r : row) (p : int) =
+    match a with
+    | A.Count_star | A.Count -> acc.a_count <- acc.a_count + int_of r.(p)
+    | A.Sum -> merge_sum acc r.(p)
+    | A.Min ->
+        let v = r.(p) in
+        if not (Value.is_null v) then
+          acc.a_min <-
+            (if Value.is_null acc.a_min || Value.compare_total v acc.a_min < 0
+             then v
+             else acc.a_min)
+    | A.Max ->
+        let v = r.(p) in
+        if not (Value.is_null v) then
+          acc.a_max <-
+            (if Value.is_null acc.a_max || Value.compare_total v acc.a_max > 0
+             then v
+             else acc.a_max)
+    | A.Avg ->
+        merge_sum acc r.(p);
+        acc.a_count <- acc.a_count + int_of r.(p + 1)
+  in
+  let final_of (a : A.agg) acc =
+    match a with
+    | A.Count_star | A.Count -> Value.Int acc.a_count
+    | A.Sum -> acc.a_sum
+    | A.Min -> acc.a_min
+    | A.Max -> acc.a_max
+    | A.Avg ->
+        if acc.a_count = 0 then Value.Null
+        else Value.arith `Div acc.a_sum (Value.Int acc.a_count)
+  in
+  fun orows ->
+    let rows = fchild orows in
+    if nkeys = 0 then begin
+      let accs = List.map (fun _ -> acc_create ()) readers in
+      List.iter
+        (fun r ->
+          meter.agg_rows <- meter.agg_rows + 1;
+          List.iter2 (fun (a, p) acc -> combine acc a r p) readers accs)
+        rows;
+      out ctx
+        [ Array.of_list
+            (List.map2 (fun (a, _) acc -> final_of a acc) readers accs) ]
+    end
+    else begin
+      let groups = ref Vkey.empty in
+      let order = ref [] in
+      List.iter
+        (fun r ->
+          meter.agg_rows <- meter.agg_rows + 1;
+          let kv = List.init nkeys (fun i -> r.(i)) in
+          let accs =
+            match Vkey.find_opt kv !groups with
+            | Some accs -> accs
+            | None ->
+                let accs = List.map (fun _ -> acc_create ()) readers in
+                groups := Vkey.add kv accs !groups;
+                order := kv :: !order;
+                accs
+          in
+          List.iter2 (fun (a, p) acc -> combine acc a r p) readers accs)
+        rows;
+      let emit kv =
+        let accs = Vkey.find kv !groups in
+        Array.of_list
+          (kv @ List.map2 (fun (a, _) acc -> final_of a acc) readers accs)
+      in
+      out ctx (List.rev_map emit !order)
+    end
+
 and prepare_window ctx scopes child wins =
   let cat = ctx.db.Db.cat in
   let meter = ctx.meter in
@@ -1007,7 +1284,7 @@ and prepare_window ctx scopes child wins =
 let execute ?meter ?(binds = [||]) (db : Db.t) (plan : Plan.t) :
     layout * row list * Meter.t =
   let meter = match meter with Some m -> m | None -> Meter.create () in
-  let ctx = { db; meter; binds } in
+  let ctx = { db; meter; binds; restrict = None } in
   let f = prepare ctx [] plan in
   let rows = f [] in
   (Plan.layout plan db.Db.cat, rows, meter)

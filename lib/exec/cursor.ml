@@ -38,11 +38,20 @@ let engine_of_string = function
   | _ -> None
 
 (** Per-execution counters of engine choices, one count per pipeline
-    source (scan) prepared. Surfaced in trace spans and the service
-    report. *)
-type engine_stats = { mutable es_vector : int; mutable es_row : int }
+    source (scan) prepared, plus the partition-execution counters of
+    this run: partitions scanned / pruned by [Part_scan]s and
+    [Exchange]s, and the widest effective exchange DOP. Surfaced in
+    trace spans, the service report and the query store. *)
+type engine_stats = {
+  mutable es_vector : int;
+  mutable es_row : int;
+  mutable es_parts_scanned : int;
+  mutable es_parts_pruned : int;
+  mutable es_dop : int;  (** max effective [Exchange] worker count; 0 = serial *)
+}
 
-let engine_stats_create () = { es_vector = 0; es_row = 0 }
+let engine_stats_create () =
+  { es_vector = 0; es_row = 0; es_parts_scanned = 0; es_parts_pruned = 0; es_dop = 0 }
 
 (* process-wide metrics riding along the per-execution counters: engine
    dispatch totals and the batch-fill histogram. Handles are lazy so the
@@ -64,13 +73,57 @@ let m_dispatch_vector =
 
 let m_batch_fill = lazy (Mx.histogram Mx.default "exec_batch_fill_rows")
 
+(* partition-execution metrics: process-wide totals of partitions
+   scanned vs pruned away, the effective DOP of every exchange, and the
+   task-queue depth observed by exchange workers as they claim work *)
+let m_parts_scanned =
+  lazy (Mx.counter Mx.default "exec_partitions_scanned_total")
+
+let m_parts_pruned =
+  lazy (Mx.counter Mx.default "exec_partitions_pruned_total")
+
+let m_exchange_dop = lazy (Mx.gauge Mx.default "exec_exchange_dop")
+
+let m_exchange_queue =
+  lazy (Mx.histogram Mx.default "exec_exchange_queue_depth")
+
 (** Force the cached registry handles. [Lazy.force] of one suspension
-    from two domains at once can raise [Lazy.Undefined], so a server
-    prewarms every executor handle before spawning workers. *)
+    from two domains at once can raise [Lazy.Undefined], so a server —
+    and the exchange operator — prewarms every executor handle before
+    spawning workers. *)
 let prewarm_metrics () =
   ignore (Lazy.force m_dispatch_row);
   ignore (Lazy.force m_dispatch_vector);
-  ignore (Lazy.force m_batch_fill)
+  ignore (Lazy.force m_batch_fill);
+  ignore (Lazy.force m_parts_scanned);
+  ignore (Lazy.force m_parts_pruned);
+  ignore (Lazy.force m_exchange_dop);
+  ignore (Lazy.force m_exchange_queue)
+
+(** Count a pruning outcome: [scanned] surviving partitions read,
+    [pruned] skipped. Feeds both the per-execution stats and the
+    process-wide counters. *)
+let count_parts (es : engine_stats option) ~scanned ~pruned =
+  (match es with
+  | Some es ->
+      es.es_parts_scanned <- es.es_parts_scanned + scanned;
+      es.es_parts_pruned <- es.es_parts_pruned + pruned
+  | None -> ());
+  if !Mx.enabled then begin
+    if scanned > 0 then Mx.add (Lazy.force m_parts_scanned) scanned;
+    if pruned > 0 then Mx.add (Lazy.force m_parts_pruned) pruned
+  end
+
+(** Record the effective worker count of one exchange execution. *)
+let observe_dop (es : engine_stats option) dop =
+  (match es with
+  | Some es -> if dop > es.es_dop then es.es_dop <- dop
+  | None -> ());
+  if !Mx.enabled then Mx.set (Lazy.force m_exchange_dop) (float_of_int dop)
+
+(** Record the task-queue depth seen by a worker claiming a task. *)
+let observe_exchange_queue depth =
+  if !Mx.enabled then Mx.observe_int (Lazy.force m_exchange_queue) depth
 
 (** Count one pipeline dispatched to the row engine (per-execution
     stats plus the process-wide counter). *)
@@ -150,6 +203,12 @@ type ctx = {
       (** [Auto] vectorizes a pipeline whose source-scan cardinality
           estimate reaches this *)
   estats : engine_stats option;
+  restrict : int option;
+      (** partition restriction installed by an {!Plan.Exchange} task:
+          [Some i] makes every [Part_scan] in the (sub)plan read only
+          partition [i] (when [i] survives its pruning), [None] reads
+          every surviving partition. Top-level executions always start
+          at [None]. *)
 }
 
 let charge_sort ctx n =

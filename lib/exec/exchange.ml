@@ -1,0 +1,71 @@
+(** The parallel substrate of the {!Plan.Exchange} operator: a
+    partition-task fan-out across OCaml domains.
+
+    Tasks (surviving partition indices) are pre-loaded into a bounded
+    {!Concur.Chan} ring, [min dop tasks] worker domains claim them
+    dynamically — so a skewed partition does not idle the other
+    workers — and push their results into a second ring. The
+    coordinator joins the workers, drains the results and returns them
+    sorted by task index. Dynamic claiming makes the {e assignment} of
+    tasks to domains racy, but nothing observable depends on it: the
+    caller merges in ascending task order, and every per-task artifact
+    (rows, meter, node stats) is a pure function of the task alone.
+    That is the exchange determinism contract — rows {e and} merged
+    meters are bit-identical to running the tasks sequentially,
+    whatever the dop.
+
+    A worker exception is captured, carried through the result ring and
+    re-raised in the coordinator (first failing task in task order)
+    after every domain is joined, so no domain is leaked.
+
+    The caller must {!Cursor.prewarm_metrics} (done by the executor's
+    exchange operator) before fanning out: forcing one lazy metric
+    handle from two domains at once can raise [Lazy.Undefined]. *)
+
+module Chan = Concur.Chan
+
+(** [run_tasks ~dop ~tasks ~f] evaluates [f t] for every [t] in
+    [tasks] on up to [dop] domains and returns the [(t, f t)] pairs
+    sorted by task. [f] must be safe to call from a fresh domain
+    (the executor gives each task its own meter and mutable state).
+    With [dop <= 1] or a single task, [f] runs on the calling domain —
+    same results, no spawn. *)
+let run_tasks ~(dop : int) ~(tasks : int list) ~(f : int -> 'a) :
+    (int * 'a) list =
+  let n = List.length tasks in
+  let w = max 1 (min dop n) in
+  if n = 0 then []
+  else if w <= 1 then List.map (fun t -> (t, f t)) tasks
+  else begin
+    let tq = Chan.create ~capacity:n in
+    List.iter (fun t -> ignore (Chan.try_push tq t)) tasks;
+    Chan.close tq;
+    (* capacity [n]: result pushes can never block, so a worker that
+       finishes last cannot deadlock against a coordinator that only
+       drains after joining *)
+    let rq = Chan.create ~capacity:n in
+    let worker () =
+      let rec loop () =
+        match Chan.pop tq with
+        | None -> ()
+        | Some t ->
+            Cursor.observe_exchange_queue (Chan.length tq);
+            let r = try Ok (f t) with e -> Error e in
+            ignore (Chan.push rq (t, r));
+            loop ()
+      in
+      loop ()
+    in
+    let doms = List.init w (fun _ -> Domain.spawn worker) in
+    List.iter Domain.join doms;
+    let out = ref [] in
+    for _ = 1 to n do
+      match Chan.pop rq with
+      | Some r -> out := r :: !out
+      | None -> ()
+    done;
+    let sorted = List.sort (fun (a, _) (b, _) -> compare a b) !out in
+    List.map
+      (fun (t, r) -> match r with Ok v -> (t, v) | Error e -> raise e)
+      sorted
+  end

@@ -68,6 +68,9 @@ type engine = Cursor.engine = Auto | Row | Vector
 type engine_stats = Cursor.engine_stats = {
   mutable es_vector : int;
   mutable es_row : int;
+  mutable es_parts_scanned : int;
+  mutable es_parts_pruned : int;
+  mutable es_dop : int;
 }
 
 let engine_name = Cursor.engine_name
@@ -504,6 +507,87 @@ and prepare_node (ctx : ctx) (scopes : layout list) (p : Plan.t) : cursor =
         end
       in
       { c_open; c_next; c_close = (fun () -> ()) }
+  | Plan.Part_scan { table; alias = _; filter; prune } ->
+      (* partitioned full scan: ascending partition order over the
+         surviving partitions — which, partitions being contiguous
+         ascending slices of [r_rows], is the heap's physical order, so
+         an unpruned PART SCAN emits exactly the rows a TABLE SCAN
+         would, in the same order. Pages are charged as the sum of
+         per-partition ceilings of the partitions actually read. *)
+      dispatch_row ctx.estats;
+      let rel = Db.relation ctx.db table in
+      let spec =
+        match Relation.part rel with
+        | Some pt -> pt.Relation.p_spec
+        | None ->
+            invalid_arg
+              (Printf.sprintf "Executor: PART SCAN over unpartitioned %s"
+                 table)
+      in
+      let ftest = compile_filter ~meter ~binds self_layout scopes filter in
+      let out = B.create size in
+      let slices = ref [||] in
+      let si = ref 0 in
+      let pos = ref 0 in
+      let orows_r = ref [] in
+      let c_open orows =
+        orows_r := orows;
+        (* pruning happens here, against the actual binds of this
+           execution — never against plan-time values *)
+        let surv = Prune.survivors_runtime ~binds spec prune in
+        let surv =
+          match ctx.restrict with
+          | None ->
+              (* a top-level (non-exchange) scan accounts its pruning
+                 outcome; under an exchange the Exchange node accounts
+                 it once per execution, not once per task *)
+              count_parts ctx.estats ~scanned:(List.length surv)
+                ~pruned:(spec.Catalog.ps_n - List.length surv);
+              surv
+          | Some i -> if List.mem i surv then [ i ] else []
+        in
+        List.iter
+          (fun i ->
+            meter.pages_read <- meter.pages_read + Relation.part_pages rel i)
+          surv;
+        slices := Array.of_list (List.map (Relation.part_bounds rel) surv);
+        si := 0;
+        pos := (if Array.length !slices > 0 then fst !slices.(0) else 0)
+      in
+      let c_next () =
+        let rows = rel.Relation.r_rows in
+        let sl = !slices in
+        let ns = Array.length sl in
+        if !si >= ns then None
+        else begin
+          B.clear out;
+          let orows = !orows_r in
+          let continue = ref true in
+          while !continue && not (B.is_full out) do
+            if !si >= ns then continue := false
+            else begin
+              let _, hi = sl.(!si) in
+              if !pos >= hi then begin
+                incr si;
+                if !si < ns then pos := fst sl.(!si) else continue := false
+              end
+              else begin
+                let tup = rows.(!pos) in
+                incr pos;
+                meter.rows_scanned <- meter.rows_scanned + 1;
+                if ftest tup orows then B.add out tup
+              end
+            end
+          done;
+          if out.B.len = 0 then None else Some out
+        end
+      in
+      { c_open; c_next; c_close = (fun () -> ()) }
+  | Plan.Exchange { child; dop } -> prepare_exchange ctx scopes child dop
+  | Plan.Partial_agg { child; alias = _; keys; aggs } ->
+      prepare_partial_agg ctx scopes child keys aggs
+  | Plan.Final_agg { child; alias = _; keys; aggs } ->
+      prepare_final_agg ctx scopes child keys aggs
   | Plan.Index_scan { table; alias = _; index; prefix; lo; hi; filter } ->
       (* index scans always run the row path: one row choice *)
       dispatch_row ctx.estats;
@@ -1496,6 +1580,304 @@ and prepare_aggregate ctx scopes child strategy keys aggs =
       result)
   end
 
+(* Per-partition aggregation: the same fold as {!prepare_aggregate}
+   (hash strategy, no DISTINCT), but emitting accumulator-{e state}
+   rows instead of final values — group keys followed by one state
+   column per aggregate (Avg decomposes into running sum + non-null
+   count, the only decomposition that recombines exactly; see
+   {!Plan.partial_state_cols}). Charges [agg_rows] per input row,
+   exactly like [Aggregate]. A scalar (keyless) partial emits its one
+   state row even over empty input, so every exchange task contributes
+   exactly one row to the final combine. *)
+and prepare_partial_agg ctx scopes child keys aggs =
+  let cat = ctx.db.Db.cat in
+  let meter = ctx.meter in
+  let binds = ctx.binds in
+  let child_layout = Plan.layout child cat in
+  let cchild = prepare ctx scopes child in
+  let fkeys =
+    compile_keys_list ~meter ~binds child_layout scopes (List.map fst keys)
+  in
+  let faggs =
+    List.map
+      (fun (_, a, eo) ->
+        (a, Option.map (compile_scalar ~meter ~binds child_layout scopes) eo))
+      aggs
+  in
+  let fold_row orows faggs accs r =
+    List.iter2
+      (fun (_, feo) acc ->
+        match feo with
+        | None -> ()
+        | Some f -> acc_add false acc (f r orows))
+      faggs accs
+  in
+  let states_of nrows accs =
+    List.concat
+      (List.map2
+         (fun (a, _) acc ->
+           match a with
+           | A.Count_star -> [ Value.Int nrows ]
+           | A.Count -> [ Value.Int acc.a_count ]
+           | A.Sum -> [ acc.a_sum ]
+           | A.Min -> [ acc.a_min ]
+           | A.Max -> [ acc.a_max ]
+           | A.Avg -> [ acc.a_sum; Value.Int acc.a_count ])
+         faggs accs)
+  in
+  if keys = [] then
+    breaker (fun orows ->
+        let accs = List.map (fun _ -> acc_create ()) faggs in
+        let n = ref 0 in
+        iter_rows cchild orows (fun r ->
+            incr n;
+            meter.agg_rows <- meter.agg_rows + 1;
+            fold_row orows faggs accs r);
+        let result = Vec.create ~cap:1 () in
+        Vec.push result (Array.of_list (states_of !n accs));
+        result)
+  else begin
+    let groups = Hkey.create 16 in
+    breaker (fun orows ->
+        Hkey.reset groups;
+        let order = ref [] in
+        iter_rows cchild orows (fun r ->
+            meter.agg_rows <- meter.agg_rows + 1;
+            let kv = fkeys r orows in
+            let entry =
+              match Hkey.find_opt groups kv with
+              | Some e -> e
+              | None ->
+                  let e = (ref 0, List.map (fun _ -> acc_create ()) faggs) in
+                  Hkey.add groups kv e;
+                  order := kv :: !order;
+                  e
+            in
+            let nrows, accs = entry in
+            incr nrows;
+            fold_row orows faggs accs r);
+        let result = Vec.create () in
+        List.iter
+          (fun kv ->
+            let nrows, accs = Hkey.find groups kv in
+            Vec.push result (Array.of_list (kv @ states_of !nrows accs)))
+          (List.rev !order);
+        result)
+  end
+
+(* Combine {!Plan.Partial_agg} state rows into final aggregate values.
+   Groups by the first [nkeys] positions of the state layout (the keys
+   come through the partials verbatim), folds each aggregate's state
+   column(s) with the null-aware machinery, and emits groups in
+   first-seen order over the input stream — which, partials arriving in
+   ascending partition order, is deterministic at every dop. Charges
+   [agg_rows] per state row. *)
+and prepare_final_agg ctx scopes child keys aggs =
+  let meter = ctx.meter in
+  let cchild = prepare ctx scopes child in
+  let nkeys = List.length keys in
+  (* reader position of each aggregate's state in the child layout *)
+  let readers =
+    let pos = ref nkeys in
+    List.map
+      (fun (_, a) ->
+        let p = !pos in
+        (pos := !pos + (match a with A.Avg -> 2 | _ -> 1));
+        (a, p))
+      aggs
+  in
+  let int_of = function Value.Int n -> n | _ -> 0 in
+  let merge_sum acc v =
+    if not (Value.is_null v) then
+      acc.a_sum <-
+        (if Value.is_null acc.a_sum then v else Value.arith `Add acc.a_sum v)
+  in
+  let combine acc (a : A.agg) (r : row) (p : int) =
+    match a with
+    | A.Count_star | A.Count -> acc.a_count <- acc.a_count + int_of r.(p)
+    | A.Sum -> merge_sum acc r.(p)
+    | A.Min ->
+        let v = r.(p) in
+        if not (Value.is_null v) then
+          acc.a_min <-
+            (if Value.is_null acc.a_min || Value.compare_total v acc.a_min < 0
+             then v
+             else acc.a_min)
+    | A.Max ->
+        let v = r.(p) in
+        if not (Value.is_null v) then
+          acc.a_max <-
+            (if Value.is_null acc.a_max || Value.compare_total v acc.a_max > 0
+             then v
+             else acc.a_max)
+    | A.Avg ->
+        merge_sum acc r.(p);
+        acc.a_count <- acc.a_count + int_of r.(p + 1)
+  in
+  let final_of (a : A.agg) acc =
+    match a with
+    | A.Count_star | A.Count -> Value.Int acc.a_count
+    | A.Sum -> acc.a_sum
+    | A.Min -> acc.a_min
+    | A.Max -> acc.a_max
+    | A.Avg ->
+        if acc.a_count = 0 then Value.Null
+        else Value.arith `Div acc.a_sum (Value.Int acc.a_count)
+  in
+  if nkeys = 0 then
+    (* scalar combine: empty input (an exchange whose every partition
+       was pruned) falls out naturally — COUNT 0, other aggregates
+       NULL, the scalar-aggregate convention *)
+    breaker (fun orows ->
+        let accs = List.map (fun _ -> acc_create ()) readers in
+        iter_rows cchild orows (fun r ->
+            meter.agg_rows <- meter.agg_rows + 1;
+            List.iter2 (fun (a, p) acc -> combine acc a r p) readers accs);
+        let result = Vec.create ~cap:1 () in
+        Vec.push result
+          (Array.of_list
+             (List.map2 (fun (a, _) acc -> final_of a acc) readers accs));
+        result)
+  else begin
+    let groups = Hkey.create 16 in
+    breaker (fun orows ->
+        Hkey.reset groups;
+        let order = ref [] in
+        iter_rows cchild orows (fun r ->
+            meter.agg_rows <- meter.agg_rows + 1;
+            let kv = List.init nkeys (fun i -> r.(i)) in
+            let accs =
+              match Hkey.find_opt groups kv with
+              | Some accs -> accs
+              | None ->
+                  let accs = List.map (fun _ -> acc_create ()) readers in
+                  Hkey.add groups kv accs;
+                  order := kv :: !order;
+                  accs
+            in
+            List.iter2 (fun (a, p) acc -> combine acc a r p) readers accs);
+        let result = Vec.create () in
+        List.iter
+          (fun kv ->
+            let accs = Hkey.find groups kv in
+            Vec.push result
+              (Array.of_list
+                 (kv
+                 @ List.map2 (fun (a, _) acc -> final_of a acc) readers accs)))
+          (List.rev !order);
+        result)
+  end
+
+(* Partition-parallel execution of [child]. The task list is the
+   ascending union of the pruning survivors of every [Part_scan] in the
+   subtree — a pure function of the prune specs and the bind vector,
+   identical at every dop. Each task re-prepares the child with a fresh
+   context: its own meter, its own analyze table, [restrict = Some t]
+   so every partitioned scan reads only partition [t], and the row
+   engine forced (the columnar image cache is not domain-safe; row and
+   vector are meter-equal, so the choice is unobservable). The
+   coordinator merges in ascending task order: rows concatenate, task
+   meters [Meter.add] into the parent (commutative integer sums), task
+   node stats fold into the parent's analyze table keyed by the shared
+   plan-node identity. With [dop <= 1] {!Exchange.run_tasks} runs the
+   same per-task closures on the calling domain — same code path, so
+   rows and merged meters are bit-identical to any parallel dop. *)
+and prepare_exchange ctx scopes child dop =
+  match Plan.part_scans child with
+  | [] ->
+      (* no partitioned scan below: nothing to fan out over *)
+      prepare ctx scopes child
+  | scans ->
+      Cursor.prewarm_metrics ();
+      let specs =
+        List.map
+          (fun (table, pr) ->
+            let rel = Db.relation ctx.db table in
+            match Relation.part rel with
+            | Some pt -> (pt.Relation.p_spec, pr)
+            | None ->
+                invalid_arg
+                  (Printf.sprintf
+                     "Executor: EXCHANGE over unpartitioned PART SCAN of %s"
+                     table))
+          scans
+      in
+      (* freeze the planner's cardinality hints for the subtree before
+         any domain is spawned: the hint source may memoize internally
+         and must not be raced *)
+      let frozen = Ptbl.create 32 in
+      let rec freeze p =
+        if not (Ptbl.mem frozen p) then begin
+          Ptbl.replace frozen p (ctx.card_of p);
+          List.iter freeze (Plan.children p)
+        end
+      in
+      freeze child;
+      let fcard p = Option.join (Ptbl.find_opt frozen p) in
+      let binds = ctx.binds in
+      let run_task orows t =
+        let m = Meter.create () in
+        let tbl =
+          match ctx.analyze with
+          | None -> None
+          | Some _ -> Some (Ptbl.create 16)
+        in
+        let tctx =
+          {
+            ctx with
+            meter = m;
+            analyze = tbl;
+            card_of = fcard;
+            engine = Row;
+            estats = None;
+            restrict = Some t;
+          }
+        in
+        let rows = drain (prepare tctx scopes child) orows in
+        (rows, m, tbl)
+      in
+      breaker (fun orows ->
+          let module Iset = Set.Make (Int) in
+          let tasks =
+            Iset.elements
+              (List.fold_left
+                 (fun acc (ps, pr) ->
+                   List.fold_left
+                     (fun acc i -> Iset.add i acc)
+                     acc
+                     (Prune.survivors_runtime ~binds ps pr))
+                 Iset.empty specs)
+          in
+          (* pruning accounted once per execution, per scan *)
+          List.iter
+            (fun (ps, pr) ->
+              let s = List.length (Prune.survivors_runtime ~binds ps pr) in
+              count_parts ctx.estats ~scanned:s
+                ~pruned:(ps.Catalog.ps_n - s))
+            specs;
+          if tasks <> [] then
+            observe_dop ctx.estats (max 1 (min dop (List.length tasks)));
+          let results = Exchange.run_tasks ~dop ~tasks ~f:(run_task orows) in
+          let out = Vec.create () in
+          List.iter
+            (fun (_, (rows, m, tbl)) ->
+              Meter.add ctx.meter m;
+              (match (ctx.analyze, tbl) with
+              | Some main, Some sub ->
+                  Ptbl.iter
+                    (fun node st ->
+                      let dst = node_stat_of main node in
+                      dst.ns_calls <- dst.ns_calls + st.ns_calls;
+                      dst.ns_rows <- dst.ns_rows + st.ns_rows;
+                      Meter.add dst.ns_meter st.ns_meter;
+                      dst.ns_engine <- st.ns_engine;
+                      dst.ns_sel_in <- dst.ns_sel_in + st.ns_sel_in)
+                    sub
+              | _ -> ());
+              Vec.iter (Vec.push out) rows)
+            results;
+          out)
+
 and prepare_window ctx scopes child wins =
   let cat = ctx.db.Db.cat in
   let meter = ctx.meter in
@@ -1625,6 +2007,7 @@ let execute ?meter ?(binds = [||]) ?(batch_size = default_batch_size)
       card_of;
       vector_threshold;
       estats = engine_stats;
+      restrict = None;
     }
   in
   let rows = run_root ctx plan in
@@ -1653,6 +2036,7 @@ let execute_analyzed ?meter ?(binds = [||])
       card_of;
       vector_threshold;
       estats = engine_stats;
+      restrict = None;
     }
   in
   let rows = run_root ctx plan in

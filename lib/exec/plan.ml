@@ -19,8 +19,64 @@ type jrole = Inner | Semi | Anti | Anti_na | Left_outer
     correlation scopes but not the scanned table. *)
 type rbound = R_unbounded | R_incl of Ast.expr | R_excl of Ast.expr
 
+(** Partition-pruning spec of a {!Part_scan}: the restriction of the
+    scan's WHERE conjuncts to the partition key, {e evaluated at open
+    time} against the actual bind values — a cached plan must prune
+    correctly for binds other than the ones it was compiled under, so
+    the plan carries the pruning {e predicate}, never a baked partition
+    list. The expressions must be uncorrelated (constants and binds).
+    Pruning is pure optimization: the originating conjunct always stays
+    in the scan's [filter], so a pruned scan returns exactly the rows
+    the unpruned scan would. *)
+type prune =
+  | Pr_none  (** scan every partition *)
+  | Pr_eq of Ast.expr  (** key = e: at most one surviving partition *)
+  | Pr_range of rbound * rbound
+      (** lo <= key <= hi: contiguous surviving range (range scheme
+          only; hash-partitioned tables cannot range-prune) *)
+
 type t =
   | Table_scan of { table : string; alias : string; filter : Ast.pred list }
+  | Part_scan of {
+      table : string;
+      alias : string;
+      filter : Ast.pred list;
+      prune : prune;
+    }
+      (** full scan of a partitioned table, partition by partition in
+          ascending partition order, skipping pruned partitions. Pages
+          are charged as the {e sum of per-partition ceilings} of the
+          surviving partitions (see {!Storage.Relation.part_pages}) —
+          a deliberately different charging contract from [Table_scan],
+          interpreted identically by every engine. Under an
+          {!Exchange}, the executor restricts the scan to the domain's
+          assigned partition. *)
+  | Exchange of { child : t; dop : int }
+      (** partition-parallel execution of [child] across [dop] OCaml
+          domains: each surviving partition of the child's partitioned
+          scans becomes one task, a domain executes the child with its
+          scans restricted to that partition, and the coordinator
+          concatenates the per-partition results in ascending partition
+          order — making rows {e and} merged meters bit-identical to
+          serial execution of the same plan at every dop. *)
+  | Partial_agg of {
+      child : t;
+      alias : string;
+      keys : (Ast.expr * string) list;
+      aggs : (string * Ast.agg * Ast.expr option) list;
+          (** non-DISTINCT aggregates only; hash strategy *)
+    }
+      (** per-partition aggregation emitting accumulator-state rows
+          (see {!partial_state_cols}); combined by a {!Final_agg} above
+          the exchange *)
+  | Final_agg of {
+      child : t;
+      alias : string;
+      keys : string list;  (** output names of the group keys *)
+      aggs : (string * Ast.agg) list;
+    }
+      (** combines {!Partial_agg} state rows into final aggregate
+          values; groups by the key positions of the partial layout *)
   | Index_scan of {
       table : string;
       alias : string;
@@ -76,14 +132,35 @@ and subq_pred =
       (** NOT IN uses null-aware (ALL) semantics *)
   | SP_cmp of { op : Ast.cmp; lhs : Ast.expr; quant : Ast.quant option; plan : t }
 
+(** Column names of a {!Partial_agg}'s accumulator-state output, after
+    the group keys: one column per aggregate, except [Avg] which
+    decomposes into a running sum and a non-null count (recombined by
+    the {!Final_agg}; [sum/count] is the only decomposition that merges
+    exactly across partitions). *)
+let partial_state_cols (aggs : (string * Ast.agg * Ast.expr option) list) :
+    string list =
+  List.concat_map
+    (fun (n, a, _) ->
+      match a with Ast.Avg -> [ n ^ "$sum"; n ^ "$cnt" ] | _ -> [ n ])
+    aggs
+
 (** Output layout of a plan: the (alias, column) pair at each row
     position. *)
 let rec layout (p : t) (cat : Catalog.t) : (string * string) array =
   match p with
-  | Table_scan { table; alias; _ } ->
+  | Table_scan { table; alias; _ } | Part_scan { table; alias; _ } ->
       let def = Catalog.find_table cat table in
       Array.of_list
         (List.map (fun c -> (alias, c.Catalog.c_name)) def.t_cols)
+  | Exchange { child; _ } -> layout child cat
+  | Partial_agg { alias; keys; aggs; _ } ->
+      Array.of_list
+        (List.map (fun (_, n) -> (alias, n)) keys
+        @ List.map (fun n -> (alias, n)) (partial_state_cols aggs))
+  | Final_agg { alias; keys; aggs; _ } ->
+      Array.of_list
+        (List.map (fun n -> (alias, n)) keys
+        @ List.map (fun (n, _) -> (alias, n)) aggs)
   | Index_scan { table; alias; _ } ->
       let def = Catalog.find_table cat table in
       Array.of_list
@@ -127,6 +204,26 @@ let rec pp ?(indent = 0) ppf (p : t) =
   match p with
   | Table_scan { table; alias; filter } ->
       Fmt.pf ppf "%sTABLE SCAN %s %s%a@." pad table alias pp_filter filter
+  | Part_scan { table; alias; filter; prune } ->
+      Fmt.pf ppf "%sPART SCAN %s %s%a%a@." pad table alias pp_prune prune
+        pp_filter filter
+  | Exchange { child = c; dop } ->
+      Fmt.pf ppf "%sEXCHANGE dop=%d@.%a" pad dop (pp ~indent:child) c
+  | Partial_agg { child = c; alias; keys; aggs } ->
+      Fmt.pf ppf "%sPARTIAL GROUP BY %s keys=[%a] aggs=[%a]@.%a" pad alias
+        (Fmt.list ~sep:Fmt.comma (fun ppf (e, n) ->
+             Fmt.pf ppf "%a AS %s" Pp.pp_expr e n))
+        keys
+        (Fmt.list ~sep:Fmt.comma (fun ppf (n, a, _) ->
+             Fmt.pf ppf "%s:%s" n (Pp.agg_str a)))
+        aggs (pp ~indent:child) c
+  | Final_agg { child = c; alias; keys; aggs } ->
+      Fmt.pf ppf "%sFINAL GROUP BY %s keys=[%a] aggs=[%a]@.%a" pad alias
+        (Fmt.list ~sep:Fmt.comma Fmt.string)
+        keys
+        (Fmt.list ~sep:Fmt.comma (fun ppf (n, a) ->
+             Fmt.pf ppf "%s:%s" n (Pp.agg_str a)))
+        aggs (pp ~indent:child) c
   | Index_scan { table; alias; index; prefix; filter; _ } ->
       Fmt.pf ppf "%sINDEX SCAN %s(%s) %s prefix=[%a]%a@." pad table index
         alias
@@ -197,6 +294,17 @@ and pp_filter ppf = function
   | ps ->
       Fmt.pf ppf " filter=[%a]" (Fmt.list ~sep:(Fmt.any " AND ") Pp.pp_pred) ps
 
+and pp_prune ppf = function
+  | Pr_none -> ()
+  | Pr_eq e -> Fmt.pf ppf " prune=(key = %a)" Pp.pp_expr e
+  | Pr_range (lo, hi) ->
+      let b name ppf = function
+        | R_unbounded -> ()
+        | R_incl e -> Fmt.pf ppf " %s= %a" name Pp.pp_expr e
+        | R_excl e -> Fmt.pf ppf " %s %a" name Pp.pp_expr e
+      in
+      Fmt.pf ppf " prune=(key%a%a)" (b ">") lo (b "<") hi
+
 let to_string p = Fmt.str "%a" (pp ~indent:0) p
 
 (** Fingerprint used by the workload runner's plan differ. *)
@@ -208,6 +316,14 @@ let node_label (p : t) : string =
   match p with
   | Table_scan { table; alias; _ } ->
       Printf.sprintf "TABLE SCAN %s %s" table alias
+  | Part_scan { table; alias; prune; _ } ->
+      Printf.sprintf "PART SCAN %s %s%s" table alias
+        (match prune with Pr_none -> "" | _ -> " (pruned)")
+  | Exchange { dop; _ } -> Printf.sprintf "EXCHANGE (dop %d)" dop
+  | Partial_agg { alias; keys; _ } ->
+      Printf.sprintf "PARTIAL GROUP BY %s (%d keys)" alias (List.length keys)
+  | Final_agg { alias; keys; _ } ->
+      Printf.sprintf "FINAL GROUP BY %s (%d keys)" alias (List.length keys)
   | Index_scan { table; alias; index; _ } ->
       Printf.sprintf "INDEX SCAN %s(%s) %s" table index alias
   | Join { meth; role; _ } -> jmethod_str meth ^ jrole_str role
@@ -236,7 +352,7 @@ let node_label (p : t) : string =
     work during execution, so any accounting walk must visit them. *)
 let children (p : t) : t list =
   match p with
-  | Table_scan _ | Index_scan _ -> []
+  | Table_scan _ | Part_scan _ | Index_scan _ -> []
   | Join { left; right; _ } -> [ left; right ]
   | Filter { child; _ }
   | Project { child; _ }
@@ -244,7 +360,10 @@ let children (p : t) : t list =
   | Window { child; _ }
   | Sort { child; _ }
   | Limit { child; _ }
-  | Limit_filter { child; _ } ->
+  | Limit_filter { child; _ }
+  | Exchange { child; _ }
+  | Partial_agg { child; _ }
+  | Final_agg { child; _ } ->
       [ child ]
   | Subq_filter { child; preds } ->
       child
@@ -258,6 +377,18 @@ let children (p : t) : t list =
   | Union_all cs -> cs
   | Setop_exec { left; right; _ } -> [ left; right ]
 
+(** Every [Part_scan] of [p], in preorder — the scans an enclosing
+    {!Exchange} derives its partition task list from (the union of
+    their pruning survivors). Includes subquery plans: an exchange may
+    not legally contain one over a partitioned table (the restriction
+    would change subquery semantics — {!Analysis.Plan_check} rejects
+    it), but accounting walks must still see the scan. *)
+let rec part_scans (p : t) : (string * prune) list =
+  (match p with
+  | Part_scan { table; prune; _ } -> [ (table, prune) ]
+  | _ -> [])
+  @ List.concat_map part_scans (children p)
+
 (** All column references embedded anywhere in a plan (scan filters,
     probe expressions, join conditions, projections, aggregates, nested
     subquery plans). Used to determine a sub-plan's correlation
@@ -270,6 +401,26 @@ let all_cols (p : t) : Ast.col list =
   let rec go acc p =
     match p with
     | Table_scan { filter; _ } -> List.fold_left pred acc filter
+    | Part_scan { filter; prune; _ } ->
+        let acc = List.fold_left pred acc filter in
+        (match prune with
+        | Pr_none -> acc
+        | Pr_eq e -> expr acc e
+        | Pr_range (lo, hi) ->
+            let bound acc = function
+              | R_unbounded -> acc
+              | R_incl e | R_excl e -> expr acc e
+            in
+            bound (bound acc lo) hi)
+    | Exchange { child; _ } -> go acc child
+    | Partial_agg { child; keys; aggs; _ } ->
+        let acc = go acc child in
+        let acc = List.fold_left (fun acc (e, _) -> expr acc e) acc keys in
+        List.fold_left
+          (fun acc (_, _, eo) ->
+            match eo with Some e -> expr acc e | None -> acc)
+          acc aggs
+    | Final_agg { child; _ } -> go acc child
     | Index_scan { prefix; lo; hi; filter; _ } ->
         let acc = List.fold_left expr acc prefix in
         let acc =

@@ -1,0 +1,83 @@
+(** Partition-pruning survivor computation, shared by every consumer of
+    a {!Plan.Part_scan}'s prune spec: the row engine and the baseline
+    engine (at open time, against the actual bind vector), the exchange
+    operator (to derive its task list), the planner's cost model
+    (at plan time, against peeked binds) and the static plan checker.
+    One definition of "which partitions survive" is what makes pruning
+    a pure optimization — every consumer agrees on the same partition
+    set for the same values, so a pruned scan, a parallel scan and the
+    cost estimate all describe the same rows.
+
+    Pruning is always {e conservative}: whenever a value cannot be
+    determined the affected restriction is dropped (scan everything),
+    never tightened. The originating conjunct stays in the scan's
+    filter, so over-inclusion costs pages, not correctness. *)
+
+open Sqlir
+
+(** Evaluate an uncorrelated prune operand — constants and binds only,
+    the grammar {!Plan.prune} admits. [None] for anything else (the
+    conservative fallback). Bind markers out of the vector's range fall
+    back to their peeked value, exactly as {!Eval} does. *)
+let value_of ~(binds : Value.t array) (e : Ast.expr) : Value.t option =
+  match e with
+  | Ast.Const v -> Some v
+  | Ast.Bind (i, peek) ->
+      Some (if i >= 0 && i < Array.length binds then binds.(i) else peek)
+  | _ -> None
+
+(** The ascending list of partitions of [ps] that can hold rows
+    satisfying [pr], under [value_of] (callers pick the evaluation
+    environment: actual binds at run time, peeked binds at plan time).
+
+    [Pr_eq e]: the single home partition of the value — both schemes
+    route a value to exactly one partition. [key = NULL] is
+    unsatisfiable (3VL), so {e no} partition survives. [Pr_range]:
+    the contiguous run of range partitions intersecting the bound
+    interval; hash partitioning scatters order, so a range prunes
+    nothing there. A bound that is NULL makes the comparison UNKNOWN
+    for every row — nothing survives. *)
+let survivors ~(value_of : Ast.expr -> Value.t option)
+    (ps : Catalog.part_spec) (pr : Plan.prune) : int list =
+  let all = List.init ps.ps_n (fun i -> i) in
+  match pr with
+  | Plan.Pr_none -> all
+  | Plan.Pr_eq e -> (
+      match value_of e with
+      | None -> all
+      | Some v when Value.is_null v -> []
+      | Some v -> [ Catalog.part_route ps v ])
+  | Plan.Pr_range (lo, hi) -> (
+      if ps.ps_scheme <> `Range then all
+      else
+        (* [Ok None] = unrestricted end; [Ok (Some v)] = bounded by [v]
+           (inclusive vs exclusive is irrelevant to partition-level
+           pruning: the partition containing [v] always survives);
+           [Error ()] = NULL bound, unsatisfiable *)
+        let bound_val = function
+          | Plan.R_unbounded -> Ok None
+          | Plan.R_incl e | Plan.R_excl e -> (
+              match value_of e with
+              | None -> Ok None
+              | Some v when Value.is_null v -> Error ()
+              | Some v -> Ok (Some v))
+        in
+        match (bound_val lo, bound_val hi) with
+        | Error (), _ | _, Error () -> []
+        | Ok lo_v, Ok hi_v ->
+            let plo =
+              match lo_v with None -> 0 | Some v -> Catalog.part_route ps v
+            in
+            let phi =
+              match hi_v with
+              | None -> ps.ps_n - 1
+              | Some v -> Catalog.part_route ps v
+            in
+            if phi < plo then []
+            else List.init (phi - plo + 1) (fun i -> plo + i))
+
+(** {!survivors} under the actual bind vector — the run-time
+    environment every engine prunes in. *)
+let survivors_runtime ~(binds : Value.t array) (ps : Catalog.part_spec)
+    (pr : Plan.prune) : int list =
+  survivors ~value_of:(value_of ~binds) ps pr

@@ -58,6 +58,10 @@ type entry = {
   mutable qe_meter : int array;  (** meter field totals, same order *)
   mutable qe_vec_pipelines : int;
   mutable qe_row_pipelines : int;
+  mutable qe_dop_max : int;
+      (** max effective exchange worker count observed; 0 = serial *)
+  mutable qe_parts_scanned : int;  (** partitions actually read *)
+  mutable qe_parts_pruned : int;  (** partitions skipped by pruning *)
   qe_tx : (string, int * int) Hashtbl.t;  (** tx -> (attempts, accepts) *)
   mutable qe_qerr_max : float;  (** worst per-operator Q-error observed *)
   mutable qe_qerr_sum : float;
@@ -189,8 +193,9 @@ let record_qerr_locked (e : entry) (qerrs : float list) : unit =
     folded in under the same shard lock as the rest of the update.
     Returns the (created or updated) entry for single-domain callers
     that want to attach more data. *)
-let observe ?(txs : (string * bool) list = []) ?(qerrs : float list = []) t
-    ~(fp : int) ~(text : unit -> string) ~(outcome : string) ~(rows : int)
+let observe ?(txs : (string * bool) list = []) ?(qerrs : float list = [])
+    ?(dop = 0) ?(parts_scanned = 0) ?(parts_pruned = 0) t ~(fp : int)
+    ~(text : unit -> string) ~(outcome : string) ~(rows : int)
     ~(exec_s : float) ~(parse_s : float) ~(meter_names : string array)
     ~(meter : int array) ~(vec_pipelines : int) ~(row_pipelines : int) : entry
     =
@@ -229,6 +234,9 @@ let observe ?(txs : (string * bool) list = []) ?(qerrs : float list = []) t
             qe_meter = Array.make (Array.length meter_names) 0;
             qe_vec_pipelines = 0;
             qe_row_pipelines = 0;
+            qe_dop_max = 0;
+            qe_parts_scanned = 0;
+            qe_parts_pruned = 0;
             qe_tx = Hashtbl.create 8;
             qe_qerr_max = nan;
             qe_qerr_sum = 0.;
@@ -283,6 +291,9 @@ let observe ?(txs : (string * bool) list = []) ?(qerrs : float list = []) t
        meter);
   e.qe_vec_pipelines <- e.qe_vec_pipelines + vec_pipelines;
   e.qe_row_pipelines <- e.qe_row_pipelines + row_pipelines;
+  if dop > e.qe_dop_max then e.qe_dop_max <- dop;
+  e.qe_parts_scanned <- e.qe_parts_scanned + parts_scanned;
+  e.qe_parts_pruned <- e.qe_parts_pruned + parts_pruned;
   List.iter (fun (name, accepted) -> record_tx_locked e ~name ~accepted) txs;
   if qerrs <> [] then record_qerr_locked e qerrs;
   Mutex.unlock s.mu;
@@ -413,6 +424,9 @@ let entry_to_json ?(wall = true) (e : entry) : Json.t =
              (Array.to_list e.qe_meter)) );
       ("vec_pipelines", Json.Int e.qe_vec_pipelines);
       ("row_pipelines", Json.Int e.qe_row_pipelines);
+      ("dop_max", Json.Int e.qe_dop_max);
+      ("parts_scanned", Json.Int e.qe_parts_scanned);
+      ("parts_pruned", Json.Int e.qe_parts_pruned);
       ("transformations", Json.Obj tx);
       ("qerr_max", jfloat e.qe_qerr_max);
       ("qerr_mean", jfloat (qerr_mean e));

@@ -79,6 +79,107 @@ let consumed_preds ~alias (cols : string list) (preds : A.pred list) :
       | _ -> false)
     preds
 
+(* ------------------------------------------------------------------ *)
+(* Partition pruning                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(** Plan-time prune derivation: fold the scan's conjuncts on the
+    partition key into a {!Plan.prune} spec. Operands are restricted to
+    constants and binds — only those can be routed to a partition at
+    cursor-open time (a correlated column has no value yet). The
+    originating conjuncts always stay in the scan filter, which is what
+    makes the pruning provably disjoint ([PL008]). *)
+let derive_prune (ps : Catalog.part_spec) ~(alias : string)
+    (preds : A.pred list) : Plan.prune =
+  let key e =
+    match e with
+    | A.Col { A.c_alias; c_col } ->
+        String.equal c_alias alias && String.equal c_col ps.Catalog.ps_col
+    | _ -> false
+  in
+  let routable e =
+    match e with A.Const _ | A.Bind _ -> true | _ -> false
+  in
+  let eq =
+    List.find_map
+      (fun p ->
+        match p with
+        | A.Cmp (A.Eq, l, r) when key l && routable r -> Some r
+        | A.Cmp (A.Eq, l, r) when key r && routable l -> Some l
+        | _ -> None)
+      preds
+  in
+  match eq with
+  | Some e -> Plan.Pr_eq e
+  | None ->
+      if ps.Catalog.ps_scheme <> `Range then Plan.Pr_none
+        (* hash partitions carry no order: only equality prunes *)
+      else begin
+        let lo = ref Plan.R_unbounded and hi = ref Plan.R_unbounded in
+        let set r b =
+          match !r with Plan.R_unbounded -> r := b | _ -> ()
+        in
+        List.iter
+          (fun p ->
+            match p with
+            | A.Cmp (A.Ge, l, r) when key l && routable r ->
+                set lo (Plan.R_incl r)
+            | A.Cmp (A.Gt, l, r) when key l && routable r ->
+                set lo (Plan.R_excl r)
+            | A.Cmp (A.Le, l, r) when key l && routable r ->
+                set hi (Plan.R_incl r)
+            | A.Cmp (A.Lt, l, r) when key l && routable r ->
+                set hi (Plan.R_excl r)
+            | A.Cmp (A.Ge, l, r) when key r && routable l ->
+                set hi (Plan.R_incl l)
+            | A.Cmp (A.Gt, l, r) when key r && routable l ->
+                set hi (Plan.R_excl l)
+            | A.Cmp (A.Le, l, r) when key r && routable l ->
+                set lo (Plan.R_incl l)
+            | A.Cmp (A.Lt, l, r) when key r && routable l ->
+                set lo (Plan.R_excl l)
+            | A.Between (e, b1, b2) when key e && routable b1 && routable b2
+              ->
+                set lo (Plan.R_incl b1);
+                set hi (Plan.R_incl b2)
+            | _ -> ())
+          preds;
+        match (!lo, !hi) with
+        | Plan.R_unbounded, Plan.R_unbounded -> Plan.Pr_none
+        | lo, hi -> Plan.Pr_range (lo, hi)
+      end
+
+(** Statically estimated pruning outcome: surviving partition count and
+    their summed rows and page ceilings. Bind peeks stand in for the
+    runtime values, so a prepared query is costed with the values of
+    its first binding — the classic peeked-bind gamble. *)
+let prune_estimate (cat : Catalog.t) (ps : Catalog.part_spec)
+    ~(table : string) (prune : Plan.prune) : int * float * float =
+  let surv =
+    Exec.Prune.survivors ~value_of:(Exec.Prune.value_of ~binds:[||]) ps prune
+  in
+  let total_rows =
+    match Catalog.stats cat table with
+    | Some s -> float_of_int s.Catalog.s_rows
+    | None -> float_of_int (ps.Catalog.ps_n * Catalog.rows_per_page)
+  in
+  let pstats = Catalog.part_stats cat table in
+  let rows_of i =
+    match pstats with
+    | Some a when i < Array.length a -> float_of_int a.(i).Catalog.pp_rows
+    | _ -> total_rows /. float_of_int ps.Catalog.ps_n
+  in
+  let rows = List.fold_left (fun acc i -> acc +. rows_of i) 0. surv in
+  let pages =
+    List.fold_left
+      (fun acc i ->
+        acc
+        +. Float.max 1.
+             (ceil (rows_of i /. float_of_int Catalog.rows_per_page)))
+      0. surv
+  in
+  (List.length surv, rows, pages)
+
 (** Best access path for table entry [e], given available bindings from
     [avail] aliases (join side) and its single-table predicates.
     Returns (plan, per-execution cost, output rows, consumed preds). *)
@@ -102,6 +203,33 @@ let table_access_path (t : Ctx.t) ~env ~(local : Sset.t) ~(avail : Sset.t)
       +. Ctx.filter_cost env ~rows:e.e_rows all_preds,
       out_rows,
       all_preds )
+  in
+  (* partitioned scan with costed pruning: worth a row only when the
+     derived prune spec is estimated to drop at least one partition —
+     an unpruned partitioned scan reads the same heap as the full scan
+     but pays per-partition page ceilings *)
+  let part_paths =
+    match Catalog.part_spec t.Ctx.cat table with
+    | None -> []
+    | Some ps -> (
+        let prune = derive_prune ps ~alias all_preds in
+        match prune with
+        | Plan.Pr_none -> []
+        | _ ->
+            let scanned, prows, ppages =
+              prune_estimate t.Ctx.cat ps ~table prune
+            in
+            if scanned >= ps.Catalog.ps_n then []
+            else
+              let prows = Float.max 0.5 prows in
+              let out = Float.min out_rows prows in
+              [
+                ( Plan.Part_scan { table; alias; filter = all_preds; prune },
+                  Model.table_scan ~pages:ppages ~rows:prows ~out
+                  +. Ctx.filter_cost env ~rows:prows all_preds,
+                  out,
+                  all_preds );
+              ])
   in
   let index_paths =
     List.filter_map
@@ -151,7 +279,7 @@ let table_access_path (t : Ctx.t) ~env ~(local : Sset.t) ~(avail : Sset.t)
               consumed @ residual ))
       (Catalog.indexes_on t.Ctx.cat table)
   in
-  scan :: index_paths
+  (scan :: part_paths) @ index_paths
 
 (** Initial partial plan over a single entry (no joins yet). *)
 let initial_partial (t : Ctx.t) ~outer ~env ~local (e : entry) : partial =

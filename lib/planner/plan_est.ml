@@ -45,6 +45,77 @@ and est_node cat tbl (p : Plan.t) : Info.rel_info =
   | Plan.Table_scan { table; alias; filter } ->
       let info = Info.of_table cat ~table ~alias in
       Info.filter ~sel:(Sel.conj_sel info filter) info
+  | Plan.Part_scan { table; alias; filter; prune = _ } ->
+      (* pruning changes the pages read, never the output rows: the
+         originating conjunct always stays in [filter], and the
+         selectivity below already accounts for it *)
+      let info = Info.of_table cat ~table ~alias in
+      Info.filter ~sel:(Sel.conj_sel info filter) info
+  | Plan.Exchange { child; _ } ->
+      (* concatenation of the per-partition results: the child's total *)
+      est cat tbl child
+  | Plan.Partial_agg { child; alias; keys; aggs } ->
+      let ci = est cat tbl child in
+      let nparts =
+        match Plan.part_scans child with
+        | (table, prune) :: _ -> (
+            match Catalog.part_spec cat table with
+            | Some ps ->
+                float_of_int
+                  (max 1 (List.length (Exec.Prune.survivors
+                        ~value_of:(Exec.Prune.value_of ~binds:[||])
+                        ps prune)))
+            | None -> 1.)
+        | [] -> 1.
+      in
+      let groups =
+        if keys = [] then 1.
+        else
+          Float.max 1.
+            (Sel.distinct_count ci ~rows:ci.Info.ri_rows (List.map fst keys))
+      in
+      (* every surviving partition contributes up to [groups] state
+         rows (exactly one for the scalar form), capped by the input *)
+      let rows =
+        if keys = [] then nparts
+        else
+          Float.min
+            (Float.max 1. ci.Info.ri_rows)
+            (Float.max 1. (groups *. nparts))
+      in
+      Info.project ~alias ~rows
+        (List.map
+           (fun (e, nm) -> (nm, Opt_ctx.default_expr_info ci ~rows e))
+           keys
+        @ List.map
+            (fun nm ->
+              ( nm,
+                { Info.default_colinfo with ci_ndv = Float.max 1. (rows /. 2.) }
+              ))
+            (Plan.partial_state_cols aggs))
+  | Plan.Final_agg { child; alias; keys; aggs } ->
+      let ci = est cat tbl child in
+      let groups =
+        if keys = [] then 1.
+        else
+          Float.max 1.
+            (Sel.distinct_count ci ~rows:ci.Info.ri_rows
+               (List.map (fun k -> A.col alias k) keys))
+      in
+      Info.project ~alias ~rows:groups
+        (List.map
+           (fun k ->
+             ( k,
+               Opt_ctx.default_expr_info ci ~rows:groups (A.col alias k) ))
+           keys
+        @ List.map
+            (fun (nm, _) ->
+              ( nm,
+                {
+                  Info.default_colinfo with
+                  ci_ndv = Float.max 1. (groups /. 2.);
+                } ))
+            aggs)
   | Plan.Index_scan { table; alias; index; prefix; lo; hi; filter } ->
       let info = Info.of_table cat ~table ~alias in
       let ix =

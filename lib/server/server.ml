@@ -412,6 +412,9 @@ type report = {
   rp_inflight : int;  (** executing right now *)
   rp_soft_parses : int;  (** summed over the workers' services *)
   rp_hard_parses : int;
+  rp_parts_scanned : int;  (** partitions read, summed over workers *)
+  rp_parts_pruned : int;  (** partitions pruned, summed over workers *)
+  rp_dop_max : int;  (** max exchange worker count observed; 0 = serial *)
   rp_cache : Pc.stats;  (** shared-cache snapshot *)
   rp_hit_rate : float;
   rp_entries : int;
@@ -420,11 +423,16 @@ type report = {
 
 let report t : report =
   let soft = ref 0 and hard = ref 0 in
+  let scanned = ref 0 and pruned = ref 0 and dop = ref 0 in
   List.iter
     (fun svc ->
       let r = Svc.report svc in
       soft := !soft + r.Svc.sv_soft_parses;
-      hard := !hard + r.Svc.sv_hard_parses)
+      hard := !hard + r.Svc.sv_hard_parses;
+      let es = Svc.engine_stats svc in
+      scanned := !scanned + es.Exec.Executor.es_parts_scanned;
+      pruned := !pruned + es.Exec.Executor.es_parts_pruned;
+      if es.Exec.Executor.es_dop > !dop then dop := es.Exec.Executor.es_dop)
     (services t);
   {
     rp_workers = t.cfg.workers;
@@ -437,6 +445,9 @@ let report t : report =
     rp_inflight = Atomic.get t.g_inflight;
     rp_soft_parses = !soft;
     rp_hard_parses = !hard;
+    rp_parts_scanned = !scanned;
+    rp_parts_pruned = !pruned;
+    rp_dop_max = !dop;
     rp_cache = Pc.stats t.cache;
     rp_hit_rate = Pc.hit_rate t.cache;
     rp_entries = Pc.length t.cache;
@@ -488,6 +499,9 @@ let pp_report ppf (r : report) =
   line "in flight" (fun ppf -> Fmt.pf ppf "%d" r.rp_inflight);
   line "soft parses" (fun ppf -> Fmt.pf ppf "%d" r.rp_soft_parses);
   line "hard parses" (fun ppf -> Fmt.pf ppf "%d" r.rp_hard_parses);
+  line "parts scanned" (fun ppf -> Fmt.pf ppf "%d" r.rp_parts_scanned);
+  line "parts pruned" (fun ppf -> Fmt.pf ppf "%d" r.rp_parts_pruned);
+  line "max dop" (fun ppf -> Fmt.pf ppf "%d" r.rp_dop_max);
   line "cache hits" (fun ppf -> Fmt.pf ppf "%d" r.rp_cache.Pc.hits);
   line "cache misses" (fun ppf -> Fmt.pf ppf "%d" r.rp_cache.Pc.misses);
   line "hit rate" (fun ppf -> Fmt.pf ppf "%.2f" r.rp_hit_rate);

@@ -57,6 +57,13 @@ type config = {
           pipeline from the cached plan's cardinality estimates; [Row]
           and [Vector] force one path. Results and meter totals do not
           depend on it. *)
+  dop : Planner.Parallel.dop;
+      (** degree-of-parallelism policy applied as a post-pass over
+          every cached plan: [Serial] leaves plans untouched, [Fixed n]
+          wraps eligible partition-local regions in exchanges at degree
+          [n], [Auto] sizes the degree from estimated scan volume and
+          the machine's core count. Results and meter totals do not
+          depend on it. *)
   metrics : bool;
       (** publish phase timers / cache outcomes to the process-wide
           {!Obs.Metrics.default} registry and accumulate the
@@ -78,6 +85,7 @@ let default_config =
     trace = Tr.Off;
     batch_size = Exec.Executor.default_batch_size;
     engine = Exec.Executor.Auto;
+    dop = Planner.Parallel.Serial;
     metrics = true;
     feedback = false;
     store_capacity = 256;
@@ -118,6 +126,12 @@ type t = {
       (** per-cached-plan cardinality hints for the hybrid engine
           choice, memoized by plan physical identity so the estimator
           runs once per plan rather than once per execution *)
+  par_plans : Exec.Plan.t Exec.Executor.Ptbl.t;
+      (** memo of the {!Planner.Parallel} post-pass, keyed by the
+          cached plan's physical identity — the rewrite runs once per
+          cached plan, and every execution of a shape sees the {e same}
+          rewritten plan object (which is also what keeps the hint memo
+          and analyze-mode node keys stable) *)
   estats : Exec.Executor.engine_stats;
       (** pipeline engine choices accumulated over every execution *)
   mutable soft_parses : int;
@@ -209,6 +223,7 @@ let create ?(config = default_config) ?cache ?store (db : Db.t) : t =
       | None -> Plan_cache.create ~capacity:config.capacity ());
     tracer = Tr.create config.trace;
     hints = Exec.Executor.Ptbl.create 64;
+    par_plans = Exec.Executor.Ptbl.create 64;
     estats = Exec.Executor.engine_stats_create ();
     soft_parses = 0;
     soft_s = 0.;
@@ -246,6 +261,20 @@ let hints_of t (plan : Exec.Plan.t) : Exec.Plan.t -> float option =
       let h = Planner.Plan_est.pipeline_hints t.db.Db.cat plan in
       Exec.Executor.Ptbl.add t.hints plan h;
       h
+
+(** The degree-of-parallelism post-pass over a cached plan, memoized by
+    plan identity (same bounding policy as the hint memo). *)
+let par_plan_of t (plan : Exec.Plan.t) : Exec.Plan.t =
+  if t.cfg.dop = Planner.Parallel.Serial then plan
+  else
+    match Exec.Executor.Ptbl.find_opt t.par_plans plan with
+    | Some p -> p
+    | None ->
+        if Exec.Executor.Ptbl.length t.par_plans > 4 * t.cfg.capacity then
+          Exec.Executor.Ptbl.reset t.par_plans;
+        let p = Planner.Parallel.apply t.db.Db.cat ~dop:t.cfg.dop plan in
+        Exec.Executor.Ptbl.add t.par_plans plan p;
+        p
 
 (* both walk one consistent point-in-time view of the catalog's epoch
    map ([Catalog.epochs_snapshot] is the acquire side of the stats
@@ -419,7 +448,7 @@ let exec_ir t (q : A.query) (binds : Value.t list) : exec_result =
   let rs = resolve t peeked in
   let ann = rs.rs_ann in
   let all_binds = Array.append user (Array.of_list extracted) in
-  let plan = ann.Planner.Annotation.an_plan in
+  let plan = par_plan_of t ann.Planner.Annotation.an_plan in
   let card_of = hints_of t plan in
   let es = Exec.Executor.engine_stats_create () in
   let e0 = Unix.gettimeofday () in
@@ -454,6 +483,14 @@ let exec_ir t (q : A.query) (binds : Value.t list) : exec_result =
     t.estats.Exec.Executor.es_vector + es.Exec.Executor.es_vector;
   t.estats.Exec.Executor.es_row <-
     t.estats.Exec.Executor.es_row + es.Exec.Executor.es_row;
+  t.estats.Exec.Executor.es_parts_scanned <-
+    t.estats.Exec.Executor.es_parts_scanned
+    + es.Exec.Executor.es_parts_scanned;
+  t.estats.Exec.Executor.es_parts_pruned <-
+    t.estats.Exec.Executor.es_parts_pruned
+    + es.Exec.Executor.es_parts_pruned;
+  if es.Exec.Executor.es_dop > t.estats.Exec.Executor.es_dop then
+    t.estats.Exec.Executor.es_dop <- es.Exec.Executor.es_dop;
   let nrows = List.length rows in
   (if metrics_on t then begin
      Mx.observe (Lazy.force m_execute) exec_s;
@@ -484,6 +521,9 @@ let exec_ir t (q : A.query) (binds : Value.t list) : exec_result =
      in
      ignore
        (Qs.observe t.store ~txs ~qerrs ~fp:rs.rs_fp
+          ~dop:es.Exec.Executor.es_dop
+          ~parts_scanned:es.Exec.Executor.es_parts_scanned
+          ~parts_pruned:es.Exec.Executor.es_parts_pruned
           ~text:(fun () -> squeeze_ws (Pp.query_to_string rs.rs_key))
           ~outcome:(outcome_name rs.rs_outcome)
           ~rows:nrows ~exec_s ~parse_s:rs.rs_parse_s

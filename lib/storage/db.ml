@@ -19,6 +19,21 @@ let relation t name =
 
 let mem t name = Hashtbl.mem t.rels name
 
+(** (Re)build every declared index of [rel] — rowids key into the
+    current [r_rows] layout. *)
+let build_indexes t (rel : Relation.t) =
+  List.iter
+    (fun (ix : Catalog.index) ->
+      let bt = Btree.create ~cols:ix.ix_cols ~unique:ix.ix_unique in
+      let col_idxs = List.map (Relation.col_index rel) ix.ix_cols in
+      Relation.iteri
+        (fun row tup ->
+          let key = List.map (fun i -> tup.(i)) col_idxs in
+          Btree.insert bt key row)
+        rel;
+      Hashtbl.replace t.idxs (rel.r_name, ix.ix_name) bt)
+    (Catalog.indexes_on t.cat rel.r_name)
+
 (** Load [rel] as the contents of catalog table [rel.r_name], and build
     every index the catalog declares on it. *)
 let load t (rel : Relation.t) =
@@ -32,17 +47,25 @@ let load t (rel : Relation.t) =
          (String.concat "," declared)
          (String.concat "," actual));
   Hashtbl.replace t.rels rel.r_name rel;
-  List.iter
-    (fun (ix : Catalog.index) ->
-      let bt = Btree.create ~cols:ix.ix_cols ~unique:ix.ix_unique in
-      let col_idxs = List.map (Relation.col_index rel) ix.ix_cols in
-      Relation.iteri
-        (fun row tup ->
-          let key = List.map (fun i -> tup.(i)) col_idxs in
-          Btree.insert bt key row)
-        rel;
-      Hashtbl.replace t.idxs (rel.r_name, ix.ix_name) bt)
-    (Catalog.indexes_on t.cat rel.r_name)
+  (* a reloaded partitioned table arrives as a plain heap: partition it
+     to match the catalog's declared layout before indexing *)
+  (match Catalog.part_spec t.cat rel.r_name with
+  | Some ps when not (Relation.partitioned rel) -> Relation.partition rel ps
+  | _ -> ());
+  build_indexes t rel
+
+(** Partition loaded table [name] under [spec]: reorder the heap into
+    partition-contiguous layout, rebuild its indexes against the new
+    rowids, and record the spec in the catalog (which bumps the table's
+    stats epoch, invalidating any cached plan compiled against the old
+    layout). Per-partition statistics are installed by the next
+    [Stats_gather.analyze]. *)
+let partition_table t ~name (spec : Catalog.part_spec) =
+  let rel = relation t name in
+  ignore (Catalog.find_table t.cat name);
+  Relation.partition rel spec;
+  build_indexes t rel;
+  Catalog.set_part_spec t.cat name spec
 
 let index t ~table ~name =
   match Hashtbl.find_opt t.idxs (table, name) with

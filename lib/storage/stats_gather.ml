@@ -80,7 +80,12 @@ let sampled ~seed ~fraction (rel : Relation.t) : Catalog.table_stats =
            the domain is already saturated and the observed NDV stands;
            when values are near-unique in the sample, scale linearly.
            In between, interpolate — imperfect by design, like real
-           sampling-based NDV estimators. *)
+           sampling-based NDV estimators.
+
+           Partition-key columns of partitioned tables don't go through
+           this estimator at all: {!analyze} overwrites their NDV with
+           the sum of per-partition NDVs, which is exact — see
+           {!aggregate_key_stats}. *)
         let ndv =
           if !sampled_rows = 0 then 1
           else
@@ -103,9 +108,77 @@ let sampled ~seed ~fraction (rel : Relation.t) : Catalog.table_stats =
   in
   Catalog.default_stats ~rows:n cols
 
+(* ------------------------------------------------------------------ *)
+(* Per-partition statistics                                             *)
+(* ------------------------------------------------------------------ *)
+
+(** Exact key statistics of every partition of [rel]: one pass over each
+    partition slice, always exact regardless of the table-level sampling
+    mode — partitions are contiguous in [r_rows], so this is a single
+    sequential sweep, and pruning decisions deserve true bounds. *)
+let part_stats_of (rel : Relation.t) : Catalog.part_stats array =
+  match Relation.part rel with
+  | None -> [||]
+  | Some p ->
+      let key = p.Relation.p_key in
+      Array.init p.Relation.p_spec.ps_n (fun i ->
+          let lo, hi = Relation.part_bounds rel i in
+          let vs = ref [] in
+          for r = lo to hi - 1 do
+            vs := rel.r_rows.(r).(key) :: !vs
+          done;
+          let s = col_stats_of_values !vs in
+          {
+            Catalog.pp_rows = hi - lo;
+            pp_min = s.s_min;
+            pp_max = s.s_max;
+            pp_ndv = s.s_ndv;
+          })
+
+(** Replace the partition-key column's table-level NDV/min/max with the
+    aggregate of the per-partition statistics. Both schemes route each
+    distinct key value to {e exactly one} partition (hash: a value has
+    one hash; range: one enclosing interval), so per-partition NDVs are
+    disjoint counts and their {e sum} is the exact table NDV — no
+    double-counting. Summing would be wrong for any other column, where
+    one value may appear in many partitions; those keep the sampled
+    estimate. *)
+let aggregate_key_stats (ps : Catalog.part_spec)
+    (pp : Catalog.part_stats array) (stats : Catalog.table_stats) :
+    Catalog.table_stats =
+  let ndv = Array.fold_left (fun a p -> a + p.Catalog.pp_ndv) 0 pp in
+  let mn, mx =
+    Array.fold_left
+      (fun (mn, mx) p ->
+        ( (if Value.is_null mn
+           || (not (Value.is_null p.Catalog.pp_min))
+              && Value.compare_total p.Catalog.pp_min mn < 0
+           then p.Catalog.pp_min
+           else mn),
+          if Value.is_null mx
+             || (not (Value.is_null p.Catalog.pp_max))
+                && Value.compare_total p.Catalog.pp_max mx > 0
+          then p.Catalog.pp_max
+          else mx ))
+      (Value.Null, Value.Null) pp
+  in
+  {
+    stats with
+    s_cols =
+      List.map
+        (fun (name, cs) ->
+          if String.equal name ps.ps_col then
+            (name, { cs with Catalog.s_ndv = max 1 ndv; s_min = mn; s_max = mx })
+          else (name, cs))
+        stats.s_cols;
+  }
+
 (** Gather and install statistics for every loaded relation. Each
     [Catalog.set_stats] bumps the table's stats epoch, signalling plan
-    caches to recompile cached plans over the refreshed statistics. *)
+    caches to recompile cached plans over the refreshed statistics.
+    Partitioned tables additionally get per-partition key statistics,
+    and their key column's table-level NDV is corrected to the exact
+    per-partition sum. *)
 let analyze ?(sample = None) (db : Db.t) =
   Hashtbl.iter
     (fun name rel ->
@@ -114,5 +187,10 @@ let analyze ?(sample = None) (db : Db.t) =
         | None -> exact rel
         | Some (seed, fraction) -> sampled ~seed ~fraction rel
       in
-      Catalog.set_stats db.Db.cat name stats)
+      match Catalog.part_spec db.Db.cat name with
+      | Some ps when Relation.partitioned rel ->
+          let pp = part_stats_of rel in
+          Catalog.set_stats db.Db.cat name (aggregate_key_stats ps pp stats);
+          Catalog.set_part_stats db.Db.cat name pp
+      | _ -> Catalog.set_stats db.Db.cat name stats)
     db.Db.rels

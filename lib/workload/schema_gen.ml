@@ -223,19 +223,48 @@ let generate_rows rng (ti : tinfo) (ref_rows : string -> int) :
 (* Entry point                                                          *)
 (* ------------------------------------------------------------------ *)
 
+(** Install partition specs for one family: the mid table is hash-
+    partitioned on its primary key and even-numbered fact tables on
+    their [mid_id] foreign key with the same partition count, so the
+    fact-mid equi-join is co-located; odd-numbered facts are range-
+    partitioned on [created] (date domain [10000, 12000)), giving the
+    range-pruning path real coverage. Specs go in before {!Db.load}, so
+    loading places the rows and {!Stats_gather.analyze} fills the
+    per-partition statistics. *)
+let partition_family (cat : Catalog.t) ~(n : int) (f : family) =
+  let hash col =
+    { Catalog.ps_col = col; ps_scheme = `Hash; ps_n = n; ps_bounds = [||] }
+  in
+  let date_range =
+    let bounds =
+      Array.init (n - 1) (fun i -> V.Date (10000 + (2000 * (i + 1) / n)))
+    in
+    { Catalog.ps_col = "created"; ps_scheme = `Range; ps_n = n; ps_bounds = bounds }
+  in
+  Catalog.set_part_spec cat f.fam_mid.ti_name (hash "id");
+  List.iteri
+    (fun i ft ->
+      Catalog.set_part_spec cat ft.ti_name
+        (if i mod 2 = 0 then hash "mid_id" else date_range))
+    f.fam_facts
+
 (** Build a database of [families] application families. Statistics are
     gathered on a [sample_frac] row sample (set 1.0 for exact stats);
     sampling error is the paper's source of plan regressions.
-    [row_scale] shrinks every table (used by the property tests, whose
-    reference evaluator is exponential in join width). *)
+    [row_scale] rescales every table: fractions shrink (the property
+    tests' reference evaluator is exponential in join width), values
+    above one scale up (the parallel-execution bench runs 10-100x).
+    [partitions] >= 1 partitions the mid and fact tables of every
+    family (see {!partition_family}); the default leaves all tables
+    unpartitioned, preserving physical row order for existing callers. *)
 let build ?(families = 4) ?(sample_frac = 0.15) ?(row_scale = 1.0)
-    ~(seed : int) () : Storage.Db.t * t =
+    ?(partitions = 0) ~(seed : int) () : Storage.Db.t * t =
   let rng = Rng.create seed in
   let fams = List.init families (make_family rng) in
   let fams =
-    if row_scale >= 1.0 then fams
+    if row_scale = 1.0 then fams
     else
-      let shrink ti =
+      let rescale ti =
         {
           ti with
           ti_rows =
@@ -246,9 +275,9 @@ let build ?(families = 4) ?(sample_frac = 0.15) ?(row_scale = 1.0)
         (fun f ->
           {
             f with
-            fam_dims = List.map shrink f.fam_dims;
-            fam_mid = shrink f.fam_mid;
-            fam_facts = List.map shrink f.fam_facts;
+            fam_dims = List.map rescale f.fam_dims;
+            fam_mid = rescale f.fam_mid;
+            fam_facts = List.map rescale f.fam_facts;
           })
         fams
   in
@@ -259,6 +288,7 @@ let build ?(families = 4) ?(sample_frac = 0.15) ?(row_scale = 1.0)
   in
   let cat = Catalog.create () in
   List.iter (register rng cat) all;
+  if partitions > 0 then List.iter (partition_family cat ~n:partitions) fams;
   let db = Storage.Db.create cat in
   let ref_rows name =
     (List.find (fun ti -> String.equal ti.ti_name name) all).ti_rows

@@ -1,0 +1,418 @@
+(** Partitioned parallel execution: the determinism bar and the pruning
+    soundness rules.
+
+    - QCheck differential suite: every generated workload query,
+      optimized against databases partitioned at {1, 4, 16}, must
+      return {e bit-identical} rows (same order, not just the same bag)
+      when the DOP post-pass wraps it in exchanges at DOP {1, 2, 4} —
+      against the serial plan on the parallel executor {e and} against
+      {!Exec.Baseline} on the parallel plan — and the merged meters
+      must be independent of the DOP field by field.
+    - Pruning: a scan with its prune spec derived from its own filter
+      returns exactly the unpruned rows, and the derived spec passes
+      the [PL008] disjointness rule; an intentionally {e wrong} prune
+      is caught both ways — it is flagged by [PL008] and it observably
+      drops rows.
+    - [PL009]: exchange shape legality (degree, serial pass-through,
+      mismatched partition counts, partitioned scans inside subquery
+      plans).
+    - Unit coverage for {!Planner.Access_path.derive_prune},
+      {!Exec.Prune.survivors}, and the {!Planner.Parallel.apply}
+      rewrite shapes (exchange over a chain, two-phase aggregation,
+      Auto's startup threshold). *)
+
+module QG = Workload.Query_gen
+module SG = Workload.Schema_gen
+module D = Cbqt.Driver
+module Diag = Analysis.Diagnostics
+module P = Exec.Plan
+module Par = Planner.Parallel
+module M = Exec.Meter
+module V = Sqlir.Value
+module A = Sqlir.Ast
+
+(* One database per partition count, same families/seed throughout: the
+   schema (and therefore the query generator) is identical; only the
+   physical layout differs. *)
+let mk parts =
+  SG.build ~families:2 ~sample_frac:0.5 ~row_scale:0.08 ~partitions:parts
+    ~seed:7 ()
+
+let dbs = List.map (fun p -> (p, mk p)) [ 1; 4; 16 ]
+let schema = snd (snd (List.hd dbs))
+
+(* the partitioned fixture most tests poke at directly *)
+let db4 = fst (List.assoc 4 dbs)
+let cat4 = db4.Storage.Db.cat
+
+let all_classes =
+  [
+    QG.C_spj; QG.C_exists; QG.C_not_exists; QG.C_in_multi; QG.C_not_in;
+    QG.C_agg_subq; QG.C_gb_view; QG.C_distinct_view; QG.C_union_factor;
+    QG.C_gbp; QG.C_or; QG.C_setop; QG.C_pullup;
+  ]
+
+let query_of (cls, seed) =
+  let g = QG.create ~seed schema in
+  QG.generate g cls
+
+let gen_query =
+  QCheck.make
+    ~print:(fun (cls, seed) ->
+      Printf.sprintf "%s (seed %d)" (QG.class_name cls) seed)
+    QCheck.Gen.(pair (oneofl all_classes) (int_bound 100000))
+
+let rows_of rows = List.map Array.to_list rows
+
+(* ------------------------------------------------------------------ *)
+(* Differential: serial == parallel == baseline at every DOP            *)
+(* ------------------------------------------------------------------ *)
+
+(* how many (database, plan) pairs the differential actually exercised —
+   guards against the suite passing vacuously because every generated
+   query failed to optimize *)
+let differential_covered = ref 0
+
+let prop_parallel_differential =
+  QCheck.Test.make ~count:30
+    ~name:
+      "serial == parallel == baseline rows, meters dop-invariant (parts x \
+       dop matrix)"
+    gen_query
+    (fun input ->
+      let q = query_of input in
+      List.for_all
+        (fun (parts, (db, _)) ->
+          let cat = db.Storage.Db.cat in
+          match (D.optimize cat q).D.res_annotation.Planner.Annotation.an_plan
+          with
+          | exception _ -> true
+          | plan ->
+              incr differential_covered;
+              let _, ser_rows, _ = Exec.Executor.execute db plan in
+              let ser_rows = rows_of ser_rows in
+              let meters =
+                List.map
+                  (fun dop ->
+                    let pp = Par.apply cat ~dop:(Par.Fixed dop) plan in
+                    let _, prows, pm = Exec.Executor.execute db pp in
+                    let _, brows, bm = Exec.Baseline.execute db pp in
+                    if rows_of prows <> ser_rows then
+                      QCheck.Test.fail_reportf
+                        "parts=%d dop=%d: parallel rows differ from serial"
+                        parts dop;
+                    if rows_of brows <> ser_rows then
+                      QCheck.Test.fail_reportf
+                        "parts=%d dop=%d: baseline rows differ from serial"
+                        parts dop;
+                    if M.to_fields pm <> M.to_fields bm then
+                      QCheck.Test.fail_reportf
+                        "parts=%d dop=%d: executor/baseline meters differ"
+                        parts dop;
+                    M.to_fields pm)
+                  [ 1; 2; 4 ]
+              in
+              (match meters with
+              | m0 :: rest ->
+                  if not (List.for_all (( = ) m0) rest) then
+                    QCheck.Test.fail_reportf
+                      "parts=%d: merged meter depends on the dop" parts
+              | [] -> ());
+              true)
+        dbs)
+
+(* ------------------------------------------------------------------ *)
+(* Pruning: derived prunes are sound, transparent, and PL008-clean      *)
+(* ------------------------------------------------------------------ *)
+
+let fact = "f0_fact0"
+let fcol c = A.Col { A.c_alias = "f"; A.c_col = c }
+let spec4 = Option.get (Catalog.part_spec cat4 fact)
+
+let pscan filter prune =
+  P.Part_scan { table = fact; alias = "f"; filter; prune }
+
+let exec_rows db p =
+  let _, rows, _ = Exec.Executor.execute db p in
+  rows_of rows
+
+let prop_prune_preserves_results =
+  QCheck.Test.make ~count:100
+    ~name:"derived prune never changes results and passes PL008"
+    QCheck.(int_bound 3000)
+    (fun v ->
+      let filter = [ A.Cmp (A.Eq, fcol "mid_id", A.Const (V.Int v)) ] in
+      let prune = Planner.Access_path.derive_prune spec4 ~alias:"f" filter in
+      (match prune with
+      | P.Pr_eq _ -> ()
+      | _ -> QCheck.Test.fail_reportf "expected Pr_eq from an eq conjunct");
+      let pruned = pscan filter prune in
+      if exec_rows db4 pruned <> exec_rows db4 (pscan filter P.Pr_none) then
+        QCheck.Test.fail_reportf "pruning changed results for mid_id = %d" v;
+      let ds = Analysis.Plan_check.check cat4 pruned in
+      if Diag.has_rule "PL008" (Diag.errors ds) then
+        QCheck.Test.fail_reportf "PL008 fired on a derived prune";
+      true)
+
+(* a range-partitioned fact exists in the generated families (odd fact
+   indexes partition on [created]); exercise range pruning end to end
+   on whichever one the seed produced, if any *)
+let range_fact =
+  List.find_map
+    (fun ti ->
+      match Catalog.part_spec cat4 ti.SG.ti_name with
+      | Some ps when ps.Catalog.ps_scheme = `Range -> Some ti.SG.ti_name
+      | _ -> None)
+    schema.SG.all_tables
+
+let prop_range_prune_preserves_results =
+  QCheck.Test.make ~count:100 ~name:"range prune never changes results"
+    QCheck.(pair (int_range 9900 12100) (int_bound 600))
+    (fun (lo, width) ->
+      match range_fact with
+      | None -> true (* this seed generated no odd-indexed fact *)
+      | Some table ->
+          let ps = Option.get (Catalog.part_spec cat4 table) in
+          let filter =
+            [
+              A.Between
+                ( fcol ps.Catalog.ps_col,
+                  A.Const (V.Date lo),
+                  A.Const (V.Date (lo + width)) );
+            ]
+          in
+          let prune =
+            Planner.Access_path.derive_prune ps ~alias:"f" filter
+          in
+          let mk prune = P.Part_scan { table; alias = "f"; filter; prune } in
+          (match prune with
+          | P.Pr_range _ -> ()
+          | _ ->
+              QCheck.Test.fail_reportf "expected Pr_range from BETWEEN");
+          if exec_rows db4 (mk prune) <> exec_rows db4 (mk P.Pr_none) then
+            QCheck.Test.fail_reportf
+              "range pruning changed results for [%d, %d]" lo (lo + width);
+          true)
+
+(* the mutation test: a prune routing on the wrong value must (a) be
+   flagged by PL008 and (b) observably drop rows *)
+let test_wrong_prune_caught () =
+  (* a key value actually present in the data, so the divergence shows *)
+  let rel = Storage.Db.relation db4 fact in
+  let kcol = Storage.Relation.col_index rel "mid_id" in
+  let v =
+    match rel.Storage.Relation.r_rows.(0).(kcol) with
+    | V.Int v -> v
+    | _ -> Alcotest.fail "unexpected key type"
+  in
+  (* a wrong value that routes to a different partition *)
+  let route w = Catalog.part_route spec4 (V.Int w) in
+  let w =
+    let rec go w = if route w <> route v then w else go (w + 1) in
+    go (v + 1)
+  in
+  let filter = [ A.Cmp (A.Eq, fcol "mid_id", A.Const (V.Int v)) ] in
+  let good = pscan filter (P.Pr_eq (A.Const (V.Int v))) in
+  let bad = pscan filter (P.Pr_eq (A.Const (V.Int w))) in
+  Alcotest.(check bool) "good prune is PL008-clean" false
+    (Diag.has_rule "PL008" (Diag.errors (Analysis.Plan_check.check cat4 good)));
+  Alcotest.(check bool) "wrong prune flagged by PL008" true
+    (Diag.has_rule "PL008" (Diag.errors (Analysis.Plan_check.check cat4 bad)));
+  let full = exec_rows db4 (pscan filter P.Pr_none) in
+  Alcotest.(check bool) "good prune returns every matching row" true
+    (exec_rows db4 good = full);
+  Alcotest.(check bool) "matching rows exist" true (full <> []);
+  Alcotest.(check bool) "wrong prune observably drops rows" true
+    (exec_rows db4 bad <> full)
+
+(* ------------------------------------------------------------------ *)
+(* PL009: exchange shape legality                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_pl009_shapes () =
+  let scan = pscan [] P.Pr_none in
+  let errors p = Diag.errors (Analysis.Plan_check.check cat4 p) in
+  let all p = Analysis.Plan_check.check cat4 p in
+  Alcotest.(check bool) "dop < 1 is an error" true
+    (Diag.has_rule "PL009" (errors (P.Exchange { child = scan; dop = 0 })));
+  Alcotest.(check bool) "well-formed exchange is clean" false
+    (Diag.has_rule "PL009" (errors (P.Exchange { child = scan; dop = 2 })));
+  (* no partitioned scan below: serial pass-through, warning only *)
+  let unpart =
+    P.Exchange
+      {
+        child = P.Table_scan { table = fact; alias = "f"; filter = [] };
+        dop = 2;
+      }
+  in
+  Alcotest.(check bool) "serial pass-through warns" true
+    (Diag.has_rule "PL009" (all unpart));
+  Alcotest.(check bool) "serial pass-through is not an error" false
+    (Diag.has_rule "PL009" (errors unpart));
+  (* a partitioned scan reachable only through a subquery plan would be
+     restricted by the enclosing exchange task: error *)
+  let subq =
+    P.Exchange
+      {
+        child =
+          P.Subq_filter
+            {
+              child = scan;
+              preds = [ P.SP_exists { negated = false; plan = scan } ];
+            };
+        dop = 2;
+      }
+  in
+  Alcotest.(check bool) "partitioned scan in subquery plan is an error" true
+    (Diag.has_rule "PL009" (errors subq))
+
+(* ------------------------------------------------------------------ *)
+(* derive_prune / survivors units                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_derive_prune () =
+  let dp filter = Planner.Access_path.derive_prune spec4 ~alias:"f" filter in
+  let c v = A.Const (V.Int v) in
+  (match dp [ A.Cmp (A.Eq, fcol "mid_id", c 5) ] with
+  | P.Pr_eq e -> Alcotest.(check bool) "eq operand" true (e = c 5)
+  | _ -> Alcotest.fail "eq conjunct should give Pr_eq");
+  Alcotest.(check bool) "other-column eq gives Pr_none" true
+    (dp [ A.Cmp (A.Eq, fcol "m1", c 5) ] = P.Pr_none);
+  Alcotest.(check bool) "hash scheme cannot range-prune" true
+    (dp [ A.Cmp (A.Ge, fcol "mid_id", c 5) ] = P.Pr_none);
+  match range_fact with
+  | None -> ()
+  | Some table ->
+      let ps = Option.get (Catalog.part_spec cat4 table) in
+      let key = fcol ps.Catalog.ps_col in
+      let dp filter = Planner.Access_path.derive_prune ps ~alias:"f" filter in
+      (match dp [ A.Cmp (A.Ge, key, c 10100); A.Cmp (A.Lt, key, c 10900) ]
+       with
+      | P.Pr_range (P.R_incl lo, P.R_excl hi) ->
+          Alcotest.(check bool) "range bounds" true
+            (lo = c 10100 && hi = c 10900)
+      | _ -> Alcotest.fail "ge + lt should give an incl/excl range");
+      match dp [ A.Between (key, c 10100, c 10900) ] with
+      | P.Pr_range (P.R_incl _, P.R_incl _) -> ()
+      | _ -> Alcotest.fail "BETWEEN should give an incl/incl range"
+
+let test_survivors () =
+  let value_of = Exec.Prune.value_of ~binds:[||] in
+  let all = List.init spec4.Catalog.ps_n Fun.id in
+  Alcotest.(check (list int)) "Pr_none keeps every partition" all
+    (Exec.Prune.survivors ~value_of spec4 P.Pr_none);
+  let v = V.Int 5 in
+  Alcotest.(check (list int)) "hash eq keeps the routed partition"
+    [ Catalog.part_route spec4 v ]
+    (Exec.Prune.survivors ~value_of spec4 (P.Pr_eq (A.Const v)));
+  (* an unresolvable operand must keep every partition: pruning may
+     only ever narrow on solid ground *)
+  Alcotest.(check (list int)) "unresolvable eq keeps every partition" all
+    (Exec.Prune.survivors ~value_of spec4 (P.Pr_eq (fcol "mid_id")));
+  (* key = NULL is unsatisfiable under 3VL: nothing survives *)
+  Alcotest.(check (list int)) "null eq prunes everything" []
+    (Exec.Prune.survivors ~value_of spec4 (P.Pr_eq (A.Const V.Null)))
+
+(* ------------------------------------------------------------------ *)
+(* Parallel.apply rewrite shapes                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_apply_shapes () =
+  let scan = P.Table_scan { table = fact; alias = "f"; filter = [] } in
+  (* a chain becomes an exchange over a partitioned scan *)
+  (match Par.apply cat4 ~dop:(Par.Fixed 2) scan with
+  | P.Exchange { child = P.Part_scan { table; _ }; dop } ->
+      Alcotest.(check string) "scan table" fact table;
+      Alcotest.(check bool) "dop clamped to >= 1" true (dop >= 1)
+  | p -> Alcotest.failf "expected Exchange(Part_scan), got %s" (P.to_string p));
+  (* hash aggregation over a chain splits into partial/final *)
+  let agg =
+    P.Aggregate
+      {
+        child = scan;
+        strategy = `Hash;
+        alias = "g";
+        keys = [ (fcol "status_c", "k") ];
+        aggs = [ ("s", A.Sum, Some (fcol "m1"), false) ];
+      }
+  in
+  (match Par.apply cat4 ~dop:(Par.Fixed 2) agg with
+  | P.Final_agg
+      { child = P.Exchange { child = P.Partial_agg _; _ }; keys; aggs; _ } ->
+      Alcotest.(check (list string)) "final keys" [ "k" ] keys;
+      Alcotest.(check int) "final aggs" 1 (List.length aggs)
+  | p ->
+      Alcotest.failf "expected Final_agg(Exchange(Partial_agg)), got %s"
+        (P.to_string p));
+  (* Serial leaves the plan physically untouched *)
+  Alcotest.(check bool) "Serial is identity" true
+    (Par.apply cat4 ~dop:Par.Serial agg == agg);
+  (* Auto keeps tiny regions serial: these scaled-down facts are far
+     below the startup threshold *)
+  Alcotest.(check bool) "Auto stays serial below startup_rows" true
+    (Par.apply cat4 ~dop:Par.Auto agg == agg);
+  (* an unpartitioned table cannot be parallelized *)
+  let dim = P.Table_scan { table = "f0_dim0"; alias = "d"; filter = [] } in
+  Alcotest.(check bool) "unpartitioned scan untouched" true
+    (Par.apply cat4 ~dop:(Par.Fixed 4) dim == dim)
+
+(* a hand-rolled exchange: engine stats report the partition economics
+   and the requested dop *)
+let test_exchange_engine_stats () =
+  (* unpruned: every partition is a task, so the requested dop is the
+     effective dop *)
+  let es = Exec.Executor.engine_stats_create () in
+  let full = P.Exchange { child = pscan [] P.Pr_none; dop = 3 } in
+  let _, rows, _ = Exec.Executor.execute ~engine_stats:es db4 full in
+  Alcotest.(check int) "all partitions scanned" spec4.Catalog.ps_n
+    es.Exec.Executor.es_parts_scanned;
+  Alcotest.(check int) "dop recorded" 3 es.Exec.Executor.es_dop;
+  Alcotest.(check bool) "rows identical to serial" true
+    (rows_of rows = exec_rows db4 (pscan [] P.Pr_none));
+  (* eq-pruned: one task left, so the effective dop collapses to 1 *)
+  let filter = [ A.Cmp (A.Eq, fcol "mid_id", A.Const (V.Int 5)) ] in
+  let prune = Planner.Access_path.derive_prune spec4 ~alias:"f" filter in
+  let es = Exec.Executor.engine_stats_create () in
+  let pruned = P.Exchange { child = pscan filter prune; dop = 3 } in
+  let _, rows, _ = Exec.Executor.execute ~engine_stats:es db4 pruned in
+  Alcotest.(check int) "scanned + pruned = all partitions"
+    spec4.Catalog.ps_n
+    (es.Exec.Executor.es_parts_scanned + es.Exec.Executor.es_parts_pruned);
+  Alcotest.(check int) "eq prune scans one partition" 1
+    es.Exec.Executor.es_parts_scanned;
+  Alcotest.(check int) "one task caps the effective dop" 1
+    es.Exec.Executor.es_dop;
+  Alcotest.(check bool) "pruned rows identical to unpruned" true
+    (rows_of rows = exec_rows db4 (pscan filter P.Pr_none))
+
+let () =
+  Alcotest.run "parallel"
+    [
+      ( "differential",
+        [
+          QCheck_alcotest.to_alcotest prop_parallel_differential;
+          Alcotest.test_case "differential coverage" `Slow (fun () ->
+              if !differential_covered < 30 then
+                Alcotest.failf
+                  "differential exercised only %d (db, plan) pairs"
+                  !differential_covered);
+          QCheck_alcotest.to_alcotest prop_prune_preserves_results;
+          QCheck_alcotest.to_alcotest prop_range_prune_preserves_results;
+        ] );
+      ( "pruning",
+        [
+          Alcotest.test_case "wrong prune caught" `Quick
+            test_wrong_prune_caught;
+          Alcotest.test_case "derive_prune" `Quick test_derive_prune;
+          Alcotest.test_case "survivors" `Quick test_survivors;
+        ] );
+      ( "shapes",
+        [
+          Alcotest.test_case "PL009 exchange legality" `Quick
+            test_pl009_shapes;
+          Alcotest.test_case "Parallel.apply rewrites" `Quick
+            test_apply_shapes;
+          Alcotest.test_case "exchange engine stats" `Quick
+            test_exchange_engine_stats;
+        ] );
+    ]

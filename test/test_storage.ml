@@ -116,6 +116,166 @@ let test_stats_sampled_deterministic () =
   let s2 = Storage.Stats_gather.sampled ~seed:42 ~fraction:0.5 r in
   Alcotest.(check bool) "same seed, same stats" true (s1 = s2)
 
+(* ------------------------------------------------------------------ *)
+(* Partitioning                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let hash4 =
+  { Catalog.ps_col = "k"; ps_scheme = `Hash; ps_n = 4; ps_bounds = [||] }
+
+let norm rows = List.sort compare (List.map Array.to_list rows)
+
+let test_partition_hash_reorder () =
+  let r = mk_rel () in
+  let before = norm (Array.to_list r.Rel.r_rows) in
+  Rel.partition r hash4;
+  Alcotest.(check bool) "partitioned" true (Rel.partitioned r);
+  Alcotest.(check int) "part count" 4 (Rel.part_count r);
+  Alcotest.(check int) "cardinality preserved" 100 (Rel.cardinality r);
+  Alcotest.(check bool) "same row multiset" true
+    (norm (Array.to_list r.Rel.r_rows) = before);
+  let contiguous = ref true and stable = ref true in
+  let total = ref 0 in
+  for i = 0 to 3 do
+    let lo, hi = Rel.part_bounds r i in
+    total := !total + (hi - lo);
+    let last_v = ref (-1) in
+    for row = lo to hi - 1 do
+      if Rel.route r r.Rel.r_rows.(row).(0) <> i then contiguous := false;
+      (* v = original row index, unique: within a partition the reorder
+         must keep original relative order *)
+      (match r.Rel.r_rows.(row).(1) with
+      | V.Int v ->
+          if v <= !last_v then stable := false;
+          last_v := v
+      | _ -> stable := false)
+    done
+  done;
+  Alcotest.(check int) "partitions cover all rows" 100 !total;
+  Alcotest.(check bool) "rows partition-contiguous" true !contiguous;
+  Alcotest.(check bool) "reorder stable within partitions" true !stable
+
+let test_partition_route_range () =
+  let ps =
+    {
+      Catalog.ps_col = "k";
+      ps_scheme = `Range;
+      ps_n = 3;
+      ps_bounds = [| V.Int 10; V.Int 20 |];
+    }
+  in
+  Alcotest.(check int) "below first bound" 0 (Catalog.part_route ps (V.Int 5));
+  Alcotest.(check int) "bound is exclusive upper" 1
+    (Catalog.part_route ps (V.Int 10));
+  Alcotest.(check int) "middle" 1 (Catalog.part_route ps (V.Int 19));
+  Alcotest.(check int) "top partition" 2 (Catalog.part_route ps (V.Int 25));
+  Alcotest.(check int) "null sorts last" 2 (Catalog.part_route ps V.Null);
+  (* hash routes nulls to partition 0 *)
+  Alcotest.(check int) "hash null home" 0 (Catalog.part_route hash4 V.Null)
+
+let test_partition_pages () =
+  (* 100 rows over 4 hash partitions of k = i mod 10: partitions get 20
+     or 30 rows, each under one 64-row page, so partition-wise access
+     charges 4 pages where the plain heap ceiling is 2 *)
+  let r = mk_rel () in
+  Rel.partition r hash4;
+  let sum = ref 0 in
+  for i = 0 to 3 do
+    Alcotest.(check bool)
+      (Printf.sprintf "partition %d pages >= 1" i)
+      true
+      (Rel.part_pages r i >= 1);
+    sum := !sum + Rel.part_pages r i
+  done;
+  Alcotest.(check int) "sum of per-partition ceilings" 4 !sum;
+  Alcotest.(check int) "heap ceiling unchanged" 2 (Rel.pages r)
+
+let test_partition_append () =
+  let r = mk_rel () in
+  Rel.partition r hash4;
+  let tup = [| V.Int 7; V.Int 1000 |] in
+  let home = Rel.route r (V.Int 7) in
+  let before = Rel.part_rows r home in
+  Rel.append r tup;
+  Alcotest.(check int) "cardinality" 101 (Rel.cardinality r);
+  Alcotest.(check int) "home partition grew" (before + 1)
+    (Rel.part_rows r home);
+  let lo, hi = Rel.part_bounds r home in
+  Alcotest.(check bool) "appended at end of home slice" true
+    (r.Rel.r_rows.(hi - 1) == tup);
+  ignore lo;
+  (* still partition-contiguous everywhere *)
+  let ok = ref true in
+  for i = 0 to 3 do
+    let lo, hi = Rel.part_bounds r i in
+    for row = lo to hi - 1 do
+      if Rel.route r r.Rel.r_rows.(row).(0) <> i then ok := false
+    done
+  done;
+  Alcotest.(check bool) "contiguity after append" true !ok
+
+let part_cat () =
+  let cat = Catalog.create () in
+  Catalog.add_table cat
+    {
+      t_name = "t";
+      t_cols =
+        [
+          { Catalog.c_name = "k"; c_ty = V.T_int; c_nullable = false };
+          { Catalog.c_name = "v"; c_ty = V.T_int; c_nullable = false };
+        ];
+      t_pkey = [ "v" ];
+      t_fkeys = [];
+      t_uniques = [];
+    };
+  Catalog.add_index cat
+    { ix_name = "t_k"; ix_table = "t"; ix_cols = [ "k" ]; ix_unique = false };
+  cat
+
+let test_db_partition_table_reindexes () =
+  let cat = part_cat () in
+  let db = Storage.Db.create cat in
+  Storage.Db.load db (mk_rel ());
+  Storage.Db.partition_table db ~name:"t" hash4;
+  let r = Storage.Db.relation db "t" in
+  Alcotest.(check bool) "relation partitioned" true (Rel.partitioned r);
+  (* index rowids must point at the reordered heap *)
+  let bt = Storage.Db.index db ~table:"t" ~name:"t_k" in
+  let hits = Bt.find_eq bt [ V.Int 3 ] in
+  Alcotest.(check int) "probe row count" 10 (List.length hits);
+  Alcotest.(check bool) "rowids match reordered heap" true
+    (List.for_all (fun row -> r.Rel.r_rows.(row).(0) = V.Int 3) hits)
+
+let test_part_stats_and_key_ndv () =
+  let cat = part_cat () in
+  let db = Storage.Db.create cat in
+  Catalog.set_part_spec cat "t" hash4;
+  (* load sees the spec: places rows at load time *)
+  Storage.Db.load db (mk_rel ());
+  Alcotest.(check bool) "load partitions under declared spec" true
+    (Rel.partitioned (Storage.Db.relation db "t"));
+  (* heavily sampled stats: the key column must still be exact, because
+     per-partition stats are one full pass and their NDVs are disjoint *)
+  Storage.Stats_gather.analyze ~sample:(Some (11, 0.2)) db;
+  let pp =
+    match Catalog.part_stats cat "t" with
+    | Some pp -> pp
+    | None -> Alcotest.fail "no per-partition stats after analyze"
+  in
+  Alcotest.(check int) "one entry per partition" 4 (Array.length pp);
+  Alcotest.(check int) "pp_rows covers the table" 100
+    (Array.fold_left (fun a p -> a + p.Catalog.pp_rows) 0 pp);
+  let k =
+    match Catalog.col_stats cat ~table:"t" ~col:"k" with
+    | Some k -> k
+    | None -> Alcotest.fail "no column stats for k"
+  in
+  Alcotest.(check int) "key ndv exact despite sampling" 10 k.Catalog.s_ndv;
+  Alcotest.(check int) "key ndv = sum of disjoint per-partition ndvs" 10
+    (Array.fold_left (fun a p -> a + p.Catalog.pp_ndv) 0 pp);
+  Alcotest.(check bool) "key min/max exact" true
+    (k.Catalog.s_min = V.Int 0 && k.Catalog.s_max = V.Int 9)
+
 let () =
   Alcotest.run "storage"
     [
@@ -137,5 +297,17 @@ let () =
           Alcotest.test_case "sampled close" `Quick test_stats_sampled_close;
           Alcotest.test_case "sampled deterministic" `Quick
             test_stats_sampled_deterministic;
+        ] );
+      ( "partition",
+        [
+          Alcotest.test_case "hash reorder" `Quick test_partition_hash_reorder;
+          Alcotest.test_case "range routing" `Quick test_partition_route_range;
+          Alcotest.test_case "per-partition pages" `Quick test_partition_pages;
+          Alcotest.test_case "append stays contiguous" `Quick
+            test_partition_append;
+          Alcotest.test_case "partition_table reindexes" `Quick
+            test_db_partition_table_reindexes;
+          Alcotest.test_case "part stats + key ndv" `Quick
+            test_part_stats_and_key_ndv;
         ] );
     ]
